@@ -1,0 +1,380 @@
+package hypdb_test
+
+// One benchmark per table/figure of the paper's evaluation (Sec 7). These
+// measure the code paths behind each experiment at bench-friendly sizes;
+// cmd/experiments regenerates the full paper-style rows and sweeps.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hypdb/internal/cdd"
+	"hypdb/internal/core"
+	"hypdb/internal/cube"
+	"hypdb/internal/datagen"
+	"hypdb/internal/dataset"
+	"hypdb/internal/independence"
+	"hypdb/internal/query"
+	"hypdb/internal/stats"
+)
+
+// fixtures caches generated datasets across benchmarks.
+var fixtures sync.Map
+
+func fixture(b *testing.B, key string, gen func() (*dataset.Table, error)) *dataset.Table {
+	b.Helper()
+	if v, ok := fixtures.Load(key); ok {
+		return v.(*dataset.Table)
+	}
+	tab, err := gen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixtures.Store(key, tab)
+	return tab
+}
+
+func flightSmall(b *testing.B) *dataset.Table {
+	return fixture(b, "flight", func() (*dataset.Table, error) { return datagen.Flight(12000, 1) })
+}
+
+func randomTable(b *testing.B, rows int) *dataset.Table {
+	return fixture(b, fmt.Sprintf("random-%d", rows), func() (*dataset.Table, error) {
+		tab, _, err := datagen.Random(datagen.RandomSpec{
+			Nodes: 8, AvgDegree: 2.5, MinCard: 2, MaxCard: 4, Alpha: 0.35, Rows: rows, Seed: 21,
+		})
+		return tab, err
+	})
+}
+
+func benchAnalyze(b *testing.B, tab *dataset.Table, q query.Query) {
+	b.Helper()
+	opts := core.Options{Config: core.Config{Seed: 7, Permutations: 200, Parallel: true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(tab, q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 1 / Table 1: end-to-end analysis per dataset
+
+func BenchmarkFig1FlightAnalysis(b *testing.B) {
+	benchAnalyze(b, flightSmall(b), datagen.FlightQuery())
+}
+
+func BenchmarkTable1Adult(b *testing.B) {
+	tab := fixture(b, "adult", func() (*dataset.Table, error) { return datagen.Adult(12000, 1) })
+	benchAnalyze(b, tab, datagen.AdultQuery())
+}
+
+func BenchmarkTable1Staples(b *testing.B) {
+	tab := fixture(b, "staples", func() (*dataset.Table, error) { return datagen.Staples(50000, 1) })
+	benchAnalyze(b, tab, datagen.StaplesQuery())
+}
+
+func BenchmarkTable1Berkeley(b *testing.B) {
+	tab := fixture(b, "berkeley", func() (*dataset.Table, error) { return datagen.Berkeley(1) })
+	benchAnalyze(b, tab, datagen.BerkeleyQuery())
+}
+
+func BenchmarkTable1Cancer(b *testing.B) {
+	tab := fixture(b, "cancer", func() (*dataset.Table, error) { return datagen.Cancer(datagen.CancerRows, 1) })
+	benchAnalyze(b, tab, datagen.CancerQuery())
+}
+
+func BenchmarkTable1Flight(b *testing.B) {
+	benchAnalyze(b, flightSmall(b), datagen.FlightQuery())
+}
+
+// ---------------------------------------------------------------------------
+// Fig 3 / Fig 4: the end-to-end report pipelines (same code path as Table 1
+// on the respective datasets; kept as named benches for the experiment index)
+
+func BenchmarkFig3AdultReport(b *testing.B) { BenchmarkTable1Adult(b) }
+
+func BenchmarkFig4CancerReport(b *testing.B) { BenchmarkTable1Cancer(b) }
+
+// ---------------------------------------------------------------------------
+// Fig 5(a): random query rewriting
+
+func BenchmarkFig5aRandomQueries(b *testing.B) {
+	tab := flightSmall(b)
+	q := datagen.FlightQuery()
+	cov := datagen.FlightCovariates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Run(tab, q); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := query.RewriteTotal(tab, q, cov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 5(b,c,d): parent recovery
+
+func benchParentRecovery(b *testing.B, rows int, method core.TestMethod) {
+	tab := randomTable(b, rows)
+	attrs := tab.Columns()
+	cfg := core.Config{Method: method, Seed: 7, DisableFallback: true, Permutations: 100, Parallel: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range attrs {
+			if _, err := core.DiscoverCovariates(tab, a, excludeOf(attrs, a), nil, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig5bQualitySweepCD(b *testing.B) {
+	benchParentRecovery(b, 10000, core.HyMITMethod)
+}
+
+func BenchmarkFig5cDeepNodesCD(b *testing.B) {
+	benchParentRecovery(b, 10000, core.ChiSquaredMethod)
+}
+
+func BenchmarkFig5dSparseCategoriesCD(b *testing.B) {
+	tab := fixture(b, "random-sparse", func() (*dataset.Table, error) {
+		t, _, err := datagen.Random(datagen.RandomSpec{
+			Nodes: 8, AvgDegree: 2.5, MinCard: 10, MaxCard: 10, Alpha: 0.35, Rows: 10000, Seed: 11,
+		})
+		return t, err
+	})
+	attrs := tab.Columns()
+	cfg := core.Config{Method: core.HyMITMethod, Seed: 7, DisableFallback: true, Permutations: 100, Parallel: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6(a): test counting — FGS structure learning vs CD
+
+func BenchmarkFig6aFGSStructure(b *testing.B) {
+	tab := randomTable(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cdd.LearnStructure(tab, tab.Columns(), cdd.ConstraintConfig{
+			Tester: independence.ChiSquare{Est: stats.MillerMadow},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6aCDSingleNode(b *testing.B) {
+	tab := randomTable(b, 10000)
+	attrs := tab.Columns()
+	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6(b): single-test runtime per method
+
+func benchSingleTest(b *testing.B, tester independence.Tester) {
+	tab := fixture(b, "random-wide", func() (*dataset.Table, error) {
+		t, _, err := datagen.Random(datagen.RandomSpec{
+			Nodes: 8, AvgDegree: 2.5, MinCard: 3, MaxCard: 6, Alpha: 0.35, Rows: 20000, Seed: 21,
+		})
+		return t, err
+	})
+	attrs := tab.Columns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tester.Test(tab, attrs[0], attrs[1], attrs[2:6]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6bMIT(b *testing.B) {
+	benchSingleTest(b, independence.MIT{Permutations: 500, Seed: 1, Est: stats.PlugIn, Parallel: true})
+}
+
+func BenchmarkFig6bMITSampling(b *testing.B) {
+	benchSingleTest(b, independence.MIT{Permutations: 500, Seed: 1, Est: stats.PlugIn, SampleGroups: true, Parallel: true})
+}
+
+func BenchmarkFig6bHyMIT(b *testing.B) {
+	benchSingleTest(b, independence.HyMIT{Permutations: 500, Seed: 1, Est: stats.MillerMadow, Parallel: true})
+}
+
+func BenchmarkFig6bChiSquare(b *testing.B) {
+	benchSingleTest(b, independence.ChiSquare{Est: stats.MillerMadow})
+}
+
+func BenchmarkFig6bNaiveShuffle(b *testing.B) {
+	benchSingleTest(b, independence.Shuffle{Permutations: 100, Seed: 1, Est: stats.PlugIn})
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6(c): caching/materialization ablation on CD
+
+func benchCDVariant(b *testing.B, mut func(*core.Config)) {
+	tab := randomTable(b, 50000)
+	attrs := tab.Columns()
+	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
+	mut(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6cCDNoOptimizations(b *testing.B) {
+	benchCDVariant(b, func(c *core.Config) { c.DisableEntropyCache = true; c.DisableMaterialization = true })
+}
+
+func BenchmarkFig6cCDMaterializationOnly(b *testing.B) {
+	benchCDVariant(b, func(c *core.Config) { c.DisableEntropyCache = true })
+}
+
+func BenchmarkFig6cCDCachingOnly(b *testing.B) {
+	benchCDVariant(b, func(c *core.Config) { c.DisableMaterialization = true })
+}
+
+func BenchmarkFig6cCDBothOptimizations(b *testing.B) {
+	benchCDVariant(b, func(c *core.Config) {})
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6(d) / Fig 8(b): cube benefit
+
+func binaryTable(b *testing.B, nodes, rows int) *dataset.Table {
+	return fixture(b, fmt.Sprintf("binary-%d-%d", nodes, rows), func() (*dataset.Table, error) {
+		t, _, err := datagen.Random(datagen.RandomSpec{
+			Nodes: nodes, AvgDegree: 2.5, MinCard: 2, MaxCard: 2, Alpha: 0.35, Rows: rows, Seed: 21,
+		})
+		return t, err
+	})
+}
+
+func BenchmarkFig6dCDWithoutCube(b *testing.B) {
+	tab := binaryTable(b, 8, 100000)
+	attrs := tab.Columns()
+	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6dCDWithCube(b *testing.B) {
+	tab := binaryTable(b, 8, 100000)
+	attrs := tab.Columns()
+	cb, err := cube.Build(tab, attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true, Cube: cb}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8bCubeBuild12Attrs(b *testing.B) {
+	tab := binaryTable(b, 12, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Build(tab, tab.Columns()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8bCDWithCube12Attrs(b *testing.B) {
+	tab := binaryTable(b, 12, 50000)
+	attrs := tab.Columns()
+	cb, err := cube.Build(tab, attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true, Cube: cb}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8(a): accuracy — measured as verdict throughput here; the F1 series
+// comes from cmd/experiments fig8a
+
+func BenchmarkFig8aHyMITVerdicts(b *testing.B) {
+	tab := fixture(b, "random-sparse8a", func() (*dataset.Table, error) {
+		t, _, err := datagen.Random(datagen.RandomSpec{
+			Nodes: 6, AvgDegree: 2.5, MinCard: 3, MaxCard: 6, Alpha: 0.35, Rows: 15000, Seed: 31,
+		})
+		return t, err
+	})
+	attrs := tab.Columns()
+	tester := independence.HyMIT{Permutations: 200, Seed: 1, Est: stats.MillerMadow, Parallel: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 1; j < len(attrs); j++ {
+			if _, err := tester.Test(tab, attrs[0], attrs[j], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Listing 2/3: rewriting itself (execution + SQL rendering)
+
+func BenchmarkListing2RewriteExecution(b *testing.B) {
+	tab := flightSmall(b)
+	q := datagen.FlightQuery()
+	cov := datagen.FlightCovariates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.RewriteTotal(tab, q, cov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListing3SQLRendering(b *testing.B) {
+	q := datagen.FlightQuery()
+	cov := datagen.FlightCovariates()
+	for i := 0; i < b.N; i++ {
+		_ = q.RewrittenSQL(cov)
+	}
+}
+
+func excludeOf(items []string, drop string) []string {
+	out := make([]string, 0, len(items))
+	for _, x := range items {
+		if x != drop {
+			out = append(out, x)
+		}
+	}
+	return out
+}

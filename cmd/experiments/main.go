@@ -1,0 +1,100 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Sec 7). Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] <experiment>...
+//	experiments -list
+//	experiments all
+//
+// Experiments: fig1 table1 fig3 fig4 fig5a fig5b fig5c fig5d fig6a fig6b
+// fig6c fig6d fig8a fig8b listing3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// experiment is one registered reproduction target.
+type experiment struct {
+	name  string
+	about string
+	run   func(cfg runConfig) error
+}
+
+// runConfig is shared experiment configuration.
+type runConfig struct {
+	quick bool
+	seed  int64
+}
+
+var registry []experiment
+
+func register(name, about string, run func(runConfig) error) {
+	registry = append(registry, experiment{name: name, about: about, run: run})
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps (smaller data, fewer repetitions)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	sort.Slice(registry, func(i, j int) bool { return registry[i].name < registry[j].name })
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.name, e.about)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-seed N] <experiment>... | all | -list")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for _, e := range registry {
+			args = append(args, e.name)
+		}
+	}
+	cfg := runConfig{quick: *quick, seed: *seed}
+	for _, name := range args {
+		e, ok := lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s — %s ====\n", e.name, e.about)
+		start := time.Now()
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func lookup(name string) (experiment, bool) {
+	for _, e := range registry {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
+
+// section prints a sub-heading.
+func section(format string, args ...any) {
+	fmt.Printf("\n-- %s --\n", fmt.Sprintf(format, args...))
+}
+
+// row prints one aligned output row.
+func row(format string, args ...any) {
+	fmt.Printf("  "+format+"\n", args...)
+}

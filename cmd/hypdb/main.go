@@ -1,0 +1,230 @@
+// Command hypdb detects, explains and removes bias in OLAP queries over CSV
+// data — the interactive front end of the library.
+//
+// Usage:
+//
+//	hypdb analyze  -data file.csv -treatment T -outcomes Y1,Y2 [-groupby X1,X2] [-where "A=v1|v2;B=w"] [flags]
+//	hypdb detect   -data file.csv -treatment T -outcomes Y -covariates Z1,Z2 [...]
+//	hypdb rewrite  -data file.csv -treatment T -outcomes Y -covariates Z1,Z2 [-mediators M1] [...]
+//	hypdb generate -dataset flight|adult|berkeley|staples|cancer [-rows N] [-seed S] -out file.csv
+//	hypdb datasets
+//
+// The -where syntax is a conjunction of attribute filters separated by ';',
+// each "Attr=v1|v2|v3" (any listed value matches).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hypdb/internal/core"
+	"hypdb/internal/datagen"
+	"hypdb/internal/dataset"
+	"hypdb/internal/query"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:], false, false)
+	case "detect":
+		err = cmdAnalyze(os.Args[2:], true, false)
+	case "rewrite":
+		err = cmdAnalyze(os.Args[2:], false, true)
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "datasets":
+		for _, g := range datagen.Generators() {
+			fmt.Printf("%-10s %8d rows  %s\n", g.Name, g.DefaultRows, g.Description)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "hypdb: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hypdb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hypdb analyze  -data file.csv -treatment T -outcomes Y[,Y2] [-groupby X] [-where "A=v1|v2;B=w"] [-alpha 0.01] [-method hymit|chi2|mit|mit-sampling] [-seed N]
+  hypdb detect   like analyze, but requires -covariates and only reports the bias verdict
+  hypdb rewrite  like analyze, but uses the given -covariates/-mediators instead of discovery
+  hypdb generate -dataset name [-rows N] [-seed N] -out file.csv
+  hypdb datasets`)
+}
+
+func cmdAnalyze(args []string, detectOnly, rewriteOnly bool) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	data := fs.String("data", "", "CSV file to analyze (required)")
+	treatment := fs.String("treatment", "", "treatment attribute T (required)")
+	outcomes := fs.String("outcomes", "", "comma-separated outcome attributes (required)")
+	groupby := fs.String("groupby", "", "comma-separated extra grouping attributes")
+	where := fs.String("where", "", `WHERE filters: "Attr=v1|v2;Other=w"`)
+	covariates := fs.String("covariates", "", "comma-separated covariates (skips discovery)")
+	mediators := fs.String("mediators", "", "comma-separated mediators (skips discovery)")
+	alpha := fs.Float64("alpha", 0, "significance level (default 0.01)")
+	method := fs.String("method", "hymit", "independence test: hymit, chi2, mit, mit-sampling")
+	seed := fs.Int64("seed", 1, "random seed")
+	perms := fs.Int("permutations", 0, "Monte-Carlo permutations (default 1000)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *treatment == "" || *outcomes == "" {
+		return fmt.Errorf("-data, -treatment and -outcomes are required")
+	}
+	tab, err := dataset.ReadCSVFile(*data)
+	if err != nil {
+		return err
+	}
+	pred, err := parseWhere(*where)
+	if err != nil {
+		return err
+	}
+	q := query.Query{
+		Table:     *data,
+		Treatment: *treatment,
+		Outcomes:  splitList(*outcomes),
+		Groupings: splitList(*groupby),
+		Where:     pred,
+	}
+	cfg := core.Config{Alpha: *alpha, Seed: *seed, Permutations: *perms, Parallel: true}
+	switch *method {
+	case "hymit":
+		cfg.Method = core.HyMITMethod
+	case "chi2":
+		cfg.Method = core.ChiSquaredMethod
+	case "mit":
+		cfg.Method = core.MITMethod
+	case "mit-sampling":
+		cfg.Method = core.MITSamplingMethod
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	opts := core.Options{Config: cfg}
+	if *covariates != "" {
+		opts.Covariates = splitList(*covariates)
+	}
+	if *mediators != "" {
+		opts.Mediators = splitList(*mediators)
+	}
+	if detectOnly && len(opts.Covariates) == 0 {
+		return fmt.Errorf("detect requires -covariates")
+	}
+	if rewriteOnly && len(opts.Covariates) == 0 && len(opts.Mediators) == 0 {
+		return fmt.Errorf("rewrite requires -covariates and/or -mediators")
+	}
+
+	if detectOnly {
+		view, err := q.View(tab)
+		if err != nil {
+			return err
+		}
+		results, err := core.DetectBias(view, q.Treatment, q.Groupings, opts.Covariates, cfg)
+		if err != nil {
+			return err
+		}
+		for _, b := range results {
+			tag := "UNBIASED"
+			if b.Biased {
+				tag = "BIASED"
+			}
+			ctx := ""
+			if len(b.Context) > 0 {
+				ctx = " [" + strings.Join(b.Context, ",") + "]"
+			}
+			fmt.Printf("context%s: I(T;V)=%.5f p=%.4f → %s\n", ctx, b.MI, b.PValue, tag)
+		}
+		return nil
+	}
+	rep, err := core.Analyze(tab, q, opts)
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(os.Stdout)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	name := fs.String("dataset", "", "dataset name (see `hypdb datasets`)")
+	rows := fs.Int("rows", 0, "row count (0 = dataset default)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *out == "" {
+		return fmt.Errorf("-dataset and -out are required")
+	}
+	gen, err := datagen.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	n := *rows
+	if n <= 0 {
+		n = gen.DefaultRows
+	}
+	tab, err := gen.Generate(n, *seed)
+	if err != nil {
+		return err
+	}
+	if err := tab.WriteCSVFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows × %d columns to %s\n", tab.NumRows(), tab.NumCols(), *out)
+	return nil
+}
+
+// parseWhere parses "A=v1|v2;B=w" into a conjunction of In predicates.
+func parseWhere(s string) (dataset.Predicate, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var conj dataset.And
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		attr, vals, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -where clause %q (want Attr=v1|v2)", part)
+		}
+		values := strings.Split(vals, "|")
+		for i := range values {
+			values[i] = strings.TrimSpace(values[i])
+		}
+		conj = append(conj, dataset.In{Attr: strings.TrimSpace(attr), Values: values})
+	}
+	if len(conj) == 0 {
+		return nil, nil
+	}
+	return conj, nil
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package hypdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"hypdb"
+)
+
+// ExampleRun executes a group-by-average query and compares the two
+// treatment groups — the starting point of every HypDB analysis.
+func ExampleRun() {
+	b := hypdb.NewBuilder("Carrier", "Airport", "Delayed")
+	rows := [][]string{
+		{"AA", "COS", "0"}, {"AA", "COS", "0"}, {"AA", "COS", "1"},
+		{"AA", "ROC", "1"}, {"UA", "COS", "0"},
+		{"UA", "ROC", "1"}, {"UA", "ROC", "0"}, {"UA", "ROC", "1"},
+	}
+	for _, r := range rows {
+		if err := b.Add(r...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tab, err := b.Table()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := hypdb.Run(tab, hypdb.Query{
+		Treatment: "Carrier",
+		Outcomes:  []string{"Delayed"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range ans.Rows {
+		fmt.Printf("%s %.2f\n", row.Treatment, row.Avgs[0])
+	}
+	// Output:
+	// AA 0.50
+	// UA 0.50
+}
+
+// ExampleRewriteTotal removes confounding by adjusting for a covariate: the
+// classic kidney-stone data where treatment A wins in every stratum yet
+// loses in the aggregate.
+func ExampleRewriteTotal() {
+	b := hypdb.NewBuilder("T", "Size", "Success")
+	add := func(t, size string, success, total int) {
+		for i := 0; i < total; i++ {
+			s := "0"
+			if i < success {
+				s = "1"
+			}
+			if err := b.Add(t, size, s); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	add("A", "small", 81, 87)
+	add("B", "small", 234, 270)
+	add("A", "large", 192, 263)
+	add("B", "large", 55, 80)
+	tab, err := b.Table()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := hypdb.Query{Treatment: "T", Outcomes: []string{"Success"}}
+
+	naive, err := hypdb.Run(tab, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adjusted, err := hypdb.RewriteTotal(tab, q, []string{"Size"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range naive.Rows {
+		fmt.Printf("naive    %s %.3f\n", row.Treatment, row.Avgs[0])
+	}
+	for _, row := range adjusted.Rows {
+		fmt.Printf("adjusted %s %.3f\n", row.Treatment, row.Avgs[0])
+	}
+	// Output:
+	// naive    A 0.780
+	// naive    B 0.826
+	// adjusted A 0.833
+	// adjusted B 0.779
+}

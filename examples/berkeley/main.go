@@ -1,0 +1,71 @@
+// Berkeley: the 1973 graduate-admissions discrimination case (paper Sec 7.3,
+// Fig 4 top), run on the real published counts from Bickel, Hammel &
+// O'Connell (1975). The aggregate admission rates suggest discrimination
+// against women; HypDB discovers Department as the explanation and the
+// conditioned comparison reverses the trend — "the completely automatic
+// discovery of the revolutionary insights from a famous 1973 discrimination
+// case".
+//
+//	go run ./examples/berkeley
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypdb"
+	"hypdb/internal/datagen"
+)
+
+func main() {
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BerkeleyData: %d applications (real 1973 figures)\n\n", tab.NumRows())
+
+	q := datagen.BerkeleyQuery()
+	ans, err := hypdb.Run(tab, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The lawsuit's evidence — admission rate by gender:")
+	for _, r := range ans.Rows {
+		fmt.Printf("  %-7s %.1f%% admitted (n=%d)\n", r.Treatment, 100*r.Avgs[0], r.Count)
+	}
+
+	// Per-department rates: the famous reversal.
+	perDept := q
+	perDept.Groupings = []string{"Department"}
+	byDept, err := hypdb.Run(tab, perDept)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAdmission rate by gender within each department:")
+	comps, err := byDept.Compare()
+	if err != nil {
+		log.Fatal(err)
+	}
+	femaleWins := 0
+	for _, c := range comps {
+		marker := ""
+		if c.Avg0[0] > c.Avg1[0] { // Avg0 = Female (lexicographic)
+			marker = "  ← women admitted at a higher rate"
+			femaleWins++
+		}
+		fmt.Printf("  dept %s: female %.1f%%, male %.1f%%%s\n",
+			c.Context[0], 100*c.Avg0[0], 100*c.Avg1[0], marker)
+	}
+	fmt.Printf("\nWomen have the higher admission rate in %d of %d departments.\n", femaleWins, len(comps))
+
+	fmt.Println("\nHypDB's automatic analysis:")
+	report, err := hypdb.Analyze(tab, q, hypdb.Options{Config: hypdb.Config{Seed: 7}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+
+	fmt.Println("Reading the fine-grained explanations: women applied mostly to the")
+	fmt.Println("competitive departments (C–F) while men applied to A and B, whose")
+	fmt.Println("acceptance rates were far higher — exactly Bickel et al.'s conclusion.")
+}

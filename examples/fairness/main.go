@@ -1,0 +1,58 @@
+// Fairness post factum: using HypDB to audit two algorithmic-fairness cases
+// from the paper (Fig 3) — gender vs income on census data, and the Staples
+// online-pricing investigation. The point (Sec 8): proving discrimination
+// needs evidence about *direct* effects, not mere association; HypDB
+// separates the two where association-based tools (FairTest) cannot.
+//
+//	go run ./examples/fairness [-rows N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hypdb"
+	"hypdb/internal/datagen"
+)
+
+func main() {
+	rows := flag.Int("rows", 48842, "rows per dataset")
+	flag.Parse()
+
+	fmt.Println("==== Case 1: gender and income (AdultData) ====")
+	adult, err := datagen.Adult(*rows, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := hypdb.Analyze(adult, datagen.AdultQuery(),
+		hypdb.Options{Config: hypdb.Config{Seed: 7, Parallel: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	fmt.Println("Association-based tools stop at the raw gap. HypDB shows most of it")
+	fmt.Println("is carried by MaritalStatus — and the census 'income' field records")
+	fmt.Println("household-adjusted gross income, so the dataset itself is unfit for")
+	fmt.Println("measuring individual gender discrimination (the paper's Sec 7.3 insight).")
+
+	fmt.Println("\n==== Case 2: online pricing (StaplesData) ====")
+	staplesRows := *rows
+	if staplesRows < 100000 {
+		staplesRows = 100000 // price effects are small; keep the sample large
+	}
+	staples, err := datagen.Staples(staplesRows, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err = hypdb.Analyze(staples, datagen.StaplesQuery(),
+		hypdb.Options{Config: hypdb.Config{Seed: 7, Parallel: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	fmt.Println("Income is associated with price, but has NO direct effect: the price")
+	fmt.Println("difference is entirely mediated by distance to a competitor's store.")
+	fmt.Println("The discrimination is real but unintended — the question FairTest-style")
+	fmt.Println("association reports cannot answer.")
+}

@@ -1,0 +1,92 @@
+// Quickstart: build a small confounded dataset in memory, run a group-by
+// query on it, and let HypDB detect, explain, and remove the bias.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+
+	"hypdb"
+)
+
+func main() {
+	// An observational "clinical" dataset with a classic confounder:
+	// severity drives both the choice of drug and the outcome. Drug B is
+	// given mostly to mild cases, so it looks better in the aggregate even
+	// though drug A wins within every severity stratum.
+	rng := rand.New(rand.NewSource(1))
+	b := hypdb.NewBuilder("Drug", "Severity", "Recovered")
+	for i := 0; i < 20000; i++ {
+		severe := rng.Float64() < 0.5
+		drug := "A"
+		pB := 0.75 // mild cases mostly get B
+		if severe {
+			pB = 0.25
+		}
+		if rng.Float64() < pB {
+			drug = "B"
+		}
+		var pRecover float64
+		switch {
+		case drug == "A" && !severe:
+			pRecover = 0.93
+		case drug == "B" && !severe:
+			pRecover = 0.87
+		case drug == "A" && severe:
+			pRecover = 0.73
+		default:
+			pRecover = 0.69
+		}
+		recovered := "0"
+		if rng.Float64() < pRecover {
+			recovered = "1"
+		}
+		if err := b.Add(drug, boolStr(severe), recovered); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tab, err := b.Table()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The analyst's naive query: which drug has the better recovery rate?
+	q := hypdb.Query{
+		Table:     "Trials",
+		Treatment: "Drug",
+		Outcomes:  []string{"Recovered"},
+	}
+
+	report, err := hypdb.Analyze(tab, q, hypdb.Options{Config: hypdb.Config{Seed: 7, Parallel: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+
+	fmt.Println("What just happened:")
+	fmt.Println(" * the SQL answer says", verdict(report, true), "— the rewritten answer says", verdict(report, false))
+	fmt.Println(" * HypDB discovered the confounder automatically, flagged the query as biased,")
+	fmt.Println("   and rewrote it with the adjustment formula to estimate the causal effect.")
+}
+
+func boolStr(b bool) string {
+	return strconv.FormatBool(b)
+}
+
+func verdict(rep *hypdb.Report, original bool) string {
+	comps := rep.TotalComparisons
+	if original {
+		comps = rep.OriginalComparisons
+	}
+	if len(comps) == 0 {
+		return "n/a"
+	}
+	if comps[0].Diffs[0] > 0 {
+		return "B looks better"
+	}
+	return "A looks better"
+}

@@ -1,0 +1,166 @@
+// Package hypdb detects, explains and removes bias in OLAP group-by
+// queries, reproducing the system of "Bias in OLAP Queries: Detection,
+// Explanation, and Removal" (Salimi, Gehrke, Suciu — SIGMOD 2018).
+//
+// The headline entry point is Analyze: given a table and a group-by-average
+// query over a treatment attribute, it
+//
+//  1. discovers the treatment's covariates (parents in the underlying
+//     causal DAG) directly from the data with the CD algorithm,
+//  2. tests whether the query is balanced with respect to them (a biased
+//     query compares incomparable groups),
+//  3. explains any bias by ranking attributes by responsibility and ground
+//     values by contribution, and
+//  4. rewrites the query to estimate the total causal effect (adjustment
+//     formula with exact matching) and the natural direct effect (mediator
+//     formula).
+//
+// A minimal session:
+//
+//	tab, _ := hypdb.ReadCSVFile("flights.csv")
+//	report, err := hypdb.Analyze(tab, hypdb.Query{
+//	    Treatment: "Carrier",
+//	    Outcomes:  []string{"Delayed"},
+//	    Where: hypdb.And{
+//	        hypdb.In{Attr: "Carrier", Values: []string{"AA", "UA"}},
+//	        hypdb.In{Attr: "Airport", Values: []string{"COS", "MFE", "MTJ", "ROC"}},
+//	    },
+//	}, hypdb.Options{})
+//	if err != nil { ... }
+//	fmt.Println(report)
+//
+// The subsystems are exposed for advanced use: independence testing (MIT,
+// HyMIT, χ²), Markov-boundary discovery, causal-DAG utilities, OLAP cubes,
+// and the dataset generators behind the paper's evaluation.
+package hypdb
+
+import (
+	"hypdb/internal/core"
+	"hypdb/internal/dataset"
+	"hypdb/internal/query"
+)
+
+// Table is an in-memory columnar table of categorical attributes.
+type Table = dataset.Table
+
+// Column is a dictionary-encoded categorical attribute.
+type Column = dataset.Column
+
+// Builder assembles a Table row by row.
+type Builder = dataset.Builder
+
+// Predicate filters rows (the WHERE clause).
+type Predicate = dataset.Predicate
+
+// Predicate combinators.
+type (
+	// In matches rows whose attribute takes one of the listed values.
+	In = dataset.In
+	// Eq matches rows with an exact attribute value.
+	Eq = dataset.Eq
+	// And is a conjunction of predicates.
+	And = dataset.And
+	// Or is a disjunction of predicates.
+	Or = dataset.Or
+	// Not negates a predicate.
+	Not = dataset.Not
+	// All matches every row.
+	All = dataset.All
+)
+
+// Query is the group-by-average OLAP query of the paper's Listing 1.
+type Query = query.Query
+
+// Answer is the result of executing a Query.
+type Answer = query.Answer
+
+// Row is one line of a query answer.
+type Row = query.Row
+
+// Comparison pairs two treatment values' answers within one context.
+type Comparison = query.Comparison
+
+// Rewritten is the answer of a bias-removing rewritten query.
+type Rewritten = query.Rewritten
+
+// Report is the full output of Analyze.
+type Report = core.Report
+
+// Options configures Analyze; the zero value reproduces the paper's setup
+// (HyMIT, α = 0.01, Miller-Madow estimation, 1000 permutations).
+type Options = core.Options
+
+// Config is the analysis configuration embedded in Options.
+type Config = core.Config
+
+// Test-method selectors for Config.Method.
+const (
+	HyMIT       = core.HyMITMethod
+	ChiSquared  = core.ChiSquaredMethod
+	MIT         = core.MITMethod
+	MITSampling = core.MITSamplingMethod
+)
+
+// CDResult reports automatic covariate discovery.
+type CDResult = core.CDResult
+
+// BiasResult is a per-context balance verdict.
+type BiasResult = core.BiasResult
+
+// Responsibility is a coarse-grained explanation entry.
+type Responsibility = core.Responsibility
+
+// FineExplanation is a fine-grained explanation triple.
+type FineExplanation = core.FineExplanation
+
+// NewBuilder creates a table builder over the given schema.
+func NewBuilder(columns ...string) *Builder { return dataset.NewBuilder(columns...) }
+
+// ReadCSVFile loads a table from a CSV file (header row required; all
+// values treated as categorical).
+func ReadCSVFile(path string) (*Table, error) { return dataset.ReadCSVFile(path) }
+
+// Analyze runs the full HypDB pipeline — detect, explain, resolve — on a
+// query.
+func Analyze(t *Table, q Query, opts Options) (*Report, error) {
+	return core.Analyze(t, q, opts)
+}
+
+// Run executes the (possibly biased) query as written.
+func Run(t *Table, q Query) (*Answer, error) { return query.Run(t, q) }
+
+// RewriteTotal executes the bias-removing rewriting for the total effect
+// (adjustment formula, Eq 2 of the paper) over the given covariates.
+func RewriteTotal(t *Table, q Query, covariates []string) (*Rewritten, error) {
+	return query.RewriteTotal(t, q, covariates)
+}
+
+// RewriteDirect executes the natural-direct-effect rewriting (mediator
+// formula, Eq 3) over covariates and mediators; baseline fixes the
+// treatment value whose mediator distribution is held constant ("" selects
+// the smallest).
+func RewriteDirect(t *Table, q Query, covariates, mediators []string, baseline string) (*Rewritten, error) {
+	return query.RewriteDirect(t, q, covariates, mediators, baseline)
+}
+
+// DiscoverCovariates runs the CD algorithm for a treatment over candidate
+// attributes; outcomes are excluded from the fallback covariate set.
+func DiscoverCovariates(t *Table, treatment string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
+	return core.DiscoverCovariates(t, treatment, candidates, outcomes, cfg)
+}
+
+// DetectBias tests, per query context, whether the treatment groups are
+// balanced with respect to the given variable set.
+func DetectBias(t *Table, treatment string, groupings, variables []string, cfg Config) ([]BiasResult, error) {
+	return core.DetectBias(t, treatment, groupings, variables, cfg)
+}
+
+// BoundsResult brackets a causal effect across candidate adjustment sets.
+type BoundsResult = core.BoundsResult
+
+// EffectBounds adjusts for every subset of the candidate covariates (up to
+// maxSize) and reports the range of effect estimates — the Sec 4 extension
+// for treatments whose parents cannot be identified from data.
+func EffectBounds(t *Table, q Query, candidates []string, maxSize int) (*BoundsResult, error) {
+	return core.EffectBounds(t, q, candidates, maxSize)
+}

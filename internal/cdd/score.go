@@ -1,0 +1,204 @@
+package cdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"hypdb/internal/dataset"
+)
+
+// ScoreType selects the decomposable network score used by hill climbing.
+type ScoreType int
+
+const (
+	// AIC is log-likelihood − |params| (Akaike).
+	AIC ScoreType = iota
+	// BIC is log-likelihood − |params|·ln(n)/2 (Schwarz).
+	BIC
+	// BDeu is the Bayesian Dirichlet equivalent uniform score.
+	BDeu
+)
+
+// String implements fmt.Stringer.
+func (s ScoreType) String() string {
+	switch s {
+	case AIC:
+		return "AIC"
+	case BIC:
+		return "BIC"
+	case BDeu:
+		return "BDeu"
+	default:
+		return fmt.Sprintf("ScoreType(%d)", int(s))
+	}
+}
+
+// Scorer computes per-node family scores score(X | Pa) with memoization.
+// All three scores are decomposable, so hill climbing only rescores the
+// families an operation touches.
+type Scorer struct {
+	t    *dataset.Table
+	typ  ScoreType
+	ess  float64 // equivalent sample size for BDeu
+	mu   sync.Mutex
+	memo map[string]float64
+}
+
+// NewScorer builds a scorer over t. ess only matters for BDeu; zero means 1.
+func NewScorer(t *dataset.Table, typ ScoreType, ess float64) *Scorer {
+	if ess <= 0 {
+		ess = 1
+	}
+	return &Scorer{t: t, typ: typ, ess: ess, memo: make(map[string]float64)}
+}
+
+// Family scores node given the parent set.
+func (s *Scorer) Family(node string, parents []string) (float64, error) {
+	key := familyKey(node, parents)
+	s.mu.Lock()
+	if v, ok := s.memo[key]; ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	s.mu.Unlock()
+	v, err := s.compute(node, parents)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.memo[key] = v
+	s.mu.Unlock()
+	return v, nil
+}
+
+func familyKey(node string, parents []string) string {
+	ps := append([]string(nil), parents...)
+	sort.Strings(ps)
+	return node + "|" + strings.Join(ps, ",")
+}
+
+func (s *Scorer) compute(node string, parents []string) (float64, error) {
+	nodeCol, err := s.t.Column(node)
+	if err != nil {
+		return 0, err
+	}
+	r := nodeCol.Card() // categories of the node
+	n := s.t.NumRows()
+
+	// Joint counts over (parents, node) and marginal counts over parents.
+	jointAttrs := append(append([]string(nil), parents...), node)
+	joint, _, err := s.t.Counts(jointAttrs...)
+	if err != nil {
+		return 0, err
+	}
+	var parentCounts map[dataset.GroupKey]int
+	if len(parents) == 0 {
+		parentCounts = map[dataset.GroupKey]int{"": n}
+	} else {
+		parentCounts, _, err = s.t.Counts(parents...)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	switch s.typ {
+	case AIC, BIC:
+		// LL = Σ_{pa,x} n_{pa,x}·ln(n_{pa,x}/n_pa). Group joint counts by
+		// their parent prefix: keys are length-prefixed code tuples, so the
+		// parent part is the first 4·|parents| bytes.
+		ll := 0.0
+		plen := 4 * len(parents)
+		for k, c := range joint {
+			if c == 0 {
+				continue
+			}
+			pk := dataset.GroupKey(string(k)[:plen])
+			np := parentCounts[pk]
+			ll += float64(c) * math.Log(float64(c)/float64(np))
+		}
+		// Parameter count uses observed parent configurations (bnlearn
+		// convention: unobserved configurations carry no parameters).
+		q := len(parentCounts)
+		params := float64(q * (r - 1))
+		if s.typ == AIC {
+			return ll - params, nil
+		}
+		return ll - params/2*math.Log(float64(n)), nil
+
+	case BDeu:
+		// Full q counts all parent configurations (product of cards), as
+		// BDeu's prior is spread over all of them.
+		q := 1
+		for _, p := range parents {
+			pc, err := s.t.Column(p)
+			if err != nil {
+				return 0, err
+			}
+			q *= pc.Card()
+		}
+		aPa := s.ess / float64(q)
+		aCell := s.ess / float64(q*r)
+		lgAPa, _ := math.Lgamma(aPa)
+		lgACell, _ := math.Lgamma(aCell)
+
+		score := 0.0
+		plen := 4 * len(parents)
+		// Group joint cells by parent configuration.
+		type paAgg struct {
+			total int
+			cells []int
+		}
+		byPa := make(map[dataset.GroupKey]*paAgg)
+		for k, c := range joint {
+			pk := dataset.GroupKey(string(k)[:plen])
+			agg := byPa[pk]
+			if agg == nil {
+				agg = &paAgg{}
+				byPa[pk] = agg
+			}
+			agg.total += c
+			agg.cells = append(agg.cells, c)
+		}
+		// Deterministic iteration.
+		keys := make([]string, 0, len(byPa))
+		for k := range byPa {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			agg := byPa[dataset.GroupKey(k)]
+			lg1, _ := math.Lgamma(aPa + float64(agg.total))
+			score += lgAPa - lg1
+			sort.Ints(agg.cells)
+			for _, c := range agg.cells {
+				lg2, _ := math.Lgamma(aCell + float64(c))
+				score += lg2 - lgACell
+			}
+		}
+		// Unobserved parent configurations contribute lnΓ(aPa)−lnΓ(aPa) = 0.
+		return score, nil
+	}
+	return 0, fmt.Errorf("cdd: unknown score type %v", s.typ)
+}
+
+// Total scores an entire parent map (node → parents).
+func (s *Scorer) Total(parents map[string][]string) (float64, error) {
+	// Deterministic order.
+	nodes := make([]string, 0, len(parents))
+	for n := range parents {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	total := 0.0
+	for _, n := range nodes {
+		v, err := s.Family(n, parents[n])
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}

@@ -1,0 +1,372 @@
+package contingency
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hypdb/internal/stats"
+)
+
+func TestTable2Basics(t *testing.T) {
+	tab, err := NewTable2(2, 3)
+	if err != nil {
+		t.Fatalf("NewTable2: %v", err)
+	}
+	tab.Add(0, 0, 5)
+	tab.Add(1, 2, 3)
+	tab.Set(0, 0, 2)
+	if got := tab.At(0, 0); got != 2 {
+		t.Errorf("At(0,0) = %d, want 2", got)
+	}
+	if got := tab.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	if got := tab.RowTotals(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("RowTotals = %v", got)
+	}
+	if got := tab.ColTotals(); !reflect.DeepEqual(got, []int{2, 0, 3}) {
+		t.Errorf("ColTotals = %v", got)
+	}
+	if _, err := NewTable2(0, 2); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}
+
+func TestFromCodes(t *testing.T) {
+	x := []int32{0, 0, 1, 1, 1}
+	y := []int32{0, 1, 0, 1, 1}
+	tab, err := FromCodes(x, y, 2, 2)
+	if err != nil {
+		t.Fatalf("FromCodes: %v", err)
+	}
+	want := [][]int{{1, 1}, {1, 2}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if tab.At(i, j) != want[i][j] {
+				t.Errorf("At(%d,%d) = %d, want %d", i, j, tab.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := FromCodes([]int32{0}, []int32{0, 1}, 2, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FromCodes([]int32{5}, []int32{0}, 2, 2); err == nil {
+		t.Error("out-of-range code accepted")
+	}
+}
+
+func TestFromCodesRows(t *testing.T) {
+	x := []int32{0, 0, 1, 1}
+	y := []int32{0, 1, 0, 1}
+	tab, err := FromCodesRows(x, y, []int{1, 3}, 2, 2)
+	if err != nil {
+		t.Fatalf("FromCodesRows: %v", err)
+	}
+	if tab.Total() != 2 || tab.At(0, 1) != 1 || tab.At(1, 1) != 1 {
+		t.Errorf("unexpected table: total=%d", tab.Total())
+	}
+	if _, err := FromCodesRows(x, y, []int{9}, 2, 2); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}
+
+func TestTable2MIMatchesStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	x := make([]int32, n)
+	y := make([]int32, n)
+	for i := range x {
+		x[i] = int32(rng.Intn(3))
+		y[i] = (x[i] + int32(rng.Intn(2))) % 4
+	}
+	tab, err := FromCodes(x, y, 3, 4)
+	if err != nil {
+		t.Fatalf("FromCodes: %v", err)
+	}
+	for _, est := range []stats.Estimator{stats.PlugIn, stats.MillerMadow} {
+		want, err := stats.MutualInformationCodes(x, y, 3, 4, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.MI(est); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%v: table MI = %v, stats MI = %v", est, got, want)
+		}
+	}
+}
+
+func TestDegreesOfFreedom(t *testing.T) {
+	tab, _ := NewTable2(3, 4)
+	tab.Add(0, 0, 1)
+	tab.Add(1, 1, 1)
+	// Only 2 non-empty rows and 2 non-empty cols: df = 1.
+	if got := tab.DegreesOfFreedom(); got != 1 {
+		t.Errorf("df = %d, want 1", got)
+	}
+	tab.Add(2, 2, 1)
+	tab.Add(2, 3, 1)
+	if got := tab.DegreesOfFreedom(); got != (3-1)*(4-1) {
+		t.Errorf("df = %d, want 6", got)
+	}
+	empty, _ := NewTable2(2, 2)
+	if got := empty.DegreesOfFreedom(); got != 0 {
+		t.Errorf("df of empty table = %d, want 0", got)
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler([]int{3, 2}, []int{4, 2}); err == nil {
+		t.Error("mismatched marginal sums accepted")
+	}
+	if _, err := NewSampler([]int{-1, 2}, []int{1}); err == nil {
+		t.Error("negative row total accepted")
+	}
+	if _, err := NewSampler(nil, []int{1}); err == nil {
+		t.Error("empty row totals accepted")
+	}
+	if _, err := NewSampler([]int{0}, []int{0}); err == nil {
+		t.Error("all-zero table accepted")
+	}
+}
+
+func TestSamplePreservesMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := []int{17, 9, 24}
+	cols := []int{10, 5, 20, 15}
+	s, err := NewSampler(rows, cols)
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	dst, _ := NewTable2(3, 4)
+	for trial := 0; trial < 200; trial++ {
+		if err := s.Sample(rng, dst); err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		if !reflect.DeepEqual(dst.RowTotals(), rows) {
+			t.Fatalf("trial %d: row totals %v, want %v", trial, dst.RowTotals(), rows)
+		}
+		if !reflect.DeepEqual(dst.ColTotals(), cols) {
+			t.Fatalf("trial %d: col totals %v, want %v", trial, dst.ColTotals(), cols)
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				if dst.At(i, j) < 0 {
+					t.Fatalf("trial %d: negative cell (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleShapeMismatch(t *testing.T) {
+	s, err := NewSampler([]int{2, 2}, []int{2, 2})
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	wrong, _ := NewTable2(3, 2)
+	if err := s.Sample(rand.New(rand.NewSource(1)), wrong); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+// hypergeometricPMF returns P(X=k) for the 2x2 table cell distribution with
+// row total a, column total b, grand total n.
+func hypergeometricPMF(k, a, b, n int) float64 {
+	lchoose := func(n, k int) float64 {
+		if k < 0 || k > n {
+			return math.Inf(-1)
+		}
+		ln, _ := math.Lgamma(float64(n + 1))
+		lk, _ := math.Lgamma(float64(k + 1))
+		lnk, _ := math.Lgamma(float64(n - k + 1))
+		return ln - lk - lnk
+	}
+	return math.Exp(lchoose(b, k) + lchoose(n-b, a-k) - lchoose(n, a))
+}
+
+func TestSampleMatchesHypergeometric(t *testing.T) {
+	// For a 2x2 table the (0,0) cell under fixed marginals is exactly
+	// hypergeometric. Chi-square goodness of fit over many draws.
+	rng := rand.New(rand.NewSource(3))
+	a, b, n := 12, 8, 30 // row0 total, col0 total, grand total
+	s, err := NewSampler([]int{a, n - a}, []int{b, n - b})
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	dst, _ := NewTable2(2, 2)
+	draws := 20000
+	lo := a + b - n
+	if lo < 0 {
+		lo = 0
+	}
+	hi := a
+	if b < hi {
+		hi = b
+	}
+	obs := make([]int, hi-lo+1)
+	for i := 0; i < draws; i++ {
+		if err := s.Sample(rng, dst); err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		k := dst.At(0, 0)
+		if k < lo || k > hi {
+			t.Fatalf("cell %d outside support [%d,%d]", k, lo, hi)
+		}
+		obs[k-lo]++
+	}
+	chi2 := 0.0
+	dfUsed := 0
+	for k := lo; k <= hi; k++ {
+		exp := hypergeometricPMF(k, a, b, n) * float64(draws)
+		if exp < 5 {
+			continue // skip sparse tail cells
+		}
+		d := float64(obs[k-lo]) - exp
+		chi2 += d * d / exp
+		dfUsed++
+	}
+	if dfUsed < 2 {
+		t.Fatal("degenerate goodness-of-fit setup")
+	}
+	p, err := stats.ChiSquareSurvival(chi2, float64(dfUsed-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Errorf("Patefield draws do not match hypergeometric: chi2=%v df=%d p=%v", chi2, dfUsed-1, p)
+	}
+}
+
+func TestSampleMeanMatchesExpectation(t *testing.T) {
+	// E[cell(i,j)] = rowTotal_i * colTotal_j / n under the null.
+	rng := rand.New(rand.NewSource(4))
+	rows := []int{20, 30, 50}
+	cols := []int{40, 60}
+	s, err := NewSampler(rows, cols)
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	dst, _ := NewTable2(3, 2)
+	draws := 5000
+	sum := make([]float64, 6)
+	for d := 0; d < draws; d++ {
+		if err := s.Sample(rng, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 2; j++ {
+				sum[i*2+j] += float64(dst.At(i, j))
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			mean := sum[i*2+j] / float64(draws)
+			want := float64(rows[i]) * float64(cols[j]) / 100
+			if math.Abs(mean-want) > 0.35 {
+				t.Errorf("cell (%d,%d) mean = %v, want ≈%v", i, j, mean, want)
+			}
+		}
+	}
+}
+
+func TestSampleDegenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Single row: table fully determined.
+	s, err := NewSampler([]int{10}, []int{4, 6})
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	dst, _ := NewTable2(1, 2)
+	if err := s.Sample(rng, dst); err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if dst.At(0, 0) != 4 || dst.At(0, 1) != 6 {
+		t.Errorf("single-row table = [%d %d], want [4 6]", dst.At(0, 0), dst.At(0, 1))
+	}
+	// Single column.
+	s, err = NewSampler([]int{3, 7}, []int{10})
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	dst, _ = NewTable2(2, 1)
+	if err := s.Sample(rng, dst); err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if dst.At(0, 0) != 3 || dst.At(1, 0) != 7 {
+		t.Errorf("single-col table = [%d %d], want [3 7]", dst.At(0, 0), dst.At(1, 0))
+	}
+	// Zero marginals inside the table are fine.
+	s, err = NewSampler([]int{0, 10}, []int{10, 0})
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	dst, _ = NewTable2(2, 2)
+	if err := s.Sample(rng, dst); err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if dst.At(1, 0) != 10 {
+		t.Errorf("forced cell = %d, want 10", dst.At(1, 0))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tab, _ := NewTable2(2, 2)
+	tab.Add(0, 0, 3)
+	cl := tab.Clone()
+	cl.Add(1, 1, 5)
+	if tab.Total() != 3 {
+		t.Errorf("clone mutation leaked into original: total = %d", tab.Total())
+	}
+	if cl.Total() != 8 {
+		t.Errorf("clone total = %d, want 8", cl.Total())
+	}
+}
+
+// Property: sampled tables always preserve marginals, for random shapes and
+// random marginals.
+func TestQuickSampleMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nr := 1 + r.Intn(5)
+		nc := 1 + r.Intn(5)
+		// Random cell counts define consistent marginals.
+		base, _ := NewTable2(nr, nc)
+		for i := 0; i < nr; i++ {
+			for j := 0; j < nc; j++ {
+				base.Add(i, j, r.Intn(8))
+			}
+		}
+		if base.Total() == 0 {
+			base.Add(0, 0, 1)
+		}
+		s, err := NewSamplerFromTable(base)
+		if err != nil {
+			return false
+		}
+		dst, _ := NewTable2(nr, nc)
+		for trial := 0; trial < 5; trial++ {
+			if err := s.Sample(r, dst); err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(dst.RowTotals(), base.RowTotals()) {
+				return false
+			}
+			if !reflect.DeepEqual(dst.ColTotals(), base.ColTotals()) {
+				return false
+			}
+			for i := 0; i < nr*nc; i++ {
+				if dst.counts[i] < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/independence"
+)
+
+// BiasResult is the verdict of the balance test (Def 3.1) for one context
+// Γi: the query is balanced w.r.t. V in Γi iff T ⊥⊥ V | Γi, i.e.
+// I(T;V|Γi) = 0.
+type BiasResult struct {
+	// Context holds the grouping values defining Γi (empty when the query
+	// has no group-by attributes beyond the treatment).
+	Context []string
+	// Variables is the set V tested: the covariates Z for total effect, or
+	// Z ∪ M for direct effect (Sec 3.1).
+	Variables []string
+	// MI is Î(T;V|Γi).
+	MI float64
+	// PValue (and its Monte-Carlo half-width, when applicable) of the
+	// independence test.
+	PValue   float64
+	PValueCI float64
+	// Biased is true when independence is rejected at the configured α.
+	Biased bool
+	// Rows is the context's population size.
+	Rows int
+}
+
+// compositeAttr is the synthetic column name used to test the treatment
+// against the joint value of a variable set.
+const compositeAttr = "__hypdb_composite"
+
+// withComposite returns a copy of view extended with a column holding the
+// composite (joint) value of attrs.
+func withComposite(view *dataset.Table, attrs []string) (*dataset.Table, error) {
+	enc, err := dataset.NewKeyEncoder(view, attrs)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]int32, view.NumRows())
+	labels := []string{}
+	index := make(map[dataset.GroupKey]int32)
+	for i := 0; i < view.NumRows(); i++ {
+		k := enc.Key(i)
+		code, ok := index[k]
+		if !ok {
+			code = int32(len(labels))
+			index[k] = code
+			labels = append(labels, "v"+strconv.Itoa(int(code)))
+		}
+		codes[i] = code
+	}
+	comp, err := dataset.NewColumnFromCodes(compositeAttr, codes, labels)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*dataset.Column, 0, view.NumCols()+1)
+	for _, name := range view.Columns() {
+		c, err := view.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+	}
+	cols = append(cols, comp)
+	return dataset.New(cols...)
+}
+
+// TestBalance tests whether treatment ⊥⊥ variables holds on view (one
+// context), optionally conditioning on extra attributes (used for the
+// rewritten-query significance test I(Y;T|Z)).
+func (c Config) TestBalance(view *dataset.Table, treatment string, variables, conditionOn []string) (independence.Result, error) {
+	if len(variables) == 0 {
+		return independence.Result{PValue: 1, Method: "trivial"}, nil
+	}
+	testAttr := variables[0]
+	testView := view
+	if len(variables) > 1 {
+		var err error
+		testView, err = withComposite(view, variables)
+		if err != nil {
+			return independence.Result{}, err
+		}
+		testAttr = compositeAttr
+	}
+	hint := unionAttrs([]string{treatment, testAttr}, conditionOn, nil)
+	tester, err := c.tester(testView, hint)
+	if err != nil {
+		return independence.Result{}, err
+	}
+	return tester.Test(testView, treatment, testAttr, conditionOn)
+}
+
+// DetectBias runs the Def 3.1 balance test per context: for each
+// combination of grouping values xi it selects Γi = C ∧ (X = xi) and tests
+// T ⊥⊥ V | Γi. With no groupings there is a single context (the WHERE
+// population).
+func DetectBias(t *dataset.Table, treatment string, groupings, variables []string, cfg Config) ([]BiasResult, error) {
+	if len(variables) == 0 {
+		return nil, fmt.Errorf("core: bias detection needs a non-empty variable set V")
+	}
+	contexts, err := splitContexts(t, groupings)
+	if err != nil {
+		return nil, err
+	}
+	var out []BiasResult
+	for _, ctx := range contexts {
+		res, err := cfg.TestBalance(ctx.view, treatment, variables, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BiasResult{
+			Context:   ctx.values,
+			Variables: append([]string(nil), variables...),
+			MI:        res.MI,
+			PValue:    res.PValue,
+			PValueCI:  res.PValueCI,
+			Biased:    !independence.Decision(res, cfg.alpha()),
+			Rows:      ctx.view.NumRows(),
+		})
+	}
+	return out, nil
+}
+
+// context is one Γi: the grouping values and the row view they select.
+type context struct {
+	values []string
+	view   *dataset.Table
+}
+
+// splitContexts partitions the table by the grouping attributes. With no
+// groupings the whole table is the single context.
+func splitContexts(t *dataset.Table, groupings []string) ([]context, error) {
+	if len(groupings) == 0 {
+		return []context{{view: t}}, nil
+	}
+	groups, enc, err := t.GroupBy(groupings...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]context, 0, len(groups))
+	for _, g := range groups {
+		view, err := t.SelectRows(g.Rows)
+		if err != nil {
+			return nil, err
+		}
+		codes := enc.Codes(g.Key)
+		values := make([]string, len(groupings))
+		for i, a := range groupings {
+			col, err := t.Column(a)
+			if err != nil {
+				return nil, err
+			}
+			values[i] = col.Label(codes[i])
+		}
+		out = append(out, context{values: values, view: view})
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"hypdb/internal/query"
+)
+
+func TestEffectBoundsBracketsTruth(t *testing.T) {
+	tab := simpsonData(t, 12000, 71)
+	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
+	res, err := EffectBounds(tab, q, []string{"Z"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sets evaluated: {} (raw, positive diff) and {Z} (adjusted,
+	// negative diff). The bounds must bracket zero — the signature of the
+	// Simpson ambiguity.
+	if res.Sets != 2 {
+		t.Fatalf("sets = %d, want 2", res.Sets)
+	}
+	if !(res.Lower < 0 && res.Upper > 0) {
+		t.Errorf("bounds [%v, %v] do not bracket 0", res.Lower, res.Upper)
+	}
+	if len(res.LowerSet) != 1 || res.LowerSet[0] != "Z" {
+		t.Errorf("LowerSet = %v, want [Z] (adjustment flips the sign)", res.LowerSet)
+	}
+	if len(res.UpperSet) != 0 {
+		t.Errorf("UpperSet = %v, want the raw difference", res.UpperSet)
+	}
+}
+
+func TestEffectBoundsMaxSize(t *testing.T) {
+	tab := simpsonData(t, 4000, 72)
+	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
+	// With maxSize 0 over two candidates we get 1 + 2 + 1 = 4 sets; with
+	// maxSize 1 only 1 + 2 = 3.
+	tab2 := tab // Z plus a noise attribute would be better; reuse Z only
+	res, err := EffectBounds(tab2, q, []string{"Z"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sets != 2 {
+		t.Errorf("sets = %d, want 2 (empty + {Z})", res.Sets)
+	}
+}
+
+func TestEffectBoundsValidation(t *testing.T) {
+	tab := simpsonData(t, 1000, 73)
+	bad := query.Query{Treatment: "missing", Outcomes: []string{"Y"}}
+	if _, err := EffectBounds(tab, bad, nil, 0); err == nil {
+		t.Error("invalid query accepted")
+	}
+	many := make([]string, 21)
+	for i := range many {
+		many[i] = "Z"
+	}
+	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
+	if _, err := EffectBounds(tab, q, many, 0); err == nil {
+		t.Error("21 candidates accepted without a cap")
+	}
+}

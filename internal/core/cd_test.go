@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hypdb/internal/dag"
+	"hypdb/internal/dataset"
+)
+
+// colliderData samples Z → T ← W, T → Y with strong CPTs.
+func colliderData(t *testing.T, n int, seed int64) (*dataset.Table, *dag.DAG) {
+	t.Helper()
+	g := dag.MustNew("Z", "W", "T", "Y")
+	g.MustAddEdge("Z", "T")
+	g.MustAddEdge("W", "T")
+	g.MustAddEdge("T", "Y")
+	bn, err := dag.NewBayesNet(g, []int{2, 2, 2, 2}, [][]float64{
+		{0.5, 0.5},
+		{0.5, 0.5},
+		{0.9, 0.1, 0.4, 0.6, 0.3, 0.7, 0.05, 0.95},
+		{0.9, 0.1, 0.1, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := bn.Sample(rand.New(rand.NewSource(seed)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, g
+}
+
+// chainData samples A → T → Y (single parent: CD must fall back).
+func chainData(t *testing.T, n int, seed int64) *dataset.Table {
+	t.Helper()
+	g := dag.MustNew("A", "T", "Y")
+	g.MustAddEdge("A", "T")
+	g.MustAddEdge("T", "Y")
+	bn, err := dag.NewBayesNet(g, []int{2, 2, 2}, [][]float64{
+		{0.5, 0.5},
+		{0.85, 0.15, 0.2, 0.8},
+		{0.9, 0.1, 0.15, 0.85},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := bn.Sample(rand.New(rand.NewSource(seed)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestDiscoverCovariatesCollider(t *testing.T) {
+	tab, _ := colliderData(t, 20000, 1)
+	for _, method := range []TestMethod{ChiSquaredMethod, HyMITMethod} {
+		cfg := Config{Method: method, Seed: 7}
+		res, err := DiscoverCovariates(tab, "T", []string{"Z", "W"}, []string{"Y"}, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if !reflect.DeepEqual(res.Parents, []string{"W", "Z"}) {
+			t.Errorf("%v: Parents(T) = %v, want [W Z]", method, res.Parents)
+		}
+		if res.UsedFallback {
+			t.Errorf("%v: fallback used despite two discoverable parents", method)
+		}
+		if res.Tests == 0 {
+			t.Errorf("%v: no tests counted", method)
+		}
+	}
+}
+
+func TestDiscoverCovariatesColliderWithOutcomeCandidate(t *testing.T) {
+	// Including the outcome among candidates must not pollute the parents:
+	// children fail condition (a).
+	tab, _ := colliderData(t, 20000, 2)
+	res, err := DiscoverCovariates(tab, "T", []string{"Z", "W", "Y"}, []string{"Y"}, Config{Method: ChiSquaredMethod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsStr(res.Parents, "Y") {
+		t.Errorf("outcome discovered as parent: %v", res.Parents)
+	}
+	if !containsStr(res.Parents, "Z") || !containsStr(res.Parents, "W") {
+		t.Errorf("Parents(T) = %v, want Z and W", res.Parents)
+	}
+	if !containsStr(res.Boundary, "Y") {
+		t.Errorf("MB(T) = %v missing the child Y", res.Boundary)
+	}
+}
+
+func TestDiscoverCovariatesFallbackSingleParent(t *testing.T) {
+	tab := chainData(t, 15000, 3)
+	res, err := DiscoverCovariates(tab, "T", []string{"A", "Y"}, []string{"Y"}, Config{Method: ChiSquaredMethod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UsedFallback {
+		t.Error("single-parent case did not trigger the fallback")
+	}
+	if !reflect.DeepEqual(res.Parents, []string{"A"}) {
+		t.Errorf("fallback covariates = %v, want [A] (MB(T) − outcomes)", res.Parents)
+	}
+}
+
+func TestDiscoverCovariatesIndependentTreatment(t *testing.T) {
+	// Randomized treatment: no boundary, no covariates, no fallback junk.
+	rng := rand.New(rand.NewSource(4))
+	b := dataset.NewBuilder("T", "N1", "N2")
+	for i := 0; i < 5000; i++ {
+		b.MustAdd(itoa(rng.Intn(2)), itoa(rng.Intn(3)), itoa(rng.Intn(2)))
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiscoverCovariates(tab, "T", []string{"N1", "N2"}, nil, Config{Method: ChiSquaredMethod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boundary) != 0 || len(res.Parents) != 0 {
+		t.Errorf("independent treatment: MB=%v parents=%v, want empty", res.Boundary, res.Parents)
+	}
+}
+
+func TestDiscoverCovariatesSpouseExcluded(t *testing.T) {
+	// Z → T ← W plus spouse D of T via child C: T → C ← D. Phase II must
+	// keep only Z, W.
+	g := dag.MustNew("Z", "W", "T", "C", "D")
+	g.MustAddEdge("Z", "T")
+	g.MustAddEdge("W", "T")
+	g.MustAddEdge("T", "C")
+	g.MustAddEdge("D", "C")
+	bn, err := dag.NewBayesNet(g, []int{2, 2, 2, 2, 2}, [][]float64{
+		{0.5, 0.5},
+		{0.5, 0.5},
+		{0.9, 0.1, 0.4, 0.6, 0.3, 0.7, 0.05, 0.95},
+		{0.9, 0.1, 0.45, 0.55, 0.35, 0.65, 0.05, 0.95},
+		{0.5, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := bn.Sample(rand.New(rand.NewSource(5)), 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiscoverCovariates(tab, "T", []string{"Z", "W", "C", "D"}, nil, Config{Method: ChiSquaredMethod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsStr(res.Parents, "D") || containsStr(res.Parents, "C") {
+		t.Errorf("non-parent in covariates: %v", res.Parents)
+	}
+	if !containsStr(res.Parents, "Z") || !containsStr(res.Parents, "W") {
+		t.Errorf("Parents(T) = %v, want Z and W", res.Parents)
+	}
+}
+
+func TestDiscoverCovariatesMaterializationMatchesScan(t *testing.T) {
+	tab, _ := colliderData(t, 10000, 6)
+	base := Config{Method: ChiSquaredMethod}
+	noMat := base
+	noMat.DisableMaterialization = true
+	noCache := base
+	noCache.DisableEntropyCache = true
+	r1, err := DiscoverCovariates(tab, "T", []string{"Z", "W"}, []string{"Y"}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DiscoverCovariates(tab, "T", []string{"Z", "W"}, []string{"Y"}, noMat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := DiscoverCovariates(tab, "T", []string{"Z", "W"}, []string{"Y"}, noCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Parents, r2.Parents) || !reflect.DeepEqual(r1.Parents, r3.Parents) {
+		t.Errorf("optimizations changed the answer: %v vs %v vs %v", r1.Parents, r2.Parents, r3.Parents)
+	}
+}
+
+func TestDiscoverCovariatesMaxCondSet(t *testing.T) {
+	tab, _ := colliderData(t, 5000, 7)
+	res, err := DiscoverCovariates(tab, "T", []string{"Z", "W"}, []string{"Y"},
+		Config{Method: ChiSquaredMethod, MaxCondSet: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parents) == 0 {
+		t.Error("capped CD found nothing on an easy instance")
+	}
+}
+
+func TestDiscoverCovariatesValidation(t *testing.T) {
+	tab, _ := colliderData(t, 100, 8)
+	if _, err := DiscoverCovariates(tab, "missing", []string{"Z"}, nil, Config{}); err == nil {
+		t.Error("missing target accepted")
+	}
+}
+
+func itoa(v int) string { return string(rune('0' + v)) }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"hypdb/internal/cube"
+	"hypdb/internal/dataset"
+	"hypdb/internal/independence"
+	"hypdb/internal/stats"
+)
+
+// TestMethod selects the conditional-independence test used throughout the
+// pipeline — the knob varied across CD(χ²), CD(MIT) and CD(HyMIT) in the
+// paper's experiments.
+type TestMethod int
+
+const (
+	// HyMITMethod is the hybrid default (Sec 6): χ² when the sample is
+	// large relative to the degrees of freedom, MIT with group sampling
+	// otherwise.
+	HyMITMethod TestMethod = iota
+	// ChiSquaredMethod always uses the parametric G-test.
+	ChiSquaredMethod
+	// MITMethod always uses the full Monte-Carlo permutation test.
+	MITMethod
+	// MITSamplingMethod is MIT restricted to a weighted sample of
+	// conditioning groups.
+	MITSamplingMethod
+)
+
+// String implements fmt.Stringer.
+func (m TestMethod) String() string {
+	switch m {
+	case ChiSquaredMethod:
+		return "chi2"
+	case MITMethod:
+		return "mit"
+	case MITSamplingMethod:
+		return "mit-sampling"
+	default:
+		return "hymit"
+	}
+}
+
+// Config parameterizes the HypDB pipeline. The zero value is the paper's
+// default setup: HyMIT with α = 0.01, Miller-Madow entropies, 1000
+// permutations, entropy caching and contingency-table materialization on.
+type Config struct {
+	// Method selects the independence test.
+	Method TestMethod
+	// Alpha is the significance level; zero means 0.01 (Sec 7.3).
+	Alpha float64
+	// Estimator selects the entropy estimator; MillerMadow (the zero value
+	// is PlugIn, so DefaultEstimator applies when unset via defaulted()).
+	Estimator stats.Estimator
+	// EstimatorSet marks Estimator as explicitly chosen.
+	EstimatorSet bool
+	// Permutations for MIT-based tests; zero means 1000.
+	Permutations int
+	// SampleFactor for MIT group sampling; zero means the package default.
+	SampleFactor float64
+	// Beta for HyMIT; zero means 5.
+	Beta float64
+	// Seed drives all Monte-Carlo components.
+	Seed int64
+	// MaxCondSet caps conditioning-set sizes enumerated by the CD
+	// algorithm; zero means no cap.
+	MaxCondSet int
+	// MaxBoundary caps Markov-boundary growth; zero means no cap.
+	MaxBoundary int
+	// DisableEntropyCache turns off the Sec 6 entropy cache.
+	DisableEntropyCache bool
+	// DisableMaterialization turns off the Sec 6 contingency-table
+	// materialization used in the CD phases.
+	DisableMaterialization bool
+	// Cube optionally supplies a pre-computed OLAP data cube; when it
+	// covers a test's attributes it answers entropies directly (Sec 6).
+	Cube *cube.Cube
+	// Parallel fans permutation replicates out over cores.
+	Parallel bool
+	// DisableFallback turns off the Sec 4 fallback (Z = MB(T) − outcomes)
+	// when CD finds no parents. Used by the Fig 5 parent-recovery
+	// experiments, which score the strict CD output.
+	DisableFallback bool
+	// Prepare configures logical-dependency dropping.
+	Prepare PrepareConfig
+}
+
+func (c Config) alpha() float64 {
+	if c.Alpha <= 0 {
+		return independence.DefaultAlpha
+	}
+	return c.Alpha
+}
+
+func (c Config) estimator() stats.Estimator {
+	if !c.EstimatorSet {
+		return stats.MillerMadow
+	}
+	return c.Estimator
+}
+
+func (c Config) permutations() int {
+	if c.Permutations <= 0 {
+		return independence.DefaultPermutations
+	}
+	return c.Permutations
+}
+
+// provider builds the entropy provider for χ²-backed tests on view.
+// attrsHint, when non-nil and materialization is enabled, requests a
+// materialized joint over that superset.
+func (c Config) provider(view *dataset.Table, attrsHint []string) (independence.EntropyProvider, error) {
+	var p independence.EntropyProvider
+	switch {
+	case c.Cube != nil && c.Cube.NumRows() == view.NumRows() && (attrsHint == nil || c.Cube.Covers(attrsHint)):
+		p = cube.NewProvider(c.Cube, view, c.estimator())
+	case !c.DisableMaterialization && len(attrsHint) > 0 && len(attrsHint) <= 62:
+		mp, err := independence.NewMaterializedProvider(view, attrsHint, c.estimator())
+		if err != nil {
+			return nil, err
+		}
+		p = mp
+	default:
+		p = independence.NewScanProvider(view, c.estimator())
+	}
+	if !c.DisableEntropyCache {
+		p = independence.NewCachedProvider(p)
+	}
+	return p, nil
+}
+
+// tester builds the independence tester for view; attrsHint optionally
+// bounds the attributes tests will touch (enabling materialization).
+func (c Config) tester(view *dataset.Table, attrsHint []string) (independence.Tester, error) {
+	switch c.Method {
+	case ChiSquaredMethod:
+		p, err := c.provider(view, attrsHint)
+		if err != nil {
+			return nil, err
+		}
+		return independence.ChiSquare{Provider: p, Est: c.estimator()}, nil
+	case MITMethod:
+		return independence.MIT{
+			Permutations: c.permutations(),
+			Est:          c.estimator(),
+			Seed:         c.Seed,
+			Parallel:     c.Parallel,
+		}, nil
+	case MITSamplingMethod:
+		return independence.MIT{
+			Permutations: c.permutations(),
+			Est:          c.estimator(),
+			Seed:         c.Seed,
+			SampleGroups: true,
+			SampleFactor: c.SampleFactor,
+			Parallel:     c.Parallel,
+		}, nil
+	default:
+		p, err := c.provider(view, attrsHint)
+		if err != nil {
+			return nil, err
+		}
+		return independence.HyMIT{
+			Beta:         c.Beta,
+			Permutations: c.permutations(),
+			SampleFactor: c.SampleFactor,
+			Seed:         c.Seed,
+			Parallel:     c.Parallel,
+			Est:          c.estimator(),
+			Provider:     p,
+		}, nil
+	}
+}

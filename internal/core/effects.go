@@ -1,0 +1,109 @@
+package core
+
+import "fmt"
+
+// Effect is a summarized causal-effect estimate for one context and one
+// outcome, with its significance.
+type Effect struct {
+	Context []string
+	Outcome string
+	// T0, T1 are the compared treatment values (estimate = answer(T1) −
+	// answer(T0)).
+	T0, T1 string
+	// Estimate is the effect size: the ATE for total effects, the NDE for
+	// direct effects, or the raw difference for the original query.
+	Estimate float64
+	// PValue tests the hypothesis that the effect is zero.
+	PValue float64
+	// Significant applies the analysis significance level.
+	Significant bool
+}
+
+// effectsFrom converts comparison reports for one outcome index.
+func (r *Report) effectsFrom(comps []ComparisonReport, outcomeIdx int, alpha float64) ([]Effect, error) {
+	if outcomeIdx < 0 || outcomeIdx >= len(r.Query.Outcomes) {
+		return nil, fmt.Errorf("core: outcome index %d out of range (have %d outcomes)",
+			outcomeIdx, len(r.Query.Outcomes))
+	}
+	out := make([]Effect, 0, len(comps))
+	for _, c := range comps {
+		e := Effect{
+			Context:  c.Context,
+			Outcome:  r.Query.Outcomes[outcomeIdx],
+			T0:       c.T0,
+			T1:       c.T1,
+			Estimate: c.Diffs[outcomeIdx],
+		}
+		if outcomeIdx < len(c.PValues) {
+			e.PValue = c.PValues[outcomeIdx]
+			e.Significant = e.PValue < alpha
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// RawDifference returns the original (possibly biased) per-context
+// differences for the outcome at the given index.
+func (r *Report) RawDifference(outcomeIdx int, alpha float64) ([]Effect, error) {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	return r.effectsFrom(r.OriginalComparisons, outcomeIdx, alpha)
+}
+
+// ATE returns the adjusted total-effect estimates (Eq 1 via Eq 2) per
+// context, or an error when no total rewriting was performed.
+func (r *Report) ATE(outcomeIdx int, alpha float64) ([]Effect, error) {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if r.RewrittenTotal == nil {
+		return nil, fmt.Errorf("core: no total-effect rewriting in this report (no covariates found)")
+	}
+	return r.effectsFrom(r.TotalComparisons, outcomeIdx, alpha)
+}
+
+// NDE returns the natural-direct-effect estimates (Eq 7 via Eq 3) per
+// context, or an error when no direct rewriting was performed.
+func (r *Report) NDE(outcomeIdx int, alpha float64) ([]Effect, error) {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if r.RewrittenDirect == nil {
+		return nil, fmt.Errorf("core: no direct-effect rewriting in this report (no mediators found)")
+	}
+	return r.effectsFrom(r.DirectComparisons, outcomeIdx, alpha)
+}
+
+// TrendReversed reports whether the rewritten total effect has the opposite
+// sign of the original difference in any context — the Simpson's-paradox
+// signature the Fig 5(a) experiment counts.
+func (r *Report) TrendReversed(outcomeIdx int) (bool, error) {
+	raw, err := r.RawDifference(outcomeIdx, 0)
+	if err != nil {
+		return false, err
+	}
+	adj, err := r.ATE(outcomeIdx, 0)
+	if err != nil {
+		return false, err
+	}
+	byCtx := make(map[string]float64, len(raw))
+	for _, e := range raw {
+		byCtx[ctxKeyOf(e.Context)] = e.Estimate
+	}
+	for _, e := range adj {
+		if rawEst, ok := byCtx[ctxKeyOf(e.Context)]; ok && rawEst*e.Estimate < 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func ctxKeyOf(ctx []string) string {
+	out := ""
+	for _, c := range ctx {
+		out += c + "\x00"
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"hypdb/internal/query"
+)
+
+func TestEffectAccessors(t *testing.T) {
+	tab := simpsonData(t, 12000, 51)
+	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
+	rep, err := Analyze(tab, q, Options{Config: Config{Seed: 52, Parallel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := rep.RawDifference(0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 1 {
+		t.Fatalf("raw effects = %d, want 1", len(raw))
+	}
+	if raw[0].Estimate <= 0 || !raw[0].Significant {
+		t.Errorf("raw effect = %+v, want positive and significant", raw[0])
+	}
+	if raw[0].Outcome != "Y" || raw[0].T0 != "A" || raw[0].T1 != "B" {
+		t.Errorf("effect labels = %+v", raw[0])
+	}
+
+	ate, err := rep.ATE(0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ate[0].Estimate >= 0 {
+		t.Errorf("ATE = %v, want negative (A better)", ate[0].Estimate)
+	}
+
+	reversed, err := rep.TrendReversed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reversed {
+		t.Error("Simpson reversal not reported by TrendReversed")
+	}
+
+	if _, err := rep.RawDifference(5, 0.01); err == nil {
+		t.Error("out-of-range outcome index accepted")
+	}
+	if _, err := rep.NDE(0, 0.01); err == nil {
+		t.Error("NDE should error when no direct rewriting happened")
+	}
+}
+
+func TestEffectAccessorsNoCovariates(t *testing.T) {
+	// Randomized data with no structure at all: no covariates, ATE errors.
+	tab := independentTable(t, 3000, 53)
+	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
+	rep, err := Analyze(tab, q, Options{Config: Config{Seed: 54}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RewrittenTotal != nil {
+		t.Skip("covariates discovered on noise (rare false positive); skip")
+	}
+	if _, err := rep.ATE(0, 0.01); err == nil {
+		t.Error("ATE should error without a rewriting")
+	}
+	if _, err := rep.TrendReversed(0); err == nil {
+		t.Error("TrendReversed should error without a rewriting")
+	}
+}

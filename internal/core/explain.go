@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/stats"
+)
+
+// Responsibility is a coarse-grained explanation entry (Def 3.3): one
+// variable of V and its normalized share of the bias.
+type Responsibility struct {
+	Attr string
+	// Rho is the degree of responsibility ρ_Z ∈ [0,1]; the V-members sum
+	// to 1 when any bias exists.
+	Rho float64
+	// MI is the unnormalized numerator Î(T;Z|Γ).
+	MI float64
+}
+
+// ExplainCoarse ranks the variables V by their degree of responsibility for
+// the bias in the given context view. Per footnote 1 of the paper, the
+// numerator I(T;V|Γ) − I(T;V|Z,Γ) collapses to I(T;Z|Γ) for Z ∈ V, which
+// is how it is computed here. Estimates clamped at zero keep ρ within
+// [0,1] under the Miller-Madow correction.
+func ExplainCoarse(view *dataset.Table, treatment string, variables []string, cfg Config) ([]Responsibility, error) {
+	if len(variables) == 0 {
+		return nil, nil
+	}
+	tc, err := view.Column(treatment)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Responsibility, 0, len(variables))
+	total := 0.0
+	for _, v := range variables {
+		vc, err := view.Column(v)
+		if err != nil {
+			return nil, err
+		}
+		mi, err := stats.MutualInformationCodes(tc.Codes(), vc.Codes(), tc.Card(), vc.Card(), cfg.estimator())
+		if err != nil {
+			return nil, err
+		}
+		if mi < 0 {
+			mi = 0
+		}
+		total += mi
+		out = append(out, Responsibility{Attr: v, MI: mi})
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Rho = out[i].MI / total
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rho > out[j].Rho })
+	return out, nil
+}
+
+// FineExplanation is one fine-grained explanation (Def 3.4): a ground
+// triple (t, y, z) with its contributions to Î(T;Z) and Î(Y;Z).
+type FineExplanation struct {
+	TreatmentValue string
+	OutcomeValue   string
+	CovariateValue string
+	// KappaTZ is κ(t,z), the contribution of (t,z) to I(T;Z).
+	KappaTZ float64
+	// KappaYZ is κ(y,z), the contribution of (y,z) to I(Y;Z).
+	KappaYZ float64
+}
+
+// ExplainFine implements the FGE procedure (Alg 3): it ranks the triples of
+// Π_{T,Y,Z}(view) by their contribution to Î(T;Z) and to Î(Y;Z), aggregates
+// the two rankings with Borda's method, and returns the top-k triples.
+func ExplainFine(view *dataset.Table, treatment, outcome, covariate string, k int, cfg Config) ([]FineExplanation, error) {
+	if k <= 0 {
+		k = 2
+	}
+	tc, err := view.Column(treatment)
+	if err != nil {
+		return nil, err
+	}
+	yc, err := view.Column(outcome)
+	if err != nil {
+		return nil, err
+	}
+	zc, err := view.Column(covariate)
+	if err != nil {
+		return nil, err
+	}
+	n := view.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty context")
+	}
+
+	// Joint and marginal frequencies.
+	type pair struct{ a, b int32 }
+	type triple struct{ t, y, z int32 }
+	tzCounts := make(map[pair]int)
+	yzCounts := make(map[pair]int)
+	tCounts := make(map[int32]int)
+	yCounts := make(map[int32]int)
+	zCounts := make(map[int32]int)
+	triples := make(map[triple]int)
+	for i := 0; i < n; i++ {
+		tv, yv, zv := tc.Code(i), yc.Code(i), zc.Code(i)
+		tzCounts[pair{tv, zv}]++
+		yzCounts[pair{yv, zv}]++
+		tCounts[tv]++
+		yCounts[yv]++
+		zCounts[zv]++
+		triples[triple{tv, yv, zv}]++
+	}
+	kappa := func(joint, ma, mb int) float64 {
+		if joint == 0 {
+			return 0
+		}
+		pxy := float64(joint) / float64(n)
+		px := float64(ma) / float64(n)
+		py := float64(mb) / float64(n)
+		return pxy * math.Log(pxy/(px*py))
+	}
+
+	// Materialize the distinct triples deterministically.
+	keys := make([]triple, 0, len(triples))
+	for k := range triples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		return a.z < b.z
+	})
+
+	kTZ := make([]float64, len(keys))
+	kYZ := make([]float64, len(keys))
+	for i, tr := range keys {
+		kTZ[i] = kappa(tzCounts[pair{tr.t, tr.z}], tCounts[tr.t], zCounts[tr.z])
+		kYZ[i] = kappa(yzCounts[pair{tr.y, tr.z}], yCounts[tr.y], zCounts[tr.z])
+	}
+	consensus := stats.BordaAggregate(stats.RankDescending(kTZ), stats.RankDescending(kYZ))
+	if consensus == nil {
+		return nil, fmt.Errorf("core: rank aggregation failed over %d triples", len(keys))
+	}
+	if k > len(consensus) {
+		k = len(consensus)
+	}
+	out := make([]FineExplanation, 0, k)
+	for _, idx := range consensus[:k] {
+		tr := keys[idx]
+		out = append(out, FineExplanation{
+			TreatmentValue: tc.Label(tr.t),
+			OutcomeValue:   yc.Label(tr.y),
+			CovariateValue: zc.Label(tr.z),
+			KappaTZ:        kTZ[idx],
+			KappaYZ:        kYZ[idx],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+// Package core implements HypDB itself — the paper's primary contribution:
+// automatic covariate discovery (the CD algorithm, Alg 1), detection of
+// biased OLAP queries (Def 3.1), coarse- and fine-grained explanations
+// (Defs 3.3/3.4, Alg 3), logical-dependency dropping (Sec 4), and the
+// end-to-end Analyze pipeline that detects, explains and resolves bias at
+// query time.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/stats"
+)
+
+// DropReason explains why an attribute was excluded from causal analysis.
+type DropReason string
+
+const (
+	// DropFDWithTreatment marks attributes in an (approximate) 1-1
+	// functional dependency with the treatment: H(T|X) ≈ 0 and H(X|T) ≈ 0.
+	// Conditioning on such attributes isolates the treatment from the rest
+	// of the DAG (Sec 4).
+	DropFDWithTreatment DropReason = "functional dependency with treatment"
+	// DropFDPeer marks attributes (approximately) 1-1 with another kept
+	// candidate, e.g. AirportWAC vs Airport; only one of the pair is kept.
+	DropFDPeer DropReason = "functional dependency with another attribute"
+	// DropKeyLike marks high-entropy attributes whose entropy is determined
+	// by the sample size (IDs, flight numbers, tail numbers): detected by
+	// regressing subsample entropy on log sample size (Sec 4).
+	DropKeyLike DropReason = "key-like attribute (entropy grows with sample size)"
+)
+
+// Dropped records one excluded attribute.
+type Dropped struct {
+	Attr   string
+	Reason DropReason
+	// Peer names the attribute the FD relates to (FD drops only).
+	Peer string
+}
+
+// PrepareConfig controls logical-dependency dropping.
+type PrepareConfig struct {
+	// FDEpsilon is the conditional-entropy threshold (in nats) below which
+	// a dependency counts as functional; zero means DefaultFDEpsilon.
+	FDEpsilon float64
+	// KeySampleSizes are the subsample sizes used by the key detector;
+	// empty means a geometric ladder up to the table size.
+	KeySampleSizes []int
+	// KeySlope is the minimum entropy-vs-ln(size) slope marking a key-like
+	// attribute; zero means DefaultKeySlope.
+	KeySlope float64
+	// KeyR2 is the minimum fit quality for the slope test; zero means
+	// DefaultKeyR2.
+	KeyR2 float64
+	// Seed drives subsampling.
+	Seed int64
+	// SkipKeyDetection disables the (sampling-based) key detector.
+	SkipKeyDetection bool
+}
+
+// Defaults for PrepareConfig. A perfect key has slope 1 with R² = 1;
+// high-cardinality key-like attributes (flight numbers, tail numbers) have
+// finite domains, so their entropy-vs-ln(n) curve flattens near saturation —
+// the slope threshold is the discriminator (ordinary attributes saturate at
+// tiny samples and sit near slope 0) and the R² gate only rejects noise.
+const (
+	DefaultFDEpsilon = 0.01
+	DefaultKeySlope  = 0.25
+	DefaultKeyR2     = 0.85
+)
+
+func (c PrepareConfig) fdEpsilon() float64 {
+	if c.FDEpsilon <= 0 {
+		return DefaultFDEpsilon
+	}
+	return c.FDEpsilon
+}
+
+// PrepareCandidates filters covariate candidates for a treatment attribute:
+// it removes key-like attributes and attributes functionally tied to the
+// treatment or to an earlier-kept candidate. The returned candidate order
+// follows the input order.
+func PrepareCandidates(t *dataset.Table, treatment string, candidates []string, cfg PrepareConfig) (kept []string, dropped []Dropped, err error) {
+	if !t.HasColumn(treatment) {
+		return nil, nil, fmt.Errorf("core: no treatment column %q", treatment)
+	}
+	eps := cfg.fdEpsilon()
+
+	var keyLike map[string]bool
+	if !cfg.SkipKeyDetection {
+		keyLike, err = detectKeyAttributes(t, candidates, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	entCache := make(map[string]float64)
+	joint := func(a, b string) (float64, error) {
+		k := a + "\x00" + b
+		if a > b {
+			k = b + "\x00" + a
+		}
+		if v, ok := entCache[k]; ok {
+			return v, nil
+		}
+		counts, _, err := t.Counts(a, b)
+		if err != nil {
+			return 0, err
+		}
+		v := stats.EntropyCountsMap(counts, t.NumRows(), stats.PlugIn)
+		entCache[k] = v
+		return v, nil
+	}
+	single := func(a string) (float64, error) {
+		if v, ok := entCache[a]; ok {
+			return v, nil
+		}
+		c, err := t.Column(a)
+		if err != nil {
+			return 0, err
+		}
+		v := stats.EntropyCodes(c.Codes(), c.Card(), stats.PlugIn)
+		entCache[a] = v
+		return v, nil
+	}
+	// equivalent reports whether H(a|b) ≤ eps and H(b|a) ≤ eps.
+	equivalent := func(a, b string) (bool, error) {
+		hab, err := joint(a, b)
+		if err != nil {
+			return false, err
+		}
+		ha, err := single(a)
+		if err != nil {
+			return false, err
+		}
+		hb, err := single(b)
+		if err != nil {
+			return false, err
+		}
+		return hab-ha <= eps && hab-hb <= eps, nil
+	}
+
+	for _, x := range candidates {
+		if x == treatment {
+			continue
+		}
+		if !t.HasColumn(x) {
+			return nil, nil, fmt.Errorf("core: no candidate column %q", x)
+		}
+		if keyLike[x] {
+			dropped = append(dropped, Dropped{Attr: x, Reason: DropKeyLike})
+			continue
+		}
+		eqT, err := equivalent(x, treatment)
+		if err != nil {
+			return nil, nil, err
+		}
+		if eqT {
+			dropped = append(dropped, Dropped{Attr: x, Reason: DropFDWithTreatment, Peer: treatment})
+			continue
+		}
+		peer := ""
+		for _, k := range kept {
+			eq, err := equivalent(x, k)
+			if err != nil {
+				return nil, nil, err
+			}
+			if eq {
+				peer = k
+				break
+			}
+		}
+		if peer != "" {
+			dropped = append(dropped, Dropped{Attr: x, Reason: DropFDPeer, Peer: peer})
+			continue
+		}
+		kept = append(kept, x)
+	}
+	return kept, dropped, nil
+}
+
+// detectKeyAttributes implements the paper's key test: draw random
+// subsamples of increasing size, compute each attribute's entropy per
+// subsample, and flag attributes whose entropy tracks ln(sample size) — for
+// a true key H = ln(n) exactly, so the regression slope is 1 with R² = 1;
+// ordinary attributes converge to a constant H with slope ≈ 0.
+func detectKeyAttributes(t *dataset.Table, attrs []string, cfg PrepareConfig) (map[string]bool, error) {
+	n := t.NumRows()
+	sizes := cfg.KeySampleSizes
+	if len(sizes) == 0 {
+		sizes = defaultKeySizes(n)
+	}
+	if len(sizes) < 2 {
+		return map[string]bool{}, nil // not enough scale range to decide
+	}
+	slopeThr := cfg.KeySlope
+	if slopeThr <= 0 {
+		slopeThr = DefaultKeySlope
+	}
+	r2Thr := cfg.KeyR2
+	if r2Thr <= 0 {
+		r2Thr = DefaultKeyR2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6b657973))
+
+	out := make(map[string]bool)
+	logSizes := make([]float64, len(sizes))
+	for i, s := range sizes {
+		logSizes[i] = math.Log(float64(s))
+	}
+	for _, a := range attrs {
+		if a == "" || !t.HasColumn(a) {
+			continue // existence is validated by the caller
+		}
+		col, err := t.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		entropies := make([]float64, len(sizes))
+		for i, s := range sizes {
+			counts := make(map[int32]int)
+			for j := 0; j < s; j++ {
+				counts[col.Code(rng.Intn(n))]++
+			}
+			entropies[i] = stats.EntropyCountsMap(counts, s, stats.PlugIn)
+		}
+		_, slope, r2, err := stats.LinearRegression(logSizes, entropies)
+		if err != nil {
+			continue // constant entropies: definitely not a key
+		}
+		if slope >= slopeThr && r2 >= r2Thr {
+			out[a] = true
+		}
+	}
+	return out, nil
+}
+
+// defaultKeySizes builds a geometric ladder of subsample sizes.
+func defaultKeySizes(n int) []int {
+	if n < 64 {
+		return nil
+	}
+	var sizes []int
+	for s := n; s >= 64 && len(sizes) < 5; s /= 4 {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	return sizes
+}

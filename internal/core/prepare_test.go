@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"hypdb/internal/dataset"
+)
+
+// prepTable builds a table with a treatment, a genuine covariate, a 1-1
+// code for the treatment, a near-copy of the covariate, and a key column.
+func prepTable(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	b := dataset.NewBuilder("carrier", "carrier_code", "airport", "airport_wac", "id", "delayed")
+	carriers := []string{"AA", "UA"}
+	codes := []string{"19805", "19977"}
+	airports := []string{"COS", "MFE", "MTJ", "ROC"}
+	wacs := []string{"82", "74", "82x", "74x"}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(2)
+		a := rng.Intn(4)
+		d := "0"
+		if rng.Float64() < 0.3 {
+			d = "1"
+		}
+		b.MustAdd(carriers[c], codes[c], airports[a], wacs[a], strconv.Itoa(i), d)
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestPrepareCandidatesDropsFDWithTreatment(t *testing.T) {
+	tab := prepTable(t, 2000)
+	kept, dropped, err := PrepareCandidates(tab, "carrier",
+		[]string{"carrier_code", "airport", "airport_wac", "id"}, PrepareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsStr(kept, "carrier_code") {
+		t.Errorf("carrier_code (1-1 with treatment) kept: %v", kept)
+	}
+	if !droppedFor(dropped, "carrier_code", DropFDWithTreatment) {
+		t.Errorf("carrier_code not dropped for FD-with-treatment: %+v", dropped)
+	}
+	if !containsStr(kept, "airport") {
+		t.Errorf("airport wrongly dropped: %v (dropped %+v)", kept, dropped)
+	}
+}
+
+func TestPrepareCandidatesDropsFDPeer(t *testing.T) {
+	tab := prepTable(t, 2000)
+	kept, dropped, err := PrepareCandidates(tab, "carrier",
+		[]string{"airport", "airport_wac"}, PrepareConfig{SkipKeyDetection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// airport comes first, so airport_wac is the dropped peer.
+	if !containsStr(kept, "airport") || containsStr(kept, "airport_wac") {
+		t.Errorf("kept = %v, want airport only", kept)
+	}
+	if !droppedFor(dropped, "airport_wac", DropFDPeer) {
+		t.Errorf("airport_wac not dropped as FD peer: %+v", dropped)
+	}
+}
+
+func TestPrepareCandidatesDropsKeys(t *testing.T) {
+	tab := prepTable(t, 2000)
+	kept, dropped, err := PrepareCandidates(tab, "carrier",
+		[]string{"id", "airport"}, PrepareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsStr(kept, "id") {
+		t.Errorf("key column kept: %v", kept)
+	}
+	if !droppedFor(dropped, "id", DropKeyLike) {
+		t.Errorf("id not dropped as key-like: %+v", dropped)
+	}
+	if !containsStr(kept, "airport") {
+		t.Errorf("airport wrongly dropped: %+v", dropped)
+	}
+}
+
+func TestPrepareCandidatesSkipsTreatmentAndValidates(t *testing.T) {
+	tab := prepTable(t, 500)
+	kept, _, err := PrepareCandidates(tab, "carrier",
+		[]string{"carrier", "airport"}, PrepareConfig{SkipKeyDetection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsStr(kept, "carrier") {
+		t.Error("treatment kept as its own candidate")
+	}
+	if _, _, err := PrepareCandidates(tab, "missing", []string{"airport"}, PrepareConfig{}); err == nil {
+		t.Error("missing treatment accepted")
+	}
+	if _, _, err := PrepareCandidates(tab, "carrier", []string{"missing"}, PrepareConfig{SkipKeyDetection: true}); err == nil {
+		t.Error("missing candidate accepted")
+	}
+}
+
+func TestDetectKeyAttributesSmallTable(t *testing.T) {
+	// Too small for subsampling: detector declines to flag anything.
+	b := dataset.NewBuilder("x")
+	for i := 0; i < 50; i++ {
+		b.MustAdd(strconv.Itoa(i))
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := detectKeyAttributes(tab, []string{"x"}, PrepareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Errorf("tiny table flagged keys: %v", keys)
+	}
+}
+
+func droppedFor(dropped []Dropped, attr string, reason DropReason) bool {
+	for _, d := range dropped {
+		if d.Attr == attr && d.Reason == reason {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package cube
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/independence"
+	"hypdb/internal/stats"
+)
+
+func randomTable(t *testing.T, n int, seed int64) *dataset.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder("A", "B", "C", "D")
+	for i := 0; i < n; i++ {
+		a := rng.Intn(3)
+		bb := (a + rng.Intn(2)) % 3
+		b.MustAdd(strconv.Itoa(a), strconv.Itoa(bb), strconv.Itoa(rng.Intn(2)), strconv.Itoa(rng.Intn(4)))
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestBuildValidation(t *testing.T) {
+	tab := randomTable(t, 50, 1)
+	if _, err := Build(tab, nil); err == nil {
+		t.Error("empty dimensions accepted")
+	}
+	if _, err := Build(tab, []string{"missing"}); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := Build(tab, []string{"A", "A"}); err == nil {
+		t.Error("duplicate dimension accepted")
+	}
+	many := make([]string, MaxDimensions+1)
+	for i := range many {
+		many[i] = "X" + strconv.Itoa(i)
+	}
+	if _, err := Build(tab, many); err == nil {
+		t.Error("too many dimensions accepted")
+	}
+}
+
+func TestCubeViewsMatchScans(t *testing.T) {
+	tab := randomTable(t, 500, 2)
+	c, err := Build(tab, []string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumViews() != 8 {
+		t.Errorf("NumViews = %d, want 8", c.NumViews())
+	}
+	subsets := [][]string{
+		{}, {"A"}, {"B"}, {"C"}, {"A", "B"}, {"A", "C"}, {"B", "C"}, {"A", "B", "C"},
+	}
+	for _, sub := range subsets {
+		counts, ok := c.Counts(sub)
+		if !ok {
+			t.Fatalf("subset %v not covered", sub)
+		}
+		total := 0
+		for _, v := range counts {
+			total += v
+		}
+		if total != tab.NumRows() {
+			t.Errorf("subset %v: counts sum to %d, want %d", sub, total, tab.NumRows())
+		}
+		if len(sub) > 0 {
+			want, _, err := tab.Counts(sub...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(counts) != len(want) {
+				t.Errorf("subset %v: %d cells, scan gives %d", sub, len(counts), len(want))
+			}
+			// Entropy from the cube must equal entropy from the scan.
+			hc := stats.EntropyCountsMap(counts, tab.NumRows(), stats.MillerMadow)
+			hs := stats.EntropyCountsMap(want, tab.NumRows(), stats.MillerMadow)
+			if math.Abs(hc-hs) > 1e-12 {
+				t.Errorf("subset %v: cube entropy %v != scan entropy %v", sub, hc, hs)
+			}
+		}
+	}
+}
+
+func TestCubeCoverage(t *testing.T) {
+	tab := randomTable(t, 100, 3)
+	c, err := Build(tab, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Covers([]string{"B", "A"}) {
+		t.Error("covered subset rejected")
+	}
+	if c.Covers([]string{"A", "D"}) {
+		t.Error("uncovered subset accepted")
+	}
+	if _, ok := c.Counts([]string{"D"}); ok {
+		t.Error("Counts answered for uncovered subset")
+	}
+	if c.Cells() <= 0 {
+		t.Error("Cells not positive")
+	}
+}
+
+func TestProviderMatchesScanProvider(t *testing.T) {
+	tab := randomTable(t, 800, 4)
+	c, err := Build(tab, []string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := NewProvider(c, tab, stats.MillerMadow)
+	sp := independence.NewScanProvider(tab, stats.MillerMadow)
+	for _, sub := range [][]string{{"A"}, {"A", "B"}, {"C", "B", "A"}, {"D"}, {"A", "D"}} {
+		hc, err := cp.JointEntropy(sub)
+		if err != nil {
+			t.Fatalf("cube entropy %v: %v", sub, err)
+		}
+		hs, err := sp.JointEntropy(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hc-hs) > 1e-12 {
+			t.Errorf("subset %v: provider entropy %v != scan %v", sub, hc, hs)
+		}
+		dc, err := cp.DistinctCount(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := sp.DistinctCount(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc != ds {
+			t.Errorf("subset %v: provider distinct %d != scan %d", sub, dc, ds)
+		}
+	}
+	if cp.NumRows() != tab.NumRows() {
+		t.Errorf("NumRows = %d", cp.NumRows())
+	}
+	if h, err := cp.JointEntropy(nil); err != nil || h != 0 {
+		t.Errorf("empty entropy = (%v,%v)", h, err)
+	}
+	if d, err := cp.DistinctCount(nil); err != nil || d != 1 {
+		t.Errorf("empty distinct = (%v,%v)", d, err)
+	}
+}
+
+func TestChiSquareWithCubeProvider(t *testing.T) {
+	// End to end: the χ² tester produces identical results through the cube.
+	tab := randomTable(t, 1000, 5)
+	c, err := Build(tab, []string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCube := independence.ChiSquare{Provider: NewProvider(c, tab, stats.MillerMadow), Est: stats.MillerMadow}
+	viaScan := independence.ChiSquare{Est: stats.MillerMadow}
+	r1, err := viaCube.Test(tab, "A", "B", []string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := viaScan.Test(tab, "A", "B", []string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MI != r2.MI || r1.PValue != r2.PValue || r1.DF != r2.DF {
+		t.Errorf("cube-backed test differs: %+v vs %+v", r1, r2)
+	}
+}
+
+// Property: every cube view's counts sum to n, and single-attribute views
+// match the column's histogram exactly.
+func TestQuickCubeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(300)
+		b := dataset.NewBuilder("P", "Q", "R")
+		for i := 0; i < n; i++ {
+			b.MustAdd(strconv.Itoa(r.Intn(3)), strconv.Itoa(r.Intn(4)), strconv.Itoa(r.Intn(2)))
+		}
+		tab, err := b.Table()
+		if err != nil {
+			return false
+		}
+		c, err := Build(tab, []string{"P", "Q", "R"})
+		if err != nil {
+			return false
+		}
+		for _, sub := range [][]string{{}, {"P"}, {"Q"}, {"R"}, {"P", "Q"}, {"Q", "R"}, {"P", "Q", "R"}} {
+			counts, ok := c.Counts(sub)
+			if !ok {
+				return false
+			}
+			total := 0
+			for _, v := range counts {
+				total += v
+			}
+			if total != n {
+				return false
+			}
+			if len(sub) > 0 {
+				scan, _, err := tab.Counts(sub...)
+				if err != nil || len(scan) != len(counts) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/query"
+)
+
+// berkeleyCounts are the published 1973 Berkeley graduate admissions
+// figures for the six largest departments (Bickel, Hammel & O'Connell,
+// Science 187, 1975 — the paper's [5]): per department, applicants and
+// admits by gender. This is real data, not synthetic.
+var berkeleyCounts = []struct {
+	dept                          string
+	maleApplied, maleAdmitted     int
+	femaleApplied, femaleAdmitted int
+}{
+	{"A", 825, 512, 108, 89},
+	{"B", 560, 353, 25, 17},
+	{"C", 325, 120, 593, 202},
+	{"D", 417, 138, 375, 131},
+	{"E", 191, 53, 393, 94},
+	{"F", 373, 22, 341, 24},
+}
+
+// BerkeleyRows is the total number of applications in the data.
+func BerkeleyRows() int {
+	total := 0
+	for _, c := range berkeleyCounts {
+		total += c.maleApplied + c.femaleApplied
+	}
+	return total
+}
+
+// Berkeley expands the published counts into one row per application:
+// Gender, Department, Accepted. The row order is shuffled with the given
+// seed (order never affects HypDB, but shuffling avoids accidental
+// dependence on block layout in downstream consumers).
+func Berkeley(seed int64) (*dataset.Table, error) {
+	b := dataset.NewBuilder("Gender", "Department", "Accepted")
+	type rec struct{ g, d, a string }
+	var rows []rec
+	for _, c := range berkeleyCounts {
+		for i := 0; i < c.maleAdmitted; i++ {
+			rows = append(rows, rec{"Male", c.dept, "1"})
+		}
+		for i := 0; i < c.maleApplied-c.maleAdmitted; i++ {
+			rows = append(rows, rec{"Male", c.dept, "0"})
+		}
+		for i := 0; i < c.femaleAdmitted; i++ {
+			rows = append(rows, rec{"Female", c.dept, "1"})
+		}
+		for i := 0; i < c.femaleApplied-c.femaleAdmitted; i++ {
+			rows = append(rows, rec{"Female", c.dept, "0"})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	for _, r := range rows {
+		b.MustAdd(r.g, r.d, r.a)
+	}
+	return b.Table()
+}
+
+// BerkeleyQuery is the Fig 4 (top) query: average acceptance by gender.
+func BerkeleyQuery() query.Query {
+	return query.Query{
+		Table:     "BerkeleyData",
+		Treatment: "Gender",
+		Outcomes:  []string{"Accepted"},
+	}
+}

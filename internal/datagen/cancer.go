@@ -1,0 +1,118 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"hypdb/internal/dag"
+	"hypdb/internal/dataset"
+	"hypdb/internal/query"
+)
+
+// CancerRows is the default row count, matching Table 1 (2,000 rows).
+const CancerRows = 2000
+
+// CancerNet builds the ground-truth Bayesian network of Fig 7 (Guyon's
+// lung-cancer simulator, the paper's [17]):
+//
+//	Anxiety → Smoking ← Peer_Pressure
+//	Smoking → Lung_Cancer ← Genetics → Attention_Disorder
+//	Lung_Cancer → Coughing ← Allergy
+//	Lung_Cancer → Fatigue ← Coughing
+//	Attention_Disorder → Car_Accident ← Fatigue
+//	Born_an_Even_Day (isolated)
+//
+// There is no Lung_Cancer → Car_Accident edge, so the ground-truth direct
+// effect is zero while the total effect (mediated by Fatigue and confounded
+// by Genetics through Attention_Disorder) is positive. The CPTs are
+// calibrated so the Fig 4 (bottom) query answers ≈ 0.60 / 0.77 and the
+// adjusted total answers ≈ 0.60 / 0.75.
+func CancerNet() (*dag.BayesNet, error) {
+	g := dag.MustNew(
+		"Anxiety", "Peer_Pressure", "Smoking", "Genetics", "Lung_Cancer",
+		"Attention_Disorder", "Allergy", "Coughing", "Fatigue",
+		"Car_Accident", "Born_an_Even_Day",
+	)
+	for _, e := range [][2]string{
+		{"Anxiety", "Smoking"}, {"Peer_Pressure", "Smoking"},
+		{"Smoking", "Lung_Cancer"}, {"Genetics", "Lung_Cancer"},
+		{"Genetics", "Attention_Disorder"},
+		{"Lung_Cancer", "Coughing"}, {"Allergy", "Coughing"},
+		{"Lung_Cancer", "Fatigue"}, {"Coughing", "Fatigue"},
+		{"Attention_Disorder", "Car_Accident"}, {"Fatigue", "Car_Accident"},
+	} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	cards := make([]int, g.NumNodes())
+	for i := range cards {
+		cards[i] = 2
+	}
+	bin := func(p float64) []float64 { return []float64{1 - p, p} }
+	rows := func(ps ...float64) []float64 {
+		var out []float64
+		for _, p := range ps {
+			out = append(out, 1-p, p)
+		}
+		return out
+	}
+	cpts := make([][]float64, g.NumNodes())
+	cpts[g.Index("Anxiety")] = bin(0.65)
+	cpts[g.Index("Peer_Pressure")] = bin(0.33)
+	// Smoking | (Anxiety, Peer_Pressure) rows 00,01,10,11.
+	cpts[g.Index("Smoking")] = rows(0.30, 0.60, 0.70, 0.90)
+	cpts[g.Index("Genetics")] = bin(0.15)
+	// Lung_Cancer | (Smoking, Genetics).
+	cpts[g.Index("Lung_Cancer")] = rows(0.10, 0.55, 0.40, 0.85)
+	// Attention_Disorder | Genetics.
+	cpts[g.Index("Attention_Disorder")] = rows(0.25, 0.70)
+	cpts[g.Index("Allergy")] = bin(0.33)
+	// Coughing | (Lung_Cancer, Allergy).
+	cpts[g.Index("Coughing")] = rows(0.15, 0.60, 0.80, 0.90)
+	// Fatigue | (Lung_Cancer, Coughing).
+	cpts[g.Index("Fatigue")] = rows(0.35, 0.75, 0.70, 0.90)
+	// Car_Accident | (Attention_Disorder, Fatigue).
+	cpts[g.Index("Car_Accident")] = rows(0.30, 0.75, 0.70, 0.92)
+	cpts[g.Index("Born_an_Even_Day")] = bin(0.5)
+	return dag.NewBayesNet(g, cards, cpts)
+}
+
+// Cancer samples n rows from the Fig 7 network and appends a key-like
+// SubjectID column, giving the 12 columns of Table 1.
+func Cancer(n int, seed int64) (*dataset.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: Cancer with %d rows", n)
+	}
+	bn, err := CancerNet()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := bn.Sample(rand.New(rand.NewSource(seed)), n)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "S" + strconv.Itoa(100000+i)
+	}
+	cols := make([]*dataset.Column, 0, tab.NumCols()+1)
+	cols = append(cols, dataset.NewColumnFromStrings("SubjectID", ids))
+	for _, name := range tab.Columns() {
+		c, err := tab.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+	}
+	return dataset.New(cols...)
+}
+
+// CancerQuery is the Fig 4 (bottom) query: average car-accident rate by
+// lung-cancer status.
+func CancerQuery() query.Query {
+	return query.Query{
+		Table:     "CancerData",
+		Treatment: "Lung_Cancer",
+		Outcomes:  []string{"Car_Accident"},
+	}
+}

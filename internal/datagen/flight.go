@@ -1,0 +1,306 @@
+// Package datagen generates the synthetic stand-ins for every dataset in
+// the paper's evaluation (Sec 7.1): FlightData, AdultData, BerkeleyData
+// (real published counts), StaplesData, CancerData (the Fig 7 DAG) and
+// RandomData (Erdős–Rényi DAGs with random CPTs). Each generator encodes
+// the *structural* properties the paper's findings rest on — confounding
+// patterns, functional dependencies, key-like attributes, mediator chains —
+// so every HypDB code path exercised by the original data is exercised
+// here. See DESIGN.md for the substitution rationale.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/query"
+)
+
+// FlightColumns is the generated FlightData width, matching the paper's
+// "101 attributes".
+const FlightColumns = 101
+
+// FlightRows is the default row count, matching Table 1 (43,853 rows).
+const FlightRows = 43853
+
+// flightAirports are the study airports of Ex 1.1 plus background traffic.
+var flightAirports = []struct {
+	code string
+	wac  string // world-area-code-like attribute, 1-1 with the airport (FD)
+	// baseDelay is the airport's intrinsic delay rate: ROC is the
+	// high-delay airport of the example, COS and MFE the low-delay ones.
+	baseDelay float64
+	// traffic is the airport's share of flights.
+	traffic float64
+}{
+	{"COS", "W82", 0.10, 0.13},
+	{"MFE", "W74", 0.12, 0.12},
+	{"MTJ", "W81", 0.25, 0.10},
+	{"ROC", "W22", 0.40, 0.15},
+	{"SEA", "W93", 0.18, 0.13},
+	{"ORD", "W41", 0.30, 0.14},
+	{"JFK", "W21", 0.28, 0.12},
+	{"DEN", "W84", 0.22, 0.11},
+}
+
+// flightCarriers and their 1-1 codes (an FD with the treatment attribute).
+var flightCarriers = []struct {
+	code    string
+	carrier string
+	// delayShift is the carrier's intrinsic delay contribution: UA is
+	// slightly *better* than AA everywhere, yet looks worse in aggregate
+	// because of where it flies (the Fig 1 reversal).
+	delayShift float64
+}{
+	{"19805", "AA", +0.030},
+	{"19977", "UA", -0.030},
+	{"19790", "DL", +0.000},
+	{"19393", "WN", +0.010},
+}
+
+// carrierMix[airport][carrier] is P(carrier | airport): AA dominates the
+// low-delay airports (COS, MFE), UA dominates high-delay ROC.
+var carrierMix = map[string][]float64{
+	"COS": {0.62, 0.10, 0.14, 0.14},
+	"MFE": {0.58, 0.12, 0.15, 0.15},
+	"MTJ": {0.38, 0.26, 0.18, 0.18},
+	"ROC": {0.08, 0.64, 0.14, 0.14},
+	"SEA": {0.25, 0.25, 0.25, 0.25},
+	"ORD": {0.28, 0.30, 0.21, 0.21},
+	"JFK": {0.30, 0.28, 0.21, 0.21},
+	"DEN": {0.25, 0.27, 0.24, 0.24},
+}
+
+// yearCarrierBoost shifts the carrier mix by year: UA was over-represented
+// in the high-delay year, making Year the second-ranked explanation as in
+// Fig 1(d).
+func yearCarrierBoost(year int, mix []float64) []float64 {
+	out := append([]float64(nil), mix...)
+	if year == 2015 {
+		out[1] *= 1.5 // more UA flights in the bad year
+	}
+	if year == 2017 {
+		out[0] *= 1.3 // more AA flights in the good year
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// yearDelayShift is the year's intrinsic delay contribution.
+func yearDelayShift(year int) float64 {
+	switch year {
+	case 2015:
+		return +0.06
+	case 2016:
+		return 0
+	default:
+		return -0.04
+	}
+}
+
+// Flight generates the FlightData substitute: n rows over 101 attributes
+// whose causal core is
+//
+//	Airport → Carrier, Airport → Delayed, Year → Carrier, Year → Delayed,
+//	Month/DayOfWeek → Delayed, (Airport, Carrier) → Dest → Delayed,
+//	Delayed → ArrDelayed,
+//
+// with the functional dependencies AirportWAC ⇔ Airport and
+// CarrierCode ⇔ Carrier, key-like attributes (FlightID, FlightNum,
+// TailNum), and filler attributes padding the schema to 101 columns. The
+// carrier/airport mix is calibrated so that AA has the lower aggregate
+// delay while UA is better at every individual airport — the Simpson
+// reversal of Fig 1.
+func Flight(n int, seed int64) (*dataset.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: Flight with %d rows", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	names := []string{
+		"FlightID", "Year", "Quarter", "Month", "DayofMonth", "DayOfWeek",
+		"FlightNum", "TailNum", "Carrier", "CarrierCode", "Airport",
+		"AirportWAC", "AirportCity", "Dest", "DepTimeBlk", "Delayed",
+		"ArrDelayed", "LateAircraft", "Cancelled", "Distance",
+	}
+	for len(names) < FlightColumns {
+		names = append(names, fmt.Sprintf("Feature%02d", len(names)-19))
+	}
+	b := dataset.NewBuilder(names...)
+
+	airportCum := make([]float64, len(flightAirports))
+	acc := 0.0
+	for i, a := range flightAirports {
+		acc += a.traffic
+		airportCum[i] = acc
+	}
+
+	dests := []string{"LAX", "SFO", "ATL", "DFW", "BOS", "MSP"}
+	row := make([]string, len(names))
+	for i := 0; i < n; i++ {
+		// Airport.
+		u := rng.Float64() * acc
+		ai := 0
+		for airportCum[ai] < u {
+			ai++
+		}
+		airport := flightAirports[ai]
+
+		// Calendar attributes.
+		year := 2015 + rng.Intn(3)
+		month := 1 + rng.Intn(12)
+		quarter := (month-1)/3 + 1 // FD: Month ⇒ Quarter
+		day := 1 + rng.Intn(28)
+		dow := 1 + rng.Intn(7)
+
+		// Carrier | Airport, Year.
+		mix := yearCarrierBoost(year, carrierMix[airport.code])
+		ci := sampleIndex(rng, mix)
+		carrier := flightCarriers[ci]
+
+		// Dest | Airport, Carrier (a mediator: it also shifts delay).
+		di := (ai + ci + rng.Intn(3)) % len(dests)
+		destShift := 0.0
+		if di == 0 || di == 2 {
+			destShift = 0.02
+		}
+
+		// DepTimeBlk | DayOfWeek.
+		dep := "morning"
+		switch {
+		case rng.Float64() < 0.3:
+			dep = "evening"
+		case rng.Float64() < 0.4:
+			dep = "afternoon"
+		}
+		depShift := 0.0
+		if dep == "evening" {
+			depShift = 0.03
+		}
+
+		// Delayed | Airport, Year, Month, DayOfWeek, Carrier, Dest, Dep.
+		p := airport.baseDelay + yearDelayShift(year) + carrier.delayShift + destShift + depShift
+		if month == 12 || month == 1 {
+			p += 0.03 // winter
+		}
+		if dow >= 6 {
+			p -= 0.02 // weekends lighter
+		}
+		delayed := bernoulli(rng, p)
+
+		// ArrDelayed | Delayed; LateAircraft | ArrDelayed.
+		arr := delayed
+		if rng.Float64() < 0.15 {
+			arr = 1 - arr
+		}
+		late := 0
+		if arr == 1 && rng.Float64() < 0.4 {
+			late = 1
+		}
+		cancelled := bernoulli(rng, 0.015)
+
+		row[0] = strconv.Itoa(1000000 + i) // FlightID: unique key
+		row[1] = strconv.Itoa(year)
+		row[2] = "Q" + strconv.Itoa(quarter)
+		row[3] = strconv.Itoa(month)
+		row[4] = strconv.Itoa(day)
+		row[5] = strconv.Itoa(dow)
+		row[6] = strconv.Itoa(100 + rng.Intn(1500)) // FlightNum: key-like
+		row[7] = "N" + strconv.Itoa(10000+rng.Intn(800))
+		row[8] = carrier.carrier
+		row[9] = carrier.code // FD with Carrier
+		row[10] = airport.code
+		row[11] = airport.wac // FD with Airport
+		row[12] = airport.code + "-City"
+		row[13] = dests[di]
+		row[14] = dep
+		row[15] = strconv.Itoa(delayed)
+		row[16] = strconv.Itoa(arr)
+		row[17] = strconv.Itoa(late)
+		row[18] = strconv.Itoa(cancelled)
+		row[19] = distanceBucket(ai, di)
+		for j := 20; j < len(names); j++ {
+			row[j] = fillerValue(rng, j)
+		}
+		if err := b.Add(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Table()
+}
+
+// FlightQuery is the biased query of Fig 1: average delay by carrier at the
+// four study airports.
+func FlightQuery() query.Query {
+	return query.Query{
+		Table:     "FlightData",
+		Treatment: "Carrier",
+		Outcomes:  []string{"Delayed"},
+		Where: dataset.And{
+			dataset.In{Attr: "Carrier", Values: []string{"AA", "UA"}},
+			dataset.In{Attr: "Airport", Values: []string{"COS", "MFE", "MTJ", "ROC"}},
+		},
+	}
+}
+
+// FlightCovariates is the fixed covariate set of the Fig 5(a) experiment
+// ("rewrite the queries w.r.t. the potential covariates Airport, Day,
+// Month, DayOfWeek").
+func FlightCovariates() []string {
+	return []string{"Airport", "DayofMonth", "Month", "DayOfWeek"}
+}
+
+func distanceBucket(ai, di int) string {
+	switch (ai + di) % 3 {
+	case 0:
+		return "short"
+	case 1:
+		return "medium"
+	default:
+		return "long"
+	}
+}
+
+// fillerValue produces an independent categorical value whose cardinality
+// varies with the column index (2–10 categories).
+func fillerValue(rng *rand.Rand, col int) string {
+	card := 2 + col%9
+	return "v" + strconv.Itoa(rng.Intn(card))
+}
+
+func bernoulli(rng *rand.Rand, p float64) int {
+	if p < 0.01 {
+		p = 0.01
+	}
+	if p > 0.99 {
+		p = 0.99
+	}
+	if rng.Float64() < p {
+		return 1
+	}
+	return 0
+}
+
+// sampleIndex draws an index proportional to the (normalized) weights.
+func sampleIndex(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

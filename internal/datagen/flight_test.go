@@ -1,0 +1,133 @@
+package datagen
+
+import (
+	"testing"
+
+	"hypdb/internal/core"
+	"hypdb/internal/dataset"
+)
+
+// conditional computes P(b=bv | a=av) on the table.
+func conditional(t *testing.T, tab *dataset.Table, a, av, b, bv string) float64 {
+	t.Helper()
+	ac, err := tab.Column(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := tab.Column(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den := 0, 0
+	for i := 0; i < tab.NumRows(); i++ {
+		if ac.Value(i) != av {
+			continue
+		}
+		den++
+		if bc.Value(i) == bv {
+			num++
+		}
+	}
+	if den == 0 {
+		t.Fatalf("no rows with %s=%s", a, av)
+	}
+	return float64(num) / float64(den)
+}
+
+// TestFlightConfoundingStructure checks the distributions behind Fig 1(b):
+// AA concentrates at the low-delay airports, UA at high-delay ROC.
+func TestFlightConfoundingStructure(t *testing.T) {
+	tab, err := Flight(30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := tab.Select(dataset.And{
+		dataset.In{Attr: "Carrier", Values: []string{"AA", "UA"}},
+		dataset.In{Attr: "Airport", Values: []string{"COS", "MFE", "MTJ", "ROC"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := conditional(t, view, "Carrier", "AA", "Airport", "COS"); p < 0.25 {
+		t.Errorf("P(COS|AA) = %v, want AA concentrated at COS", p)
+	}
+	if p := conditional(t, view, "Carrier", "UA", "Airport", "ROC"); p < 0.45 {
+		t.Errorf("P(ROC|UA) = %v, want UA concentrated at ROC", p)
+	}
+	if p := conditional(t, view, "Carrier", "AA", "Airport", "ROC"); p > 0.15 {
+		t.Errorf("P(ROC|AA) = %v, want AA rare at ROC", p)
+	}
+	// ROC must be the high-delay airport, COS the low-delay one.
+	rocDelay := conditional(t, view, "Airport", "ROC", "Delayed", "1")
+	cosDelay := conditional(t, view, "Airport", "COS", "Delayed", "1")
+	if rocDelay <= cosDelay+0.1 {
+		t.Errorf("delay rates ROC=%v COS=%v, want a clear gap", rocDelay, cosDelay)
+	}
+}
+
+// TestFlightLogicalDependenciesAreDropped runs the Sec 4 preparation on
+// FlightData and verifies the planted FDs and keys are all caught.
+func TestFlightLogicalDependenciesAreDropped(t *testing.T) {
+	tab, err := Flight(20000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []string{"FlightID", "FlightNum", "TailNum", "CarrierCode",
+		"Airport", "AirportWAC", "AirportCity", "Year", "Month"}
+	kept, dropped, err := core.PrepareCandidates(tab, "Carrier", candidates, core.PrepareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDropped := []string{"FlightID", "FlightNum", "TailNum", "CarrierCode", "AirportWAC", "AirportCity"}
+	droppedSet := map[string]bool{}
+	for _, d := range dropped {
+		droppedSet[d.Attr] = true
+	}
+	for _, w := range wantDropped {
+		if !droppedSet[w] {
+			t.Errorf("%s not dropped (dropped: %v)", w, dropped)
+		}
+	}
+	for _, k := range []string{"Airport", "Year", "Month"} {
+		found := false
+		for _, x := range kept {
+			if x == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("genuine attribute %s wrongly dropped", k)
+		}
+	}
+}
+
+// TestFlightCDFindsAirportAndYear: end-to-end covariate discovery on the
+// flight generator must recover the planted confounders.
+func TestFlightCDFindsAirportAndYear(t *testing.T) {
+	tab, err := Flight(FlightRows, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := tab.Select(FlightQuery().Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restrict candidates to the causal core to keep the test fast; the
+	// full 101-column pass is exercised by cmd/experiments fig1.
+	cands := []string{"Airport", "Year", "Month", "DayOfWeek", "DayofMonth", "Dest", "DepTimeBlk", "Delayed"}
+	res, err := core.DiscoverCovariates(view, "Carrier", cands, []string{"Delayed"},
+		core.Config{Method: core.ChiSquaredMethod, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range res.Parents {
+		got[p] = true
+	}
+	if !got["Airport"] || !got["Year"] {
+		t.Errorf("Parents(Carrier) = %v, want Airport and Year", res.Parents)
+	}
+	if got["Delayed"] {
+		t.Errorf("outcome leaked into covariates: %v", res.Parents)
+	}
+}

@@ -1,0 +1,104 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hypdb/internal/dag"
+	"hypdb/internal/dataset"
+)
+
+// RandomSpec describes one RandomData instance (Sec 7.1): an Erdős–Rényi
+// DAG with CPT-parameterized categorical nodes.
+type RandomSpec struct {
+	// Nodes is the DAG size; the paper uses 8, 16 and 32.
+	Nodes int
+	// AvgDegree is the expected node degree (in+out); the paper's DAGs
+	// keep fan-ins bounded.
+	AvgDegree float64
+	// MinCard and MaxCard bound the per-node category counts; the paper
+	// varies them in 2–20.
+	MinCard, MaxCard int
+	// Alpha is the Dirichlet concentration for CPT rows; small values give
+	// sharp, learnable dependencies. Zero means 0.5.
+	Alpha float64
+	// Rows is the sample size (the paper sweeps 10K–1M+).
+	Rows int
+	// Seed makes the instance reproducible.
+	Seed int64
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if s.Nodes <= 0 {
+		s.Nodes = 8
+	}
+	if s.AvgDegree <= 0 {
+		s.AvgDegree = 3
+	}
+	if s.MinCard < 2 {
+		s.MinCard = 2
+	}
+	if s.MaxCard < s.MinCard {
+		s.MaxCard = s.MinCard
+	}
+	if s.Alpha <= 0 {
+		s.Alpha = 0.5
+	}
+	if s.Rows <= 0 {
+		s.Rows = 10000
+	}
+	return s
+}
+
+// Random generates one RandomData table together with its ground-truth
+// network (for scoring parent recovery in the Fig 5 experiments).
+func Random(spec RandomSpec) (*dataset.Table, *dag.BayesNet, error) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g, err := dag.RandomDAGAvgDegree(rng, spec.Nodes, spec.AvgDegree)
+	if err != nil {
+		return nil, nil, err
+	}
+	bn, err := dag.RandomBayesNet(rng, g, spec.MinCard, spec.MaxCard, spec.Alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := bn.Sample(rng, spec.Rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tab, bn, nil
+}
+
+// Generator is a named dataset factory for the CLI and the experiment
+// harness.
+type Generator struct {
+	Name        string
+	Description string
+	DefaultRows int
+	// Generate builds the table with the given size and seed. Generators
+	// over fixed data (Berkeley) ignore n.
+	Generate func(n int, seed int64) (*dataset.Table, error)
+}
+
+// Generators lists the named dataset factories.
+func Generators() []Generator {
+	return []Generator{
+		{"flight", "FlightData substitute (101 cols, Simpson's paradox, FDs, keys)", FlightRows, Flight},
+		{"adult", "AdultData substitute (15 cols, gender/income mediation)", AdultRows, Adult},
+		{"berkeley", "BerkeleyData (real 1973 admissions counts)", BerkeleyRows(),
+			func(_ int, seed int64) (*dataset.Table, error) { return Berkeley(seed) }},
+		{"staples", "StaplesData substitute (6 cols, indirect pricing effect)", StaplesRows, Staples},
+		{"cancer", "CancerData (Fig 7 DAG, 12 cols)", CancerRows, Cancer},
+	}
+}
+
+// Lookup finds a generator by name.
+func Lookup(name string) (Generator, error) {
+	for _, g := range Generators() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("datagen: unknown dataset %q", name)
+}

@@ -1,0 +1,90 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/query"
+)
+
+// StaplesRows is the default row count, matching Table 1 (988,871 rows).
+const StaplesRows = 988871
+
+// Staples generates the StaplesData substitute (6 columns): the WSJ online
+// pricing investigation the paper analyzes in Fig 3 (bottom). The causal
+// chain is
+//
+//	Urban → Income, Urban → Distance, Income → Distance → Price,
+//
+// with *no* direct Income → Price edge: lower-income customers tend to
+// live far from competitors' stores, and far customers get the higher
+// price. The calibration reproduces the reported SQL answers
+// (avg price ≈ 0.06 for low income vs 0.05 for high) with a zero direct
+// effect.
+func Staples(n int, seed int64) (*dataset.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: Staples with %d rows", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder("CustomerID", "State", "Urban", "Income", "Distance", "Price")
+	states := []string{"WA", "CA", "TX", "NY", "FL"}
+	row := make([]string, 6)
+	for i := 0; i < n; i++ {
+		urban := rng.Float64() < 0.55
+		// Income | Urban.
+		pHigh := 0.35
+		if urban {
+			pHigh = 0.55
+		}
+		highIncome := rng.Float64() < pHigh
+		// Distance | Income, Urban: low income and rural → far.
+		pFar := 0.20
+		if !highIncome {
+			pFar += 0.30
+		}
+		if !urban {
+			pFar += 0.15
+		}
+		far := rng.Float64() < pFar
+		// Price | Distance only (no direct income edge).
+		pHighPrice := 0.04
+		if far {
+			pHighPrice = 0.07
+		}
+		price := bernoulli(rng, pHighPrice)
+
+		income := "0"
+		if highIncome {
+			income = "1"
+		}
+		dist := "near"
+		if far {
+			dist = "far"
+		}
+		u := "rural"
+		if urban {
+			u = "urban"
+		}
+		row[0] = strconv.Itoa(i) // key-like
+		row[1] = states[rng.Intn(len(states))]
+		row[2] = u
+		row[3] = income
+		row[4] = dist
+		row[5] = strconv.Itoa(price)
+		if err := b.Add(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Table()
+}
+
+// StaplesQuery is the Fig 3 (bottom) query: average price by income.
+func StaplesQuery() query.Query {
+	return query.Query{
+		Table:     "StaplesData",
+		Treatment: "Income",
+		Outcomes:  []string{"Price"},
+	}
+}

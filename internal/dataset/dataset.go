@@ -1,0 +1,453 @@
+// Package dataset provides the relational substrate of HypDB: an in-memory,
+// columnar table of dictionary-encoded categorical attributes with
+// selection, projection, grouping and CSV I/O.
+//
+// The paper (Sec 2) fixes a relational schema with discrete domains and
+// restricts OLAP queries to group-by-average queries over such tables. The
+// original implementation sat on top of pandas; this package is the
+// equivalent substrate in pure Go.
+//
+// All values are categorical. A column stores one int32 code per row plus a
+// dictionary mapping codes to string labels. Numeric outcome attributes
+// (e.g. a 0/1 "Delayed" flag) are stored the same way; Table.Float decodes a
+// column to float64 for aggregation.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Column is a dictionary-encoded categorical attribute.
+type Column struct {
+	Name   string
+	codes  []int32  // one entry per row; index into labels
+	labels []string // dictionary: code -> label
+	index  map[string]int32
+}
+
+// NewColumn creates an empty column with the given name.
+func NewColumn(name string) *Column {
+	return &Column{Name: name, index: make(map[string]int32)}
+}
+
+// NewColumnFromStrings builds a column by dictionary-encoding vals.
+func NewColumnFromStrings(name string, vals []string) *Column {
+	c := NewColumn(name)
+	c.codes = make([]int32, 0, len(vals))
+	for _, v := range vals {
+		c.Append(v)
+	}
+	return c
+}
+
+// NewColumnFromCodes builds a column directly from codes and a dictionary.
+// The caller must guarantee every code is a valid index into labels.
+func NewColumnFromCodes(name string, codes []int32, labels []string) (*Column, error) {
+	idx := make(map[string]int32, len(labels))
+	for i, l := range labels {
+		if _, dup := idx[l]; dup {
+			return nil, fmt.Errorf("dataset: column %q: duplicate label %q", name, l)
+		}
+		idx[l] = int32(i)
+	}
+	for i, code := range codes {
+		if code < 0 || int(code) >= len(labels) {
+			return nil, fmt.Errorf("dataset: column %q: row %d has code %d outside dictionary of size %d",
+				name, i, code, len(labels))
+		}
+	}
+	return &Column{Name: name, codes: codes, labels: labels, index: idx}, nil
+}
+
+// Append adds one value to the column, extending the dictionary if needed,
+// and returns the code assigned to it.
+func (c *Column) Append(val string) int32 {
+	if code, ok := c.index[val]; ok {
+		c.codes = append(c.codes, code)
+		return code
+	}
+	code := int32(len(c.labels))
+	c.labels = append(c.labels, val)
+	c.index[val] = code
+	c.codes = append(c.codes, code)
+	return code
+}
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return len(c.codes) }
+
+// Card returns the cardinality of the active domain (dictionary size).
+func (c *Column) Card() int { return len(c.labels) }
+
+// Code returns the dictionary code of row i.
+func (c *Column) Code(i int) int32 { return c.codes[i] }
+
+// Codes returns the backing code slice. Callers must not mutate it.
+func (c *Column) Codes() []int32 { return c.codes }
+
+// Label decodes a dictionary code back to its string label.
+func (c *Column) Label(code int32) string { return c.labels[code] }
+
+// Labels returns the dictionary. Callers must not mutate it.
+func (c *Column) Labels() []string { return c.labels }
+
+// Value returns the decoded value of row i.
+func (c *Column) Value(i int) string { return c.labels[c.codes[i]] }
+
+// CodeOf returns the code for label val, or -1 when val is not in the
+// dictionary.
+func (c *Column) CodeOf(val string) int32 {
+	if code, ok := c.index[val]; ok {
+		return code
+	}
+	return -1
+}
+
+// clone returns a deep copy of the column restricted to the given rows.
+// The dictionary is compacted to the codes that actually occur.
+func (c *Column) cloneRows(rows []int) *Column {
+	out := NewColumn(c.Name)
+	out.codes = make([]int32, 0, len(rows))
+	remap := make(map[int32]int32, len(c.labels))
+	for _, r := range rows {
+		old := c.codes[r]
+		code, ok := remap[old]
+		if !ok {
+			code = int32(len(out.labels))
+			out.labels = append(out.labels, c.labels[old])
+			out.index[c.labels[old]] = code
+			remap[old] = code
+		}
+		out.codes = append(out.codes, code)
+	}
+	return out
+}
+
+// Table is a set of equal-length columns: the database instance D of the
+// paper, a uniform sample of an unknown population distribution Pr(A).
+type Table struct {
+	cols    []*Column
+	byName  map[string]int
+	numRows int
+}
+
+// New creates a table from columns. All columns must have equal length and
+// distinct names.
+func New(cols ...*Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("dataset: table needs at least one column")
+	}
+	t := &Table{byName: make(map[string]int, len(cols))}
+	t.numRows = cols[0].Len()
+	for i, c := range cols {
+		if c.Len() != t.numRows {
+			return nil, fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, c.Len(), t.numRows)
+		}
+		if _, dup := t.byName[c.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate column name %q", c.Name)
+		}
+		t.byName[c.Name] = i
+		t.cols = append(t.cols, c)
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error; for tests and generators with
+// statically correct shapes.
+func MustNew(cols ...*Column) *Table {
+	t, err := New(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumRows returns the number of rows (the paper's n).
+func (t *Table) NumRows() int { return t.numRows }
+
+// NumCols returns the number of attributes.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Columns returns the column names in schema order.
+func (t *Table) Columns() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// HasColumn reports whether the attribute exists.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// Column returns the named column or an error when absent.
+func (t *Table) Column(name string) (*Column, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("dataset: no column %q", name)
+	}
+	return t.cols[i], nil
+}
+
+// MustColumn is Column that panics on missing attributes.
+func (t *Table) MustColumn(name string) *Column {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Float decodes a column into float64s by parsing its labels. Labels that do
+// not parse cause an error naming the offending value.
+func (t *Table) Float(name string) ([]float64, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	parsed := make([]float64, c.Card())
+	for code, l := range c.labels {
+		v, err := strconv.ParseFloat(l, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: column %q: value %q is not numeric", name, l)
+		}
+		parsed[code] = v
+	}
+	out := make([]float64, t.numRows)
+	for i, code := range c.codes {
+		out[i] = parsed[code]
+	}
+	return out, nil
+}
+
+// Select returns a new table containing the rows matching pred, in order.
+func (t *Table) Select(pred Predicate) (*Table, error) {
+	if pred == nil {
+		return t, nil
+	}
+	match, err := pred.Eval(t)
+	if err != nil {
+		return nil, err
+	}
+	var rows []int
+	for i, m := range match {
+		if m {
+			rows = append(rows, i)
+		}
+	}
+	return t.SelectRows(rows)
+}
+
+// SelectRows returns a new table with exactly the given rows (in the given
+// order). Dictionaries are compacted.
+func (t *Table) SelectRows(rows []int) (*Table, error) {
+	for _, r := range rows {
+		if r < 0 || r >= t.numRows {
+			return nil, fmt.Errorf("dataset: row index %d out of range [0,%d)", r, t.numRows)
+		}
+	}
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.cloneRows(rows)
+	}
+	out := &Table{cols: cols, byName: make(map[string]int, len(cols)), numRows: len(rows)}
+	for i, c := range cols {
+		out.byName[c.Name] = i
+	}
+	return out, nil
+}
+
+// Project returns a new table with only the named columns (shared storage —
+// cheap). The column order follows names.
+func (t *Table) Project(names ...string) (*Table, error) {
+	cols := make([]*Column, 0, len(names))
+	for _, n := range names {
+		c, err := t.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+	}
+	return New(cols...)
+}
+
+// Drop returns a new table without the named columns (shared storage).
+func (t *Table) Drop(names ...string) (*Table, error) {
+	dropped := make(map[string]bool, len(names))
+	for _, n := range names {
+		if !t.HasColumn(n) {
+			return nil, fmt.Errorf("dataset: no column %q", n)
+		}
+		dropped[n] = true
+	}
+	var keep []string
+	for _, c := range t.cols {
+		if !dropped[c.Name] {
+			keep = append(keep, c.Name)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("dataset: dropping all columns")
+	}
+	return t.Project(keep...)
+}
+
+// GroupKey is a composite group-by key: the codes of the grouping attributes
+// for some row, rendered into a compact comparable string.
+type GroupKey string
+
+// KeyEncoder turns rows into composite group keys over a fixed attribute
+// list. Encoding is length-prefixed so distinct code tuples never collide.
+type KeyEncoder struct {
+	cols []*Column
+}
+
+// NewKeyEncoder builds an encoder over the named attributes of t.
+func NewKeyEncoder(t *Table, attrs []string) (*KeyEncoder, error) {
+	e := &KeyEncoder{}
+	for _, a := range attrs {
+		c, err := t.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		e.cols = append(e.cols, c)
+	}
+	return e, nil
+}
+
+// Key returns the composite key of row i.
+func (e *KeyEncoder) Key(i int) GroupKey {
+	if len(e.cols) == 0 {
+		return ""
+	}
+	buf := make([]byte, 0, 4*len(e.cols))
+	for _, c := range e.cols {
+		v := c.codes[i]
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return GroupKey(buf)
+}
+
+// Decode renders a key back into human-readable attribute=value pairs.
+func (e *KeyEncoder) Decode(k GroupKey) []string {
+	out := make([]string, 0, len(e.cols))
+	b := []byte(k)
+	for i, c := range e.cols {
+		off := i * 4
+		code := int32(b[off]) | int32(b[off+1])<<8 | int32(b[off+2])<<16 | int32(b[off+3])<<24
+		out = append(out, c.Name+"="+c.Label(code))
+	}
+	return out
+}
+
+// Codes decodes a key into the per-attribute dictionary codes.
+func (e *KeyEncoder) Codes(k GroupKey) []int32 {
+	b := []byte(k)
+	out := make([]int32, len(e.cols))
+	for i := range e.cols {
+		off := i * 4
+		out[i] = int32(b[off]) | int32(b[off+1])<<8 | int32(b[off+2])<<16 | int32(b[off+3])<<24
+	}
+	return out
+}
+
+// Group is one group of a group-by: its key and member row indices.
+type Group struct {
+	Key  GroupKey
+	Rows []int
+}
+
+// GroupBy partitions the table rows by the composite value of attrs.
+// Groups are returned in a deterministic order (sorted by key).
+func (t *Table) GroupBy(attrs ...string) ([]Group, *KeyEncoder, error) {
+	enc, err := NewKeyEncoder(t, attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := make(map[GroupKey][]int)
+	for i := 0; i < t.numRows; i++ {
+		k := enc.Key(i)
+		m[k] = append(m[k], i)
+	}
+	groups := make([]Group, 0, len(m))
+	for k, rows := range m {
+		groups = append(groups, Group{Key: k, Rows: rows})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	return groups, enc, nil
+}
+
+// Counts returns the frequency of each composite value of attrs.
+func (t *Table) Counts(attrs ...string) (map[GroupKey]int, *KeyEncoder, error) {
+	enc, err := NewKeyEncoder(t, attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := make(map[GroupKey]int)
+	for i := 0; i < t.numRows; i++ {
+		m[enc.Key(i)]++
+	}
+	return m, enc, nil
+}
+
+// DistinctCount returns the number of distinct composite values of attrs
+// (the paper's |Π_X(D)|).
+func (t *Table) DistinctCount(attrs ...string) (int, error) {
+	m, _, err := t.Counts(attrs...)
+	if err != nil {
+		return 0, err
+	}
+	return len(m), nil
+}
+
+// AppendRow appends one row given as attribute label values in schema order.
+func (t *Table) AppendRow(vals ...string) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("dataset: AppendRow got %d values, want %d", len(vals), len(t.cols))
+	}
+	for i, v := range vals {
+		t.cols[i].Append(v)
+	}
+	t.numRows++
+	return nil
+}
+
+// Builder incrementally assembles a table row by row.
+type Builder struct {
+	cols []*Column
+}
+
+// NewBuilder creates a builder over the given schema.
+func NewBuilder(names ...string) *Builder {
+	b := &Builder{}
+	for _, n := range names {
+		b.cols = append(b.cols, NewColumn(n))
+	}
+	return b
+}
+
+// Add appends a row of label values in schema order.
+func (b *Builder) Add(vals ...string) error {
+	if len(vals) != len(b.cols) {
+		return fmt.Errorf("dataset: Builder.Add got %d values, want %d", len(vals), len(b.cols))
+	}
+	for i, v := range vals {
+		b.cols[i].Append(v)
+	}
+	return nil
+}
+
+// MustAdd is Add that panics; for generators with static shapes.
+func (b *Builder) MustAdd(vals ...string) {
+	if err := b.Add(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Table finalizes the builder.
+func (b *Builder) Table() (*Table, error) { return New(b.cols...) }

@@ -1,0 +1,469 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	b := NewBuilder("carrier", "airport", "delayed")
+	rows := [][]string{
+		{"AA", "COS", "0"},
+		{"AA", "MFE", "0"},
+		{"AA", "COS", "1"},
+		{"UA", "ROC", "1"},
+		{"UA", "ROC", "0"},
+		{"UA", "COS", "1"},
+	}
+	for _, r := range rows {
+		b.MustAdd(r...)
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	return tab
+}
+
+func TestColumnDictionaryEncoding(t *testing.T) {
+	c := NewColumnFromStrings("x", []string{"a", "b", "a", "c", "b"})
+	if got := c.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	if got := c.Card(); got != 3 {
+		t.Fatalf("Card = %d, want 3", got)
+	}
+	if c.Code(0) != c.Code(2) {
+		t.Errorf("same label got different codes: %d vs %d", c.Code(0), c.Code(2))
+	}
+	if c.Code(0) == c.Code(1) {
+		t.Errorf("different labels got same code %d", c.Code(0))
+	}
+	for i, want := range []string{"a", "b", "a", "c", "b"} {
+		if got := c.Value(i); got != want {
+			t.Errorf("Value(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if got := c.CodeOf("missing"); got != -1 {
+		t.Errorf("CodeOf(missing) = %d, want -1", got)
+	}
+}
+
+func TestNewColumnFromCodesValidation(t *testing.T) {
+	if _, err := NewColumnFromCodes("x", []int32{0, 5}, []string{"a", "b"}); err == nil {
+		t.Error("out-of-range code accepted")
+	}
+	if _, err := NewColumnFromCodes("x", []int32{0}, []string{"a", "a"}); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+	c, err := NewColumnFromCodes("x", []int32{1, 0}, []string{"a", "b"})
+	if err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if c.Value(0) != "b" || c.Value(1) != "a" {
+		t.Errorf("decoded values %q,%q want b,a", c.Value(0), c.Value(1))
+	}
+}
+
+func TestNewRejectsRaggedAndDuplicate(t *testing.T) {
+	a := NewColumnFromStrings("a", []string{"1", "2"})
+	short := NewColumnFromStrings("b", []string{"1"})
+	if _, err := New(a, short); err == nil {
+		t.Error("ragged columns accepted")
+	}
+	a2 := NewColumnFromStrings("a", []string{"3", "4"})
+	if _, err := New(a, a2); err == nil {
+		t.Error("duplicate column name accepted")
+	}
+	if _, err := New(); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestSelectIn(t *testing.T) {
+	tab := sampleTable(t)
+	got, err := tab.Select(In{Attr: "carrier", Values: []string{"AA"}})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", got.NumRows())
+	}
+	c := got.MustColumn("carrier")
+	for i := 0; i < got.NumRows(); i++ {
+		if c.Value(i) != "AA" {
+			t.Errorf("row %d carrier = %q, want AA", i, c.Value(i))
+		}
+	}
+	// Dictionary must be compacted: only AA remains.
+	if c.Card() != 1 {
+		t.Errorf("carrier Card after select = %d, want 1", c.Card())
+	}
+}
+
+func TestSelectAndOrNot(t *testing.T) {
+	tab := sampleTable(t)
+	got, err := tab.Select(And{
+		In{Attr: "carrier", Values: []string{"UA"}},
+		Eq{Attr: "delayed", Value: "1"},
+	})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if got.NumRows() != 2 {
+		t.Errorf("AND rows = %d, want 2", got.NumRows())
+	}
+
+	got, err = tab.Select(Or{
+		Eq{Attr: "airport", Value: "MFE"},
+		Eq{Attr: "airport", Value: "ROC"},
+	})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if got.NumRows() != 3 {
+		t.Errorf("OR rows = %d, want 3", got.NumRows())
+	}
+
+	got, err = tab.Select(Not{Eq{Attr: "carrier", Value: "AA"}})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if got.NumRows() != 3 {
+		t.Errorf("NOT rows = %d, want 3", got.NumRows())
+	}
+
+	got, err = tab.Select(All{})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if got.NumRows() != tab.NumRows() {
+		t.Errorf("All rows = %d, want %d", got.NumRows(), tab.NumRows())
+	}
+}
+
+func TestSelectMissingValueMatchesNothing(t *testing.T) {
+	tab := sampleTable(t)
+	got, err := tab.Select(Eq{Attr: "carrier", Value: "DL"})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if got.NumRows() != 0 {
+		t.Errorf("rows = %d, want 0", got.NumRows())
+	}
+}
+
+func TestSelectMissingColumnErrors(t *testing.T) {
+	tab := sampleTable(t)
+	if _, err := tab.Select(Eq{Attr: "nope", Value: "x"}); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestPredicateSQL(t *testing.T) {
+	cases := []struct {
+		pred Predicate
+		want string
+	}{
+		{In{Attr: "a", Values: []string{"x", "y"}}, "a IN ('x','y')"},
+		{Eq{Attr: "a", Value: "x"}, "a = 'x'"},
+		{And{Eq{Attr: "a", Value: "x"}, Eq{Attr: "b", Value: "y"}}, "a = 'x' AND b = 'y'"},
+		{And{}, "TRUE"},
+		{Or{}, "FALSE"},
+		{Not{Eq{Attr: "a", Value: "x"}}, "NOT (a = 'x')"},
+		{All{}, "TRUE"},
+	}
+	for _, tc := range cases {
+		if got := tc.pred.SQL(); got != tc.want {
+			t.Errorf("SQL() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestProjectAndDrop(t *testing.T) {
+	tab := sampleTable(t)
+	p, err := tab.Project("delayed", "carrier")
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if got := p.Columns(); !reflect.DeepEqual(got, []string{"delayed", "carrier"}) {
+		t.Errorf("Columns = %v", got)
+	}
+	d, err := tab.Drop("airport")
+	if err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	if d.HasColumn("airport") {
+		t.Error("airport still present after Drop")
+	}
+	if _, err := tab.Drop("nope"); err == nil {
+		t.Error("dropping missing column accepted")
+	}
+	if _, err := tab.Drop("carrier", "airport", "delayed"); err == nil {
+		t.Error("dropping all columns accepted")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	tab := sampleTable(t)
+	groups, enc, err := tab.GroupBy("carrier")
+	if err != nil {
+		t.Fatalf("GroupBy: %v", err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Rows)
+		dec := enc.Decode(g.Key)
+		if len(dec) != 1 || !strings.HasPrefix(dec[0], "carrier=") {
+			t.Errorf("Decode = %v", dec)
+		}
+	}
+	if total != tab.NumRows() {
+		t.Errorf("group sizes sum to %d, want %d", total, tab.NumRows())
+	}
+}
+
+func TestGroupByMultiAttributeNoCollisions(t *testing.T) {
+	// Two attributes whose concatenated labels could collide ("a"+"bc" vs
+	// "ab"+"c") must still land in different groups.
+	b := NewBuilder("x", "y")
+	b.MustAdd("a", "bc")
+	b.MustAdd("ab", "c")
+	b.MustAdd("a", "bc")
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	groups, _, err := tab.GroupBy("x", "y")
+	if err != nil {
+		t.Fatalf("GroupBy: %v", err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	sizes := []int{len(groups[0].Rows), len(groups[1].Rows)}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Errorf("group sizes = %v, want [1 2]", sizes)
+	}
+}
+
+func TestGroupByEmptyAttrsSingleGroup(t *testing.T) {
+	tab := sampleTable(t)
+	groups, _, err := tab.GroupBy()
+	if err != nil {
+		t.Fatalf("GroupBy: %v", err)
+	}
+	if len(groups) != 1 || len(groups[0].Rows) != tab.NumRows() {
+		t.Errorf("GroupBy() = %d groups, first size %d", len(groups), len(groups[0].Rows))
+	}
+}
+
+func TestKeyEncoderCodesRoundTrip(t *testing.T) {
+	tab := sampleTable(t)
+	enc, err := NewKeyEncoder(tab, []string{"carrier", "airport"})
+	if err != nil {
+		t.Fatalf("NewKeyEncoder: %v", err)
+	}
+	for i := 0; i < tab.NumRows(); i++ {
+		k := enc.Key(i)
+		codes := enc.Codes(k)
+		if codes[0] != tab.MustColumn("carrier").Code(i) || codes[1] != tab.MustColumn("airport").Code(i) {
+			t.Errorf("row %d: Codes(Key) = %v, want column codes", i, codes)
+		}
+	}
+}
+
+func TestCountsAndDistinctCount(t *testing.T) {
+	tab := sampleTable(t)
+	counts, _, err := tab.Counts("airport")
+	if err != nil {
+		t.Fatalf("Counts: %v", err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != tab.NumRows() {
+		t.Errorf("counts sum = %d, want %d", total, tab.NumRows())
+	}
+	n, err := tab.DistinctCount("airport")
+	if err != nil {
+		t.Fatalf("DistinctCount: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("DistinctCount(airport) = %d, want 3", n)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	tab := sampleTable(t)
+	vals, err := tab.Float("delayed")
+	if err != nil {
+		t.Fatalf("Float: %v", err)
+	}
+	want := []float64{0, 0, 1, 1, 0, 1}
+	if !reflect.DeepEqual(vals, want) {
+		t.Errorf("Float = %v, want %v", vals, want)
+	}
+	if _, err := tab.Float("carrier"); err == nil {
+		t.Error("non-numeric column parsed as float")
+	}
+}
+
+func TestSelectRowsValidation(t *testing.T) {
+	tab := sampleTable(t)
+	if _, err := tab.SelectRows([]int{0, 99}); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	got, err := tab.SelectRows([]int{5, 0})
+	if err != nil {
+		t.Fatalf("SelectRows: %v", err)
+	}
+	if got.MustColumn("airport").Value(0) != "COS" || got.MustColumn("carrier").Value(1) != "AA" {
+		t.Error("SelectRows did not preserve requested order")
+	}
+}
+
+func TestAppendRow(t *testing.T) {
+	tab := sampleTable(t)
+	if err := tab.AppendRow("DL", "JFK", "0"); err != nil {
+		t.Fatalf("AppendRow: %v", err)
+	}
+	if tab.NumRows() != 7 {
+		t.Errorf("NumRows = %d, want 7", tab.NumRows())
+	}
+	if tab.MustColumn("carrier").Value(6) != "DL" {
+		t.Error("appended row not readable")
+	}
+	if err := tab.AppendRow("too", "few"); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := sampleTable(t)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+		t.Fatalf("round trip shape %dx%d, want %dx%d",
+			back.NumRows(), back.NumCols(), tab.NumRows(), tab.NumCols())
+	}
+	for _, name := range tab.Columns() {
+		a, b := tab.MustColumn(name), back.MustColumn(name)
+		for i := 0; i < tab.NumRows(); i++ {
+			if a.Value(i) != b.Value(i) {
+				t.Fatalf("col %s row %d: %q != %q", name, i, a.Value(i), b.Value(i))
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	tab := sampleTable(t)
+	path := t.TempDir() + "/t.csv"
+	if err := tab.WriteCSVFile(path); err != nil {
+		t.Fatalf("WriteCSVFile: %v", err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatalf("ReadCSVFile: %v", err)
+	}
+	if back.NumRows() != tab.NumRows() {
+		t.Errorf("rows = %d, want %d", back.NumRows(), tab.NumRows())
+	}
+}
+
+func TestReadCSVRagged(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+}
+
+// Property: selecting with a random In predicate keeps exactly the matching
+// rows, in their original relative order.
+func TestQuickSelectPreservesMatchingRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = strconv.Itoa(r.Intn(5))
+		}
+		tab := MustNew(NewColumnFromStrings("v", vals))
+		pick := strconv.Itoa(r.Intn(5))
+		sel, err := tab.Select(Eq{Attr: "v", Value: pick})
+		if err != nil {
+			return false
+		}
+		var want []string
+		for _, v := range vals {
+			if v == pick {
+				want = append(want, v)
+			}
+		}
+		if sel.NumRows() != len(want) {
+			return false
+		}
+		c := sel.MustColumn("v")
+		for i := range want {
+			if c.Value(i) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: group sizes always partition the table.
+func TestQuickGroupByPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a := make([]string, n)
+		b := make([]string, n)
+		for i := range a {
+			a[i] = strconv.Itoa(r.Intn(4))
+			b[i] = strconv.Itoa(r.Intn(3))
+		}
+		tab := MustNew(NewColumnFromStrings("a", a), NewColumnFromStrings("b", b))
+		groups, _, err := tab.GroupBy("a", "b")
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, g := range groups {
+			for _, row := range g.Rows {
+				if seen[row] {
+					return false // row in two groups
+				}
+				seen[row] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

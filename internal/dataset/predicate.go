@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Predicate is a row filter: the WHERE condition C of the paper's queries.
+// Eval returns one bool per row of t.
+type Predicate interface {
+	Eval(t *Table) ([]bool, error)
+	// SQL renders the predicate as a SQL boolean expression, used when the
+	// system prints the original and rewritten queries.
+	SQL() string
+}
+
+// In matches rows whose Attr value is one of Values (SQL: Attr IN (...)).
+type In struct {
+	Attr   string
+	Values []string
+}
+
+// Eval implements Predicate.
+func (p In) Eval(t *Table) ([]bool, error) {
+	c, err := t.Column(p.Attr)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[int32]bool, len(p.Values))
+	for _, v := range p.Values {
+		if code := c.CodeOf(v); code >= 0 {
+			want[code] = true
+		}
+	}
+	out := make([]bool, t.NumRows())
+	for i, code := range c.Codes() {
+		out[i] = want[code]
+	}
+	return out, nil
+}
+
+// SQL implements Predicate.
+func (p In) SQL() string {
+	quoted := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		quoted[i] = "'" + v + "'"
+	}
+	return fmt.Sprintf("%s IN (%s)", p.Attr, strings.Join(quoted, ","))
+}
+
+// Eq matches rows with Attr = Value.
+type Eq struct {
+	Attr  string
+	Value string
+}
+
+// Eval implements Predicate.
+func (p Eq) Eval(t *Table) ([]bool, error) {
+	c, err := t.Column(p.Attr)
+	if err != nil {
+		return nil, err
+	}
+	code := c.CodeOf(p.Value)
+	out := make([]bool, t.NumRows())
+	if code < 0 {
+		return out, nil
+	}
+	for i, v := range c.Codes() {
+		out[i] = v == code
+	}
+	return out, nil
+}
+
+// SQL implements Predicate.
+func (p Eq) SQL() string { return fmt.Sprintf("%s = '%s'", p.Attr, p.Value) }
+
+// And is the conjunction of its children. An empty And matches everything
+// (SQL: TRUE).
+type And []Predicate
+
+// Eval implements Predicate.
+func (p And) Eval(t *Table) ([]bool, error) {
+	out := make([]bool, t.NumRows())
+	for i := range out {
+		out[i] = true
+	}
+	for _, child := range p {
+		m, err := child.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = out[i] && m[i]
+		}
+	}
+	return out, nil
+}
+
+// SQL implements Predicate.
+func (p And) SQL() string {
+	if len(p) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(p))
+	for i, child := range p {
+		parts[i] = child.SQL()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Or is the disjunction of its children. An empty Or matches nothing.
+type Or []Predicate
+
+// Eval implements Predicate.
+func (p Or) Eval(t *Table) ([]bool, error) {
+	out := make([]bool, t.NumRows())
+	for _, child := range p {
+		m, err := child.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = out[i] || m[i]
+		}
+	}
+	return out, nil
+}
+
+// SQL implements Predicate.
+func (p Or) SQL() string {
+	if len(p) == 0 {
+		return "FALSE"
+	}
+	parts := make([]string, len(p))
+	for i, child := range p {
+		parts[i] = "(" + child.SQL() + ")"
+	}
+	return strings.Join(parts, " OR ")
+}
+
+// Not negates its child.
+type Not struct{ Pred Predicate }
+
+// Eval implements Predicate.
+func (p Not) Eval(t *Table) ([]bool, error) {
+	m, err := p.Pred.Eval(t)
+	if err != nil {
+		return nil, err
+	}
+	for i := range m {
+		m[i] = !m[i]
+	}
+	return m, nil
+}
+
+// SQL implements Predicate.
+func (p Not) SQL() string { return "NOT (" + p.Pred.SQL() + ")" }
+
+// All matches every row (no WHERE clause).
+type All struct{}
+
+// Eval implements Predicate.
+func (All) Eval(t *Table) ([]bool, error) {
+	out := make([]bool, t.NumRows())
+	for i := range out {
+		out[i] = true
+	}
+	return out, nil
+}
+
+// SQL implements Predicate.
+func (All) SQL() string { return "TRUE" }

@@ -1,0 +1,144 @@
+package independence
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/stats"
+)
+
+// TestMITSkipsUninformativeGroups: groups where X or Y is constant carry no
+// permutation information and must not dilute the statistic.
+func TestMITSkipsUninformativeGroups(t *testing.T) {
+	b := dataset.NewBuilder("X", "Y", "Z")
+	// Group z=0: strong dependence, both variables vary.
+	pattern := [][2]string{{"0", "0"}, {"0", "0"}, {"1", "1"}, {"1", "1"}, {"0", "1"}}
+	for i := 0; i < 40; i++ {
+		p := pattern[i%len(pattern)]
+		b.MustAdd(p[0], p[1], "0")
+	}
+	// Group z=1: X constant — uninformative under any permutation.
+	for i := 0; i < 200; i++ {
+		b.MustAdd("0", strconv.Itoa(i%2), "1")
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MIT{Permutations: 400, Seed: 5, Est: stats.PlugIn}.Test(tab, "X", "Y", []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != 1 {
+		t.Errorf("informative groups = %d, want 1 (constant-X group skipped)", res.Groups)
+	}
+	if res.PValue > 0.05 {
+		t.Errorf("dependence in the informative group missed: p = %v", res.PValue)
+	}
+}
+
+// TestMITSingleGroupConditioning: a conditioning attribute with one value
+// degenerates to the unconditional test.
+func TestMITSingleGroupConditioning(t *testing.T) {
+	tab := chainData(t, 500, 30)
+	// Add a constant column.
+	constCol := make([]string, tab.NumRows())
+	for i := range constCol {
+		constCol[i] = "c"
+	}
+	cols := []*dataset.Column{dataset.NewColumnFromStrings("C", constCol)}
+	for _, name := range tab.Columns() {
+		c, err := tab.Column(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols = append(cols, c)
+	}
+	tab2, err := dataset.New(cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unconditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(tab2, "X", "Y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(tab2, "X", "Y", []string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(unconditional.MI-conditional.MI) > 1e-12 {
+		t.Errorf("MI differs: %v vs %v", unconditional.MI, conditional.MI)
+	}
+	if unconditional.PValue != conditional.PValue {
+		t.Errorf("p-values differ: %v vs %v", unconditional.PValue, conditional.PValue)
+	}
+}
+
+// TestCachedProviderConcurrentAccess exercises the cache under parallel
+// use (the Parallel analysis path shares providers across goroutines).
+func TestCachedProviderConcurrentAccess(t *testing.T) {
+	tab := chainData(t, 400, 31)
+	p := NewCachedProvider(NewScanProvider(tab, stats.MillerMadow))
+	var wg sync.WaitGroup
+	results := make([]float64, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := p.JointEntropy([]string{"X", "Y", "Z"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = h
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 16; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("concurrent entropy values differ: %v vs %v", results[i], results[0])
+		}
+	}
+}
+
+// TestHyMITWithProviderConsistency: supplying a cached provider must not
+// change the chi2-branch verdict.
+func TestHyMITWithProviderConsistency(t *testing.T) {
+	tab := chainData(t, 3000, 32)
+	bare := HyMIT{Permutations: 100, Seed: 7, Est: stats.MillerMadow}
+	cached := HyMIT{Permutations: 100, Seed: 7, Est: stats.MillerMadow,
+		Provider: NewCachedProvider(NewScanProvider(tab, stats.MillerMadow))}
+	r1, err := bare.Test(tab, "X", "Y", []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cached.Test(tab, "X", "Y", []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Method != r2.Method || r1.PValue != r2.PValue {
+		t.Errorf("provider changed the verdict: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestShuffleMatchesChiSquareVerdicts: on comfortable sample sizes the
+// nonparametric and parametric tests agree on clear-cut cases.
+func TestShuffleMatchesChiSquareVerdicts(t *testing.T) {
+	dep := chainData(t, 600, 33)
+	s := Shuffle{Permutations: 300, Seed: 8, Est: stats.PlugIn}
+	c := ChiSquare{Est: stats.MillerMadow}
+	rs, err := s.Test(dep, "X", "Z", nil) // X directly caused by Z
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := c.Test(dep, "X", "Z", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Decision(rs, 0.01) != Decision(rc, 0.01) {
+		t.Errorf("verdicts disagree: shuffle p=%v, chi2 p=%v", rs.PValue, rc.PValue)
+	}
+}

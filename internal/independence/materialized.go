@@ -1,0 +1,145 @@
+package independence
+
+import (
+	"fmt"
+	"sort"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/stats"
+)
+
+// MaterializedProvider implements the "materializing contingency tables"
+// optimization of Sec 6: the joint counts over a fixed attribute superset
+// are computed once (one scan), and every entropy or distinct-count request
+// over a subset is answered by marginalizing the materialized table, which
+// is much smaller than the data because the attributes involved in one CD
+// phase are few and correlated.
+type MaterializedProvider struct {
+	attrs   []string
+	attrPos map[string]int
+	counts  map[string]int // composite key over attrs -> count
+	n       int
+	est     stats.Estimator
+
+	// marginals caches derived subset histograms keyed by the subset mask.
+	marginals map[uint64]map[string]int
+}
+
+// NewMaterializedProvider scans t once over the superset attrs.
+func NewMaterializedProvider(t *dataset.Table, attrs []string, est stats.Estimator) (*MaterializedProvider, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("independence: materialization needs at least one attribute")
+	}
+	if len(attrs) > 62 {
+		return nil, fmt.Errorf("independence: materialization over %d attributes", len(attrs))
+	}
+	p := &MaterializedProvider{
+		attrs:     append([]string(nil), attrs...),
+		attrPos:   make(map[string]int, len(attrs)),
+		n:         t.NumRows(),
+		est:       est,
+		marginals: make(map[uint64]map[string]int),
+	}
+	for i, a := range attrs {
+		if _, dup := p.attrPos[a]; dup {
+			return nil, fmt.Errorf("independence: duplicate attribute %q", a)
+		}
+		p.attrPos[a] = i
+	}
+	counts, _, err := t.Counts(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	p.counts = make(map[string]int, len(counts))
+	for k, v := range counts {
+		p.counts[string(k)] = v
+	}
+	full := uint64(1)<<len(attrs) - 1
+	p.marginals[full] = p.counts
+	return p, nil
+}
+
+// Covers reports whether the provider can answer for the attribute set.
+func (p *MaterializedProvider) Covers(attrs []string) bool {
+	_, ok := p.mask(attrs)
+	return ok
+}
+
+func (p *MaterializedProvider) mask(attrs []string) (uint64, bool) {
+	var m uint64
+	for _, a := range attrs {
+		pos, ok := p.attrPos[a]
+		if !ok {
+			return 0, false
+		}
+		m |= 1 << pos
+	}
+	return m, true
+}
+
+// subsetCounts derives (and caches) the histogram of the attr subset given
+// by mask, by projecting the materialized keys.
+func (p *MaterializedProvider) subsetCounts(mask uint64) map[string]int {
+	if v, ok := p.marginals[mask]; ok {
+		return v
+	}
+	// Project the full keys onto the masked fields.
+	keep := make([]int, 0, len(p.attrs))
+	for i := range p.attrs {
+		if mask&(1<<i) != 0 {
+			keep = append(keep, i)
+		}
+	}
+	out := make(map[string]int)
+	buf := make([]byte, 0, 4*len(keep))
+	for k, c := range p.counts {
+		buf = buf[:0]
+		for _, i := range keep {
+			buf = append(buf, k[4*i:4*i+4]...)
+		}
+		out[string(buf)] += c
+	}
+	p.marginals[mask] = out
+	return out
+}
+
+// JointEntropy implements EntropyProvider; the attribute set must be
+// covered by the materialized superset.
+func (p *MaterializedProvider) JointEntropy(attrs []string) (float64, error) {
+	if len(attrs) == 0 {
+		return 0, nil
+	}
+	m, ok := p.mask(attrs)
+	if !ok {
+		return 0, fmt.Errorf("independence: attributes %v not covered by materialization over %v",
+			missing(attrs, p.attrPos), p.attrs)
+	}
+	return stats.EntropyCountsMap(p.subsetCounts(m), p.n, p.est), nil
+}
+
+// DistinctCount implements EntropyProvider.
+func (p *MaterializedProvider) DistinctCount(attrs []string) (int, error) {
+	if len(attrs) == 0 {
+		return 1, nil
+	}
+	m, ok := p.mask(attrs)
+	if !ok {
+		return 0, fmt.Errorf("independence: attributes %v not covered by materialization over %v",
+			missing(attrs, p.attrPos), p.attrs)
+	}
+	return len(p.subsetCounts(m)), nil
+}
+
+// NumRows implements EntropyProvider.
+func (p *MaterializedProvider) NumRows() int { return p.n }
+
+func missing(attrs []string, have map[string]int) []string {
+	var out []string
+	for _, a := range attrs {
+		if _, ok := have[a]; !ok {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

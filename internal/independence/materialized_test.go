@@ -1,0 +1,105 @@
+package independence
+
+import (
+	"math"
+	"testing"
+
+	"hypdb/internal/stats"
+)
+
+func TestMaterializedProviderMatchesScan(t *testing.T) {
+	tab := chainData(t, 600, 20)
+	mp, err := NewMaterializedProvider(tab, []string{"X", "Y", "Z"}, stats.MillerMadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewScanProvider(tab, stats.MillerMadow)
+	for _, sub := range [][]string{{"X"}, {"Y"}, {"Z"}, {"X", "Y"}, {"Y", "Z"}, {"X", "Y", "Z"}} {
+		hm, err := mp.JointEntropy(sub)
+		if err != nil {
+			t.Fatalf("materialized entropy %v: %v", sub, err)
+		}
+		hs, err := sp.JointEntropy(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hm-hs) > 1e-12 {
+			t.Errorf("subset %v: materialized %v != scan %v", sub, hm, hs)
+		}
+		dm, err := mp.DistinctCount(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := sp.DistinctCount(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dm != ds {
+			t.Errorf("subset %v: materialized distinct %d != scan %d", sub, dm, ds)
+		}
+	}
+	if mp.NumRows() != tab.NumRows() {
+		t.Errorf("NumRows = %d, want %d", mp.NumRows(), tab.NumRows())
+	}
+}
+
+func TestMaterializedProviderCoverage(t *testing.T) {
+	tab := chainData(t, 100, 21)
+	mp, err := NewMaterializedProvider(tab, []string{"X", "Y"}, stats.PlugIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mp.Covers([]string{"Y", "X"}) {
+		t.Error("covered subset rejected")
+	}
+	if mp.Covers([]string{"Z"}) {
+		t.Error("uncovered subset accepted")
+	}
+	if _, err := mp.JointEntropy([]string{"Z"}); err == nil {
+		t.Error("uncovered entropy did not error")
+	}
+	if _, err := mp.DistinctCount([]string{"X", "Z"}); err == nil {
+		t.Error("uncovered distinct did not error")
+	}
+	// Empty subset conventions.
+	if h, err := mp.JointEntropy(nil); err != nil || h != 0 {
+		t.Errorf("empty entropy = (%v,%v)", h, err)
+	}
+	if d, err := mp.DistinctCount(nil); err != nil || d != 1 {
+		t.Errorf("empty distinct = (%v,%v)", d, err)
+	}
+}
+
+func TestMaterializedProviderValidation(t *testing.T) {
+	tab := chainData(t, 50, 22)
+	if _, err := NewMaterializedProvider(tab, nil, stats.PlugIn); err == nil {
+		t.Error("empty superset accepted")
+	}
+	if _, err := NewMaterializedProvider(tab, []string{"X", "X"}, stats.PlugIn); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewMaterializedProvider(tab, []string{"missing"}, stats.PlugIn); err == nil {
+		t.Error("missing attribute accepted")
+	}
+}
+
+func TestChiSquareWithMaterializedProvider(t *testing.T) {
+	tab := chainData(t, 900, 23)
+	mp, err := NewMaterializedProvider(tab, []string{"X", "Y", "Z"}, stats.MillerMadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMat := ChiSquare{Provider: mp, Est: stats.MillerMadow}
+	viaScan := ChiSquare{Est: stats.MillerMadow}
+	r1, err := viaMat.Test(tab, "X", "Y", []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := viaScan.Test(tab, "X", "Y", []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MI != r2.MI || r1.PValue != r2.PValue || r1.DF != r2.DF {
+		t.Errorf("materialized test differs: %+v vs %+v", r1, r2)
+	}
+}

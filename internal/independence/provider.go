@@ -1,0 +1,219 @@
+// Package independence implements HypDB's conditional-independence testing
+// engine (Sec 5 and Sec 6 of the paper): the Monte-Carlo permutation test
+// over contingency tables (MIT, Alg 2), its group-sampling variant, the
+// parametric chi-squared G-test, the hybrid HyMIT rule, and — as the
+// baseline the paper's optimization replaces — the naive permutation test
+// that reshuffles the data itself.
+//
+// All tests share the Tester interface so that higher layers (Markov
+// boundary discovery, the CD algorithm, bias detection) are parameterized
+// by the testing strategy, exactly as in the paper's experiments.
+package independence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/stats"
+)
+
+// EntropyProvider supplies joint entropies and distinct counts over
+// attribute sets of one fixed table. Implementations differ in how counts
+// are obtained: scanning rows, marginalizing a materialized contingency
+// table, or probing a pre-computed OLAP cube (Sec 6).
+type EntropyProvider interface {
+	// JointEntropy returns the estimated H(attrs) in nats.
+	JointEntropy(attrs []string) (float64, error)
+	// DistinctCount returns |Π_attrs(D)|, the number of distinct
+	// combinations present in the data.
+	DistinctCount(attrs []string) (int, error)
+	// NumRows returns the number of rows of the underlying table.
+	NumRows() int
+}
+
+// ScanProvider computes entropies by scanning the table on every call.
+type ScanProvider struct {
+	Table *dataset.Table
+	Est   stats.Estimator
+}
+
+// NewScanProvider returns a provider over t using the given estimator.
+func NewScanProvider(t *dataset.Table, est stats.Estimator) *ScanProvider {
+	return &ScanProvider{Table: t, Est: est}
+}
+
+// JointEntropy implements EntropyProvider.
+func (p *ScanProvider) JointEntropy(attrs []string) (float64, error) {
+	if len(attrs) == 0 {
+		return 0, nil
+	}
+	counts, _, err := p.Table.Counts(attrs...)
+	if err != nil {
+		return 0, err
+	}
+	return stats.EntropyCountsMap(counts, p.Table.NumRows(), p.Est), nil
+}
+
+// DistinctCount implements EntropyProvider.
+func (p *ScanProvider) DistinctCount(attrs []string) (int, error) {
+	if len(attrs) == 0 {
+		return 1, nil
+	}
+	return p.Table.DistinctCount(attrs...)
+}
+
+// NumRows implements EntropyProvider.
+func (p *ScanProvider) NumRows() int { return p.Table.NumRows() }
+
+// CachedProvider memoizes another provider. This is the paper's "caching
+// entropy" optimization (Sec 6): H(T), H(TZ), ... are shared among many
+// conditional mutual-information statements and are computed once.
+// It is safe for concurrent use.
+type CachedProvider struct {
+	inner EntropyProvider
+
+	mu        sync.Mutex
+	entropies map[string]float64
+	distinct  map[string]int
+	hits      int
+	misses    int
+}
+
+// NewCachedProvider wraps inner with memoization.
+func NewCachedProvider(inner EntropyProvider) *CachedProvider {
+	return &CachedProvider{
+		inner:     inner,
+		entropies: make(map[string]float64),
+		distinct:  make(map[string]int),
+	}
+}
+
+func cacheKey(attrs []string) string {
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\x00")
+}
+
+// JointEntropy implements EntropyProvider.
+func (p *CachedProvider) JointEntropy(attrs []string) (float64, error) {
+	k := cacheKey(attrs)
+	p.mu.Lock()
+	if h, ok := p.entropies[k]; ok {
+		p.hits++
+		p.mu.Unlock()
+		return h, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+	h, err := p.inner.JointEntropy(attrs)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.entropies[k] = h
+	p.mu.Unlock()
+	return h, nil
+}
+
+// DistinctCount implements EntropyProvider.
+func (p *CachedProvider) DistinctCount(attrs []string) (int, error) {
+	k := cacheKey(attrs)
+	p.mu.Lock()
+	if d, ok := p.distinct[k]; ok {
+		p.hits++
+		p.mu.Unlock()
+		return d, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+	d, err := p.inner.DistinctCount(attrs)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.distinct[k] = d
+	p.mu.Unlock()
+	return d, nil
+}
+
+// NumRows implements EntropyProvider.
+func (p *CachedProvider) NumRows() int { return p.inner.NumRows() }
+
+// Stats returns cache hit/miss counts, for the Fig 6(c) ablation.
+func (p *CachedProvider) Stats() (hits, misses int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// ConditionalMI estimates I(x;y|z) on the provider's table using the
+// chain-rule identity over four joint entropies.
+func ConditionalMI(p EntropyProvider, x, y string, z []string) (float64, error) {
+	xz := append(append([]string(nil), z...), x)
+	yz := append(append([]string(nil), z...), y)
+	xyz := append(append([]string(nil), z...), x, y)
+	hXZ, err := p.JointEntropy(xz)
+	if err != nil {
+		return 0, err
+	}
+	hYZ, err := p.JointEntropy(yz)
+	if err != nil {
+		return 0, err
+	}
+	hXYZ, err := p.JointEntropy(xyz)
+	if err != nil {
+		return 0, err
+	}
+	hZ, err := p.JointEntropy(z)
+	if err != nil {
+		return 0, err
+	}
+	return stats.ConditionalMI(hXZ, hYZ, hXYZ, hZ), nil
+}
+
+// DegreesOfFreedom returns (|Π_x|−1)(|Π_y|−1)·|Π_z| as used by the
+// parametric test (Sec 6).
+func DegreesOfFreedom(p EntropyProvider, x, y string, z []string) (int, error) {
+	dx, err := p.DistinctCount([]string{x})
+	if err != nil {
+		return 0, err
+	}
+	dy, err := p.DistinctCount([]string{y})
+	if err != nil {
+		return 0, err
+	}
+	dz, err := p.DistinctCount(z)
+	if err != nil {
+		return 0, err
+	}
+	if dx < 2 || dy < 2 {
+		return 0, nil
+	}
+	return (dx - 1) * (dy - 1) * dz, nil
+}
+
+// ensureAttrs verifies the named attributes exist and are distinct between
+// the tested pair and the conditioning set.
+func ensureAttrs(t *dataset.Table, x, y string, z []string) error {
+	if x == y {
+		return fmt.Errorf("independence: testing %q against itself", x)
+	}
+	if !t.HasColumn(x) {
+		return fmt.Errorf("independence: no column %q", x)
+	}
+	if !t.HasColumn(y) {
+		return fmt.Errorf("independence: no column %q", y)
+	}
+	for _, a := range z {
+		if a == x || a == y {
+			return fmt.Errorf("independence: conditioning set contains tested attribute %q", a)
+		}
+		if !t.HasColumn(a) {
+			return fmt.Errorf("independence: no column %q", a)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,554 @@
+package independence
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hypdb/internal/contingency"
+	"hypdb/internal/dataset"
+	"hypdb/internal/stats"
+)
+
+// Result reports the outcome of one conditional-independence test.
+type Result struct {
+	// MI is the estimated conditional mutual information Î(X;Y|Z) in nats.
+	MI float64
+	// PValue is the p-value of the null hypothesis I(X;Y|Z) = 0.
+	PValue float64
+	// PValueCI is the 95% half-width around PValue when the p-value itself
+	// is a Monte-Carlo estimate (MIT); zero for parametric tests.
+	PValueCI float64
+	// DF is the degrees of freedom used (parametric tests only).
+	DF int
+	// Method names the procedure that produced the result.
+	Method string
+	// Groups is the number of conditioning groups actually tested.
+	Groups int
+}
+
+// Tester decides conditional independence X ⊥⊥ Y | Z on a table.
+type Tester interface {
+	Test(t *dataset.Table, x, y string, z []string) (Result, error)
+}
+
+// Decision applies the significance level: independent iff p ≥ alpha.
+func Decision(r Result, alpha float64) bool { return r.PValue >= alpha }
+
+// DefaultAlpha is the significance level used in all of the paper's
+// statistical tests (Sec 7.3).
+const DefaultAlpha = 0.01
+
+// ---------------------------------------------------------------------------
+// Chi-squared (G-test)
+
+// ChiSquare is the parametric test: G = 2n·Î(X;Y|Z) against the χ²
+// distribution with (|Π_X|−1)(|Π_Y|−1)|Π_Z| degrees of freedom.
+type ChiSquare struct {
+	// Provider supplies entropies; when nil a scanning provider with the
+	// Miller-Madow estimator is built per call.
+	Provider EntropyProvider
+	Est      stats.Estimator
+}
+
+// Test implements Tester.
+func (c ChiSquare) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+	if err := ensureAttrs(t, x, y, z); err != nil {
+		return Result{}, err
+	}
+	if t.NumRows() == 0 {
+		return Result{}, fmt.Errorf("independence: empty table")
+	}
+	p := c.Provider
+	if p == nil {
+		p = NewScanProvider(t, c.Est)
+	}
+	mi, err := ConditionalMI(p, x, y, z)
+	if err != nil {
+		return Result{}, err
+	}
+	df, err := DegreesOfFreedom(p, x, y, z)
+	if err != nil {
+		return Result{}, err
+	}
+	pv, err := stats.GTestPValue(mi, p.NumRows(), df)
+	if err != nil {
+		return Result{}, err
+	}
+	groups, err := p.DistinctCount(z)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{MI: mi, PValue: pv, DF: df, Method: "chi2", Groups: groups}, nil
+}
+
+// ---------------------------------------------------------------------------
+// MIT: Monte-Carlo permutation test over contingency tables (Alg 2)
+
+// MIT is the paper's optimized permutation test. Instead of reshuffling the
+// data it draws, per conditioning group z, random contingency tables with
+// the observed marginals (Patefield's algorithm) and aggregates their
+// mutual informations with weights Pr(z).
+type MIT struct {
+	// Permutations is the number of Monte-Carlo replicates m (Alg 2).
+	// Zero means DefaultPermutations.
+	Permutations int
+	// Est selects the MI estimator applied to each table.
+	Est stats.Estimator
+	// SampleGroups enables the "sampling from groups" optimization (Sec 5):
+	// the test is restricted to a weighted sample of conditioning groups of
+	// size ⌈SampleFactor·ln(#groups)⌉.
+	SampleGroups bool
+	// SampleFactor is the c in c·ln(#groups); zero means
+	// DefaultSampleFactor.
+	SampleFactor float64
+	// Seed makes the Monte-Carlo draw reproducible.
+	Seed int64
+	// Parallel fans replicates out over GOMAXPROCS workers. Results are
+	// deterministic for a fixed seed either way.
+	Parallel bool
+}
+
+// DefaultPermutations mirrors the paper's setup (1000 permutations for
+// query-answer significance, Sec 7.1).
+const DefaultPermutations = 1000
+
+// DefaultSampleFactor scales the log-size of the group sample.
+const DefaultSampleFactor = 8.0
+
+// groupTable holds the observed (X,Y) contingency table of one z-group and
+// its sampling weight.
+type groupTable struct {
+	table  *contingency.Table2
+	prob   float64 // Pr(z), renormalized over kept groups
+	weight float64 // w_i = Pr(z)·max(H(X|z), H(Y|z))
+}
+
+// Test implements Tester.
+func (m MIT) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+	if err := ensureAttrs(t, x, y, z); err != nil {
+		return Result{}, err
+	}
+	n := t.NumRows()
+	if n == 0 {
+		return Result{}, fmt.Errorf("independence: empty table")
+	}
+	perms := m.Permutations
+	if perms <= 0 {
+		perms = DefaultPermutations
+	}
+
+	groups, err := buildGroupTables(t, x, y, z)
+	if err != nil {
+		return Result{}, err
+	}
+	total := len(groups)
+
+	// Informative groups are those where both X and Y vary; all others have
+	// MI identically zero under every permutation.
+	informative := groups[:0]
+	for _, g := range groups {
+		if g.weight > 0 {
+			informative = append(informative, g)
+		}
+	}
+	if len(informative) == 0 {
+		return Result{MI: 0, PValue: 1, Method: m.methodName(), Groups: 0}, nil
+	}
+	groups = informative
+
+	if m.SampleGroups {
+		factor := m.SampleFactor
+		if factor <= 0 {
+			factor = DefaultSampleFactor
+		}
+		k := int(math.Ceil(factor * math.Log(float64(total)+1)))
+		if k < 1 {
+			k = 1
+		}
+		if k < len(groups) {
+			groups = sampleGroups(groups, k, rand.New(rand.NewSource(m.Seed^0x5eed)))
+		}
+	}
+
+	// Renormalize Pr(z) over the kept groups so the statistic remains a
+	// proper expectation (Sec 3.3 note on renormalization after pruning).
+	probSum := 0.0
+	for _, g := range groups {
+		probSum += g.prob
+	}
+	if probSum == 0 {
+		return Result{MI: 0, PValue: 1, Method: m.methodName(), Groups: 0}, nil
+	}
+	for i := range groups {
+		groups[i].prob /= probSum
+	}
+
+	// Observed statistic s0 over the kept groups.
+	s0 := 0.0
+	for _, g := range groups {
+		s0 += g.prob * g.table.MI(m.Est)
+	}
+
+	// Permutation replicates.
+	exceed, err := m.runReplicates(groups, perms, s0)
+	if err != nil {
+		return Result{}, err
+	}
+	pv := float64(exceed) / float64(perms)
+	return Result{
+		MI:       s0,
+		PValue:   pv,
+		PValueCI: stats.BinomialCI(pv, perms),
+		Method:   m.methodName(),
+		Groups:   len(groups),
+	}, nil
+}
+
+func (m MIT) methodName() string {
+	if m.SampleGroups {
+		return "mit-sampling"
+	}
+	return "mit"
+}
+
+// runReplicates draws perms permutation replicates and counts how many
+// reach the observed statistic.
+func (m MIT) runReplicates(groups []groupTable, perms int, s0 float64) (int, error) {
+	samplers := make([]*contingency.Sampler, len(groups))
+	for i, g := range groups {
+		s, err := contingency.NewSamplerFromTable(g.table)
+		if err != nil {
+			return 0, err
+		}
+		samplers[i] = s
+	}
+
+	replicate := func(rng *rand.Rand, scratch []*contingency.Table2) (float64, error) {
+		si := 0.0
+		for gi, g := range groups {
+			if err := samplers[gi].Sample(rng, scratch[gi]); err != nil {
+				return 0, err
+			}
+			si += g.prob * scratch[gi].MI(m.Est)
+		}
+		return si, nil
+	}
+
+	newScratch := func() []*contingency.Table2 {
+		sc := make([]*contingency.Table2, len(groups))
+		for i, g := range groups {
+			sc[i] = g.table.Clone() // right shape; contents overwritten
+		}
+		return sc
+	}
+
+	if !m.Parallel {
+		rng := rand.New(rand.NewSource(m.Seed))
+		scratch := newScratch()
+		exceed := 0
+		for r := 0; r < perms; r++ {
+			si, err := replicate(rng, scratch)
+			if err != nil {
+				return 0, err
+			}
+			if si >= s0 {
+				exceed++
+			}
+		}
+		return exceed, nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > perms {
+		workers = perms
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		exceed   int
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := newScratch()
+			local := 0
+			for r := w; r < perms; r += workers {
+				// Per-replicate derived seed keeps the run deterministic
+				// regardless of scheduling.
+				rng := rand.New(rand.NewSource(m.Seed + int64(r)*0x9e3779b9))
+				si, err := replicate(rng, scratch)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if si >= s0 {
+					local++
+				}
+			}
+			mu.Lock()
+			exceed += local
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return exceed, nil
+}
+
+// buildGroupTables groups the table by z and tabulates (x,y) within each
+// group, computing Pr(z) and the group weight w = Pr(z)·max(H(X|z),H(Y|z)).
+func buildGroupTables(t *dataset.Table, x, y string, z []string) ([]groupTable, error) {
+	xc, err := t.Column(x)
+	if err != nil {
+		return nil, err
+	}
+	yc, err := t.Column(y)
+	if err != nil {
+		return nil, err
+	}
+	groups, _, err := t.GroupBy(z...)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(t.NumRows())
+	out := make([]groupTable, 0, len(groups))
+	for _, g := range groups {
+		ct, err := contingency.FromCodesRows(xc.Codes(), yc.Codes(), g.Rows, xc.Card(), yc.Card())
+		if err != nil {
+			return nil, err
+		}
+		prob := float64(len(g.Rows)) / n
+		hx := ct.EntropyRows(stats.PlugIn)
+		hy := ct.EntropyCols(stats.PlugIn)
+		w := prob * math.Max(hx, hy)
+		if hx == 0 || hy == 0 {
+			// X or Y constant in this group: MI is identically zero under
+			// any permutation; the group cannot contribute.
+			w = 0
+		}
+		out = append(out, groupTable{table: ct, prob: prob, weight: w})
+	}
+	return out, nil
+}
+
+// sampleGroups draws k groups without replacement with probability
+// proportional to weight (Efraimidis–Spirakis keys).
+func sampleGroups(groups []groupTable, k int, rng *rand.Rand) []groupTable {
+	type keyed struct {
+		key float64
+		g   groupTable
+	}
+	keys := make([]keyed, len(groups))
+	for i, g := range groups {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		keys[i] = keyed{key: math.Pow(u, 1/g.weight), g: g}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key > keys[j].key })
+	out := make([]groupTable, k)
+	for i := 0; i < k; i++ {
+		out[i] = keys[i].g
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// HyMIT: hybrid rule (Sec 6)
+
+// HyMIT applies the chi-squared test when the sample is large relative to
+// the degrees of freedom (n ≥ Beta·df) and falls back to MIT with group
+// sampling otherwise.
+type HyMIT struct {
+	// Beta is the sample-per-df requirement; zero means DefaultBeta = 5,
+	// the value the paper calls ideal.
+	Beta float64
+	// Permutations, SampleFactor, Seed, Parallel configure the MIT
+	// fallback.
+	Permutations int
+	SampleFactor float64
+	Seed         int64
+	Parallel     bool
+	// Est selects the estimator for both branches.
+	Est stats.Estimator
+	// Provider optionally supplies cached entropies to the χ² branch.
+	Provider EntropyProvider
+}
+
+// DefaultBeta is the β of Sec 6 ("β = 5 is ideal").
+const DefaultBeta = 5.0
+
+// Test implements Tester.
+func (h HyMIT) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+	if err := ensureAttrs(t, x, y, z); err != nil {
+		return Result{}, err
+	}
+	beta := h.Beta
+	if beta <= 0 {
+		beta = DefaultBeta
+	}
+	p := h.Provider
+	if p == nil {
+		p = NewScanProvider(t, h.Est)
+	}
+	df, err := DegreesOfFreedom(p, x, y, z)
+	if err != nil {
+		return Result{}, err
+	}
+	if float64(t.NumRows()) >= beta*float64(df) && df > 0 {
+		res, err := (ChiSquare{Provider: p, Est: h.Est}).Test(t, x, y, z)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Method = "hymit(chi2)"
+		return res, nil
+	}
+	res, err := (MIT{
+		Permutations: h.Permutations,
+		Est:          h.Est,
+		SampleGroups: true,
+		SampleFactor: h.SampleFactor,
+		Seed:         h.Seed,
+		Parallel:     h.Parallel,
+	}).Test(t, x, y, z)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Method = "hymit(mit)"
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Naive shuffle-based permutation test (the baseline MIT replaces)
+
+// Shuffle is the classical Monte-Carlo permutation test: it permutes the X
+// column within each conditioning group and recomputes Î(X;Y|Z) on the
+// shuffled data. Its cost is proportional to m·|D|; the paper reports that
+// one such test "consumes hours" where MIT takes under a second. It exists
+// here as the Fig 6(b) baseline and as a correctness cross-check for MIT.
+type Shuffle struct {
+	Permutations int
+	Est          stats.Estimator
+	Seed         int64
+}
+
+// Test implements Tester.
+func (s Shuffle) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+	if err := ensureAttrs(t, x, y, z); err != nil {
+		return Result{}, err
+	}
+	if t.NumRows() == 0 {
+		return Result{}, fmt.Errorf("independence: empty table")
+	}
+	perms := s.Permutations
+	if perms <= 0 {
+		perms = DefaultPermutations
+	}
+	xc, err := t.Column(x)
+	if err != nil {
+		return Result{}, err
+	}
+	yc, err := t.Column(y)
+	if err != nil {
+		return Result{}, err
+	}
+	groups, _, err := t.GroupBy(z...)
+	if err != nil {
+		return Result{}, err
+	}
+	n := float64(t.NumRows())
+
+	cmiOf := func(xcodes []int32) (float64, error) {
+		total := 0.0
+		for _, g := range groups {
+			ct, err := contingency.FromCodesRows(xcodes, yc.Codes(), g.Rows, xc.Card(), yc.Card())
+			if err != nil {
+				return 0, err
+			}
+			total += float64(len(g.Rows)) / n * ct.MI(s.Est)
+		}
+		return total, nil
+	}
+
+	s0, err := cmiOf(xc.Codes())
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	shuffled := append([]int32(nil), xc.Codes()...)
+	exceed := 0
+	for r := 0; r < perms; r++ {
+		// Permute X within each group, preserving the group structure
+		// (destroys only the X–Y dependence within groups).
+		for _, g := range groups {
+			rows := g.Rows
+			for i := len(rows) - 1; i > 0; i-- {
+				j := rng.Intn(i + 1)
+				shuffled[rows[i]], shuffled[rows[j]] = shuffled[rows[j]], shuffled[rows[i]]
+			}
+		}
+		si, err := cmiOf(shuffled)
+		if err != nil {
+			return Result{}, err
+		}
+		if si >= s0 {
+			exceed++
+		}
+	}
+	pv := float64(exceed) / float64(perms)
+	return Result{
+		MI:       s0,
+		PValue:   pv,
+		PValueCI: stats.BinomialCI(pv, perms),
+		Method:   "shuffle",
+		Groups:   len(groups),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation
+
+// Counter wraps a Tester and counts invocations; the paper reports the
+// number of conducted independence tests as a performance measure (Fig 6a,
+// footnote 3).
+type Counter struct {
+	Inner Tester
+
+	mu    sync.Mutex
+	calls int
+}
+
+// Test implements Tester.
+func (c *Counter) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.Inner.Test(t, x, y, z)
+}
+
+// Calls returns the number of tests performed so far.
+func (c *Counter) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.calls = 0
+	c.mu.Unlock()
+}

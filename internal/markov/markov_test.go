@@ -1,0 +1,236 @@
+package markov
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hypdb/internal/dag"
+	"hypdb/internal/dataset"
+	"hypdb/internal/independence"
+	"hypdb/internal/stats"
+)
+
+// paperDAG is the Fig 2 graph: Z → T ← W, T → Y, T → C ← D.
+func paperDAG(t *testing.T) *dag.DAG {
+	t.Helper()
+	g := dag.MustNew("Z", "W", "T", "Y", "C", "D")
+	for _, e := range [][2]string{{"Z", "T"}, {"W", "T"}, {"T", "Y"}, {"T", "C"}, {"D", "C"}} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// dummyTable returns a table whose columns match the DAG's node names; the
+// oracle ignores the data.
+func dummyTable(t *testing.T, g *dag.DAG) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder(g.Names()...)
+	row := make([]string, g.NumNodes())
+	for i := range row {
+		row[i] = "0"
+	}
+	b.MustAdd(row...)
+	row[0] = "1"
+	b.MustAdd(row...)
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func others(g *dag.DAG, target string) []string {
+	var out []string
+	for _, n := range g.Names() {
+		if n != target {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestGrowShrinkOracleRecoversBoundary(t *testing.T) {
+	g := paperDAG(t)
+	tab := dummyTable(t, g)
+	cfg := Config{Tester: dag.Oracle{G: g}}
+	for _, target := range g.Names() {
+		want, err := g.MarkovBoundaryNames(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GrowShrink(tab, target, others(g, target), cfg)
+		if err != nil {
+			t.Fatalf("GrowShrink(%s): %v", target, err)
+		}
+		if !sameStringSet(got, want) {
+			t.Errorf("GrowShrink MB(%s) = %v, want %v", target, got, want)
+		}
+	}
+}
+
+func TestIAMBOracleRecoversBoundary(t *testing.T) {
+	g := paperDAG(t)
+	tab := dummyTable(t, g)
+	cfg := Config{Tester: dag.Oracle{G: g}}
+	for _, target := range g.Names() {
+		want, err := g.MarkovBoundaryNames(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := IAMB(tab, target, others(g, target), cfg)
+		if err != nil {
+			t.Fatalf("IAMB(%s): %v", target, err)
+		}
+		if !sameStringSet(got, want) {
+			t.Errorf("IAMB MB(%s) = %v, want %v", target, got, want)
+		}
+	}
+}
+
+func TestGrowShrinkOracleRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g, err := dag.RandomDAG(rng, 8, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := dummyTable(t, g)
+		cfg := Config{Tester: dag.Oracle{G: g}}
+		target := g.Name(rng.Intn(8))
+		want, err := g.MarkovBoundaryNames(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GrowShrink(tab, target, others(g, target), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameStringSet(got, want) {
+			t.Errorf("trial %d: MB(%s) = %v, want %v", trial, target, got, want)
+		}
+	}
+}
+
+func TestGrowShrinkOnSampledData(t *testing.T) {
+	// Sample a strong-CPT network and check boundary recovery from data
+	// with the chi-square test.
+	rng := rand.New(rand.NewSource(2))
+	g := dag.MustNew("A", "B", "T", "Y")
+	g.MustAddEdge("A", "T")
+	g.MustAddEdge("B", "T")
+	g.MustAddEdge("T", "Y")
+	bn, err := dag.RandomBayesNet(rng, g, 2, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := bn.Sample(rng, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Tester: independence.ChiSquare{Est: stats.MillerMadow}}
+	got, err := GrowShrink(tab, "T", []string{"A", "B", "Y"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := g.MarkovBoundaryNames("T")
+	if !sameStringSet(got, want) {
+		t.Errorf("MB(T) from data = %v, want %v", got, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := paperDAG(t)
+	tab := dummyTable(t, g)
+	if _, err := GrowShrink(tab, "T", []string{"Z"}, Config{}); err == nil {
+		t.Error("nil tester accepted")
+	}
+	cfg := Config{Tester: dag.Oracle{G: g}}
+	if _, err := GrowShrink(tab, "missing", []string{"Z"}, cfg); err == nil {
+		t.Error("missing target accepted")
+	}
+	if _, err := GrowShrink(tab, "T", []string{"missing"}, cfg); err == nil {
+		t.Error("missing candidate accepted")
+	}
+	if _, err := GrowShrink(tab, "T", []string{"Z", "Z"}, cfg); err == nil {
+		t.Error("duplicate candidate accepted")
+	}
+	if _, err := IAMB(tab, "T", []string{"Z"}, Config{}); err == nil {
+		t.Error("IAMB nil tester accepted")
+	}
+}
+
+func TestTargetExcludedFromCandidates(t *testing.T) {
+	g := paperDAG(t)
+	tab := dummyTable(t, g)
+	cfg := Config{Tester: dag.Oracle{G: g}}
+	// Passing the target among candidates is tolerated (skipped).
+	got, err := GrowShrink(tab, "T", g.Names(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range got {
+		if x == "T" {
+			t.Error("target appeared in its own boundary")
+		}
+	}
+}
+
+func TestMaxBoundaryCap(t *testing.T) {
+	g := paperDAG(t)
+	tab := dummyTable(t, g)
+	cfg := Config{Tester: dag.Oracle{G: g}, MaxBoundary: 2}
+	got, err := GrowShrink(tab, "T", others(g, "T"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 2 {
+		t.Errorf("boundary size %d exceeds cap 2", len(got))
+	}
+}
+
+func TestEmptyCandidates(t *testing.T) {
+	g := paperDAG(t)
+	tab := dummyTable(t, g)
+	cfg := Config{Tester: dag.Oracle{G: g}}
+	got, err := GrowShrink(tab, "T", nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("MB over empty candidates = %v, want empty", got)
+	}
+}
+
+func TestBoundaryDeterministicOrder(t *testing.T) {
+	g := paperDAG(t)
+	tab := dummyTable(t, g)
+	cfg := Config{Tester: dag.Oracle{G: g}}
+	a, err := GrowShrink(tab, "T", others(g, "T"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GrowShrink(tab, "T", others(g, "T"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("boundary order not deterministic: %v vs %v", a, b)
+	}
+}
+
+func sameStringSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[string]bool)
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}

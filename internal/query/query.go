@@ -1,0 +1,279 @@
+// Package query implements HypDB's OLAP query model: the group-by-average
+// queries of Listing 1, their naive execution, and the bias-removing
+// rewriting of Listing 2 — the adjustment formula (Eq 2) with exact
+// matching for the total effect, and the mediator formula (Eq 3) for the
+// natural direct effect. It also renders both the original and the
+// rewritten query as SQL text, as HypDB shows them to the analyst.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hypdb/internal/dataset"
+)
+
+// Query is the OLAP query of Listing 1:
+//
+//	SELECT T, X, avg(Y1), ..., avg(Ye) FROM D WHERE C GROUP BY T, X
+type Query struct {
+	// Table is the display name of the relation (SQL rendering only).
+	Table string
+	// Treatment is the grouping attribute under causal scrutiny (T).
+	Treatment string
+	// Groupings are the additional group-by attributes (X); each distinct
+	// combination of their values is a context Γi.
+	Groupings []string
+	// Outcomes are the averaged attributes (Y1..Ye); their values must be
+	// numeric.
+	Outcomes []string
+	// Where is the selection condition C; nil selects everything.
+	Where dataset.Predicate
+}
+
+// Validate checks the query against a table's schema.
+func (q Query) Validate(t *dataset.Table) error {
+	if q.Treatment == "" {
+		return fmt.Errorf("query: empty treatment")
+	}
+	if !t.HasColumn(q.Treatment) {
+		return fmt.Errorf("query: no treatment column %q", q.Treatment)
+	}
+	if len(q.Outcomes) == 0 {
+		return fmt.Errorf("query: no outcome attributes")
+	}
+	seen := map[string]bool{q.Treatment: true}
+	for _, y := range q.Outcomes {
+		if !t.HasColumn(y) {
+			return fmt.Errorf("query: no outcome column %q", y)
+		}
+		if seen[y] {
+			return fmt.Errorf("query: attribute %q used twice", y)
+		}
+		seen[y] = true
+		if _, err := t.Float(y); err != nil {
+			return fmt.Errorf("query: outcome %q: %v", y, err)
+		}
+	}
+	for _, x := range q.Groupings {
+		if !t.HasColumn(x) {
+			return fmt.Errorf("query: no grouping column %q", x)
+		}
+		if seen[x] {
+			return fmt.Errorf("query: attribute %q used twice", x)
+		}
+		seen[x] = true
+	}
+	return nil
+}
+
+// SQL renders the query as Listing 1 text.
+func (q Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	cols := append([]string{q.Treatment}, q.Groupings...)
+	for _, y := range q.Outcomes {
+		cols = append(cols, "avg("+y+")")
+	}
+	b.WriteString(strings.Join(cols, ", "))
+	b.WriteString("\nFROM ")
+	b.WriteString(q.tableName())
+	if q.Where != nil {
+		if w := q.Where.SQL(); w != "TRUE" {
+			b.WriteString("\nWHERE ")
+			b.WriteString(w)
+		}
+	}
+	b.WriteString("\nGROUP BY ")
+	b.WriteString(strings.Join(append([]string{q.Treatment}, q.Groupings...), ", "))
+	return b.String()
+}
+
+func (q Query) tableName() string {
+	if q.Table == "" {
+		return "D"
+	}
+	return q.Table
+}
+
+// View applies the WHERE clause and returns the selected subpopulation.
+func (q Query) View(t *dataset.Table) (*dataset.Table, error) {
+	if err := q.Validate(t); err != nil {
+		return nil, err
+	}
+	view, err := t.Select(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	if view.NumRows() == 0 {
+		return nil, fmt.Errorf("query: WHERE clause selects no rows")
+	}
+	return view, nil
+}
+
+// Row is one line of a (rewritten or original) query answer: a treatment
+// value, a context (grouping values, in Groupings order), the per-outcome
+// averages, and the supporting row count.
+type Row struct {
+	Treatment string
+	Context   []string
+	Avgs      []float64
+	Count     int
+}
+
+// contextKey renders a context for map keys and sorting.
+func contextKey(ctx []string) string { return strings.Join(ctx, "\x00") }
+
+// Answer is the result of executing a query.
+type Answer struct {
+	Query Query
+	Rows  []Row
+}
+
+// Run executes the query naively (Listing 1 semantics).
+func Run(t *dataset.Table, q Query) (*Answer, error) {
+	view, err := q.View(t)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := make([][]float64, len(q.Outcomes))
+	for i, y := range q.Outcomes {
+		vals, err := view.Float(y)
+		if err != nil {
+			return nil, err
+		}
+		outcomes[i] = vals
+	}
+	attrs := append([]string{q.Treatment}, q.Groupings...)
+	groups, enc, err := view.GroupBy(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	tc, err := view.Column(q.Treatment)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, g := range groups {
+		codes := enc.Codes(g.Key)
+		row := Row{
+			Treatment: tc.Label(codes[0]),
+			Context:   make([]string, len(q.Groupings)),
+			Avgs:      make([]float64, len(q.Outcomes)),
+			Count:     len(g.Rows),
+		}
+		for i, x := range q.Groupings {
+			xc, err := view.Column(x)
+			if err != nil {
+				return nil, err
+			}
+			row.Context[i] = xc.Label(codes[1+i])
+		}
+		for oi := range q.Outcomes {
+			sum := 0.0
+			for _, r := range g.Rows {
+				sum += outcomes[oi][r]
+			}
+			row.Avgs[oi] = sum / float64(len(g.Rows))
+		}
+		rows = append(rows, row)
+	}
+	sortRows(rows)
+	return &Answer{Query: q, Rows: rows}, nil
+}
+
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		ci, cj := contextKey(rows[i].Context), contextKey(rows[j].Context)
+		if ci != cj {
+			return ci < cj
+		}
+		return rows[i].Treatment < rows[j].Treatment
+	})
+}
+
+// Comparison pairs the answers of two treatment values within one context:
+// the ∆i of Prop 3.2.
+type Comparison struct {
+	Context []string
+	T0, T1  string
+	Avg0    []float64
+	Avg1    []float64
+	// Diffs[i] = Avg1[i] − Avg0[i] per outcome.
+	Diffs  []float64
+	N0, N1 int
+}
+
+// Compare pairs rows across the two treatment values per context. The
+// treatment values are ordered lexicographically (T0 < T1), matching the
+// paper's convention of reporting avg(t1) − avg(t0) with a deterministic
+// order. Contexts missing either value are skipped.
+func (a *Answer) Compare() ([]Comparison, error) {
+	vals := a.TreatmentValues()
+	if len(vals) != 2 {
+		return nil, fmt.Errorf("query: Compare needs exactly 2 treatment values, have %d (%v)", len(vals), vals)
+	}
+	return a.CompareValues(vals[0], vals[1])
+}
+
+// CompareValues pairs rows for the two given treatment values.
+func (a *Answer) CompareValues(t0, t1 string) ([]Comparison, error) {
+	type cell struct {
+		row Row
+		ok  bool
+	}
+	byCtx := make(map[string]*[2]cell)
+	order := []string{}
+	for _, r := range a.Rows {
+		k := contextKey(r.Context)
+		slot, ok := byCtx[k]
+		if !ok {
+			slot = &[2]cell{}
+			byCtx[k] = slot
+			order = append(order, k)
+		}
+		switch r.Treatment {
+		case t0:
+			slot[0] = cell{row: r, ok: true}
+		case t1:
+			slot[1] = cell{row: r, ok: true}
+		}
+	}
+	sort.Strings(order)
+	var out []Comparison
+	for _, k := range order {
+		slot := byCtx[k]
+		if !slot[0].ok || !slot[1].ok {
+			continue
+		}
+		r0, r1 := slot[0].row, slot[1].row
+		diffs := make([]float64, len(r0.Avgs))
+		for i := range diffs {
+			diffs[i] = r1.Avgs[i] - r0.Avgs[i]
+		}
+		out = append(out, Comparison{
+			Context: r0.Context,
+			T0:      t0, T1: t1,
+			Avg0: r0.Avgs, Avg1: r1.Avgs,
+			Diffs: diffs,
+			N0:    r0.Count, N1: r1.Count,
+		})
+	}
+	return out, nil
+}
+
+// TreatmentValues returns the distinct treatment values present in the
+// answer, sorted.
+func (a *Answer) TreatmentValues() []string {
+	set := make(map[string]bool)
+	for _, r := range a.Rows {
+		set[r.Treatment] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

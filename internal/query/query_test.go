@@ -1,0 +1,448 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hypdb/internal/dataset"
+)
+
+// simpsonTable builds the classic kidney-stone Simpson's paradox data:
+// treatment A beats B within each stratum of Z but loses in the aggregate.
+//
+//	Z=s: A 81/87 success, B 234/270
+//	Z=l: A 192/263 success, B 55/80
+func simpsonTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder("T", "Z", "Y")
+	add := func(tv, zv string, success, total int) {
+		for i := 0; i < success; i++ {
+			b.MustAdd(tv, zv, "1")
+		}
+		for i := 0; i < total-success; i++ {
+			b.MustAdd(tv, zv, "0")
+		}
+	}
+	add("A", "s", 81, 87)
+	add("B", "s", 234, 270)
+	add("A", "l", 192, 263)
+	add("B", "l", 55, 80)
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestValidate(t *testing.T) {
+	tab := simpsonTable(t)
+	good := Query{Treatment: "T", Outcomes: []string{"Y"}}
+	if err := good.Validate(tab); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	cases := []Query{
+		{Outcomes: []string{"Y"}},                                                 // empty treatment
+		{Treatment: "missing", Outcomes: []string{"Y"}},                           // missing T
+		{Treatment: "T"},                                                          // no outcomes
+		{Treatment: "T", Outcomes: []string{"missing"}},                           // missing Y
+		{Treatment: "T", Outcomes: []string{"Z"}},                                 // non-numeric Y
+		{Treatment: "T", Outcomes: []string{"Y", "Y"}},                            // dup outcome
+		{Treatment: "T", Outcomes: []string{"Y"}, Groupings: []string{"missing"}}, // missing X
+		{Treatment: "T", Outcomes: []string{"Y"}, Groupings: []string{"T"}},       // reused attr
+	}
+	for i, q := range cases {
+		if err := q.Validate(tab); err == nil {
+			t.Errorf("case %d: invalid query accepted: %+v", i, q)
+		}
+	}
+}
+
+func TestRunAggregate(t *testing.T) {
+	tab := simpsonTable(t)
+	ans, err := Run(tab, Query{Treatment: "T", Outcomes: []string{"Y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(ans.Rows))
+	}
+	comps, err := ans.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 {
+		t.Fatalf("comparisons = %d, want 1", len(comps))
+	}
+	c := comps[0]
+	if c.T0 != "A" || c.T1 != "B" {
+		t.Errorf("treatment order = (%s,%s), want (A,B)", c.T0, c.T1)
+	}
+	if math.Abs(c.Avg0[0]-0.78) > 1e-12 {
+		t.Errorf("avg(A) = %v, want 0.78", c.Avg0[0])
+	}
+	if math.Abs(c.Avg1[0]-289.0/350) > 1e-12 {
+		t.Errorf("avg(B) = %v, want %v", c.Avg1[0], 289.0/350)
+	}
+	// Aggregate: B looks better (the paradox).
+	if c.Diffs[0] <= 0 {
+		t.Errorf("aggregate diff = %v, want > 0 (B better)", c.Diffs[0])
+	}
+}
+
+func TestRunWithGroupings(t *testing.T) {
+	tab := simpsonTable(t)
+	ans, err := Run(tab, Query{Treatment: "T", Groupings: []string{"Z"}, Outcomes: []string{"Y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(ans.Rows))
+	}
+	comps, err := ans.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("comparisons = %d, want 2 (one per stratum)", len(comps))
+	}
+	// Within each stratum A is better: diff = avg(B) − avg(A) < 0.
+	for _, c := range comps {
+		if c.Diffs[0] >= 0 {
+			t.Errorf("stratum %v: diff = %v, want < 0 (A better)", c.Context, c.Diffs[0])
+		}
+	}
+}
+
+func TestRunWhere(t *testing.T) {
+	tab := simpsonTable(t)
+	q := Query{
+		Treatment: "T",
+		Outcomes:  []string{"Y"},
+		Where:     dataset.Eq{Attr: "Z", Value: "s"},
+	}
+	ans, err := Run(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := ans.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(comps[0].Avg0[0]-81.0/87) > 1e-12 {
+		t.Errorf("avg(A|Z=s) = %v, want %v", comps[0].Avg0[0], 81.0/87)
+	}
+	// WHERE selecting nothing errors cleanly.
+	q.Where = dataset.Eq{Attr: "Z", Value: "nope"}
+	if _, err := Run(tab, q); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+func TestRewriteTotalRemovesSimpson(t *testing.T) {
+	tab := simpsonTable(t)
+	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
+	rw, err := RewriteTotal(tab, q, []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := rw.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := comps[0]
+	// Exact adjustment-formula values (Pr(s)=0.51, Pr(l)=0.49).
+	if math.Abs(c.Avg0[0]-0.8325462173856037) > 1e-12 {
+		t.Errorf("adjusted avg(A) = %v, want 0.8325462173856037", c.Avg0[0])
+	}
+	if math.Abs(c.Avg1[0]-0.778875) > 1e-12 {
+		t.Errorf("adjusted avg(B) = %v, want 0.778875", c.Avg1[0])
+	}
+	// Trend reversed: A now better.
+	if c.Diffs[0] >= 0 {
+		t.Errorf("adjusted diff = %v, want < 0", c.Diffs[0])
+	}
+	if rw.BlocksTotal != 2 || rw.BlocksKept != 2 {
+		t.Errorf("blocks = %d/%d, want 2/2", rw.BlocksKept, rw.BlocksTotal)
+	}
+	if rw.RowsKeptFraction != 1 {
+		t.Errorf("RowsKeptFraction = %v, want 1", rw.RowsKeptFraction)
+	}
+}
+
+func TestRewriteTotalOverlapPruning(t *testing.T) {
+	tab := simpsonTable(t)
+	// Add a stratum that only treatment A visits: it must be pruned and the
+	// weights renormalized over s and l.
+	for i := 0; i < 50; i++ {
+		if err := tab.AppendRow("A", "only-a", "1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
+	rw, err := RewriteTotal(tab, q, []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.BlocksTotal != 3 || rw.BlocksKept != 2 {
+		t.Fatalf("blocks = %d/%d, want kept 2 of 3", rw.BlocksKept, rw.BlocksTotal)
+	}
+	if rw.RowsKeptFraction >= 1 {
+		t.Errorf("RowsKeptFraction = %v, want < 1", rw.RowsKeptFraction)
+	}
+	comps, err := rw.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same adjusted values as without the degenerate stratum.
+	if math.Abs(comps[0].Avg0[0]-0.8325462173856037) > 1e-12 {
+		t.Errorf("adjusted avg(A) = %v after pruning", comps[0].Avg0[0])
+	}
+}
+
+func TestRewriteTotalNoOverlapAnywhere(t *testing.T) {
+	b := dataset.NewBuilder("T", "Z", "Y")
+	b.MustAdd("A", "z1", "1")
+	b.MustAdd("B", "z2", "0")
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RewriteTotal(tab, Query{Treatment: "T", Outcomes: []string{"Y"}}, []string{"Z"})
+	if err == nil {
+		t.Error("total overlap failure accepted")
+	}
+}
+
+func TestRewriteValidation(t *testing.T) {
+	tab := simpsonTable(t)
+	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
+	if _, err := RewriteTotal(tab, q, nil); err == nil {
+		t.Error("empty covariates accepted")
+	}
+	if _, err := RewriteTotal(tab, q, []string{"missing"}); err == nil {
+		t.Error("missing covariate accepted")
+	}
+	if _, err := RewriteTotal(tab, q, []string{"T"}); err == nil {
+		t.Error("treatment as covariate accepted")
+	}
+	if _, err := RewriteTotal(tab, q, []string{"Y"}); err == nil {
+		t.Error("outcome as covariate accepted")
+	}
+	if _, err := RewriteTotal(tab, q, []string{"Z", "Z"}); err == nil {
+		t.Error("duplicate covariate accepted")
+	}
+	if _, err := RewriteDirect(tab, q, nil, nil, ""); err == nil {
+		t.Error("empty mediators accepted")
+	}
+	if _, err := RewriteDirect(tab, q, []string{"Z"}, []string{"Z"}, ""); err == nil {
+		t.Error("attribute in both roles accepted")
+	}
+	if _, err := RewriteDirect(tab, q, nil, []string{"Z"}, "nope"); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+	qg := Query{Treatment: "T", Outcomes: []string{"Y"}, Groupings: []string{"Z"}}
+	if _, err := RewriteTotal(tab, qg, []string{"Z"}); err == nil {
+		t.Error("grouping attribute as covariate accepted")
+	}
+}
+
+// mediationTable builds a hand-computed mediation example:
+//
+//	(t=0,m=0): 40 rows, avg Y = 0.2   (t=0,m=1): 10 rows, avg 0.6
+//	(t=1,m=0): 20 rows, avg 0.3       (t=1,m=1): 30 rows, avg 0.7
+//
+// With baseline t=0: Pr(m=0|t0)=0.8, Pr(m=1|t0)=0.2, so
+// answer(0) = 0.28, answer(1) = 0.38, NDE = 0.10.
+func mediationTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder("T", "M", "Y")
+	add := func(tv, mv string, ones, total int) {
+		for i := 0; i < ones; i++ {
+			b.MustAdd(tv, mv, "1")
+		}
+		for i := 0; i < total-ones; i++ {
+			b.MustAdd(tv, mv, "0")
+		}
+	}
+	add("0", "0", 8, 40)
+	add("0", "1", 6, 10)
+	add("1", "0", 6, 20)
+	add("1", "1", 21, 30)
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestRewriteDirectMediatorFormula(t *testing.T) {
+	tab := mediationTable(t)
+	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
+	rw, err := RewriteDirect(tab, q, nil, []string{"M"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Baseline != "0" {
+		t.Errorf("default baseline = %q, want 0", rw.Baseline)
+	}
+	comps, err := rw.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := comps[0]
+	if math.Abs(c.Avg0[0]-0.28) > 1e-12 {
+		t.Errorf("answer(t=0) = %v, want 0.28", c.Avg0[0])
+	}
+	if math.Abs(c.Avg1[0]-0.38) > 1e-12 {
+		t.Errorf("answer(t=1) = %v, want 0.38", c.Avg1[0])
+	}
+	if math.Abs(c.Diffs[0]-0.10) > 1e-12 {
+		t.Errorf("NDE = %v, want 0.10", c.Diffs[0])
+	}
+}
+
+func TestRewriteDirectExplicitBaseline(t *testing.T) {
+	tab := mediationTable(t)
+	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
+	rw, err := RewriteDirect(tab, q, nil, []string{"M"}, "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := rw.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := comps[0]
+	// Baseline t=1: Pr(m=0|t1)=0.4, Pr(m=1|t1)=0.6.
+	// answer(0) = 0.4·0.2 + 0.6·0.6 = 0.44; answer(1) = 0.4·0.3+0.6·0.7 = 0.54.
+	if math.Abs(c.Avg0[0]-0.44) > 1e-12 || math.Abs(c.Avg1[0]-0.54) > 1e-12 {
+		t.Errorf("answers = (%v,%v), want (0.44,0.54)", c.Avg0[0], c.Avg1[0])
+	}
+}
+
+func TestRewriteDirectConsistencyWithObserved(t *testing.T) {
+	// The baseline row of the direct rewriting must equal the observed
+	// E[Y | T=baseline] (the consistency property of the mediator formula).
+	tab := mediationTable(t)
+	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
+	ans, err := Run(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed float64
+	for _, r := range ans.Rows {
+		if r.Treatment == "0" {
+			observed = r.Avgs[0]
+		}
+	}
+	rw, err := RewriteDirect(tab, q, nil, []string{"M"}, "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rw.Rows {
+		if r.Treatment == "0" {
+			if math.Abs(r.Avgs[0]-observed) > 1e-12 {
+				t.Errorf("baseline answer %v != observed %v", r.Avgs[0], observed)
+			}
+		}
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	q := Query{
+		Table:     "FlightData",
+		Treatment: "Carrier",
+		Outcomes:  []string{"Delayed"},
+		Where: dataset.And{
+			dataset.In{Attr: "Carrier", Values: []string{"AA", "UA"}},
+			dataset.In{Attr: "Airport", Values: []string{"COS", "MFE", "MTJ", "ROC"}},
+		},
+	}
+	sql := q.SQL()
+	for _, want := range []string{
+		"SELECT Carrier, avg(Delayed)",
+		"FROM FlightData",
+		"WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC')",
+		"GROUP BY Carrier",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+	rsql := q.RewrittenSQL([]string{"Airport", "Year"})
+	for _, want := range []string{
+		"WITH Blocks AS (",
+		"Weights AS (",
+		"GROUP BY Carrier, Airport, Year",
+		"HAVING count(DISTINCT Carrier) = 2",
+		"sum(Avg1 * W)",
+		"Blocks.Airport = Weights.Airport",
+	} {
+		if !strings.Contains(rsql, want) {
+			t.Errorf("rewritten SQL missing %q:\n%s", want, rsql)
+		}
+	}
+	// Default table name.
+	if !strings.Contains(Query{Treatment: "T", Outcomes: []string{"Y"}}.SQL(), "FROM D") {
+		t.Error("default table name not rendered")
+	}
+}
+
+func TestCompareRequiresTwoValues(t *testing.T) {
+	b := dataset.NewBuilder("T", "Y")
+	b.MustAdd("A", "1")
+	b.MustAdd("B", "0")
+	b.MustAdd("C", "1")
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Run(tab, Query{Treatment: "T", Outcomes: []string{"Y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ans.Compare(); err == nil {
+		t.Error("3-valued treatment accepted by Compare")
+	}
+	// Explicit pair selection still works.
+	comps, err := ans.CompareValues("A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 {
+		t.Errorf("comparisons = %d, want 1", len(comps))
+	}
+}
+
+func TestRewriteMultipleOutcomes(t *testing.T) {
+	b := dataset.NewBuilder("T", "Z", "Y1", "Y2")
+	rows := [][]string{
+		{"A", "z1", "1", "0"}, {"A", "z1", "0", "0"}, {"B", "z1", "1", "1"},
+		{"A", "z2", "1", "1"}, {"B", "z2", "0", "1"}, {"B", "z2", "0", "0"},
+	}
+	for _, r := range rows {
+		b.MustAdd(r...)
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := RewriteTotal(tab, Query{Treatment: "T", Outcomes: []string{"Y1", "Y2"}}, []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := rw.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps[0].Diffs) != 2 {
+		t.Fatalf("diffs per outcome = %d, want 2", len(comps[0].Diffs))
+	}
+	// Hand-check Y1: Pr(z1)=0.5, Pr(z2)=0.5.
+	// avg(Y1|A,z1)=0.5, avg(Y1|A,z2)=1 → adjusted A = 0.75.
+	// avg(Y1|B,z1)=1, avg(Y1|B,z2)=0 → adjusted B = 0.5.
+	if math.Abs(comps[0].Avg0[0]-0.75) > 1e-12 || math.Abs(comps[0].Avg1[0]-0.5) > 1e-12 {
+		t.Errorf("adjusted Y1 = (%v,%v), want (0.75,0.5)", comps[0].Avg0[0], comps[0].Avg1[0])
+	}
+}

@@ -1,0 +1,400 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"hypdb/internal/dataset"
+)
+
+// EffectKind distinguishes the two rewritings HypDB performs (Sec 3.3).
+type EffectKind int
+
+const (
+	// TotalEffect is the ATE rewriting: the adjustment formula (Eq 2) over
+	// the covariates Z with exact matching.
+	TotalEffect EffectKind = iota
+	// DirectEffect is the NDE rewriting: the mediator formula (Eq 3) over
+	// covariates Z and mediators M.
+	DirectEffect
+)
+
+// String implements fmt.Stringer.
+func (k EffectKind) String() string {
+	if k == DirectEffect {
+		return "direct"
+	}
+	return "total"
+}
+
+// Rewritten is the answer of a rewritten (bias-removing) query.
+type Rewritten struct {
+	Kind       EffectKind
+	Covariates []string
+	Mediators  []string // DirectEffect only
+	// Baseline is the treatment value whose mediator distribution is held
+	// fixed in the DirectEffect rewriting.
+	Baseline string
+	Rows     []Row
+	// BlocksTotal and BlocksKept report the exact-matching (overlap)
+	// pruning: how many homogeneous blocks existed and how many had every
+	// treatment value present.
+	BlocksTotal int
+	BlocksKept  int
+	// RowsKeptFraction is the fraction of data rows inside kept blocks.
+	RowsKeptFraction float64
+}
+
+// Compare pairs rewritten rows across the two treatment values, as
+// Answer.Compare does for the original query.
+func (r *Rewritten) Compare() ([]Comparison, error) {
+	return (&Answer{Rows: r.Rows}).Compare()
+}
+
+// blockStat accumulates the per-(treatment, block) row count and outcome
+// sums.
+type blockStat struct {
+	count int
+	sums  []float64
+}
+
+// cellAgg is one homogeneous block (x, z, m): its context codes, the
+// rendered x- and z-key parts, and per-treatment statistics.
+type cellAgg struct {
+	ctxCodes []int32
+	xKey     string
+	zKey     string
+	byT      map[string]blockStat
+	total    int
+}
+
+// RewriteTotal executes the Listing 2 rewriting: it partitions the WHERE
+// view into blocks homogeneous on (Z, X), discards blocks missing any
+// treatment value (exact matching, enforcing Overlap), and returns the
+// weighted averages of block averages with weights Pr(z | x) re-normalized
+// over the kept blocks.
+func RewriteTotal(t *dataset.Table, q Query, covariates []string) (*Rewritten, error) {
+	return rewrite(t, q, covariates, nil, "", TotalEffect)
+}
+
+// RewriteDirect executes the mediator-formula rewriting (Eq 3): block
+// averages over (T, Z, M, X) are combined with mediator weights
+// Pr(m | baseline, z, x) and covariate weights Pr(z | x). The answer for
+// treatment value t estimates E[Y(t, M(baseline))]; the difference between
+// the two treatment rows estimates the natural direct effect. An empty
+// baseline selects the lexicographically smallest treatment value.
+func RewriteDirect(t *dataset.Table, q Query, covariates, mediators []string, baseline string) (*Rewritten, error) {
+	if len(mediators) == 0 {
+		return nil, fmt.Errorf("query: direct-effect rewriting needs at least one mediator")
+	}
+	return rewrite(t, q, covariates, mediators, baseline, DirectEffect)
+}
+
+func rewrite(t *dataset.Table, q Query, covariates, mediators []string, baseline string, kind EffectKind) (*Rewritten, error) {
+	view, err := q.View(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAdjustmentAttrs(t, q, covariates, "covariate"); err != nil {
+		return nil, err
+	}
+	if err := checkAdjustmentAttrs(t, q, mediators, "mediator"); err != nil {
+		return nil, err
+	}
+	for _, m := range mediators {
+		for _, z := range covariates {
+			if m == z {
+				return nil, fmt.Errorf("query: attribute %q is both covariate and mediator", m)
+			}
+		}
+	}
+	if kind == TotalEffect && len(covariates) == 0 {
+		return nil, fmt.Errorf("query: total-effect rewriting needs at least one covariate")
+	}
+
+	tc, err := view.Column(q.Treatment)
+	if err != nil {
+		return nil, err
+	}
+	numT := tc.Card()
+	if numT < 2 {
+		return nil, fmt.Errorf("query: treatment %q has a single value in the selected data", q.Treatment)
+	}
+	tLabels := append([]string(nil), tc.Labels()...)
+	sort.Strings(tLabels)
+	if kind == DirectEffect {
+		if baseline == "" {
+			baseline = tLabels[0]
+		}
+		if indexOf(tLabels, baseline) < 0 {
+			return nil, fmt.Errorf("query: baseline %q is not a treatment value (have %v)", baseline, tLabels)
+		}
+	}
+
+	outcomes := make([][]float64, len(q.Outcomes))
+	for i, y := range q.Outcomes {
+		vals, err := view.Float(y)
+		if err != nil {
+			return nil, err
+		}
+		outcomes[i] = vals
+	}
+
+	// Group once over (T, X, Z, M); the composite key layout gives direct
+	// access to the treatment field and the x-/z-parts.
+	attrs := append([]string{q.Treatment}, q.Groupings...)
+	attrs = append(attrs, covariates...)
+	attrs = append(attrs, mediators...)
+	groups, enc, err := view.GroupBy(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	nX := len(q.Groupings)
+	nZ := len(covariates)
+
+	cells := make(map[string]*cellAgg)
+	var cellOrder []string
+	for _, g := range groups {
+		codes := enc.Codes(g.Key)
+		tLabel := tc.Label(codes[0])
+		key := string(g.Key)[4:] // everything except the treatment field
+		agg, ok := cells[key]
+		if !ok {
+			agg = &cellAgg{
+				ctxCodes: append([]int32(nil), codes[1:1+nX]...),
+				xKey:     key[:4*nX],
+				zKey:     key[4*nX : 4*(nX+nZ)],
+				byT:      make(map[string]blockStat),
+			}
+			cells[key] = agg
+			cellOrder = append(cellOrder, key)
+		}
+		st := blockStat{count: len(g.Rows), sums: make([]float64, len(q.Outcomes))}
+		for oi := range q.Outcomes {
+			for _, r := range g.Rows {
+				st.sums[oi] += outcomes[oi][r]
+			}
+		}
+		agg.byT[tLabel] = st
+		agg.total += len(g.Rows)
+	}
+	sort.Strings(cellOrder)
+
+	// Exact matching: keep only blocks where every treatment value occurs
+	// (count(DISTINCT T) = |Dom(T)| in Listing 2).
+	kept := make([]*cellAgg, 0, len(cells))
+	keptRows := 0
+	for _, key := range cellOrder {
+		agg := cells[key]
+		if len(agg.byT) == numT {
+			kept = append(kept, agg)
+			keptRows += agg.total
+		}
+	}
+	result := &Rewritten{
+		Kind:        kind,
+		Covariates:  append([]string(nil), covariates...),
+		Mediators:   append([]string(nil), mediators...),
+		Baseline:    baseline,
+		BlocksTotal: len(cells),
+		BlocksKept:  len(kept),
+	}
+	if view.NumRows() > 0 {
+		result.RowsKeptFraction = float64(keptRows) / float64(view.NumRows())
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("query: overlap fails everywhere — no block contains all %d treatment values", numT)
+	}
+
+	decodeCtx := func(codes []int32) ([]string, error) {
+		out := make([]string, nX)
+		for j, x := range q.Groupings {
+			xc, err := view.Column(x)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = xc.Label(codes[j])
+		}
+		return out, nil
+	}
+
+	var rows []Row
+	if kind == TotalEffect {
+		rows, err = totalEffectRows(q, kept, tLabels, decodeCtx)
+	} else {
+		rows, err = directEffectRows(q, kept, tLabels, baseline, decodeCtx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sortRows(rows)
+	result.Rows = rows
+	return result, nil
+}
+
+// totalEffectRows implements the adjustment formula Eq 2: per context x and
+// treatment value t, Σ_z avg(Y | t, z, x) · Pr(z | x), with Pr(z | x)
+// re-normalized over the kept blocks of that context.
+func totalEffectRows(q Query, kept []*cellAgg, tLabels []string, decodeCtx func([]int32) ([]string, error)) ([]Row, error) {
+	type ctxAgg struct {
+		codes  []int32
+		weight float64              // Σ kept block sizes (normalizer)
+		acc    map[string][]float64 // treatment -> per-outcome weighted sums
+		counts map[string]int       // treatment -> supporting rows
+	}
+	byX := make(map[string]*ctxAgg)
+	var order []string
+	for _, cell := range kept {
+		cx, ok := byX[cell.xKey]
+		if !ok {
+			cx = &ctxAgg{
+				codes:  cell.ctxCodes,
+				acc:    make(map[string][]float64),
+				counts: make(map[string]int),
+			}
+			byX[cell.xKey] = cx
+			order = append(order, cell.xKey)
+		}
+		w := float64(cell.total)
+		cx.weight += w
+		for _, tl := range tLabels {
+			st := cell.byT[tl]
+			acc := cx.acc[tl]
+			if acc == nil {
+				acc = make([]float64, len(q.Outcomes))
+				cx.acc[tl] = acc
+			}
+			for oi := range q.Outcomes {
+				acc[oi] += st.sums[oi] / float64(st.count) * w
+			}
+			cx.counts[tl] += st.count
+		}
+	}
+	sort.Strings(order)
+	var rows []Row
+	for _, k := range order {
+		cx := byX[k]
+		ctx, err := decodeCtx(cx.codes)
+		if err != nil {
+			return nil, err
+		}
+		for _, tl := range tLabels {
+			avgs := make([]float64, len(q.Outcomes))
+			for oi := range q.Outcomes {
+				avgs[oi] = cx.acc[tl][oi] / cx.weight
+			}
+			rows = append(rows, Row{Treatment: tl, Context: ctx, Avgs: avgs, Count: cx.counts[tl]})
+		}
+	}
+	return rows, nil
+}
+
+// directEffectRows implements the mediator formula Eq 3: per context x and
+// treatment t, Σ_z Pr(z|x) Σ_m Pr(m | baseline, z, x) · avg(Y | t, z, m, x),
+// with both weight distributions re-normalized over kept blocks.
+func directEffectRows(q Query, kept []*cellAgg, tLabels []string, baseline string, decodeCtx func([]int32) ([]string, error)) ([]Row, error) {
+	// Group kept cells by (x) and by (x,z).
+	type zAgg struct {
+		cells     []*cellAgg
+		baseCount int // baseline rows across mediator cells (normalizer for Pr(m|t0,z,x))
+		total     int // all rows (contributes to Pr(z|x))
+	}
+	type ctxAgg struct {
+		codes []int32
+		byZ   map[string]*zAgg
+		zKeys []string
+		total int
+	}
+	byX := make(map[string]*ctxAgg)
+	var order []string
+	for _, cell := range kept {
+		cx, ok := byX[cell.xKey]
+		if !ok {
+			cx = &ctxAgg{codes: cell.ctxCodes, byZ: make(map[string]*zAgg)}
+			byX[cell.xKey] = cx
+			order = append(order, cell.xKey)
+		}
+		za, ok := cx.byZ[cell.zKey]
+		if !ok {
+			za = &zAgg{}
+			cx.byZ[cell.zKey] = za
+			cx.zKeys = append(cx.zKeys, cell.zKey)
+		}
+		za.cells = append(za.cells, cell)
+		za.baseCount += cell.byT[baseline].count
+		za.total += cell.total
+		cx.total += cell.total
+	}
+	sort.Strings(order)
+
+	var rows []Row
+	for _, k := range order {
+		cx := byX[k]
+		ctx, err := decodeCtx(cx.codes)
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(cx.zKeys)
+		acc := make(map[string][]float64, len(tLabels))
+		counts := make(map[string]int, len(tLabels))
+		for _, tl := range tLabels {
+			acc[tl] = make([]float64, len(q.Outcomes))
+		}
+		for _, zk := range cx.zKeys {
+			za := cx.byZ[zk]
+			pz := float64(za.total) / float64(cx.total)
+			for _, cell := range za.cells {
+				pm := float64(cell.byT[baseline].count) / float64(za.baseCount)
+				for _, tl := range tLabels {
+					st := cell.byT[tl]
+					for oi := range q.Outcomes {
+						acc[tl][oi] += pz * pm * st.sums[oi] / float64(st.count)
+					}
+					counts[tl] += st.count
+				}
+			}
+		}
+		for _, tl := range tLabels {
+			rows = append(rows, Row{Treatment: tl, Context: ctx, Avgs: acc[tl], Count: counts[tl]})
+		}
+	}
+	return rows, nil
+}
+
+// checkAdjustmentAttrs validates covariate/mediator lists against the table
+// and the query's own attributes.
+func checkAdjustmentAttrs(t *dataset.Table, q Query, attrs []string, role string) error {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if !t.HasColumn(a) {
+			return fmt.Errorf("query: no %s column %q", role, a)
+		}
+		if seen[a] {
+			return fmt.Errorf("query: duplicate %s %q", role, a)
+		}
+		seen[a] = true
+		if a == q.Treatment {
+			return fmt.Errorf("query: treatment %q cannot be a %s", a, role)
+		}
+		for _, y := range q.Outcomes {
+			if a == y {
+				return fmt.Errorf("query: outcome %q cannot be a %s", a, role)
+			}
+		}
+		for _, x := range q.Groupings {
+			if a == x {
+				return fmt.Errorf("query: grouping %q cannot be a %s", a, role)
+			}
+		}
+	}
+	return nil
+}
+
+func indexOf(items []string, x string) int {
+	for i, v := range items {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

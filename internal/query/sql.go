@@ -1,0 +1,72 @@
+package query
+
+import (
+	"strconv"
+	"strings"
+)
+
+// RewrittenSQL renders the Listing 2 rewriting of the query as SQL text,
+// with the discovered covariates Z inlined (cf. Listing 3, the rewritten
+// query of Example 1.1). It is display-only; execution goes through
+// RewriteTotal/RewriteDirect.
+func (q Query) RewrittenSQL(covariates []string) string {
+	groupCols := append(append([]string{q.Treatment}, covariates...), q.Groupings...)
+	weightCols := append(append([]string(nil), covariates...), q.Groupings...)
+
+	var b strings.Builder
+	b.WriteString("WITH Blocks AS (\n  SELECT ")
+	cols := append([]string(nil), groupCols...)
+	for i, y := range q.Outcomes {
+		cols = append(cols, "avg("+y+") AS Avg"+strconv.Itoa(i+1))
+	}
+	b.WriteString(strings.Join(cols, ", "))
+	b.WriteString("\n  FROM ")
+	b.WriteString(q.tableName())
+	q.writeWhere(&b, "  ")
+	b.WriteString("\n  GROUP BY ")
+	b.WriteString(strings.Join(groupCols, ", "))
+	b.WriteString("\n),\nWeights AS (\n  SELECT ")
+	b.WriteString(strings.Join(append(append([]string(nil), weightCols...), "count(*)/n AS W"), ", "))
+	b.WriteString("\n  FROM ")
+	b.WriteString(q.tableName())
+	q.writeWhere(&b, "  ")
+	b.WriteString("\n  GROUP BY ")
+	b.WriteString(strings.Join(weightCols, ", "))
+	b.WriteString("\n  HAVING count(DISTINCT ")
+	b.WriteString(q.Treatment)
+	b.WriteString(") = 2\n)\nSELECT ")
+	sel := append([]string{"Blocks." + q.Treatment}, prefixAll("Blocks.", q.Groupings)...)
+	for i := range q.Outcomes {
+		sel = append(sel, "sum(Avg"+strconv.Itoa(i+1)+" * W)")
+	}
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString("\nFROM Blocks, Weights\nWHERE ")
+	var joins []string
+	for _, c := range weightCols {
+		joins = append(joins, "Blocks."+c+" = Weights."+c)
+	}
+	b.WriteString(strings.Join(joins, " AND\n      "))
+	b.WriteString("\nGROUP BY ")
+	b.WriteString(strings.Join(append([]string{"Blocks." + q.Treatment}, prefixAll("Blocks.", q.Groupings)...), ", "))
+	return b.String()
+}
+
+func (q Query) writeWhere(b *strings.Builder, indent string) {
+	if q.Where == nil {
+		return
+	}
+	if w := q.Where.SQL(); w != "TRUE" {
+		b.WriteString("\n")
+		b.WriteString(indent)
+		b.WriteString("WHERE ")
+		b.WriteString(w)
+	}
+}
+
+func prefixAll(prefix string, items []string) []string {
+	out := make([]string, len(items))
+	for i, s := range items {
+		out[i] = prefix + s
+	}
+	return out
+}

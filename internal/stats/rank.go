@@ -1,0 +1,51 @@
+package stats
+
+import "sort"
+
+// RankDescending returns the indices of scores ordered from the highest
+// score to the lowest. Ties break on the lower index, making the ranking
+// deterministic.
+func RankDescending(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+// BordaAggregate combines several rankings of the same n items into a single
+// consensus ranking using Borda's method (the rank-aggregation method the
+// paper cites for fine-grained explanations, [26]): in each input ranking an
+// item at position p (0-based, best first) receives n−p points; items are
+// returned ordered by total points, best first. Ties break on the lower item
+// index.
+//
+// Each ranking must be a permutation of 0..n−1; rankings of differing length
+// are rejected by returning nil.
+func BordaAggregate(rankings ...[]int) []int {
+	if len(rankings) == 0 {
+		return nil
+	}
+	n := len(rankings[0])
+	points := make([]int, n)
+	for _, r := range rankings {
+		if len(r) != n {
+			return nil
+		}
+		seen := make([]bool, n)
+		for pos, item := range r {
+			if item < 0 || item >= n || seen[item] {
+				return nil
+			}
+			seen[item] = true
+			points[item] += n - pos
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return points[idx[a]] > points[idx[b]] })
+	return idx
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankDescending(t *testing.T) {
+	got := RankDescending([]float64{0.1, 0.9, 0.5})
+	if !reflect.DeepEqual(got, []int{1, 2, 0}) {
+		t.Errorf("RankDescending = %v, want [1 2 0]", got)
+	}
+	// Ties break on lower index.
+	got = RankDescending([]float64{0.5, 0.5, 0.9})
+	if !reflect.DeepEqual(got, []int{2, 0, 1}) {
+		t.Errorf("RankDescending ties = %v, want [2 0 1]", got)
+	}
+	if got := RankDescending(nil); len(got) != 0 {
+		t.Errorf("RankDescending(nil) = %v", got)
+	}
+}
+
+func TestBordaAggregateAgreement(t *testing.T) {
+	// Two identical rankings: the consensus is the same ranking.
+	r := []int{2, 0, 1}
+	got := BordaAggregate(r, r)
+	if !reflect.DeepEqual(got, []int{2, 0, 1}) {
+		t.Errorf("BordaAggregate = %v, want [2 0 1]", got)
+	}
+}
+
+func TestBordaAggregateCompromise(t *testing.T) {
+	// Ranking A: 0 > 1 > 2; Ranking B: 1 > 0 > 2.
+	// Points: item0 = 3+2 = 5, item1 = 2+3 = 5, item2 = 1+1 = 2.
+	// Tie between 0 and 1 breaks on lower index.
+	got := BordaAggregate([]int{0, 1, 2}, []int{1, 0, 2})
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("BordaAggregate = %v, want [0 1 2]", got)
+	}
+	// A third ranking favoring 1 breaks the tie.
+	got = BordaAggregate([]int{0, 1, 2}, []int{1, 0, 2}, []int{1, 2, 0})
+	if got[0] != 1 {
+		t.Errorf("BordaAggregate winner = %d, want 1", got[0])
+	}
+}
+
+func TestBordaAggregateInvalid(t *testing.T) {
+	if got := BordaAggregate(); got != nil {
+		t.Errorf("no rankings: got %v, want nil", got)
+	}
+	if got := BordaAggregate([]int{0, 1}, []int{0}); got != nil {
+		t.Errorf("length mismatch: got %v, want nil", got)
+	}
+	if got := BordaAggregate([]int{0, 0}); got != nil {
+		t.Errorf("duplicate item: got %v, want nil", got)
+	}
+	if got := BordaAggregate([]int{0, 5}); got != nil {
+		t.Errorf("out-of-range item: got %v, want nil", got)
+	}
+}
+
+// Property: the Borda consensus of random permutations is itself a
+// permutation of 0..n−1.
+func TestQuickBordaIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		k := 1 + r.Intn(4)
+		rankings := make([][]int, k)
+		for i := range rankings {
+			rankings[i] = r.Perm(n)
+		}
+		got := BordaAggregate(rankings...)
+		if len(got) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an item ranked first by every input ranking wins the consensus.
+func TestQuickBordaUnanimity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		winner := r.Intn(n)
+		k := 1 + r.Intn(4)
+		rankings := make([][]int, k)
+		for i := range rankings {
+			rest := r.Perm(n)
+			// Move winner to front.
+			out := []int{winner}
+			for _, v := range rest {
+				if v != winner {
+					out = append(out, v)
+				}
+			}
+			rankings[i] = out
+		}
+		got := BordaAggregate(rankings...)
+		return got != nil && got[0] == winner
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
