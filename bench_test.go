@@ -5,10 +5,12 @@ package hypdb_test
 // cmd/experiments regenerates the full paper-style rows and sweeps.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
+	"hypdb"
 	"hypdb/internal/cdd"
 	"hypdb/internal/core"
 	"hypdb/internal/cube"
@@ -53,7 +55,7 @@ func benchAnalyze(b *testing.B, tab *dataset.Table, q query.Query) {
 	opts := core.Options{Config: core.Config{Seed: 7, Permutations: 200, Parallel: true}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Analyze(tab, q, opts); err != nil {
+		if _, err := core.Analyze(context.Background(), tab, q, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,6 +90,40 @@ func BenchmarkTable1Cancer(b *testing.B) {
 
 func BenchmarkTable1Flight(b *testing.B) {
 	benchAnalyze(b, flightSmall(b), datagen.FlightQuery())
+}
+
+// ---------------------------------------------------------------------------
+// Session-handle caching: the cross-query covariate-discovery memo
+
+// BenchmarkAnalyzeWarmVsCold quantifies the session cache: "cold" opens a
+// fresh handle per query (every call rediscovers covariates, like the
+// deprecated free functions), "warm" reuses one handle so repeated queries
+// skip the CD phase entirely.
+func BenchmarkAnalyzeWarmVsCold(b *testing.B) {
+	tab := flightSmall(b)
+	q := datagen.FlightQuery()
+	opts := []hypdb.Option{hypdb.WithSeed(7), hypdb.WithPermutations(200), hypdb.WithParallel(true)}
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hypdb.Open(tab).Analyze(ctx, q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		db := hypdb.Open(tab)
+		if _, err := db.Analyze(ctx, q, opts...); err != nil { // prime the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Analyze(ctx, q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -126,7 +162,7 @@ func benchParentRecovery(b *testing.B, rows int, method core.TestMethod) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, a := range attrs {
-			if _, err := core.DiscoverCovariates(tab, a, excludeOf(attrs, a), nil, cfg); err != nil {
+			if _, err := core.DiscoverCovariates(context.Background(), tab, a, excludeOf(attrs, a), nil, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -152,7 +188,7 @@ func BenchmarkFig5dSparseCategoriesCD(b *testing.B) {
 	cfg := core.Config{Method: core.HyMITMethod, Seed: 7, DisableFallback: true, Permutations: 100, Parallel: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -165,7 +201,7 @@ func BenchmarkFig6aFGSStructure(b *testing.B) {
 	tab := randomTable(b, 10000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := cdd.LearnStructure(tab, tab.Columns(), cdd.ConstraintConfig{
+		_, err := cdd.LearnStructure(context.Background(), tab, tab.Columns(), cdd.ConstraintConfig{
 			Tester: independence.ChiSquare{Est: stats.MillerMadow},
 		})
 		if err != nil {
@@ -180,7 +216,7 @@ func BenchmarkFig6aCDSingleNode(b *testing.B) {
 	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -199,7 +235,7 @@ func benchSingleTest(b *testing.B, tester independence.Tester) {
 	attrs := tab.Columns()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tester.Test(tab, attrs[0], attrs[1], attrs[2:6]); err != nil {
+		if _, err := tester.Test(context.Background(), tab, attrs[0], attrs[1], attrs[2:6]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -235,7 +271,7 @@ func benchCDVariant(b *testing.B, mut func(*core.Config)) {
 	mut(&cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -275,7 +311,7 @@ func BenchmarkFig6dCDWithoutCube(b *testing.B) {
 	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -291,7 +327,7 @@ func BenchmarkFig6dCDWithCube(b *testing.B) {
 	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true, Cube: cb}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -317,7 +353,7 @@ func BenchmarkFig8bCDWithCube12Attrs(b *testing.B) {
 	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true, Cube: cb}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -339,7 +375,7 @@ func BenchmarkFig8aHyMITVerdicts(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 1; j < len(attrs); j++ {
-			if _, err := tester.Test(tab, attrs[0], attrs[j], nil); err != nil {
+			if _, err := tester.Test(context.Background(), tab, attrs[0], attrs[j], nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,9 +1,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"hypdb/internal/core"
+	"hypdb"
 	"hypdb/internal/datagen"
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
@@ -30,7 +31,7 @@ func runFig1(cfg runConfig) error {
 		return err
 	}
 	q := datagen.FlightQuery()
-	rep, err := core.Analyze(tab, q, core.Options{Config: coreConfig(cfg)})
+	rep, err := hypdb.Open(tab).Analyze(context.Background(), q, analysisOpts(cfg)...)
 	if err != nil {
 		return err
 	}
@@ -100,12 +101,14 @@ func printConditional(view *dataset.Table, a, b string) error {
 	return nil
 }
 
-func coreConfig(cfg runConfig) core.Config {
-	c := core.Config{Seed: cfg.seed, Parallel: true}
+// analysisOpts is the shared experiment configuration in the public API's
+// functional-option form.
+func analysisOpts(cfg runConfig) []hypdb.Option {
+	opts := []hypdb.Option{hypdb.WithSeed(cfg.seed), hypdb.WithParallel(true)}
 	if cfg.quick {
-		c.Permutations = 200
+		opts = append(opts, hypdb.WithPermutations(200))
 	}
-	return c
+	return opts
 }
 
 func runTable1(cfg runConfig) error {
@@ -135,7 +138,7 @@ func runTable1(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		rep, err := core.Analyze(tab, e.q, core.Options{Config: coreConfig(cfg)})
+		rep, err := hypdb.Open(tab).Analyze(context.Background(), e.q, analysisOpts(cfg)...)
 		if err != nil {
 			return err
 		}
@@ -157,7 +160,7 @@ func runFig3(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.Analyze(adult, datagen.AdultQuery(), core.Options{Config: coreConfig(cfg)})
+	rep, err := hypdb.Open(adult).Analyze(context.Background(), datagen.AdultQuery(), analysisOpts(cfg)...)
 	if err != nil {
 		return err
 	}
@@ -173,7 +176,7 @@ func runFig3(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	rep, err = core.Analyze(staples, datagen.StaplesQuery(), core.Options{Config: coreConfig(cfg)})
+	rep, err = hypdb.Open(staples).Analyze(context.Background(), datagen.StaplesQuery(), analysisOpts(cfg)...)
 	if err != nil {
 		return err
 	}
@@ -188,7 +191,7 @@ func runFig4(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.Analyze(berkeley, datagen.BerkeleyQuery(), core.Options{Config: coreConfig(cfg)})
+	rep, err := hypdb.Open(berkeley).Analyze(context.Background(), datagen.BerkeleyQuery(), analysisOpts(cfg)...)
 	if err != nil {
 		return err
 	}
@@ -200,7 +203,7 @@ func runFig4(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	rep, err = core.Analyze(cancer, datagen.CancerQuery(), core.Options{Config: coreConfig(cfg)})
+	rep, err = hypdb.Open(cancer).Analyze(context.Background(), datagen.CancerQuery(), analysisOpts(cfg)...)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+
 	"math/rand"
 	"sort"
 
@@ -136,7 +138,7 @@ func diffAndP(tab *dataset.Table, q query.Query, covariates []string, opts core.
 	if err != nil {
 		return 0, 0, false
 	}
-	res, err := opts.Config.TestBalance(view, q.Outcomes[0], []string{q.Treatment}, covariates)
+	res, err := opts.Config.TestBalance(context.Background(), view, q.Outcomes[0], []string{q.Treatment}, covariates)
 	if err != nil {
 		return 0, 0, false
 	}
@@ -178,7 +180,7 @@ func cdMethod(name string, testMethod core.TestMethod) method {
 		out := make(map[string][]string, len(attrs))
 		cfg := core.Config{Method: testMethod, Seed: seed, DisableFallback: true, Permutations: 150, Parallel: true}
 		for _, a := range attrs {
-			res, err := core.DiscoverCovariates(tab, a, exclude(attrs, a), nil, cfg)
+			res, err := core.DiscoverCovariates(context.Background(), tab, a, exclude(attrs, a), nil, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -190,7 +192,7 @@ func cdMethod(name string, testMethod core.TestMethod) method {
 
 func constraintMethod(name string, boundary cdd.BoundaryAlgorithm) method {
 	return method{name: name, parents: func(tab *dataset.Table, attrs []string, seed int64) (map[string][]string, error) {
-		p, err := cdd.LearnStructure(tab, attrs, cdd.ConstraintConfig{
+		p, err := cdd.LearnStructure(context.Background(), tab, attrs, cdd.ConstraintConfig{
 			Tester:   independence.ChiSquare{Est: stats.MillerMadow},
 			Boundary: boundary,
 		})
@@ -211,7 +213,7 @@ func constraintMethod(name string, boundary cdd.BoundaryAlgorithm) method {
 
 func hcMethod(name string, score cdd.ScoreType) method {
 	return method{name: name, parents: func(tab *dataset.Table, attrs []string, seed int64) (map[string][]string, error) {
-		g, err := cdd.HillClimb(tab, attrs, cdd.HillClimbConfig{Score: score})
+		g, err := cdd.HillClimb(context.Background(), tab, attrs, cdd.HillClimbConfig{Score: score})
 		if err != nil {
 			return nil, err
 		}

@@ -10,19 +10,21 @@
 //	hypdb datasets
 //
 // The -where syntax is a conjunction of attribute filters separated by ';',
-// each "Attr=v1|v2|v3" (any listed value matches).
+// each "Attr=v1|v2|v3" (any listed value matches). Interrupting a run
+// (Ctrl-C) cancels the analysis context and exits promptly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"hypdb/internal/core"
+	"hypdb"
 	"hypdb/internal/datagen"
-	"hypdb/internal/dataset"
-	"hypdb/internal/query"
 )
 
 func main() {
@@ -30,14 +32,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// One cancellable context for the whole run: Ctrl-C aborts mid-flight
+	// permutation loops and discovery searches.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var err error
 	switch os.Args[1] {
 	case "analyze":
-		err = cmdAnalyze(os.Args[2:], false, false)
+		err = cmdAnalyze(ctx, os.Args[2:], false, false)
 	case "detect":
-		err = cmdAnalyze(os.Args[2:], true, false)
+		err = cmdAnalyze(ctx, os.Args[2:], true, false)
 	case "rewrite":
-		err = cmdAnalyze(os.Args[2:], false, true)
+		err = cmdAnalyze(ctx, os.Args[2:], false, true)
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "datasets":
@@ -52,6 +59,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "hypdb: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "hypdb: %v\n", err)
 		os.Exit(1)
 	}
@@ -66,7 +77,7 @@ func usage() {
   hypdb datasets`)
 }
 
-func cmdAnalyze(args []string, detectOnly, rewriteOnly bool) error {
+func cmdAnalyze(ctx context.Context, args []string, detectOnly, rewriteOnly bool) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	data := fs.String("data", "", "CSV file to analyze (required)")
 	treatment := fs.String("treatment", "", "treatment attribute T (required)")
@@ -85,7 +96,7 @@ func cmdAnalyze(args []string, detectOnly, rewriteOnly bool) error {
 	if *data == "" || *treatment == "" || *outcomes == "" {
 		return fmt.Errorf("-data, -treatment and -outcomes are required")
 	}
-	tab, err := dataset.ReadCSVFile(*data)
+	db, err := hypdb.OpenCSV(*data)
 	if err != nil {
 		return err
 	}
@@ -93,46 +104,52 @@ func cmdAnalyze(args []string, detectOnly, rewriteOnly bool) error {
 	if err != nil {
 		return err
 	}
-	q := query.Query{
+	q := hypdb.Query{
 		Table:     *data,
 		Treatment: *treatment,
 		Outcomes:  splitList(*outcomes),
 		Groupings: splitList(*groupby),
 		Where:     pred,
 	}
-	cfg := core.Config{Alpha: *alpha, Seed: *seed, Permutations: *perms, Parallel: true}
+	opts := []hypdb.Option{
+		hypdb.WithAlpha(*alpha),
+		hypdb.WithSeed(*seed),
+		hypdb.WithPermutations(*perms),
+		hypdb.WithParallel(true),
+	}
 	switch *method {
 	case "hymit":
-		cfg.Method = core.HyMITMethod
+		opts = append(opts, hypdb.WithMethod(hypdb.HyMIT))
 	case "chi2":
-		cfg.Method = core.ChiSquaredMethod
+		opts = append(opts, hypdb.WithMethod(hypdb.ChiSquared))
 	case "mit":
-		cfg.Method = core.MITMethod
+		opts = append(opts, hypdb.WithMethod(hypdb.MIT))
 	case "mit-sampling":
-		cfg.Method = core.MITSamplingMethod
+		opts = append(opts, hypdb.WithMethod(hypdb.MITSampling))
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
-	opts := core.Options{Config: cfg}
-	if *covariates != "" {
-		opts.Covariates = splitList(*covariates)
+	covs := splitList(*covariates)
+	meds := splitList(*mediators)
+	if len(covs) > 0 {
+		opts = append(opts, hypdb.WithCovariates(covs...))
 	}
-	if *mediators != "" {
-		opts.Mediators = splitList(*mediators)
+	if len(meds) > 0 {
+		opts = append(opts, hypdb.WithMediators(meds...))
 	}
-	if detectOnly && len(opts.Covariates) == 0 {
+	if detectOnly && len(covs) == 0 {
 		return fmt.Errorf("detect requires -covariates")
 	}
-	if rewriteOnly && len(opts.Covariates) == 0 && len(opts.Mediators) == 0 {
+	if rewriteOnly && len(covs) == 0 && len(meds) == 0 {
 		return fmt.Errorf("rewrite requires -covariates and/or -mediators")
 	}
 
 	if detectOnly {
-		view, err := q.View(tab)
+		view, err := q.View(db.Table())
 		if err != nil {
 			return err
 		}
-		results, err := core.DetectBias(view, q.Treatment, q.Groupings, opts.Covariates, cfg)
+		results, err := hypdb.Open(view).DetectBias(ctx, q.Treatment, q.Groupings, covs, opts...)
 		if err != nil {
 			return err
 		}
@@ -141,15 +158,15 @@ func cmdAnalyze(args []string, detectOnly, rewriteOnly bool) error {
 			if b.Biased {
 				tag = "BIASED"
 			}
-			ctx := ""
+			cx := ""
 			if len(b.Context) > 0 {
-				ctx = " [" + strings.Join(b.Context, ",") + "]"
+				cx = " [" + strings.Join(b.Context, ",") + "]"
 			}
-			fmt.Printf("context%s: I(T;V)=%.5f p=%.4f → %s\n", ctx, b.MI, b.PValue, tag)
+			fmt.Printf("context%s: I(T;V)=%.5f p=%.4f → %s\n", cx, b.MI, b.PValue, tag)
 		}
 		return nil
 	}
-	rep, err := core.Analyze(tab, q, opts)
+	rep, err := db.Analyze(ctx, q, opts...)
 	if err != nil {
 		return err
 	}
@@ -188,12 +205,12 @@ func cmdGenerate(args []string) error {
 }
 
 // parseWhere parses "A=v1|v2;B=w" into a conjunction of In predicates.
-func parseWhere(s string) (dataset.Predicate, error) {
+func parseWhere(s string) (hypdb.Predicate, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
 	}
-	var conj dataset.And
+	var conj hypdb.And
 	for _, part := range strings.Split(s, ";") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -207,7 +224,7 @@ func parseWhere(s string) (dataset.Predicate, error) {
 		for i := range values {
 			values[i] = strings.TrimSpace(values[i])
 		}
-		conj = append(conj, dataset.In{Attr: strings.TrimSpace(attr), Values: values})
+		conj = append(conj, hypdb.In{Attr: strings.TrimSpace(attr), Values: values})
 	}
 	if len(conj) == 0 {
 		return nil, nil

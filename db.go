@@ -1,0 +1,401 @@
+package hypdb
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"hypdb/internal/core"
+	"hypdb/internal/dataset"
+	"hypdb/internal/query"
+)
+
+// DB is a long-lived, concurrency-safe session handle over one table. It
+// owns the cross-query analysis state the paper's interactive-latency
+// optimizations (Sec 6) call for: covariate-discovery results are memoized
+// per (selection, target, candidates, config), so repeated and batched
+// queries skip the dominant CD cost entirely. All methods are safe for
+// concurrent use; the underlying table is immutable.
+//
+// Every long-running method takes a context.Context and returns ctx.Err()
+// (wrapped) promptly after cancellation — the Monte-Carlo permutation
+// loops, the Markov-boundary search and the CD subset enumerations all
+// check it.
+type DB struct {
+	table *dataset.Table
+
+	mu sync.Mutex
+	cd map[string]*cdEntry
+	// stats counters, guarded by mu.
+	cdComputes int
+	cdHits     int
+}
+
+// cdEntry is a single-flight memoization slot: the first caller computes,
+// concurrent callers wait on done. Failed computations are evicted before
+// done is closed so later calls retry.
+type cdEntry struct {
+	done chan struct{}
+	res  *core.CDResult
+	err  error
+}
+
+// Stats reports the session's cache activity. CDComputes counts covariate
+// discoveries actually executed; CDHits counts calls answered from the
+// memoized result (including waits on an in-flight computation).
+type Stats struct {
+	CDComputes int
+	CDHits     int
+}
+
+// Open creates a session handle over an in-memory table.
+func Open(t *Table) *DB {
+	return &DB{table: t, cd: make(map[string]*cdEntry)}
+}
+
+// OpenCSV creates a session handle over a CSV file (header row required;
+// all values treated as categorical).
+func OpenCSV(path string) (*DB, error) {
+	t, err := dataset.ReadCSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(t), nil
+}
+
+// Table returns the session's underlying table. Treat it as read-only: the
+// analysis caches assume the data never changes.
+func (db *DB) Table() *Table { return db.table }
+
+// Stats returns a snapshot of the session's cache counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Stats{CDComputes: db.cdComputes, CDHits: db.cdHits}
+}
+
+// ResetCache drops all memoized analysis state and zeroes the counters.
+func (db *DB) ResetCache() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cd = make(map[string]*cdEntry)
+	db.cdComputes, db.cdHits = 0, 0
+}
+
+// Analyze runs the full HypDB pipeline — detect, explain, resolve — on a
+// query, sharing covariate-discovery results with every other call on this
+// handle.
+func (db *DB) Analyze(ctx context.Context, q Query, opts ...Option) (*Report, error) {
+	st := newSettings(opts)
+	o := st.opts
+	// A caller-supplied Discover hook (via WithOptions) wins over the
+	// session memoizer, and queries whose WHERE clause has no canonical
+	// encoding bypass the cache: both run uncached rather than risking a
+	// wrong shared entry.
+	if o.Discover == nil {
+		if whereKey, cacheable := whereKeyOf(q); cacheable {
+			o.Discover = db.discoverFunc(whereKey)
+		}
+	}
+	return core.Analyze(ctx, db.table, q, o)
+}
+
+// AnalyzeAll analyzes a batch of queries over a worker pool (WithWorkers
+// bounds it; default GOMAXPROCS). The reports align with the input order.
+// The first failure cancels the remaining work and is returned alongside
+// whatever completed; the cache makes overlapping queries in one batch pay
+// for covariate discovery once.
+func (db *DB) AnalyzeAll(ctx context.Context, queries []Query, opts ...Option) ([]*Report, error) {
+	st := newSettings(opts)
+	reports := make([]*Report, len(queries))
+	if len(queries) == 0 {
+		return reports, nil
+	}
+	workers := st.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rep, err := db.Analyze(ctx, queries[i], opts...)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("hypdb: query %d: %w", i, err)
+					}
+					errMu.Unlock()
+					cancel()
+					continue
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+feed:
+	for i := range queries {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return reports, firstErr
+}
+
+// Run executes the (possibly biased) query as written.
+func (db *DB) Run(ctx context.Context, q Query) (*Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return query.Run(db.table, q)
+}
+
+// RewriteTotal executes the bias-removing rewriting for the total effect
+// (adjustment formula, Eq 2) over the given covariates.
+func (db *DB) RewriteTotal(ctx context.Context, q Query, covariates []string) (*Rewritten, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return query.RewriteTotal(db.table, q, covariates)
+}
+
+// RewriteDirect executes the natural-direct-effect rewriting (mediator
+// formula, Eq 3) over covariates and mediators. WithBaseline fixes the
+// treatment value whose mediator distribution is held constant (default:
+// the smallest).
+func (db *DB) RewriteDirect(ctx context.Context, q Query, covariates, mediators []string, opts ...Option) (*Rewritten, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := newSettings(opts)
+	return query.RewriteDirect(db.table, q, covariates, mediators, st.opts.Baseline)
+}
+
+// DiscoverCovariates runs the CD algorithm for a treatment over candidate
+// attributes, memoized on the session; outcomes are excluded from the
+// fallback covariate set.
+func (db *DB) DiscoverCovariates(ctx context.Context, treatment string, candidates, outcomes []string, opts ...Option) (*CDResult, error) {
+	st := newSettings(opts)
+	return db.discoverCached(ctx, "", db.table, treatment, candidates, outcomes, st.opts.Config)
+}
+
+// DetectBias tests, per query context, whether the treatment groups are
+// balanced with respect to the given variable set.
+func (db *DB) DetectBias(ctx context.Context, treatment string, groupings, variables []string, opts ...Option) ([]BiasResult, error) {
+	st := newSettings(opts)
+	return core.DetectBias(ctx, db.table, treatment, groupings, variables, st.opts.Config)
+}
+
+// EffectBounds adjusts for every subset of the candidate covariates (up to
+// WithMaxAdjustmentSize) and reports the range of effect estimates — the
+// Sec 4 extension for treatments whose parents cannot be identified.
+func (db *DB) EffectBounds(ctx context.Context, q Query, candidates []string, opts ...Option) (*BoundsResult, error) {
+	st := newSettings(opts)
+	return core.EffectBounds(ctx, db.table, q, candidates, st.maxAdjust)
+}
+
+// ---------------------------------------------------------------------------
+// Cross-query covariate-discovery cache
+
+// discoverFunc builds the core.Options.Discover hook for one query: the
+// pipeline's CD calls route through the session cache, keyed additionally
+// by the query's WHERE clause (the view CD runs on is determined by it).
+func (db *DB) discoverFunc(whereKey string) func(context.Context, *dataset.Table, string, []string, []string, core.Config) (*core.CDResult, error) {
+	return func(ctx context.Context, view *dataset.Table, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
+		return db.discoverCached(ctx, whereKey, view, target, candidates, outcomes, cfg)
+	}
+}
+
+// discoverCached memoizes DiscoverCovariates per (whereKey, target,
+// candidates, outcomes, config). Concurrent callers of the same key share
+// one computation (single-flight); errors are not cached — a waiter whose
+// leader failed retries with its own context rather than inheriting an
+// error (e.g. the leader's cancellation) that says nothing about its own
+// request.
+func (db *DB) discoverCached(ctx context.Context, whereKey string, view *dataset.Table, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
+	key := cdKey(whereKey, target, candidates, outcomes, cfg)
+
+	for {
+		db.mu.Lock()
+		if e, ok := db.cd[key]; ok {
+			db.cdHits++
+			db.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err != nil {
+				// The leader failed and evicted the entry; start over
+				// (either becoming the new leader or joining one).
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
+				continue
+			}
+			return cloneCD(e.res), nil
+		}
+		e := &cdEntry{done: make(chan struct{})}
+		db.cd[key] = e
+		db.cdComputes++
+		db.mu.Unlock()
+
+		func() {
+			defer func() {
+				// Panic safety: waiters must never hang on done or read a
+				// half-written entry as a success. Record the panic as the
+				// entry's error, release everyone, then re-panic here.
+				if r := recover(); r != nil {
+					e.err = fmt.Errorf("hypdb: covariate discovery panicked: %v", r)
+					db.mu.Lock()
+					delete(db.cd, key)
+					db.mu.Unlock()
+					close(e.done)
+					panic(r)
+				}
+			}()
+			e.res, e.err = core.DiscoverCovariates(ctx, view, target, candidates, outcomes, cfg)
+			if e.err != nil {
+				// Evict before releasing waiters so retries see a fresh slot.
+				db.mu.Lock()
+				delete(db.cd, key)
+				db.mu.Unlock()
+			}
+			close(e.done)
+		}()
+		if e.err != nil {
+			return nil, e.err
+		}
+		return cloneCD(e.res), nil
+	}
+}
+
+// whereKeyOf renders the query's WHERE clause as a stable cache-key part.
+// The encoding is injective for the built-in combinators (length-prefixed
+// fields, so values containing quotes or separators cannot collide the way
+// the display SQL can). User-defined Predicate implementations have no
+// canonical encoding — their semantics may be coarser than any rendering —
+// so they are reported as uncacheable and the query bypasses the memo.
+func whereKeyOf(q Query) (key string, cacheable bool) {
+	if q.Where == nil {
+		return "", true
+	}
+	var b strings.Builder
+	if !writePredicateKey(&b, q.Where) {
+		return "", false
+	}
+	return b.String(), true
+}
+
+func writePredicateKey(b *strings.Builder, p Predicate) bool {
+	writeField := func(s string) { fmt.Fprintf(b, "%d:%s", len(s), s) }
+	switch v := p.(type) {
+	case dataset.In:
+		b.WriteString("in(")
+		writeField(v.Attr)
+		for _, val := range v.Values {
+			b.WriteByte(',')
+			writeField(val)
+		}
+		b.WriteByte(')')
+	case dataset.Eq:
+		b.WriteString("eq(")
+		writeField(v.Attr)
+		b.WriteByte(',')
+		writeField(v.Value)
+		b.WriteByte(')')
+	case dataset.And:
+		b.WriteString("and(")
+		for _, child := range v {
+			if !writePredicateKey(b, child) {
+				return false
+			}
+		}
+		b.WriteByte(')')
+	case dataset.Or:
+		b.WriteString("or(")
+		for _, child := range v {
+			if !writePredicateKey(b, child) {
+				return false
+			}
+		}
+		b.WriteByte(')')
+	case dataset.Not:
+		b.WriteString("not(")
+		if !writePredicateKey(b, v.Pred) {
+			return false
+		}
+		b.WriteByte(')')
+	case dataset.All:
+		b.WriteString("all")
+	case nil:
+		b.WriteString("nil")
+	default:
+		return false
+	}
+	return true
+}
+
+// cdKey builds the memoization key for one covariate discovery.
+func cdKey(whereKey, target string, candidates, outcomes []string, cfg core.Config) string {
+	var b strings.Builder
+	b.WriteString(whereKey)
+	b.WriteByte(0x1f)
+	b.WriteString(target)
+	b.WriteByte(0x1f)
+	b.WriteString(strings.Join(candidates, "\x1e"))
+	b.WriteByte(0x1f)
+	b.WriteString(strings.Join(outcomes, "\x1e"))
+	b.WriteByte(0x1f)
+	// The cube is fingerprinted by identity (%p): distinct cubes over the
+	// same table are interchangeable only if built over the same attrs,
+	// which identity conservatively under-approximates.
+	fmt.Fprintf(&b, "%d|%g|%d|%t|%d|%g|%g|%d|%d|%d|%t|%t|%t|%t|%p|%#v",
+		cfg.Method, cfg.Alpha, cfg.Estimator, cfg.EstimatorSet, cfg.Permutations,
+		cfg.SampleFactor, cfg.Beta, cfg.Seed, cfg.MaxCondSet, cfg.MaxBoundary,
+		cfg.DisableEntropyCache, cfg.DisableMaterialization, cfg.DisableFallback,
+		cfg.Parallel, cfg.Cube, cfg.Prepare)
+	return b.String()
+}
+
+// cloneCD deep-copies a cached CDResult so callers mutating a report cannot
+// poison the cache.
+func cloneCD(r *core.CDResult) *core.CDResult {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	cp.Boundary = append([]string(nil), r.Boundary...)
+	cp.Parents = append([]string(nil), r.Parents...)
+	cp.CandidateParents = append([]string(nil), r.CandidateParents...)
+	if r.Boundaries != nil {
+		cp.Boundaries = make(map[string][]string, len(r.Boundaries))
+		for k, v := range r.Boundaries {
+			cp.Boundaries[k] = append([]string(nil), v...)
+		}
+	}
+	return &cp
+}

@@ -1,0 +1,32 @@
+package hypdb
+
+import "hypdb/internal/hyperr"
+
+// Sentinel errors classifying the library's failure modes. Every layer
+// wraps these with contextual detail, so they are matched with errors.Is:
+//
+//	_, err := db.Analyze(ctx, q)
+//	if errors.Is(err, hypdb.ErrUnknownAttribute) { ... }
+//
+// Cancellation surfaces as the context's own error: errors.Is(err,
+// context.Canceled) or context.DeadlineExceeded.
+var (
+	// ErrUnknownAttribute reports a reference to a column the table does
+	// not have (bad treatment, outcome, grouping, covariate or candidate).
+	ErrUnknownAttribute = hyperr.ErrUnknownAttribute
+
+	// ErrNoOverlap reports that the bias-removing rewriting is impossible:
+	// no covariate block contains every treatment value, so exact matching
+	// (Listing 2) has nothing to adjust over.
+	ErrNoOverlap = hyperr.ErrNoOverlap
+
+	// ErrEmptySelection reports a WHERE clause that selects no rows.
+	ErrEmptySelection = hyperr.ErrEmptySelection
+
+	// ErrEmptyTable reports an independence test over zero rows.
+	ErrEmptyTable = hyperr.ErrEmptyTable
+
+	// ErrNonBinaryTreatment reports a comparison that needs exactly two
+	// treatment values in the selected data.
+	ErrNonBinaryTreatment = hyperr.ErrNonBinaryTreatment
+)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,8 +25,11 @@ func main() {
 	}
 	fmt.Printf("BerkeleyData: %d applications (real 1973 figures)\n\n", tab.NumRows())
 
+	db := hypdb.Open(tab)
+	ctx := context.Background()
+
 	q := datagen.BerkeleyQuery()
-	ans, err := hypdb.Run(tab, q)
+	ans, err := db.Run(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +41,7 @@ func main() {
 	// Per-department rates: the famous reversal.
 	perDept := q
 	perDept.Groupings = []string{"Department"}
-	byDept, err := hypdb.Run(tab, perDept)
+	byDept, err := db.Run(ctx, perDept)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +63,7 @@ func main() {
 	fmt.Printf("\nWomen have the higher admission rate in %d of %d departments.\n", femaleWins, len(comps))
 
 	fmt.Println("\nHypDB's automatic analysis:")
-	report, err := hypdb.Analyze(tab, q, hypdb.Options{Config: hypdb.Config{Seed: 7}})
+	report, err := db.Analyze(ctx, q, hypdb.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,8 +37,8 @@ func main() {
 	}
 	fmt.Printf("\nSampled %d patients. Query: does lung cancer cause car accidents?\n\n", tab.NumRows())
 
-	report, err := hypdb.Analyze(tab, datagen.CancerQuery(),
-		hypdb.Options{Config: hypdb.Config{Seed: 7, Parallel: true}})
+	report, err := hypdb.Open(tab).Analyze(context.Background(), datagen.CancerQuery(),
+		hypdb.WithSeed(7), hypdb.WithParallel(true))
 	if err != nil {
 		log.Fatal(err)
 	}

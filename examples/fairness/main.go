@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,8 +26,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := hypdb.Analyze(adult, datagen.AdultQuery(),
-		hypdb.Options{Config: hypdb.Config{Seed: 7, Parallel: true}})
+	ctx := context.Background()
+	rep, err := hypdb.Open(adult).Analyze(ctx, datagen.AdultQuery(),
+		hypdb.WithSeed(7), hypdb.WithParallel(true))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,8 +47,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err = hypdb.Analyze(staples, datagen.StaplesQuery(),
-		hypdb.Options{Config: hypdb.Config{Seed: 7, Parallel: true}})
+	rep, err = hypdb.Open(staples).Analyze(ctx, datagen.StaplesQuery(),
+		hypdb.WithSeed(7), hypdb.WithParallel(true))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,13 +25,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	db := hypdb.Open(tab)
+	ctx := context.Background()
+
 	// "Which carrier should our business-travel program use at COS, MFE,
 	// MTJ and ROC?" — the analyst's group-by query.
 	q := datagen.FlightQuery()
 	fmt.Println("\nThe analyst's query:")
 	fmt.Println(q.SQL())
 
-	ans, err := hypdb.Run(tab, q)
+	ans, err := db.Run(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +46,7 @@ func main() {
 	// Per-airport answers reveal the reversal.
 	perAirport := q
 	perAirport.Groupings = []string{"Airport"}
-	byAirport, err := hypdb.Run(tab, perAirport)
+	byAirport, err := db.Run(ctx, perAirport)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +57,7 @@ func main() {
 
 	// Full HypDB analysis: detection, explanation, rewriting.
 	fmt.Println("\nRunning HypDB...")
-	report, err := hypdb.Analyze(tab, q, hypdb.Options{Config: hypdb.Config{Seed: 7, Parallel: true}})
+	report, err := db.Analyze(ctx, q, hypdb.WithSeed(7), hypdb.WithParallel(true))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -61,7 +62,9 @@ func main() {
 		Outcomes:  []string{"Recovered"},
 	}
 
-	report, err := hypdb.Analyze(tab, q, hypdb.Options{Config: hypdb.Config{Seed: 7, Parallel: true}})
+	db := hypdb.Open(tab)
+	report, err := db.Analyze(context.Background(), q,
+		hypdb.WithSeed(7), hypdb.WithParallel(true))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module hypdb
+
+go 1.24

@@ -2,8 +2,12 @@
 // queries, reproducing the system of "Bias in OLAP Queries: Detection,
 // Explanation, and Removal" (Salimi, Gehrke, Suciu — SIGMOD 2018).
 //
-// The headline entry point is Analyze: given a table and a group-by-average
-// query over a treatment attribute, it
+// The entry point is a session handle: Open (or OpenCSV) wraps a table in a
+// concurrency-safe *DB whose methods accept a context.Context and share
+// analysis state — covariate-discovery results are memoized across queries,
+// so interactive workloads pay the dominant discovery cost once. Analyze is
+// the headline method: given a group-by-average query over a treatment
+// attribute, it
 //
 //  1. discovers the treatment's covariates (parents in the underlying
 //     causal DAG) directly from the data with the CD algorithm,
@@ -17,17 +21,25 @@
 //
 // A minimal session:
 //
-//	tab, _ := hypdb.ReadCSVFile("flights.csv")
-//	report, err := hypdb.Analyze(tab, hypdb.Query{
+//	db, _ := hypdb.OpenCSV("flights.csv")
+//	report, err := db.Analyze(ctx, hypdb.Query{
 //	    Treatment: "Carrier",
 //	    Outcomes:  []string{"Delayed"},
 //	    Where: hypdb.And{
 //	        hypdb.In{Attr: "Carrier", Values: []string{"AA", "UA"}},
 //	        hypdb.In{Attr: "Airport", Values: []string{"COS", "MFE", "MTJ", "ROC"}},
 //	    },
-//	}, hypdb.Options{})
+//	}, hypdb.WithSeed(1), hypdb.WithParallel(true))
 //	if err != nil { ... }
 //	fmt.Println(report)
+//
+// Behavior is tuned with functional options (WithMethod, WithAlpha,
+// WithPermutations, WithExplanations, ...); the zero configuration
+// reproduces the paper's setup (HyMIT, α = 0.01, Miller-Madow estimation,
+// 1000 permutations). Failures are classified by the package's sentinel
+// errors (ErrUnknownAttribute, ErrNoOverlap, ...) via errors.Is, and
+// cancelling the context aborts long-running discovery and permutation
+// loops promptly with the context's error.
 //
 // The subsystems are exposed for advanced use: independence testing (MIT,
 // HyMIT, χ²), Markov-boundary discovery, causal-DAG utilities, OLAP cubes,
@@ -35,6 +47,8 @@
 package hypdb
 
 import (
+	"context"
+
 	"hypdb/internal/core"
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
@@ -88,12 +102,18 @@ type Report = core.Report
 
 // Options configures Analyze; the zero value reproduces the paper's setup
 // (HyMIT, α = 0.01, Miller-Madow estimation, 1000 permutations).
+//
+// Deprecated: prefer the functional options (WithMethod, WithAlpha, ...)
+// of the DB methods; WithOptions bridges existing Options values.
 type Options = core.Options
 
 // Config is the analysis configuration embedded in Options.
 type Config = core.Config
 
-// Test-method selectors for Config.Method.
+// TestMethod selects the conditional-independence test.
+type TestMethod = core.TestMethod
+
+// Test-method selectors for WithMethod (and Config.Method).
 const (
 	HyMIT       = core.HyMITMethod
 	ChiSquared  = core.ChiSquaredMethod
@@ -113,6 +133,9 @@ type Responsibility = core.Responsibility
 // FineExplanation is a fine-grained explanation triple.
 type FineExplanation = core.FineExplanation
 
+// BoundsResult brackets a causal effect across candidate adjustment sets.
+type BoundsResult = core.BoundsResult
+
 // NewBuilder creates a table builder over the given schema.
 func NewBuilder(columns ...string) *Builder { return dataset.NewBuilder(columns...) }
 
@@ -120,17 +143,31 @@ func NewBuilder(columns ...string) *Builder { return dataset.NewBuilder(columns.
 // values treated as categorical).
 func ReadCSVFile(path string) (*Table, error) { return dataset.ReadCSVFile(path) }
 
+// ---------------------------------------------------------------------------
+// Deprecated stateless facade
+//
+// The free functions below predate the session handle. They run without
+// cancellation or cross-query caching: each call rediscovers covariates
+// from scratch. They remain so existing code compiles; new code should
+// Open a DB.
+
 // Analyze runs the full HypDB pipeline — detect, explain, resolve — on a
 // query.
+//
+// Deprecated: use Open(t).Analyze(ctx, q, opts...).
 func Analyze(t *Table, q Query, opts Options) (*Report, error) {
-	return core.Analyze(t, q, opts)
+	return core.Analyze(context.Background(), t, q, opts)
 }
 
 // Run executes the (possibly biased) query as written.
+//
+// Deprecated: use Open(t).Run(ctx, q).
 func Run(t *Table, q Query) (*Answer, error) { return query.Run(t, q) }
 
 // RewriteTotal executes the bias-removing rewriting for the total effect
 // (adjustment formula, Eq 2 of the paper) over the given covariates.
+//
+// Deprecated: use Open(t).RewriteTotal(ctx, q, covariates).
 func RewriteTotal(t *Table, q Query, covariates []string) (*Rewritten, error) {
 	return query.RewriteTotal(t, q, covariates)
 }
@@ -139,28 +176,37 @@ func RewriteTotal(t *Table, q Query, covariates []string) (*Rewritten, error) {
 // formula, Eq 3) over covariates and mediators; baseline fixes the
 // treatment value whose mediator distribution is held constant ("" selects
 // the smallest).
+//
+// Deprecated: use Open(t).RewriteDirect(ctx, q, covariates, mediators,
+// WithBaseline(baseline)).
 func RewriteDirect(t *Table, q Query, covariates, mediators []string, baseline string) (*Rewritten, error) {
 	return query.RewriteDirect(t, q, covariates, mediators, baseline)
 }
 
 // DiscoverCovariates runs the CD algorithm for a treatment over candidate
 // attributes; outcomes are excluded from the fallback covariate set.
+//
+// Deprecated: use Open(t).DiscoverCovariates(ctx, treatment, candidates,
+// outcomes, opts...), which memoizes results on the handle.
 func DiscoverCovariates(t *Table, treatment string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
-	return core.DiscoverCovariates(t, treatment, candidates, outcomes, cfg)
+	return core.DiscoverCovariates(context.Background(), t, treatment, candidates, outcomes, cfg)
 }
 
 // DetectBias tests, per query context, whether the treatment groups are
 // balanced with respect to the given variable set.
+//
+// Deprecated: use Open(t).DetectBias(ctx, treatment, groupings, variables,
+// opts...).
 func DetectBias(t *Table, treatment string, groupings, variables []string, cfg Config) ([]BiasResult, error) {
-	return core.DetectBias(t, treatment, groupings, variables, cfg)
+	return core.DetectBias(context.Background(), t, treatment, groupings, variables, cfg)
 }
-
-// BoundsResult brackets a causal effect across candidate adjustment sets.
-type BoundsResult = core.BoundsResult
 
 // EffectBounds adjusts for every subset of the candidate covariates (up to
 // maxSize) and reports the range of effect estimates — the Sec 4 extension
 // for treatments whose parents cannot be identified from data.
+//
+// Deprecated: use Open(t).EffectBounds(ctx, q, candidates,
+// WithMaxAdjustmentSize(maxSize)).
 func EffectBounds(t *Table, q Query, candidates []string, maxSize int) (*BoundsResult, error) {
-	return core.EffectBounds(t, q, candidates, maxSize)
+	return core.EffectBounds(context.Background(), t, q, candidates, maxSize)
 }

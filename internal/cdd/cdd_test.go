@@ -1,6 +1,8 @@
 package cdd
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -103,7 +105,7 @@ func TestF1Score(t *testing.T) {
 func TestLearnStructureOracleCollider(t *testing.T) {
 	g := colliderDAG(t)
 	tab := dummyTable(t, g)
-	p, err := LearnStructure(tab, g.Names(), ConstraintConfig{Tester: dag.Oracle{G: g}})
+	p, err := LearnStructure(context.Background(), tab, g.Names(), ConstraintConfig{Tester: dag.Oracle{G: g}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestLearnStructureOracleFig2(t *testing.T) {
 	}
 	tab := dummyTable(t, g)
 	for _, boundary := range []BoundaryAlgorithm{GrowShrinkBoundary, IAMBBoundary} {
-		p, err := LearnStructure(tab, g.Names(), ConstraintConfig{Tester: dag.Oracle{G: g}, Boundary: boundary})
+		p, err := LearnStructure(context.Background(), tab, g.Names(), ConstraintConfig{Tester: dag.Oracle{G: g}, Boundary: boundary})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +193,7 @@ func TestLearnStructureFromSampledData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := LearnStructure(tab, g.Names(), ConstraintConfig{
+	p, err := LearnStructure(context.Background(), tab, g.Names(), ConstraintConfig{
 		Tester: independence.ChiSquare{Est: stats.MillerMadow},
 	})
 	if err != nil {
@@ -210,10 +212,10 @@ func TestLearnStructureFromSampledData(t *testing.T) {
 func TestLearnStructureValidation(t *testing.T) {
 	g := colliderDAG(t)
 	tab := dummyTable(t, g)
-	if _, err := LearnStructure(tab, g.Names(), ConstraintConfig{}); err == nil {
+	if _, err := LearnStructure(context.Background(), tab, g.Names(), ConstraintConfig{}); err == nil {
 		t.Error("nil tester accepted")
 	}
-	if _, err := LearnStructure(tab, []string{"missing"}, ConstraintConfig{Tester: dag.Oracle{G: g}}); err == nil {
+	if _, err := LearnStructure(context.Background(), tab, []string{"missing"}, ConstraintConfig{Tester: dag.Oracle{G: g}}); err == nil {
 		t.Error("missing attribute accepted")
 	}
 }
@@ -310,7 +312,7 @@ func TestHillClimbRecoversChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, typ := range []ScoreType{AIC, BIC, BDeu} {
-		learned, err := HillClimb(tab, g.Names(), HillClimbConfig{Score: typ})
+		learned, err := HillClimb(context.Background(), tab, g.Names(), HillClimbConfig{Score: typ})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -336,7 +338,7 @@ func TestHillClimbRecoversColliderSkeleton(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	learned, err := HillClimb(tab, bn.G.Names(), HillClimbConfig{Score: BIC})
+	learned, err := HillClimb(context.Background(), tab, bn.G.Names(), HillClimbConfig{Score: BIC})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +364,7 @@ func TestHillClimbRespectsMaxParents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	learned, err := HillClimb(tab, g.Names(), HillClimbConfig{Score: AIC, MaxParents: 2})
+	learned, err := HillClimb(context.Background(), tab, g.Names(), HillClimbConfig{Score: AIC, MaxParents: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +377,7 @@ func TestHillClimbRespectsMaxParents(t *testing.T) {
 
 func TestHillClimbValidation(t *testing.T) {
 	tab := dummyTable(t, colliderDAG(t))
-	if _, err := HillClimb(tab, []string{"missing"}, HillClimbConfig{}); err == nil {
+	if _, err := HillClimb(context.Background(), tab, []string{"missing"}, HillClimbConfig{}); err == nil {
 		t.Error("missing attribute accepted")
 	}
 }

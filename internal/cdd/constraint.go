@@ -1,10 +1,12 @@
 package cdd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 	"hypdb/internal/independence"
 	"hypdb/internal/markov"
 )
@@ -46,7 +48,7 @@ func (c ConstraintConfig) alpha() float64 {
 // boundaries, (3) orient v-structures using the recorded separating sets,
 // and (4) propagate orientations with Meek's rules. The result is a PDAG;
 // its directed edges define each node's predicted parents.
-func LearnStructure(t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PDAG, error) {
+func LearnStructure(ctx context.Context, t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PDAG, error) {
 	if cfg.Tester == nil {
 		return nil, fmt.Errorf("cdd: nil tester")
 	}
@@ -55,7 +57,7 @@ func LearnStructure(t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PD
 	}
 	for _, a := range attrs {
 		if !t.HasColumn(a) {
-			return nil, fmt.Errorf("cdd: no column %q", a)
+			return nil, fmt.Errorf("cdd: no column %q: %w", a, hyperr.ErrUnknownAttribute)
 		}
 	}
 
@@ -69,9 +71,9 @@ func LearnStructure(t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PD
 			err error
 		)
 		if cfg.Boundary == IAMBBoundary {
-			mb, err = markov.IAMB(t, a, cands, mcfg)
+			mb, err = markov.IAMB(ctx, t, a, cands, mcfg)
 		} else {
-			mb, err = markov.GrowShrink(t, a, cands, mcfg)
+			mb, err = markov.GrowShrink(ctx, t, a, cands, mcfg)
 		}
 		if err != nil {
 			return nil, err
@@ -96,7 +98,7 @@ func LearnStructure(t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PD
 				continue
 			}
 			base := smallerSet(exclude(mbs[x], y), exclude(mbs[y], x))
-			sep, s, err := findSeparator(t, cfg.Tester, x, y, base, alpha, cfg.MaxSepSet)
+			sep, s, err := findSeparator(ctx, t, cfg.Tester, x, y, base, alpha, cfg.MaxSepSet)
 			if err != nil {
 				return nil, err
 			}
@@ -127,7 +129,7 @@ func LearnStructure(t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PD
 			s, ok := sepsets[pairKey(i, j)]
 			if !ok {
 				base := smallerSet(exclude(mbs[x], z), exclude(mbs[z], x))
-				sep, found, err := findSeparator(t, cfg.Tester, x, z, base, alpha, cfg.MaxSepSet)
+				sep, found, err := findSeparator(ctx, t, cfg.Tester, x, z, base, alpha, cfg.MaxSepSet)
 				if err != nil {
 					return nil, err
 				}
@@ -143,7 +145,7 @@ func LearnStructure(t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PD
 				}
 				// Verify X ⊥̸ Z | S ∪ {Y} before committing the collider.
 				cond := append(append([]string(nil), s...), attrs[y])
-				res, err := cfg.Tester.Test(t, x, z, cond)
+				res, err := cfg.Tester.Test(ctx, t, x, z, cond)
 				if err != nil {
 					return nil, err
 				}
@@ -162,7 +164,7 @@ func LearnStructure(t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PD
 
 // findSeparator searches subsets of base (smallest first) for a set that
 // renders x ⊥⊥ y; it returns whether one was found and the set itself.
-func findSeparator(t *dataset.Table, tester independence.Tester, x, y string, base []string, alpha float64, maxSize int) (bool, []string, error) {
+func findSeparator(ctx context.Context, t *dataset.Table, tester independence.Tester, x, y string, base []string, alpha float64, maxSize int) (bool, []string, error) {
 	limit := len(base)
 	if maxSize > 0 && maxSize < limit {
 		limit = maxSize
@@ -171,7 +173,7 @@ func findSeparator(t *dataset.Table, tester independence.Tester, x, y string, ba
 		found := false
 		var sep []string
 		err := forEachSubset(base, size, func(s []string) bool {
-			res, err := tester.Test(t, x, y, s)
+			res, err := tester.Test(ctx, t, x, y, s)
 			if err != nil {
 				return false
 			}

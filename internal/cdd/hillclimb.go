@@ -1,11 +1,13 @@
 package cdd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hypdb/internal/dag"
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 )
 
 // HillClimbConfig configures greedy score-based search.
@@ -31,13 +33,13 @@ const DefaultMaxIter = 500
 // HillClimb learns a DAG by greedy local search over edge additions,
 // deletions and reversals, the standard score-based approach the paper
 // benchmarks as HC(BDE), HC(AIC) and HC(BIC) (Fig 5).
-func HillClimb(t *dataset.Table, attrs []string, cfg HillClimbConfig) (*dag.DAG, error) {
+func HillClimb(ctx context.Context, t *dataset.Table, attrs []string, cfg HillClimbConfig) (*dag.DAG, error) {
 	if len(attrs) == 0 {
 		attrs = t.Columns()
 	}
 	for _, a := range attrs {
 		if !t.HasColumn(a) {
-			return nil, fmt.Errorf("cdd: no column %q", a)
+			return nil, fmt.Errorf("cdd: no column %q: %w", a, hyperr.ErrUnknownAttribute)
 		}
 	}
 	maxParents := cfg.MaxParents
@@ -76,6 +78,11 @@ func HillClimb(t *dataset.Table, attrs []string, cfg HillClimbConfig) (*dag.DAG,
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
+		// The greedy sweep scores O(|attrs|²) neighbor graphs per step;
+		// cancellation is honored between steps.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best := operation{delta: 1e-9} // require strict improvement
 		for i, u := range attrs {
 			for j, v := range attrs {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -31,6 +32,19 @@ type Options struct {
 	Covariates []string
 	// Mediators overrides automatic mediator discovery.
 	Mediators []string
+	// Discover, when non-nil, replaces DiscoverCovariates for every
+	// covariate- and mediator-discovery call of the pipeline. Session
+	// handles install a memoizing wrapper here so repeated queries share
+	// CD results (the multi-query sharing of Sec 6).
+	Discover func(ctx context.Context, view *dataset.Table, target string, candidates, outcomes []string, cfg Config) (*CDResult, error)
+}
+
+// discover resolves the CD entry point, defaulting to DiscoverCovariates.
+func (o Options) discover(ctx context.Context, view *dataset.Table, target string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
+	if o.Discover != nil {
+		return o.Discover(ctx, view, target, candidates, outcomes, cfg)
+	}
+	return DiscoverCovariates(ctx, view, target, candidates, outcomes, cfg)
 }
 
 func (o Options) fineAttrs() int {
@@ -111,7 +125,7 @@ type Report struct {
 // Analyze runs the full HypDB pipeline on a query: detect bias, explain it,
 // and resolve it by rewriting (Sec 3). The three phases are timed
 // separately, reproducing the Table 1 measurements.
-func Analyze(t *dataset.Table, q query.Query, opts Options) (*Report, error) {
+func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options) (*Report, error) {
 	view, err := q.View(t)
 	if err != nil {
 		return nil, err
@@ -128,7 +142,7 @@ func Analyze(t *dataset.Table, q query.Query, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.OriginalComparisons, err = opts.compareWithSignificance(view, q, rep.Answer.Compare, nil)
+	rep.OriginalComparisons, err = opts.compareWithSignificance(ctx, view, q, rep.Answer.Compare, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +163,7 @@ func Analyze(t *dataset.Table, q query.Query, opts Options) (*Report, error) {
 		// and belongs to MB(T)); the CD algorithm and its fallback keep
 		// them out of the parent set.
 		cdCands := append(append([]string(nil), kept...), q.Outcomes...)
-		rep.CD, err = DiscoverCovariates(view, q.Treatment, cdCands, q.Outcomes, opts.Config)
+		rep.CD, err = opts.discover(ctx, view, q.Treatment, cdCands, q.Outcomes, opts.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +181,7 @@ func Analyze(t *dataset.Table, q query.Query, opts Options) (*Report, error) {
 			mediatorSet := map[string]bool{}
 			for _, y := range q.Outcomes {
 				cands := append(append([]string(nil), kept...), q.Treatment)
-				cd, err := DiscoverCovariates(view, y, cands, nil, opts.Config)
+				cd, err := opts.discover(ctx, view, y, cands, nil, opts.Config)
 				if err != nil {
 					return nil, err
 				}
@@ -183,13 +197,13 @@ func Analyze(t *dataset.Table, q query.Query, opts Options) (*Report, error) {
 	}
 
 	if len(rep.Covariates) > 0 {
-		rep.BiasTotal, err = DetectBias(view, q.Treatment, q.Groupings, rep.Covariates, opts.Config)
+		rep.BiasTotal, err = DetectBias(ctx, view, q.Treatment, q.Groupings, rep.Covariates, opts.Config)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if vd := unionAttrs(rep.Covariates, rep.Mediators, nil); len(vd) > 0 && len(rep.Mediators) > 0 {
-		rep.BiasDirect, err = DetectBias(view, q.Treatment, q.Groupings, vd, opts.Config)
+		rep.BiasDirect, err = DetectBias(ctx, view, q.Treatment, q.Groupings, vd, opts.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +241,7 @@ func Analyze(t *dataset.Table, q query.Query, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: total-effect rewriting: %w", err)
 		}
-		rep.TotalComparisons, err = opts.compareWithSignificance(view, q, rep.RewrittenTotal.Compare, rep.Covariates)
+		rep.TotalComparisons, err = opts.compareWithSignificance(ctx, view, q, rep.RewrittenTotal.Compare, rep.Covariates)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +252,7 @@ func Analyze(t *dataset.Table, q query.Query, opts Options) (*Report, error) {
 			return nil, fmt.Errorf("core: direct-effect rewriting: %w", err)
 		}
 		rep.DirectComparisons, err = opts.compareWithSignificance(
-			view, q, rep.RewrittenDirect.Compare, unionAttrs(rep.Covariates, rep.Mediators, nil))
+			ctx, view, q, rep.RewrittenDirect.Compare, unionAttrs(rep.Covariates, rep.Mediators, nil))
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +264,7 @@ func Analyze(t *dataset.Table, q query.Query, opts Options) (*Report, error) {
 // compareWithSignificance pairs comparisons from compare() with per-outcome
 // p-values: the difference for outcome Y in context Γi is zero iff
 // I(T;Y|cond,Γi) = 0 (Sec 7.1), tested with the configured method.
-func (o Options) compareWithSignificance(view *dataset.Table, q query.Query, compare func() ([]query.Comparison, error), cond []string) ([]ComparisonReport, error) {
+func (o Options) compareWithSignificance(ctx context.Context, view *dataset.Table, q query.Query, compare func() ([]query.Comparison, error), cond []string) ([]ComparisonReport, error) {
 	comps, err := compare()
 	if err != nil {
 		// Non-binary treatments have answers but no single comparison; the
@@ -273,7 +287,7 @@ func (o Options) compareWithSignificance(view *dataset.Table, q query.Query, com
 		}
 		cr := ComparisonReport{Comparison: comp}
 		for _, y := range q.Outcomes {
-			res, err := o.significance(ctxView, q.Treatment, y, cond)
+			res, err := o.significance(ctx, ctxView, q.Treatment, y, cond)
 			if err != nil {
 				return nil, err
 			}
@@ -286,13 +300,13 @@ func (o Options) compareWithSignificance(view *dataset.Table, q query.Query, com
 }
 
 // significance tests I(T;Y|cond) on the context view.
-func (o Options) significance(ctxView *dataset.Table, treatment, outcome string, cond []string) (independence.Result, error) {
+func (o Options) significance(ctx context.Context, ctxView *dataset.Table, treatment, outcome string, cond []string) (independence.Result, error) {
 	hint := unionAttrs([]string{treatment, outcome}, cond, nil)
 	tester, err := o.tester(ctxView, hint)
 	if err != nil {
 		return independence.Result{}, err
 	}
-	return tester.Test(ctxView, treatment, outcome, cond)
+	return tester.Test(ctx, ctxView, treatment, outcome, cond)
 }
 
 // candidateAttrs returns the default covariate candidates: every attribute

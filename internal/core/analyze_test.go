@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"strings"
@@ -95,7 +97,7 @@ func randomizedData(t *testing.T, n int, seed int64) *dataset.Table {
 
 func TestDetectBiasConfounded(t *testing.T) {
 	tab := simpsonData(t, 8000, 1)
-	results, err := DetectBias(tab, "T", nil, []string{"Z"}, Config{Seed: 2})
+	results, err := DetectBias(context.Background(), tab, "T", nil, []string{"Z"}, Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestDetectBiasConfounded(t *testing.T) {
 
 func TestDetectBiasRandomized(t *testing.T) {
 	tab := randomizedData(t, 8000, 2)
-	results, err := DetectBias(tab, "T", nil, []string{"Z"}, Config{Seed: 3})
+	results, err := DetectBias(context.Background(), tab, "T", nil, []string{"Z"}, Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestDetectBiasPerContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := DetectBias(tab, "T", []string{"G"}, []string{"Z"}, Config{Seed: 4})
+	results, err := DetectBias(context.Background(), tab, "T", []string{"G"}, []string{"Z"}, Config{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,14 +175,14 @@ func TestDetectBiasMultiVariableComposite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := DetectBias(tab2, "T", nil, []string{"Z", "N"}, Config{Seed: 6})
+	results, err := DetectBias(context.Background(), tab2, "T", nil, []string{"Z", "N"}, Config{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !results[0].Biased {
 		t.Error("bias through Z not detected via composite test")
 	}
-	if _, err := DetectBias(tab2, "T", nil, nil, Config{}); err == nil {
+	if _, err := DetectBias(context.Background(), tab2, "T", nil, nil, Config{}); err == nil {
 		t.Error("empty V accepted")
 	}
 }
@@ -275,7 +277,7 @@ func TestExplainFineValidation(t *testing.T) {
 func TestAnalyzeEndToEndSimpson(t *testing.T) {
 	tab := simpsonData(t, 12000, 11)
 	q := query.Query{Table: "SimpsonData", Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(tab, q, Options{Config: Config{Seed: 12, Parallel: true}})
+	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 12, Parallel: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +330,7 @@ func TestAnalyzeEndToEndSimpson(t *testing.T) {
 func TestAnalyzeUnbiasedQuery(t *testing.T) {
 	tab := randomizedData(t, 12000, 13)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(tab, q, Options{Config: Config{Seed: 14}})
+	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 14}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +351,7 @@ func TestAnalyzeUnbiasedQuery(t *testing.T) {
 func TestAnalyzeWithExplicitCovariates(t *testing.T) {
 	tab := simpsonData(t, 6000, 15)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(tab, q, Options{
+	rep, err := Analyze(context.Background(), tab, q, Options{
 		Config:     Config{Seed: 16},
 		Covariates: []string{"Z"},
 		SkipDirect: true,
@@ -389,7 +391,7 @@ func TestAnalyzeMediation(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(tab, q, Options{Config: Config{Seed: 18}})
+	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 18}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +440,7 @@ func TestAnalyzeGroupedQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := query.Query{Treatment: "T", Groupings: []string{"G"}, Outcomes: []string{"Y"}}
-	rep, err := Analyze(tab, q, Options{Config: Config{Seed: 20}})
+	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 20}})
 	if err != nil {
 		t.Fatal(err)
 	}

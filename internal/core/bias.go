@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -73,7 +74,7 @@ func withComposite(view *dataset.Table, attrs []string) (*dataset.Table, error) 
 // TestBalance tests whether treatment ⊥⊥ variables holds on view (one
 // context), optionally conditioning on extra attributes (used for the
 // rewritten-query significance test I(Y;T|Z)).
-func (c Config) TestBalance(view *dataset.Table, treatment string, variables, conditionOn []string) (independence.Result, error) {
+func (c Config) TestBalance(ctx context.Context, view *dataset.Table, treatment string, variables, conditionOn []string) (independence.Result, error) {
 	if len(variables) == 0 {
 		return independence.Result{PValue: 1, Method: "trivial"}, nil
 	}
@@ -92,14 +93,14 @@ func (c Config) TestBalance(view *dataset.Table, treatment string, variables, co
 	if err != nil {
 		return independence.Result{}, err
 	}
-	return tester.Test(testView, treatment, testAttr, conditionOn)
+	return tester.Test(ctx, testView, treatment, testAttr, conditionOn)
 }
 
 // DetectBias runs the Def 3.1 balance test per context: for each
 // combination of grouping values xi it selects Γi = C ∧ (X = xi) and tests
 // T ⊥⊥ V | Γi. With no groupings there is a single context (the WHERE
 // population).
-func DetectBias(t *dataset.Table, treatment string, groupings, variables []string, cfg Config) ([]BiasResult, error) {
+func DetectBias(ctx context.Context, t *dataset.Table, treatment string, groupings, variables []string, cfg Config) ([]BiasResult, error) {
 	if len(variables) == 0 {
 		return nil, fmt.Errorf("core: bias detection needs a non-empty variable set V")
 	}
@@ -108,41 +109,41 @@ func DetectBias(t *dataset.Table, treatment string, groupings, variables []strin
 		return nil, err
 	}
 	var out []BiasResult
-	for _, ctx := range contexts {
-		res, err := cfg.TestBalance(ctx.view, treatment, variables, nil)
+	for _, c := range contexts {
+		res, err := cfg.TestBalance(ctx, c.view, treatment, variables, nil)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, BiasResult{
-			Context:   ctx.values,
+			Context:   c.values,
 			Variables: append([]string(nil), variables...),
 			MI:        res.MI,
 			PValue:    res.PValue,
 			PValueCI:  res.PValueCI,
 			Biased:    !independence.Decision(res, cfg.alpha()),
-			Rows:      ctx.view.NumRows(),
+			Rows:      c.view.NumRows(),
 		})
 	}
 	return out, nil
 }
 
-// context is one Γi: the grouping values and the row view they select.
-type context struct {
+// contextView is one Γi: the grouping values and the row view they select.
+type contextView struct {
 	values []string
 	view   *dataset.Table
 }
 
 // splitContexts partitions the table by the grouping attributes. With no
 // groupings the whole table is the single context.
-func splitContexts(t *dataset.Table, groupings []string) ([]context, error) {
+func splitContexts(t *dataset.Table, groupings []string) ([]contextView, error) {
 	if len(groupings) == 0 {
-		return []context{{view: t}}, nil
+		return []contextView{{view: t}}, nil
 	}
 	groups, enc, err := t.GroupBy(groupings...)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]context, 0, len(groups))
+	out := make([]contextView, 0, len(groups))
 	for _, g := range groups {
 		view, err := t.SelectRows(g.Rows)
 		if err != nil {
@@ -157,7 +158,7 @@ func splitContexts(t *dataset.Table, groupings []string) ([]context, error) {
 			}
 			values[i] = col.Label(codes[i])
 		}
-		out = append(out, context{values: values, view: view})
+		out = append(out, contextView{values: values, view: view})
 	}
 	return out, nil
 }

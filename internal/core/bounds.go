@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hypdb/internal/dataset"
@@ -33,7 +34,7 @@ type BoundsResult struct {
 // outcomes (CDResult.Boundary filtered by the caller); maxSize caps the
 // subset size (0 means all sizes). The brackets cover the empty set, so the
 // raw (unadjusted) difference is always inside [Lower, Upper].
-func EffectBounds(t *dataset.Table, q query.Query, candidates []string, maxSize int) (*BoundsResult, error) {
+func EffectBounds(ctx context.Context, t *dataset.Table, q query.Query, candidates []string, maxSize int) (*BoundsResult, error) {
 	if err := q.Validate(t); err != nil {
 		return nil, err
 	}
@@ -74,6 +75,9 @@ func EffectBounds(t *dataset.Table, q query.Query, candidates []string, maxSize 
 
 	for size := 1; size <= limit; size++ {
 		err := forEachSubsetStr(candidates, size, func(s []string) (bool, error) {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			rw, err := query.RewriteTotal(t, q, s)
 			if err != nil {
 				res.Skipped++ // overlap failure: this adjustment set is unusable

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"hypdb/internal/query"
@@ -9,7 +11,7 @@ import (
 func TestEffectBoundsBracketsTruth(t *testing.T) {
 	tab := simpsonData(t, 12000, 71)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	res, err := EffectBounds(tab, q, []string{"Z"}, 0)
+	res, err := EffectBounds(context.Background(), tab, q, []string{"Z"}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func TestEffectBoundsMaxSize(t *testing.T) {
 	// With maxSize 0 over two candidates we get 1 + 2 + 1 = 4 sets; with
 	// maxSize 1 only 1 + 2 = 3.
 	tab2 := tab // Z plus a noise attribute would be better; reuse Z only
-	res, err := EffectBounds(tab2, q, []string{"Z"}, 1)
+	res, err := EffectBounds(context.Background(), tab2, q, []string{"Z"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func TestEffectBoundsMaxSize(t *testing.T) {
 func TestEffectBoundsValidation(t *testing.T) {
 	tab := simpsonData(t, 1000, 73)
 	bad := query.Query{Treatment: "missing", Outcomes: []string{"Y"}}
-	if _, err := EffectBounds(tab, bad, nil, 0); err == nil {
+	if _, err := EffectBounds(context.Background(), tab, bad, nil, 0); err == nil {
 		t.Error("invalid query accepted")
 	}
 	many := make([]string, 21)
@@ -56,7 +58,7 @@ func TestEffectBoundsValidation(t *testing.T) {
 		many[i] = "Z"
 	}
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	if _, err := EffectBounds(tab, q, many, 0); err == nil {
+	if _, err := EffectBounds(context.Background(), tab, q, many, 0); err == nil {
 		t.Error("21 candidates accepted without a cap")
 	}
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 	"hypdb/internal/independence"
 	"hypdb/internal/markov"
 )
@@ -42,9 +44,9 @@ type CDResult struct {
 // members with Grow-Shrink, then identifies the parents by the two-phase
 // collider search of Prop 4.1. The outcomes list is used only by the
 // fallback (excluded from the fallback covariate set).
-func DiscoverCovariates(t *dataset.Table, target string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
+func DiscoverCovariates(ctx context.Context, t *dataset.Table, target string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
 	if !t.HasColumn(target) {
-		return nil, fmt.Errorf("core: no target column %q", target)
+		return nil, fmt.Errorf("core: no target column %q: %w", target, hyperr.ErrUnknownAttribute)
 	}
 	res := &CDResult{Target: target, Boundaries: make(map[string][]string)}
 
@@ -57,7 +59,7 @@ func DiscoverCovariates(t *dataset.Table, target string, candidates, outcomes []
 	counter := &independence.Counter{Inner: mbTester}
 	mcfg := markov.Config{Tester: counter, Alpha: cfg.alpha(), MaxBoundary: cfg.MaxBoundary}
 
-	mbT, err := markov.GrowShrink(t, target, candidates, mcfg)
+	mbT, err := markov.GrowShrink(ctx, t, target, candidates, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +69,7 @@ func DiscoverCovariates(t *dataset.Table, target string, candidates, outcomes []
 		if !containsStr(cands, target) {
 			cands = append(cands, target)
 		}
-		mbZ, err := markov.GrowShrink(t, z, cands, mcfg)
+		mbZ, err := markov.GrowShrink(ctx, t, z, cands, mcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +90,7 @@ func DiscoverCovariates(t *dataset.Table, target string, candidates, outcomes []
 		if inC[z] {
 			continue
 		}
-		witness, nTests, err := cfg.phaseIWitness(t, target, z, mbT, res.Boundaries[z])
+		witness, nTests, err := cfg.phaseIWitness(ctx, t, target, z, mbT, res.Boundaries[z])
 		res.Tests += nTests
 		res.TestsPhases += nTests
 		if err != nil {
@@ -108,7 +110,7 @@ func DiscoverCovariates(t *dataset.Table, target string, candidates, outcomes []
 		parents[c] = true
 	}
 	for _, c := range res.CandidateParents {
-		separable, nTests, err := cfg.phaseIISeparable(t, target, c, mbT)
+		separable, nTests, err := cfg.phaseIISeparable(ctx, t, target, c, mbT)
 		res.Tests += nTests
 		res.TestsPhases += nTests
 		if err != nil {
@@ -155,7 +157,7 @@ func DiscoverCovariates(t *dataset.Table, target string, candidates, outcomes []
 
 // phaseIWitness searches for a W certifying condition (a) of Prop 4.1 for
 // z; it returns the witness name (or "") and the number of tests used.
-func (c Config) phaseIWitness(t *dataset.Table, target, z string, mbT, mbZ []string) (string, int, error) {
+func (c Config) phaseIWitness(ctx context.Context, t *dataset.Table, target, z string, mbT, mbZ []string) (string, int, error) {
 	base := excludeStr(mbZ, target)
 	// All tests in this phase touch attributes within
 	// {z, target} ∪ MB(z) ∪ MB(T): materialize their joint once (Sec 6).
@@ -178,14 +180,14 @@ func (c Config) phaseIWitness(t *dataset.Table, target, z string, mbT, mbZ []str
 				if w == z || containsStr(s, w) {
 					continue
 				}
-				r1, err := counter.Test(t, z, w, s)
+				r1, err := counter.Test(ctx, t, z, w, s)
 				if err != nil {
 					return false, err
 				}
 				if !independence.Decision(r1, alpha) {
 					continue // Z ⊥̸ W | S: not separated
 				}
-				r2, err := counter.Test(t, z, w, append(append([]string(nil), s...), target))
+				r2, err := counter.Test(ctx, t, z, w, append(append([]string(nil), s...), target))
 				if err != nil {
 					return false, err
 				}
@@ -204,7 +206,7 @@ func (c Config) phaseIWitness(t *dataset.Table, target, z string, mbT, mbZ []str
 }
 
 // phaseIISeparable reports whether some S ⊆ MB(T) − {c} renders T ⊥⊥ c | S.
-func (c Config) phaseIISeparable(t *dataset.Table, target, cand string, mbT []string) (bool, int, error) {
+func (c Config) phaseIISeparable(ctx context.Context, t *dataset.Table, target, cand string, mbT []string) (bool, int, error) {
 	base := excludeStr(mbT, cand)
 	hint := unionAttrs([]string{cand, target}, base, nil)
 	tester, err := c.tester(t, hint)
@@ -221,7 +223,7 @@ func (c Config) phaseIISeparable(t *dataset.Table, target, cand string, mbT []st
 	separable := false
 	for size := 0; size <= limit && !separable; size++ {
 		err := forEachSubsetStr(base, size, func(s []string) (bool, error) {
-			r, err := counter.Test(t, target, cand, s)
+			r, err := counter.Test(ctx, t, target, cand, s)
 			if err != nil {
 				return false, err
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"hypdb/internal/query"
@@ -9,7 +11,7 @@ import (
 func TestEffectAccessors(t *testing.T) {
 	tab := simpsonData(t, 12000, 51)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(tab, q, Options{Config: Config{Seed: 52, Parallel: true}})
+	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 52, Parallel: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func TestEffectAccessorsNoCovariates(t *testing.T) {
 	// Randomized data with no structure at all: no covariates, ATE errors.
 	tab := independentTable(t, 3000, 53)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(tab, q, Options{Config: Config{Seed: 54}})
+	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 54}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 	"hypdb/internal/stats"
 )
 
@@ -86,7 +87,7 @@ func (c PrepareConfig) fdEpsilon() float64 {
 // follows the input order.
 func PrepareCandidates(t *dataset.Table, treatment string, candidates []string, cfg PrepareConfig) (kept []string, dropped []Dropped, err error) {
 	if !t.HasColumn(treatment) {
-		return nil, nil, fmt.Errorf("core: no treatment column %q", treatment)
+		return nil, nil, fmt.Errorf("core: no treatment column %q: %w", treatment, hyperr.ErrUnknownAttribute)
 	}
 	eps := cfg.fdEpsilon()
 
@@ -149,7 +150,7 @@ func PrepareCandidates(t *dataset.Table, treatment string, candidates []string, 
 			continue
 		}
 		if !t.HasColumn(x) {
-			return nil, nil, fmt.Errorf("core: no candidate column %q", x)
+			return nil, nil, fmt.Errorf("core: no candidate column %q: %w", x, hyperr.ErrUnknownAttribute)
 		}
 		if keyLike[x] {
 			dropped = append(dropped, Dropped{Attr: x, Reason: DropKeyLike})

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math/rand"
 	"strconv"
 	"strings"
@@ -60,7 +62,7 @@ func TestReportRenderingUnbiasedPath(t *testing.T) {
 	// A report over pure noise still renders sensibly: no crash, no
 	// explanations, answers present.
 	tab := independentTable(t, 2000, 61)
-	rep, err := Analyze(tab, queryOf("T", "Y"), Options{Config: Config{Seed: 62}})
+	rep, err := Analyze(context.Background(), tab, queryOf("T", "Y"), Options{Config: Config{Seed: 62}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestReportRenderingUnbiasedPath(t *testing.T) {
 
 func TestWriteTextSections(t *testing.T) {
 	tab := simpsonData(t, 8000, 63)
-	rep, err := Analyze(tab, queryOf("T", "Y"), Options{Config: Config{Seed: 64}})
+	rep, err := Analyze(context.Background(), tab, queryOf("T", "Y"), Options{Config: Config{Seed: 64}})
 	if err != nil {
 		t.Fatal(err)
 	}

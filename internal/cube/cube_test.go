@@ -1,6 +1,8 @@
 package cube
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"strconv"
@@ -162,11 +164,11 @@ func TestChiSquareWithCubeProvider(t *testing.T) {
 	}
 	viaCube := independence.ChiSquare{Provider: NewProvider(c, tab, stats.MillerMadow), Est: stats.MillerMadow}
 	viaScan := independence.ChiSquare{Est: stats.MillerMadow}
-	r1, err := viaCube.Test(tab, "A", "B", []string{"C"})
+	r1, err := viaCube.Test(context.Background(), tab, "A", "B", []string{"C"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := viaScan.Test(tab, "A", "B", []string{"C"})
+	r2, err := viaScan.Test(context.Background(), tab, "A", "B", []string{"C"})
 	if err != nil {
 		t.Fatal(err)
 	}

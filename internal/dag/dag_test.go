@@ -1,6 +1,8 @@
 package dag
 
 import (
+	"context"
+
 	"math/rand"
 	"reflect"
 	"testing"
@@ -215,21 +217,21 @@ func TestDSeparationConditioningOnEndpoint(t *testing.T) {
 func TestOracle(t *testing.T) {
 	g := fig2DAG(t)
 	o := Oracle{G: g}
-	res, err := o.Test(nil, "Z", "W", nil)
+	res, err := o.Test(context.Background(), nil, "Z", "W", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.PValue != 1 {
 		t.Errorf("oracle p(Z,W) = %v, want 1", res.PValue)
 	}
-	res, err = o.Test(nil, "Z", "W", []string{"T"})
+	res, err = o.Test(context.Background(), nil, "Z", "W", []string{"T"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.PValue != 0 {
 		t.Errorf("oracle p(Z,W|T) = %v, want 0", res.PValue)
 	}
-	if _, err := o.Test(nil, "Z", "missing", nil); err == nil {
+	if _, err := o.Test(context.Background(), nil, "Z", "missing", nil); err == nil {
 		t.Error("missing node accepted")
 	}
 }

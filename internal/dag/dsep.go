@@ -1,6 +1,8 @@
 package dag
 
 import (
+	"context"
+
 	"fmt"
 
 	"hypdb/internal/dataset"
@@ -122,7 +124,7 @@ type Oracle struct {
 }
 
 // Test implements independence.Tester.
-func (o Oracle) Test(_ *dataset.Table, x, y string, z []string) (independence.Result, error) {
+func (o Oracle) Test(_ context.Context, _ *dataset.Table, x, y string, z []string) (independence.Result, error) {
 	sep, err := o.G.DSeparatedNames([]string{x}, []string{y}, z)
 	if err != nil {
 		return independence.Result{}, err

@@ -1,6 +1,8 @@
 package datagen
 
 import (
+	"context"
+
 	"testing"
 
 	"hypdb/internal/core"
@@ -115,7 +117,7 @@ func TestFlightCDFindsAirportAndYear(t *testing.T) {
 	// Restrict candidates to the causal core to keep the test fast; the
 	// full 101-column pass is exercised by cmd/experiments fig1.
 	cands := []string{"Airport", "Year", "Month", "DayOfWeek", "DayofMonth", "Dest", "DepTimeBlk", "Delayed"}
-	res, err := core.DiscoverCovariates(view, "Carrier", cands, []string{"Delayed"},
+	res, err := core.DiscoverCovariates(context.Background(), view, "Carrier", cands, []string{"Delayed"},
 		core.Config{Method: core.ChiSquaredMethod, Seed: 10})
 	if err != nil {
 		t.Fatal(err)

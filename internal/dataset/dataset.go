@@ -14,6 +14,8 @@
 package dataset
 
 import (
+	"hypdb/internal/hyperr"
+
 	"fmt"
 	"sort"
 	"strconv"
@@ -189,7 +191,7 @@ func (t *Table) HasColumn(name string) bool {
 func (t *Table) Column(name string) (*Column, error) {
 	i, ok := t.byName[name]
 	if !ok {
-		return nil, fmt.Errorf("dataset: no column %q", name)
+		return nil, fmt.Errorf("dataset: no column %q: %w", name, hyperr.ErrUnknownAttribute)
 	}
 	return t.cols[i], nil
 }
@@ -281,7 +283,7 @@ func (t *Table) Drop(names ...string) (*Table, error) {
 	dropped := make(map[string]bool, len(names))
 	for _, n := range names {
 		if !t.HasColumn(n) {
-			return nil, fmt.Errorf("dataset: no column %q", n)
+			return nil, fmt.Errorf("dataset: no column %q: %w", n, hyperr.ErrUnknownAttribute)
 		}
 		dropped[n] = true
 	}

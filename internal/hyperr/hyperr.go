@@ -1,0 +1,28 @@
+// Package hyperr defines the sentinel errors shared across HypDB's layers.
+// Internal packages wrap these with fmt.Errorf("...: %w", ...) so callers —
+// and the public facade, which re-exports them — can classify failures with
+// errors.Is without parsing message text.
+package hyperr
+
+import "errors"
+
+var (
+	// ErrUnknownAttribute marks a reference to a column the table does not
+	// have (bad treatment, outcome, grouping, covariate, or candidate name).
+	ErrUnknownAttribute = errors.New("unknown attribute")
+
+	// ErrNoOverlap marks an adjustment that is impossible because no
+	// covariate block contains every treatment value (the exact-matching
+	// overlap requirement of the rewritten query, Listing 2).
+	ErrNoOverlap = errors.New("no overlap between treatment groups")
+
+	// ErrEmptySelection marks a WHERE clause that selects no rows.
+	ErrEmptySelection = errors.New("selection is empty")
+
+	// ErrEmptyTable marks an independence test over zero rows.
+	ErrEmptyTable = errors.New("empty table")
+
+	// ErrNonBinaryTreatment marks a comparison that needs exactly two
+	// treatment values.
+	ErrNonBinaryTreatment = errors.New("treatment is not two-valued")
+)

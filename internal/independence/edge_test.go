@@ -1,6 +1,8 @@
 package independence
 
 import (
+	"context"
+
 	"math"
 	"strconv"
 	"sync"
@@ -28,7 +30,7 @@ func TestMITSkipsUninformativeGroups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MIT{Permutations: 400, Seed: 5, Est: stats.PlugIn}.Test(tab, "X", "Y", []string{"Z"})
+	res, err := MIT{Permutations: 400, Seed: 5, Est: stats.PlugIn}.Test(context.Background(), tab, "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +63,11 @@ func TestMITSingleGroupConditioning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	unconditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(tab2, "X", "Y", nil)
+	unconditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(context.Background(), tab2, "X", "Y", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	conditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(tab2, "X", "Y", []string{"C"})
+	conditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(context.Background(), tab2, "X", "Y", []string{"C"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +113,11 @@ func TestHyMITWithProviderConsistency(t *testing.T) {
 	bare := HyMIT{Permutations: 100, Seed: 7, Est: stats.MillerMadow}
 	cached := HyMIT{Permutations: 100, Seed: 7, Est: stats.MillerMadow,
 		Provider: NewCachedProvider(NewScanProvider(tab, stats.MillerMadow))}
-	r1, err := bare.Test(tab, "X", "Y", []string{"Z"})
+	r1, err := bare.Test(context.Background(), tab, "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := cached.Test(tab, "X", "Y", []string{"Z"})
+	r2, err := cached.Test(context.Background(), tab, "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +132,11 @@ func TestShuffleMatchesChiSquareVerdicts(t *testing.T) {
 	dep := chainData(t, 600, 33)
 	s := Shuffle{Permutations: 300, Seed: 8, Est: stats.PlugIn}
 	c := ChiSquare{Est: stats.MillerMadow}
-	rs, err := s.Test(dep, "X", "Z", nil) // X directly caused by Z
+	rs, err := s.Test(context.Background(), dep, "X", "Z", nil) // X directly caused by Z
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc, err := c.Test(dep, "X", "Z", nil)
+	rc, err := c.Test(context.Background(), dep, "X", "Z", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

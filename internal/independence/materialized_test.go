@@ -1,6 +1,8 @@
 package independence
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -91,11 +93,11 @@ func TestChiSquareWithMaterializedProvider(t *testing.T) {
 	}
 	viaMat := ChiSquare{Provider: mp, Est: stats.MillerMadow}
 	viaScan := ChiSquare{Est: stats.MillerMadow}
-	r1, err := viaMat.Test(tab, "X", "Y", []string{"Z"})
+	r1, err := viaMat.Test(context.Background(), tab, "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := viaScan.Test(tab, "X", "Y", []string{"Z"})
+	r2, err := viaScan.Test(context.Background(), tab, "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}

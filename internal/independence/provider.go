@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 	"hypdb/internal/stats"
 )
 
@@ -202,17 +203,17 @@ func ensureAttrs(t *dataset.Table, x, y string, z []string) error {
 		return fmt.Errorf("independence: testing %q against itself", x)
 	}
 	if !t.HasColumn(x) {
-		return fmt.Errorf("independence: no column %q", x)
+		return fmt.Errorf("independence: no column %q: %w", x, hyperr.ErrUnknownAttribute)
 	}
 	if !t.HasColumn(y) {
-		return fmt.Errorf("independence: no column %q", y)
+		return fmt.Errorf("independence: no column %q: %w", y, hyperr.ErrUnknownAttribute)
 	}
 	for _, a := range z {
 		if a == x || a == y {
 			return fmt.Errorf("independence: conditioning set contains tested attribute %q", a)
 		}
 		if !t.HasColumn(a) {
-			return fmt.Errorf("independence: no column %q", a)
+			return fmt.Errorf("independence: no column %q: %w", a, hyperr.ErrUnknownAttribute)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package independence
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 
 	"hypdb/internal/contingency"
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 	"hypdb/internal/stats"
 )
 
@@ -30,9 +32,11 @@ type Result struct {
 	Groups int
 }
 
-// Tester decides conditional independence X ⊥⊥ Y | Z on a table.
+// Tester decides conditional independence X ⊥⊥ Y | Z on a table. The
+// context cancels long-running tests: Monte-Carlo testers check it between
+// permutation replicates and return ctx.Err() wrapped in the test error.
 type Tester interface {
-	Test(t *dataset.Table, x, y string, z []string) (Result, error)
+	Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error)
 }
 
 // Decision applies the significance level: independent iff p ≥ alpha.
@@ -55,12 +59,15 @@ type ChiSquare struct {
 }
 
 // Test implements Tester.
-func (c ChiSquare) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+func (c ChiSquare) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := ensureAttrs(t, x, y, z); err != nil {
 		return Result{}, err
 	}
 	if t.NumRows() == 0 {
-		return Result{}, fmt.Errorf("independence: empty table")
+		return Result{}, fmt.Errorf("independence: %w", hyperr.ErrEmptyTable)
 	}
 	p := c.Provider
 	if p == nil {
@@ -128,13 +135,16 @@ type groupTable struct {
 }
 
 // Test implements Tester.
-func (m MIT) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+func (m MIT) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := ensureAttrs(t, x, y, z); err != nil {
 		return Result{}, err
 	}
 	n := t.NumRows()
 	if n == 0 {
-		return Result{}, fmt.Errorf("independence: empty table")
+		return Result{}, fmt.Errorf("independence: %w", hyperr.ErrEmptyTable)
 	}
 	perms := m.Permutations
 	if perms <= 0 {
@@ -194,7 +204,7 @@ func (m MIT) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
 	}
 
 	// Permutation replicates.
-	exceed, err := m.runReplicates(groups, perms, s0)
+	exceed, err := m.runReplicates(ctx, groups, perms, s0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -217,7 +227,7 @@ func (m MIT) methodName() string {
 
 // runReplicates draws perms permutation replicates and counts how many
 // reach the observed statistic.
-func (m MIT) runReplicates(groups []groupTable, perms int, s0 float64) (int, error) {
+func (m MIT) runReplicates(ctx context.Context, groups []groupTable, perms int, s0 float64) (int, error) {
 	samplers := make([]*contingency.Sampler, len(groups))
 	for i, g := range groups {
 		s, err := contingency.NewSamplerFromTable(g.table)
@@ -251,6 +261,9 @@ func (m MIT) runReplicates(groups []groupTable, perms int, s0 float64) (int, err
 		scratch := newScratch()
 		exceed := 0
 		for r := 0; r < perms; r++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			si, err := replicate(rng, scratch)
 			if err != nil {
 				return 0, err
@@ -279,6 +292,14 @@ func (m MIT) runReplicates(groups []groupTable, perms int, s0 float64) (int, err
 			scratch := newScratch()
 			local := 0
 			for r := w; r < perms; r += workers {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
 				// Per-replicate derived seed keeps the run deterministic
 				// regardless of scheduling.
 				rng := rand.New(rand.NewSource(m.Seed + int64(r)*0x9e3779b9))
@@ -392,7 +413,10 @@ type HyMIT struct {
 const DefaultBeta = 5.0
 
 // Test implements Tester.
-func (h HyMIT) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+func (h HyMIT) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := ensureAttrs(t, x, y, z); err != nil {
 		return Result{}, err
 	}
@@ -409,7 +433,7 @@ func (h HyMIT) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
 		return Result{}, err
 	}
 	if float64(t.NumRows()) >= beta*float64(df) && df > 0 {
-		res, err := (ChiSquare{Provider: p, Est: h.Est}).Test(t, x, y, z)
+		res, err := (ChiSquare{Provider: p, Est: h.Est}).Test(ctx, t, x, y, z)
 		if err != nil {
 			return Result{}, err
 		}
@@ -423,7 +447,7 @@ func (h HyMIT) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
 		SampleFactor: h.SampleFactor,
 		Seed:         h.Seed,
 		Parallel:     h.Parallel,
-	}).Test(t, x, y, z)
+	}).Test(ctx, t, x, y, z)
 	if err != nil {
 		return Result{}, err
 	}
@@ -446,12 +470,15 @@ type Shuffle struct {
 }
 
 // Test implements Tester.
-func (s Shuffle) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+func (s Shuffle) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := ensureAttrs(t, x, y, z); err != nil {
 		return Result{}, err
 	}
 	if t.NumRows() == 0 {
-		return Result{}, fmt.Errorf("independence: empty table")
+		return Result{}, fmt.Errorf("independence: %w", hyperr.ErrEmptyTable)
 	}
 	perms := s.Permutations
 	if perms <= 0 {
@@ -491,6 +518,9 @@ func (s Shuffle) Test(t *dataset.Table, x, y string, z []string) (Result, error)
 	shuffled := append([]int32(nil), xc.Codes()...)
 	exceed := 0
 	for r := 0; r < perms; r++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		// Permute X within each group, preserving the group structure
 		// (destroys only the X–Y dependence within groups).
 		for _, g := range groups {
@@ -532,11 +562,11 @@ type Counter struct {
 }
 
 // Test implements Tester.
-func (c *Counter) Test(t *dataset.Table, x, y string, z []string) (Result, error) {
+func (c *Counter) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
 	c.mu.Lock()
 	c.calls++
 	c.mu.Unlock()
-	return c.Inner.Test(t, x, y, z)
+	return c.Inner.Test(ctx, t, x, y, z)
 }
 
 // Calls returns the number of tests performed so far.

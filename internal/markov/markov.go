@@ -8,10 +8,12 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 	"hypdb/internal/independence"
 	"hypdb/internal/stats"
 )
@@ -38,12 +40,12 @@ func (c Config) alpha() float64 {
 // the two-phase Grow-Shrink algorithm. Candidates are visited in order of
 // decreasing marginal association with the target (the standard GS
 // heuristic), which both speeds convergence and improves robustness.
-func GrowShrink(t *dataset.Table, target string, candidates []string, cfg Config) ([]string, error) {
+func GrowShrink(ctx context.Context, t *dataset.Table, target string, candidates []string, cfg Config) ([]string, error) {
 	if cfg.Tester == nil {
 		return nil, fmt.Errorf("markov: nil tester")
 	}
 	if !t.HasColumn(target) {
-		return nil, fmt.Errorf("markov: no column %q", target)
+		return nil, fmt.Errorf("markov: no column %q: %w", target, hyperr.ErrUnknownAttribute)
 	}
 	cands, err := validCandidates(t, target, candidates)
 	if err != nil {
@@ -68,7 +70,7 @@ func GrowShrink(t *dataset.Table, target string, candidates []string, cfg Config
 			if cfg.MaxBoundary > 0 && len(boundary) >= cfg.MaxBoundary {
 				break
 			}
-			res, err := cfg.Tester.Test(t, target, x, boundary)
+			res, err := cfg.Tester.Test(ctx, t, target, x, boundary)
 			if err != nil {
 				return nil, err
 			}
@@ -81,7 +83,7 @@ func GrowShrink(t *dataset.Table, target string, candidates []string, cfg Config
 	}
 
 	// Shrink: remove any member independent of the target given the rest.
-	return shrink(t, target, boundary, cfg)
+	return shrink(ctx, t, target, boundary, cfg)
 }
 
 // IAMB computes the Markov boundary with the Incremental Association
@@ -89,12 +91,12 @@ func GrowShrink(t *dataset.Table, target string, candidates []string, cfg Config
 // with the strongest association (largest estimated CMI) with the target
 // given the current boundary, provided the dependence is significant. The
 // shrink phase is identical to Grow-Shrink's.
-func IAMB(t *dataset.Table, target string, candidates []string, cfg Config) ([]string, error) {
+func IAMB(ctx context.Context, t *dataset.Table, target string, candidates []string, cfg Config) ([]string, error) {
 	if cfg.Tester == nil {
 		return nil, fmt.Errorf("markov: nil tester")
 	}
 	if !t.HasColumn(target) {
-		return nil, fmt.Errorf("markov: no column %q", target)
+		return nil, fmt.Errorf("markov: no column %q: %w", target, hyperr.ErrUnknownAttribute)
 	}
 	cands, err := validCandidates(t, target, candidates)
 	if err != nil {
@@ -114,7 +116,7 @@ func IAMB(t *dataset.Table, target string, candidates []string, cfg Config) ([]s
 			if inB[x] {
 				continue
 			}
-			res, err := cfg.Tester.Test(t, target, x, boundary)
+			res, err := cfg.Tester.Test(ctx, t, target, x, boundary)
 			if err != nil {
 				return nil, err
 			}
@@ -129,12 +131,12 @@ func IAMB(t *dataset.Table, target string, candidates []string, cfg Config) ([]s
 		inB[best] = true
 	}
 
-	return shrink(t, target, boundary, cfg)
+	return shrink(ctx, t, target, boundary, cfg)
 }
 
 // shrink removes boundary members that are independent of the target given
 // the remaining members, iterating to a fixed point.
-func shrink(t *dataset.Table, target string, boundary []string, cfg Config) ([]string, error) {
+func shrink(ctx context.Context, t *dataset.Table, target string, boundary []string, cfg Config) ([]string, error) {
 	alpha := cfg.alpha()
 	out := append([]string(nil), boundary...)
 	for changed := true; changed; {
@@ -143,7 +145,7 @@ func shrink(t *dataset.Table, target string, boundary []string, cfg Config) ([]s
 			rest := make([]string, 0, len(out)-1)
 			rest = append(rest, out[:i]...)
 			rest = append(rest, out[i+1:]...)
-			res, err := cfg.Tester.Test(t, target, out[i], rest)
+			res, err := cfg.Tester.Test(ctx, t, target, out[i], rest)
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +173,7 @@ func validCandidates(t *dataset.Table, target string, candidates []string) ([]st
 		}
 		seen[c] = true
 		if !t.HasColumn(c) {
-			return nil, fmt.Errorf("markov: no column %q", c)
+			return nil, fmt.Errorf("markov: no column %q: %w", c, hyperr.ErrUnknownAttribute)
 		}
 		out = append(out, c)
 	}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 )
 
 // Query is the OLAP query of Listing 1:
@@ -38,7 +39,7 @@ func (q Query) Validate(t *dataset.Table) error {
 		return fmt.Errorf("query: empty treatment")
 	}
 	if !t.HasColumn(q.Treatment) {
-		return fmt.Errorf("query: no treatment column %q", q.Treatment)
+		return fmt.Errorf("query: no treatment column %q: %w", q.Treatment, hyperr.ErrUnknownAttribute)
 	}
 	if len(q.Outcomes) == 0 {
 		return fmt.Errorf("query: no outcome attributes")
@@ -46,7 +47,7 @@ func (q Query) Validate(t *dataset.Table) error {
 	seen := map[string]bool{q.Treatment: true}
 	for _, y := range q.Outcomes {
 		if !t.HasColumn(y) {
-			return fmt.Errorf("query: no outcome column %q", y)
+			return fmt.Errorf("query: no outcome column %q: %w", y, hyperr.ErrUnknownAttribute)
 		}
 		if seen[y] {
 			return fmt.Errorf("query: attribute %q used twice", y)
@@ -58,7 +59,7 @@ func (q Query) Validate(t *dataset.Table) error {
 	}
 	for _, x := range q.Groupings {
 		if !t.HasColumn(x) {
-			return fmt.Errorf("query: no grouping column %q", x)
+			return fmt.Errorf("query: no grouping column %q: %w", x, hyperr.ErrUnknownAttribute)
 		}
 		if seen[x] {
 			return fmt.Errorf("query: attribute %q used twice", x)
@@ -107,7 +108,7 @@ func (q Query) View(t *dataset.Table) (*dataset.Table, error) {
 		return nil, err
 	}
 	if view.NumRows() == 0 {
-		return nil, fmt.Errorf("query: WHERE clause selects no rows")
+		return nil, fmt.Errorf("query: WHERE clause selects no rows: %w", hyperr.ErrEmptySelection)
 	}
 	return view, nil
 }
@@ -212,7 +213,7 @@ type Comparison struct {
 func (a *Answer) Compare() ([]Comparison, error) {
 	vals := a.TreatmentValues()
 	if len(vals) != 2 {
-		return nil, fmt.Errorf("query: Compare needs exactly 2 treatment values, have %d (%v)", len(vals), vals)
+		return nil, fmt.Errorf("query: Compare needs exactly 2 treatment values, have %d (%v): %w", len(vals), vals, hyperr.ErrNonBinaryTreatment)
 	}
 	return a.CompareValues(vals[0], vals[1])
 }

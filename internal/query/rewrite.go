@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 )
 
 // EffectKind distinguishes the two rewritings HypDB performs (Sec 3.3).
@@ -203,7 +204,7 @@ func rewrite(t *dataset.Table, q Query, covariates, mediators []string, baseline
 		result.RowsKeptFraction = float64(keptRows) / float64(view.NumRows())
 	}
 	if len(kept) == 0 {
-		return nil, fmt.Errorf("query: overlap fails everywhere — no block contains all %d treatment values", numT)
+		return nil, fmt.Errorf("query: overlap fails everywhere — no block contains all %d treatment values: %w", numT, hyperr.ErrNoOverlap)
 	}
 
 	decodeCtx := func(codes []int32) ([]string, error) {
@@ -367,7 +368,7 @@ func checkAdjustmentAttrs(t *dataset.Table, q Query, attrs []string, role string
 	seen := make(map[string]bool, len(attrs))
 	for _, a := range attrs {
 		if !t.HasColumn(a) {
-			return fmt.Errorf("query: no %s column %q", role, a)
+			return fmt.Errorf("query: no %s column %q: %w", role, a, hyperr.ErrUnknownAttribute)
 		}
 		if seen[a] {
 			return fmt.Errorf("query: duplicate %s %q", role, a)
