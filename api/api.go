@@ -1,0 +1,533 @@
+// Package api defines the JSON wire types of the hypdbd analysis service
+// and a thin typed client for it.
+//
+// The service exposes the full HypDB pipeline over HTTP:
+//
+//	POST   /v1/datasets              upload a CSV, creating a named dataset
+//	GET    /v1/datasets              list datasets
+//	GET    /v1/datasets/{name}/stats schema, size and cache counters
+//	DELETE /v1/datasets/{name}       drop a dataset
+//	POST   /v1/analyze               analyze one query
+//	POST   /v1/analyze/batch         analyze a batch over a shared worker pool
+//	GET    /v1/metrics               service-wide counters
+//	GET    /healthz                  liveness
+//
+// Every response body is JSON. Failures carry an Error envelope
+// {"error":{"code":...,"message":...}}; the typed Client surfaces them as
+// *Error values, so callers switch on Code (or the HTTP Status) rather than
+// parsing message text. Request WHERE clauses are SQL-style predicate text,
+// parsed server-side by hypdb.ParsePredicate.
+package api
+
+import (
+	"fmt"
+	"time"
+
+	"hypdb"
+)
+
+// Error is the service's error envelope. It implements error on the client
+// side; Status is the HTTP status code the server responded with.
+type Error struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("hypdbd: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Error codes returned by the service.
+const (
+	CodeBadRequest         = "bad_request"          // malformed JSON, bad names, bad parameters
+	CodeMalformedCSV       = "malformed_csv"        // upload body is not loadable CSV
+	CodeBadPredicate       = "bad_predicate"        // WHERE clause failed to parse
+	CodeUnknownAttribute   = "unknown_attribute"    // query references a missing column
+	CodeEmptySelection     = "empty_selection"      // WHERE clause selects no rows
+	CodeEmptyTable         = "empty_table"          // independence test over zero rows
+	CodeNonBinaryTreatment = "non_binary_treatment" // comparison needs exactly two treatment values
+	CodeNoOverlap          = "no_overlap"           // rewriting impossible: no block has every treatment value
+	CodeDatasetNotFound    = "dataset_not_found"
+	CodeDatasetExists      = "dataset_exists"
+	CodeTooManyDatasets    = "too_many_datasets"
+	CodeBodyTooLarge       = "body_too_large" // request body exceeds the server's limit
+	CodeTimeout            = "timeout"        // request exceeded the server's analysis timeout
+	CodeShuttingDown       = "shutting_down"  // server is draining; request was cancelled
+	CodeInternal           = "internal"
+)
+
+// errorEnvelope is the wire shape of a failure response.
+type errorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Datasets
+
+// CreateDatasetRequest uploads a CSV (header row required) as a named,
+// immutable dataset. Alternatively the endpoint accepts a raw text/csv body
+// with the name in the `name` query parameter.
+type CreateDatasetRequest struct {
+	Name string `json:"name"`
+	CSV  string `json:"csv"`
+}
+
+// DatasetInfo summarizes one dataset.
+type DatasetInfo struct {
+	Name      string    `json:"name"`
+	Rows      int       `json:"rows"`
+	Cols      int       `json:"cols"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// DatasetList is the GET /v1/datasets response.
+type DatasetList struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// AttributeInfo describes one column of a dataset.
+type AttributeInfo struct {
+	Name     string `json:"name"`
+	Distinct int    `json:"distinct"`
+}
+
+// CacheStats reports a dataset session's covariate-discovery cache
+// activity: Computes counts discoveries actually executed, Hits counts
+// calls answered from the memoized result (including waits on an in-flight
+// computation).
+type CacheStats struct {
+	CDComputes int `json:"cd_computes"`
+	CDHits     int `json:"cd_hits"`
+}
+
+// DatasetStats is the GET /v1/datasets/{name}/stats response.
+type DatasetStats struct {
+	DatasetInfo
+	Attributes []AttributeInfo `json:"attributes"`
+	Cache      CacheStats      `json:"cache"`
+	// Analyses counts analyze requests (batch items included) served over
+	// this dataset.
+	Analyses int64 `json:"analyses"`
+}
+
+// ---------------------------------------------------------------------------
+// Analysis requests
+
+// Query is the wire form of the group-by-average OLAP query: SELECT
+// treatment, groupings, avg(outcomes...) FROM dataset WHERE where GROUP BY
+// treatment, groupings.
+type Query struct {
+	Treatment string   `json:"treatment"`
+	Groupings []string `json:"groupings,omitempty"`
+	Outcomes  []string `json:"outcomes"`
+	// Where is a SQL-style predicate, e.g. `Carrier IN ('AA','UA') AND
+	// Airport = 'ROC'`; empty selects every row.
+	Where string `json:"where,omitempty"`
+}
+
+// ToQuery converts the wire query into the library's form, parsing the
+// WHERE clause.
+func (q Query) ToQuery(dataset string) (hypdb.Query, error) {
+	out := hypdb.Query{
+		Table:     dataset,
+		Treatment: q.Treatment,
+		Groupings: q.Groupings,
+		Outcomes:  q.Outcomes,
+	}
+	if q.Where != "" {
+		pred, err := hypdb.ParsePredicate(q.Where)
+		if err != nil {
+			return hypdb.Query{}, err
+		}
+		out.Where = pred
+	}
+	return out, nil
+}
+
+// Options tunes an analysis. The zero value reproduces the paper's setup
+// (HyMIT, α = 0.01, 1000 permutations, serial replicates).
+type Options struct {
+	// Method selects the conditional-independence test: "hymit" (default),
+	// "chi2", "mit" or "mit-sampling".
+	Method string `json:"method,omitempty"`
+	// Alpha is the significance level; zero means 0.01.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Permutations is the Monte-Carlo replicate count; zero means 1000.
+	Permutations int `json:"permutations,omitempty"`
+	// Seed fixes every Monte-Carlo component; results for one seed are
+	// deterministic regardless of Parallel.
+	Seed int64 `json:"seed,omitempty"`
+	// Parallel fans permutation replicates over the server's cores. Leave
+	// it off for throughput under concurrent load.
+	Parallel bool `json:"parallel,omitempty"`
+	// SkipDirect disables mediator discovery and the direct-effect
+	// rewriting.
+	SkipDirect bool `json:"skip_direct,omitempty"`
+	// Covariates overrides automatic covariate discovery.
+	Covariates []string `json:"covariates,omitempty"`
+	// Mediators overrides automatic mediator discovery.
+	Mediators []string `json:"mediators,omitempty"`
+	// Baseline fixes the treatment value whose mediator distribution the
+	// direct-effect rewriting holds constant; empty selects the smallest.
+	Baseline string `json:"baseline,omitempty"`
+	// FineAttrs / FineTopK shape the explanation sections (both default 2).
+	FineAttrs int `json:"fine_attrs,omitempty"`
+	FineTopK  int `json:"fine_top_k,omitempty"`
+	// MaxCondSet caps conditioning-set sizes in the CD search.
+	MaxCondSet int `json:"max_cond_set,omitempty"`
+	// MaxBoundary caps Markov-boundary growth.
+	MaxBoundary int `json:"max_boundary,omitempty"`
+	// Workers bounds the batch worker pool (batch requests only). The
+	// server reads it directly — clamped to the dataset's concurrency
+	// limit — so ToOptions does not convert it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ToOptions converts the wire options into the library's functional
+// options. Unknown methods are rejected.
+func (o Options) ToOptions() ([]hypdb.Option, error) {
+	var opts []hypdb.Option
+	switch o.Method {
+	case "", "hymit":
+		opts = append(opts, hypdb.WithMethod(hypdb.HyMIT))
+	case "chi2":
+		opts = append(opts, hypdb.WithMethod(hypdb.ChiSquared))
+	case "mit":
+		opts = append(opts, hypdb.WithMethod(hypdb.MIT))
+	case "mit-sampling":
+		opts = append(opts, hypdb.WithMethod(hypdb.MITSampling))
+	default:
+		return nil, fmt.Errorf("unknown method %q (want hymit, chi2, mit or mit-sampling)", o.Method)
+	}
+	if o.Alpha != 0 {
+		opts = append(opts, hypdb.WithAlpha(o.Alpha))
+	}
+	if o.Permutations != 0 {
+		opts = append(opts, hypdb.WithPermutations(o.Permutations))
+	}
+	if o.Seed != 0 {
+		opts = append(opts, hypdb.WithSeed(o.Seed))
+	}
+	if o.Parallel {
+		opts = append(opts, hypdb.WithParallel(true))
+	}
+	if o.SkipDirect {
+		opts = append(opts, hypdb.WithoutDirectEffect())
+	}
+	if len(o.Covariates) > 0 {
+		opts = append(opts, hypdb.WithCovariates(o.Covariates...))
+	}
+	if len(o.Mediators) > 0 {
+		opts = append(opts, hypdb.WithMediators(o.Mediators...))
+	}
+	if o.Baseline != "" {
+		opts = append(opts, hypdb.WithBaseline(o.Baseline))
+	}
+	if o.FineAttrs != 0 || o.FineTopK != 0 {
+		opts = append(opts, hypdb.WithExplanations(o.FineAttrs, o.FineTopK))
+	}
+	if o.MaxCondSet != 0 {
+		opts = append(opts, hypdb.WithMaxCondSet(o.MaxCondSet))
+	}
+	if o.MaxBoundary != 0 {
+		opts = append(opts, hypdb.WithMaxBoundary(o.MaxBoundary))
+	}
+	return opts, nil
+}
+
+// AnalyzeRequest is the POST /v1/analyze body.
+type AnalyzeRequest struct {
+	Dataset string  `json:"dataset"`
+	Query   Query   `json:"query"`
+	Options Options `json:"options,omitempty"`
+}
+
+// BatchRequest is the POST /v1/analyze/batch body: the queries run over the
+// dataset session's worker pool and share its covariate-discovery cache.
+type BatchRequest struct {
+	Dataset string  `json:"dataset"`
+	Queries []Query `json:"queries"`
+	Options Options `json:"options,omitempty"`
+}
+
+// BatchResponse aligns with the request's query order.
+type BatchResponse struct {
+	Reports []*Report `json:"reports"`
+}
+
+// ---------------------------------------------------------------------------
+// Analysis responses
+
+// Row is one line of a query answer.
+type Row struct {
+	Treatment string    `json:"treatment"`
+	Context   []string  `json:"context,omitempty"`
+	Avgs      []float64 `json:"avgs"`
+	Count     int       `json:"count,omitempty"`
+}
+
+// Comparison pairs two treatment values' answers within one context, with
+// per-outcome significance.
+type Comparison struct {
+	Context   []string  `json:"context,omitempty"`
+	T0        string    `json:"t0"`
+	T1        string    `json:"t1"`
+	Avg0      []float64 `json:"avg0"`
+	Avg1      []float64 `json:"avg1"`
+	Diffs     []float64 `json:"diffs"`
+	N0        int       `json:"n0"`
+	N1        int       `json:"n1"`
+	PValues   []float64 `json:"p_values,omitempty"`
+	PValueCIs []float64 `json:"p_value_cis,omitempty"`
+}
+
+// BiasVerdict is a per-context balance verdict.
+type BiasVerdict struct {
+	Context   []string `json:"context,omitempty"`
+	Variables []string `json:"variables"`
+	MI        float64  `json:"mi"`
+	PValue    float64  `json:"p_value"`
+	PValueCI  float64  `json:"p_value_ci,omitempty"`
+	Biased    bool     `json:"biased"`
+}
+
+// Responsibility is a coarse-grained explanation entry.
+type Responsibility struct {
+	Attr string  `json:"attr"`
+	Rho  float64 `json:"rho"`
+	MI   float64 `json:"mi"`
+}
+
+// FineExplanation is a fine-grained explanation triple.
+type FineExplanation struct {
+	TreatmentValue string  `json:"treatment_value"`
+	OutcomeValue   string  `json:"outcome_value"`
+	CovariateValue string  `json:"covariate_value"`
+	KappaTZ        float64 `json:"kappa_tz"`
+	KappaYZ        float64 `json:"kappa_yz"`
+}
+
+// DroppedAttr names an attribute excluded for a logical dependency.
+type DroppedAttr struct {
+	Attr   string `json:"attr"`
+	Reason string `json:"reason"`
+	Peer   string `json:"peer,omitempty"`
+}
+
+// CDSummary compresses the treatment's covariate-discovery result.
+type CDSummary struct {
+	Parents      []string `json:"parents,omitempty"`
+	Boundary     []string `json:"boundary,omitempty"`
+	UsedFallback bool     `json:"used_fallback,omitempty"`
+	Tests        int      `json:"tests"`
+}
+
+// RewrittenAnswer is the answer of a bias-removing rewritten query.
+type RewrittenAnswer struct {
+	Rows       []Row    `json:"rows"`
+	Covariates []string `json:"covariates,omitempty"`
+	Mediators  []string `json:"mediators,omitempty"`
+	Baseline   string   `json:"baseline,omitempty"`
+	// BlocksKept / BlocksTotal report the exact-matching overlap pruning;
+	// RowsKeptFraction is the share of rows inside kept blocks.
+	BlocksTotal      int     `json:"blocks_total"`
+	BlocksKept       int     `json:"blocks_kept"`
+	RowsKeptFraction float64 `json:"rows_kept_fraction"`
+}
+
+// Timing is the per-phase wall-clock cost in milliseconds.
+type Timing struct {
+	DetectMS  float64 `json:"detect_ms"`
+	ExplainMS float64 `json:"explain_ms"`
+	ResolveMS float64 `json:"resolve_ms"`
+}
+
+// Report is the wire form of a full analysis: detection, explanation and
+// resolution.
+type Report struct {
+	OriginalSQL  string `json:"original_sql"`
+	RewrittenSQL string `json:"rewritten_sql,omitempty"`
+
+	Answer              []Row        `json:"answer"`
+	OriginalComparisons []Comparison `json:"original_comparisons,omitempty"`
+
+	// Biased is the headline verdict: true when any context is unbalanced
+	// w.r.t. the covariates (total effect) or the covariates ∪ mediators
+	// (direct effect).
+	Biased     bool       `json:"biased"`
+	Covariates []string   `json:"covariates,omitempty"`
+	Mediators  []string   `json:"mediators,omitempty"`
+	CD         *CDSummary `json:"cd,omitempty"`
+
+	DroppedAttrs []DroppedAttr `json:"dropped_attrs,omitempty"`
+	BiasTotal    []BiasVerdict `json:"bias_total,omitempty"`
+	BiasDirect   []BiasVerdict `json:"bias_direct,omitempty"`
+
+	Coarse []Responsibility             `json:"coarse,omitempty"`
+	Fine   map[string][]FineExplanation `json:"fine,omitempty"`
+
+	RewrittenTotal    *RewrittenAnswer `json:"rewritten_total,omitempty"`
+	TotalComparisons  []Comparison     `json:"total_comparisons,omitempty"`
+	RewrittenDirect   *RewrittenAnswer `json:"rewritten_direct,omitempty"`
+	DirectComparisons []Comparison     `json:"direct_comparisons,omitempty"`
+
+	Timing Timing `json:"timing"`
+	// Text is the human-readable report panel, as the CLI prints it.
+	Text string `json:"text,omitempty"`
+}
+
+// ReportFromCore converts a library report into its wire form.
+func ReportFromCore(r *hypdb.Report) *Report {
+	if r == nil {
+		return nil
+	}
+	out := &Report{
+		OriginalSQL:  r.OriginalSQL,
+		RewrittenSQL: r.RewrittenSQL,
+		Covariates:   r.Covariates,
+		Mediators:    r.Mediators,
+		Timing: Timing{
+			DetectMS:  float64(r.Timing.Detect.Microseconds()) / 1000,
+			ExplainMS: float64(r.Timing.Explain.Microseconds()) / 1000,
+			ResolveMS: float64(r.Timing.Resolve.Microseconds()) / 1000,
+		},
+		Text: r.String(),
+	}
+	if r.Answer != nil {
+		out.Answer = rowsFromCore(r.Answer.Rows)
+	}
+	out.OriginalComparisons = comparisonsFromCore(r.OriginalComparisons)
+	if r.CD != nil {
+		out.CD = &CDSummary{
+			Parents:      r.CD.Parents,
+			Boundary:     r.CD.Boundary,
+			UsedFallback: r.CD.UsedFallback,
+			Tests:        r.CD.Tests,
+		}
+	}
+	for _, d := range r.DroppedAttrs {
+		out.DroppedAttrs = append(out.DroppedAttrs, DroppedAttr{
+			Attr: d.Attr, Reason: string(d.Reason), Peer: d.Peer,
+		})
+	}
+	for _, b := range r.BiasTotal {
+		v := biasFromCore(b)
+		out.BiasTotal = append(out.BiasTotal, v)
+		if v.Biased {
+			out.Biased = true
+		}
+	}
+	for _, b := range r.BiasDirect {
+		v := biasFromCore(b)
+		out.BiasDirect = append(out.BiasDirect, v)
+		if v.Biased {
+			out.Biased = true
+		}
+	}
+	for _, c := range r.Coarse {
+		out.Coarse = append(out.Coarse, Responsibility{Attr: c.Attr, Rho: c.Rho, MI: c.MI})
+	}
+	if len(r.Fine) > 0 {
+		out.Fine = make(map[string][]FineExplanation, len(r.Fine))
+		for attr, fines := range r.Fine {
+			conv := make([]FineExplanation, 0, len(fines))
+			for _, f := range fines {
+				conv = append(conv, FineExplanation{
+					TreatmentValue: f.TreatmentValue,
+					OutcomeValue:   f.OutcomeValue,
+					CovariateValue: f.CovariateValue,
+					KappaTZ:        f.KappaTZ,
+					KappaYZ:        f.KappaYZ,
+				})
+			}
+			out.Fine[attr] = conv
+		}
+	}
+	if r.RewrittenTotal != nil {
+		out.RewrittenTotal = &RewrittenAnswer{
+			Rows:             rowsFromCore(r.RewrittenTotal.Rows),
+			Covariates:       r.RewrittenTotal.Covariates,
+			BlocksTotal:      r.RewrittenTotal.BlocksTotal,
+			BlocksKept:       r.RewrittenTotal.BlocksKept,
+			RowsKeptFraction: r.RewrittenTotal.RowsKeptFraction,
+		}
+	}
+	out.TotalComparisons = comparisonsFromCore(r.TotalComparisons)
+	if r.RewrittenDirect != nil {
+		out.RewrittenDirect = &RewrittenAnswer{
+			Rows:             rowsFromCore(r.RewrittenDirect.Rows),
+			Covariates:       r.RewrittenDirect.Covariates,
+			Mediators:        r.RewrittenDirect.Mediators,
+			Baseline:         r.RewrittenDirect.Baseline,
+			BlocksTotal:      r.RewrittenDirect.BlocksTotal,
+			BlocksKept:       r.RewrittenDirect.BlocksKept,
+			RowsKeptFraction: r.RewrittenDirect.RowsKeptFraction,
+		}
+	}
+	out.DirectComparisons = comparisonsFromCore(r.DirectComparisons)
+	return out
+}
+
+func rowsFromCore(rows []hypdb.Row) []Row {
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Row{Treatment: r.Treatment, Context: r.Context, Avgs: r.Avgs, Count: r.Count})
+	}
+	return out
+}
+
+func comparisonsFromCore(comps []hypdb.ComparisonReport) []Comparison {
+	out := make([]Comparison, 0, len(comps))
+	for _, c := range comps {
+		out = append(out, Comparison{
+			Context: c.Context,
+			T0:      c.T0, T1: c.T1,
+			Avg0: c.Avg0, Avg1: c.Avg1, Diffs: c.Diffs,
+			N0: c.N0, N1: c.N1,
+			PValues: c.PValues, PValueCIs: c.PValueCIs,
+		})
+	}
+	return out
+}
+
+func biasFromCore(b hypdb.BiasResult) BiasVerdict {
+	return BiasVerdict{
+		Context:   b.Context,
+		Variables: b.Variables,
+		MI:        b.MI,
+		PValue:    b.PValue,
+		PValueCI:  b.PValueCI,
+		Biased:    b.Biased,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Service health and metrics
+
+// Health is the GET /healthz response.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// DatasetMetrics is one dataset's slice of the service metrics.
+type DatasetMetrics struct {
+	Name     string     `json:"name"`
+	Rows     int        `json:"rows"`
+	Analyses int64      `json:"analyses"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// Metrics is the GET /v1/metrics response: service-wide counters backed by
+// each dataset session's Stats.
+type Metrics struct {
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	Datasets         int              `json:"datasets"`
+	RequestsTotal    int64            `json:"requests_total"`
+	RequestsInFlight int64            `json:"requests_in_flight"`
+	AnalysesTotal    int64            `json:"analyses_total"`
+	Cache            CacheStats       `json:"cache"`
+	PerDataset       []DatasetMetrics `json:"per_dataset,omitempty"`
+}

@@ -1,0 +1,49 @@
+package api
+
+import (
+	"errors"
+	"testing"
+
+	"hypdb"
+)
+
+func TestQueryToQuery(t *testing.T) {
+	q, err := Query{
+		Treatment: "Carrier",
+		Outcomes:  []string{"Delayed"},
+		Where:     "Carrier IN ('AA','UA')",
+	}.ToQuery("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "flights" || q.Treatment != "Carrier" || q.Where == nil {
+		t.Errorf("converted query = %+v", q)
+	}
+	if got := q.Where.SQL(); got != "Carrier IN ('AA','UA')" {
+		t.Errorf("where round trip = %q", got)
+	}
+
+	_, err = Query{Treatment: "T", Outcomes: []string{"Y"}, Where: "T ="}.ToQuery("d")
+	if !errors.Is(err, hypdb.ErrBadPredicate) {
+		t.Errorf("bad where error = %v, want ErrBadPredicate", err)
+	}
+}
+
+func TestOptionsToOptions(t *testing.T) {
+	for _, m := range []string{"", "hymit", "chi2", "mit", "mit-sampling"} {
+		if _, err := (Options{Method: m}).ToOptions(); err != nil {
+			t.Errorf("method %q rejected: %v", m, err)
+		}
+	}
+	if _, err := (Options{Method: "magic"}).ToOptions(); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestErrorFormat(t *testing.T) {
+	e := &Error{Status: 404, Code: CodeDatasetNotFound, Message: `no dataset "x"`}
+	want := `hypdbd: no dataset "x" (dataset_not_found, HTTP 404)`
+	if e.Error() != want {
+		t.Errorf("Error() = %q, want %q", e.Error(), want)
+	}
+}

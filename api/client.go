@@ -1,0 +1,158 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client is a typed HTTP client for a hypdbd server.
+//
+//	c := api.NewClient("http://localhost:8080", nil)
+//	info, err := c.CreateDataset(ctx, "flights", csvText)
+//	report, err := c.Analyze(ctx, api.AnalyzeRequest{Dataset: "flights", ...})
+//
+// Failures coming from the service are returned as *Error values carrying
+// the HTTP status and the service's error code.
+type Client struct {
+	baseURL string
+	hc      *http.Client
+}
+
+// NewClient creates a client for the server at baseURL (scheme and host,
+// e.g. "http://localhost:8080"). A nil httpClient uses http.DefaultClient;
+// per-call deadlines come from the context.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// CreateDataset uploads CSV text as a new named dataset.
+func (c *Client) CreateDataset(ctx context.Context, name, csv string) (*DatasetInfo, error) {
+	var out DatasetInfo
+	err := c.do(ctx, http.MethodPost, "/v1/datasets", CreateDatasetRequest{Name: name, CSV: csv}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Datasets lists the server's datasets.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var out DatasetList
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Datasets, nil
+}
+
+// DeleteDataset drops a dataset and its analysis caches.
+func (c *Client) DeleteDataset(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/datasets/"+url.PathEscape(name), nil, nil)
+}
+
+// Stats fetches a dataset's schema, size and cache counters.
+func (c *Client) Stats(ctx context.Context, name string) (*DatasetStats, error) {
+	var out DatasetStats
+	err := c.do(ctx, http.MethodGet, "/v1/datasets/"+url.PathEscape(name)+"/stats", nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Analyze runs the full pipeline on one query.
+func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*Report, error) {
+	var out Report
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AnalyzeBatch runs a batch of queries over the dataset session's worker
+// pool; reports align with the request's query order.
+func (c *Client) AnalyzeBatch(ctx context.Context, req BatchRequest) ([]*Report, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Reports, nil
+}
+
+// Health probes liveness.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the service-wide counters.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var out Metrics
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do performs one JSON round trip. Non-2xx responses decode the error
+// envelope into *Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("api: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a failure response into an *Error, synthesizing one
+// when the body is not the service's envelope (e.g. a proxy page).
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env errorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.Status = resp.StatusCode
+		return env.Error
+	}
+	msg := strings.TrimSpace(string(raw))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &Error{Status: resp.StatusCode, Code: CodeInternal, Message: msg}
+}

@@ -1,0 +1,161 @@
+// Command hypdbd serves the HypDB pipeline over HTTP: BI tools and scripts
+// upload CSV datasets and run detect/explain/resolve analyses through a
+// JSON API instead of linking the library.
+//
+// Usage:
+//
+//	hypdbd [-addr :8080] [-request-timeout 2m] [-max-concurrent N]
+//	       [-max-upload-mb 64] [-max-datasets 64] [-preload name[:rows],...]
+//	       [-seed 1] [-log text|json] [-grace 15s]
+//
+// Endpoints (see the api package for the wire types):
+//
+//	POST   /v1/datasets              upload a CSV as a named dataset
+//	GET    /v1/datasets              list datasets
+//	GET    /v1/datasets/{name}/stats schema, size, cache counters
+//	DELETE /v1/datasets/{name}       drop a dataset
+//	POST   /v1/analyze               analyze one query
+//	POST   /v1/analyze/batch         analyze a batch (shared CD cache)
+//	GET    /v1/metrics               service-wide counters
+//	GET    /healthz                  liveness
+//
+// -preload registers generated datasets at startup (names from `hypdb
+// datasets`, e.g. "berkeley,flight:12000"). On SIGINT/SIGTERM the server
+// stops accepting requests and waits up to -grace for in-flight analyses;
+// when the grace period expires their contexts are cancelled, which aborts
+// permutation loops and discovery searches promptly. A second signal
+// forces immediate exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hypdb/internal/datagen"
+	"hypdb/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "hypdbd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request analysis timeout (0 disables)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent analyses per dataset (0 = 2×GOMAXPROCS)")
+	maxUploadMB := flag.Int64("max-upload-mb", 64, "max CSV upload size in MiB")
+	maxDatasets := flag.Int("max-datasets", 64, "max registered datasets")
+	preload := flag.String("preload", "", `generated datasets to register at startup, "name[:rows],..." (see hypdb datasets)`)
+	seed := flag.Int64("seed", 1, "seed for preloaded generators")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain window before in-flight analyses are cancelled")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown -log format %q (want text or json)", *logFormat)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(server.Config{
+		Logger:                  log,
+		RequestTimeout:          *reqTimeout,
+		MaxConcurrentPerDataset: *maxConcurrent,
+		MaxUploadBytes:          *maxUploadMB << 20,
+		MaxDatasets:             *maxDatasets,
+	})
+	if err := preloadDatasets(srv, *preload, *seed, log); err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Info("hypdbd listening", "addr", *addr)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		// Startup failure (e.g. the port is taken): exit nonzero at once.
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process outright
+	log.Info("shutting down", "grace", grace.String())
+	// When the drain window expires, cancel in-flight analysis contexts;
+	// the permutation loops abort and the handlers still get a few seconds
+	// to flush their 503 responses before the hard close.
+	drain := time.AfterFunc(*grace, func() {
+		log.Info("drain window expired; cancelling in-flight analyses")
+		srv.Close()
+	})
+	defer drain.Stop()
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Warn("forced shutdown", "error", err)
+		srv.Close()
+		_ = httpSrv.Close()
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Info("bye")
+	return nil
+}
+
+// preloadDatasets registers generated datasets given as "name[:rows],...".
+func preloadDatasets(srv *server.Server, spec string, seed int64, log *slog.Logger) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rowsStr, hasRows := strings.Cut(part, ":")
+		gen, err := datagen.Lookup(name)
+		if err != nil {
+			return fmt.Errorf("-preload %q: %w", part, err)
+		}
+		rows := gen.DefaultRows
+		if hasRows {
+			rows, err = strconv.Atoi(rowsStr)
+			if err != nil || rows <= 0 {
+				return fmt.Errorf("-preload %q: bad row count %q", part, rowsStr)
+			}
+		}
+		tab, err := gen.Generate(rows, seed)
+		if err != nil {
+			return fmt.Errorf("-preload %q: %w", part, err)
+		}
+		if err := srv.AddDataset(name, tab); err != nil {
+			return fmt.Errorf("-preload %q: %w", part, err)
+		}
+		log.Info("preloaded dataset", "name", name, "rows", tab.NumRows(), "cols", tab.NumCols())
+	}
+	return nil
+}

@@ -69,6 +69,32 @@ func OpenCSV(path string) (*DB, error) {
 // analysis caches assume the data never changes.
 func (db *DB) Table() *Table { return db.table }
 
+// AttributeInfo describes one attribute of the session's table.
+type AttributeInfo struct {
+	// Name is the column name.
+	Name string
+	// Distinct is the active-domain size (dictionary cardinality).
+	Distinct int
+}
+
+// Attributes lists the table's attributes in schema order with their
+// active-domain sizes — the schema surface a service or UI shows before the
+// analyst picks treatments and outcomes.
+func (db *DB) Attributes() []AttributeInfo {
+	names := db.table.Columns()
+	out := make([]AttributeInfo, 0, len(names))
+	for _, n := range names {
+		c, err := db.table.Column(n)
+		if err != nil {
+			// Columns() and Column() disagree only if the table is mutated,
+			// which the handle forbids.
+			continue
+		}
+		out = append(out, AttributeInfo{Name: n, Distinct: c.Card()})
+	}
+	return out
+}
+
 // Stats returns a snapshot of the session's cache counters.
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
@@ -359,17 +385,23 @@ func writePredicateKey(b *strings.Builder, p Predicate) bool {
 	return true
 }
 
-// cdKey builds the memoization key for one covariate discovery.
+// cdKey builds the memoization key for one covariate discovery. Every
+// variable-length field is length-prefixed, keeping the key injective for
+// any attribute names (the same discipline as writePredicateKey).
 func cdKey(whereKey, target string, candidates, outcomes []string, cfg core.Config) string {
 	var b strings.Builder
-	b.WriteString(whereKey)
-	b.WriteByte(0x1f)
-	b.WriteString(target)
-	b.WriteByte(0x1f)
-	b.WriteString(strings.Join(candidates, "\x1e"))
-	b.WriteByte(0x1f)
-	b.WriteString(strings.Join(outcomes, "\x1e"))
-	b.WriteByte(0x1f)
+	writeField := func(s string) { fmt.Fprintf(&b, "%d:%s", len(s), s) }
+	writeList := func(list []string) {
+		fmt.Fprintf(&b, "%d[", len(list))
+		for _, s := range list {
+			writeField(s)
+		}
+		b.WriteByte(']')
+	}
+	writeField(whereKey)
+	writeField(target)
+	writeList(candidates)
+	writeList(outcomes)
 	// The cube is fingerprinted by identity (%p): distinct cubes over the
 	// same table are interchangeable only if built over the same attrs,
 	// which identity conservatively under-approximates.

@@ -29,4 +29,11 @@ var (
 	// ErrNonBinaryTreatment reports a comparison that needs exactly two
 	// treatment values in the selected data.
 	ErrNonBinaryTreatment = hyperr.ErrNonBinaryTreatment
+
+	// ErrMalformedCSV reports CSV input the loader cannot turn into a
+	// table: unreadable records, ragged rows, or an unusable header.
+	ErrMalformedCSV = hyperr.ErrMalformedCSV
+
+	// ErrBadPredicate reports WHERE-clause text ParsePredicate rejects.
+	ErrBadPredicate = hyperr.ErrBadPredicate
 )

@@ -48,6 +48,7 @@ package hypdb
 
 import (
 	"context"
+	"io"
 
 	"hypdb/internal/core"
 	"hypdb/internal/dataset"
@@ -100,6 +101,13 @@ type Rewritten = query.Rewritten
 // Report is the full output of Analyze.
 type Report = core.Report
 
+// ComparisonReport pairs a query comparison with per-outcome significance.
+type ComparisonReport = core.ComparisonReport
+
+// Dropped names an attribute excluded from analysis for a logical
+// dependency, with the reason.
+type Dropped = core.Dropped
+
 // Options configures Analyze; the zero value reproduces the paper's setup
 // (HyMIT, α = 0.01, Miller-Madow estimation, 1000 permutations).
 //
@@ -142,6 +150,16 @@ func NewBuilder(columns ...string) *Builder { return dataset.NewBuilder(columns.
 // ReadCSVFile loads a table from a CSV file (header row required; all
 // values treated as categorical).
 func ReadCSVFile(path string) (*Table, error) { return dataset.ReadCSVFile(path) }
+
+// ReadCSV loads a table from CSV text on r (header row required; all
+// values treated as categorical). Parse failures wrap ErrMalformedCSV.
+func ReadCSV(r io.Reader) (*Table, error) { return dataset.ReadCSV(r) }
+
+// ParsePredicate parses a SQL-style boolean expression — `Carrier IN
+// ('AA','UA') AND NOT Airport = 'ROC'` — into a Predicate. It accepts
+// everything the built-in combinators render via SQL(); syntax errors wrap
+// ErrBadPredicate.
+func ParsePredicate(s string) (Predicate, error) { return dataset.ParsePredicate(s) }
 
 // ---------------------------------------------------------------------------
 // Deprecated stateless facade

@@ -5,16 +5,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"hypdb/internal/hyperr"
 )
 
 // ReadCSV loads a table from CSV. The first record is the header; every
-// field is treated as a categorical label.
+// field is treated as a categorical label. All parse failures wrap
+// hyperr.ErrMalformedCSV so callers can classify them with errors.Is.
 func ReadCSV(r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return nil, fmt.Errorf("dataset: reading CSV header: %w: %w", err, hyperr.ErrMalformedCSV)
 	}
 	cols := make([]*Column, len(header))
 	for i, h := range header {
@@ -26,16 +29,22 @@ func ReadCSV(r io.Reader) (*Table, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+			return nil, fmt.Errorf("dataset: reading CSV: %w: %w", err, hyperr.ErrMalformedCSV)
 		}
 		if len(rec) != len(cols) {
-			return nil, fmt.Errorf("dataset: CSV row has %d fields, want %d", len(rec), len(cols))
+			return nil, fmt.Errorf("dataset: CSV row has %d fields, want %d: %w", len(rec), len(cols), hyperr.ErrMalformedCSV)
 		}
 		for i, v := range rec {
 			cols[i].Append(v)
 		}
 	}
-	return New(cols...)
+	t, err := New(cols...)
+	if err != nil {
+		// Duplicate or empty headers surface here; they are input defects,
+		// not caller bugs.
+		return nil, fmt.Errorf("%w: %w", err, hyperr.ErrMalformedCSV)
+	}
+	return t, nil
 }
 
 // ReadCSVFile loads a table from the CSV file at path.

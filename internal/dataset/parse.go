@@ -1,0 +1,287 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"hypdb/internal/hyperr"
+)
+
+// ParsePredicate parses a SQL-style boolean expression into a Predicate.
+// The grammar covers everything the built-in combinators render via SQL():
+//
+//	expr       := and ( OR and )*
+//	and        := unary ( AND unary )*
+//	unary      := NOT unary | '(' expr ')' | TRUE | FALSE | comparison
+//	comparison := ident ( '=' value | '!=' value | '<>' value
+//	                    | IN '(' value ( ',' value )* ')' )
+//	ident      := bare word  |  "double quoted"
+//	value      := 'single quoted' ('' escapes a quote)  |  bare word
+//
+// Keywords are case-insensitive; NOT binds tighter than AND, AND tighter
+// than OR. TRUE parses to All and FALSE to an empty Or (matches nothing).
+// Every syntax failure wraps hyperr.ErrBadPredicate for errors.Is.
+func ParsePredicate(s string) (Predicate, error) {
+	p := &predParser{input: s}
+	p.next()
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s after expression", p.tok)
+	}
+	return pred, nil
+}
+
+type tokenKind int
+
+const (
+	tokEOF         tokenKind = iota
+	tokWord                  // bare identifier or unquoted value
+	tokString                // single-quoted value
+	tokQuotedIdent           // double-quoted identifier
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq
+	tokNeq
+	tokErr
+)
+
+type token struct {
+	kind tokenKind
+	text string // decoded text for words/strings, raw for punctuation
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string '%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type predParser struct {
+	input string
+	pos   int
+	tok   token
+}
+
+func (p *predParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("dataset: parsing predicate at offset %d: %s: %w",
+		p.tok.pos, fmt.Sprintf(format, args...), hyperr.ErrBadPredicate)
+}
+
+// next scans one token into p.tok.
+func (p *predParser) next() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "(", pos: start}
+	case c == ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")", pos: start}
+	case c == ',':
+		p.pos++
+		p.tok = token{kind: tokComma, text: ",", pos: start}
+	case c == '=':
+		p.pos++
+		p.tok = token{kind: tokEq, text: "=", pos: start}
+	case c == '!' && p.pos+1 < len(p.input) && p.input[p.pos+1] == '=':
+		p.pos += 2
+		p.tok = token{kind: tokNeq, text: "!=", pos: start}
+	case c == '<' && p.pos+1 < len(p.input) && p.input[p.pos+1] == '>':
+		p.pos += 2
+		p.tok = token{kind: tokNeq, text: "<>", pos: start}
+	case c == '\'':
+		p.scanQuoted('\'', tokString, start)
+	case c == '"':
+		p.scanQuoted('"', tokQuotedIdent, start)
+	case isWordChar(rune(c)):
+		end := p.pos
+		for end < len(p.input) && isWordChar(rune(p.input[end])) {
+			end++
+		}
+		p.tok = token{kind: tokWord, text: p.input[p.pos:end], pos: start}
+		p.pos = end
+	default:
+		p.tok = token{kind: tokErr, text: string(c), pos: start}
+	}
+}
+
+// scanQuoted consumes a quote-delimited token; a doubled quote inside the
+// token escapes itself ('it”s' → it's).
+func (p *predParser) scanQuoted(q byte, kind tokenKind, start int) {
+	var b strings.Builder
+	i := p.pos + 1
+	for i < len(p.input) {
+		if p.input[i] == q {
+			if i+1 < len(p.input) && p.input[i+1] == q {
+				b.WriteByte(q)
+				i += 2
+				continue
+			}
+			p.pos = i + 1
+			p.tok = token{kind: kind, text: b.String(), pos: start}
+			return
+		}
+		b.WriteByte(p.input[i])
+		i++
+	}
+	p.pos = len(p.input)
+	p.tok = token{kind: tokErr, text: "unterminated quote", pos: start}
+}
+
+func isWordChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-' || r == '+'
+}
+
+// isKeyword reports whether the current token is the given bare keyword
+// (case-insensitive); quoted identifiers are never keywords.
+func (p *predParser) isKeyword(kw string) bool {
+	return p.tok.kind == tokWord && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *predParser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKeyword("OR") {
+		return left, nil
+	}
+	or := Or{left}
+	for p.isKeyword("OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		or = append(or, right)
+	}
+	return or, nil
+}
+
+func (p *predParser) parseAnd() (Predicate, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKeyword("AND") {
+		return left, nil
+	}
+	and := And{left}
+	for p.isKeyword("AND") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		and = append(and, right)
+	}
+	return and, nil
+}
+
+func (p *predParser) parseUnary() (Predicate, error) {
+	switch {
+	case p.isKeyword("NOT"):
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Pred: inner}, nil
+	case p.tok.kind == tokLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', found %s", p.tok)
+		}
+		p.next()
+		return inner, nil
+	case p.isKeyword("TRUE"):
+		p.next()
+		return All{}, nil
+	case p.isKeyword("FALSE"):
+		p.next()
+		return Or{}, nil
+	case p.tok.kind == tokWord || p.tok.kind == tokQuotedIdent:
+		return p.parseComparison()
+	default:
+		return nil, p.errorf("expected an attribute, NOT, or '(', found %s", p.tok)
+	}
+}
+
+func (p *predParser) parseComparison() (Predicate, error) {
+	attr := p.tok.text
+	p.next()
+	switch {
+	case p.tok.kind == tokEq:
+		p.next()
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return Eq{Attr: attr, Value: val}, nil
+	case p.tok.kind == tokNeq:
+		p.next()
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Pred: Eq{Attr: attr, Value: val}}, nil
+	case p.isKeyword("IN"):
+		p.next()
+		if p.tok.kind != tokLParen {
+			return nil, p.errorf("expected '(' after IN, found %s", p.tok)
+		}
+		p.next()
+		var vals []string
+		for {
+			val, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, val)
+			if p.tok.kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')' closing IN list, found %s", p.tok)
+		}
+		p.next()
+		return In{Attr: attr, Values: vals}, nil
+	default:
+		return nil, p.errorf("expected '=', '!=', '<>' or IN after attribute %q, found %s", attr, p.tok)
+	}
+}
+
+func (p *predParser) parseValue() (string, error) {
+	if p.tok.kind != tokString && p.tok.kind != tokWord {
+		return "", p.errorf("expected a value, found %s", p.tok)
+	}
+	v := p.tok.text
+	p.next()
+	return v, nil
+}

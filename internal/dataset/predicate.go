@@ -41,11 +41,44 @@ func (p In) Eval(t *Table) ([]bool, error) {
 
 // SQL implements Predicate.
 func (p In) SQL() string {
+	if len(p.Values) == 0 {
+		// An empty IN list matches nothing; `Attr IN ()` is not parseable
+		// SQL, so render the semantics instead.
+		return "FALSE"
+	}
 	quoted := make([]string, len(p.Values))
 	for i, v := range p.Values {
-		quoted[i] = "'" + v + "'"
+		quoted[i] = sqlString(v)
 	}
-	return fmt.Sprintf("%s IN (%s)", p.Attr, strings.Join(quoted, ","))
+	return fmt.Sprintf("%s IN (%s)", sqlIdent(p.Attr), strings.Join(quoted, ","))
+}
+
+// sqlString renders a value literal, doubling embedded quotes so the text
+// round-trips through ParsePredicate.
+func sqlString(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+// sqlIdent renders an attribute name: bare when it is a plain word that the
+// parser would not read as a keyword, double-quoted (with "" escaping)
+// otherwise.
+func sqlIdent(attr string) string {
+	plain := attr != ""
+	for _, r := range attr {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '_' || r == '.' || r == '-' || r == '+') {
+			plain = false
+			break
+		}
+	}
+	switch strings.ToUpper(attr) {
+	case "TRUE", "FALSE", "NOT", "AND", "OR", "IN":
+		plain = false
+	}
+	if plain {
+		return attr
+	}
+	return `"` + strings.ReplaceAll(attr, `"`, `""`) + `"`
 }
 
 // Eq matches rows with Attr = Value.
@@ -72,7 +105,7 @@ func (p Eq) Eval(t *Table) ([]bool, error) {
 }
 
 // SQL implements Predicate.
-func (p Eq) SQL() string { return fmt.Sprintf("%s = '%s'", p.Attr, p.Value) }
+func (p Eq) SQL() string { return fmt.Sprintf("%s = %s", sqlIdent(p.Attr), sqlString(p.Value)) }
 
 // And is the conjunction of its children. An empty And matches everything
 // (SQL: TRUE).
@@ -103,7 +136,13 @@ func (p And) SQL() string {
 	}
 	parts := make([]string, len(p))
 	for i, child := range p {
-		parts[i] = child.SQL()
+		s := child.SQL()
+		// A disjunction binds looser than AND: parenthesize it so the
+		// rendered text keeps this conjunction's semantics.
+		if or, ok := child.(Or); ok && len(or) > 0 {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
 	}
 	return strings.Join(parts, " AND ")
 }

@@ -25,4 +25,12 @@ var (
 	// ErrNonBinaryTreatment marks a comparison that needs exactly two
 	// treatment values.
 	ErrNonBinaryTreatment = errors.New("treatment is not two-valued")
+
+	// ErrMalformedCSV marks CSV input the loader cannot turn into a table:
+	// unreadable records, ragged rows, or an unusable header (duplicate or
+	// empty schema).
+	ErrMalformedCSV = errors.New("malformed CSV")
+
+	// ErrBadPredicate marks WHERE-clause text the predicate parser rejects.
+	ErrBadPredicate = errors.New("invalid predicate")
 )

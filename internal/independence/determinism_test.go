@@ -1,0 +1,115 @@
+package independence
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"hypdb/internal/dataset"
+)
+
+// dependentTable builds a table where X and Y are correlated inside every
+// Z-group, so the MIT statistic and p-value are nontrivial.
+func dependentTable(t *testing.T, n int, seed int64) *dataset.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder("X", "Y", "Z")
+	for i := 0; i < n; i++ {
+		z := rng.Intn(3)
+		x := rng.Intn(3)
+		y := x
+		// Dependence weak enough that some permutation replicates beat the
+		// observed statistic: the p-value lands strictly inside (0,1), so an
+		// equality assertion on it is meaningful.
+		if rng.Float64() < 0.97 {
+			y = rng.Intn(3)
+		}
+		b.MustAdd(string(rune('a'+x)), string(rune('a'+y)), string(rune('a'+z)))
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestMITDeterminism: for one seed, MIT must return bit-identical results
+// with Parallel on or off, at any GOMAXPROCS. The p-value of a Monte-Carlo
+// test is part of the session's cacheable state, so it must be a pure
+// function of (data, Seed, Permutations).
+func TestMITDeterminism(t *testing.T) {
+	tab := dependentTable(t, 400, 7)
+	ctx := context.Background()
+
+	for _, sampling := range []bool{false, true} {
+		name := "mit"
+		if sampling {
+			name = "mit-sampling"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := MIT{Permutations: 300, Seed: 42, SampleGroups: sampling, Parallel: false}
+			serial, err := base.Test(ctx, tab, "X", "Y", []string{"Z"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.PValue <= 0 || serial.PValue >= 1 {
+				t.Logf("degenerate p-value %v weakens this test; adjust the data generator", serial.PValue)
+			}
+
+			orig := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(orig)
+			for _, procs := range []int{1, 2, 4} {
+				runtime.GOMAXPROCS(procs)
+				par := base
+				par.Parallel = true
+				got, err := par.Test(ctx, tab, "X", "Y", []string{"Z"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.PValue != serial.PValue {
+					t.Errorf("GOMAXPROCS=%d: parallel p=%v, serial p=%v — seeding scheme diverged",
+						procs, got.PValue, serial.PValue)
+				}
+				if got.MI != serial.MI {
+					t.Errorf("GOMAXPROCS=%d: parallel MI=%v, serial MI=%v", procs, got.MI, serial.MI)
+				}
+
+				// Serial runs must be identical at every GOMAXPROCS too.
+				again, err := base.Test(ctx, tab, "X", "Y", []string{"Z"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if again.PValue != serial.PValue {
+					t.Errorf("GOMAXPROCS=%d: serial rerun p=%v, want %v", procs, again.PValue, serial.PValue)
+				}
+			}
+		})
+	}
+}
+
+// TestMITSeedSensitivity guards against the determinism fix accidentally
+// collapsing all seeds onto one replicate stream.
+func TestMITSeedSensitivity(t *testing.T) {
+	tab := dependentTable(t, 400, 7)
+	ctx := context.Background()
+	pvals := map[float64]bool{}
+	var mi float64
+	for seed := int64(1); seed <= 5; seed++ {
+		r, err := MIT{Permutations: 300, Seed: seed}.Test(ctx, tab, "X", "Y", []string{"Z"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seed == 1 {
+			mi = r.MI
+		} else if r.MI != mi {
+			t.Errorf("observed statistic depends on seed: %v vs %v", r.MI, mi)
+		}
+		pvals[r.PValue] = true
+	}
+	// Individual pairs may tie (the p-value granularity is 1/permutations),
+	// but five seeds collapsing onto one value means the seed is ignored.
+	if len(pvals) < 2 {
+		t.Errorf("all five seeds produced the same p-value %v — seed is not reaching the replicate streams", pvals)
+	}
+}

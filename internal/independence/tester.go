@@ -225,6 +225,14 @@ func (m MIT) methodName() string {
 	return "mit"
 }
 
+// replicateSeed derives the RNG seed of replicate r. Both the serial and
+// the parallel execution paths seed every replicate independently from this
+// function, which is what makes the Monte-Carlo p-value a pure function of
+// (data, Seed, Permutations) — independent of Parallel and GOMAXPROCS.
+func replicateSeed(seed int64, r int) int64 {
+	return seed + int64(r)*0x9e3779b9
+}
+
 // runReplicates draws perms permutation replicates and counts how many
 // reach the observed statistic.
 func (m MIT) runReplicates(ctx context.Context, groups []groupTable, perms int, s0 float64) (int, error) {
@@ -257,13 +265,17 @@ func (m MIT) runReplicates(ctx context.Context, groups []groupTable, perms int, 
 	}
 
 	if !m.Parallel {
-		rng := rand.New(rand.NewSource(m.Seed))
+		rng := rand.New(rand.NewSource(0)) // re-seeded per replicate below
 		scratch := newScratch()
 		exceed := 0
 		for r := 0; r < perms; r++ {
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}
+			// Re-seed per replicate with the same derivation the parallel
+			// path uses, so Parallel on/off and any GOMAXPROCS yield
+			// identical p-values for one seed.
+			rng.Seed(replicateSeed(m.Seed, r))
 			si, err := replicate(rng, scratch)
 			if err != nil {
 				return 0, err
@@ -289,6 +301,7 @@ func (m MIT) runReplicates(ctx context.Context, groups []groupTable, perms int, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(0))
 			scratch := newScratch()
 			local := 0
 			for r := w; r < perms; r += workers {
@@ -301,8 +314,8 @@ func (m MIT) runReplicates(ctx context.Context, groups []groupTable, perms int, 
 					return
 				}
 				// Per-replicate derived seed keeps the run deterministic
-				// regardless of scheduling.
-				rng := rand.New(rand.NewSource(m.Seed + int64(r)*0x9e3779b9))
+				// regardless of scheduling and identical to the serial path.
+				rng.Seed(replicateSeed(m.Seed, r))
 				si, err := replicate(rng, scratch)
 				if err != nil {
 					mu.Lock()

@@ -1,0 +1,661 @@
+// Package server implements hypdbd: the HTTP analysis service exposing the
+// HypDB pipeline (upload → analyze → batch → stats) over JSON.
+//
+// One Server owns a registry of named, immutable datasets, each wrapped in
+// a long-lived *hypdb.DB session handle. All analyze traffic for a dataset
+// flows through that one handle, so concurrent and repeated requests share
+// its single-flight covariate-discovery cache — the multi-query sharing of
+// the paper's Sec 6, lifted to the service boundary. Batch requests fan
+// into DB.AnalyzeAll's worker pool.
+//
+// Operational behavior: per-dataset concurrency limits (excess requests
+// queue on the limiter, still sharing the cache), optional per-request
+// analysis timeouts, structured request logging, and graceful shutdown —
+// Close cancels a server-wide context that every in-flight request context
+// is joined to, which aborts running permutation loops and discovery
+// searches promptly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypdb"
+	"hypdb/api"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Logger receives structured request and lifecycle logs; nil uses
+	// slog.Default().
+	Logger *slog.Logger
+	// RequestTimeout bounds each analyze/batch request's analysis time;
+	// zero means no timeout.
+	RequestTimeout time.Duration
+	// MaxConcurrentPerDataset bounds concurrently executing analyses per
+	// dataset; excess requests queue. Zero means 2×GOMAXPROCS.
+	MaxConcurrentPerDataset int
+	// MaxUploadBytes bounds the CSV upload body; zero means 64 MiB.
+	MaxUploadBytes int64
+	// MaxDatasets bounds the registry size; zero means 64.
+	MaxDatasets int
+	// Clock overrides time.Now for tests; nil uses time.Now.
+	Clock func() time.Time
+}
+
+func (c Config) logger() *slog.Logger {
+	if c.Logger == nil {
+		return slog.Default()
+	}
+	return c.Logger
+}
+
+func (c Config) maxConcurrent() int {
+	if c.MaxConcurrentPerDataset > 0 {
+		return c.MaxConcurrentPerDataset
+	}
+	return 2 * runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxUploadBytes() int64 {
+	if c.MaxUploadBytes > 0 {
+		return c.MaxUploadBytes
+	}
+	return 64 << 20
+}
+
+func (c Config) maxDatasets() int {
+	if c.MaxDatasets > 0 {
+		return c.MaxDatasets
+	}
+	return 64
+}
+
+// Server is the hypdbd service. Create with New, mount Handler on an
+// http.Server, and call Close on shutdown to cancel in-flight analyses.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	now     func() time.Time
+	started time.Time
+
+	// closing is cancelled by Close; every request context joins it, so
+	// shutdown propagates into in-flight permutation loops.
+	closing   context.Context
+	cancelAll context.CancelFunc
+	inFlight  atomic.Int64
+	requests  atomic.Int64
+	analyses  atomic.Int64
+
+	mu       sync.RWMutex
+	datasets map[string]*entry
+}
+
+// entry is one registered dataset: the shared session handle plus the
+// per-dataset concurrency limiter and counters.
+type entry struct {
+	name    string
+	db      *hypdb.DB
+	sem     chan struct{}
+	created time.Time
+	// acqMu serializes multi-slot semaphore acquisitions (see acquire).
+	acqMu    sync.Mutex
+	analyses atomic.Int64
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	closing, cancel := context.WithCancel(context.Background())
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &Server{
+		cfg:       cfg,
+		log:       cfg.logger(),
+		now:       now,
+		started:   now(),
+		closing:   closing,
+		cancelAll: cancel,
+		datasets:  make(map[string]*entry),
+	}
+}
+
+// Close begins shutdown: every subsequent request is rejected with 503
+// shutting_down, and the contexts of in-flight analyses are cancelled,
+// aborting permutation loops and discovery searches promptly. Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.cancelAll()
+}
+
+// AddDataset registers an in-memory table under name — used by the binary
+// to preload generated datasets and by tests. The table must not be
+// mutated afterwards.
+func (s *Server) AddDataset(name string, t *hypdb.Table) error {
+	if _, apiErr := s.register(name, t); apiErr != nil {
+		return errors.New(apiErr.Message)
+	}
+	return nil
+}
+
+// register is the single registration path shared by uploads and
+// AddDataset: name validation, duplicate rejection, the registry cap, and
+// entry construction live only here.
+func (s *Server) register(name string, t *hypdb.Table) (*entry, *api.Error) {
+	if err := validateDatasetName(name); err != nil {
+		return nil, badRequest(err.Error())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; ok {
+		return nil, &api.Error{
+			Status: http.StatusConflict, Code: api.CodeDatasetExists,
+			Message: fmt.Sprintf("dataset %q already exists (datasets are immutable; delete it first)", name),
+		}
+	}
+	if len(s.datasets) >= s.cfg.maxDatasets() {
+		return nil, &api.Error{
+			Status: http.StatusInsufficientStorage, Code: api.CodeTooManyDatasets,
+			Message: fmt.Sprintf("dataset limit (%d) reached", s.cfg.maxDatasets()),
+		}
+	}
+	e := &entry{
+		name:    name,
+		db:      hypdb.Open(t),
+		sem:     make(chan struct{}, s.cfg.maxConcurrent()),
+		created: s.now(),
+	}
+	s.datasets[name] = e
+	return e, nil
+}
+
+// DB returns the session handle of a registered dataset (tests use this to
+// reach Stats directly). The bool reports existence.
+func (s *Server) DB(name string) (*hypdb.DB, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[name]
+	if !ok {
+		return nil, false
+	}
+	return e.db, true
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleStats)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with request counting, logging and panic
+// recovery.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		s.requests.Add(1)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					// The stdlib's sanctioned abort: let net/http handle it.
+					panic(rec)
+				}
+				s.log.Error("panic serving request",
+					"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(rec))
+				if !sw.wrote {
+					s.writeError(sw, r, &api.Error{
+						Status:  http.StatusInternalServerError,
+						Code:    api.CodeInternal,
+						Message: "internal error",
+					})
+				}
+			}
+			s.log.Info("request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "duration", s.now().Sub(start).String())
+		}()
+		if s.closing.Err() != nil {
+			s.writeError(sw, r, &api.Error{
+				Status: http.StatusServiceUnavailable, Code: api.CodeShuttingDown,
+				Message: "server is shutting down",
+			})
+			return
+		}
+		next.ServeHTTP(sw, r)
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ---------------------------------------------------------------------------
+// Dataset lifecycle
+
+func validateDatasetName(name string) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("dataset name must be 1-64 characters")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("dataset name %q: only letters, digits, '-', '_' and '.' allowed", name)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var name, csv string
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "application/json"), ct == "":
+		var req api.CreateDatasetRequest
+		if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+			s.writeError(w, r, apiErr)
+			return
+		}
+		name, csv = req.Name, req.CSV
+	case strings.HasPrefix(ct, "text/csv"):
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxUploadBytes()))
+		if err != nil {
+			s.writeError(w, r, bodyError(err, s.cfg.maxUploadBytes()))
+			return
+		}
+		name, csv = r.URL.Query().Get("name"), string(raw)
+	default:
+		s.writeError(w, r, badRequest(fmt.Sprintf("unsupported Content-Type %q (want application/json or text/csv)", ct)))
+		return
+	}
+	tab, err := hypdb.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	e, apiErr := s.register(name, tab)
+	if apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+
+	s.log.Info("dataset created", "name", name, "rows", tab.NumRows(), "cols", tab.NumCols())
+	s.writeJSON(w, http.StatusCreated, s.infoOf(e))
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	list := make([]*entry, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		list = append(list, e)
+	}
+	s.mu.RUnlock()
+	out := api.DatasetList{Datasets: make([]api.DatasetInfo, 0, len(list))}
+	for _, e := range list {
+		out.Datasets = append(out.Datasets, s.infoOf(e))
+	}
+	sort.Slice(out.Datasets, func(i, j int) bool { return out.Datasets[i].Name < out.Datasets[j].Name })
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.datasets[name]
+	delete(s.datasets, name)
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, r, notFound(name))
+		return
+	}
+	s.log.Info("dataset deleted", "name", name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e, apiErr := s.lookup(r.PathValue("name"))
+	if apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	st := e.db.Stats()
+	out := api.DatasetStats{
+		DatasetInfo: s.infoOf(e),
+		Cache:       api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
+		Analyses:    e.analyses.Load(),
+	}
+	for _, a := range e.db.Attributes() {
+		out.Attributes = append(out.Attributes, api.AttributeInfo{Name: a.Name, Distinct: a.Distinct})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) infoOf(e *entry) api.DatasetInfo {
+	t := e.db.Table()
+	return api.DatasetInfo{Name: e.name, Rows: t.NumRows(), Cols: t.NumCols(), CreatedAt: e.created}
+}
+
+func (s *Server) lookup(name string) (*entry, *api.Error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[name]
+	if !ok {
+		return nil, notFound(name)
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req api.AnalyzeRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	e, apiErr := s.lookup(req.Dataset)
+	if apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	opts, err := req.Options.ToOptions()
+	if err != nil {
+		s.writeError(w, r, badRequest(err.Error()))
+		return
+	}
+	q, err := req.Query.ToQuery(req.Dataset)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := e.acquire(ctx, 1)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	defer release()
+
+	start := s.now()
+	rep, err := e.db.Analyze(ctx, q, opts...)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	e.analyses.Add(1)
+	s.analyses.Add(1)
+	s.log.Info("analyze", "dataset", req.Dataset, "treatment", q.Treatment,
+		"duration", s.now().Sub(start).String())
+	s.writeJSON(w, http.StatusOK, api.ReportFromCore(rep))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, r, badRequest("batch has no queries"))
+		return
+	}
+	e, apiErr := s.lookup(req.Dataset)
+	if apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	opts, err := req.Options.ToOptions()
+	if err != nil {
+		s.writeError(w, r, badRequest(err.Error()))
+		return
+	}
+	queries := make([]hypdb.Query, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := wq.ToQuery(req.Dataset)
+		if err != nil {
+			apiErr := mapError(err)
+			apiErr.Message = fmt.Sprintf("query %d: %s", i, apiErr.Message)
+			s.writeError(w, r, apiErr)
+			return
+		}
+		queries[i] = q
+	}
+	// The batch reserves one concurrency slot per worker it will run, so
+	// the per-dataset limit genuinely bounds concurrent analyses even when
+	// several batches race single requests. cap(e.sem) is the limit the
+	// dataset was registered with — the single source of truth.
+	workers := req.Options.Workers
+	if limit := cap(e.sem); workers <= 0 || workers > limit {
+		workers = limit
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	opts = append(opts, hypdb.WithWorkers(workers))
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := e.acquire(ctx, workers)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	defer release()
+
+	start := s.now()
+	reps, err := e.db.AnalyzeAll(ctx, queries, opts...)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	e.analyses.Add(int64(len(queries)))
+	s.analyses.Add(int64(len(queries)))
+	s.log.Info("analyze batch", "dataset", req.Dataset, "queries", len(queries),
+		"duration", s.now().Sub(start).String())
+	out := api.BatchResponse{Reports: make([]*api.Report, len(reps))}
+	for i, rep := range reps {
+		out.Reports[i] = api.ReportFromCore(rep)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// requestContext derives the analysis context: the request's own context,
+// joined to the server's closing context (shutdown cancels in-flight work)
+// and bounded by the configured timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.closing, cancel)
+	if s.cfg.RequestTimeout > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		return tctx, func() { tcancel(); cancel(); stop() }
+	}
+	return ctx, func() { cancel(); stop() }
+}
+
+// acquire takes n slots of the dataset's concurrency limiter, honoring
+// cancellation while queued. Multi-slot acquisitions (batches) are
+// serialized through acqMu so two batches can never deadlock each holding
+// a partial slot set: the one inside the critical section only waits on
+// slots held by running requests, which always release.
+func (e *entry) acquire(ctx context.Context, n int) (release func(), err error) {
+	if n > 1 {
+		e.acqMu.Lock()
+		defer e.acqMu.Unlock()
+	}
+	taken := 0
+	free := func() {
+		for i := 0; i < taken; i++ {
+			<-e.sem
+		}
+	}
+	for taken < n {
+		select {
+		case e.sem <- struct{}{}:
+			taken++
+		case <-ctx.Done():
+			free()
+			return nil, ctx.Err()
+		}
+	}
+	return free, nil
+}
+
+// ---------------------------------------------------------------------------
+// Health and metrics
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		UptimeSeconds: s.now().Sub(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	entries := make([]*entry, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+
+	out := api.Metrics{
+		UptimeSeconds:    s.now().Sub(s.started).Seconds(),
+		Datasets:         len(entries),
+		RequestsTotal:    s.requests.Load(),
+		RequestsInFlight: s.inFlight.Load(),
+		AnalysesTotal:    s.analyses.Load(),
+	}
+	for _, e := range entries {
+		st := e.db.Stats()
+		out.Cache.CDComputes += st.CDComputes
+		out.Cache.CDHits += st.CDHits
+		out.PerDataset = append(out.PerDataset, api.DatasetMetrics{
+			Name:     e.name,
+			Rows:     e.db.Table().NumRows(),
+			Analyses: e.analyses.Load(),
+			Cache:    api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
+		})
+	}
+	sort.Slice(out.PerDataset, func(i, j int) bool { return out.PerDataset[i].Name < out.PerDataset[j].Name })
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding and error classification
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Error("encoding response", "error", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, e *api.Error) {
+	if e.Status >= 500 {
+		s.log.Error("request failed", "method", r.Method, "path", r.URL.Path,
+			"code", e.Code, "error", e.Message)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(map[string]*api.Error{"error": e})
+}
+
+func badRequest(msg string) *api.Error {
+	return &api.Error{Status: http.StatusBadRequest, Code: api.CodeBadRequest, Message: msg}
+}
+
+// decodeBody decodes a JSON request body under the server's byte limit,
+// distinguishing oversized bodies (413) from malformed ones (400).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *api.Error {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxUploadBytes())).Decode(v)
+	if err == nil {
+		return nil
+	}
+	return bodyError(err, s.cfg.maxUploadBytes())
+}
+
+// bodyError classifies a body-read failure.
+func bodyError(err error, limit int64) *api.Error {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return &api.Error{
+			Status: http.StatusRequestEntityTooLarge, Code: api.CodeBodyTooLarge,
+			Message: fmt.Sprintf("request body exceeds the %d-byte limit", limit),
+		}
+	}
+	return badRequest("reading request body: " + err.Error())
+}
+
+func notFound(name string) *api.Error {
+	return &api.Error{
+		Status: http.StatusNotFound, Code: api.CodeDatasetNotFound,
+		Message: fmt.Sprintf("no dataset %q", name),
+	}
+}
+
+// mapError classifies a pipeline error into the service's error envelope
+// via the library's sentinel errors.
+func mapError(err error) *api.Error {
+	msg := err.Error()
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &api.Error{Status: http.StatusGatewayTimeout, Code: api.CodeTimeout,
+			Message: "analysis exceeded the server's request timeout"}
+	case errors.Is(err, context.Canceled):
+		return &api.Error{Status: http.StatusServiceUnavailable, Code: api.CodeShuttingDown,
+			Message: "request cancelled (client went away or server is draining)"}
+	case errors.Is(err, hypdb.ErrMalformedCSV):
+		return &api.Error{Status: http.StatusBadRequest, Code: api.CodeMalformedCSV, Message: msg}
+	case errors.Is(err, hypdb.ErrBadPredicate):
+		return &api.Error{Status: http.StatusBadRequest, Code: api.CodeBadPredicate, Message: msg}
+	case errors.Is(err, hypdb.ErrUnknownAttribute):
+		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeUnknownAttribute, Message: msg}
+	case errors.Is(err, hypdb.ErrEmptySelection):
+		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeEmptySelection, Message: msg}
+	case errors.Is(err, hypdb.ErrEmptyTable):
+		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeEmptyTable, Message: msg}
+	case errors.Is(err, hypdb.ErrNonBinaryTreatment):
+		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNonBinaryTreatment, Message: msg}
+	case errors.Is(err, hypdb.ErrNoOverlap):
+		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNoOverlap, Message: msg}
+	default:
+		return &api.Error{Status: http.StatusInternalServerError, Code: api.CodeInternal, Message: msg}
+	}
+}

@@ -1,0 +1,436 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hypdb/api"
+	"hypdb/internal/datagen"
+)
+
+// newTestServer starts an httptest server over a fresh Server and returns a
+// typed client for it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *api.Client) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return srv, api.NewClient(ts.URL, ts.Client())
+}
+
+// berkeleyCSV renders the Berkeley dataset as CSV text.
+func berkeleyCSV(t *testing.T) string {
+	t.Helper()
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestDatasetLifecycle(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	csv := berkeleyCSV(t)
+
+	info, err := c.CreateDataset(ctx, "berkeley", csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "berkeley" || info.Rows != datagen.BerkeleyRows() || info.Cols != 3 {
+		t.Fatalf("created %+v", info)
+	}
+
+	// Duplicate names are rejected: datasets are immutable.
+	if _, err := c.CreateDataset(ctx, "berkeley", csv); !hasCode(err, api.CodeDatasetExists, http.StatusConflict) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+
+	list, err := c.Datasets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "berkeley" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	stats, err := c.Stats(ctx, "berkeley")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != info.Rows || len(stats.Attributes) != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	wantAttrs := map[string]int{"Gender": 2, "Department": 6, "Accepted": 2}
+	for _, a := range stats.Attributes {
+		if wantAttrs[a.Name] != a.Distinct {
+			t.Errorf("attribute %s distinct=%d, want %d", a.Name, a.Distinct, wantAttrs[a.Name])
+		}
+	}
+
+	if err := c.DeleteDataset(ctx, "berkeley"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(ctx, "berkeley"); !hasCode(err, api.CodeDatasetNotFound, http.StatusNotFound) {
+		t.Fatalf("stats after delete: %v", err)
+	}
+	if err := c.DeleteDataset(ctx, "berkeley"); !hasCode(err, api.CodeDatasetNotFound, http.StatusNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+
+	// Raw text/csv upload with the name in the query string.
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+}
+
+func TestRawCSVUpload(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/datasets?name=tiny", "text/csv",
+		strings.NewReader("a,b\n1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var info api.DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 2 || info.Cols != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestAnalyzeBerkeley(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := c.Analyze(ctx, api.AnalyzeRequest{
+		Dataset: "berkeley",
+		Query:   api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}},
+		Options: api.Options{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Berkeley's causal structure (Gender → Department → Accepted) puts
+	// Department in the mediator role: the bias surfaces in the
+	// direct-effect verdict, w.r.t. covariates ∪ mediators.
+	if !rep.Biased {
+		t.Error("Berkeley query not flagged biased")
+	}
+	if len(rep.Mediators) != 1 || rep.Mediators[0] != "Department" {
+		t.Errorf("mediators = %v, want [Department]", rep.Mediators)
+	}
+	if rep.CD == nil || !rep.CD.UsedFallback {
+		t.Errorf("CD summary = %+v, want fallback marked", rep.CD)
+	}
+	if len(rep.Answer) != 2 {
+		t.Fatalf("answer rows = %d, want 2", len(rep.Answer))
+	}
+	if len(rep.OriginalComparisons) != 1 || rep.OriginalComparisons[0].Diffs[0] <= 0 {
+		t.Errorf("original comparison = %+v, want Male−Female > 0", rep.OriginalComparisons)
+	}
+	if rep.RewrittenDirect == nil {
+		t.Fatal("no rewritten direct-effect answer")
+	}
+	if len(rep.DirectComparisons) != 1 ||
+		rep.DirectComparisons[0].Diffs[0] >= rep.OriginalComparisons[0].Diffs[0] {
+		t.Errorf("direct comparison = %+v, want smaller than the original diff %v",
+			rep.DirectComparisons, rep.OriginalComparisons[0].Diffs[0])
+	}
+	if rep.Text == "" || !strings.Contains(rep.Text, "SQL Query:") {
+		t.Error("report text panel missing")
+	}
+}
+
+func TestAnalyzeWithWhereAndGroupings(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Analyze(ctx, api.AnalyzeRequest{
+		Dataset: "berkeley",
+		Query: api.Query{
+			Treatment: "Gender",
+			Outcomes:  []string{"Accepted"},
+			Where:     "Department IN ('A','B','C')",
+		},
+		Options: api.Options{Seed: 1, SkipDirect: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, row := range rep.Answer {
+		n += row.Count
+	}
+	if n >= datagen.BerkeleyRows() {
+		t.Errorf("WHERE clause not applied: %d rows selected", n)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+	base := api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}}
+
+	cases := []struct {
+		name   string
+		req    api.AnalyzeRequest
+		code   string
+		status int
+	}{
+		{"unknown dataset", api.AnalyzeRequest{Dataset: "nope", Query: base},
+			api.CodeDatasetNotFound, http.StatusNotFound},
+		{"bad predicate", api.AnalyzeRequest{Dataset: "berkeley",
+			Query: api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}, Where: "Gender = "}},
+			api.CodeBadPredicate, http.StatusBadRequest},
+		{"unknown attribute", api.AnalyzeRequest{Dataset: "berkeley",
+			Query: api.Query{Treatment: "Wrong", Outcomes: []string{"Accepted"}}},
+			api.CodeUnknownAttribute, http.StatusUnprocessableEntity},
+		{"empty selection", api.AnalyzeRequest{Dataset: "berkeley",
+			Query: api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}, Where: "Department = 'Z'"}},
+			api.CodeEmptySelection, http.StatusUnprocessableEntity},
+		{"bad method", api.AnalyzeRequest{Dataset: "berkeley", Query: base,
+			Options: api.Options{Method: "magic"}},
+			api.CodeBadRequest, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		_, err := c.Analyze(ctx, tc.req)
+		if !hasCode(err, tc.code, tc.status) {
+			t.Errorf("%s: got %v, want code %s status %d", tc.name, err, tc.code, tc.status)
+		}
+	}
+
+	// Malformed CSV upload.
+	if _, err := c.CreateDataset(ctx, "bad", "a,b\n1\n"); !hasCode(err, api.CodeMalformedCSV, http.StatusBadRequest) {
+		t.Errorf("ragged CSV: %v", err)
+	}
+	if _, err := c.CreateDataset(ctx, "bad name!", "a\n1\n"); !hasCode(err, api.CodeBadRequest, http.StatusBadRequest) {
+		t.Errorf("bad dataset name: %v", err)
+	}
+}
+
+// TestConcurrentAnalyzeSharesDiscovery is the ISSUE's load test: ≥64
+// concurrent identical /v1/analyze requests must trigger exactly one
+// covariate discovery (the session cache single-flights it) and agree on
+// every answer.
+func TestConcurrentAnalyzeSharesDiscovery(t *testing.T) {
+	srv, c := newTestServer(t, Config{MaxConcurrentPerDataset: 8})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 64
+	req := api.AnalyzeRequest{
+		Dataset: "berkeley",
+		// SkipDirect keeps the pipeline to exactly one discovery call per
+		// request, so the cache counters are exact.
+		Query:   api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}},
+		Options: api.Options{Seed: 7, SkipDirect: true},
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		reports []*api.Report
+		errs    []error
+	)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			rep, err := c.Analyze(ctx, req)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			reports = append(reports, rep)
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if len(errs) > 0 {
+		t.Fatalf("%d/%d requests failed; first: %v", len(errs), n, errs[0])
+	}
+	db, ok := srv.DB("berkeley")
+	if !ok {
+		t.Fatal("dataset vanished")
+	}
+	st := db.Stats()
+	if st.CDComputes != 1 {
+		t.Errorf("CDComputes = %d, want 1 — covariate discovery was not shared", st.CDComputes)
+	}
+	if st.CDHits != n-1 {
+		t.Errorf("CDHits = %d, want %d", st.CDHits, n-1)
+	}
+
+	// All responses must agree once per-request wall-clock noise (Timing,
+	// the rendered Text panel) is stripped.
+	norm := func(r *api.Report) *api.Report {
+		cp := *r
+		cp.Timing = api.Timing{}
+		cp.Text = ""
+		return &cp
+	}
+	want := norm(reports[0])
+	for i, rep := range reports[1:] {
+		if got := norm(rep); !reflect.DeepEqual(got, want) {
+			gj, _ := json.Marshal(got)
+			wj, _ := json.Marshal(want)
+			t.Fatalf("response %d disagrees:\n got %s\nwant %s", i+1, gj, wj)
+		}
+	}
+
+	stats, err := c.Stats(ctx, "berkeley")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Analyses != n {
+		t.Errorf("analyses counter = %d, want %d", stats.Analyses, n)
+	}
+	if stats.Cache.CDComputes != 1 || stats.Cache.CDHits != n-1 {
+		t.Errorf("stats cache = %+v", stats.Cache)
+	}
+}
+
+func TestBatchSharesCache(t *testing.T) {
+	srv, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+	q := api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}}
+	reps, err := c.AnalyzeBatch(ctx, api.BatchRequest{
+		Dataset: "berkeley",
+		Queries: []api.Query{q, q, q, q},
+		Options: api.Options{Seed: 1, SkipDirect: true, Workers: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 4 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	for i, rep := range reps {
+		if rep == nil || len(rep.Answer) != 2 || len(rep.OriginalComparisons) != 1 {
+			t.Errorf("report %d = %+v", i, rep)
+		}
+	}
+	db, _ := srv.DB("berkeley")
+	if st := db.Stats(); st.CDComputes != 1 {
+		t.Errorf("CDComputes = %d, want 1 (batch items share the cache)", st.CDComputes)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AnalysesTotal != 4 || m.Datasets != 1 || m.Cache.CDComputes != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestRequestTimeout: a Monte-Carlo analysis that cannot finish inside the
+// server's request timeout is cancelled and reported as a 504.
+func TestRequestTimeout(t *testing.T) {
+	_, c := newTestServer(t, Config{RequestTimeout: 50 * time.Millisecond})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Analyze(ctx, api.AnalyzeRequest{
+		Dataset: "berkeley",
+		Query:   api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}},
+		Options: api.Options{Method: "mit", Permutations: 50_000_000, Seed: 1},
+	})
+	if !hasCode(err, api.CodeTimeout, http.StatusGatewayTimeout) {
+		t.Fatalf("got %v, want %s", err, api.CodeTimeout)
+	}
+}
+
+// TestShutdownCancelsInflight: Close propagates cancellation into running
+// permutation loops; the stuck request fails fast with 503 instead of
+// finishing minutes later.
+func TestShutdownCancelsInflight(t *testing.T) {
+	srv, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Analyze(ctx, api.AnalyzeRequest{
+			Dataset: "berkeley",
+			Query:   api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}},
+			Options: api.Options{Method: "mit", Permutations: 50_000_000, Seed: 1},
+		})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the permutation loop start
+	srv.Close()
+
+	select {
+	case err := <-done:
+		if !hasCode(err, api.CodeShuttingDown, http.StatusServiceUnavailable) {
+			t.Fatalf("in-flight request returned %v, want %s", err, api.CodeShuttingDown)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight analysis did not abort after Close")
+	}
+
+	// Every request after Close is rejected outright, analysis or not.
+	if _, err := c.Health(ctx); !hasCode(err, api.CodeShuttingDown, http.StatusServiceUnavailable) {
+		t.Fatalf("health after Close: %v, want %s", err, api.CodeShuttingDown)
+	}
+}
+
+// hasCode matches a client error against the service's code and status.
+func hasCode(err error, code string, status int) bool {
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.Code == code && apiErr.Status == status
+}
