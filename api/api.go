@@ -41,14 +41,15 @@ func (e *Error) Error() string {
 
 // Error codes returned by the service.
 const (
-	CodeBadRequest         = "bad_request"          // malformed JSON, bad names, bad parameters
-	CodeMalformedCSV       = "malformed_csv"        // upload body is not loadable CSV
-	CodeBadPredicate       = "bad_predicate"        // WHERE clause failed to parse
-	CodeUnknownAttribute   = "unknown_attribute"    // query references a missing column
-	CodeEmptySelection     = "empty_selection"      // WHERE clause selects no rows
-	CodeEmptyTable         = "empty_table"          // independence test over zero rows
-	CodeNonBinaryTreatment = "non_binary_treatment" // comparison needs exactly two treatment values
-	CodeNoOverlap          = "no_overlap"           // rewriting impossible: no block has every treatment value
+	CodeBadRequest         = "bad_request"           // malformed JSON, bad names, bad parameters
+	CodeMalformedCSV       = "malformed_csv"         // upload body is not loadable CSV
+	CodeBadPredicate       = "bad_predicate"         // WHERE clause failed to parse
+	CodeUnknownAttribute   = "unknown_attribute"     // query references a missing column
+	CodeEmptySelection     = "empty_selection"       // WHERE clause selects no rows
+	CodeEmptyTable         = "empty_table"           // independence test over zero rows
+	CodeNonBinaryTreatment = "non_binary_treatment"  // comparison needs exactly two treatment values
+	CodeNoOverlap          = "no_overlap"            // rewriting impossible: no block has every treatment value
+	CodeNeedsMaterialize   = "needs_materialization" // row-level analysis on a counts-only storage backend
 	CodeDatasetNotFound    = "dataset_not_found"
 	CodeDatasetExists      = "dataset_exists"
 	CodeTooManyDatasets    = "too_many_datasets"
@@ -66,19 +67,36 @@ type errorEnvelope struct {
 // ---------------------------------------------------------------------------
 // Datasets
 
-// CreateDatasetRequest uploads a CSV (header row required) as a named,
-// immutable dataset. Alternatively the endpoint accepts a raw text/csv body
-// with the name in the `name` query parameter.
+// CreateDatasetRequest registers a named, immutable dataset. Exactly one
+// storage form is used:
+//
+//   - CSV: an inline CSV body (header row required); the dataset is loaded
+//     into the in-memory backend. Alternatively the endpoint accepts a raw
+//     text/csv body with the name in the `name` query parameter.
+//   - Driver/DSN/SQLTable: the dataset is served by the SQL backend — the
+//     server opens the database/sql driver with the DSN and pushes group-by
+//     count aggregation down to it. The driver must be compiled into the
+//     server binary.
 type CreateDatasetRequest struct {
 	Name string `json:"name"`
-	CSV  string `json:"csv"`
+	CSV  string `json:"csv,omitempty"`
+
+	// Driver is the database/sql driver name (e.g. "postgres", "memsql").
+	Driver string `json:"driver,omitempty"`
+	// DSN is the driver-specific data source name.
+	DSN string `json:"dsn,omitempty"`
+	// SQLTable is the table within the database to analyze.
+	SQLTable string `json:"sql_table,omitempty"`
 }
 
 // DatasetInfo summarizes one dataset.
 type DatasetInfo struct {
-	Name      string    `json:"name"`
-	Rows      int       `json:"rows"`
-	Cols      int       `json:"cols"`
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	// Backend names the storage backend serving the dataset: "mem" for
+	// uploaded CSV, "sqldb" for DSN-registered SQL tables.
+	Backend   string    `json:"backend,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 }
 
@@ -281,6 +299,7 @@ type Comparison struct {
 	N1        int       `json:"n1"`
 	PValues   []float64 `json:"p_values,omitempty"`
 	PValueCIs []float64 `json:"p_value_cis,omitempty"`
+	Methods   []string  `json:"methods,omitempty"`
 }
 
 // BiasVerdict is a per-context balance verdict.
@@ -486,7 +505,7 @@ func comparisonsFromCore(comps []hypdb.ComparisonReport) []Comparison {
 			T0:      c.T0, T1: c.T1,
 			Avg0: c.Avg0, Avg1: c.Avg1, Diffs: c.Diffs,
 			N0: c.N0, N1: c.N1,
-			PValues: c.PValues, PValueCIs: c.PValueCIs,
+			PValues: c.PValues, PValueCIs: c.PValueCIs, Methods: c.Methods,
 		})
 	}
 	return out

@@ -44,6 +44,20 @@ func (c *Client) CreateDataset(ctx context.Context, name, csv string) (*DatasetI
 	return &out, nil
 }
 
+// CreateSQLDataset registers a dataset served directly by a SQL database:
+// the server opens the database/sql driver with the DSN and pushes the
+// engine's group-by count queries down to table. The driver must be
+// compiled into the server binary.
+func (c *Client) CreateSQLDataset(ctx context.Context, name, driver, dsn, table string) (*DatasetInfo, error) {
+	var out DatasetInfo
+	err := c.do(ctx, http.MethodPost, "/v1/datasets",
+		CreateDatasetRequest{Name: name, Driver: driver, DSN: dsn, SQLTable: table}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Datasets lists the server's datasets.
 func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
 	var out DatasetList

@@ -17,8 +17,11 @@ import (
 	"hypdb/internal/datagen"
 	"hypdb/internal/dataset"
 	"hypdb/internal/independence"
+	"hypdb/internal/memsql"
 	"hypdb/internal/query"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
+	"hypdb/source/sqldb"
 )
 
 // fixtures caches generated datasets across benchmarks.
@@ -55,7 +58,7 @@ func benchAnalyze(b *testing.B, tab *dataset.Table, q query.Query) {
 	opts := core.Options{Config: core.Config{Seed: 7, Permutations: 200, Parallel: true}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Analyze(context.Background(), tab, q, opts); err != nil {
+		if _, err := core.Analyze(context.Background(), mem.New(tab), q, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,10 +146,10 @@ func BenchmarkFig5aRandomQueries(b *testing.B) {
 	cov := datagen.FlightCovariates()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := query.Run(tab, q); err != nil {
+		if _, err := query.Run(context.Background(), mem.New(tab), q); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := query.RewriteTotal(tab, q, cov); err != nil {
+		if _, err := query.RewriteTotal(context.Background(), mem.New(tab), q, cov); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,7 +165,7 @@ func benchParentRecovery(b *testing.B, rows int, method core.TestMethod) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, a := range attrs {
-			if _, err := core.DiscoverCovariates(context.Background(), tab, a, excludeOf(attrs, a), nil, cfg); err != nil {
+			if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), a, excludeOf(attrs, a), nil, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -188,7 +191,7 @@ func BenchmarkFig5dSparseCategoriesCD(b *testing.B) {
 	cfg := core.Config{Method: core.HyMITMethod, Seed: 7, DisableFallback: true, Permutations: 100, Parallel: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -201,7 +204,7 @@ func BenchmarkFig6aFGSStructure(b *testing.B) {
 	tab := randomTable(b, 10000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := cdd.LearnStructure(context.Background(), tab, tab.Columns(), cdd.ConstraintConfig{
+		_, err := cdd.LearnStructure(context.Background(), mem.New(tab), tab.Columns(), cdd.ConstraintConfig{
 			Tester: independence.ChiSquare{Est: stats.MillerMadow},
 		})
 		if err != nil {
@@ -216,7 +219,7 @@ func BenchmarkFig6aCDSingleNode(b *testing.B) {
 	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -235,7 +238,7 @@ func benchSingleTest(b *testing.B, tester independence.Tester) {
 	attrs := tab.Columns()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tester.Test(context.Background(), tab, attrs[0], attrs[1], attrs[2:6]); err != nil {
+		if _, err := tester.Test(context.Background(), mem.New(tab), attrs[0], attrs[1], attrs[2:6]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -271,7 +274,7 @@ func benchCDVariant(b *testing.B, mut func(*core.Config)) {
 	mut(&cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -311,7 +314,7 @@ func BenchmarkFig6dCDWithoutCube(b *testing.B) {
 	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -327,7 +330,7 @@ func BenchmarkFig6dCDWithCube(b *testing.B) {
 	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true, Cube: cb}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -353,7 +356,7 @@ func BenchmarkFig8bCDWithCube12Attrs(b *testing.B) {
 	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true, Cube: cb}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DiscoverCovariates(context.Background(), tab, attrs[0], attrs[1:], nil, cfg); err != nil {
+		if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), attrs[0], attrs[1:], nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -375,7 +378,7 @@ func BenchmarkFig8aHyMITVerdicts(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 1; j < len(attrs); j++ {
-			if _, err := tester.Test(context.Background(), tab, attrs[0], attrs[j], nil); err != nil {
+			if _, err := tester.Test(context.Background(), mem.New(tab), attrs[0], attrs[j], nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -391,7 +394,7 @@ func BenchmarkListing2RewriteExecution(b *testing.B) {
 	cov := datagen.FlightCovariates()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := query.RewriteTotal(tab, q, cov); err != nil {
+		if _, err := query.RewriteTotal(context.Background(), mem.New(tab), q, cov); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -403,6 +406,84 @@ func BenchmarkListing3SQLRendering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = q.RewrittenSQL(cov)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Storage backends: in-memory vs SQL count pushdown
+//
+// BenchmarkCountsMemVsSQL tracks the overhead of the sqldb backend (served
+// by the in-process memsql driver, so the numbers isolate the backend stack
+// from network and DBMS costs) against the mem backend on the two paths the
+// engine leans on: the dictionary-coded group-by count a contingency table
+// is built from, and one cold end-to-end Analyze.
+
+func BenchmarkCountsMemVsSQL(b *testing.B) {
+	tab := flightSmall(b)
+	q := datagen.FlightQuery()
+	countAttrs := []string{"Airport", "Carrier", "Delayed"}
+	memsql.Register("bench_flight", tab)
+	b.Cleanup(func() { memsql.Unregister("bench_flight") })
+
+	openSQLRel := func(b *testing.B) *sqldb.Relation {
+		b.Helper()
+		conn, err := memsql.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel, err := sqldb.Open(context.Background(), conn, "bench_flight")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { rel.Close() })
+		return rel
+	}
+
+	// Contingency-table input: one group-by count over (Z, X, Y). A fresh
+	// handle per iteration defeats the per-handle count cache, so the cost
+	// measured is the backend round trip, not the memo.
+	b.Run("counts/mem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel := mem.New(tab)
+			if _, err := rel.Counts(context.Background(), countAttrs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("counts/sqldb", func(b *testing.B) {
+		conn, err := memsql.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		for i := 0; i < b.N; i++ {
+			rel, err := sqldb.Open(context.Background(), conn, "bench_flight")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rel.Counts(context.Background(), countAttrs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Cold end-to-end Analyze per backend (fresh session handle each
+	// iteration, so covariate discovery runs every time).
+	opts := []hypdb.Option{hypdb.WithSeed(7), hypdb.WithPermutations(100), hypdb.WithParallel(true)}
+	b.Run("analyze/mem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hypdb.Open(tab).Analyze(context.Background(), q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("analyze/sqldb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel := openSQLRel(b)
+			if _, err := hypdb.OpenSource(rel).Analyze(context.Background(), q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func excludeOf(items []string, drop string) []string {

@@ -1,0 +1,68 @@
+package hypdb
+
+// White-box regression tests for the session cache keys: the backend
+// identity must be part of every covariate-discovery key so that two
+// handles over different sources can never collide if the cache is ever
+// shared between them.
+
+import (
+	"testing"
+
+	"hypdb/internal/core"
+)
+
+func TestCDKeyIncorporatesBackendIdentity(t *testing.T) {
+	cfg := core.Config{}
+	a := cdKey("mem:0x1", "", "T", []string{"Z"}, []string{"Y"}, cfg)
+	b := cdKey("mem:0x2", "", "T", []string{"Z"}, []string{"Y"}, cfg)
+	if a == b {
+		t.Fatal("cdKey ignores the backend identity: two sources share a key")
+	}
+	if a != cdKey("mem:0x1", "", "T", []string{"Z"}, []string{"Y"}, cfg) {
+		t.Fatal("cdKey is not deterministic")
+	}
+}
+
+func TestCDKeyInjectiveAcrossFieldBoundaries(t *testing.T) {
+	cfg := core.Config{}
+	// A backend string that ends like a whereKey prefix must not collide
+	// with the same bytes split differently across the two fields — the
+	// length-prefixed encoding guarantees it.
+	a := cdKey("be", "ckend", "T", nil, nil, cfg)
+	b := cdKey("becken", "d", "T", nil, nil, cfg)
+	if a == b {
+		t.Fatal("cdKey is not injective across the backend/where boundary")
+	}
+	// Attribute lists must not leak across each other either.
+	c := cdKey("x", "", "T", []string{"A", "B"}, nil, cfg)
+	d := cdKey("x", "", "T", []string{"A"}, []string{"B"}, cfg)
+	if c == d {
+		t.Fatal("cdKey is not injective across the candidates/outcomes boundary")
+	}
+}
+
+func TestDistinctHandlesOverSameTableShareBackend(t *testing.T) {
+	tab := twoColTable(t)
+	db1, db2 := Open(tab), Open(tab)
+	if db1.rel.Backend() != db2.rel.Backend() {
+		t.Error("two handles over one table should report the same backend identity")
+	}
+	other := twoColTable(t)
+	db3 := Open(other)
+	if db1.rel.Backend() == db3.rel.Backend() {
+		t.Error("handles over different tables must have distinct backend identities")
+	}
+}
+
+func twoColTable(t *testing.T) *Table {
+	t.Helper()
+	b := NewBuilder("T", "Y")
+	for i := 0; i < 8; i++ {
+		b.MustAdd("ab"[i%2:i%2+1], "01"[i%2:i%2+1])
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}

@@ -8,6 +8,8 @@ import (
 	"hypdb/internal/datagen"
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
+	"hypdb/source"
+	"hypdb/source/mem"
 )
 
 func init() {
@@ -42,7 +44,7 @@ func runFig1(cfg runConfig) error {
 	section("(a) carrier delay by airport (UA better everywhere)")
 	perAirport := q
 	perAirport.Groupings = []string{"Airport"}
-	ans, err := query.Run(tab, perAirport)
+	ans, err := query.Run(context.Background(), mem.New(tab), perAirport)
 	if err != nil {
 		return err
 	}
@@ -51,7 +53,11 @@ func runFig1(cfg runConfig) error {
 	}
 
 	section("(b) airport distribution by carrier")
-	view, err := q.View(tab)
+	viewRel, err := q.View(context.Background(), mem.New(tab))
+	if err != nil {
+		return err
+	}
+	view, err := source.Materialize(context.Background(), viewRel)
 	if err != nil {
 		return err
 	}

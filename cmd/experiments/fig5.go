@@ -13,6 +13,7 @@ import (
 	"hypdb/internal/independence"
 	"hypdb/internal/query"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 func init() {
@@ -114,9 +115,10 @@ func runFig5a(cfg runConfig) error {
 // diffAndP executes the query (rewritten when covariates are given) and
 // returns the first comparison's diff and p-value.
 func diffAndP(tab *dataset.Table, q query.Query, covariates []string, opts core.Options) (float64, float64, bool) {
+	rel := mem.New(tab)
 	var comps []query.Comparison
 	if len(covariates) == 0 {
-		ans, err := query.Run(tab, q)
+		ans, err := query.Run(context.Background(), rel, q)
 		if err != nil {
 			return 0, 0, false
 		}
@@ -125,7 +127,7 @@ func diffAndP(tab *dataset.Table, q query.Query, covariates []string, opts core.
 			return 0, 0, false
 		}
 	} else {
-		rw, err := query.RewriteTotal(tab, q, covariates)
+		rw, err := query.RewriteTotal(context.Background(), rel, q, covariates)
 		if err != nil {
 			return 0, 0, false
 		}
@@ -134,7 +136,7 @@ func diffAndP(tab *dataset.Table, q query.Query, covariates []string, opts core.
 			return 0, 0, false
 		}
 	}
-	view, err := q.View(tab)
+	view, err := q.View(context.Background(), rel)
 	if err != nil {
 		return 0, 0, false
 	}
@@ -180,7 +182,7 @@ func cdMethod(name string, testMethod core.TestMethod) method {
 		out := make(map[string][]string, len(attrs))
 		cfg := core.Config{Method: testMethod, Seed: seed, DisableFallback: true, Permutations: 150, Parallel: true}
 		for _, a := range attrs {
-			res, err := core.DiscoverCovariates(context.Background(), tab, a, exclude(attrs, a), nil, cfg)
+			res, err := core.DiscoverCovariates(context.Background(), mem.New(tab), a, exclude(attrs, a), nil, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -192,7 +194,7 @@ func cdMethod(name string, testMethod core.TestMethod) method {
 
 func constraintMethod(name string, boundary cdd.BoundaryAlgorithm) method {
 	return method{name: name, parents: func(tab *dataset.Table, attrs []string, seed int64) (map[string][]string, error) {
-		p, err := cdd.LearnStructure(context.Background(), tab, attrs, cdd.ConstraintConfig{
+		p, err := cdd.LearnStructure(context.Background(), mem.New(tab), attrs, cdd.ConstraintConfig{
 			Tester:   independence.ChiSquare{Est: stats.MillerMadow},
 			Boundary: boundary,
 		})
@@ -213,7 +215,7 @@ func constraintMethod(name string, boundary cdd.BoundaryAlgorithm) method {
 
 func hcMethod(name string, score cdd.ScoreType) method {
 	return method{name: name, parents: func(tab *dataset.Table, attrs []string, seed int64) (map[string][]string, error) {
-		g, err := cdd.HillClimb(context.Background(), tab, attrs, cdd.HillClimbConfig{Score: score})
+		g, err := cdd.HillClimb(context.Background(), mem.New(tab), attrs, cdd.HillClimbConfig{Score: score})
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ import (
 	"hypdb/internal/independence"
 	"hypdb/internal/markov"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 func init() {
@@ -54,7 +55,7 @@ func runFig6a(cfg runConfig) error {
 		attrs := tab.Columns()
 
 		counter := &independence.Counter{Inner: independence.ChiSquare{Est: stats.MillerMadow}}
-		if _, err := cdd.LearnStructure(context.Background(), tab, attrs, cdd.ConstraintConfig{Tester: counter}); err != nil {
+		if _, err := cdd.LearnStructure(context.Background(), mem.New(tab), attrs, cdd.ConstraintConfig{Tester: counter}); err != nil {
 			return err
 		}
 		fgsTotal := counter.Calls()
@@ -64,7 +65,7 @@ func runFig6a(cfg runConfig) error {
 		counter.Reset()
 		mcfg := markov.Config{Tester: counter}
 		for _, a := range attrs {
-			if _, err := markov.GrowShrink(context.Background(), tab, a, exclude(attrs, a), mcfg); err != nil {
+			if _, err := markov.GrowShrink(context.Background(), mem.New(tab), a, exclude(attrs, a), mcfg); err != nil {
 				return err
 			}
 		}
@@ -77,7 +78,7 @@ func runFig6a(cfg runConfig) error {
 		cdPhases, cdAll := 0, 0
 		cfgCD := core.Config{Method: core.ChiSquaredMethod, Seed: cfg.seed, DisableFallback: true, MaxCondSet: 3}
 		for _, a := range attrs {
-			res, err := core.DiscoverCovariates(context.Background(), tab, a, exclude(attrs, a), nil, cfgCD)
+			res, err := core.DiscoverCovariates(context.Background(), mem.New(tab), a, exclude(attrs, a), nil, cfgCD)
 			if err != nil {
 				return err
 			}
@@ -125,7 +126,7 @@ func runFig6b(cfg runConfig) error {
 			best := time.Duration(-1)
 			for rep := 0; rep < 3; rep++ {
 				start := time.Now()
-				if _, err := t.Test(context.Background(), tab, x, y, z); err != nil {
+				if _, err := t.Test(context.Background(), mem.New(tab), x, y, z); err != nil {
 					return -1
 				}
 				if d := time.Since(start); best < 0 || d < best {
@@ -195,7 +196,7 @@ func runFig6c(cfg runConfig) error {
 				c.Cube = fullCube
 			}
 			start := time.Now()
-			if _, err := core.DiscoverCovariates(context.Background(), tab, target, exclude(attrs, target), nil, c); err != nil {
+			if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), target, exclude(attrs, target), nil, c); err != nil {
 				return err
 			}
 			row("%-10d %18s %12s", rows, v.name, time.Since(start).Round(10*time.Microsecond))
@@ -223,7 +224,7 @@ func cubeBenefit(cfg runConfig, rowsList []int, nodesList []int) error {
 
 			noCube := core.Config{Method: core.ChiSquaredMethod, Seed: cfg.seed, DisableFallback: true}
 			start := time.Now()
-			if _, err := core.DiscoverCovariates(context.Background(), tab, target, exclude(attrs, target), nil, noCube); err != nil {
+			if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), target, exclude(attrs, target), nil, noCube); err != nil {
 				return err
 			}
 			dNo := time.Since(start)
@@ -238,7 +239,7 @@ func cubeBenefit(cfg runConfig, rowsList []int, nodesList []int) error {
 			withCube := noCube
 			withCube.Cube = cb
 			start = time.Now()
-			if _, err := core.DiscoverCovariates(context.Background(), tab, target, exclude(attrs, target), nil, withCube); err != nil {
+			if _, err := core.DiscoverCovariates(context.Background(), mem.New(tab), target, exclude(attrs, target), nil, withCube); err != nil {
 				return err
 			}
 			dWith := time.Since(start)
@@ -328,7 +329,7 @@ func runFig8a(cfg runConfig) error {
 					conds = append(conds, rest[:2])
 					for _, z := range conds {
 						truthDep := !dsepNames(g, attrs[i], attrs[j], z)
-						res, err := tester.t.Test(context.Background(), tab, attrs[i], attrs[j], z)
+						res, err := tester.t.Test(context.Background(), mem.New(tab), attrs[i], attrs[j], z)
 						if err != nil {
 							return err
 						}

@@ -145,11 +145,11 @@ func cmdAnalyze(ctx context.Context, args []string, detectOnly, rewriteOnly bool
 	}
 
 	if detectOnly {
-		view, err := q.View(db.Table())
+		view, err := q.View(ctx, db.Relation())
 		if err != nil {
 			return err
 		}
-		results, err := hypdb.Open(view).DetectBias(ctx, q.Treatment, q.Groupings, covs, opts...)
+		results, err := hypdb.OpenSource(view).DetectBias(ctx, q.Treatment, q.Groupings, covs, opts...)
 		if err != nil {
 			return err
 		}

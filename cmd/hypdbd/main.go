@@ -6,11 +6,14 @@
 //
 //	hypdbd [-addr :8080] [-request-timeout 2m] [-max-concurrent N]
 //	       [-max-upload-mb 64] [-max-datasets 64] [-preload name[:rows],...]
-//	       [-seed 1] [-log text|json] [-grace 15s]
+//	       [-sql name=driver,dsn,table]... [-seed 1] [-log text|json]
+//	       [-grace 15s]
 //
 // Endpoints (see the api package for the wire types):
 //
-//	POST   /v1/datasets              upload a CSV as a named dataset
+//	POST   /v1/datasets              upload a CSV — or register a SQL table
+//	                                 via {driver, dsn, sql_table} — as a
+//	                                 named dataset
 //	GET    /v1/datasets              list datasets
 //	GET    /v1/datasets/{name}/stats schema, size, cache counters
 //	DELETE /v1/datasets/{name}       drop a dataset
@@ -20,7 +23,10 @@
 //	GET    /healthz                  liveness
 //
 // -preload registers generated datasets at startup (names from `hypdb
-// datasets`, e.g. "berkeley,flight:12000"). On SIGINT/SIGTERM the server
+// datasets`, e.g. "berkeley,flight:12000"). -sql registers a dataset served
+// directly by a SQL database with count pushdown; the driver must be
+// compiled into the binary (the in-process "memsql" test driver is; add
+// blank imports for others). On SIGINT/SIGTERM the server
 // stops accepting requests and waits up to -grace for in-flight analyses;
 // when the grace period expires their contexts are cancelled, which aborts
 // permutation loops and discovery searches promptly. A second signal
@@ -42,8 +48,16 @@ import (
 	"time"
 
 	"hypdb/internal/datagen"
+	"hypdb/internal/memsql" // in-process SQL driver for -sql/-preload-sql datasets
 	"hypdb/internal/server"
 )
+
+// sqlSpecs collects repeatable -sql flags of the form
+// "name=driver,dsn,table" (dsn may be empty).
+type sqlSpecs []string
+
+func (s *sqlSpecs) String() string     { return strings.Join(*s, " ") }
+func (s *sqlSpecs) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
 	if err := run(); err != nil {
@@ -59,6 +73,10 @@ func run() error {
 	maxUploadMB := flag.Int64("max-upload-mb", 64, "max CSV upload size in MiB")
 	maxDatasets := flag.Int("max-datasets", 64, "max registered datasets")
 	preload := flag.String("preload", "", `generated datasets to register at startup, "name[:rows],..." (see hypdb datasets)`)
+	preloadSQL := flag.String("preload-sql", "", `generated datasets to serve through the SQL backend (in-process memsql driver), "name[:rows],..."`)
+	var sqlDatasets sqlSpecs
+	flag.Var(&sqlDatasets, "sql", `SQL-backed dataset to register at startup, "name=driver,dsn,table" (repeatable; dsn may contain commas)`)
+	allowSQL := flag.String("allow-sql-drivers", "", `comma-separated driver names clients may use to register SQL datasets over HTTP (empty disables the endpoint's SQL form)`)
 	seed := flag.Int64("seed", 1, "seed for preloaded generators")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain window before in-flight analyses are cancelled")
@@ -75,15 +93,30 @@ func run() error {
 	}
 	log := slog.New(handler)
 
+	var allowed []string
+	for _, d := range strings.Split(*allowSQL, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			allowed = append(allowed, d)
+		}
+	}
 	srv := server.New(server.Config{
 		Logger:                  log,
 		RequestTimeout:          *reqTimeout,
 		MaxConcurrentPerDataset: *maxConcurrent,
 		MaxUploadBytes:          *maxUploadMB << 20,
 		MaxDatasets:             *maxDatasets,
+		AllowSQLDrivers:         allowed,
 	})
 	if err := preloadDatasets(srv, *preload, *seed, log); err != nil {
 		return err
+	}
+	if err := preloadSQLDatasets(srv, *preloadSQL, *seed, log); err != nil {
+		return err
+	}
+	for _, spec := range sqlDatasets {
+		if err := registerSQLDataset(srv, spec, log); err != nil {
+			return err
+		}
 	}
 
 	httpSrv := &http.Server{
@@ -126,6 +159,63 @@ func run() error {
 		return err
 	}
 	log.Info("bye")
+	return nil
+}
+
+// preloadSQLDatasets generates datasets, registers their tables with the
+// in-process memsql driver, and serves them through the sqldb backend —
+// the zero-DBMS way to exercise SQL count pushdown end to end.
+func preloadSQLDatasets(srv *server.Server, spec string, seed int64, log *slog.Logger) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rowsStr, hasRows := strings.Cut(part, ":")
+		gen, err := datagen.Lookup(name)
+		if err != nil {
+			return fmt.Errorf("-preload-sql %q: %w", part, err)
+		}
+		rows := gen.DefaultRows
+		if hasRows {
+			rows, err = strconv.Atoi(rowsStr)
+			if err != nil || rows <= 0 {
+				return fmt.Errorf("-preload-sql %q: bad row count %q", part, rowsStr)
+			}
+		}
+		tab, err := gen.Generate(rows, seed)
+		if err != nil {
+			return fmt.Errorf("-preload-sql %q: %w", part, err)
+		}
+		table := name + "_sql"
+		memsql.Register(table, tab)
+		if err := srv.AddSQLDataset(context.Background(), name, memsql.DriverName, "", table); err != nil {
+			return fmt.Errorf("-preload-sql %q: %w", part, err)
+		}
+		log.Info("preloaded SQL-backed dataset", "name", name, "rows", tab.NumRows(), "cols", tab.NumCols())
+	}
+	return nil
+}
+
+// registerSQLDataset parses one -sql spec and registers the dataset.
+func registerSQLDataset(srv *server.Server, spec string, log *slog.Logger) error {
+	name, rest, ok := strings.Cut(spec, "=")
+	// The DSN may itself contain commas (e.g. Postgres multi-host
+	// "host=h1,h2"): the driver is everything before the FIRST comma and
+	// the table everything after the LAST one; the DSN is the middle.
+	first := strings.Index(rest, ",")
+	last := strings.LastIndex(rest, ",")
+	if !ok || name == "" || first < 0 || last == first {
+		return fmt.Errorf(`-sql %q: want "name=driver,dsn,table" (dsn may contain commas)`, spec)
+	}
+	driver, dsn, table := rest[:first], rest[first+1:last], rest[last+1:]
+	if driver == "" || table == "" {
+		return fmt.Errorf(`-sql %q: want "name=driver,dsn,table"`, spec)
+	}
+	if err := srv.AddSQLDataset(context.Background(), name, driver, dsn, table); err != nil {
+		return fmt.Errorf("-sql %q: %w", spec, err)
+	}
+	log.Info("registered SQL dataset", "name", name, "driver", driver, "table", table)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package hypdb
 
 import (
 	"context"
+	"database/sql"
 	"fmt"
 	"runtime"
 	"strings"
@@ -10,21 +11,33 @@ import (
 	"hypdb/internal/core"
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
+	"hypdb/source"
+	"hypdb/source/mem"
+	"hypdb/source/sqldb"
 )
 
-// DB is a long-lived, concurrency-safe session handle over one table. It
+// DB is a long-lived, concurrency-safe session handle over one relation. It
 // owns the cross-query analysis state the paper's interactive-latency
 // optimizations (Sec 6) call for: covariate-discovery results are memoized
-// per (selection, target, candidates, config), so repeated and batched
-// queries skip the dominant CD cost entirely. All methods are safe for
-// concurrent use; the underlying table is immutable.
+// per (backend, selection, target, candidates, config), so repeated and
+// batched queries skip the dominant CD cost entirely. All methods are safe
+// for concurrent use; the underlying data is treated as immutable.
+//
+// The relation behind a handle is a source.Relation: Open and OpenCSV wrap
+// an in-memory table (the mem backend), OpenSQL speaks to a database/sql
+// database with count pushdown (the sqldb backend), and OpenSource accepts
+// any custom backend. Handles over resource-holding backends must be
+// released with Close.
 //
 // Every long-running method takes a context.Context and returns ctx.Err()
 // (wrapped) promptly after cancellation — the Monte-Carlo permutation
 // loops, the Markov-boundary search and the CD subset enumerations all
 // check it.
 type DB struct {
-	table *dataset.Table
+	rel source.Relation
+
+	closeOnce sync.Once
+	closeErr  error
 
 	mu sync.Mutex
 	cd map[string]*cdEntry
@@ -50,9 +63,11 @@ type Stats struct {
 	CDHits     int
 }
 
-// Open creates a session handle over an in-memory table.
+// Open creates a session handle over an in-memory table (the mem backend).
+// The table must not be mutated afterwards. Close is a no-op for in-memory
+// handles but is always safe to call.
 func Open(t *Table) *DB {
-	return &DB{table: t, cd: make(map[string]*cdEntry)}
+	return OpenSource(mem.New(t))
 }
 
 // OpenCSV creates a session handle over a CSV file (header row required;
@@ -65,11 +80,56 @@ func OpenCSV(path string) (*DB, error) {
 	return Open(t), nil
 }
 
-// Table returns the session's underlying table. Treat it as read-only: the
-// analysis caches assume the data never changes.
-func (db *DB) Table() *Table { return db.table }
+// OpenSource creates a session handle over any storage backend implementing
+// source.Relation. If the relation implements source.Closer, the handle
+// takes ownership: Close releases it.
+func OpenSource(rel source.Relation) *DB {
+	return &DB{rel: rel, cd: make(map[string]*cdEntry)}
+}
 
-// AttributeInfo describes one attribute of the session's table.
+// OpenSQL creates a session handle over one table of a database/sql
+// database (the sqldb backend): the engine's group-by count queries are
+// pushed down to the database. The handle takes ownership of db — Close
+// (or the server's dataset teardown) closes it. The context bounds the
+// initial schema probe.
+func OpenSQL(ctx context.Context, db *sql.DB, table string) (*DB, error) {
+	rel, err := sqldb.Open(ctx, db, table)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSource(rel), nil
+}
+
+// Close releases the handle's backend resources (for SQL-backed handles,
+// the *sql.DB and its statements). It is safe to call more than once and
+// on in-memory handles, where it is a no-op. Methods must not be called
+// after Close.
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() {
+		if c, ok := db.rel.(source.Closer); ok {
+			db.closeErr = c.Close()
+		}
+	})
+	return db.closeErr
+}
+
+// Relation returns the session's underlying storage relation.
+func (db *DB) Relation() source.Relation { return db.rel }
+
+// Table returns the session's in-memory table when the handle was opened
+// over one (Open/OpenCSV), and nil for other backends. Treat it as
+// read-only: the analysis caches assume the data never changes.
+//
+// Deprecated: prefer Relation; Table exists for callers that predate
+// pluggable backends.
+func (db *DB) Table() *Table {
+	if m, ok := db.rel.(*mem.Relation); ok {
+		return m.Table()
+	}
+	return nil
+}
+
+// AttributeInfo describes one attribute of the session's relation.
 type AttributeInfo struct {
 	// Name is the column name.
 	Name string
@@ -77,23 +137,25 @@ type AttributeInfo struct {
 	Distinct int
 }
 
-// Attributes lists the table's attributes in schema order with their
+// Attributes lists the relation's attributes in schema order with their
 // active-domain sizes — the schema surface a service or UI shows before the
-// analyst picks treatments and outcomes.
-func (db *DB) Attributes() []AttributeInfo {
-	names := db.table.Columns()
+// analyst picks treatments and outcomes. For SQL backends this may issue
+// one SELECT DISTINCT per attribute (cached on the handle).
+func (db *DB) Attributes(ctx context.Context) ([]AttributeInfo, error) {
+	names := db.rel.Attributes()
 	out := make([]AttributeInfo, 0, len(names))
 	for _, n := range names {
-		c, err := db.table.Column(n)
+		card, err := source.Card(ctx, db.rel, n)
 		if err != nil {
-			// Columns() and Column() disagree only if the table is mutated,
-			// which the handle forbids.
-			continue
+			return nil, err
 		}
-		out = append(out, AttributeInfo{Name: n, Distinct: c.Card()})
+		out = append(out, AttributeInfo{Name: n, Distinct: card})
 	}
-	return out
+	return out, nil
 }
+
+// NumRows returns the relation's row count.
+func (db *DB) NumRows(ctx context.Context) (int, error) { return db.rel.NumRows(ctx) }
 
 // Stats returns a snapshot of the session's cache counters.
 func (db *DB) Stats() Stats {
@@ -125,7 +187,7 @@ func (db *DB) Analyze(ctx context.Context, q Query, opts ...Option) (*Report, er
 			o.Discover = db.discoverFunc(whereKey)
 		}
 	}
-	return core.Analyze(ctx, db.table, q, o)
+	return core.Analyze(ctx, db.rel, q, o)
 }
 
 // AnalyzeAll analyzes a batch of queries over a worker pool (WithWorkers
@@ -196,7 +258,7 @@ func (db *DB) Run(ctx context.Context, q Query) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return query.Run(db.table, q)
+	return query.Run(ctx, db.rel, q)
 }
 
 // RewriteTotal executes the bias-removing rewriting for the total effect
@@ -205,7 +267,7 @@ func (db *DB) RewriteTotal(ctx context.Context, q Query, covariates []string) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return query.RewriteTotal(db.table, q, covariates)
+	return query.RewriteTotal(ctx, db.rel, q, covariates)
 }
 
 // RewriteDirect executes the natural-direct-effect rewriting (mediator
@@ -217,7 +279,7 @@ func (db *DB) RewriteDirect(ctx context.Context, q Query, covariates, mediators 
 		return nil, err
 	}
 	st := newSettings(opts)
-	return query.RewriteDirect(db.table, q, covariates, mediators, st.opts.Baseline)
+	return query.RewriteDirect(ctx, db.rel, q, covariates, mediators, st.opts.Baseline)
 }
 
 // DiscoverCovariates runs the CD algorithm for a treatment over candidate
@@ -225,14 +287,14 @@ func (db *DB) RewriteDirect(ctx context.Context, q Query, covariates, mediators 
 // fallback covariate set.
 func (db *DB) DiscoverCovariates(ctx context.Context, treatment string, candidates, outcomes []string, opts ...Option) (*CDResult, error) {
 	st := newSettings(opts)
-	return db.discoverCached(ctx, "", db.table, treatment, candidates, outcomes, st.opts.Config)
+	return db.discoverCached(ctx, "", db.rel, treatment, candidates, outcomes, st.opts.Config)
 }
 
 // DetectBias tests, per query context, whether the treatment groups are
 // balanced with respect to the given variable set.
 func (db *DB) DetectBias(ctx context.Context, treatment string, groupings, variables []string, opts ...Option) ([]BiasResult, error) {
 	st := newSettings(opts)
-	return core.DetectBias(ctx, db.table, treatment, groupings, variables, st.opts.Config)
+	return core.DetectBias(ctx, db.rel, treatment, groupings, variables, st.opts.Config)
 }
 
 // EffectBounds adjusts for every subset of the candidate covariates (up to
@@ -240,7 +302,7 @@ func (db *DB) DetectBias(ctx context.Context, treatment string, groupings, varia
 // Sec 4 extension for treatments whose parents cannot be identified.
 func (db *DB) EffectBounds(ctx context.Context, q Query, candidates []string, opts ...Option) (*BoundsResult, error) {
 	st := newSettings(opts)
-	return core.EffectBounds(ctx, db.table, q, candidates, st.maxAdjust)
+	return core.EffectBounds(ctx, db.rel, q, candidates, st.maxAdjust)
 }
 
 // ---------------------------------------------------------------------------
@@ -249,20 +311,20 @@ func (db *DB) EffectBounds(ctx context.Context, q Query, candidates []string, op
 // discoverFunc builds the core.Options.Discover hook for one query: the
 // pipeline's CD calls route through the session cache, keyed additionally
 // by the query's WHERE clause (the view CD runs on is determined by it).
-func (db *DB) discoverFunc(whereKey string) func(context.Context, *dataset.Table, string, []string, []string, core.Config) (*core.CDResult, error) {
-	return func(ctx context.Context, view *dataset.Table, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
+func (db *DB) discoverFunc(whereKey string) func(context.Context, source.Relation, string, []string, []string, core.Config) (*core.CDResult, error) {
+	return func(ctx context.Context, view source.Relation, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
 		return db.discoverCached(ctx, whereKey, view, target, candidates, outcomes, cfg)
 	}
 }
 
-// discoverCached memoizes DiscoverCovariates per (whereKey, target,
-// candidates, outcomes, config). Concurrent callers of the same key share
-// one computation (single-flight); errors are not cached — a waiter whose
-// leader failed retries with its own context rather than inheriting an
-// error (e.g. the leader's cancellation) that says nothing about its own
-// request.
-func (db *DB) discoverCached(ctx context.Context, whereKey string, view *dataset.Table, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
-	key := cdKey(whereKey, target, candidates, outcomes, cfg)
+// discoverCached memoizes DiscoverCovariates per (backend, whereKey,
+// target, candidates, outcomes, config). Concurrent callers of the same
+// key share one computation (single-flight); errors are not cached — a
+// waiter whose leader failed retries with its own context rather than
+// inheriting an error (e.g. the leader's cancellation) that says nothing
+// about its own request.
+func (db *DB) discoverCached(ctx context.Context, whereKey string, view source.Relation, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
+	key := cdKey(db.rel.Backend(), whereKey, target, candidates, outcomes, cfg)
 
 	for {
 		db.mu.Lock()
@@ -385,10 +447,13 @@ func writePredicateKey(b *strings.Builder, p Predicate) bool {
 	return true
 }
 
-// cdKey builds the memoization key for one covariate discovery. Every
-// variable-length field is length-prefixed, keeping the key injective for
-// any attribute names (the same discipline as writePredicateKey).
-func cdKey(whereKey, target string, candidates, outcomes []string, cfg core.Config) string {
+// cdKey builds the memoization key for one covariate discovery. The
+// backend identity leads the key, so cached statistics can never be shared
+// across handles over different sources even if cache code is ever hoisted
+// out of the per-handle session; every variable-length field is
+// length-prefixed, keeping the key injective for any attribute names (the
+// same discipline as writePredicateKey).
+func cdKey(backend, whereKey, target string, candidates, outcomes []string, cfg core.Config) string {
 	var b strings.Builder
 	writeField := func(s string) { fmt.Fprintf(&b, "%d:%s", len(s), s) }
 	writeList := func(list []string) {
@@ -398,6 +463,7 @@ func cdKey(whereKey, target string, candidates, outcomes []string, cfg core.Conf
 		}
 		b.WriteByte(']')
 	}
+	writeField(backend)
 	writeField(whereKey)
 	writeField(target)
 	writeList(candidates)

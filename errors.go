@@ -36,4 +36,10 @@ var (
 
 	// ErrBadPredicate reports WHERE-clause text ParsePredicate rejects.
 	ErrBadPredicate = hyperr.ErrBadPredicate
+
+	// ErrNeedsMaterialization reports an analysis path that requires
+	// row-level data (e.g. the naive shuffle permutation test) applied to
+	// a counts-only storage backend. Use a backend implementing
+	// source.Materializer, or a counts-based method.
+	ErrNeedsMaterialization = hyperr.ErrNeedsMaterialization
 )

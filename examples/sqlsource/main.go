@@ -1,0 +1,70 @@
+// Example sqlsource analyzes a dataset served by a SQL database through
+// the sqldb storage backend: HypDB pushes its group-by COUNT(*) queries
+// down to the database instead of loading rows into memory.
+//
+// The database here is the in-process memsql driver (a database/sql driver
+// over registered in-memory tables), so the example runs with no external
+// DBMS; swap the sql.Open call for your driver of choice — "postgres",
+// "mysql", ... — to run the same analysis against a real warehouse:
+//
+//	conn, err := sql.Open("postgres", dsn)
+//	db, err := hypdb.OpenSQL(ctx, conn, "flights")
+//
+// Run with:
+//
+//	go run ./examples/sqlsource
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hypdb"
+	"hypdb/internal/datagen"
+	"hypdb/internal/memsql"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Stand-in for a real database: generate the paper's FlightData and
+	// serve it through the in-process SQL driver.
+	tab, err := datagen.Flight(12000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	memsql.Register("flights", tab)
+	conn, err := memsql.Open("")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// OpenSQL probes the schema and takes ownership of conn: Close
+	// releases it.
+	db, err := hypdb.OpenSQL(ctx, conn, "flights")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	attrs, err := db.Attributes(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema discovered from the database:")
+	for _, a := range attrs {
+		fmt.Printf("  %-12s %4d distinct\n", a.Name, a.Distinct)
+	}
+
+	// The Fig 1 query: is AA really better than UA? Every statistic below
+	// — covariate discovery, bias detection, explanation ranking, and the
+	// rewritten answers — is computed from COUNT(*) aggregates pushed to
+	// the database.
+	q := datagen.FlightQuery()
+	report, err := db.Analyze(ctx, q, hypdb.WithSeed(1), hypdb.WithPermutations(200), hypdb.WithParallel(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+}

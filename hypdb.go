@@ -41,6 +41,15 @@
 // cancelling the context aborts long-running discovery and permutation
 // loops promptly with the context's error.
 //
+// Storage is pluggable: the engine consumes the narrow source.Relation
+// contract (dictionary-coded group-by counts), with two shipped backends —
+// source/mem over the in-memory columnar table, and source/sqldb over any
+// database/sql driver with SELECT ... COUNT(*) ... GROUP BY pushdown. Open
+// an in-memory session with Open/OpenCSV, a SQL-backed one with OpenSQL,
+// or any custom backend with OpenSource; SQL-backed handles are released
+// with Close. Analyses that genuinely need raw rows fail on counts-only
+// backends with ErrNeedsMaterialization instead of degrading silently.
+//
 // The subsystems are exposed for advanced use: independence testing (MIT,
 // HyMIT, χ²), Markov-boundary discovery, causal-DAG utilities, OLAP cubes,
 // and the dataset generators behind the paper's evaluation.
@@ -53,6 +62,7 @@ import (
 	"hypdb/internal/core"
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
+	"hypdb/source/mem"
 )
 
 // Table is an in-memory columnar table of categorical attributes.
@@ -174,20 +184,20 @@ func ParsePredicate(s string) (Predicate, error) { return dataset.ParsePredicate
 //
 // Deprecated: use Open(t).Analyze(ctx, q, opts...).
 func Analyze(t *Table, q Query, opts Options) (*Report, error) {
-	return core.Analyze(context.Background(), t, q, opts)
+	return core.Analyze(context.Background(), mem.New(t), q, opts)
 }
 
 // Run executes the (possibly biased) query as written.
 //
 // Deprecated: use Open(t).Run(ctx, q).
-func Run(t *Table, q Query) (*Answer, error) { return query.Run(t, q) }
+func Run(t *Table, q Query) (*Answer, error) { return query.Run(context.Background(), mem.New(t), q) }
 
 // RewriteTotal executes the bias-removing rewriting for the total effect
 // (adjustment formula, Eq 2 of the paper) over the given covariates.
 //
 // Deprecated: use Open(t).RewriteTotal(ctx, q, covariates).
 func RewriteTotal(t *Table, q Query, covariates []string) (*Rewritten, error) {
-	return query.RewriteTotal(t, q, covariates)
+	return query.RewriteTotal(context.Background(), mem.New(t), q, covariates)
 }
 
 // RewriteDirect executes the natural-direct-effect rewriting (mediator
@@ -198,7 +208,7 @@ func RewriteTotal(t *Table, q Query, covariates []string) (*Rewritten, error) {
 // Deprecated: use Open(t).RewriteDirect(ctx, q, covariates, mediators,
 // WithBaseline(baseline)).
 func RewriteDirect(t *Table, q Query, covariates, mediators []string, baseline string) (*Rewritten, error) {
-	return query.RewriteDirect(t, q, covariates, mediators, baseline)
+	return query.RewriteDirect(context.Background(), mem.New(t), q, covariates, mediators, baseline)
 }
 
 // DiscoverCovariates runs the CD algorithm for a treatment over candidate
@@ -207,7 +217,7 @@ func RewriteDirect(t *Table, q Query, covariates, mediators []string, baseline s
 // Deprecated: use Open(t).DiscoverCovariates(ctx, treatment, candidates,
 // outcomes, opts...), which memoizes results on the handle.
 func DiscoverCovariates(t *Table, treatment string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
-	return core.DiscoverCovariates(context.Background(), t, treatment, candidates, outcomes, cfg)
+	return core.DiscoverCovariates(context.Background(), mem.New(t), treatment, candidates, outcomes, cfg)
 }
 
 // DetectBias tests, per query context, whether the treatment groups are
@@ -216,7 +226,7 @@ func DiscoverCovariates(t *Table, treatment string, candidates, outcomes []strin
 // Deprecated: use Open(t).DetectBias(ctx, treatment, groupings, variables,
 // opts...).
 func DetectBias(t *Table, treatment string, groupings, variables []string, cfg Config) ([]BiasResult, error) {
-	return core.DetectBias(context.Background(), t, treatment, groupings, variables, cfg)
+	return core.DetectBias(context.Background(), mem.New(t), treatment, groupings, variables, cfg)
 }
 
 // EffectBounds adjusts for every subset of the candidate covariates (up to
@@ -226,5 +236,5 @@ func DetectBias(t *Table, treatment string, groupings, variables []string, cfg C
 // Deprecated: use Open(t).EffectBounds(ctx, q, candidates,
 // WithMaxAdjustmentSize(maxSize)).
 func EffectBounds(t *Table, q Query, candidates []string, maxSize int) (*BoundsResult, error) {
-	return core.EffectBounds(context.Background(), t, q, candidates, maxSize)
+	return core.EffectBounds(context.Background(), mem.New(t), q, candidates, maxSize)
 }

@@ -11,6 +11,7 @@ import (
 	"hypdb/internal/dataset"
 	"hypdb/internal/independence"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 // colliderDAG is Z → T ← W, T → Y: the minimal graph whose v-structure the
@@ -105,7 +106,7 @@ func TestF1Score(t *testing.T) {
 func TestLearnStructureOracleCollider(t *testing.T) {
 	g := colliderDAG(t)
 	tab := dummyTable(t, g)
-	p, err := LearnStructure(context.Background(), tab, g.Names(), ConstraintConfig{Tester: dag.Oracle{G: g}})
+	p, err := LearnStructure(context.Background(), mem.New(tab), g.Names(), ConstraintConfig{Tester: dag.Oracle{G: g}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestLearnStructureOracleFig2(t *testing.T) {
 	}
 	tab := dummyTable(t, g)
 	for _, boundary := range []BoundaryAlgorithm{GrowShrinkBoundary, IAMBBoundary} {
-		p, err := LearnStructure(context.Background(), tab, g.Names(), ConstraintConfig{Tester: dag.Oracle{G: g}, Boundary: boundary})
+		p, err := LearnStructure(context.Background(), mem.New(tab), g.Names(), ConstraintConfig{Tester: dag.Oracle{G: g}, Boundary: boundary})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func TestLearnStructureFromSampledData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := LearnStructure(context.Background(), tab, g.Names(), ConstraintConfig{
+	p, err := LearnStructure(context.Background(), mem.New(tab), g.Names(), ConstraintConfig{
 		Tester: independence.ChiSquare{Est: stats.MillerMadow},
 	})
 	if err != nil {
@@ -212,10 +213,10 @@ func TestLearnStructureFromSampledData(t *testing.T) {
 func TestLearnStructureValidation(t *testing.T) {
 	g := colliderDAG(t)
 	tab := dummyTable(t, g)
-	if _, err := LearnStructure(context.Background(), tab, g.Names(), ConstraintConfig{}); err == nil {
+	if _, err := LearnStructure(context.Background(), mem.New(tab), g.Names(), ConstraintConfig{}); err == nil {
 		t.Error("nil tester accepted")
 	}
-	if _, err := LearnStructure(context.Background(), tab, []string{"missing"}, ConstraintConfig{Tester: dag.Oracle{G: g}}); err == nil {
+	if _, err := LearnStructure(context.Background(), mem.New(tab), []string{"missing"}, ConstraintConfig{Tester: dag.Oracle{G: g}}); err == nil {
 		t.Error("missing attribute accepted")
 	}
 }
@@ -238,12 +239,12 @@ func TestScorerAICPrefersTrueParent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, typ := range []ScoreType{AIC, BIC, BDeu} {
-		s := NewScorer(tab, typ, 1)
-		with, err := s.Family("B", []string{"A"})
+		s := NewScorer(mem.New(tab), typ, 1)
+		with, err := s.Family(context.Background(), "B", []string{"A"})
 		if err != nil {
 			t.Fatal(err)
 		}
-		without, err := s.Family("B", nil)
+		without, err := s.Family(context.Background(), "B", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +252,7 @@ func TestScorerAICPrefersTrueParent(t *testing.T) {
 			t.Errorf("%v: score(B|A)=%v not better than score(B)=%v", typ, with, without)
 		}
 		// Noise parent must not pay off.
-		withNoise, err := s.Family("B", []string{"A", "N"})
+		withNoise, err := s.Family(context.Background(), "B", []string{"A", "N"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -263,13 +264,13 @@ func TestScorerAICPrefersTrueParent(t *testing.T) {
 
 func TestScorerMemoization(t *testing.T) {
 	tab := dummyTable(t, colliderDAG(t))
-	s := NewScorer(tab, BIC, 1)
-	v1, err := s.Family("T", []string{"Z", "W"})
+	s := NewScorer(mem.New(tab), BIC, 1)
+	v1, err := s.Family(context.Background(), "T", []string{"Z", "W"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Different order, same value (and a cache hit).
-	v2, err := s.Family("T", []string{"W", "Z"})
+	v2, err := s.Family(context.Background(), "T", []string{"W", "Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,13 +281,13 @@ func TestScorerMemoization(t *testing.T) {
 
 func TestScorerTotal(t *testing.T) {
 	tab := dummyTable(t, colliderDAG(t))
-	s := NewScorer(tab, AIC, 1)
-	total, err := s.Total(map[string][]string{"T": nil, "Y": {"T"}})
+	s := NewScorer(mem.New(tab), AIC, 1)
+	total, err := s.Total(context.Background(), map[string][]string{"T": nil, "Y": {"T"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := s.Family("T", nil)
-	b, _ := s.Family("Y", []string{"T"})
+	a, _ := s.Family(context.Background(), "T", nil)
+	b, _ := s.Family(context.Background(), "Y", []string{"T"})
 	if math.Abs(total-(a+b)) > 1e-12 {
 		t.Errorf("Total = %v, want %v", total, a+b)
 	}
@@ -312,7 +313,7 @@ func TestHillClimbRecoversChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, typ := range []ScoreType{AIC, BIC, BDeu} {
-		learned, err := HillClimb(context.Background(), tab, g.Names(), HillClimbConfig{Score: typ})
+		learned, err := HillClimb(context.Background(), mem.New(tab), g.Names(), HillClimbConfig{Score: typ})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -338,7 +339,7 @@ func TestHillClimbRecoversColliderSkeleton(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	learned, err := HillClimb(context.Background(), tab, bn.G.Names(), HillClimbConfig{Score: BIC})
+	learned, err := HillClimb(context.Background(), mem.New(tab), bn.G.Names(), HillClimbConfig{Score: BIC})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestHillClimbRespectsMaxParents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	learned, err := HillClimb(context.Background(), tab, g.Names(), HillClimbConfig{Score: AIC, MaxParents: 2})
+	learned, err := HillClimb(context.Background(), mem.New(tab), g.Names(), HillClimbConfig{Score: AIC, MaxParents: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestHillClimbRespectsMaxParents(t *testing.T) {
 
 func TestHillClimbValidation(t *testing.T) {
 	tab := dummyTable(t, colliderDAG(t))
-	if _, err := HillClimb(context.Background(), tab, []string{"missing"}, HillClimbConfig{}); err == nil {
+	if _, err := HillClimb(context.Background(), mem.New(tab), []string{"missing"}, HillClimbConfig{}); err == nil {
 		t.Error("missing attribute accepted")
 	}
 }

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"sort"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
 	"hypdb/internal/independence"
 	"hypdb/internal/markov"
+	"hypdb/source"
 )
 
 // BoundaryAlgorithm selects how constraint-based learners compute Markov
@@ -48,15 +48,15 @@ func (c ConstraintConfig) alpha() float64 {
 // boundaries, (3) orient v-structures using the recorded separating sets,
 // and (4) propagate orientations with Meek's rules. The result is a PDAG;
 // its directed edges define each node's predicted parents.
-func LearnStructure(ctx context.Context, t *dataset.Table, attrs []string, cfg ConstraintConfig) (*PDAG, error) {
+func LearnStructure(ctx context.Context, rel source.Relation, attrs []string, cfg ConstraintConfig) (*PDAG, error) {
 	if cfg.Tester == nil {
 		return nil, fmt.Errorf("cdd: nil tester")
 	}
 	if len(attrs) == 0 {
-		attrs = t.Columns()
+		attrs = rel.Attributes()
 	}
 	for _, a := range attrs {
-		if !t.HasColumn(a) {
+		if !rel.HasAttribute(a) {
 			return nil, fmt.Errorf("cdd: no column %q: %w", a, hyperr.ErrUnknownAttribute)
 		}
 	}
@@ -71,9 +71,9 @@ func LearnStructure(ctx context.Context, t *dataset.Table, attrs []string, cfg C
 			err error
 		)
 		if cfg.Boundary == IAMBBoundary {
-			mb, err = markov.IAMB(ctx, t, a, cands, mcfg)
+			mb, err = markov.IAMB(ctx, rel, a, cands, mcfg)
 		} else {
-			mb, err = markov.GrowShrink(ctx, t, a, cands, mcfg)
+			mb, err = markov.GrowShrink(ctx, rel, a, cands, mcfg)
 		}
 		if err != nil {
 			return nil, err
@@ -98,7 +98,7 @@ func LearnStructure(ctx context.Context, t *dataset.Table, attrs []string, cfg C
 				continue
 			}
 			base := smallerSet(exclude(mbs[x], y), exclude(mbs[y], x))
-			sep, s, err := findSeparator(ctx, t, cfg.Tester, x, y, base, alpha, cfg.MaxSepSet)
+			sep, s, err := findSeparator(ctx, rel, cfg.Tester, x, y, base, alpha, cfg.MaxSepSet)
 			if err != nil {
 				return nil, err
 			}
@@ -129,7 +129,7 @@ func LearnStructure(ctx context.Context, t *dataset.Table, attrs []string, cfg C
 			s, ok := sepsets[pairKey(i, j)]
 			if !ok {
 				base := smallerSet(exclude(mbs[x], z), exclude(mbs[z], x))
-				sep, found, err := findSeparator(ctx, t, cfg.Tester, x, z, base, alpha, cfg.MaxSepSet)
+				sep, found, err := findSeparator(ctx, rel, cfg.Tester, x, z, base, alpha, cfg.MaxSepSet)
 				if err != nil {
 					return nil, err
 				}
@@ -145,7 +145,7 @@ func LearnStructure(ctx context.Context, t *dataset.Table, attrs []string, cfg C
 				}
 				// Verify X ⊥̸ Z | S ∪ {Y} before committing the collider.
 				cond := append(append([]string(nil), s...), attrs[y])
-				res, err := cfg.Tester.Test(ctx, t, x, z, cond)
+				res, err := cfg.Tester.Test(ctx, rel, x, z, cond)
 				if err != nil {
 					return nil, err
 				}
@@ -164,7 +164,7 @@ func LearnStructure(ctx context.Context, t *dataset.Table, attrs []string, cfg C
 
 // findSeparator searches subsets of base (smallest first) for a set that
 // renders x ⊥⊥ y; it returns whether one was found and the set itself.
-func findSeparator(ctx context.Context, t *dataset.Table, tester independence.Tester, x, y string, base []string, alpha float64, maxSize int) (bool, []string, error) {
+func findSeparator(ctx context.Context, rel source.Relation, tester independence.Tester, x, y string, base []string, alpha float64, maxSize int) (bool, []string, error) {
 	limit := len(base)
 	if maxSize > 0 && maxSize < limit {
 		limit = maxSize
@@ -173,7 +173,7 @@ func findSeparator(ctx context.Context, t *dataset.Table, tester independence.Te
 		found := false
 		var sep []string
 		err := forEachSubset(base, size, func(s []string) bool {
-			res, err := tester.Test(ctx, t, x, y, s)
+			res, err := tester.Test(ctx, rel, x, y, s)
 			if err != nil {
 				return false
 			}

@@ -6,8 +6,8 @@ import (
 	"sort"
 
 	"hypdb/internal/dag"
-	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
+	"hypdb/source"
 )
 
 // HillClimbConfig configures greedy score-based search.
@@ -33,12 +33,12 @@ const DefaultMaxIter = 500
 // HillClimb learns a DAG by greedy local search over edge additions,
 // deletions and reversals, the standard score-based approach the paper
 // benchmarks as HC(BDE), HC(AIC) and HC(BIC) (Fig 5).
-func HillClimb(ctx context.Context, t *dataset.Table, attrs []string, cfg HillClimbConfig) (*dag.DAG, error) {
+func HillClimb(ctx context.Context, rel source.Relation, attrs []string, cfg HillClimbConfig) (*dag.DAG, error) {
 	if len(attrs) == 0 {
-		attrs = t.Columns()
+		attrs = rel.Attributes()
 	}
 	for _, a := range attrs {
-		if !t.HasColumn(a) {
+		if !rel.HasAttribute(a) {
 			return nil, fmt.Errorf("cdd: no column %q: %w", a, hyperr.ErrUnknownAttribute)
 		}
 	}
@@ -50,7 +50,7 @@ func HillClimb(ctx context.Context, t *dataset.Table, attrs []string, cfg HillCl
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
 	}
-	scorer := NewScorer(t, cfg.Score, cfg.ESS)
+	scorer := NewScorer(rel, cfg.Score, cfg.ESS)
 
 	g, err := dag.New(attrs...)
 	if err != nil {
@@ -59,7 +59,7 @@ func HillClimb(ctx context.Context, t *dataset.Table, attrs []string, cfg HillCl
 	// Family scores for the empty graph.
 	family := make(map[string]float64, len(attrs))
 	for _, a := range attrs {
-		v, err := scorer.Family(a, nil)
+		v, err := scorer.Family(ctx, a, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +99,7 @@ func HillClimb(ctx context.Context, t *dataset.Table, attrs []string, cfg HillCl
 					if wouldCycle(g, ui, vi) {
 						continue
 					}
-					newScore, err := scorer.Family(v, append(parentsOf(v), u))
+					newScore, err := scorer.Family(ctx, v, append(parentsOf(v), u))
 					if err != nil {
 						return nil, err
 					}
@@ -108,7 +108,7 @@ func HillClimb(ctx context.Context, t *dataset.Table, attrs []string, cfg HillCl
 					}
 				case g.HasEdge(ui, vi):
 					// Consider deleting u → v.
-					newScore, err := scorer.Family(v, removeString(parentsOf(v), u))
+					newScore, err := scorer.Family(ctx, v, removeString(parentsOf(v), u))
 					if err != nil {
 						return nil, err
 					}
@@ -122,11 +122,11 @@ func HillClimb(ctx context.Context, t *dataset.Table, attrs []string, cfg HillCl
 					if wouldCycleAfterReversal(g, ui, vi) {
 						continue
 					}
-					newV, err := scorer.Family(v, removeString(parentsOf(v), u))
+					newV, err := scorer.Family(ctx, v, removeString(parentsOf(v), u))
 					if err != nil {
 						return nil, err
 					}
-					newU, err := scorer.Family(u, append(parentsOf(u), v))
+					newU, err := scorer.Family(ctx, u, append(parentsOf(u), v))
 					if err != nil {
 						return nil, err
 					}
@@ -146,7 +146,7 @@ func HillClimb(ctx context.Context, t *dataset.Table, attrs []string, cfg HillCl
 			return nil, err
 		}
 		for _, node := range []string{best.u, best.v} {
-			v, err := scorer.Family(node, parentsOfGraph(g, node))
+			v, err := scorer.Family(ctx, node, parentsOfGraph(g, node))
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package cdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"hypdb/internal/dataset"
+	"hypdb/source"
 )
 
 // ScoreType selects the decomposable network score used by hill climbing.
@@ -40,23 +42,23 @@ func (s ScoreType) String() string {
 // All three scores are decomposable, so hill climbing only rescores the
 // families an operation touches.
 type Scorer struct {
-	t    *dataset.Table
+	rel  source.Relation
 	typ  ScoreType
 	ess  float64 // equivalent sample size for BDeu
 	mu   sync.Mutex
 	memo map[string]float64
 }
 
-// NewScorer builds a scorer over t. ess only matters for BDeu; zero means 1.
-func NewScorer(t *dataset.Table, typ ScoreType, ess float64) *Scorer {
+// NewScorer builds a scorer over rel. ess only matters for BDeu; zero means 1.
+func NewScorer(rel source.Relation, typ ScoreType, ess float64) *Scorer {
 	if ess <= 0 {
 		ess = 1
 	}
-	return &Scorer{t: t, typ: typ, ess: ess, memo: make(map[string]float64)}
+	return &Scorer{rel: rel, typ: typ, ess: ess, memo: make(map[string]float64)}
 }
 
 // Family scores node given the parent set.
-func (s *Scorer) Family(node string, parents []string) (float64, error) {
+func (s *Scorer) Family(ctx context.Context, node string, parents []string) (float64, error) {
 	key := familyKey(node, parents)
 	s.mu.Lock()
 	if v, ok := s.memo[key]; ok {
@@ -64,7 +66,7 @@ func (s *Scorer) Family(node string, parents []string) (float64, error) {
 		return v, nil
 	}
 	s.mu.Unlock()
-	v, err := s.compute(node, parents)
+	v, err := s.compute(ctx, node, parents)
 	if err != nil {
 		return 0, err
 	}
@@ -80,17 +82,19 @@ func familyKey(node string, parents []string) string {
 	return node + "|" + strings.Join(ps, ",")
 }
 
-func (s *Scorer) compute(node string, parents []string) (float64, error) {
-	nodeCol, err := s.t.Column(node)
+func (s *Scorer) compute(ctx context.Context, node string, parents []string) (float64, error) {
+	r, err := source.Card(ctx, s.rel, node) // categories of the node
 	if err != nil {
 		return 0, err
 	}
-	r := nodeCol.Card() // categories of the node
-	n := s.t.NumRows()
+	n, err := s.rel.NumRows(ctx)
+	if err != nil {
+		return 0, err
+	}
 
 	// Joint counts over (parents, node) and marginal counts over parents.
 	jointAttrs := append(append([]string(nil), parents...), node)
-	joint, _, err := s.t.Counts(jointAttrs...)
+	joint, err := s.rel.Counts(ctx, jointAttrs, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -98,7 +102,7 @@ func (s *Scorer) compute(node string, parents []string) (float64, error) {
 	if len(parents) == 0 {
 		parentCounts = map[dataset.GroupKey]int{"": n}
 	} else {
-		parentCounts, _, err = s.t.Counts(parents...)
+		parentCounts, err = s.rel.Counts(ctx, parents, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -133,11 +137,11 @@ func (s *Scorer) compute(node string, parents []string) (float64, error) {
 		// BDeu's prior is spread over all of them.
 		q := 1
 		for _, p := range parents {
-			pc, err := s.t.Column(p)
+			card, err := source.Card(ctx, s.rel, p)
 			if err != nil {
 				return 0, err
 			}
-			q *= pc.Card()
+			q *= card
 		}
 		aPa := s.ess / float64(q)
 		aCell := s.ess / float64(q*r)
@@ -185,7 +189,7 @@ func (s *Scorer) compute(node string, parents []string) (float64, error) {
 }
 
 // Total scores an entire parent map (node → parents).
-func (s *Scorer) Total(parents map[string][]string) (float64, error) {
+func (s *Scorer) Total(ctx context.Context, parents map[string][]string) (float64, error) {
 	// Deterministic order.
 	nodes := make([]string, 0, len(parents))
 	for n := range parents {
@@ -194,7 +198,7 @@ func (s *Scorer) Total(parents map[string][]string) (float64, error) {
 	sort.Strings(nodes)
 	total := 0.0
 	for _, n := range nodes {
-		v, err := s.Family(n, parents[n])
+		v, err := s.Family(ctx, n, parents[n])
 		if err != nil {
 			return 0, err
 		}

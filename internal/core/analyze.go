@@ -6,9 +6,9 @@ import (
 	"strings"
 	"time"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/independence"
 	"hypdb/internal/query"
+	"hypdb/source"
 )
 
 // Options extends Config with report-shaping knobs.
@@ -36,11 +36,11 @@ type Options struct {
 	// covariate- and mediator-discovery call of the pipeline. Session
 	// handles install a memoizing wrapper here so repeated queries share
 	// CD results (the multi-query sharing of Sec 6).
-	Discover func(ctx context.Context, view *dataset.Table, target string, candidates, outcomes []string, cfg Config) (*CDResult, error)
+	Discover func(ctx context.Context, view source.Relation, target string, candidates, outcomes []string, cfg Config) (*CDResult, error)
 }
 
 // discover resolves the CD entry point, defaulting to DiscoverCovariates.
-func (o Options) discover(ctx context.Context, view *dataset.Table, target string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
+func (o Options) discover(ctx context.Context, view source.Relation, target string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
 	if o.Discover != nil {
 		return o.Discover(ctx, view, target, candidates, outcomes, cfg)
 	}
@@ -67,9 +67,12 @@ type ComparisonReport struct {
 	// PValues[i] is the p-value of the hypothesis "the i-th outcome's
 	// difference is zero" (I(T;Y|…) = 0, tested with the configured
 	// method); PValueCIs carries the Monte-Carlo half-width when
-	// applicable.
+	// applicable, and Methods names the procedure that produced each
+	// p-value (e.g. "hymit(chi2)" — deterministic — vs "hymit(mit)" —
+	// Monte-Carlo).
 	PValues   []float64
 	PValueCIs []float64
+	Methods   []string
 }
 
 // Timing records the per-phase wall-clock cost (the columns of Table 1).
@@ -125,8 +128,8 @@ type Report struct {
 // Analyze runs the full HypDB pipeline on a query: detect bias, explain it,
 // and resolve it by rewriting (Sec 3). The three phases are timed
 // separately, reproducing the Table 1 measurements.
-func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options) (*Report, error) {
-	view, err := q.View(t)
+func Analyze(ctx context.Context, rel source.Relation, q query.Query, opts Options) (*Report, error) {
+	view, err := q.View(ctx, rel)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +141,7 @@ func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options)
 	}
 
 	// Original (biased) answers and their significance.
-	rep.Answer, err = query.Run(t, q)
+	rep.Answer, err = query.Run(ctx, rel, q)
 	if err != nil {
 		return nil, err
 	}
@@ -149,8 +152,8 @@ func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options)
 
 	// ---- Detection -------------------------------------------------------
 	detectStart := time.Now()
-	candidates := candidateAttrs(t, q)
-	kept, dropped, err := PrepareCandidates(view, q.Treatment, candidates, opts.Prepare)
+	candidates := candidateAttrs(rel, q)
+	kept, dropped, err := PrepareCandidates(ctx, view, q.Treatment, candidates, opts.Prepare)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +217,7 @@ func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options)
 	explainStart := time.Now()
 	variables := unionAttrs(rep.Covariates, rep.Mediators, nil)
 	if len(variables) > 0 {
-		rep.Coarse, err = ExplainCoarse(view, q.Treatment, variables, opts.Config)
+		rep.Coarse, err = ExplainCoarse(ctx, view, q.Treatment, variables, opts.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +227,7 @@ func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options)
 		}
 		for i := 0; i < top; i++ {
 			attr := rep.Coarse[i].Attr
-			fine, err := ExplainFine(view, q.Treatment, q.Outcomes[0], attr, opts.fineTopK(), opts.Config)
+			fine, err := ExplainFine(ctx, view, q.Treatment, q.Outcomes[0], attr, opts.fineTopK(), opts.Config)
 			if err != nil {
 				return nil, err
 			}
@@ -237,7 +240,7 @@ func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options)
 	resolveStart := time.Now()
 	if len(rep.Covariates) > 0 {
 		rep.RewrittenSQL = q.RewrittenSQL(rep.Covariates)
-		rep.RewrittenTotal, err = query.RewriteTotal(t, q, rep.Covariates)
+		rep.RewrittenTotal, err = query.RewriteTotal(ctx, rel, q, rep.Covariates)
 		if err != nil {
 			return nil, fmt.Errorf("core: total-effect rewriting: %w", err)
 		}
@@ -247,7 +250,7 @@ func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options)
 		}
 	}
 	if len(rep.Mediators) > 0 {
-		rep.RewrittenDirect, err = query.RewriteDirect(t, q, rep.Covariates, rep.Mediators, opts.Baseline)
+		rep.RewrittenDirect, err = query.RewriteDirect(ctx, rel, q, rep.Covariates, rep.Mediators, opts.Baseline)
 		if err != nil {
 			return nil, fmt.Errorf("core: direct-effect rewriting: %w", err)
 		}
@@ -264,18 +267,18 @@ func Analyze(ctx context.Context, t *dataset.Table, q query.Query, opts Options)
 // compareWithSignificance pairs comparisons from compare() with per-outcome
 // p-values: the difference for outcome Y in context Γi is zero iff
 // I(T;Y|cond,Γi) = 0 (Sec 7.1), tested with the configured method.
-func (o Options) compareWithSignificance(ctx context.Context, view *dataset.Table, q query.Query, compare func() ([]query.Comparison, error), cond []string) ([]ComparisonReport, error) {
+func (o Options) compareWithSignificance(ctx context.Context, view source.Relation, q query.Query, compare func() ([]query.Comparison, error), cond []string) ([]ComparisonReport, error) {
 	comps, err := compare()
 	if err != nil {
 		// Non-binary treatments have answers but no single comparison; the
 		// report simply omits the diff rows.
 		return nil, nil
 	}
-	contexts, err := splitContexts(view, q.Groupings)
+	contexts, err := splitContexts(ctx, view, q.Groupings)
 	if err != nil {
 		return nil, err
 	}
-	byKey := make(map[string]*dataset.Table, len(contexts))
+	byKey := make(map[string]source.Relation, len(contexts))
 	for _, c := range contexts {
 		byKey[strings.Join(c.values, "\x00")] = c.view
 	}
@@ -293,6 +296,7 @@ func (o Options) compareWithSignificance(ctx context.Context, view *dataset.Tabl
 			}
 			cr.PValues = append(cr.PValues, res.PValue)
 			cr.PValueCIs = append(cr.PValueCIs, res.PValueCI)
+			cr.Methods = append(cr.Methods, res.Method)
 		}
 		out = append(out, cr)
 	}
@@ -300,9 +304,9 @@ func (o Options) compareWithSignificance(ctx context.Context, view *dataset.Tabl
 }
 
 // significance tests I(T;Y|cond) on the context view.
-func (o Options) significance(ctx context.Context, ctxView *dataset.Table, treatment, outcome string, cond []string) (independence.Result, error) {
+func (o Options) significance(ctx context.Context, ctxView source.Relation, treatment, outcome string, cond []string) (independence.Result, error) {
 	hint := unionAttrs([]string{treatment, outcome}, cond, nil)
-	tester, err := o.tester(ctxView, hint)
+	tester, err := o.tester(ctx, ctxView, hint)
 	if err != nil {
 		return independence.Result{}, err
 	}
@@ -311,7 +315,7 @@ func (o Options) significance(ctx context.Context, ctxView *dataset.Table, treat
 
 // candidateAttrs returns the default covariate candidates: every attribute
 // except the treatment, outcomes and groupings.
-func candidateAttrs(t *dataset.Table, q query.Query) []string {
+func candidateAttrs(rel source.Relation, q query.Query) []string {
 	skip := map[string]bool{q.Treatment: true}
 	for _, y := range q.Outcomes {
 		skip[y] = true
@@ -320,7 +324,7 @@ func candidateAttrs(t *dataset.Table, q query.Query) []string {
 		skip[x] = true
 	}
 	var out []string
-	for _, a := range t.Columns() {
+	for _, a := range rel.Attributes() {
 		if !skip[a] {
 			out = append(out, a)
 		}

@@ -10,6 +10,7 @@ import (
 
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
+	"hypdb/source/mem"
 )
 
 // simpsonData generates an observational dataset with a confounder:
@@ -97,7 +98,7 @@ func randomizedData(t *testing.T, n int, seed int64) *dataset.Table {
 
 func TestDetectBiasConfounded(t *testing.T) {
 	tab := simpsonData(t, 8000, 1)
-	results, err := DetectBias(context.Background(), tab, "T", nil, []string{"Z"}, Config{Seed: 2})
+	results, err := DetectBias(context.Background(), mem.New(tab), "T", nil, []string{"Z"}, Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestDetectBiasConfounded(t *testing.T) {
 
 func TestDetectBiasRandomized(t *testing.T) {
 	tab := randomizedData(t, 8000, 2)
-	results, err := DetectBias(context.Background(), tab, "T", nil, []string{"Z"}, Config{Seed: 3})
+	results, err := DetectBias(context.Background(), mem.New(tab), "T", nil, []string{"Z"}, Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestDetectBiasPerContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := DetectBias(context.Background(), tab, "T", []string{"G"}, []string{"Z"}, Config{Seed: 4})
+	results, err := DetectBias(context.Background(), mem.New(tab), "T", []string{"G"}, []string{"Z"}, Config{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +176,14 @@ func TestDetectBiasMultiVariableComposite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := DetectBias(context.Background(), tab2, "T", nil, []string{"Z", "N"}, Config{Seed: 6})
+	results, err := DetectBias(context.Background(), mem.New(tab2), "T", nil, []string{"Z", "N"}, Config{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !results[0].Biased {
 		t.Error("bias through Z not detected via composite test")
 	}
-	if _, err := DetectBias(context.Background(), tab2, "T", nil, nil, Config{}); err == nil {
+	if _, err := DetectBias(context.Background(), mem.New(tab2), "T", nil, nil, Config{}); err == nil {
 		t.Error("empty V accepted")
 	}
 }
@@ -207,7 +208,7 @@ func TestExplainCoarseRanksConfounders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := ExplainCoarse(tab, "T", []string{"Z", "N"}, Config{})
+	resp, err := ExplainCoarse(context.Background(), mem.New(tab), "T", []string{"Z", "N"}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestExplainCoarseRanksConfounders(t *testing.T) {
 
 func TestExplainCoarseNoVariables(t *testing.T) {
 	tab := simpsonData(t, 100, 8)
-	resp, err := ExplainCoarse(tab, "T", nil, Config{})
+	resp, err := ExplainCoarse(context.Background(), mem.New(tab), "T", nil, Config{})
 	if err != nil || resp != nil {
 		t.Errorf("empty V: (%v, %v), want (nil, nil)", resp, err)
 	}
@@ -239,7 +240,7 @@ func TestExplainCoarseNoVariables(t *testing.T) {
 
 func TestExplainFineTopTriple(t *testing.T) {
 	tab := simpsonData(t, 10000, 9)
-	fine, err := ExplainFine(tab, "T", "Y", "Z", 2, Config{})
+	fine, err := ExplainFine(context.Background(), mem.New(tab), "T", "Y", "Z", 2, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,11 +262,11 @@ func TestExplainFineTopTriple(t *testing.T) {
 
 func TestExplainFineValidation(t *testing.T) {
 	tab := simpsonData(t, 100, 10)
-	if _, err := ExplainFine(tab, "T", "Y", "missing", 2, Config{}); err == nil {
+	if _, err := ExplainFine(context.Background(), mem.New(tab), "T", "Y", "missing", 2, Config{}); err == nil {
 		t.Error("missing covariate accepted")
 	}
 	// k larger than the number of triples is clamped.
-	fine, err := ExplainFine(tab, "T", "Y", "Z", 999, Config{})
+	fine, err := ExplainFine(context.Background(), mem.New(tab), "T", "Y", "Z", 999, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestExplainFineValidation(t *testing.T) {
 func TestAnalyzeEndToEndSimpson(t *testing.T) {
 	tab := simpsonData(t, 12000, 11)
 	q := query.Query{Table: "SimpsonData", Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 12, Parallel: true}})
+	rep, err := Analyze(context.Background(), mem.New(tab), q, Options{Config: Config{Seed: 12, Parallel: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestAnalyzeEndToEndSimpson(t *testing.T) {
 func TestAnalyzeUnbiasedQuery(t *testing.T) {
 	tab := randomizedData(t, 12000, 13)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 14}})
+	rep, err := Analyze(context.Background(), mem.New(tab), q, Options{Config: Config{Seed: 14}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestAnalyzeUnbiasedQuery(t *testing.T) {
 func TestAnalyzeWithExplicitCovariates(t *testing.T) {
 	tab := simpsonData(t, 6000, 15)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(context.Background(), tab, q, Options{
+	rep, err := Analyze(context.Background(), mem.New(tab), q, Options{
 		Config:     Config{Seed: 16},
 		Covariates: []string{"Z"},
 		SkipDirect: true,
@@ -391,7 +392,7 @@ func TestAnalyzeMediation(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 18}})
+	rep, err := Analyze(context.Background(), mem.New(tab), q, Options{Config: Config{Seed: 18}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +441,7 @@ func TestAnalyzeGroupedQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := query.Query{Treatment: "T", Groupings: []string{"G"}, Outcomes: []string{"Y"}}
-	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 20}})
+	rep, err := Analyze(context.Background(), mem.New(tab), q, Options{Config: Config{Seed: 20}})
 	if err != nil {
 		t.Fatal(err)
 	}

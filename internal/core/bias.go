@@ -3,10 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
-	"strconv"
+	"sort"
 
 	"hypdb/internal/dataset"
 	"hypdb/internal/independence"
+	"hypdb/source"
 )
 
 // BiasResult is the verdict of the balance test (Def 3.1) for one context
@@ -31,50 +32,16 @@ type BiasResult struct {
 	Rows int
 }
 
-// compositeAttr is the synthetic column name used to test the treatment
+// compositeAttr is the synthetic attribute name used to test the treatment
 // against the joint value of a variable set.
 const compositeAttr = "__hypdb_composite"
 
-// withComposite returns a copy of view extended with a column holding the
-// composite (joint) value of attrs.
-func withComposite(view *dataset.Table, attrs []string) (*dataset.Table, error) {
-	enc, err := dataset.NewKeyEncoder(view, attrs)
-	if err != nil {
-		return nil, err
-	}
-	codes := make([]int32, view.NumRows())
-	labels := []string{}
-	index := make(map[dataset.GroupKey]int32)
-	for i := 0; i < view.NumRows(); i++ {
-		k := enc.Key(i)
-		code, ok := index[k]
-		if !ok {
-			code = int32(len(labels))
-			index[k] = code
-			labels = append(labels, "v"+strconv.Itoa(int(code)))
-		}
-		codes[i] = code
-	}
-	comp, err := dataset.NewColumnFromCodes(compositeAttr, codes, labels)
-	if err != nil {
-		return nil, err
-	}
-	cols := make([]*dataset.Column, 0, view.NumCols()+1)
-	for _, name := range view.Columns() {
-		c, err := view.Column(name)
-		if err != nil {
-			return nil, err
-		}
-		cols = append(cols, c)
-	}
-	cols = append(cols, comp)
-	return dataset.New(cols...)
-}
-
 // TestBalance tests whether treatment ⊥⊥ variables holds on view (one
 // context), optionally conditioning on extra attributes (used for the
-// rewritten-query significance test I(Y;T|Z)).
-func (c Config) TestBalance(ctx context.Context, view *dataset.Table, treatment string, variables, conditionOn []string) (independence.Result, error) {
+// rewritten-query significance test I(Y;T|Z)). Multi-attribute variable
+// sets are tested against their joint value through a virtual composite
+// attribute, so the test is computed entirely from counts on any backend.
+func (c Config) TestBalance(ctx context.Context, view source.Relation, treatment string, variables, conditionOn []string) (independence.Result, error) {
 	if len(variables) == 0 {
 		return independence.Result{PValue: 1, Method: "trivial"}, nil
 	}
@@ -82,14 +49,14 @@ func (c Config) TestBalance(ctx context.Context, view *dataset.Table, treatment 
 	testView := view
 	if len(variables) > 1 {
 		var err error
-		testView, err = withComposite(view, variables)
+		testView, err = source.WithComposite(view, compositeAttr, variables)
 		if err != nil {
 			return independence.Result{}, err
 		}
 		testAttr = compositeAttr
 	}
 	hint := unionAttrs([]string{treatment, testAttr}, conditionOn, nil)
-	tester, err := c.tester(testView, hint)
+	tester, err := c.tester(ctx, testView, hint)
 	if err != nil {
 		return independence.Result{}, err
 	}
@@ -100,11 +67,11 @@ func (c Config) TestBalance(ctx context.Context, view *dataset.Table, treatment 
 // combination of grouping values xi it selects Γi = C ∧ (X = xi) and tests
 // T ⊥⊥ V | Γi. With no groupings there is a single context (the WHERE
 // population).
-func DetectBias(ctx context.Context, t *dataset.Table, treatment string, groupings, variables []string, cfg Config) ([]BiasResult, error) {
+func DetectBias(ctx context.Context, rel source.Relation, treatment string, groupings, variables []string, cfg Config) ([]BiasResult, error) {
 	if len(variables) == 0 {
 		return nil, fmt.Errorf("core: bias detection needs a non-empty variable set V")
 	}
-	contexts, err := splitContexts(t, groupings)
+	contexts, err := splitContexts(ctx, rel, groupings)
 	if err != nil {
 		return nil, err
 	}
@@ -121,44 +88,64 @@ func DetectBias(ctx context.Context, t *dataset.Table, treatment string, groupin
 			PValue:    res.PValue,
 			PValueCI:  res.PValueCI,
 			Biased:    !independence.Decision(res, cfg.alpha()),
-			Rows:      c.view.NumRows(),
+			Rows:      c.rows,
 		})
 	}
 	return out, nil
 }
 
-// contextView is one Γi: the grouping values and the row view they select.
+// contextView is one Γi: the grouping values and the restricted relation
+// they select.
 type contextView struct {
 	values []string
-	view   *dataset.Table
+	view   source.Relation
+	rows   int
 }
 
-// splitContexts partitions the table by the grouping attributes. With no
-// groupings the whole table is the single context.
-func splitContexts(t *dataset.Table, groupings []string) ([]contextView, error) {
+// splitContexts partitions the relation by the grouping attributes via one
+// group-by count and per-group restriction. With no groupings the whole
+// relation is the single context. Contexts come back in sorted group-key
+// order, matching the deterministic group-by ordering of the in-memory
+// pipeline.
+func splitContexts(ctx context.Context, rel source.Relation, groupings []string) ([]contextView, error) {
 	if len(groupings) == 0 {
-		return []contextView{{view: t}}, nil
-	}
-	groups, enc, err := t.GroupBy(groupings...)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]contextView, 0, len(groups))
-	for _, g := range groups {
-		view, err := t.SelectRows(g.Rows)
+		n, err := rel.NumRows(ctx)
 		if err != nil {
 			return nil, err
 		}
-		codes := enc.Codes(g.Key)
-		values := make([]string, len(groupings))
-		for i, a := range groupings {
-			col, err := t.Column(a)
-			if err != nil {
-				return nil, err
-			}
-			values[i] = col.Label(codes[i])
+		return []contextView{{view: rel, rows: n}}, nil
+	}
+	counts, err := rel.Counts(ctx, groupings, nil)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+
+	dicts := make([][]string, len(groupings))
+	for i, g := range groupings {
+		dicts[i], err = rel.Labels(ctx, g)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, contextView{values: values, view: view})
+	}
+	out := make([]contextView, 0, len(keys))
+	for _, ks := range keys {
+		codes := source.Key(ks).Codes()
+		values := make([]string, len(groupings))
+		pred := make(dataset.And, len(groupings))
+		for i, g := range groupings {
+			values[i] = dicts[i][codes[i]]
+			pred[i] = dataset.Eq{Attr: g, Value: values[i]}
+		}
+		view, err := rel.Restrict(ctx, pred)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, contextView{values: values, view: view, rows: counts[source.Key(ks)]})
 	}
 	return out, nil
 }

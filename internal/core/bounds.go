@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/query"
+	"hypdb/source"
 )
 
 // BoundsResult brackets the causal effect across candidate adjustment sets.
@@ -34,8 +34,8 @@ type BoundsResult struct {
 // outcomes (CDResult.Boundary filtered by the caller); maxSize caps the
 // subset size (0 means all sizes). The brackets cover the empty set, so the
 // raw (unadjusted) difference is always inside [Lower, Upper].
-func EffectBounds(ctx context.Context, t *dataset.Table, q query.Query, candidates []string, maxSize int) (*BoundsResult, error) {
-	if err := q.Validate(t); err != nil {
+func EffectBounds(ctx context.Context, rel source.Relation, q query.Query, candidates []string, maxSize int) (*BoundsResult, error) {
+	if err := q.Validate(ctx, rel); err != nil {
 		return nil, err
 	}
 	if len(candidates) > 20 {
@@ -60,7 +60,7 @@ func EffectBounds(ctx context.Context, t *dataset.Table, q query.Query, candidat
 	}
 
 	// Empty set: the raw difference.
-	ans, err := query.Run(t, q)
+	ans, err := query.Run(ctx, rel, q)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,7 @@ func EffectBounds(ctx context.Context, t *dataset.Table, q query.Query, candidat
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
-			rw, err := query.RewriteTotal(t, q, s)
+			rw, err := query.RewriteTotal(ctx, rel, q, s)
 			if err != nil {
 				res.Skipped++ // overlap failure: this adjustment set is unusable
 				return true, nil

@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"hypdb/internal/query"
+	"hypdb/source/mem"
 )
 
 func TestEffectBoundsBracketsTruth(t *testing.T) {
 	tab := simpsonData(t, 12000, 71)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	res, err := EffectBounds(context.Background(), tab, q, []string{"Z"}, 0)
+	res, err := EffectBounds(context.Background(), mem.New(tab), q, []string{"Z"}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestEffectBoundsMaxSize(t *testing.T) {
 	// With maxSize 0 over two candidates we get 1 + 2 + 1 = 4 sets; with
 	// maxSize 1 only 1 + 2 = 3.
 	tab2 := tab // Z plus a noise attribute would be better; reuse Z only
-	res, err := EffectBounds(context.Background(), tab2, q, []string{"Z"}, 1)
+	res, err := EffectBounds(context.Background(), mem.New(tab2), q, []string{"Z"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestEffectBoundsMaxSize(t *testing.T) {
 func TestEffectBoundsValidation(t *testing.T) {
 	tab := simpsonData(t, 1000, 73)
 	bad := query.Query{Treatment: "missing", Outcomes: []string{"Y"}}
-	if _, err := EffectBounds(context.Background(), tab, bad, nil, 0); err == nil {
+	if _, err := EffectBounds(context.Background(), mem.New(tab), bad, nil, 0); err == nil {
 		t.Error("invalid query accepted")
 	}
 	many := make([]string, 21)
@@ -58,7 +59,7 @@ func TestEffectBoundsValidation(t *testing.T) {
 		many[i] = "Z"
 	}
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	if _, err := EffectBounds(context.Background(), tab, q, many, 0); err == nil {
+	if _, err := EffectBounds(context.Background(), mem.New(tab), q, many, 0); err == nil {
 		t.Error("21 candidates accepted without a cap")
 	}
 }

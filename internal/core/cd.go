@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"sort"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
 	"hypdb/internal/independence"
 	"hypdb/internal/markov"
+	"hypdb/source"
 )
 
 // CDResult reports automatic covariate discovery for one target attribute.
@@ -44,22 +44,22 @@ type CDResult struct {
 // members with Grow-Shrink, then identifies the parents by the two-phase
 // collider search of Prop 4.1. The outcomes list is used only by the
 // fallback (excluded from the fallback covariate set).
-func DiscoverCovariates(ctx context.Context, t *dataset.Table, target string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
-	if !t.HasColumn(target) {
+func DiscoverCovariates(ctx context.Context, rel source.Relation, target string, candidates, outcomes []string, cfg Config) (*CDResult, error) {
+	if !rel.HasAttribute(target) {
 		return nil, fmt.Errorf("core: no target column %q: %w", target, hyperr.ErrUnknownAttribute)
 	}
 	res := &CDResult{Target: target, Boundaries: make(map[string][]string)}
 
 	// Markov boundaries are learned over all candidates; materialization
 	// does not apply (the attribute set is unbounded), so the hint is nil.
-	mbTester, err := cfg.tester(t, nil)
+	mbTester, err := cfg.tester(ctx, rel, nil)
 	if err != nil {
 		return nil, err
 	}
 	counter := &independence.Counter{Inner: mbTester}
 	mcfg := markov.Config{Tester: counter, Alpha: cfg.alpha(), MaxBoundary: cfg.MaxBoundary}
 
-	mbT, err := markov.GrowShrink(ctx, t, target, candidates, mcfg)
+	mbT, err := markov.GrowShrink(ctx, rel, target, candidates, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +69,7 @@ func DiscoverCovariates(ctx context.Context, t *dataset.Table, target string, ca
 		if !containsStr(cands, target) {
 			cands = append(cands, target)
 		}
-		mbZ, err := markov.GrowShrink(ctx, t, z, cands, mcfg)
+		mbZ, err := markov.GrowShrink(ctx, rel, z, cands, mcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +90,7 @@ func DiscoverCovariates(ctx context.Context, t *dataset.Table, target string, ca
 		if inC[z] {
 			continue
 		}
-		witness, nTests, err := cfg.phaseIWitness(ctx, t, target, z, mbT, res.Boundaries[z])
+		witness, nTests, err := cfg.phaseIWitness(ctx, rel, target, z, mbT, res.Boundaries[z])
 		res.Tests += nTests
 		res.TestsPhases += nTests
 		if err != nil {
@@ -110,7 +110,7 @@ func DiscoverCovariates(ctx context.Context, t *dataset.Table, target string, ca
 		parents[c] = true
 	}
 	for _, c := range res.CandidateParents {
-		separable, nTests, err := cfg.phaseIISeparable(ctx, t, target, c, mbT)
+		separable, nTests, err := cfg.phaseIISeparable(ctx, rel, target, c, mbT)
 		res.Tests += nTests
 		res.TestsPhases += nTests
 		if err != nil {
@@ -157,12 +157,12 @@ func DiscoverCovariates(ctx context.Context, t *dataset.Table, target string, ca
 
 // phaseIWitness searches for a W certifying condition (a) of Prop 4.1 for
 // z; it returns the witness name (or "") and the number of tests used.
-func (c Config) phaseIWitness(ctx context.Context, t *dataset.Table, target, z string, mbT, mbZ []string) (string, int, error) {
+func (c Config) phaseIWitness(ctx context.Context, rel source.Relation, target, z string, mbT, mbZ []string) (string, int, error) {
 	base := excludeStr(mbZ, target)
 	// All tests in this phase touch attributes within
 	// {z, target} ∪ MB(z) ∪ MB(T): materialize their joint once (Sec 6).
 	hint := unionAttrs([]string{z, target}, base, mbT)
-	tester, err := c.tester(t, hint)
+	tester, err := c.tester(ctx, rel, hint)
 	if err != nil {
 		return "", 0, err
 	}
@@ -180,14 +180,14 @@ func (c Config) phaseIWitness(ctx context.Context, t *dataset.Table, target, z s
 				if w == z || containsStr(s, w) {
 					continue
 				}
-				r1, err := counter.Test(ctx, t, z, w, s)
+				r1, err := counter.Test(ctx, rel, z, w, s)
 				if err != nil {
 					return false, err
 				}
 				if !independence.Decision(r1, alpha) {
 					continue // Z ⊥̸ W | S: not separated
 				}
-				r2, err := counter.Test(ctx, t, z, w, append(append([]string(nil), s...), target))
+				r2, err := counter.Test(ctx, rel, z, w, append(append([]string(nil), s...), target))
 				if err != nil {
 					return false, err
 				}
@@ -206,10 +206,10 @@ func (c Config) phaseIWitness(ctx context.Context, t *dataset.Table, target, z s
 }
 
 // phaseIISeparable reports whether some S ⊆ MB(T) − {c} renders T ⊥⊥ c | S.
-func (c Config) phaseIISeparable(ctx context.Context, t *dataset.Table, target, cand string, mbT []string) (bool, int, error) {
+func (c Config) phaseIISeparable(ctx context.Context, rel source.Relation, target, cand string, mbT []string) (bool, int, error) {
 	base := excludeStr(mbT, cand)
 	hint := unionAttrs([]string{cand, target}, base, nil)
-	tester, err := c.tester(t, hint)
+	tester, err := c.tester(ctx, rel, hint)
 	if err != nil {
 		return false, 0, err
 	}
@@ -223,7 +223,7 @@ func (c Config) phaseIISeparable(ctx context.Context, t *dataset.Table, target, 
 	separable := false
 	for size := 0; size <= limit && !separable; size++ {
 		err := forEachSubsetStr(base, size, func(s []string) (bool, error) {
-			r, err := counter.Test(ctx, t, target, cand, s)
+			r, err := counter.Test(ctx, rel, target, cand, s)
 			if err != nil {
 				return false, err
 			}

@@ -9,6 +9,7 @@ import (
 
 	"hypdb/internal/dag"
 	"hypdb/internal/dataset"
+	"hypdb/source/mem"
 )
 
 // colliderData samples Z → T ← W, T → Y with strong CPTs.
@@ -59,7 +60,7 @@ func TestDiscoverCovariatesCollider(t *testing.T) {
 	tab, _ := colliderData(t, 20000, 1)
 	for _, method := range []TestMethod{ChiSquaredMethod, HyMITMethod} {
 		cfg := Config{Method: method, Seed: 7}
-		res, err := DiscoverCovariates(context.Background(), tab, "T", []string{"Z", "W"}, []string{"Y"}, cfg)
+		res, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"Z", "W"}, []string{"Y"}, cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -79,7 +80,7 @@ func TestDiscoverCovariatesColliderWithOutcomeCandidate(t *testing.T) {
 	// Including the outcome among candidates must not pollute the parents:
 	// children fail condition (a).
 	tab, _ := colliderData(t, 20000, 2)
-	res, err := DiscoverCovariates(context.Background(), tab, "T", []string{"Z", "W", "Y"}, []string{"Y"}, Config{Method: ChiSquaredMethod})
+	res, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"Z", "W", "Y"}, []string{"Y"}, Config{Method: ChiSquaredMethod})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestDiscoverCovariatesColliderWithOutcomeCandidate(t *testing.T) {
 
 func TestDiscoverCovariatesFallbackSingleParent(t *testing.T) {
 	tab := chainData(t, 15000, 3)
-	res, err := DiscoverCovariates(context.Background(), tab, "T", []string{"A", "Y"}, []string{"Y"}, Config{Method: ChiSquaredMethod})
+	res, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"A", "Y"}, []string{"Y"}, Config{Method: ChiSquaredMethod})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestDiscoverCovariatesIndependentTreatment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := DiscoverCovariates(context.Background(), tab, "T", []string{"N1", "N2"}, nil, Config{Method: ChiSquaredMethod})
+	res, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"N1", "N2"}, nil, Config{Method: ChiSquaredMethod})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestDiscoverCovariatesSpouseExcluded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := DiscoverCovariates(context.Background(), tab, "T", []string{"Z", "W", "C", "D"}, nil, Config{Method: ChiSquaredMethod})
+	res, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"Z", "W", "C", "D"}, nil, Config{Method: ChiSquaredMethod})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,15 +170,15 @@ func TestDiscoverCovariatesMaterializationMatchesScan(t *testing.T) {
 	noMat.DisableMaterialization = true
 	noCache := base
 	noCache.DisableEntropyCache = true
-	r1, err := DiscoverCovariates(context.Background(), tab, "T", []string{"Z", "W"}, []string{"Y"}, base)
+	r1, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"Z", "W"}, []string{"Y"}, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := DiscoverCovariates(context.Background(), tab, "T", []string{"Z", "W"}, []string{"Y"}, noMat)
+	r2, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"Z", "W"}, []string{"Y"}, noMat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r3, err := DiscoverCovariates(context.Background(), tab, "T", []string{"Z", "W"}, []string{"Y"}, noCache)
+	r3, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"Z", "W"}, []string{"Y"}, noCache)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestDiscoverCovariatesMaterializationMatchesScan(t *testing.T) {
 
 func TestDiscoverCovariatesMaxCondSet(t *testing.T) {
 	tab, _ := colliderData(t, 5000, 7)
-	res, err := DiscoverCovariates(context.Background(), tab, "T", []string{"Z", "W"}, []string{"Y"},
+	res, err := DiscoverCovariates(context.Background(), mem.New(tab), "T", []string{"Z", "W"}, []string{"Y"},
 		Config{Method: ChiSquaredMethod, MaxCondSet: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +201,7 @@ func TestDiscoverCovariatesMaxCondSet(t *testing.T) {
 
 func TestDiscoverCovariatesValidation(t *testing.T) {
 	tab, _ := colliderData(t, 100, 8)
-	if _, err := DiscoverCovariates(context.Background(), tab, "missing", []string{"Z"}, nil, Config{}); err == nil {
+	if _, err := DiscoverCovariates(context.Background(), mem.New(tab), "missing", []string{"Z"}, nil, Config{}); err == nil {
 		t.Error("missing target accepted")
 	}
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
+
 	"hypdb/internal/cube"
-	"hypdb/internal/dataset"
 	"hypdb/internal/independence"
 	"hypdb/internal/stats"
+	"hypdb/source"
 )
 
 // TestMethod selects the conditional-independence test used throughout the
@@ -108,19 +110,34 @@ func (c Config) permutations() int {
 // provider builds the entropy provider for χ²-backed tests on view.
 // attrsHint, when non-nil and materialization is enabled, requests a
 // materialized joint over that superset.
-func (c Config) provider(view *dataset.Table, attrsHint []string) (independence.EntropyProvider, error) {
+func (c Config) provider(ctx context.Context, view source.Relation, attrsHint []string) (independence.EntropyProvider, error) {
 	var p independence.EntropyProvider
-	switch {
-	case c.Cube != nil && c.Cube.NumRows() == view.NumRows() && (attrsHint == nil || c.Cube.Covers(attrsHint)):
-		p = cube.NewProvider(c.Cube, view, c.estimator())
-	case !c.DisableMaterialization && len(attrsHint) > 0 && len(attrsHint) <= 62:
-		mp, err := independence.NewMaterializedProvider(view, attrsHint, c.estimator())
+	if c.Cube != nil && (attrsHint == nil || c.Cube.Covers(attrsHint)) {
+		n, err := view.NumRows(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if c.Cube.NumRows() == n {
+			fallback, err := independence.NewRelationProvider(ctx, view, c.estimator())
+			if err != nil {
+				return nil, err
+			}
+			p = cube.NewProvider(c.Cube, fallback, c.estimator())
+		}
+	}
+	if p == nil && !c.DisableMaterialization && len(attrsHint) > 0 && len(attrsHint) <= 62 {
+		mp, err := independence.NewMaterializedProvider(ctx, view, attrsHint, c.estimator())
 		if err != nil {
 			return nil, err
 		}
 		p = mp
-	default:
-		p = independence.NewScanProvider(view, c.estimator())
+	}
+	if p == nil {
+		rp, err := independence.NewRelationProvider(ctx, view, c.estimator())
+		if err != nil {
+			return nil, err
+		}
+		p = rp
 	}
 	if !c.DisableEntropyCache {
 		p = independence.NewCachedProvider(p)
@@ -130,10 +147,10 @@ func (c Config) provider(view *dataset.Table, attrsHint []string) (independence.
 
 // tester builds the independence tester for view; attrsHint optionally
 // bounds the attributes tests will touch (enabling materialization).
-func (c Config) tester(view *dataset.Table, attrsHint []string) (independence.Tester, error) {
+func (c Config) tester(ctx context.Context, view source.Relation, attrsHint []string) (independence.Tester, error) {
 	switch c.Method {
 	case ChiSquaredMethod:
-		p, err := c.provider(view, attrsHint)
+		p, err := c.provider(ctx, view, attrsHint)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +172,7 @@ func (c Config) tester(view *dataset.Table, attrsHint []string) (independence.Te
 			Parallel:     c.Parallel,
 		}, nil
 	default:
-		p, err := c.provider(view, attrsHint)
+		p, err := c.provider(ctx, view, attrsHint)
 		if err != nil {
 			return nil, err
 		}

@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"hypdb/internal/query"
+	"hypdb/source/mem"
 )
 
 func TestEffectAccessors(t *testing.T) {
 	tab := simpsonData(t, 12000, 51)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 52, Parallel: true}})
+	rep, err := Analyze(context.Background(), mem.New(tab), q, Options{Config: Config{Seed: 52, Parallel: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestEffectAccessorsNoCovariates(t *testing.T) {
 	// Randomized data with no structure at all: no covariates, ATE errors.
 	tab := independentTable(t, 3000, 53)
 	q := query.Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rep, err := Analyze(context.Background(), tab, q, Options{Config: Config{Seed: 54}})
+	rep, err := Analyze(context.Background(), mem.New(tab), q, Options{Config: Config{Seed: 54}})
 	if err != nil {
 		t.Fatal(err)
 	}

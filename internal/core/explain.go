@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/stats"
+	"hypdb/source"
 )
 
 // Responsibility is a coarse-grained explanation entry (Def 3.3): one
@@ -23,27 +24,46 @@ type Responsibility struct {
 // ExplainCoarse ranks the variables V by their degree of responsibility for
 // the bias in the given context view. Per footnote 1 of the paper, the
 // numerator I(T;V|Γ) − I(T;V|Z,Γ) collapses to I(T;Z|Γ) for Z ∈ V, which
-// is how it is computed here. Estimates clamped at zero keep ρ within
-// [0,1] under the Miller-Madow correction.
-func ExplainCoarse(view *dataset.Table, treatment string, variables []string, cfg Config) ([]Responsibility, error) {
+// is how it is computed here — one pairwise count query per variable.
+// Estimates clamped at zero keep ρ within [0,1] under the Miller-Madow
+// correction.
+func ExplainCoarse(ctx context.Context, view source.Relation, treatment string, variables []string, cfg Config) ([]Responsibility, error) {
 	if len(variables) == 0 {
 		return nil, nil
 	}
-	tc, err := view.Column(treatment)
+	if err := source.CheckAttrs(view, treatment); err != nil {
+		return nil, err
+	}
+	n, err := view.NumRows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cardT, err := source.Card(ctx, view, treatment)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Responsibility, 0, len(variables))
 	total := 0.0
 	for _, v := range variables {
-		vc, err := view.Column(v)
+		cardV, err := source.Card(ctx, view, v)
 		if err != nil {
 			return nil, err
 		}
-		mi, err := stats.MutualInformationCodes(tc.Codes(), vc.Codes(), tc.Card(), vc.Card(), cfg.estimator())
+		joint, err := view.Counts(ctx, []string{treatment, v}, nil)
 		if err != nil {
 			return nil, err
 		}
+		// I(T;V) = H(T) + H(V) − H(TV), with the marginals folded densely in
+		// code order to match the code-vector estimator exactly.
+		denseT := make([]int, cardT)
+		denseV := make([]int, cardV)
+		for k, c := range joint {
+			denseT[k.Field(0)] += c
+			denseV[k.Field(1)] += c
+		}
+		est := cfg.estimator()
+		mi := stats.EntropyCounts(denseT, n, est) + stats.EntropyCounts(denseV, n, est) -
+			stats.EntropyCountsMap(joint, n, est)
 		if mi < 0 {
 			mi = 0
 		}
@@ -73,29 +93,28 @@ type FineExplanation struct {
 
 // ExplainFine implements the FGE procedure (Alg 3): it ranks the triples of
 // Π_{T,Y,Z}(view) by their contribution to Î(T;Z) and to Î(Y;Z), aggregates
-// the two rankings with Borda's method, and returns the top-k triples.
-func ExplainFine(view *dataset.Table, treatment, outcome, covariate string, k int, cfg Config) ([]FineExplanation, error) {
+// the two rankings with Borda's method, and returns the top-k triples. All
+// statistics derive from one count query over (T, Y, Z).
+func ExplainFine(ctx context.Context, view source.Relation, treatment, outcome, covariate string, k int, cfg Config) ([]FineExplanation, error) {
 	if k <= 0 {
 		k = 2
 	}
-	tc, err := view.Column(treatment)
+	if err := source.CheckAttrs(view, treatment, outcome, covariate); err != nil {
+		return nil, err
+	}
+	n, err := view.NumRows(ctx)
 	if err != nil {
 		return nil, err
 	}
-	yc, err := view.Column(outcome)
-	if err != nil {
-		return nil, err
-	}
-	zc, err := view.Column(covariate)
-	if err != nil {
-		return nil, err
-	}
-	n := view.NumRows()
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty context")
 	}
+	tripleCounts, err := view.Counts(ctx, []string{treatment, outcome, covariate}, nil)
+	if err != nil {
+		return nil, err
+	}
 
-	// Joint and marginal frequencies.
+	// Joint and marginal frequencies, folded from the triples.
 	type pair struct{ a, b int32 }
 	type triple struct{ t, y, z int32 }
 	tzCounts := make(map[pair]int)
@@ -104,14 +123,14 @@ func ExplainFine(view *dataset.Table, treatment, outcome, covariate string, k in
 	yCounts := make(map[int32]int)
 	zCounts := make(map[int32]int)
 	triples := make(map[triple]int)
-	for i := 0; i < n; i++ {
-		tv, yv, zv := tc.Code(i), yc.Code(i), zc.Code(i)
-		tzCounts[pair{tv, zv}]++
-		yzCounts[pair{yv, zv}]++
-		tCounts[tv]++
-		yCounts[yv]++
-		zCounts[zv]++
-		triples[triple{tv, yv, zv}]++
+	for key, c := range tripleCounts {
+		tv, yv, zv := key.Field(0), key.Field(1), key.Field(2)
+		tzCounts[pair{tv, zv}] += c
+		yzCounts[pair{yv, zv}] += c
+		tCounts[tv] += c
+		yCounts[yv] += c
+		zCounts[zv] += c
+		triples[triple{tv, yv, zv}] += c
 	}
 	kappa := func(joint, ma, mb int) float64 {
 		if joint == 0 {
@@ -152,13 +171,25 @@ func ExplainFine(view *dataset.Table, treatment, outcome, covariate string, k in
 	if k > len(consensus) {
 		k = len(consensus)
 	}
+	tDict, err := view.Labels(ctx, treatment)
+	if err != nil {
+		return nil, err
+	}
+	yDict, err := view.Labels(ctx, outcome)
+	if err != nil {
+		return nil, err
+	}
+	zDict, err := view.Labels(ctx, covariate)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]FineExplanation, 0, k)
 	for _, idx := range consensus[:k] {
 		tr := keys[idx]
 		out = append(out, FineExplanation{
-			TreatmentValue: tc.Label(tr.t),
-			OutcomeValue:   yc.Label(tr.y),
-			CovariateValue: zc.Label(tr.z),
+			TreatmentValue: tDict[tr.t],
+			OutcomeValue:   yDict[tr.y],
+			CovariateValue: zDict[tr.z],
 			KappaTZ:        kTZ[idx],
 			KappaYZ:        kYZ[idx],
 		})

@@ -4,9 +4,17 @@
 // (Defs 3.3/3.4, Alg 3), logical-dependency dropping (Sec 4), and the
 // end-to-end Analyze pipeline that detects, explains and resolves bias at
 // query time.
+//
+// The pipeline consumes a source.Relation — the storage contract — and
+// computes its sufficient statistics from dictionary-coded group-by counts,
+// so it runs unchanged over the in-memory backend and over SQL databases
+// with count pushdown. The only row-level dependency is the subsampling key
+// detector, which uses the backend's Materializer capability when present
+// and falls back to histogram resampling on counts-only relations.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,6 +23,7 @@ import (
 	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
 	"hypdb/internal/stats"
+	"hypdb/source"
 )
 
 // DropReason explains why an attribute was excluded from causal analysis.
@@ -84,16 +93,21 @@ func (c PrepareConfig) fdEpsilon() float64 {
 // PrepareCandidates filters covariate candidates for a treatment attribute:
 // it removes key-like attributes and attributes functionally tied to the
 // treatment or to an earlier-kept candidate. The returned candidate order
-// follows the input order.
-func PrepareCandidates(t *dataset.Table, treatment string, candidates []string, cfg PrepareConfig) (kept []string, dropped []Dropped, err error) {
-	if !t.HasColumn(treatment) {
+// follows the input order. All functional-dependency tests are computed
+// from pairwise counts.
+func PrepareCandidates(ctx context.Context, rel source.Relation, treatment string, candidates []string, cfg PrepareConfig) (kept []string, dropped []Dropped, err error) {
+	if !rel.HasAttribute(treatment) {
 		return nil, nil, fmt.Errorf("core: no treatment column %q: %w", treatment, hyperr.ErrUnknownAttribute)
 	}
 	eps := cfg.fdEpsilon()
+	n, err := rel.NumRows(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	var keyLike map[string]bool
 	if !cfg.SkipKeyDetection {
-		keyLike, err = detectKeyAttributes(t, candidates, cfg)
+		keyLike, err = detectKeyAttributes(ctx, rel, candidates, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -108,11 +122,11 @@ func PrepareCandidates(t *dataset.Table, treatment string, candidates []string, 
 		if v, ok := entCache[k]; ok {
 			return v, nil
 		}
-		counts, _, err := t.Counts(a, b)
+		counts, err := rel.Counts(ctx, []string{a, b}, nil)
 		if err != nil {
 			return 0, err
 		}
-		v := stats.EntropyCountsMap(counts, t.NumRows(), stats.PlugIn)
+		v := stats.EntropyCountsMap(counts, n, stats.PlugIn)
 		entCache[k] = v
 		return v, nil
 	}
@@ -120,11 +134,21 @@ func PrepareCandidates(t *dataset.Table, treatment string, candidates []string, 
 		if v, ok := entCache[a]; ok {
 			return v, nil
 		}
-		c, err := t.Column(a)
+		counts, err := rel.Counts(ctx, []string{a}, nil)
 		if err != nil {
 			return 0, err
 		}
-		v := stats.EntropyCodes(c.Codes(), c.Card(), stats.PlugIn)
+		card, err := source.Card(ctx, rel, a)
+		if err != nil {
+			return 0, err
+		}
+		// Dense, code-ordered histogram: matches the code-vector estimator
+		// of the in-memory pipeline bit for bit.
+		dense := make([]int, card)
+		for k, c := range counts {
+			dense[k.Field(0)] += c
+		}
+		v := stats.EntropyCounts(dense, n, stats.PlugIn)
 		entCache[a] = v
 		return v, nil
 	}
@@ -149,7 +173,7 @@ func PrepareCandidates(t *dataset.Table, treatment string, candidates []string, 
 		if x == treatment {
 			continue
 		}
-		if !t.HasColumn(x) {
+		if !rel.HasAttribute(x) {
 			return nil, nil, fmt.Errorf("core: no candidate column %q: %w", x, hyperr.ErrUnknownAttribute)
 		}
 		if keyLike[x] {
@@ -189,8 +213,16 @@ func PrepareCandidates(t *dataset.Table, treatment string, candidates []string, 
 // subsample, and flag attributes whose entropy tracks ln(sample size) — for
 // a true key H = ln(n) exactly, so the regression slope is 1 with R² = 1;
 // ordinary attributes converge to a constant H with slope ≈ 0.
-func detectKeyAttributes(t *dataset.Table, attrs []string, cfg PrepareConfig) (map[string]bool, error) {
-	n := t.NumRows()
+//
+// On a materializable backend the subsamples are drawn from the rows
+// themselves (the original procedure); on a counts-only backend they are
+// drawn from the per-attribute histogram, which samples the same empirical
+// distribution with the same seed discipline.
+func detectKeyAttributes(ctx context.Context, rel source.Relation, attrs []string, cfg PrepareConfig) (map[string]bool, error) {
+	n, err := rel.NumRows(ctx)
+	if err != nil {
+		return nil, err
+	}
 	sizes := cfg.KeySampleSizes
 	if len(sizes) == 0 {
 		sizes = defaultKeySizes(n)
@@ -208,16 +240,27 @@ func detectKeyAttributes(t *dataset.Table, attrs []string, cfg PrepareConfig) (m
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6b657973))
 
+	// Row-level sampling when the rows are already in memory (the exact
+	// original procedure); histogram sampling otherwise. The gate is the
+	// zero-cost Table() capability, not Materializer: a remote SQL backend
+	// CAN materialize, but pulling every selected row per query would
+	// defeat count pushdown, and the histogram sampler draws the same
+	// empirical distribution from one single-attribute count each.
+	var tab *dataset.Table
+	if m, ok := rel.(interface{ Table() *dataset.Table }); ok {
+		tab = m.Table()
+	}
+
 	out := make(map[string]bool)
 	logSizes := make([]float64, len(sizes))
 	for i, s := range sizes {
 		logSizes[i] = math.Log(float64(s))
 	}
 	for _, a := range attrs {
-		if a == "" || !t.HasColumn(a) {
+		if a == "" || !rel.HasAttribute(a) {
 			continue // existence is validated by the caller
 		}
-		col, err := t.Column(a)
+		sampleCode, err := codeSampler(ctx, rel, tab, a, n)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +268,7 @@ func detectKeyAttributes(t *dataset.Table, attrs []string, cfg PrepareConfig) (m
 		for i, s := range sizes {
 			counts := make(map[int32]int)
 			for j := 0; j < s; j++ {
-				counts[col.Code(rng.Intn(n))]++
+				counts[sampleCode(rng.Intn(n))]++
 			}
 			entropies[i] = stats.EntropyCountsMap(counts, s, stats.PlugIn)
 		}
@@ -238,6 +281,39 @@ func detectKeyAttributes(t *dataset.Table, attrs []string, cfg PrepareConfig) (m
 		}
 	}
 	return out, nil
+}
+
+// codeSampler returns a function mapping a uniform row draw in [0,n) to an
+// attribute code: by row lookup when a materialized table is available, by
+// cumulative-histogram bucket otherwise (same empirical distribution).
+func codeSampler(ctx context.Context, rel source.Relation, tab *dataset.Table, attr string, n int) (func(int) int32, error) {
+	if tab != nil {
+		col, err := tab.Column(attr)
+		if err != nil {
+			return nil, err
+		}
+		return col.Code, nil
+	}
+	counts, err := rel.Counts(ctx, []string{attr}, nil)
+	if err != nil {
+		return nil, err
+	}
+	card, err := source.Card(ctx, rel, attr)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical layout: code 0 occupies rows [0, n_0), code 1 the next
+	// n_1 rows, and so on — a uniform row index maps to a code with
+	// probability proportional to its count.
+	cum := make([]int, 0, card)
+	running := 0
+	for code := 0; code < card; code++ {
+		running += counts[dataset.EncodeKey(int32(code))]
+		cum = append(cum, running)
+	}
+	return func(i int) int32 {
+		return int32(sort.SearchInts(cum, i+1))
+	}, nil
 }
 
 // defaultKeySizes builds a geometric ladder of subsample sizes.

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
 
 	"hypdb/internal/dataset"
+	"hypdb/source/mem"
 )
 
 // prepTable builds a table with a treatment, a genuine covariate, a 1-1
@@ -36,7 +38,7 @@ func prepTable(t *testing.T, n int) *dataset.Table {
 
 func TestPrepareCandidatesDropsFDWithTreatment(t *testing.T) {
 	tab := prepTable(t, 2000)
-	kept, dropped, err := PrepareCandidates(tab, "carrier",
+	kept, dropped, err := PrepareCandidates(context.Background(), mem.New(tab), "carrier",
 		[]string{"carrier_code", "airport", "airport_wac", "id"}, PrepareConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +56,7 @@ func TestPrepareCandidatesDropsFDWithTreatment(t *testing.T) {
 
 func TestPrepareCandidatesDropsFDPeer(t *testing.T) {
 	tab := prepTable(t, 2000)
-	kept, dropped, err := PrepareCandidates(tab, "carrier",
+	kept, dropped, err := PrepareCandidates(context.Background(), mem.New(tab), "carrier",
 		[]string{"airport", "airport_wac"}, PrepareConfig{SkipKeyDetection: true})
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +72,7 @@ func TestPrepareCandidatesDropsFDPeer(t *testing.T) {
 
 func TestPrepareCandidatesDropsKeys(t *testing.T) {
 	tab := prepTable(t, 2000)
-	kept, dropped, err := PrepareCandidates(tab, "carrier",
+	kept, dropped, err := PrepareCandidates(context.Background(), mem.New(tab), "carrier",
 		[]string{"id", "airport"}, PrepareConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +90,7 @@ func TestPrepareCandidatesDropsKeys(t *testing.T) {
 
 func TestPrepareCandidatesSkipsTreatmentAndValidates(t *testing.T) {
 	tab := prepTable(t, 500)
-	kept, _, err := PrepareCandidates(tab, "carrier",
+	kept, _, err := PrepareCandidates(context.Background(), mem.New(tab), "carrier",
 		[]string{"carrier", "airport"}, PrepareConfig{SkipKeyDetection: true})
 	if err != nil {
 		t.Fatal(err)
@@ -96,10 +98,10 @@ func TestPrepareCandidatesSkipsTreatmentAndValidates(t *testing.T) {
 	if containsStr(kept, "carrier") {
 		t.Error("treatment kept as its own candidate")
 	}
-	if _, _, err := PrepareCandidates(tab, "missing", []string{"airport"}, PrepareConfig{}); err == nil {
+	if _, _, err := PrepareCandidates(context.Background(), mem.New(tab), "missing", []string{"airport"}, PrepareConfig{}); err == nil {
 		t.Error("missing treatment accepted")
 	}
-	if _, _, err := PrepareCandidates(tab, "carrier", []string{"missing"}, PrepareConfig{SkipKeyDetection: true}); err == nil {
+	if _, _, err := PrepareCandidates(context.Background(), mem.New(tab), "carrier", []string{"missing"}, PrepareConfig{SkipKeyDetection: true}); err == nil {
 		t.Error("missing candidate accepted")
 	}
 }
@@ -114,7 +116,7 @@ func TestDetectKeyAttributesSmallTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := detectKeyAttributes(tab, []string{"x"}, PrepareConfig{})
+	keys, err := detectKeyAttributes(context.Background(), mem.New(tab), []string{"x"}, PrepareConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
+	"hypdb/source/mem"
 )
 
 func queryOf(treatment, outcome string) query.Query {
@@ -62,7 +63,7 @@ func TestReportRenderingUnbiasedPath(t *testing.T) {
 	// A report over pure noise still renders sensibly: no crash, no
 	// explanations, answers present.
 	tab := independentTable(t, 2000, 61)
-	rep, err := Analyze(context.Background(), tab, queryOf("T", "Y"), Options{Config: Config{Seed: 62}})
+	rep, err := Analyze(context.Background(), mem.New(tab), queryOf("T", "Y"), Options{Config: Config{Seed: 62}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestReportRenderingUnbiasedPath(t *testing.T) {
 
 func TestWriteTextSections(t *testing.T) {
 	tab := simpsonData(t, 8000, 63)
-	rep, err := Analyze(context.Background(), tab, queryOf("T", "Y"), Options{Config: Config{Seed: 64}})
+	rep, err := Analyze(context.Background(), mem.New(tab), queryOf("T", "Y"), Options{Config: Config{Seed: 64}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package cube
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -165,31 +166,33 @@ type Provider struct {
 	Est      stats.Estimator
 }
 
-// NewProvider builds a cube-backed provider over t.
-func NewProvider(c *Cube, t *dataset.Table, est stats.Estimator) *Provider {
-	return &Provider{Cube: c, Fallback: independence.NewScanProvider(t, est), Est: est}
+// NewProvider builds a cube-backed provider; fallback answers attribute
+// sets the cube does not cover (typically a RelationProvider over the
+// backing store).
+func NewProvider(c *Cube, fallback independence.EntropyProvider, est stats.Estimator) *Provider {
+	return &Provider{Cube: c, Fallback: fallback, Est: est}
 }
 
 // JointEntropy implements independence.EntropyProvider.
-func (p *Provider) JointEntropy(attrs []string) (float64, error) {
+func (p *Provider) JointEntropy(ctx context.Context, attrs []string) (float64, error) {
 	if len(attrs) == 0 {
 		return 0, nil
 	}
 	if counts, ok := p.Cube.Counts(attrs); ok {
 		return stats.EntropyCountsMap(counts, p.Cube.NumRows(), p.Est), nil
 	}
-	return p.Fallback.JointEntropy(attrs)
+	return p.Fallback.JointEntropy(ctx, attrs)
 }
 
 // DistinctCount implements independence.EntropyProvider.
-func (p *Provider) DistinctCount(attrs []string) (int, error) {
+func (p *Provider) DistinctCount(ctx context.Context, attrs []string) (int, error) {
 	if len(attrs) == 0 {
 		return 1, nil
 	}
 	if counts, ok := p.Cube.Counts(attrs); ok {
 		return len(counts), nil
 	}
-	return p.Fallback.DistinctCount(attrs)
+	return p.Fallback.DistinctCount(ctx, attrs)
 }
 
 // NumRows implements independence.EntropyProvider.

@@ -12,6 +12,7 @@ import (
 	"hypdb/internal/dataset"
 	"hypdb/internal/independence"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 func randomTable(t *testing.T, n int, seed int64) *dataset.Table {
@@ -118,25 +119,28 @@ func TestProviderMatchesScanProvider(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp := NewProvider(c, tab, stats.MillerMadow)
-	sp := independence.NewScanProvider(tab, stats.MillerMadow)
+	sp, err := independence.NewRelationProvider(context.Background(), mem.New(tab), stats.MillerMadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := NewProvider(c, sp, stats.MillerMadow)
 	for _, sub := range [][]string{{"A"}, {"A", "B"}, {"C", "B", "A"}, {"D"}, {"A", "D"}} {
-		hc, err := cp.JointEntropy(sub)
+		hc, err := cp.JointEntropy(context.Background(), sub)
 		if err != nil {
 			t.Fatalf("cube entropy %v: %v", sub, err)
 		}
-		hs, err := sp.JointEntropy(sub)
+		hs, err := sp.JointEntropy(context.Background(), sub)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if math.Abs(hc-hs) > 1e-12 {
 			t.Errorf("subset %v: provider entropy %v != scan %v", sub, hc, hs)
 		}
-		dc, err := cp.DistinctCount(sub)
+		dc, err := cp.DistinctCount(context.Background(), sub)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ds, err := sp.DistinctCount(sub)
+		ds, err := sp.DistinctCount(context.Background(), sub)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,10 +151,10 @@ func TestProviderMatchesScanProvider(t *testing.T) {
 	if cp.NumRows() != tab.NumRows() {
 		t.Errorf("NumRows = %d", cp.NumRows())
 	}
-	if h, err := cp.JointEntropy(nil); err != nil || h != 0 {
+	if h, err := cp.JointEntropy(context.Background(), nil); err != nil || h != 0 {
 		t.Errorf("empty entropy = (%v,%v)", h, err)
 	}
-	if d, err := cp.DistinctCount(nil); err != nil || d != 1 {
+	if d, err := cp.DistinctCount(context.Background(), nil); err != nil || d != 1 {
 		t.Errorf("empty distinct = (%v,%v)", d, err)
 	}
 }
@@ -162,13 +166,17 @@ func TestChiSquareWithCubeProvider(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaCube := independence.ChiSquare{Provider: NewProvider(c, tab, stats.MillerMadow), Est: stats.MillerMadow}
-	viaScan := independence.ChiSquare{Est: stats.MillerMadow}
-	r1, err := viaCube.Test(context.Background(), tab, "A", "B", []string{"C"})
+	fallback, err := independence.NewRelationProvider(context.Background(), mem.New(tab), stats.MillerMadow)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := viaScan.Test(context.Background(), tab, "A", "B", []string{"C"})
+	viaCube := independence.ChiSquare{Provider: NewProvider(c, fallback, stats.MillerMadow), Est: stats.MillerMadow}
+	viaScan := independence.ChiSquare{Est: stats.MillerMadow}
+	r1, err := viaCube.Test(context.Background(), mem.New(tab), "A", "B", []string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := viaScan.Test(context.Background(), mem.New(tab), "A", "B", []string{"C"})
 	if err != nil {
 		t.Fatal(err)
 	}

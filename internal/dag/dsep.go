@@ -5,8 +5,8 @@ import (
 
 	"fmt"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/independence"
+	"hypdb/source"
 )
 
 // DSeparated reports whether every node of xs is d-separated from every
@@ -124,7 +124,7 @@ type Oracle struct {
 }
 
 // Test implements independence.Tester.
-func (o Oracle) Test(_ context.Context, _ *dataset.Table, x, y string, z []string) (independence.Result, error) {
+func (o Oracle) Test(_ context.Context, _ source.Relation, x, y string, z []string) (independence.Result, error) {
 	sep, err := o.G.DSeparatedNames([]string{x}, []string{y}, z)
 	if err != nil {
 		return independence.Result{}, err

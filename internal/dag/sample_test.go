@@ -9,6 +9,7 @@ import (
 
 	"hypdb/internal/independence"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 func TestNewBayesNetValidation(t *testing.T) {
@@ -142,14 +143,14 @@ func TestSampleColliderFaithfulness(t *testing.T) {
 		t.Fatal(err)
 	}
 	chi := independence.ChiSquare{Est: stats.MillerMadow}
-	marg, err := chi.Test(context.Background(), tab, "A", "C", nil)
+	marg, err := chi.Test(context.Background(), mem.New(tab), "A", "C", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if marg.PValue < 0.01 {
 		t.Errorf("A ⊥ C should hold marginally: p = %v", marg.PValue)
 	}
-	cond, err := chi.Test(context.Background(), tab, "A", "C", []string{"B"})
+	cond, err := chi.Test(context.Background(), mem.New(tab), "A", "C", []string{"B"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestSampleAgreesWithDSeparation(t *testing.T) {
 		for y := x + 1; y < 6; y++ {
 			total++
 			sep := g.DSeparated([]int{x}, []int{y}, nil)
-			res, err := chi.Test(context.Background(), tab, g.Name(x), g.Name(y), nil)
+			res, err := chi.Test(context.Background(), mem.New(tab), g.Name(x), g.Name(y), nil)
 			if err != nil {
 				t.Fatal(err)
 			}

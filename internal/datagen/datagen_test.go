@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"context"
 	"hypdb/internal/query"
+	"hypdb/source/mem"
 )
 
 func TestFlightShape(t *testing.T) {
@@ -51,7 +53,7 @@ func TestFlightSimpsonParadox(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := FlightQuery()
-	ans, err := query.Run(tab, q)
+	ans, err := query.Run(context.Background(), mem.New(tab), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestFlightSimpsonParadox(t *testing.T) {
 	// Per airport: UA strictly better at every one of the four airports.
 	perAirport := q
 	perAirport.Groupings = []string{"Airport"}
-	ans2, err := query.Run(tab, perAirport)
+	ans2, err := query.Run(context.Background(), mem.New(tab), perAirport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestFlightSimpsonParadox(t *testing.T) {
 		}
 	}
 	// The adjusted answer must agree with the per-airport trend.
-	rw, err := query.RewriteTotal(tab, q, FlightCovariates())
+	rw, err := query.RewriteTotal(context.Background(), mem.New(tab), q, FlightCovariates())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestAdultCalibration(t *testing.T) {
 	if tab.NumCols() != 15 {
 		t.Errorf("columns = %d, want 15", tab.NumCols())
 	}
-	ans, err := query.Run(tab, AdultQuery())
+	ans, err := query.Run(context.Background(), mem.New(tab), AdultQuery())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func TestAdultCalibration(t *testing.T) {
 		t.Errorf("P(income|male) = %v, want ≈0.30", byGender["Male"])
 	}
 	// Adjusting for MaritalStatus and Education shrinks the gap sharply.
-	rw, err := query.RewriteTotal(tab, AdultQuery(), []string{"MaritalStatus", "Education"})
+	rw, err := query.RewriteTotal(context.Background(), mem.New(tab), AdultQuery(), []string{"MaritalStatus", "Education"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +155,7 @@ func TestBerkeleyMatchesPublishedFigures(t *testing.T) {
 	if tab.NumRows() != BerkeleyRows() {
 		t.Errorf("rows = %d, want %d", tab.NumRows(), BerkeleyRows())
 	}
-	ans, err := query.Run(tab, BerkeleyQuery())
+	ans, err := query.Run(context.Background(), mem.New(tab), BerkeleyQuery())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestBerkeleyMatchesPublishedFigures(t *testing.T) {
 	}
 	// Conditioning on Department reverses the trend (Fig 4 top: 0.32 vs
 	// 0.27 after rewriting).
-	rw, err := query.RewriteTotal(tab, BerkeleyQuery(), []string{"Department"})
+	rw, err := query.RewriteTotal(context.Background(), mem.New(tab), BerkeleyQuery(), []string{"Department"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +200,7 @@ func TestStaplesCalibration(t *testing.T) {
 	if tab.NumCols() != 6 {
 		t.Errorf("columns = %d, want 6", tab.NumCols())
 	}
-	ans, err := query.Run(tab, StaplesQuery())
+	ans, err := query.Run(context.Background(), mem.New(tab), StaplesQuery())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +217,7 @@ func TestStaplesCalibration(t *testing.T) {
 	}
 	// Direct effect through the mediator formula is zero: income has no
 	// effect within distance strata.
-	rw, err := query.RewriteDirect(tab, StaplesQuery(), nil, []string{"Distance"}, "")
+	rw, err := query.RewriteDirect(context.Background(), mem.New(tab), StaplesQuery(), nil, []string{"Distance"}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +238,7 @@ func TestCancerCalibration(t *testing.T) {
 	if tab.NumCols() != 12 {
 		t.Errorf("columns = %d, want 12", tab.NumCols())
 	}
-	ans, err := query.Run(tab, CancerQuery())
+	ans, err := query.Run(context.Background(), mem.New(tab), CancerQuery())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +255,7 @@ func TestCancerCalibration(t *testing.T) {
 	}
 	// Total effect via adjustment on the true parents {Smoking, Genetics}:
 	// paper reports 0.61 / 0.76.
-	rw, err := query.RewriteTotal(tab, CancerQuery(), []string{"Smoking", "Genetics"})
+	rw, err := query.RewriteTotal(context.Background(), mem.New(tab), CancerQuery(), []string{"Smoking", "Genetics"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +268,7 @@ func TestCancerCalibration(t *testing.T) {
 	}
 	// Direct effect via mediators {Attention_Disorder, Fatigue} is ≈ 0
 	// (no Lung_Cancer → Car_Accident edge in Fig 7).
-	rwd, err := query.RewriteDirect(tab, CancerQuery(),
+	rwd, err := query.RewriteDirect(context.Background(), mem.New(tab), CancerQuery(),
 		[]string{"Smoking", "Genetics"}, []string{"Attention_Disorder", "Fatigue"}, "")
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 
 	"hypdb/internal/core"
 	"hypdb/internal/dataset"
+	"hypdb/source/mem"
 )
 
 // conditional computes P(b=bv | a=av) on the table.
@@ -76,7 +77,7 @@ func TestFlightLogicalDependenciesAreDropped(t *testing.T) {
 	}
 	candidates := []string{"FlightID", "FlightNum", "TailNum", "CarrierCode",
 		"Airport", "AirportWAC", "AirportCity", "Year", "Month"}
-	kept, dropped, err := core.PrepareCandidates(tab, "Carrier", candidates, core.PrepareConfig{})
+	kept, dropped, err := core.PrepareCandidates(context.Background(), mem.New(tab), "Carrier", candidates, core.PrepareConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestFlightCDFindsAirportAndYear(t *testing.T) {
 	// Restrict candidates to the causal core to keep the test fast; the
 	// full 101-column pass is exercised by cmd/experiments fig1.
 	cands := []string{"Airport", "Year", "Month", "DayOfWeek", "DayofMonth", "Dest", "DepTimeBlk", "Delayed"}
-	res, err := core.DiscoverCovariates(context.Background(), view, "Carrier", cands, []string{"Delayed"},
+	res, err := core.DiscoverCovariates(context.Background(), mem.New(view), "Carrier", cands, []string{"Delayed"},
 		core.Config{Method: core.ChiSquaredMethod, Seed: 10})
 	if err != nil {
 		t.Fatal(err)

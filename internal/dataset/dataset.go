@@ -303,6 +303,41 @@ func (t *Table) Drop(names ...string) (*Table, error) {
 // for some row, rendered into a compact comparable string.
 type GroupKey string
 
+// EncodeKey renders a tuple of dictionary codes into a GroupKey using the
+// canonical layout (4 little-endian bytes per code). Every key produced by
+// this package — and by source.Relation backends — uses this layout, so keys
+// from different producers over the same dictionaries are interchangeable.
+func EncodeKey(codes ...int32) GroupKey {
+	buf := make([]byte, 0, 4*len(codes))
+	for _, v := range codes {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return GroupKey(buf)
+}
+
+// Codes decodes the key back into its per-attribute dictionary codes.
+func (k GroupKey) Codes() []int32 {
+	b := []byte(k)
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		off := i * 4
+		out[i] = int32(b[off]) | int32(b[off+1])<<8 | int32(b[off+2])<<16 | int32(b[off+3])<<24
+	}
+	return out
+}
+
+// Field returns the i-th code of the key without decoding the whole tuple.
+func (k GroupKey) Field(i int) int32 {
+	off := i * 4
+	return int32(k[off]) | int32(k[off+1])<<8 | int32(k[off+2])<<16 | int32(k[off+3])<<24
+}
+
+// Fields returns the number of codes packed in the key.
+func (k GroupKey) Fields() int { return len(k) / 4 }
+
+// Slice returns the sub-key holding fields [from, to).
+func (k GroupKey) Slice(from, to int) GroupKey { return k[4*from : 4*to] }
+
 // KeyEncoder turns rows into composite group keys over a fixed attribute
 // list. Encoding is length-prefixed so distinct code tuples never collide.
 type KeyEncoder struct {
@@ -395,6 +430,33 @@ func (t *Table) Counts(attrs ...string) (map[GroupKey]int, *KeyEncoder, error) {
 		m[enc.Key(i)]++
 	}
 	return m, enc, nil
+}
+
+// CountsMatching returns the frequency of each composite value of attrs over
+// the rows matching pred (all rows when pred is nil). Unlike Select followed
+// by Counts, the codes in the returned keys refer to this table's
+// dictionaries — no compaction happens — which is what keeps counts from
+// different predicates over one handle mutually comparable.
+func (t *Table) CountsMatching(pred Predicate, attrs ...string) (map[GroupKey]int, error) {
+	if pred == nil {
+		m, _, err := t.Counts(attrs...)
+		return m, err
+	}
+	match, err := pred.Eval(t)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := NewKeyEncoder(t, attrs)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[GroupKey]int)
+	for i := 0; i < t.numRows; i++ {
+		if match[i] {
+			m[enc.Key(i)]++
+		}
+	}
+	return m, nil
 }
 
 // DistinctCount returns the number of distinct composite values of attrs

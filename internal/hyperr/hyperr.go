@@ -33,4 +33,11 @@ var (
 
 	// ErrBadPredicate marks WHERE-clause text the predicate parser rejects.
 	ErrBadPredicate = errors.New("invalid predicate")
+
+	// ErrNeedsMaterialization marks an operation that requires row-level
+	// access (e.g. the naive shuffle permutation test) applied to a
+	// counts-only relation — a storage backend that can answer aggregate
+	// group-by counts but cannot produce raw rows. Callers either switch to
+	// a counts-based method or supply a source.Materializer-capable backend.
+	ErrNeedsMaterialization = errors.New("operation needs row-level materialization")
 )

@@ -1,0 +1,78 @@
+package independence
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
+	"hypdb/source"
+	"hypdb/source/mem"
+)
+
+// TestCountsOnlyRelationPaths pins the storage contract: every counts-based
+// tester works on a counts-only relation, and the row-level shuffle test
+// fails with ErrNeedsMaterialization instead of a wrong answer.
+func TestCountsOnlyRelationPaths(t *testing.T) {
+	b := dataset.NewBuilder("X", "Y", "Z")
+	for i := 0; i < 400; i++ {
+		x := i % 2
+		y := (i / 2) % 2
+		z := (i / 4) % 3
+		b.MustAdd(strconv.Itoa(x), strconv.Itoa(y), strconv.Itoa(z))
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := source.CountsOnly(mem.New(tab))
+	ctx := context.Background()
+
+	countsBased := []struct {
+		name string
+		ts   Tester
+	}{
+		{"chi2", ChiSquare{}},
+		{"mit", MIT{Permutations: 50, Seed: 1}},
+		{"mit-sampling", MIT{Permutations: 50, Seed: 1, SampleGroups: true}},
+		{"hymit", HyMIT{Permutations: 50, Seed: 1}},
+	}
+	for _, tc := range countsBased {
+		if _, err := tc.ts.Test(ctx, rel, "X", "Y", []string{"Z"}); err != nil {
+			t.Errorf("%s on counts-only relation: %v", tc.name, err)
+		}
+	}
+
+	if _, err := (Shuffle{Permutations: 10, Seed: 1}).Test(ctx, rel, "X", "Y", []string{"Z"}); !errors.Is(err, hyperr.ErrNeedsMaterialization) {
+		t.Errorf("shuffle on counts-only relation: err = %v, want ErrNeedsMaterialization", err)
+	}
+}
+
+// TestMITIdenticalAcrossCountsOnly verifies the counts-only wrapper changes
+// nothing about the statistic: the MIT p-value is a pure function of the
+// counts.
+func TestMITIdenticalAcrossCountsOnly(t *testing.T) {
+	b := dataset.NewBuilder("X", "Y", "Z")
+	for i := 0; i < 300; i++ {
+		b.MustAdd(strconv.Itoa(i%3), strconv.Itoa((i*7)%2), strconv.Itoa(i%4))
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mem.New(tab)
+	ts := MIT{Permutations: 200, Seed: 9}
+	r1, err := ts.Test(context.Background(), base, "X", "Y", []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ts.Test(context.Background(), source.CountsOnly(base), "X", "Y", []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MI != r2.MI || r1.PValue != r2.PValue {
+		t.Errorf("counts-only wrapper changed the result: %+v vs %+v", r1, r2)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hypdb/internal/dataset"
+	"hypdb/source/mem"
 )
 
 // dependentTable builds a table where X and Y are correlated inside every
@@ -49,7 +50,7 @@ func TestMITDeterminism(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			base := MIT{Permutations: 300, Seed: 42, SampleGroups: sampling, Parallel: false}
-			serial, err := base.Test(ctx, tab, "X", "Y", []string{"Z"})
+			serial, err := base.Test(ctx, mem.New(tab), "X", "Y", []string{"Z"})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -63,7 +64,7 @@ func TestMITDeterminism(t *testing.T) {
 				runtime.GOMAXPROCS(procs)
 				par := base
 				par.Parallel = true
-				got, err := par.Test(ctx, tab, "X", "Y", []string{"Z"})
+				got, err := par.Test(ctx, mem.New(tab), "X", "Y", []string{"Z"})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -76,7 +77,7 @@ func TestMITDeterminism(t *testing.T) {
 				}
 
 				// Serial runs must be identical at every GOMAXPROCS too.
-				again, err := base.Test(ctx, tab, "X", "Y", []string{"Z"})
+				again, err := base.Test(ctx, mem.New(tab), "X", "Y", []string{"Z"})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -96,7 +97,7 @@ func TestMITSeedSensitivity(t *testing.T) {
 	pvals := map[float64]bool{}
 	var mi float64
 	for seed := int64(1); seed <= 5; seed++ {
-		r, err := MIT{Permutations: 300, Seed: seed}.Test(ctx, tab, "X", "Y", []string{"Z"})
+		r, err := MIT{Permutations: 300, Seed: seed}.Test(ctx, mem.New(tab), "X", "Y", []string{"Z"})
 		if err != nil {
 			t.Fatal(err)
 		}

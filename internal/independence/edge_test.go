@@ -10,6 +10,7 @@ import (
 
 	"hypdb/internal/dataset"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 // TestMITSkipsUninformativeGroups: groups where X or Y is constant carry no
@@ -30,7 +31,7 @@ func TestMITSkipsUninformativeGroups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MIT{Permutations: 400, Seed: 5, Est: stats.PlugIn}.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	res, err := MIT{Permutations: 400, Seed: 5, Est: stats.PlugIn}.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +64,11 @@ func TestMITSingleGroupConditioning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	unconditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(context.Background(), tab2, "X", "Y", nil)
+	unconditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(context.Background(), mem.New(tab2), "X", "Y", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	conditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(context.Background(), tab2, "X", "Y", []string{"C"})
+	conditional, err := MIT{Permutations: 300, Seed: 6, Est: stats.PlugIn}.Test(context.Background(), mem.New(tab2), "X", "Y", []string{"C"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,14 +84,14 @@ func TestMITSingleGroupConditioning(t *testing.T) {
 // use (the Parallel analysis path shares providers across goroutines).
 func TestCachedProviderConcurrentAccess(t *testing.T) {
 	tab := chainData(t, 400, 31)
-	p := NewCachedProvider(NewScanProvider(tab, stats.MillerMadow))
+	p := NewCachedProvider(relProv(t, tab, stats.MillerMadow))
 	var wg sync.WaitGroup
 	results := make([]float64, 16)
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			h, err := p.JointEntropy([]string{"X", "Y", "Z"})
+			h, err := p.JointEntropy(context.Background(), []string{"X", "Y", "Z"})
 			if err != nil {
 				t.Error(err)
 				return
@@ -112,12 +113,12 @@ func TestHyMITWithProviderConsistency(t *testing.T) {
 	tab := chainData(t, 3000, 32)
 	bare := HyMIT{Permutations: 100, Seed: 7, Est: stats.MillerMadow}
 	cached := HyMIT{Permutations: 100, Seed: 7, Est: stats.MillerMadow,
-		Provider: NewCachedProvider(NewScanProvider(tab, stats.MillerMadow))}
-	r1, err := bare.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+		Provider: NewCachedProvider(relProv(t, tab, stats.MillerMadow))}
+	r1, err := bare.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := cached.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	r2, err := cached.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestShuffleMatchesChiSquareVerdicts(t *testing.T) {
 	dep := chainData(t, 600, 33)
 	s := Shuffle{Permutations: 300, Seed: 8, Est: stats.PlugIn}
 	c := ChiSquare{Est: stats.MillerMadow}
-	rs, err := s.Test(context.Background(), dep, "X", "Z", nil) // X directly caused by Z
+	rs, err := s.Test(context.Background(), mem.New(dep), "X", "Z", nil) // X directly caused by Z
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc, err := c.Test(context.Background(), dep, "X", "Z", nil)
+	rc, err := c.Test(context.Background(), mem.New(dep), "X", "Z", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

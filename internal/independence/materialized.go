@@ -1,19 +1,20 @@
 package independence
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/stats"
+	"hypdb/source"
 )
 
 // MaterializedProvider implements the "materializing contingency tables"
 // optimization of Sec 6: the joint counts over a fixed attribute superset
-// are computed once (one scan), and every entropy or distinct-count request
-// over a subset is answered by marginalizing the materialized table, which
-// is much smaller than the data because the attributes involved in one CD
-// phase are few and correlated.
+// are computed once (one group-by count query against the backend), and
+// every entropy or distinct-count request over a subset is answered by
+// marginalizing the materialized table, which is much smaller than the data
+// because the attributes involved in one CD phase are few and correlated.
 type MaterializedProvider struct {
 	attrs   []string
 	attrPos map[string]int
@@ -25,18 +26,22 @@ type MaterializedProvider struct {
 	marginals map[uint64]map[string]int
 }
 
-// NewMaterializedProvider scans t once over the superset attrs.
-func NewMaterializedProvider(t *dataset.Table, attrs []string, est stats.Estimator) (*MaterializedProvider, error) {
+// NewMaterializedProvider issues one count query over the superset attrs.
+func NewMaterializedProvider(ctx context.Context, rel source.Relation, attrs []string, est stats.Estimator) (*MaterializedProvider, error) {
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("independence: materialization needs at least one attribute")
 	}
 	if len(attrs) > 62 {
 		return nil, fmt.Errorf("independence: materialization over %d attributes", len(attrs))
 	}
+	n, err := rel.NumRows(ctx)
+	if err != nil {
+		return nil, err
+	}
 	p := &MaterializedProvider{
 		attrs:     append([]string(nil), attrs...),
 		attrPos:   make(map[string]int, len(attrs)),
-		n:         t.NumRows(),
+		n:         n,
 		est:       est,
 		marginals: make(map[uint64]map[string]int),
 	}
@@ -46,7 +51,7 @@ func NewMaterializedProvider(t *dataset.Table, attrs []string, est stats.Estimat
 		}
 		p.attrPos[a] = i
 	}
-	counts, _, err := t.Counts(attrs...)
+	counts, err := rel.Counts(ctx, attrs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +110,7 @@ func (p *MaterializedProvider) subsetCounts(mask uint64) map[string]int {
 
 // JointEntropy implements EntropyProvider; the attribute set must be
 // covered by the materialized superset.
-func (p *MaterializedProvider) JointEntropy(attrs []string) (float64, error) {
+func (p *MaterializedProvider) JointEntropy(ctx context.Context, attrs []string) (float64, error) {
 	if len(attrs) == 0 {
 		return 0, nil
 	}
@@ -118,7 +123,7 @@ func (p *MaterializedProvider) JointEntropy(attrs []string) (float64, error) {
 }
 
 // DistinctCount implements EntropyProvider.
-func (p *MaterializedProvider) DistinctCount(attrs []string) (int, error) {
+func (p *MaterializedProvider) DistinctCount(ctx context.Context, attrs []string) (int, error) {
 	if len(attrs) == 0 {
 		return 1, nil
 	}

@@ -7,32 +7,33 @@ import (
 	"testing"
 
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 func TestMaterializedProviderMatchesScan(t *testing.T) {
 	tab := chainData(t, 600, 20)
-	mp, err := NewMaterializedProvider(tab, []string{"X", "Y", "Z"}, stats.MillerMadow)
+	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y", "Z"}, stats.MillerMadow)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp := NewScanProvider(tab, stats.MillerMadow)
+	sp := relProv(t, tab, stats.MillerMadow)
 	for _, sub := range [][]string{{"X"}, {"Y"}, {"Z"}, {"X", "Y"}, {"Y", "Z"}, {"X", "Y", "Z"}} {
-		hm, err := mp.JointEntropy(sub)
+		hm, err := mp.JointEntropy(context.Background(), sub)
 		if err != nil {
 			t.Fatalf("materialized entropy %v: %v", sub, err)
 		}
-		hs, err := sp.JointEntropy(sub)
+		hs, err := sp.JointEntropy(context.Background(), sub)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if math.Abs(hm-hs) > 1e-12 {
 			t.Errorf("subset %v: materialized %v != scan %v", sub, hm, hs)
 		}
-		dm, err := mp.DistinctCount(sub)
+		dm, err := mp.DistinctCount(context.Background(), sub)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ds, err := sp.DistinctCount(sub)
+		ds, err := sp.DistinctCount(context.Background(), sub)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func TestMaterializedProviderMatchesScan(t *testing.T) {
 
 func TestMaterializedProviderCoverage(t *testing.T) {
 	tab := chainData(t, 100, 21)
-	mp, err := NewMaterializedProvider(tab, []string{"X", "Y"}, stats.PlugIn)
+	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y"}, stats.PlugIn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,47 +58,47 @@ func TestMaterializedProviderCoverage(t *testing.T) {
 	if mp.Covers([]string{"Z"}) {
 		t.Error("uncovered subset accepted")
 	}
-	if _, err := mp.JointEntropy([]string{"Z"}); err == nil {
+	if _, err := mp.JointEntropy(context.Background(), []string{"Z"}); err == nil {
 		t.Error("uncovered entropy did not error")
 	}
-	if _, err := mp.DistinctCount([]string{"X", "Z"}); err == nil {
+	if _, err := mp.DistinctCount(context.Background(), []string{"X", "Z"}); err == nil {
 		t.Error("uncovered distinct did not error")
 	}
 	// Empty subset conventions.
-	if h, err := mp.JointEntropy(nil); err != nil || h != 0 {
+	if h, err := mp.JointEntropy(context.Background(), nil); err != nil || h != 0 {
 		t.Errorf("empty entropy = (%v,%v)", h, err)
 	}
-	if d, err := mp.DistinctCount(nil); err != nil || d != 1 {
+	if d, err := mp.DistinctCount(context.Background(), nil); err != nil || d != 1 {
 		t.Errorf("empty distinct = (%v,%v)", d, err)
 	}
 }
 
 func TestMaterializedProviderValidation(t *testing.T) {
 	tab := chainData(t, 50, 22)
-	if _, err := NewMaterializedProvider(tab, nil, stats.PlugIn); err == nil {
+	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), nil, stats.PlugIn); err == nil {
 		t.Error("empty superset accepted")
 	}
-	if _, err := NewMaterializedProvider(tab, []string{"X", "X"}, stats.PlugIn); err == nil {
+	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "X"}, stats.PlugIn); err == nil {
 		t.Error("duplicate attribute accepted")
 	}
-	if _, err := NewMaterializedProvider(tab, []string{"missing"}, stats.PlugIn); err == nil {
+	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"missing"}, stats.PlugIn); err == nil {
 		t.Error("missing attribute accepted")
 	}
 }
 
 func TestChiSquareWithMaterializedProvider(t *testing.T) {
 	tab := chainData(t, 900, 23)
-	mp, err := NewMaterializedProvider(tab, []string{"X", "Y", "Z"}, stats.MillerMadow)
+	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y", "Z"}, stats.MillerMadow)
 	if err != nil {
 		t.Fatal(err)
 	}
 	viaMat := ChiSquare{Provider: mp, Est: stats.MillerMadow}
 	viaScan := ChiSquare{Est: stats.MillerMadow}
-	r1, err := viaMat.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	r1, err := viaMat.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := viaScan.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	r2, err := viaScan.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}

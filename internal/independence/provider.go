@@ -7,67 +7,84 @@
 //
 // All tests share the Tester interface so that higher layers (Markov
 // boundary discovery, the CD algorithm, bias detection) are parameterized
-// by the testing strategy, exactly as in the paper's experiments.
+// by the testing strategy, exactly as in the paper's experiments. Tests
+// consume a source.Relation — the storage contract — so any backend that
+// answers dictionary-coded group-by counts (in-memory columnar, SQL with
+// count pushdown, ...) can drive them; only the naive shuffle test needs
+// row-level access and requires a source.Materializer-capable backend.
 package independence
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
 	"hypdb/internal/stats"
+	"hypdb/source"
 )
 
 // EntropyProvider supplies joint entropies and distinct counts over
-// attribute sets of one fixed table. Implementations differ in how counts
-// are obtained: scanning rows, marginalizing a materialized contingency
-// table, or probing a pre-computed OLAP cube (Sec 6).
+// attribute sets of one fixed relation. Implementations differ in how
+// counts are obtained: querying the backend per call, marginalizing a
+// materialized contingency table, or probing a pre-computed OLAP cube
+// (Sec 6).
 type EntropyProvider interface {
 	// JointEntropy returns the estimated H(attrs) in nats.
-	JointEntropy(attrs []string) (float64, error)
+	JointEntropy(ctx context.Context, attrs []string) (float64, error)
 	// DistinctCount returns |Π_attrs(D)|, the number of distinct
 	// combinations present in the data.
-	DistinctCount(attrs []string) (int, error)
-	// NumRows returns the number of rows of the underlying table.
+	DistinctCount(ctx context.Context, attrs []string) (int, error)
+	// NumRows returns the number of rows of the underlying relation.
 	NumRows() int
 }
 
-// ScanProvider computes entropies by scanning the table on every call.
-type ScanProvider struct {
-	Table *dataset.Table
-	Est   stats.Estimator
+// RelationProvider computes entropies with one backend Counts call per
+// request — the baseline strategy with no materialization.
+type RelationProvider struct {
+	Rel source.Relation
+	Est stats.Estimator
+	n   int
 }
 
-// NewScanProvider returns a provider over t using the given estimator.
-func NewScanProvider(t *dataset.Table, est stats.Estimator) *ScanProvider {
-	return &ScanProvider{Table: t, Est: est}
+// NewRelationProvider returns a provider over rel using the given
+// estimator. The row count is fetched eagerly (one aggregate query).
+func NewRelationProvider(ctx context.Context, rel source.Relation, est stats.Estimator) (*RelationProvider, error) {
+	n, err := rel.NumRows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &RelationProvider{Rel: rel, Est: est, n: n}, nil
 }
 
 // JointEntropy implements EntropyProvider.
-func (p *ScanProvider) JointEntropy(attrs []string) (float64, error) {
+func (p *RelationProvider) JointEntropy(ctx context.Context, attrs []string) (float64, error) {
 	if len(attrs) == 0 {
 		return 0, nil
 	}
-	counts, _, err := p.Table.Counts(attrs...)
+	counts, err := p.Rel.Counts(ctx, attrs, nil)
 	if err != nil {
 		return 0, err
 	}
-	return stats.EntropyCountsMap(counts, p.Table.NumRows(), p.Est), nil
+	return stats.EntropyCountsMap(counts, p.n, p.Est), nil
 }
 
 // DistinctCount implements EntropyProvider.
-func (p *ScanProvider) DistinctCount(attrs []string) (int, error) {
+func (p *RelationProvider) DistinctCount(ctx context.Context, attrs []string) (int, error) {
 	if len(attrs) == 0 {
 		return 1, nil
 	}
-	return p.Table.DistinctCount(attrs...)
+	counts, err := p.Rel.Counts(ctx, attrs, nil)
+	if err != nil {
+		return 0, err
+	}
+	return len(counts), nil
 }
 
 // NumRows implements EntropyProvider.
-func (p *ScanProvider) NumRows() int { return p.Table.NumRows() }
+func (p *RelationProvider) NumRows() int { return p.n }
 
 // CachedProvider memoizes another provider. This is the paper's "caching
 // entropy" optimization (Sec 6): H(T), H(TZ), ... are shared among many
@@ -99,7 +116,7 @@ func cacheKey(attrs []string) string {
 }
 
 // JointEntropy implements EntropyProvider.
-func (p *CachedProvider) JointEntropy(attrs []string) (float64, error) {
+func (p *CachedProvider) JointEntropy(ctx context.Context, attrs []string) (float64, error) {
 	k := cacheKey(attrs)
 	p.mu.Lock()
 	if h, ok := p.entropies[k]; ok {
@@ -109,7 +126,7 @@ func (p *CachedProvider) JointEntropy(attrs []string) (float64, error) {
 	}
 	p.misses++
 	p.mu.Unlock()
-	h, err := p.inner.JointEntropy(attrs)
+	h, err := p.inner.JointEntropy(ctx, attrs)
 	if err != nil {
 		return 0, err
 	}
@@ -120,7 +137,7 @@ func (p *CachedProvider) JointEntropy(attrs []string) (float64, error) {
 }
 
 // DistinctCount implements EntropyProvider.
-func (p *CachedProvider) DistinctCount(attrs []string) (int, error) {
+func (p *CachedProvider) DistinctCount(ctx context.Context, attrs []string) (int, error) {
 	k := cacheKey(attrs)
 	p.mu.Lock()
 	if d, ok := p.distinct[k]; ok {
@@ -130,7 +147,7 @@ func (p *CachedProvider) DistinctCount(attrs []string) (int, error) {
 	}
 	p.misses++
 	p.mu.Unlock()
-	d, err := p.inner.DistinctCount(attrs)
+	d, err := p.inner.DistinctCount(ctx, attrs)
 	if err != nil {
 		return 0, err
 	}
@@ -150,25 +167,25 @@ func (p *CachedProvider) Stats() (hits, misses int) {
 	return p.hits, p.misses
 }
 
-// ConditionalMI estimates I(x;y|z) on the provider's table using the
+// ConditionalMI estimates I(x;y|z) on the provider's relation using the
 // chain-rule identity over four joint entropies.
-func ConditionalMI(p EntropyProvider, x, y string, z []string) (float64, error) {
+func ConditionalMI(ctx context.Context, p EntropyProvider, x, y string, z []string) (float64, error) {
 	xz := append(append([]string(nil), z...), x)
 	yz := append(append([]string(nil), z...), y)
 	xyz := append(append([]string(nil), z...), x, y)
-	hXZ, err := p.JointEntropy(xz)
+	hXZ, err := p.JointEntropy(ctx, xz)
 	if err != nil {
 		return 0, err
 	}
-	hYZ, err := p.JointEntropy(yz)
+	hYZ, err := p.JointEntropy(ctx, yz)
 	if err != nil {
 		return 0, err
 	}
-	hXYZ, err := p.JointEntropy(xyz)
+	hXYZ, err := p.JointEntropy(ctx, xyz)
 	if err != nil {
 		return 0, err
 	}
-	hZ, err := p.JointEntropy(z)
+	hZ, err := p.JointEntropy(ctx, z)
 	if err != nil {
 		return 0, err
 	}
@@ -177,16 +194,16 @@ func ConditionalMI(p EntropyProvider, x, y string, z []string) (float64, error) 
 
 // DegreesOfFreedom returns (|Π_x|−1)(|Π_y|−1)·|Π_z| as used by the
 // parametric test (Sec 6).
-func DegreesOfFreedom(p EntropyProvider, x, y string, z []string) (int, error) {
-	dx, err := p.DistinctCount([]string{x})
+func DegreesOfFreedom(ctx context.Context, p EntropyProvider, x, y string, z []string) (int, error) {
+	dx, err := p.DistinctCount(ctx, []string{x})
 	if err != nil {
 		return 0, err
 	}
-	dy, err := p.DistinctCount([]string{y})
+	dy, err := p.DistinctCount(ctx, []string{y})
 	if err != nil {
 		return 0, err
 	}
-	dz, err := p.DistinctCount(z)
+	dz, err := p.DistinctCount(ctx, z)
 	if err != nil {
 		return 0, err
 	}
@@ -198,21 +215,21 @@ func DegreesOfFreedom(p EntropyProvider, x, y string, z []string) (int, error) {
 
 // ensureAttrs verifies the named attributes exist and are distinct between
 // the tested pair and the conditioning set.
-func ensureAttrs(t *dataset.Table, x, y string, z []string) error {
+func ensureAttrs(rel source.Relation, x, y string, z []string) error {
 	if x == y {
 		return fmt.Errorf("independence: testing %q against itself", x)
 	}
-	if !t.HasColumn(x) {
+	if !rel.HasAttribute(x) {
 		return fmt.Errorf("independence: no column %q: %w", x, hyperr.ErrUnknownAttribute)
 	}
-	if !t.HasColumn(y) {
+	if !rel.HasAttribute(y) {
 		return fmt.Errorf("independence: no column %q: %w", y, hyperr.ErrUnknownAttribute)
 	}
 	for _, a := range z {
 		if a == x || a == y {
 			return fmt.Errorf("independence: conditioning set contains tested attribute %q", a)
 		}
-		if !t.HasColumn(a) {
+		if !rel.HasAttribute(a) {
 			return fmt.Errorf("independence: no column %q: %w", a, hyperr.ErrUnknownAttribute)
 		}
 	}

@@ -1,0 +1,22 @@
+package independence
+
+import (
+	"context"
+	"testing"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/stats"
+	"hypdb/source/mem"
+)
+
+// relProv builds a RelationProvider over an in-memory table, failing the
+// test on error — the test-side replacement for the old table-scanning
+// provider constructor.
+func relProv(tb testing.TB, tab *dataset.Table, est stats.Estimator) *RelationProvider {
+	tb.Helper()
+	p, err := NewRelationProvider(context.Background(), mem.New(tab), est)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}

@@ -10,9 +10,9 @@ import (
 	"sync"
 
 	"hypdb/internal/contingency"
-	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
 	"hypdb/internal/stats"
+	"hypdb/source"
 )
 
 // Result reports the outcome of one conditional-independence test.
@@ -32,11 +32,14 @@ type Result struct {
 	Groups int
 }
 
-// Tester decides conditional independence X ⊥⊥ Y | Z on a table. The
+// Tester decides conditional independence X ⊥⊥ Y | Z on a relation. The
 // context cancels long-running tests: Monte-Carlo testers check it between
 // permutation replicates and return ctx.Err() wrapped in the test error.
+// Counts-based testers (ChiSquare, MIT, HyMIT) work on any source.Relation;
+// Shuffle needs rows and fails with ErrNeedsMaterialization on counts-only
+// backends.
 type Tester interface {
-	Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error)
+	Test(ctx context.Context, rel source.Relation, x, y string, z []string) (Result, error)
 }
 
 // Decision applies the significance level: independent iff p ≥ alpha.
@@ -52,32 +55,36 @@ const DefaultAlpha = 0.01
 // ChiSquare is the parametric test: G = 2n·Î(X;Y|Z) against the χ²
 // distribution with (|Π_X|−1)(|Π_Y|−1)|Π_Z| degrees of freedom.
 type ChiSquare struct {
-	// Provider supplies entropies; when nil a scanning provider with the
-	// Miller-Madow estimator is built per call.
+	// Provider supplies entropies; when nil a relation-backed provider with
+	// the configured estimator is built per call.
 	Provider EntropyProvider
 	Est      stats.Estimator
 }
 
 // Test implements Tester.
-func (c ChiSquare) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+func (c ChiSquare) Test(ctx context.Context, rel source.Relation, x, y string, z []string) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if err := ensureAttrs(t, x, y, z); err != nil {
+	if err := ensureAttrs(rel, x, y, z); err != nil {
 		return Result{}, err
-	}
-	if t.NumRows() == 0 {
-		return Result{}, fmt.Errorf("independence: %w", hyperr.ErrEmptyTable)
 	}
 	p := c.Provider
 	if p == nil {
-		p = NewScanProvider(t, c.Est)
+		rp, err := NewRelationProvider(ctx, rel, c.Est)
+		if err != nil {
+			return Result{}, err
+		}
+		p = rp
 	}
-	mi, err := ConditionalMI(p, x, y, z)
+	if p.NumRows() == 0 {
+		return Result{}, fmt.Errorf("independence: %w", hyperr.ErrEmptyTable)
+	}
+	mi, err := ConditionalMI(ctx, p, x, y, z)
 	if err != nil {
 		return Result{}, err
 	}
-	df, err := DegreesOfFreedom(p, x, y, z)
+	df, err := DegreesOfFreedom(ctx, p, x, y, z)
 	if err != nil {
 		return Result{}, err
 	}
@@ -85,7 +92,7 @@ func (c ChiSquare) Test(ctx context.Context, t *dataset.Table, x, y string, z []
 	if err != nil {
 		return Result{}, err
 	}
-	groups, err := p.DistinctCount(z)
+	groups, err := p.DistinctCount(ctx, z)
 	if err != nil {
 		return Result{}, err
 	}
@@ -98,7 +105,10 @@ func (c ChiSquare) Test(ctx context.Context, t *dataset.Table, x, y string, z []
 // MIT is the paper's optimized permutation test. Instead of reshuffling the
 // data it draws, per conditioning group z, random contingency tables with
 // the observed marginals (Patefield's algorithm) and aggregates their
-// mutual informations with weights Pr(z).
+// mutual informations with weights Pr(z). The observed tables are built
+// from one group-by count query over (Z, X, Y) — the statistic needs no
+// row-level access, which is what lets it run against pushed-down SQL
+// aggregation.
 type MIT struct {
 	// Permutations is the number of Monte-Carlo replicates m (Alg 2).
 	// Zero means DefaultPermutations.
@@ -135,27 +145,26 @@ type groupTable struct {
 }
 
 // Test implements Tester.
-func (m MIT) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+func (m MIT) Test(ctx context.Context, rel source.Relation, x, y string, z []string) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if err := ensureAttrs(t, x, y, z); err != nil {
+	if err := ensureAttrs(rel, x, y, z); err != nil {
 		return Result{}, err
-	}
-	n := t.NumRows()
-	if n == 0 {
-		return Result{}, fmt.Errorf("independence: %w", hyperr.ErrEmptyTable)
 	}
 	perms := m.Permutations
 	if perms <= 0 {
 		perms = DefaultPermutations
 	}
 
-	groups, err := buildGroupTables(t, x, y, z)
+	groups, err := buildGroupTables(ctx, rel, x, y, z)
 	if err != nil {
 		return Result{}, err
 	}
 	total := len(groups)
+	if total == 0 {
+		return Result{}, fmt.Errorf("independence: %w", hyperr.ErrEmptyTable)
+	}
 
 	// Informative groups are those where both X and Y vary; all others have
 	// MI identically zero under every permutation.
@@ -341,29 +350,59 @@ func (m MIT) runReplicates(ctx context.Context, groups []groupTable, perms int, 
 	return exceed, nil
 }
 
-// buildGroupTables groups the table by z and tabulates (x,y) within each
-// group, computing Pr(z) and the group weight w = Pr(z)·max(H(X|z),H(Y|z)).
-func buildGroupTables(t *dataset.Table, x, y string, z []string) ([]groupTable, error) {
-	xc, err := t.Column(x)
+// buildGroupTables derives the per-z-group (x,y) contingency tables from a
+// single dictionary-coded count query over (z..., x, y), computing Pr(z)
+// and the group weight w = Pr(z)·max(H(X|z),H(Y|z)). Groups come back in
+// sorted z-key order, matching the deterministic group-by ordering of the
+// in-memory pipeline.
+func buildGroupTables(ctx context.Context, rel source.Relation, x, y string, z []string) ([]groupTable, error) {
+	cardX, err := source.Card(ctx, rel, x)
 	if err != nil {
 		return nil, err
 	}
-	yc, err := t.Column(y)
+	cardY, err := source.Card(ctx, rel, y)
 	if err != nil {
 		return nil, err
 	}
-	groups, _, err := t.GroupBy(z...)
+	attrs := append(append([]string(nil), z...), x, y)
+	counts, err := rel.Counts(ctx, attrs, nil)
 	if err != nil {
 		return nil, err
 	}
-	n := float64(t.NumRows())
-	out := make([]groupTable, 0, len(groups))
-	for _, g := range groups {
-		ct, err := contingency.FromCodesRows(xc.Codes(), yc.Codes(), g.Rows, xc.Card(), yc.Card())
-		if err != nil {
-			return nil, err
+	nz := len(z)
+	byZ := make(map[string]*contingency.Table2)
+	total := 0
+	for k, c := range counts {
+		zk := string(k.Slice(0, nz))
+		ct, ok := byZ[zk]
+		if !ok {
+			ct, err = contingency.NewTable2(cardX, cardY)
+			if err != nil {
+				return nil, err
+			}
+			byZ[zk] = ct
 		}
-		prob := float64(len(g.Rows)) / n
+		xc, yc := k.Field(nz), k.Field(nz+1)
+		if xc < 0 || int(xc) >= cardX || yc < 0 || int(yc) >= cardY {
+			return nil, fmt.Errorf("independence: count code (%d,%d) outside dictionaries %dx%d", xc, yc, cardX, cardY)
+		}
+		ct.Add(int(xc), int(yc), c)
+		total += c
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	zkeys := make([]string, 0, len(byZ))
+	for k := range byZ {
+		zkeys = append(zkeys, k)
+	}
+	sort.Strings(zkeys)
+
+	n := float64(total)
+	out := make([]groupTable, 0, len(zkeys))
+	for _, zk := range zkeys {
+		ct := byZ[zk]
+		prob := float64(ct.Total()) / n
 		hx := ct.EntropyRows(stats.PlugIn)
 		hy := ct.EntropyCols(stats.PlugIn)
 		w := prob * math.Max(hx, hy)
@@ -426,11 +465,11 @@ type HyMIT struct {
 const DefaultBeta = 5.0
 
 // Test implements Tester.
-func (h HyMIT) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+func (h HyMIT) Test(ctx context.Context, rel source.Relation, x, y string, z []string) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if err := ensureAttrs(t, x, y, z); err != nil {
+	if err := ensureAttrs(rel, x, y, z); err != nil {
 		return Result{}, err
 	}
 	beta := h.Beta
@@ -439,14 +478,18 @@ func (h HyMIT) Test(ctx context.Context, t *dataset.Table, x, y string, z []stri
 	}
 	p := h.Provider
 	if p == nil {
-		p = NewScanProvider(t, h.Est)
+		rp, err := NewRelationProvider(ctx, rel, h.Est)
+		if err != nil {
+			return Result{}, err
+		}
+		p = rp
 	}
-	df, err := DegreesOfFreedom(p, x, y, z)
+	df, err := DegreesOfFreedom(ctx, p, x, y, z)
 	if err != nil {
 		return Result{}, err
 	}
-	if float64(t.NumRows()) >= beta*float64(df) && df > 0 {
-		res, err := (ChiSquare{Provider: p, Est: h.Est}).Test(ctx, t, x, y, z)
+	if float64(p.NumRows()) >= beta*float64(df) && df > 0 {
+		res, err := (ChiSquare{Provider: p, Est: h.Est}).Test(ctx, rel, x, y, z)
 		if err != nil {
 			return Result{}, err
 		}
@@ -460,7 +503,7 @@ func (h HyMIT) Test(ctx context.Context, t *dataset.Table, x, y string, z []stri
 		SampleFactor: h.SampleFactor,
 		Seed:         h.Seed,
 		Parallel:     h.Parallel,
-	}).Test(ctx, t, x, y, z)
+	}).Test(ctx, rel, x, y, z)
 	if err != nil {
 		return Result{}, err
 	}
@@ -476,6 +519,9 @@ func (h HyMIT) Test(ctx context.Context, t *dataset.Table, x, y string, z []stri
 // shuffled data. Its cost is proportional to m·|D|; the paper reports that
 // one such test "consumes hours" where MIT takes under a second. It exists
 // here as the Fig 6(b) baseline and as a correctness cross-check for MIT.
+//
+// Shuffle genuinely needs rows: on a counts-only relation it fails with an
+// error wrapping hyperr.ErrNeedsMaterialization.
 type Shuffle struct {
 	Permutations int
 	Est          stats.Estimator
@@ -483,12 +529,16 @@ type Shuffle struct {
 }
 
 // Test implements Tester.
-func (s Shuffle) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+func (s Shuffle) Test(ctx context.Context, rel source.Relation, x, y string, z []string) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if err := ensureAttrs(t, x, y, z); err != nil {
+	if err := ensureAttrs(rel, x, y, z); err != nil {
 		return Result{}, err
+	}
+	t, err := source.Materialize(ctx, rel)
+	if err != nil {
+		return Result{}, fmt.Errorf("independence: shuffle test: %w", err)
 	}
 	if t.NumRows() == 0 {
 		return Result{}, fmt.Errorf("independence: %w", hyperr.ErrEmptyTable)
@@ -575,11 +625,11 @@ type Counter struct {
 }
 
 // Test implements Tester.
-func (c *Counter) Test(ctx context.Context, t *dataset.Table, x, y string, z []string) (Result, error) {
+func (c *Counter) Test(ctx context.Context, rel source.Relation, x, y string, z []string) (Result, error) {
 	c.mu.Lock()
 	c.calls++
 	c.mu.Unlock()
-	return c.Inner.Test(ctx, t, x, y, z)
+	return c.Inner.Test(ctx, rel, x, y, z)
 }
 
 // Calls returns the number of tests performed so far.

@@ -10,6 +10,7 @@ import (
 
 	"hypdb/internal/dataset"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 // chainData builds a table with structure X ← Z → Y: X and Y are
@@ -65,7 +66,7 @@ func testers(seed int64) map[string]Tester {
 func TestAllTestersDetectMarginalDependence(t *testing.T) {
 	tab := chainData(t, 2000, 1)
 	for name, ts := range testers(7) {
-		res, err := ts.Test(context.Background(), tab, "X", "Y", nil)
+		res, err := ts.Test(context.Background(), mem.New(tab), "X", "Y", nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -81,7 +82,7 @@ func TestAllTestersDetectMarginalDependence(t *testing.T) {
 func TestAllTestersAcceptConditionalIndependence(t *testing.T) {
 	tab := chainData(t, 2000, 2)
 	for name, ts := range testers(8) {
-		res, err := ts.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+		res, err := ts.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -94,7 +95,7 @@ func TestAllTestersAcceptConditionalIndependence(t *testing.T) {
 func TestAllTestersAcceptIndependence(t *testing.T) {
 	tab := independentData(t, 2000, 3)
 	for name, ts := range testers(9) {
-		res, err := ts.Test(context.Background(), tab, "X", "Y", nil)
+		res, err := ts.Test(context.Background(), mem.New(tab), "X", "Y", nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -110,22 +111,22 @@ func TestMITDeterministicAcrossParallel(t *testing.T) {
 	par := MIT{Permutations: 300, Seed: 42, Est: stats.PlugIn, Parallel: true}
 	// Sequential and parallel use different replicate seeding, so exact
 	// p-value equality is only guaranteed within each mode.
-	r1, err := seq.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	r1, err := seq.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := seq.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	r2, err := seq.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.PValue != r2.PValue {
 		t.Errorf("sequential MIT not deterministic: %v vs %v", r1.PValue, r2.PValue)
 	}
-	p1, err := par.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	p1, err := par.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := par.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	p2, err := par.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +142,11 @@ func TestMITAgreesWithShuffle(t *testing.T) {
 	mit := MIT{Permutations: 600, Seed: 10, Est: stats.PlugIn}
 	shf := Shuffle{Permutations: 600, Seed: 11, Est: stats.PlugIn}
 	for _, z := range [][]string{nil, {"Z"}} {
-		rm, err := mit.Test(context.Background(), tab, "X", "Y", z)
+		rm, err := mit.Test(context.Background(), mem.New(tab), "X", "Y", z)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rs, err := shf.Test(context.Background(), tab, "X", "Y", z)
+		rs, err := shf.Test(context.Background(), mem.New(tab), "X", "Y", z)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func TestMITAgreesWithShuffle(t *testing.T) {
 
 func TestMITPValueCIReported(t *testing.T) {
 	tab := independentData(t, 500, 6)
-	res, err := MIT{Permutations: 200, Seed: 1, Est: stats.PlugIn}.Test(context.Background(), tab, "X", "Y", nil)
+	res, err := MIT{Permutations: 200, Seed: 1, Est: stats.PlugIn}.Test(context.Background(), mem.New(tab), "X", "Y", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestMITPValueCIReported(t *testing.T) {
 func TestHyMITBranchSelection(t *testing.T) {
 	// Large n, tiny df ⇒ chi2 branch.
 	big := chainData(t, 3000, 7)
-	res, err := HyMIT{Permutations: 100, Seed: 1, Est: stats.MillerMadow}.Test(context.Background(), big, "X", "Y", []string{"Z"})
+	res, err := HyMIT{Permutations: 100, Seed: 1, Est: stats.MillerMadow}.Test(context.Background(), mem.New(big), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestHyMITBranchSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = HyMIT{Permutations: 100, Seed: 1}.Test(context.Background(), small, "X", "Y", []string{"A", "B", "C"})
+	res, err = HyMIT{Permutations: 100, Seed: 1}.Test(context.Background(), mem.New(small), "X", "Y", []string{"A", "B", "C"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestDegenerateConstantColumn(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name, ts := range testers(1) {
-		res, err := ts.Test(context.Background(), tab, "X", "Y", nil)
+		res, err := ts.Test(context.Background(), mem.New(tab), "X", "Y", nil)
 		if err != nil {
 			t.Fatalf("%s: constant column should not error: %v", name, err)
 		}
@@ -224,16 +225,16 @@ func TestDegenerateConstantColumn(t *testing.T) {
 func TestInputValidation(t *testing.T) {
 	tab := independentData(t, 50, 9)
 	for name, ts := range testers(2) {
-		if _, err := ts.Test(context.Background(), tab, "X", "X", nil); err == nil {
+		if _, err := ts.Test(context.Background(), mem.New(tab), "X", "X", nil); err == nil {
 			t.Errorf("%s: self-test accepted", name)
 		}
-		if _, err := ts.Test(context.Background(), tab, "X", "missing", nil); err == nil {
+		if _, err := ts.Test(context.Background(), mem.New(tab), "X", "missing", nil); err == nil {
 			t.Errorf("%s: missing column accepted", name)
 		}
-		if _, err := ts.Test(context.Background(), tab, "X", "Y", []string{"X"}); err == nil {
+		if _, err := ts.Test(context.Background(), mem.New(tab), "X", "Y", []string{"X"}); err == nil {
 			t.Errorf("%s: conditioning on tested attribute accepted", name)
 		}
-		if _, err := ts.Test(context.Background(), tab, "X", "Y", []string{"missing"}); err == nil {
+		if _, err := ts.Test(context.Background(), mem.New(tab), "X", "Y", []string{"missing"}); err == nil {
 			t.Errorf("%s: missing conditioning attribute accepted", name)
 		}
 	}
@@ -258,7 +259,7 @@ func TestMITGroupSamplingStillDetectsDependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := MIT{Permutations: 300, Seed: 3, SampleGroups: true, Est: stats.PlugIn}.
-		Test(context.Background(), tab, "X", "Y", []string{"Z1", "Z2", "Z3"})
+		Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z1", "Z2", "Z3"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,13 +273,13 @@ func TestMITGroupSamplingStillDetectsDependence(t *testing.T) {
 
 func TestCachedProvider(t *testing.T) {
 	tab := chainData(t, 500, 11)
-	cached := NewCachedProvider(NewScanProvider(tab, stats.MillerMadow))
-	h1, err := cached.JointEntropy([]string{"X", "Z"})
+	cached := NewCachedProvider(relProv(t, tab, stats.MillerMadow))
+	h1, err := cached.JointEntropy(context.Background(), []string{"X", "Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Attribute order must not matter for the cache or the value.
-	h2, err := cached.JointEntropy([]string{"Z", "X"})
+	h2, err := cached.JointEntropy(context.Background(), []string{"Z", "X"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,10 +290,10 @@ func TestCachedProvider(t *testing.T) {
 	if hits != 1 || misses != 1 {
 		t.Errorf("cache stats = (%d hits, %d misses), want (1,1)", hits, misses)
 	}
-	if _, err := cached.DistinctCount([]string{"X"}); err != nil {
+	if _, err := cached.DistinctCount(context.Background(), []string{"X"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cached.DistinctCount([]string{"X"}); err != nil {
+	if _, err := cached.DistinctCount(context.Background(), []string{"X"}); err != nil {
 		t.Fatal(err)
 	}
 	hits, _ = cached.Stats()
@@ -307,12 +308,12 @@ func TestCachedProvider(t *testing.T) {
 func TestChiSquareWithCachedProviderMatchesScan(t *testing.T) {
 	tab := chainData(t, 800, 12)
 	scan := ChiSquare{Est: stats.MillerMadow}
-	cached := ChiSquare{Provider: NewCachedProvider(NewScanProvider(tab, stats.MillerMadow)), Est: stats.MillerMadow}
-	r1, err := scan.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	cached := ChiSquare{Provider: NewCachedProvider(relProv(t, tab, stats.MillerMadow)), Est: stats.MillerMadow}
+	r1, err := scan.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := cached.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	r2, err := cached.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestCounter(t *testing.T) {
 	tab := independentData(t, 100, 13)
 	c := &Counter{Inner: ChiSquare{Est: stats.PlugIn}}
 	for i := 0; i < 3; i++ {
-		if _, err := c.Test(context.Background(), tab, "X", "Y", nil); err != nil {
+		if _, err := c.Test(context.Background(), mem.New(tab), "X", "Y", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -350,14 +351,14 @@ func TestDecision(t *testing.T) {
 func TestShuffleDetectsAndAccepts(t *testing.T) {
 	tab := chainData(t, 300, 14)
 	s := Shuffle{Permutations: 300, Seed: 15, Est: stats.PlugIn}
-	dep, err := s.Test(context.Background(), tab, "X", "Y", nil)
+	dep, err := s.Test(context.Background(), mem.New(tab), "X", "Y", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dep.PValue > 0.01 {
 		t.Errorf("shuffle missed dependence: p = %v", dep.PValue)
 	}
-	ind, err := s.Test(context.Background(), tab, "X", "Y", []string{"Z"})
+	ind, err := s.Test(context.Background(), mem.New(tab), "X", "Y", []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ func TestMITCalibrationUnderNull(t *testing.T) {
 	trials := 120
 	for tr := 0; tr < trials; tr++ {
 		tab := independentData(t, 200, int64(100+tr))
-		res, err := MIT{Permutations: 200, Seed: int64(tr), Est: stats.PlugIn}.Test(context.Background(), tab, "X", "Y", nil)
+		res, err := MIT{Permutations: 200, Seed: int64(tr), Est: stats.PlugIn}.Test(context.Background(), mem.New(tab), "X", "Y", nil)
 		if err != nil {
 			t.Fatal(err)
 		}

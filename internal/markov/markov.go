@@ -4,7 +4,9 @@
 // (IAMB, [58]), one of the baselines in the Fig 5 quality comparison.
 //
 // Both algorithms are parameterized by an independence.Tester so they can
-// run against χ², MIT, HyMIT, or a ground-truth d-separation oracle.
+// run against χ², MIT, HyMIT, or a ground-truth d-separation oracle, and
+// consume a source.Relation, so they run unchanged against any counts-
+// answering storage backend.
 package markov
 
 import (
@@ -12,10 +14,10 @@ import (
 	"fmt"
 	"sort"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
 	"hypdb/internal/independence"
 	"hypdb/internal/stats"
+	"hypdb/source"
 )
 
 // Config controls boundary discovery.
@@ -40,18 +42,18 @@ func (c Config) alpha() float64 {
 // the two-phase Grow-Shrink algorithm. Candidates are visited in order of
 // decreasing marginal association with the target (the standard GS
 // heuristic), which both speeds convergence and improves robustness.
-func GrowShrink(ctx context.Context, t *dataset.Table, target string, candidates []string, cfg Config) ([]string, error) {
+func GrowShrink(ctx context.Context, rel source.Relation, target string, candidates []string, cfg Config) ([]string, error) {
 	if cfg.Tester == nil {
 		return nil, fmt.Errorf("markov: nil tester")
 	}
-	if !t.HasColumn(target) {
+	if !rel.HasAttribute(target) {
 		return nil, fmt.Errorf("markov: no column %q: %w", target, hyperr.ErrUnknownAttribute)
 	}
-	cands, err := validCandidates(t, target, candidates)
+	cands, err := validCandidates(rel, target, candidates)
 	if err != nil {
 		return nil, err
 	}
-	ordered, err := orderByAssociation(t, target, cands)
+	ordered, err := orderByAssociation(ctx, rel, target, cands)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +72,7 @@ func GrowShrink(ctx context.Context, t *dataset.Table, target string, candidates
 			if cfg.MaxBoundary > 0 && len(boundary) >= cfg.MaxBoundary {
 				break
 			}
-			res, err := cfg.Tester.Test(ctx, t, target, x, boundary)
+			res, err := cfg.Tester.Test(ctx, rel, target, x, boundary)
 			if err != nil {
 				return nil, err
 			}
@@ -83,7 +85,7 @@ func GrowShrink(ctx context.Context, t *dataset.Table, target string, candidates
 	}
 
 	// Shrink: remove any member independent of the target given the rest.
-	return shrink(ctx, t, target, boundary, cfg)
+	return shrink(ctx, rel, target, boundary, cfg)
 }
 
 // IAMB computes the Markov boundary with the Incremental Association
@@ -91,14 +93,14 @@ func GrowShrink(ctx context.Context, t *dataset.Table, target string, candidates
 // with the strongest association (largest estimated CMI) with the target
 // given the current boundary, provided the dependence is significant. The
 // shrink phase is identical to Grow-Shrink's.
-func IAMB(ctx context.Context, t *dataset.Table, target string, candidates []string, cfg Config) ([]string, error) {
+func IAMB(ctx context.Context, rel source.Relation, target string, candidates []string, cfg Config) ([]string, error) {
 	if cfg.Tester == nil {
 		return nil, fmt.Errorf("markov: nil tester")
 	}
-	if !t.HasColumn(target) {
+	if !rel.HasAttribute(target) {
 		return nil, fmt.Errorf("markov: no column %q: %w", target, hyperr.ErrUnknownAttribute)
 	}
-	cands, err := validCandidates(t, target, candidates)
+	cands, err := validCandidates(rel, target, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +118,7 @@ func IAMB(ctx context.Context, t *dataset.Table, target string, candidates []str
 			if inB[x] {
 				continue
 			}
-			res, err := cfg.Tester.Test(ctx, t, target, x, boundary)
+			res, err := cfg.Tester.Test(ctx, rel, target, x, boundary)
 			if err != nil {
 				return nil, err
 			}
@@ -131,12 +133,12 @@ func IAMB(ctx context.Context, t *dataset.Table, target string, candidates []str
 		inB[best] = true
 	}
 
-	return shrink(ctx, t, target, boundary, cfg)
+	return shrink(ctx, rel, target, boundary, cfg)
 }
 
 // shrink removes boundary members that are independent of the target given
 // the remaining members, iterating to a fixed point.
-func shrink(ctx context.Context, t *dataset.Table, target string, boundary []string, cfg Config) ([]string, error) {
+func shrink(ctx context.Context, rel source.Relation, target string, boundary []string, cfg Config) ([]string, error) {
 	alpha := cfg.alpha()
 	out := append([]string(nil), boundary...)
 	for changed := true; changed; {
@@ -145,7 +147,7 @@ func shrink(ctx context.Context, t *dataset.Table, target string, boundary []str
 			rest := make([]string, 0, len(out)-1)
 			rest = append(rest, out[:i]...)
 			rest = append(rest, out[i+1:]...)
-			res, err := cfg.Tester.Test(ctx, t, target, out[i], rest)
+			res, err := cfg.Tester.Test(ctx, rel, target, out[i], rest)
 			if err != nil {
 				return nil, err
 			}
@@ -161,7 +163,7 @@ func shrink(ctx context.Context, t *dataset.Table, target string, boundary []str
 }
 
 // validCandidates filters out the target itself and verifies existence.
-func validCandidates(t *dataset.Table, target string, candidates []string) ([]string, error) {
+func validCandidates(rel source.Relation, target string, candidates []string) ([]string, error) {
 	out := make([]string, 0, len(candidates))
 	seen := make(map[string]bool, len(candidates))
 	for _, c := range candidates {
@@ -172,7 +174,7 @@ func validCandidates(t *dataset.Table, target string, candidates []string) ([]st
 			return nil, fmt.Errorf("markov: duplicate candidate %q", c)
 		}
 		seen[c] = true
-		if !t.HasColumn(c) {
+		if !rel.HasAttribute(c) {
 			return nil, fmt.Errorf("markov: no column %q: %w", c, hyperr.ErrUnknownAttribute)
 		}
 		out = append(out, c)
@@ -181,23 +183,40 @@ func validCandidates(t *dataset.Table, target string, candidates []string) ([]st
 }
 
 // orderByAssociation sorts candidates by decreasing estimated marginal
-// mutual information with the target.
-func orderByAssociation(t *dataset.Table, target string, candidates []string) ([]string, error) {
-	tc, err := t.Column(target)
+// mutual information with the target, computed from one pairwise count
+// query per candidate.
+func orderByAssociation(ctx context.Context, rel source.Relation, target string, candidates []string) ([]string, error) {
+	cardT, err := source.Card(ctx, rel, target)
+	if err != nil {
+		return nil, err
+	}
+	n, err := rel.NumRows(ctx)
 	if err != nil {
 		return nil, err
 	}
 	mis := make([]float64, len(candidates))
 	for i, c := range candidates {
-		cc, err := t.Column(c)
+		cardC, err := source.Card(ctx, rel, c)
 		if err != nil {
 			return nil, err
 		}
-		mi, err := stats.MutualInformationCodes(tc.Codes(), cc.Codes(), tc.Card(), cc.Card(), stats.PlugIn)
+		joint, err := rel.Counts(ctx, []string{target, c}, nil)
 		if err != nil {
 			return nil, err
 		}
-		mis[i] = mi
+		// H(T) and H(C) from dense marginals folded out of the joint (in
+		// code order, matching the code-vector estimator exactly); H(TC)
+		// from the joint multiset.
+		denseT := make([]int, cardT)
+		denseC := make([]int, cardC)
+		for k, cnt := range joint {
+			denseT[k.Field(0)] += cnt
+			denseC[k.Field(1)] += cnt
+		}
+		ht := stats.EntropyCounts(denseT, n, stats.PlugIn)
+		hc := stats.EntropyCounts(denseC, n, stats.PlugIn)
+		htc := stats.EntropyCountsMap(joint, n, stats.PlugIn)
+		mis[i] = ht + hc - htc
 	}
 	order := stats.RankDescending(mis)
 	out := make([]string, len(candidates))

@@ -11,6 +11,7 @@ import (
 	"hypdb/internal/dataset"
 	"hypdb/internal/independence"
 	"hypdb/internal/stats"
+	"hypdb/source/mem"
 )
 
 // paperDAG is the Fig 2 graph: Z → T ← W, T → Y, T → C ← D.
@@ -61,7 +62,7 @@ func TestGrowShrinkOracleRecoversBoundary(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := GrowShrink(context.Background(), tab, target, others(g, target), cfg)
+		got, err := GrowShrink(context.Background(), mem.New(tab), target, others(g, target), cfg)
 		if err != nil {
 			t.Fatalf("GrowShrink(%s): %v", target, err)
 		}
@@ -80,7 +81,7 @@ func TestIAMBOracleRecoversBoundary(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := IAMB(context.Background(), tab, target, others(g, target), cfg)
+		got, err := IAMB(context.Background(), mem.New(tab), target, others(g, target), cfg)
 		if err != nil {
 			t.Fatalf("IAMB(%s): %v", target, err)
 		}
@@ -104,7 +105,7 @@ func TestGrowShrinkOracleRandomDAGs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := GrowShrink(context.Background(), tab, target, others(g, target), cfg)
+		got, err := GrowShrink(context.Background(), mem.New(tab), target, others(g, target), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestGrowShrinkOnSampledData(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := Config{Tester: independence.ChiSquare{Est: stats.MillerMadow}}
-	got, err := GrowShrink(context.Background(), tab, "T", []string{"A", "B", "Y"}, cfg)
+	got, err := GrowShrink(context.Background(), mem.New(tab), "T", []string{"A", "B", "Y"}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,20 +145,20 @@ func TestGrowShrinkOnSampledData(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	g := paperDAG(t)
 	tab := dummyTable(t, g)
-	if _, err := GrowShrink(context.Background(), tab, "T", []string{"Z"}, Config{}); err == nil {
+	if _, err := GrowShrink(context.Background(), mem.New(tab), "T", []string{"Z"}, Config{}); err == nil {
 		t.Error("nil tester accepted")
 	}
 	cfg := Config{Tester: dag.Oracle{G: g}}
-	if _, err := GrowShrink(context.Background(), tab, "missing", []string{"Z"}, cfg); err == nil {
+	if _, err := GrowShrink(context.Background(), mem.New(tab), "missing", []string{"Z"}, cfg); err == nil {
 		t.Error("missing target accepted")
 	}
-	if _, err := GrowShrink(context.Background(), tab, "T", []string{"missing"}, cfg); err == nil {
+	if _, err := GrowShrink(context.Background(), mem.New(tab), "T", []string{"missing"}, cfg); err == nil {
 		t.Error("missing candidate accepted")
 	}
-	if _, err := GrowShrink(context.Background(), tab, "T", []string{"Z", "Z"}, cfg); err == nil {
+	if _, err := GrowShrink(context.Background(), mem.New(tab), "T", []string{"Z", "Z"}, cfg); err == nil {
 		t.Error("duplicate candidate accepted")
 	}
-	if _, err := IAMB(context.Background(), tab, "T", []string{"Z"}, Config{}); err == nil {
+	if _, err := IAMB(context.Background(), mem.New(tab), "T", []string{"Z"}, Config{}); err == nil {
 		t.Error("IAMB nil tester accepted")
 	}
 }
@@ -167,7 +168,7 @@ func TestTargetExcludedFromCandidates(t *testing.T) {
 	tab := dummyTable(t, g)
 	cfg := Config{Tester: dag.Oracle{G: g}}
 	// Passing the target among candidates is tolerated (skipped).
-	got, err := GrowShrink(context.Background(), tab, "T", g.Names(), cfg)
+	got, err := GrowShrink(context.Background(), mem.New(tab), "T", g.Names(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestMaxBoundaryCap(t *testing.T) {
 	g := paperDAG(t)
 	tab := dummyTable(t, g)
 	cfg := Config{Tester: dag.Oracle{G: g}, MaxBoundary: 2}
-	got, err := GrowShrink(context.Background(), tab, "T", others(g, "T"), cfg)
+	got, err := GrowShrink(context.Background(), mem.New(tab), "T", others(g, "T"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestEmptyCandidates(t *testing.T) {
 	g := paperDAG(t)
 	tab := dummyTable(t, g)
 	cfg := Config{Tester: dag.Oracle{G: g}}
-	got, err := GrowShrink(context.Background(), tab, "T", nil, cfg)
+	got, err := GrowShrink(context.Background(), mem.New(tab), "T", nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +209,11 @@ func TestBoundaryDeterministicOrder(t *testing.T) {
 	g := paperDAG(t)
 	tab := dummyTable(t, g)
 	cfg := Config{Tester: dag.Oracle{G: g}}
-	a, err := GrowShrink(context.Background(), tab, "T", others(g, "T"), cfg)
+	a, err := GrowShrink(context.Background(), mem.New(tab), "T", others(g, "T"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := GrowShrink(context.Background(), tab, "T", others(g, "T"), cfg)
+	b, err := GrowShrink(context.Background(), mem.New(tab), "T", others(g, "T"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

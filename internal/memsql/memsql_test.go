@@ -1,0 +1,195 @@
+package memsql
+
+import (
+	"database/sql"
+	"testing"
+
+	"hypdb/internal/dataset"
+)
+
+func registerFixture(t *testing.T, name string) *sql.DB {
+	t.Helper()
+	b := dataset.NewBuilder("Carrier", "Airport", "Delayed")
+	for _, r := range [][3]string{
+		{"AA", "COS", "1"}, {"AA", "COS", "0"}, {"UA", "COS", "0"},
+		{"UA", "MFE", "1"}, {"AA", "MFE", "1"}, {"UA", "MFE", "0"},
+		{"AA", "RO C", "0"}, // value with a space exercises quoting
+	} {
+		b.MustAdd(r[0], r[1], r[2])
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Register(name, tab)
+	t.Cleanup(func() { Unregister(name) })
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSchemaProbe(t *testing.T) {
+	db := registerFixture(t, "probe")
+	rows, err := db.Query(`SELECT * FROM "probe" WHERE 1=0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 || cols[0] != "Carrier" {
+		t.Fatalf("columns = %v", cols)
+	}
+	if rows.Next() {
+		t.Fatal("schema probe returned rows")
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	db := registerFixture(t, "countstar")
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM "countstar"`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("COUNT(*) = %d, want 7", n)
+	}
+	if err := db.QueryRow(`SELECT COUNT(*) FROM "countstar" WHERE Carrier = 'AA'`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("filtered COUNT(*) = %d, want 4", n)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := registerFixture(t, "distinct")
+	rows, err := db.Query(`SELECT DISTINCT "Airport" FROM "distinct"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	seen := map[string]bool{}
+	for rows.Next() {
+		var v string
+		if err := rows.Scan(&v); err != nil {
+			t.Fatal(err)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 || !seen["RO C"] {
+		t.Fatalf("distinct airports = %v", seen)
+	}
+}
+
+func TestGroupByCounts(t *testing.T) {
+	db := registerFixture(t, "groupby")
+	rows, err := db.Query(`SELECT "Carrier", "Delayed", COUNT(*) FROM "groupby" WHERE Airport IN ('COS','MFE') GROUP BY "Carrier", "Delayed"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	got := map[string]int{}
+	for rows.Next() {
+		var c, d string
+		var n int
+		if err := rows.Scan(&c, &d, &n); err != nil {
+			t.Fatal(err)
+		}
+		got[c+"/"+d] = n
+	}
+	want := map[string]int{"AA/1": 2, "AA/0": 1, "UA/0": 2, "UA/1": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("group %s = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestProjectionPreservesRowOrder(t *testing.T) {
+	db := registerFixture(t, "projection")
+	rows, err := db.Query(`SELECT "Carrier" FROM "projection" WHERE Delayed = '1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []string
+	for rows.Next() {
+		var v string
+		if err := rows.Scan(&v); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	want := []string{"AA", "UA", "AA"}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRejectsUnsupportedSQL(t *testing.T) {
+	db := registerFixture(t, "reject")
+	for _, q := range []string{
+		`DELETE FROM "reject"`,
+		`SELECT * FROM "reject"`, // only valid as a schema probe
+		`SELECT Carrier, COUNT(*) FROM "reject"`,
+		`SELECT COUNT(*) FROM "missing_table"`,
+	} {
+		if rows, err := db.Query(q); err == nil {
+			rows.Close()
+			t.Errorf("query %q unexpectedly succeeded", q)
+		}
+	}
+}
+
+func TestWhitespaceInsideLiteralsPreserved(t *testing.T) {
+	b := dataset.NewBuilder("city", "n")
+	b.MustAdd("New  York", "1") // two spaces — must survive normalization
+	b.MustAdd("New York", "2")
+	b.MustAdd("New  York", "3")
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Register("ws", tab)
+	defer Unregister("ws")
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM "ws" WHERE "city" = 'New  York'`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("COUNT(*) with double-space literal = %d, want 2", n)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := registerFixture(t, "countdistinct")
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(DISTINCT "Airport") FROM "countdistinct"`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("COUNT(DISTINCT Airport) = %d, want 3", n)
+	}
+	if err := db.QueryRow(`SELECT COUNT(DISTINCT "Airport") FROM "countdistinct" WHERE Carrier = 'UA'`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("filtered COUNT(DISTINCT Airport) = %d, want 2", n)
+	}
+}

@@ -1,18 +1,27 @@
 // Package query implements HypDB's OLAP query model: the group-by-average
-// queries of Listing 1, their naive execution, and the bias-removing
-// rewriting of Listing 2 — the adjustment formula (Eq 2) with exact
-// matching for the total effect, and the mediator formula (Eq 3) for the
-// natural direct effect. It also renders both the original and the
-// rewritten query as SQL text, as HypDB shows them to the analyst.
+// queries of Listing 1, their execution, and the bias-removing rewriting of
+// Listing 2 — the adjustment formula (Eq 2) with exact matching for the
+// total effect, and the mediator formula (Eq 3) for the natural direct
+// effect. It also renders both the original and the rewritten query as SQL
+// text, as HypDB shows them to the analyst.
+//
+// Execution consumes a source.Relation and is computed entirely from
+// dictionary-coded group-by counts: avg(Y) over a group is Σ_v v·n_v / n
+// because outcomes are categorical-coded numerics — which is what lets the
+// same code run against the in-memory backend and against a SQL database
+// with count pushdown.
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
+	"hypdb/source"
 )
 
 // Query is the OLAP query of Listing 1:
@@ -33,12 +42,13 @@ type Query struct {
 	Where dataset.Predicate
 }
 
-// Validate checks the query against a table's schema.
-func (q Query) Validate(t *dataset.Table) error {
+// Validate checks the query against a relation's schema, including that
+// every outcome decodes to numeric values.
+func (q Query) Validate(ctx context.Context, rel source.Relation) error {
 	if q.Treatment == "" {
 		return fmt.Errorf("query: empty treatment")
 	}
-	if !t.HasColumn(q.Treatment) {
+	if !rel.HasAttribute(q.Treatment) {
 		return fmt.Errorf("query: no treatment column %q: %w", q.Treatment, hyperr.ErrUnknownAttribute)
 	}
 	if len(q.Outcomes) == 0 {
@@ -46,19 +56,19 @@ func (q Query) Validate(t *dataset.Table) error {
 	}
 	seen := map[string]bool{q.Treatment: true}
 	for _, y := range q.Outcomes {
-		if !t.HasColumn(y) {
+		if !rel.HasAttribute(y) {
 			return fmt.Errorf("query: no outcome column %q: %w", y, hyperr.ErrUnknownAttribute)
 		}
 		if seen[y] {
 			return fmt.Errorf("query: attribute %q used twice", y)
 		}
 		seen[y] = true
-		if _, err := t.Float(y); err != nil {
-			return fmt.Errorf("query: outcome %q: %v", y, err)
+		if _, err := FloatDict(ctx, rel, y); err != nil {
+			return fmt.Errorf("query: outcome %q: %w", y, err)
 		}
 	}
 	for _, x := range q.Groupings {
-		if !t.HasColumn(x) {
+		if !rel.HasAttribute(x) {
 			return fmt.Errorf("query: no grouping column %q: %w", x, hyperr.ErrUnknownAttribute)
 		}
 		if seen[x] {
@@ -67,6 +77,25 @@ func (q Query) Validate(t *dataset.Table) error {
 		seen[x] = true
 	}
 	return nil
+}
+
+// FloatDict decodes an attribute's dictionary into float64s by parsing its
+// labels. Labels that do not parse cause an error naming the offending
+// value.
+func FloatDict(ctx context.Context, rel source.Relation, attr string) ([]float64, error) {
+	labels, err := rel.Labels(ctx, attr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(labels))
+	for code, l := range labels {
+		v, err := strconv.ParseFloat(l, 64)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: value %q is not numeric", attr, l)
+		}
+		out[code] = v
+	}
+	return out, nil
 }
 
 // SQL renders the query as Listing 1 text.
@@ -98,16 +127,21 @@ func (q Query) tableName() string {
 	return q.Table
 }
 
-// View applies the WHERE clause and returns the selected subpopulation.
-func (q Query) View(t *dataset.Table) (*dataset.Table, error) {
-	if err := q.Validate(t); err != nil {
+// View applies the WHERE clause and returns the selected subpopulation as a
+// restricted relation.
+func (q Query) View(ctx context.Context, rel source.Relation) (source.Relation, error) {
+	if err := q.Validate(ctx, rel); err != nil {
 		return nil, err
 	}
-	view, err := t.Select(q.Where)
+	view, err := rel.Restrict(ctx, q.Where)
 	if err != nil {
 		return nil, err
 	}
-	if view.NumRows() == 0 {
+	n, err := view.NumRows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
 		return nil, fmt.Errorf("query: WHERE clause selects no rows: %w", hyperr.ErrEmptySelection)
 	}
 	return view, nil
@@ -132,56 +166,82 @@ type Answer struct {
 	Rows  []Row
 }
 
-// Run executes the query naively (Listing 1 semantics).
-func Run(t *dataset.Table, q Query) (*Answer, error) {
-	view, err := q.View(t)
+// Run executes the query (Listing 1 semantics) from one group-by count over
+// (T, X..., Y...) pushed to the backend.
+func Run(ctx context.Context, rel source.Relation, q Query) (*Answer, error) {
+	view, err := q.View(ctx, rel)
 	if err != nil {
 		return nil, err
 	}
-	outcomes := make([][]float64, len(q.Outcomes))
+	yvals := make([][]float64, len(q.Outcomes))
 	for i, y := range q.Outcomes {
-		vals, err := view.Float(y)
+		yvals[i], err = FloatDict(ctx, view, y)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("query: outcome %q: %w", y, err)
 		}
-		outcomes[i] = vals
 	}
-	attrs := append([]string{q.Treatment}, q.Groupings...)
-	groups, enc, err := view.GroupBy(attrs...)
+	groupAttrs := append([]string{q.Treatment}, q.Groupings...)
+	attrs := append(append([]string(nil), groupAttrs...), q.Outcomes...)
+	counts, err := view.Counts(ctx, attrs, nil)
 	if err != nil {
 		return nil, err
 	}
-	tc, err := view.Column(q.Treatment)
+	nG := len(groupAttrs)
+
+	type agg struct {
+		count int
+		sums  []float64
+	}
+	groups := make(map[string]*agg)
+	for k, c := range counts {
+		gk := string(k.Slice(0, nG))
+		a, ok := groups[gk]
+		if !ok {
+			a = &agg{sums: make([]float64, len(q.Outcomes))}
+			groups[gk] = a
+		}
+		a.count += c
+		for oi := range q.Outcomes {
+			a.sums[oi] += yvals[oi][k.Field(nG+oi)] * float64(c)
+		}
+	}
+
+	decoders, err := labelDecoders(ctx, view, groupAttrs)
 	if err != nil {
 		return nil, err
 	}
 	var rows []Row
-	for _, g := range groups {
-		codes := enc.Codes(g.Key)
+	for gk, a := range groups {
+		codes := source.Key(gk).Codes()
 		row := Row{
-			Treatment: tc.Label(codes[0]),
+			Treatment: decoders[0][codes[0]],
 			Context:   make([]string, len(q.Groupings)),
 			Avgs:      make([]float64, len(q.Outcomes)),
-			Count:     len(g.Rows),
+			Count:     a.count,
 		}
-		for i, x := range q.Groupings {
-			xc, err := view.Column(x)
-			if err != nil {
-				return nil, err
-			}
-			row.Context[i] = xc.Label(codes[1+i])
+		for i := range q.Groupings {
+			row.Context[i] = decoders[1+i][codes[1+i]]
 		}
 		for oi := range q.Outcomes {
-			sum := 0.0
-			for _, r := range g.Rows {
-				sum += outcomes[oi][r]
-			}
-			row.Avgs[oi] = sum / float64(len(g.Rows))
+			row.Avgs[oi] = a.sums[oi] / float64(a.count)
 		}
 		rows = append(rows, row)
 	}
 	sortRows(rows)
 	return &Answer{Query: q, Rows: rows}, nil
+}
+
+// labelDecoders loads the dictionaries of the given attributes.
+func labelDecoders(ctx context.Context, rel source.Relation, attrs []string) ([][]string, error) {
+	out := make([][]string, len(attrs))
+	for i, a := range attrs {
+		labels, err := rel.Labels(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = labels
+	}
+	return out, nil
 }
 
 func sortRows(rows []Row) {

@@ -1,11 +1,13 @@
 package query
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 
 	"hypdb/internal/dataset"
+	"hypdb/source/mem"
 )
 
 // simpsonTable builds the classic kidney-stone Simpson's paradox data:
@@ -38,7 +40,7 @@ func simpsonTable(t *testing.T) *dataset.Table {
 func TestValidate(t *testing.T) {
 	tab := simpsonTable(t)
 	good := Query{Treatment: "T", Outcomes: []string{"Y"}}
-	if err := good.Validate(tab); err != nil {
+	if err := good.Validate(context.Background(), mem.New(tab)); err != nil {
 		t.Errorf("valid query rejected: %v", err)
 	}
 	cases := []Query{
@@ -52,7 +54,7 @@ func TestValidate(t *testing.T) {
 		{Treatment: "T", Outcomes: []string{"Y"}, Groupings: []string{"T"}},       // reused attr
 	}
 	for i, q := range cases {
-		if err := q.Validate(tab); err == nil {
+		if err := q.Validate(context.Background(), mem.New(tab)); err == nil {
 			t.Errorf("case %d: invalid query accepted: %+v", i, q)
 		}
 	}
@@ -60,7 +62,7 @@ func TestValidate(t *testing.T) {
 
 func TestRunAggregate(t *testing.T) {
 	tab := simpsonTable(t)
-	ans, err := Run(tab, Query{Treatment: "T", Outcomes: []string{"Y"}})
+	ans, err := Run(context.Background(), mem.New(tab), Query{Treatment: "T", Outcomes: []string{"Y"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestRunAggregate(t *testing.T) {
 
 func TestRunWithGroupings(t *testing.T) {
 	tab := simpsonTable(t)
-	ans, err := Run(tab, Query{Treatment: "T", Groupings: []string{"Z"}, Outcomes: []string{"Y"}})
+	ans, err := Run(context.Background(), mem.New(tab), Query{Treatment: "T", Groupings: []string{"Z"}, Outcomes: []string{"Y"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,7 @@ func TestRunWhere(t *testing.T) {
 		Outcomes:  []string{"Y"},
 		Where:     dataset.Eq{Attr: "Z", Value: "s"},
 	}
-	ans, err := Run(tab, q)
+	ans, err := Run(context.Background(), mem.New(tab), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestRunWhere(t *testing.T) {
 	}
 	// WHERE selecting nothing errors cleanly.
 	q.Where = dataset.Eq{Attr: "Z", Value: "nope"}
-	if _, err := Run(tab, q); err == nil {
+	if _, err := Run(context.Background(), mem.New(tab), q); err == nil {
 		t.Error("empty selection accepted")
 	}
 }
@@ -142,7 +144,7 @@ func TestRunWhere(t *testing.T) {
 func TestRewriteTotalRemovesSimpson(t *testing.T) {
 	tab := simpsonTable(t)
 	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rw, err := RewriteTotal(tab, q, []string{"Z"})
+	rw, err := RewriteTotal(context.Background(), mem.New(tab), q, []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +182,7 @@ func TestRewriteTotalOverlapPruning(t *testing.T) {
 		}
 	}
 	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rw, err := RewriteTotal(tab, q, []string{"Z"})
+	rw, err := RewriteTotal(context.Background(), mem.New(tab), q, []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +210,7 @@ func TestRewriteTotalNoOverlapAnywhere(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = RewriteTotal(tab, Query{Treatment: "T", Outcomes: []string{"Y"}}, []string{"Z"})
+	_, err = RewriteTotal(context.Background(), mem.New(tab), Query{Treatment: "T", Outcomes: []string{"Y"}}, []string{"Z"})
 	if err == nil {
 		t.Error("total overlap failure accepted")
 	}
@@ -217,32 +219,32 @@ func TestRewriteTotalNoOverlapAnywhere(t *testing.T) {
 func TestRewriteValidation(t *testing.T) {
 	tab := simpsonTable(t)
 	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-	if _, err := RewriteTotal(tab, q, nil); err == nil {
+	if _, err := RewriteTotal(context.Background(), mem.New(tab), q, nil); err == nil {
 		t.Error("empty covariates accepted")
 	}
-	if _, err := RewriteTotal(tab, q, []string{"missing"}); err == nil {
+	if _, err := RewriteTotal(context.Background(), mem.New(tab), q, []string{"missing"}); err == nil {
 		t.Error("missing covariate accepted")
 	}
-	if _, err := RewriteTotal(tab, q, []string{"T"}); err == nil {
+	if _, err := RewriteTotal(context.Background(), mem.New(tab), q, []string{"T"}); err == nil {
 		t.Error("treatment as covariate accepted")
 	}
-	if _, err := RewriteTotal(tab, q, []string{"Y"}); err == nil {
+	if _, err := RewriteTotal(context.Background(), mem.New(tab), q, []string{"Y"}); err == nil {
 		t.Error("outcome as covariate accepted")
 	}
-	if _, err := RewriteTotal(tab, q, []string{"Z", "Z"}); err == nil {
+	if _, err := RewriteTotal(context.Background(), mem.New(tab), q, []string{"Z", "Z"}); err == nil {
 		t.Error("duplicate covariate accepted")
 	}
-	if _, err := RewriteDirect(tab, q, nil, nil, ""); err == nil {
+	if _, err := RewriteDirect(context.Background(), mem.New(tab), q, nil, nil, ""); err == nil {
 		t.Error("empty mediators accepted")
 	}
-	if _, err := RewriteDirect(tab, q, []string{"Z"}, []string{"Z"}, ""); err == nil {
+	if _, err := RewriteDirect(context.Background(), mem.New(tab), q, []string{"Z"}, []string{"Z"}, ""); err == nil {
 		t.Error("attribute in both roles accepted")
 	}
-	if _, err := RewriteDirect(tab, q, nil, []string{"Z"}, "nope"); err == nil {
+	if _, err := RewriteDirect(context.Background(), mem.New(tab), q, nil, []string{"Z"}, "nope"); err == nil {
 		t.Error("unknown baseline accepted")
 	}
 	qg := Query{Treatment: "T", Outcomes: []string{"Y"}, Groupings: []string{"Z"}}
-	if _, err := RewriteTotal(tab, qg, []string{"Z"}); err == nil {
+	if _, err := RewriteTotal(context.Background(), mem.New(tab), qg, []string{"Z"}); err == nil {
 		t.Error("grouping attribute as covariate accepted")
 	}
 }
@@ -279,7 +281,7 @@ func mediationTable(t *testing.T) *dataset.Table {
 func TestRewriteDirectMediatorFormula(t *testing.T) {
 	tab := mediationTable(t)
 	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rw, err := RewriteDirect(tab, q, nil, []string{"M"}, "")
+	rw, err := RewriteDirect(context.Background(), mem.New(tab), q, nil, []string{"M"}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +307,7 @@ func TestRewriteDirectMediatorFormula(t *testing.T) {
 func TestRewriteDirectExplicitBaseline(t *testing.T) {
 	tab := mediationTable(t)
 	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-	rw, err := RewriteDirect(tab, q, nil, []string{"M"}, "1")
+	rw, err := RewriteDirect(context.Background(), mem.New(tab), q, nil, []string{"M"}, "1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +328,7 @@ func TestRewriteDirectConsistencyWithObserved(t *testing.T) {
 	// E[Y | T=baseline] (the consistency property of the mediator formula).
 	tab := mediationTable(t)
 	q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-	ans, err := Run(tab, q)
+	ans, err := Run(context.Background(), mem.New(tab), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +338,7 @@ func TestRewriteDirectConsistencyWithObserved(t *testing.T) {
 			observed = r.Avgs[0]
 		}
 	}
-	rw, err := RewriteDirect(tab, q, nil, []string{"M"}, "0")
+	rw, err := RewriteDirect(context.Background(), mem.New(tab), q, nil, []string{"M"}, "0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +400,7 @@ func TestCompareRequiresTwoValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := Run(tab, Query{Treatment: "T", Outcomes: []string{"Y"}})
+	ans, err := Run(context.Background(), mem.New(tab), Query{Treatment: "T", Outcomes: []string{"Y"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +430,7 @@ func TestRewriteMultipleOutcomes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rw, err := RewriteTotal(tab, Query{Treatment: "T", Outcomes: []string{"Y1", "Y2"}}, []string{"Z"})
+	rw, err := RewriteTotal(context.Background(), mem.New(tab), Query{Treatment: "T", Outcomes: []string{"Y1", "Y2"}}, []string{"Z"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,12 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
+	"hypdb/source"
 )
 
 // EffectKind distinguishes the two rewritings HypDB performs (Sec 3.3).
@@ -74,8 +75,8 @@ type cellAgg struct {
 // treatment value (exact matching, enforcing Overlap), and returns the
 // weighted averages of block averages with weights Pr(z | x) re-normalized
 // over the kept blocks.
-func RewriteTotal(t *dataset.Table, q Query, covariates []string) (*Rewritten, error) {
-	return rewrite(t, q, covariates, nil, "", TotalEffect)
+func RewriteTotal(ctx context.Context, rel source.Relation, q Query, covariates []string) (*Rewritten, error) {
+	return rewrite(ctx, rel, q, covariates, nil, "", TotalEffect)
 }
 
 // RewriteDirect executes the mediator-formula rewriting (Eq 3): block
@@ -84,22 +85,22 @@ func RewriteTotal(t *dataset.Table, q Query, covariates []string) (*Rewritten, e
 // treatment value t estimates E[Y(t, M(baseline))]; the difference between
 // the two treatment rows estimates the natural direct effect. An empty
 // baseline selects the lexicographically smallest treatment value.
-func RewriteDirect(t *dataset.Table, q Query, covariates, mediators []string, baseline string) (*Rewritten, error) {
+func RewriteDirect(ctx context.Context, rel source.Relation, q Query, covariates, mediators []string, baseline string) (*Rewritten, error) {
 	if len(mediators) == 0 {
 		return nil, fmt.Errorf("query: direct-effect rewriting needs at least one mediator")
 	}
-	return rewrite(t, q, covariates, mediators, baseline, DirectEffect)
+	return rewrite(ctx, rel, q, covariates, mediators, baseline, DirectEffect)
 }
 
-func rewrite(t *dataset.Table, q Query, covariates, mediators []string, baseline string, kind EffectKind) (*Rewritten, error) {
-	view, err := q.View(t)
+func rewrite(ctx context.Context, rel source.Relation, q Query, covariates, mediators []string, baseline string, kind EffectKind) (*Rewritten, error) {
+	view, err := q.View(ctx, rel)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkAdjustmentAttrs(t, q, covariates, "covariate"); err != nil {
+	if err := checkAdjustmentAttrs(rel, q, covariates, "covariate"); err != nil {
 		return nil, err
 	}
-	if err := checkAdjustmentAttrs(t, q, mediators, "mediator"); err != nil {
+	if err := checkAdjustmentAttrs(rel, q, mediators, "mediator"); err != nil {
 		return nil, err
 	}
 	for _, m := range mediators {
@@ -113,15 +114,15 @@ func rewrite(t *dataset.Table, q Query, covariates, mediators []string, baseline
 		return nil, fmt.Errorf("query: total-effect rewriting needs at least one covariate")
 	}
 
-	tc, err := view.Column(q.Treatment)
+	tDict, err := view.Labels(ctx, q.Treatment)
 	if err != nil {
 		return nil, err
 	}
-	numT := tc.Card()
+	numT := len(tDict)
 	if numT < 2 {
 		return nil, fmt.Errorf("query: treatment %q has a single value in the selected data", q.Treatment)
 	}
-	tLabels := append([]string(nil), tc.Labels()...)
+	tLabels := append([]string(nil), tDict...)
 	sort.Strings(tLabels)
 	if kind == DirectEffect {
 		if baseline == "" {
@@ -132,21 +133,23 @@ func rewrite(t *dataset.Table, q Query, covariates, mediators []string, baseline
 		}
 	}
 
-	outcomes := make([][]float64, len(q.Outcomes))
+	yvals := make([][]float64, len(q.Outcomes))
 	for i, y := range q.Outcomes {
-		vals, err := view.Float(y)
+		yvals[i], err = FloatDict(ctx, view, y)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("query: outcome %q: %w", y, err)
 		}
-		outcomes[i] = vals
 	}
 
-	// Group once over (T, X, Z, M); the composite key layout gives direct
-	// access to the treatment field and the x-/z-parts.
+	// One pushed-down group-by over (T, X, Z, M, Y...): the composite key
+	// layout gives direct access to the treatment field and the x-/z-parts;
+	// outcome fields are folded into per-block sums.
 	attrs := append([]string{q.Treatment}, q.Groupings...)
 	attrs = append(attrs, covariates...)
 	attrs = append(attrs, mediators...)
-	groups, enc, err := view.GroupBy(attrs...)
+	nK := len(attrs) // block fields (everything but the outcomes)
+	attrs = append(attrs, q.Outcomes...)
+	counts, err := view.Counts(ctx, attrs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -155,12 +158,14 @@ func rewrite(t *dataset.Table, q Query, covariates, mediators []string, baseline
 
 	cells := make(map[string]*cellAgg)
 	var cellOrder []string
-	for _, g := range groups {
-		codes := enc.Codes(g.Key)
-		tLabel := tc.Label(codes[0])
-		key := string(g.Key)[4:] // everything except the treatment field
+	viewRows := 0
+	for k, c := range counts {
+		viewRows += c
+		tLabel := tDict[k.Field(0)]
+		key := string(k.Slice(1, nK)) // everything except treatment and outcomes
 		agg, ok := cells[key]
 		if !ok {
+			codes := k.Codes()
 			agg = &cellAgg{
 				ctxCodes: append([]int32(nil), codes[1:1+nX]...),
 				xKey:     key[:4*nX],
@@ -170,14 +175,16 @@ func rewrite(t *dataset.Table, q Query, covariates, mediators []string, baseline
 			cells[key] = agg
 			cellOrder = append(cellOrder, key)
 		}
-		st := blockStat{count: len(g.Rows), sums: make([]float64, len(q.Outcomes))}
+		st, ok := agg.byT[tLabel]
+		if !ok {
+			st = blockStat{sums: make([]float64, len(q.Outcomes))}
+		}
+		st.count += c
 		for oi := range q.Outcomes {
-			for _, r := range g.Rows {
-				st.sums[oi] += outcomes[oi][r]
-			}
+			st.sums[oi] += yvals[oi][k.Field(nK+oi)] * float64(c)
 		}
 		agg.byT[tLabel] = st
-		agg.total += len(g.Rows)
+		agg.total += c
 	}
 	sort.Strings(cellOrder)
 
@@ -200,21 +207,21 @@ func rewrite(t *dataset.Table, q Query, covariates, mediators []string, baseline
 		BlocksTotal: len(cells),
 		BlocksKept:  len(kept),
 	}
-	if view.NumRows() > 0 {
-		result.RowsKeptFraction = float64(keptRows) / float64(view.NumRows())
+	if viewRows > 0 {
+		result.RowsKeptFraction = float64(keptRows) / float64(viewRows)
 	}
 	if len(kept) == 0 {
 		return nil, fmt.Errorf("query: overlap fails everywhere — no block contains all %d treatment values: %w", numT, hyperr.ErrNoOverlap)
 	}
 
+	xDicts, err := labelDecoders(ctx, view, q.Groupings)
+	if err != nil {
+		return nil, err
+	}
 	decodeCtx := func(codes []int32) ([]string, error) {
 		out := make([]string, nX)
-		for j, x := range q.Groupings {
-			xc, err := view.Column(x)
-			if err != nil {
-				return nil, err
-			}
-			out[j] = xc.Label(codes[j])
+		for j := range q.Groupings {
+			out[j] = xDicts[j][codes[j]]
 		}
 		return out, nil
 	}
@@ -362,12 +369,12 @@ func directEffectRows(q Query, kept []*cellAgg, tLabels []string, baseline strin
 	return rows, nil
 }
 
-// checkAdjustmentAttrs validates covariate/mediator lists against the table
-// and the query's own attributes.
-func checkAdjustmentAttrs(t *dataset.Table, q Query, attrs []string, role string) error {
+// checkAdjustmentAttrs validates covariate/mediator lists against the
+// relation and the query's own attributes.
+func checkAdjustmentAttrs(rel source.Relation, q Query, attrs []string, role string) error {
 	seen := make(map[string]bool, len(attrs))
 	for _, a := range attrs {
-		if !t.HasColumn(a) {
+		if !rel.HasAttribute(a) {
 			return fmt.Errorf("query: no %s column %q: %w", role, a, hyperr.ErrUnknownAttribute)
 		}
 		if seen[a] {

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 	"testing/quick"
 
 	"hypdb/internal/dataset"
+	"hypdb/source/mem"
 )
 
 // randomObservational builds a random table with binary treatment/outcome
@@ -43,7 +45,7 @@ func TestQuickRewriteTotalConvexity(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		tab := randomObservational(r, 200+r.Intn(800))
 		q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-		rw, err := RewriteTotal(tab, q, []string{"Z"})
+		rw, err := RewriteTotal(context.Background(), mem.New(tab), q, []string{"Z"})
 		if err != nil {
 			return true // overlap can fail on tiny samples; not a violation
 		}
@@ -134,11 +136,11 @@ func TestQuickRewriteConstantCovariateIsNoOp(t *testing.T) {
 			return false
 		}
 		q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-		plain, err := Run(tab, q)
+		plain, err := Run(context.Background(), mem.New(tab), q)
 		if err != nil {
 			return true
 		}
-		rw, err := RewriteTotal(tab, q, []string{"Z"})
+		rw, err := RewriteTotal(context.Background(), mem.New(tab), q, []string{"Z"})
 		if err != nil {
 			return true // single treatment value possible on tiny n
 		}
@@ -184,7 +186,7 @@ func TestQuickRewriteDirectConsistency(t *testing.T) {
 			return false
 		}
 		q := Query{Treatment: "T", Outcomes: []string{"Y"}}
-		rw, err := RewriteDirect(tab, q, nil, []string{"M"}, "0")
+		rw, err := RewriteDirect(context.Background(), mem.New(tab), q, nil, []string{"M"}, "0")
 		if err != nil {
 			return true
 		}
@@ -197,7 +199,7 @@ func TestQuickRewriteDirectConsistency(t *testing.T) {
 		if rw.BlocksKept != rw.BlocksTotal {
 			return true
 		}
-		plain, err := Run(tab, q)
+		plain, err := Run(context.Background(), mem.New(tab), q)
 		if err != nil {
 			return false
 		}

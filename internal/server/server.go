@@ -18,6 +18,7 @@ package server
 
 import (
 	"context"
+	"database/sql"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,6 +51,13 @@ type Config struct {
 	MaxUploadBytes int64
 	// MaxDatasets bounds the registry size; zero means 64.
 	MaxDatasets int
+	// AllowSQLDrivers lists the database/sql driver names clients may use
+	// to register SQL-backed datasets over HTTP (POST /v1/datasets with
+	// driver/dsn/sql_table). Empty disables HTTP SQL registration — an
+	// unauthenticated endpoint that opens operator-side network
+	// connections must be opted into. Operator-initiated registration
+	// (AddSQLDataset, the -sql flag) is not gated.
+	AllowSQLDrivers []string
 	// Clock overrides time.Now for tests; nil uses time.Now.
 	Clock func() time.Time
 }
@@ -103,10 +111,15 @@ type Server struct {
 }
 
 // entry is one registered dataset: the shared session handle plus the
-// per-dataset concurrency limiter and counters.
+// per-dataset concurrency limiter and counters. rows/cols/backend are
+// captured at registration so list/metrics endpoints never block on the
+// storage backend.
 type entry struct {
 	name    string
 	db      *hypdb.DB
+	rows    int
+	cols    int
+	backend string
 	sem     chan struct{}
 	created time.Time
 	// acqMu serializes multi-slot semaphore acquisitions (see acquire).
@@ -133,27 +146,98 @@ func New(cfg Config) *Server {
 }
 
 // Close begins shutdown: every subsequent request is rejected with 503
-// shutting_down, and the contexts of in-flight analyses are cancelled,
-// aborting permutation loops and discovery searches promptly. Safe to call
-// more than once.
+// shutting_down, the contexts of in-flight analyses are cancelled —
+// aborting permutation loops and discovery searches promptly — and every
+// dataset's session handle is released (SQL-backed handles close their
+// database connections). Safe to call more than once.
 func (s *Server) Close() {
 	s.cancelAll()
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		if err := e.db.Close(); err != nil {
+			s.log.Error("closing dataset handle", "name", e.name, "error", err)
+		}
+	}
 }
 
 // AddDataset registers an in-memory table under name — used by the binary
 // to preload generated datasets and by tests. The table must not be
 // mutated afterwards.
 func (s *Server) AddDataset(name string, t *hypdb.Table) error {
-	if _, apiErr := s.register(name, t); apiErr != nil {
+	if _, apiErr := s.register(name, hypdb.Open(t), t.NumRows(), t.NumCols(), "mem"); apiErr != nil {
 		return errors.New(apiErr.Message)
 	}
 	return nil
 }
 
-// register is the single registration path shared by uploads and
-// AddDataset: name validation, duplicate rejection, the registry cap, and
-// entry construction live only here.
-func (s *Server) register(name string, t *hypdb.Table) (*entry, *api.Error) {
+// AddSQLDataset registers a dataset served by the SQL backend: driver and
+// dsn are opened with database/sql and table's group-by counts are pushed
+// down to the database. The session handle owns the connection; deleting
+// the dataset (or shutting the server down) closes it.
+func (s *Server) AddSQLDataset(ctx context.Context, name, driver, dsn, table string) error {
+	db, apiErr := s.openSQL(ctx, driver, dsn, table)
+	if apiErr != nil {
+		return errors.New(apiErr.Message)
+	}
+	rows, cols, err := sizeOf(ctx, db)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	if _, apiErr := s.register(name, db, rows, cols, "sqldb"); apiErr != nil {
+		db.Close()
+		return errors.New(apiErr.Message)
+	}
+	return nil
+}
+
+// sqlDriverAllowed reports whether HTTP clients may register datasets
+// through the named driver.
+func (s *Server) sqlDriverAllowed(driver string) bool {
+	for _, d := range s.cfg.AllowSQLDrivers {
+		if d == driver {
+			return true
+		}
+	}
+	return false
+}
+
+// openSQL opens a DSN-backed session handle, classifying failures.
+func (s *Server) openSQL(ctx context.Context, driver, dsn, table string) (*hypdb.DB, *api.Error) {
+	if driver == "" || table == "" {
+		return nil, badRequest("SQL datasets need driver and sql_table")
+	}
+	conn, err := sql.Open(driver, dsn)
+	if err != nil {
+		return nil, badRequest(fmt.Sprintf("opening driver %q: %v", driver, err))
+	}
+	db, err := hypdb.OpenSQL(ctx, conn, table)
+	if err != nil {
+		conn.Close()
+		return nil, badRequest(fmt.Sprintf("probing table %q: %v", table, err))
+	}
+	return db, nil
+}
+
+// sizeOf probes a handle's row and column counts.
+func sizeOf(ctx context.Context, db *hypdb.DB) (rows, cols int, err error) {
+	rows, err = db.NumRows(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rows, len(db.Relation().Attributes()), nil
+}
+
+// register is the single registration path shared by uploads, AddDataset
+// and AddSQLDataset: name validation, duplicate rejection, the registry
+// cap, and entry construction live only here. On a registration error the
+// caller keeps ownership of db (and must close it).
+func (s *Server) register(name string, db *hypdb.DB, rows, cols int, backend string) (*entry, *api.Error) {
 	if err := validateDatasetName(name); err != nil {
 		return nil, badRequest(err.Error())
 	}
@@ -173,7 +257,10 @@ func (s *Server) register(name string, t *hypdb.Table) (*entry, *api.Error) {
 	}
 	e := &entry{
 		name:    name,
-		db:      hypdb.Open(t),
+		db:      db,
+		rows:    rows,
+		cols:    cols,
+		backend: backend,
 		sem:     make(chan struct{}, s.cfg.maxConcurrent()),
 		created: s.now(),
 	}
@@ -280,39 +367,74 @@ func validateDatasetName(name string) error {
 }
 
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
-	var name, csv string
+	var req api.CreateDatasetRequest
 	ct := r.Header.Get("Content-Type")
 	switch {
 	case strings.HasPrefix(ct, "application/json"), ct == "":
-		var req api.CreateDatasetRequest
 		if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
 			s.writeError(w, r, apiErr)
 			return
 		}
-		name, csv = req.Name, req.CSV
 	case strings.HasPrefix(ct, "text/csv"):
 		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxUploadBytes()))
 		if err != nil {
 			s.writeError(w, r, bodyError(err, s.cfg.maxUploadBytes()))
 			return
 		}
-		name, csv = r.URL.Query().Get("name"), string(raw)
+		req.Name, req.CSV = r.URL.Query().Get("name"), string(raw)
 	default:
 		s.writeError(w, r, badRequest(fmt.Sprintf("unsupported Content-Type %q (want application/json or text/csv)", ct)))
 		return
 	}
-	tab, err := hypdb.ReadCSV(strings.NewReader(csv))
+
+	// SQL-backed registration: driver + DSN + table instead of a CSV body.
+	if req.Driver != "" || req.DSN != "" || req.SQLTable != "" {
+		if req.CSV != "" {
+			s.writeError(w, r, badRequest("a dataset is either CSV or SQL-backed, not both"))
+			return
+		}
+		if !s.sqlDriverAllowed(req.Driver) {
+			s.writeError(w, r, &api.Error{
+				Status: http.StatusForbidden, Code: api.CodeBadRequest,
+				Message: fmt.Sprintf("SQL dataset registration for driver %q is not enabled on this server (AllowSQLDrivers)", req.Driver),
+			})
+			return
+		}
+		db, apiErr := s.openSQL(r.Context(), req.Driver, req.DSN, req.SQLTable)
+		if apiErr != nil {
+			s.writeError(w, r, apiErr)
+			return
+		}
+		rows, cols, err := sizeOf(r.Context(), db)
+		if err != nil {
+			db.Close()
+			s.writeError(w, r, mapError(err))
+			return
+		}
+		e, apiErr := s.register(req.Name, db, rows, cols, "sqldb")
+		if apiErr != nil {
+			db.Close()
+			s.writeError(w, r, apiErr)
+			return
+		}
+		s.log.Info("dataset created", "name", req.Name, "backend", "sqldb",
+			"driver", req.Driver, "table", req.SQLTable, "rows", rows, "cols", cols)
+		s.writeJSON(w, http.StatusCreated, s.infoOf(e))
+		return
+	}
+
+	tab, err := hypdb.ReadCSV(strings.NewReader(req.CSV))
 	if err != nil {
 		s.writeError(w, r, mapError(err))
 		return
 	}
-	e, apiErr := s.register(name, tab)
+	e, apiErr := s.register(req.Name, hypdb.Open(tab), tab.NumRows(), tab.NumCols(), "mem")
 	if apiErr != nil {
 		s.writeError(w, r, apiErr)
 		return
 	}
 
-	s.log.Info("dataset created", "name", name, "rows", tab.NumRows(), "cols", tab.NumCols())
+	s.log.Info("dataset created", "name", req.Name, "rows", tab.NumRows(), "cols", tab.NumCols())
 	s.writeJSON(w, http.StatusCreated, s.infoOf(e))
 }
 
@@ -334,13 +456,27 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	_, ok := s.datasets[name]
+	e, ok := s.datasets[name]
 	delete(s.datasets, name)
 	s.mu.Unlock()
 	if !ok {
 		s.writeError(w, r, notFound(name))
 		return
 	}
+	// Teardown: the dataset is already out of the registry, so no new work
+	// can reach it; drain the concurrency limiter (waiting for in-flight
+	// analyses, which hold slots for their whole run) before releasing the
+	// backend — sql.DB.Close only waits for queries that have started, not
+	// for an analysis between queries. The drain happens off-request so
+	// DELETE returns immediately.
+	go func() {
+		if release, err := e.acquire(s.closing, cap(e.sem)); err == nil {
+			defer release()
+		}
+		if err := e.db.Close(); err != nil {
+			s.log.Error("closing dataset handle", "name", name, "error", err)
+		}
+	}()
 	s.log.Info("dataset deleted", "name", name)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -357,15 +493,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:       api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
 		Analyses:    e.analyses.Load(),
 	}
-	for _, a := range e.db.Attributes() {
+	attrs, err := e.db.Attributes(r.Context())
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	for _, a := range attrs {
 		out.Attributes = append(out.Attributes, api.AttributeInfo{Name: a.Name, Distinct: a.Distinct})
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) infoOf(e *entry) api.DatasetInfo {
-	t := e.db.Table()
-	return api.DatasetInfo{Name: e.name, Rows: t.NumRows(), Cols: t.NumCols(), CreatedAt: e.created}
+	return api.DatasetInfo{Name: e.name, Rows: e.rows, Cols: e.cols, Backend: e.backend, CreatedAt: e.created}
 }
 
 func (s *Server) lookup(name string) (*entry, *api.Error) {
@@ -567,7 +707,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out.Cache.CDHits += st.CDHits
 		out.PerDataset = append(out.PerDataset, api.DatasetMetrics{
 			Name:     e.name,
-			Rows:     e.db.Table().NumRows(),
+			Rows:     e.rows,
 			Analyses: e.analyses.Load(),
 			Cache:    api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
 		})
@@ -655,6 +795,8 @@ func mapError(err error) *api.Error {
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNonBinaryTreatment, Message: msg}
 	case errors.Is(err, hypdb.ErrNoOverlap):
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNoOverlap, Message: msg}
+	case errors.Is(err, hypdb.ErrNeedsMaterialization):
+		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNeedsMaterialize, Message: msg}
 	default:
 		return &api.Error{Status: http.StatusInternalServerError, Code: api.CodeInternal, Message: msg}
 	}

@@ -1,0 +1,154 @@
+package hypdb_test
+
+// Backend-equivalence regression suite: the paper-fidelity scenarios of
+// paperrepro_test.go run a second time through the source/sqldb backend —
+// served by the in-process memsql database/sql driver — and their
+// qualitative conclusions must be identical to the in-memory backend's:
+// bias verdicts, discovered covariates and mediators, explanation rankings
+// and responsibilities, effect directions and magnitudes (4 decimals), and
+// significance verdicts.
+//
+// Monte-Carlo p-values from the MIT branch are excluded from the byte
+// comparison: the SQL backend sorts dictionaries (DISTINCT has no stable
+// order) while the in-memory backend codes by first occurrence, so the
+// Patefield draws consume the RNG in a different category order. The
+// statistic and every χ²-branch p-value are order-insensitive and compare
+// exactly.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"hypdb"
+	"hypdb/internal/datagen"
+	"hypdb/internal/memsql"
+)
+
+// sqlBackedDB registers tab with the in-process SQL driver and opens a
+// hypdb session over it through the sqldb backend.
+func sqlBackedDB(t *testing.T, name string, tab *hypdb.Table) *hypdb.DB {
+	t.Helper()
+	memsql.Register(name, tab)
+	t.Cleanup(func() { memsql.Unregister(name) })
+	conn, err := memsql.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := hypdb.OpenSQL(context.Background(), conn, name)
+	if err != nil {
+		conn.Close()
+		t.Fatalf("OpenSQL(%s): %v", name, err)
+	}
+	t.Cleanup(func() {
+		if err := db.Close(); err != nil {
+			t.Errorf("Close(%s): %v", name, err)
+		}
+	})
+	return db
+}
+
+// qualitative strips the Monte-Carlo-sensitive fields, leaving the
+// conclusions the golden files pin. Deterministic (χ²-branch) effects keep
+// their significance verdict; Monte-Carlo effects (MIT branch, where the
+// sampled group subset is backend-dependent) keep only direction and
+// magnitude.
+func qualitative(s *reproSummary) *reproSummary {
+	cp := *s
+	mask := func(e *effectSummary) *effectSummary {
+		if e == nil {
+			return nil
+		}
+		m := *e
+		m.PValue = 0
+		if m.MC {
+			m.Significant = false
+		}
+		return &m
+	}
+	cp.Original = mask(s.Original)
+	cp.RewrittenTotal = mask(s.RewrittenTotal)
+	cp.RewrittenDirect = mask(s.RewrittenDirect)
+	return &cp
+}
+
+func assertBackendEquivalent(t *testing.T, memSummary, sqlSummary *reproSummary) {
+	t.Helper()
+	want, err := json.MarshalIndent(qualitative(memSummary), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(qualitative(sqlSummary), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("sqldb backend diverged from mem backend\n sqldb: %s\n   mem: %s", got, want)
+	}
+}
+
+func TestPaperReproSQLBerkeley(t *testing.T) {
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memS := analyzeSummary(t, "BerkeleyData", tab, datagen.BerkeleyQuery(), hypdb.WithSeed(1))
+	db := sqlBackedDB(t, "BerkeleyData", tab)
+	sqlS := analyzeSummaryOn(t, "BerkeleyData", db, tab.NumRows(), datagen.BerkeleyQuery(), hypdb.WithSeed(1))
+	assertBackendEquivalent(t, memS, sqlS)
+	if !sqlS.Biased || len(sqlS.Mediators) != 1 || sqlS.Mediators[0] != "Department" {
+		t.Errorf("sqldb Berkeley conclusions drifted: biased=%v mediators=%v", sqlS.Biased, sqlS.Mediators)
+	}
+}
+
+func TestPaperReproSQLStaples(t *testing.T) {
+	const rows = 50000
+	tab, err := datagen.Staples(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memS := analyzeSummary(t, "StaplesData", tab, datagen.StaplesQuery(), hypdb.WithSeed(1))
+	db := sqlBackedDB(t, "StaplesData", tab)
+	sqlS := analyzeSummaryOn(t, "StaplesData", db, rows, datagen.StaplesQuery(), hypdb.WithSeed(1))
+	assertBackendEquivalent(t, memS, sqlS)
+	if !sqlS.Biased || len(sqlS.Mediators) != 1 || sqlS.Mediators[0] != "Distance" {
+		t.Errorf("sqldb Staples conclusions drifted: biased=%v mediators=%v", sqlS.Biased, sqlS.Mediators)
+	}
+}
+
+func TestPaperReproSQLFlight(t *testing.T) {
+	const rows = 12000
+	tab, err := datagen.Flight(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []hypdb.Option{hypdb.WithSeed(1), hypdb.WithPermutations(200)}
+	memS := analyzeSummary(t, "FlightData", tab, datagen.FlightQuery(), opts...)
+	db := sqlBackedDB(t, "FlightData", tab)
+	sqlS := analyzeSummaryOn(t, "FlightData", db, rows, datagen.FlightQuery(), opts...)
+	assertBackendEquivalent(t, memS, sqlS)
+	// The Fig 1 reversal must hold on the SQL backend too.
+	if sqlS.Original == nil || sqlS.Original.Diff <= 0 || sqlS.RewrittenDirect == nil || sqlS.RewrittenDirect.Diff >= 0 {
+		t.Errorf("sqldb Flight reversal drifted: original=%+v direct=%+v", sqlS.Original, sqlS.RewrittenDirect)
+	}
+}
+
+func TestPaperReproSQLFlightFixedCovariates(t *testing.T) {
+	const rows = 12000
+	tab, err := datagen.Flight(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []hypdb.Option{
+		hypdb.WithSeed(1), hypdb.WithPermutations(200),
+		hypdb.WithCovariates(datagen.FlightCovariates()...), hypdb.WithoutDirectEffect(),
+	}
+	memS := analyzeSummary(t, "FlightData-fixed-covariates", tab, datagen.FlightQuery(), opts...)
+	db := sqlBackedDB(t, "FlightDataFixed", tab)
+	sqlS := analyzeSummaryOn(t, "FlightData-fixed-covariates", db, rows, datagen.FlightQuery(), opts...)
+	assertBackendEquivalent(t, memS, sqlS)
+	// The Fig 5a rewrite must reverse on the SQL backend too.
+	if sqlS.RewrittenTotal == nil || sqlS.RewrittenTotal.Diff >= 0 {
+		t.Errorf("sqldb adjusted total effect = %+v, want reversed", sqlS.RewrittenTotal)
+	}
+}

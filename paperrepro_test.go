@@ -34,6 +34,12 @@ type effectSummary struct {
 	Diff        float64 `json:"diff"`
 	PValue      float64 `json:"p_value"`
 	Significant bool    `json:"significant"` // p < 0.01
+	// MC marks a Monte-Carlo p-value (MIT branch): its exact value — and,
+	// under group sampling, even the verdict — depends on the sampled
+	// group subset, which is backend-dependent. Excluded from golden files
+	// and used by the backend-equivalence suite to scope strict
+	// comparisons to deterministic (χ²-branch) effects.
+	MC bool `json:"-"`
 }
 
 type explSummary struct {
@@ -63,24 +69,38 @@ func effectOf(comps []hypdb.ComparisonReport) *effectSummary {
 		return nil
 	}
 	c := comps[0]
+	mc := false
+	if len(c.Methods) > 0 {
+		// Everything except the parametric χ² branches is Monte-Carlo.
+		mc = c.Methods[0] != "chi2" && c.Methods[0] != "hymit(chi2)"
+	}
 	return &effectSummary{
 		T0: c.T0, T1: c.T1,
 		Diff:        round4(c.Diffs[0]),
 		PValue:      round4(c.PValues[0]),
 		Significant: c.PValues[0] < 0.01,
+		MC:          mc,
 	}
 }
 
-// analyzeSummary runs the pipeline and digests the report.
+// analyzeSummary runs the pipeline over the in-memory backend and digests
+// the report.
 func analyzeSummary(t *testing.T, name string, tab *hypdb.Table, q hypdb.Query, opts ...hypdb.Option) *reproSummary {
 	t.Helper()
-	rep, err := hypdb.Open(tab).Analyze(context.Background(), q, opts...)
+	return analyzeSummaryOn(t, name, hypdb.Open(tab), tab.NumRows(), q, opts...)
+}
+
+// analyzeSummaryOn runs the pipeline on an existing session handle — any
+// storage backend — and digests the report.
+func analyzeSummaryOn(t *testing.T, name string, db *hypdb.DB, rows int, q hypdb.Query, opts ...hypdb.Option) *reproSummary {
+	t.Helper()
+	rep, err := db.Analyze(context.Background(), q, opts...)
 	if err != nil {
 		t.Fatalf("%s: Analyze: %v", name, err)
 	}
 	s := &reproSummary{
 		Dataset:      name,
-		Rows:         tab.NumRows(),
+		Rows:         rows,
 		SQL:          rep.OriginalSQL,
 		UsedFallback: rep.CD != nil && rep.CD.UsedFallback,
 		Covariates:   rep.Covariates,

@@ -1,0 +1,151 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hypdb/internal/dataset"
+)
+
+// composite exposes a base relation plus one virtual attribute holding the
+// joint (composite) value of a set of base attributes. The engine's balance
+// test (Def 3.1) tests the treatment against the joint value of a variable
+// set V; this wrapper lets that test run through the ordinary Tester
+// machinery on any backend, entirely from counts.
+type composite struct {
+	base  Relation
+	name  string
+	parts []string
+
+	mu     sync.Mutex
+	labels []string          // composite dictionary: code -> synthetic label
+	codeOf map[Key]int32     // parts-key (in parts order) -> composite code
+	parent map[int32][]int32 // composite code -> constituent part codes
+}
+
+// WithComposite returns rel extended with a virtual attribute named name
+// whose value is the joint value of parts. The composite dictionary is
+// built lazily from one group-by over parts and assigns codes in sorted
+// constituent-key order, so it is deterministic per handle. The wrapper is
+// counts-only (it does not forward Materializer).
+func WithComposite(rel Relation, name string, parts []string) (Relation, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("source: composite attribute %q needs at least one constituent", name)
+	}
+	if rel.HasAttribute(name) {
+		return nil, fmt.Errorf("source: relation %q already has an attribute %q", rel.Name(), name)
+	}
+	if err := CheckAttrs(rel, parts...); err != nil {
+		return nil, err
+	}
+	return &composite{base: rel, name: name, parts: append([]string(nil), parts...)}, nil
+}
+
+func (c *composite) Name() string { return c.base.Name() }
+
+func (c *composite) Backend() string {
+	return c.base.Backend() + "|composite:" + c.name + "(" + strings.Join(c.parts, ",") + ")"
+}
+
+func (c *composite) Attributes() []string { return append(c.base.Attributes(), c.name) }
+
+func (c *composite) HasAttribute(name string) bool {
+	return name == c.name || c.base.HasAttribute(name)
+}
+
+func (c *composite) NumRows(ctx context.Context) (int, error) { return c.base.NumRows(ctx) }
+
+// build materializes the composite dictionary from one group-by on parts.
+func (c *composite) build(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.codeOf != nil {
+		return nil
+	}
+	counts, err := c.base.Counts(ctx, c.parts, nil)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	c.codeOf = make(map[Key]int32, len(keys))
+	c.parent = make(map[int32][]int32, len(keys))
+	c.labels = make([]string, len(keys))
+	for i, k := range keys {
+		code := int32(i)
+		c.codeOf[Key(k)] = code
+		c.parent[code] = Key(k).Codes()
+		c.labels[i] = "v" + strconv.Itoa(i)
+	}
+	return nil
+}
+
+func (c *composite) Labels(ctx context.Context, attr string) ([]string, error) {
+	if attr != c.name {
+		return c.base.Labels(ctx, attr)
+	}
+	if err := c.build(ctx); err != nil {
+		return nil, err
+	}
+	return c.labels, nil
+}
+
+func (c *composite) Counts(ctx context.Context, attrs []string, where Predicate) (map[Key]int, error) {
+	pos := -1
+	for i, a := range attrs {
+		if a == c.name {
+			if pos >= 0 {
+				return nil, fmt.Errorf("source: composite attribute %q requested twice", c.name)
+			}
+			pos = i
+		}
+	}
+	if pos < 0 {
+		return c.base.Counts(ctx, attrs, where)
+	}
+	if err := c.build(ctx); err != nil {
+		return nil, err
+	}
+	// Expand the composite into its constituents, query the base, then fold
+	// each constituent tuple back into one composite code.
+	expanded := make([]string, 0, len(attrs)-1+len(c.parts))
+	expanded = append(expanded, attrs[:pos]...)
+	expanded = append(expanded, c.parts...)
+	expanded = append(expanded, attrs[pos+1:]...)
+	raw, err := c.base.Counts(ctx, expanded, where)
+	if err != nil {
+		return nil, err
+	}
+	np := len(c.parts)
+	out := make(map[Key]int, len(raw))
+	for k, n := range raw {
+		code, ok := c.codeOf[k.Slice(pos, pos+np)]
+		if !ok {
+			// A constituent combination absent from the dictionary-building
+			// pass: impossible for a consistent backend (the dictionary was
+			// built over the unrestricted relation).
+			return nil, fmt.Errorf("source: composite %q: unseen constituent combination in counts", c.name)
+		}
+		folded := string(k.Slice(0, pos)) + string(dataset.EncodeKey(code)) + string(k.Slice(pos+np, k.Fields()))
+		out[Key(folded)] += n
+	}
+	return out, nil
+}
+
+func (c *composite) Restrict(ctx context.Context, where Predicate) (Relation, error) {
+	if where == nil {
+		return c, nil
+	}
+	base, err := c.base.Restrict(ctx, where)
+	if err != nil {
+		return nil, err
+	}
+	return WithComposite(base, c.name, c.parts)
+}

@@ -1,0 +1,191 @@
+// Package source defines the storage contract of HypDB: the narrow
+// interface the analysis engine needs from a backing store in order to
+// detect, explain and remove bias in OLAP queries.
+//
+// The paper positions HypDB as middleware on top of an OLAP DBMS — all of
+// its sufficient statistics (contingency tables, group-by counts,
+// conditional mutual information) are computable from aggregate COUNT
+// queries against the database. Relation captures exactly that: a schema,
+// a row count, per-attribute dictionaries, and dictionary-coded group-by
+// Counts under a predicate. Everything else in the engine — entropy
+// estimation, the MIT permutation test over contingency tables, covariate
+// discovery, bias detection, explanation ranking and query rewriting — is
+// derived from those counts.
+//
+// Two backends ship with HypDB:
+//
+//   - source/mem wraps the in-memory columnar dataset.Table (zero behavior
+//     change relative to the original table-bound pipeline), and
+//   - source/sqldb speaks to any database/sql driver, pushing
+//     SELECT ..., COUNT(*) ... GROUP BY aggregation down to the database
+//     and caching per-handle counts.
+//
+// A few analysis paths genuinely need raw rows (the naive shuffle
+// permutation test, key-attribute detection by subsampling). Backends that
+// can produce rows implement the optional Materializer capability; the
+// Materialize helper returns hyperr.ErrNeedsMaterialization (re-exported as
+// hypdb.ErrNeedsMaterialization) for counts-only relations, so row-level
+// paths fail loudly instead of silently degrading.
+package source
+
+import (
+	"context"
+	"fmt"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
+)
+
+// Predicate filters rows: the WHERE condition of the paper's queries. It is
+// the same predicate type the public hypdb package exposes; backends either
+// evaluate it in memory (mem) or render it to SQL via its SQL() method
+// (sqldb).
+type Predicate = dataset.Predicate
+
+// Key is a dictionary-coded composite group-by key: 4 little-endian bytes
+// per attribute, in the attribute order of the Counts call that produced
+// it. Use Key.Codes, Key.Field and Key.Slice to take it apart and
+// dataset.EncodeKey to build one.
+type Key = dataset.GroupKey
+
+// Relation is the data contract of the HypDB engine: a named relation of
+// categorical attributes that can answer dictionary-coded group-by counts.
+//
+// Dictionaries are per-handle and immutable: Labels(attr) returns the
+// code→label mapping, and every code appearing in a Counts result indexes
+// into that same slice for the lifetime of the handle. Restrict returns a
+// new relation over the selected subpopulation with fresh (compacted)
+// dictionaries — exactly how the engine scopes an analysis to a query's
+// WHERE view.
+//
+// Implementations must be safe for concurrent use: the engine issues
+// overlapping Counts calls from worker pools.
+type Relation interface {
+	// Name is the display name of the relation (used when rendering SQL).
+	Name() string
+
+	// Backend returns a stable identity string for this relation's backing
+	// store and restriction. Two relations with different Backend() values
+	// must never share cached statistics; session caches incorporate it
+	// into their keys.
+	Backend() string
+
+	// Attributes returns the column names in schema order.
+	Attributes() []string
+
+	// HasAttribute reports whether the named attribute exists.
+	HasAttribute(name string) bool
+
+	// NumRows returns the number of rows (the paper's n).
+	NumRows(ctx context.Context) (int, error)
+
+	// Labels returns the dictionary of attr: a slice mapping each code to
+	// its string label. Callers must not mutate the returned slice. The
+	// dictionary covers the relation's active domain; its length is the
+	// attribute's cardinality.
+	Labels(ctx context.Context, attr string) ([]string, error)
+
+	// Counts returns the frequency of each composite value of attrs among
+	// the rows matching where (all rows when where is nil), keyed by the
+	// dictionary codes of the attributes in call order. An empty attrs
+	// yields a single empty key holding the matching-row count.
+	Counts(ctx context.Context, attrs []string, where Predicate) (map[Key]int, error)
+
+	// Restrict returns σ_where(R): a new relation over the matching rows
+	// with compacted dictionaries. A nil predicate returns the relation
+	// itself.
+	Restrict(ctx context.Context, where Predicate) (Relation, error)
+}
+
+// Materializer is the optional row-level capability: backends that can
+// produce the underlying rows implement it, enabling analysis paths that
+// genuinely need raw data (the naive shuffle permutation test, subsample
+// key detection). Materialize may be expensive for remote backends; the
+// engine calls it only on those paths.
+type Materializer interface {
+	// Materialize returns the relation's rows as an in-memory table whose
+	// column dictionaries agree with the relation's Labels.
+	Materialize(ctx context.Context) (*dataset.Table, error)
+}
+
+// Closer is the optional teardown capability: backends holding external
+// resources (database connections, prepared statements) implement it.
+// Close must be safe to call more than once.
+type Closer interface {
+	Close() error
+}
+
+// Materialize returns rel's rows as an in-memory table when the backend
+// supports row-level access, and an error wrapping
+// hyperr.ErrNeedsMaterialization otherwise.
+func Materialize(ctx context.Context, rel Relation) (*dataset.Table, error) {
+	if m, ok := rel.(Materializer); ok {
+		return m.Materialize(ctx)
+	}
+	return nil, fmt.Errorf("source: relation %q (backend %s) is counts-only: %w",
+		rel.Name(), rel.Backend(), hyperr.ErrNeedsMaterialization)
+}
+
+// Card returns the cardinality (dictionary size) of attr. Backends that
+// can count distinct values without materializing the dictionary expose
+// the optional Cardinality capability, which is preferred.
+func Card(ctx context.Context, rel Relation, attr string) (int, error) {
+	if c, ok := rel.(interface {
+		Cardinality(ctx context.Context, attr string) (int, error)
+	}); ok {
+		return c.Cardinality(ctx, attr)
+	}
+	labels, err := rel.Labels(ctx, attr)
+	if err != nil {
+		return 0, err
+	}
+	return len(labels), nil
+}
+
+// CheckAttrs verifies that every named attribute exists on rel, wrapping
+// hyperr.ErrUnknownAttribute for the first missing one.
+func CheckAttrs(rel Relation, attrs ...string) error {
+	for _, a := range attrs {
+		if !rel.HasAttribute(a) {
+			return fmt.Errorf("source: relation %q has no attribute %q: %w", rel.Name(), a, hyperr.ErrUnknownAttribute)
+		}
+	}
+	return nil
+}
+
+// countsOnly strips the Materializer capability off a relation, leaving
+// the pure counts contract. Close is forwarded so resource-holding
+// backends are still released through the wrapper.
+type countsOnly struct {
+	Relation
+}
+
+// CountsOnly returns a view of rel that hides row-level access: paths that
+// need raw rows fail with ErrNeedsMaterialization. It is how tests — and
+// deployments that must never pull raw rows out of a store — enforce the
+// aggregate-only contract. The Closer capability is preserved, so closing
+// a session over the wrapper still releases the backend.
+func CountsOnly(rel Relation) Relation {
+	return countsOnly{Relation: rel}
+}
+
+// Close implements Closer by forwarding to the wrapped relation (a no-op
+// when the backend holds no resources).
+func (c countsOnly) Close() error {
+	if cl, ok := c.Relation.(Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// Restrict keeps the counts-only guarantee across restriction.
+func (c countsOnly) Restrict(ctx context.Context, where Predicate) (Relation, error) {
+	r, err := c.Relation.Restrict(ctx, where)
+	if err != nil {
+		return nil, err
+	}
+	if r == c.Relation {
+		return c, nil
+	}
+	return countsOnly{Relation: r}, nil
+}

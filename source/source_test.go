@@ -1,0 +1,158 @@
+package source_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
+	"hypdb/source"
+	"hypdb/source/mem"
+)
+
+func fixture(t *testing.T) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder("T", "A", "B")
+	for _, r := range [][3]string{
+		{"0", "x", "u"}, {"0", "x", "v"}, {"0", "y", "u"},
+		{"1", "x", "u"}, {"1", "y", "v"}, {"1", "y", "v"},
+	} {
+		b.MustAdd(r[0], r[1], r[2])
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestKeyCodec(t *testing.T) {
+	k := dataset.EncodeKey(3, 0, 70000)
+	if k.Fields() != 3 {
+		t.Fatalf("Fields = %d", k.Fields())
+	}
+	if got := k.Codes(); !reflect.DeepEqual(got, []int32{3, 0, 70000}) {
+		t.Fatalf("Codes = %v", got)
+	}
+	if k.Field(2) != 70000 {
+		t.Fatalf("Field(2) = %d", k.Field(2))
+	}
+	if got := k.Slice(1, 3).Codes(); !reflect.DeepEqual(got, []int32{0, 70000}) {
+		t.Fatalf("Slice(1,3) = %v", got)
+	}
+}
+
+func TestWithCompositeCounts(t *testing.T) {
+	ctx := context.Background()
+	rel := mem.New(fixture(t))
+	comp, err := source.WithComposite(rel, "__joint", []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.HasAttribute("__joint") || !comp.HasAttribute("A") {
+		t.Fatal("composite schema missing attributes")
+	}
+
+	labels, err := comp.Labels(ctx, "__joint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct (A,B) combinations present: (x,u),(x,v),(y,u),(y,v) → 4.
+	if len(labels) != 4 {
+		t.Fatalf("composite dictionary %v, want 4 entries", labels)
+	}
+
+	counts, err := comp.Counts(ctx, []string{"T", "__joint"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	distinctJoint := map[int32]bool{}
+	for k, c := range counts {
+		total += c
+		distinctJoint[k.Field(1)] = true
+	}
+	if total != 6 {
+		t.Fatalf("composite counts sum to %d, want 6", total)
+	}
+	if len(distinctJoint) != 4 {
+		t.Fatalf("composite codes in counts = %d, want 4", len(distinctJoint))
+	}
+
+	// Marginalizing the composite must reproduce the joint (A,B) histogram.
+	jointOnly, err := comp.Counts(ctx, []string{"__joint"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rel.Counts(ctx, []string{"A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jointOnly) != len(raw) {
+		t.Fatalf("composite marginal has %d cells, want %d", len(jointOnly), len(raw))
+	}
+	sumJ := 0
+	for _, c := range jointOnly {
+		sumJ += c
+	}
+	if sumJ != 6 {
+		t.Fatalf("composite marginal sums to %d, want 6", sumJ)
+	}
+}
+
+func TestWithCompositeValidation(t *testing.T) {
+	rel := mem.New(fixture(t))
+	if _, err := source.WithComposite(rel, "A", []string{"B"}); err == nil {
+		t.Error("composite shadowing an existing attribute accepted")
+	}
+	if _, err := source.WithComposite(rel, "__j", nil); err == nil {
+		t.Error("empty constituent list accepted")
+	}
+	if _, err := source.WithComposite(rel, "__j", []string{"missing"}); !errors.Is(err, hyperr.ErrUnknownAttribute) {
+		t.Errorf("missing constituent: err = %v, want ErrUnknownAttribute", err)
+	}
+}
+
+func TestMaterializeHelper(t *testing.T) {
+	ctx := context.Background()
+	tab := fixture(t)
+	rel := mem.New(tab)
+	got, err := source.Materialize(ctx, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tab {
+		t.Error("mem Materialize should return the backing table")
+	}
+	if _, err := source.Materialize(ctx, source.CountsOnly(rel)); !errors.Is(err, hyperr.ErrNeedsMaterialization) {
+		t.Errorf("counts-only Materialize err = %v, want ErrNeedsMaterialization", err)
+	}
+}
+
+func TestMemRestrictCompacts(t *testing.T) {
+	ctx := context.Background()
+	rel := mem.New(fixture(t))
+	view, err := rel.Restrict(ctx, dataset.Eq{Attr: "T", Value: "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := view.NumRows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("restricted rows = %d, want 3", n)
+	}
+	labels, err := view.Labels(ctx, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 1 || labels[0] != "1" {
+		t.Fatalf("restricted T dictionary = %v, want [1]", labels)
+	}
+	if rel.Backend() == view.Backend() {
+		t.Error("restriction must change the backend identity")
+	}
+}

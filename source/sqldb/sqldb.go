@@ -1,0 +1,628 @@
+// Package sqldb implements the SQL storage backend of HypDB: a
+// source.Relation over any database/sql handle that pushes the engine's
+// sufficient statistics down to the database as aggregate queries.
+//
+// Group-by counts — the single primitive everything in HypDB reduces to —
+// are executed as
+//
+//	SELECT "a", "b", COUNT(*) FROM "t" [WHERE σ] GROUP BY "a", "b"
+//
+// so the data never leaves the database for counts-based analyses; only the
+// (small) aggregate crosses the wire. Per-attribute dictionaries are loaded
+// lazily with SELECT DISTINCT and sorted for determinism, and every count
+// result is memoized in a per-handle cache keyed by (attributes, predicate)
+// — the layer under the session's single-flight covariate-discovery cache
+// that makes repeated independence tests over shared sub-aggregates cheap,
+// in the spirit of multi-query optimization for analyze-style operators.
+//
+// Predicates are rendered through their SQL() form (ANSI quoting: double
+// quotes for identifiers, single quotes with ” escaping for literals).
+// Restrict composes predicates into the WHERE clause of every query and
+// rebuilds dictionaries under the restriction, mirroring the dictionary
+// compaction of the in-memory backend.
+//
+// The backend also implements source.Materializer — row-level paths (the
+// naive shuffle test, subsample key detection) fetch the selected rows once
+// and proceed in memory — and source.Closer, releasing the *sql.DB when the
+// root handle is closed. Wrap with source.CountsOnly to forbid
+// materialization.
+package sqldb
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
+	"hypdb/source"
+)
+
+// Stats counts the backend's query traffic for one handle.
+type Stats struct {
+	// CountQueries is the number of GROUP BY count queries actually sent to
+	// the database; CacheHits the number answered from the per-handle cache.
+	CountQueries int
+	CacheHits    int
+	// DictQueries counts SELECT DISTINCT dictionary loads.
+	DictQueries int
+}
+
+// Relation is a source.Relation backed by one table of a database/sql
+// database. Create the root handle with Open; Restrict derives restricted
+// handles sharing the same *sql.DB.
+type Relation struct {
+	db      *sql.DB
+	table   string
+	where   source.Predicate // handle-level restriction; nil at the root
+	attrs   []string
+	attrSet map[string]bool
+	backend string
+	owned   bool // the root handle closes the *sql.DB
+
+	closeOnce sync.Once
+	closeErr  error
+
+	mu        sync.Mutex
+	nrows     int
+	hasN      bool
+	dicts     map[string]*dict
+	counts    map[string]map[source.Key]int
+	cards     map[string]int
+	restricts map[string]*Relation
+	mat       *dataset.Table
+	stats     Stats
+}
+
+type dict struct {
+	labels []string
+	index  map[string]int32
+}
+
+// maxCountCacheEntries bounds the per-handle count memo. Long-lived server
+// handles would otherwise accumulate one contingency map per distinct
+// (attrs, where) the CD subset enumeration ever touched; past the bound,
+// arbitrary entries are evicted (the cache is a pure memo — eviction only
+// costs a recomputation).
+const maxCountCacheEntries = 1024
+
+// Open probes the table's schema and returns the root relation handle. The
+// handle takes ownership of db: closing the relation (directly or through
+// hypdb's DB.Close) closes db. Close is safe to call more than once.
+func Open(ctx context.Context, db *sql.DB, table string) (*Relation, error) {
+	if table == "" {
+		return nil, fmt.Errorf("sqldb: empty table name")
+	}
+	rows, err := db.QueryContext(ctx, "SELECT * FROM "+quoteIdent(table)+" WHERE 1=0")
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: probing schema of %q: %w", table, err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: reading schema of %q: %w", table, err)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("sqldb: probing schema of %q: %w", table, err)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sqldb: table %q has no columns", table)
+	}
+	r := &Relation{
+		db:      db,
+		table:   table,
+		attrs:   cols,
+		attrSet: make(map[string]bool, len(cols)),
+		backend: fmt.Sprintf("sqldb:%p:%s", db, table),
+		owned:   true,
+		dicts:   make(map[string]*dict),
+		counts:  make(map[string]map[source.Key]int),
+	}
+	for _, c := range cols {
+		if r.attrSet[c] {
+			return nil, fmt.Errorf("sqldb: table %q has duplicate column %q", table, c)
+		}
+		r.attrSet[c] = true
+	}
+	return r, nil
+}
+
+// Name implements source.Relation.
+func (r *Relation) Name() string { return r.table }
+
+// Backend implements source.Relation: the database handle's address, the
+// table name, and the restriction predicate — so two handles over different
+// sources (or different WHERE views) can never collide in a shared cache.
+func (r *Relation) Backend() string { return r.backend }
+
+// Attributes implements source.Relation.
+func (r *Relation) Attributes() []string { return append([]string(nil), r.attrs...) }
+
+// HasAttribute implements source.Relation.
+func (r *Relation) HasAttribute(name string) bool { return r.attrSet[name] }
+
+// Stats returns a snapshot of the handle's query counters.
+func (r *Relation) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close releases the underlying *sql.DB. Only the root handle owns the
+// database; Close on a Restrict-derived handle is a no-op. Double-Close is
+// safe.
+func (r *Relation) Close() error {
+	r.closeOnce.Do(func() {
+		if r.owned {
+			r.closeErr = r.db.Close()
+		}
+	})
+	return r.closeErr
+}
+
+// NumRows implements source.Relation.
+func (r *Relation) NumRows(ctx context.Context) (int, error) {
+	r.mu.Lock()
+	if r.hasN {
+		n := r.nrows
+		r.mu.Unlock()
+		return n, nil
+	}
+	r.mu.Unlock()
+
+	q := "SELECT COUNT(*) FROM " + quoteIdent(r.table) + r.whereClause(nil)
+	var n int
+	if err := r.db.QueryRowContext(ctx, q).Scan(&n); err != nil {
+		return 0, fmt.Errorf("sqldb: counting rows of %q: %w", r.table, err)
+	}
+	r.mu.Lock()
+	r.nrows, r.hasN = n, true
+	r.mu.Unlock()
+	return n, nil
+}
+
+// Labels implements source.Relation. Dictionaries are loaded once per
+// handle with SELECT DISTINCT under the handle's restriction and sorted
+// lexicographically, so codes are deterministic for a given database state.
+func (r *Relation) Labels(ctx context.Context, attr string) ([]string, error) {
+	d, err := r.dictOf(ctx, attr)
+	if err != nil {
+		return nil, err
+	}
+	return d.labels, nil
+}
+
+func (r *Relation) dictOf(ctx context.Context, attr string) (*dict, error) {
+	if !r.attrSet[attr] {
+		return nil, fmt.Errorf("sqldb: table %q has no column %q: %w", r.table, attr, hyperr.ErrUnknownAttribute)
+	}
+	r.mu.Lock()
+	if d, ok := r.dicts[attr]; ok {
+		r.mu.Unlock()
+		return d, nil
+	}
+	r.mu.Unlock()
+
+	q := "SELECT DISTINCT " + quoteIdent(attr) + " FROM " + quoteIdent(r.table) + r.whereClause(nil)
+	rows, err := r.db.QueryContext(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: loading dictionary of %q.%q: %w", r.table, attr, err)
+	}
+	defer rows.Close()
+	var labels []string
+	for rows.Next() {
+		var v any
+		if err := rows.Scan(&v); err != nil {
+			return nil, fmt.Errorf("sqldb: scanning dictionary of %q.%q: %w", r.table, attr, err)
+		}
+		label, err := valueString(v)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: dictionary of %q.%q: %v", r.table, attr, err)
+		}
+		labels = append(labels, label)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("sqldb: loading dictionary of %q.%q: %w", r.table, attr, err)
+	}
+	sort.Strings(labels)
+	d := &dict{labels: labels, index: make(map[string]int32, len(labels))}
+	for i, l := range labels {
+		d.index[l] = int32(i)
+	}
+	r.mu.Lock()
+	if prev, ok := r.dicts[attr]; ok {
+		d = prev // another goroutine won the race; keep one dictionary
+	} else {
+		r.dicts[attr] = d
+		r.stats.DictQueries++
+	}
+	r.mu.Unlock()
+	return d, nil
+}
+
+// Counts implements source.Relation: one pushed-down GROUP BY count query,
+// memoized per (attrs, where) on the handle.
+func (r *Relation) Counts(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
+	if err := source.CheckAttrs(r, attrs...); err != nil {
+		return nil, err
+	}
+	clause := r.whereClause(where)
+	cacheKey := strings.Join(attrs, "\x00") + "\x01" + clause
+
+	r.mu.Lock()
+	if m, ok := r.counts[cacheKey]; ok {
+		r.stats.CacheHits++
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+
+	// Dictionaries for every grouped attribute, loaded before the count
+	// query so result labels decode to stable codes.
+	dicts := make([]*dict, len(attrs))
+	for i, a := range attrs {
+		d, err := r.dictOf(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		dicts[i] = d
+	}
+
+	var q strings.Builder
+	q.WriteString("SELECT ")
+	for _, a := range attrs {
+		q.WriteString(quoteIdent(a))
+		q.WriteString(", ")
+	}
+	q.WriteString("COUNT(*) FROM ")
+	q.WriteString(quoteIdent(r.table))
+	q.WriteString(clause)
+	if len(attrs) > 0 {
+		q.WriteString(" GROUP BY ")
+		for i, a := range attrs {
+			if i > 0 {
+				q.WriteString(", ")
+			}
+			q.WriteString(quoteIdent(a))
+		}
+	}
+	rows, err := r.db.QueryContext(ctx, q.String())
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: count query on %q: %w", r.table, err)
+	}
+	defer rows.Close()
+
+	out := make(map[source.Key]int)
+	vals := make([]any, len(attrs)+1)
+	ptrs := make([]any, len(attrs)+1)
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	codes := make([]int32, len(attrs))
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, fmt.Errorf("sqldb: scanning counts of %q: %w", r.table, err)
+		}
+		for i := range attrs {
+			label, err := valueString(vals[i])
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: counts of %q.%q: %v", r.table, attrs[i], err)
+			}
+			code, ok := dicts[i].index[label]
+			if !ok {
+				return nil, fmt.Errorf("sqldb: value %q of %q.%q absent from its dictionary (database changed under the handle?)",
+					label, r.table, attrs[i])
+			}
+			codes[i] = code
+		}
+		n, err := valueInt(vals[len(attrs)])
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: count column of %q: %w", r.table, err)
+		}
+		out[dataset.EncodeKey(codes...)] += n
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("sqldb: count query on %q: %w", r.table, err)
+	}
+
+	r.mu.Lock()
+	for key := range r.counts {
+		if len(r.counts) < maxCountCacheEntries {
+			break
+		}
+		delete(r.counts, key)
+	}
+	r.counts[cacheKey] = out
+	r.stats.CountQueries++
+	r.mu.Unlock()
+	return out, nil
+}
+
+// Restrict implements source.Relation: it derives a handle whose every
+// query carries the composed WHERE clause and whose dictionaries are
+// rebuilt (compacted) under the restriction. Derived handles share the
+// *sql.DB and are memoized per rendered predicate on this handle, so the
+// several phases of one analysis (view, run, rewrite) that restrict by the
+// same WHERE clause share one set of dictionary and count caches instead
+// of re-issuing identical queries.
+func (r *Relation) Restrict(ctx context.Context, where source.Predicate) (source.Relation, error) {
+	if where == nil {
+		return r, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	composed := where
+	if r.where != nil {
+		composed = dataset.And{r.where, where}
+	}
+	key := renderPredicate(composed)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.restricts == nil {
+		r.restricts = make(map[string]*Relation)
+	}
+	if child, ok := r.restricts[key]; ok {
+		return child, nil
+	}
+	out := &Relation{
+		db:      r.db,
+		table:   r.table,
+		where:   composed,
+		attrs:   r.attrs,
+		attrSet: r.attrSet,
+		backend: fmt.Sprintf("sqldb:%p:%s|σ:%s", r.db, r.table, key),
+		dicts:   make(map[string]*dict),
+		counts:  make(map[string]map[source.Key]int),
+	}
+	for k := range r.restricts {
+		if len(r.restricts) < maxCountCacheEntries {
+			break
+		}
+		delete(r.restricts, k)
+	}
+	r.restricts[key] = out
+	return out, nil
+}
+
+// Cardinality returns the active-domain size of attr with one
+// COUNT(DISTINCT) aggregate when the dictionary is not already loaded —
+// callers that only need the number (schema listings) avoid pulling every
+// distinct value over the wire.
+func (r *Relation) Cardinality(ctx context.Context, attr string) (int, error) {
+	if !r.attrSet[attr] {
+		return 0, fmt.Errorf("sqldb: table %q has no column %q: %w", r.table, attr, hyperr.ErrUnknownAttribute)
+	}
+	r.mu.Lock()
+	if d, ok := r.dicts[attr]; ok {
+		n := len(d.labels)
+		r.mu.Unlock()
+		return n, nil
+	}
+	if n, ok := r.cards[attr]; ok {
+		r.mu.Unlock()
+		return n, nil
+	}
+	r.mu.Unlock()
+
+	q := "SELECT COUNT(DISTINCT " + quoteIdent(attr) + ") FROM " + quoteIdent(r.table) + r.whereClause(nil)
+	var n int
+	if err := r.db.QueryRowContext(ctx, q).Scan(&n); err != nil {
+		return 0, fmt.Errorf("sqldb: counting distinct %q.%q: %w", r.table, attr, err)
+	}
+	r.mu.Lock()
+	if r.cards == nil {
+		r.cards = make(map[string]int)
+	}
+	r.cards[attr] = n
+	r.mu.Unlock()
+	return n, nil
+}
+
+// Materialize implements source.Materializer: it fetches the restricted
+// rows once and rebuilds them as an in-memory table whose dictionaries are
+// the handle's own (sorted) dictionaries. The table is cached.
+func (r *Relation) Materialize(ctx context.Context) (*dataset.Table, error) {
+	r.mu.Lock()
+	if r.mat != nil {
+		t := r.mat
+		r.mu.Unlock()
+		return t, nil
+	}
+	r.mu.Unlock()
+
+	dicts := make([]*dict, len(r.attrs))
+	for i, a := range r.attrs {
+		d, err := r.dictOf(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		dicts[i] = d
+	}
+	var q strings.Builder
+	q.WriteString("SELECT ")
+	for i, a := range r.attrs {
+		if i > 0 {
+			q.WriteString(", ")
+		}
+		q.WriteString(quoteIdent(a))
+	}
+	q.WriteString(" FROM ")
+	q.WriteString(quoteIdent(r.table))
+	q.WriteString(r.whereClause(nil))
+	rows, err := r.db.QueryContext(ctx, q.String())
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: materializing %q: %w", r.table, err)
+	}
+	defer rows.Close()
+
+	codes := make([][]int32, len(r.attrs))
+	vals := make([]any, len(r.attrs))
+	ptrs := make([]any, len(r.attrs))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, fmt.Errorf("sqldb: scanning rows of %q: %w", r.table, err)
+		}
+		for i := range r.attrs {
+			label, err := valueString(vals[i])
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: rows of %q.%q: %v", r.table, r.attrs[i], err)
+			}
+			code, ok := dicts[i].index[label]
+			if !ok {
+				return nil, fmt.Errorf("sqldb: value %q of %q.%q absent from its dictionary (database changed under the handle?)",
+					label, r.table, r.attrs[i])
+			}
+			codes[i] = append(codes[i], code)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("sqldb: materializing %q: %w", r.table, err)
+	}
+
+	cols := make([]*dataset.Column, len(r.attrs))
+	for i, a := range r.attrs {
+		col, err := dataset.NewColumnFromCodes(a, codes[i], dicts[i].labels)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: materializing %q: %v", r.table, err)
+		}
+		cols[i] = col
+	}
+	t, err := dataset.New(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: materializing %q: %v", r.table, err)
+	}
+	r.mu.Lock()
+	r.mat = t
+	r.mu.Unlock()
+	return t, nil
+}
+
+// whereClause renders the handle restriction conjoined with extra as a
+// " WHERE ..." clause, or "" when unrestricted.
+func (r *Relation) whereClause(extra source.Predicate) string {
+	pred := r.where
+	switch {
+	case pred == nil:
+		pred = extra
+	case extra != nil:
+		pred = dataset.And{pred, extra}
+	}
+	if pred == nil {
+		return ""
+	}
+	s := renderPredicate(pred)
+	if s == "TRUE" {
+		return ""
+	}
+	return " WHERE " + s
+}
+
+// renderPredicate renders the built-in combinators with ANSI-quoted
+// identifiers — matching the quoting of the SELECT and GROUP BY lists, so
+// case-folding databases resolve the same column everywhere. Unknown
+// predicate implementations fall back to their own SQL() rendering.
+func renderPredicate(p source.Predicate) string {
+	switch v := p.(type) {
+	case dataset.In:
+		if len(v.Values) == 0 {
+			return "FALSE"
+		}
+		quoted := make([]string, len(v.Values))
+		for i, val := range v.Values {
+			quoted[i] = quoteString(val)
+		}
+		return quoteIdent(v.Attr) + " IN (" + strings.Join(quoted, ",") + ")"
+	case dataset.Eq:
+		return quoteIdent(v.Attr) + " = " + quoteString(v.Value)
+	case dataset.And:
+		if len(v) == 0 {
+			return "TRUE"
+		}
+		parts := make([]string, len(v))
+		for i, child := range v {
+			s := renderPredicate(child)
+			if or, ok := child.(dataset.Or); ok && len(or) > 0 {
+				s = "(" + s + ")"
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, " AND ")
+	case dataset.Or:
+		if len(v) == 0 {
+			return "FALSE"
+		}
+		parts := make([]string, len(v))
+		for i, child := range v {
+			parts[i] = "(" + renderPredicate(child) + ")"
+		}
+		return strings.Join(parts, " OR ")
+	case dataset.Not:
+		return "NOT (" + renderPredicate(v.Pred) + ")"
+	case dataset.All:
+		return "TRUE"
+	default:
+		return p.SQL()
+	}
+}
+
+// quoteString renders a value literal with ” escaping.
+func quoteString(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+// quoteIdent renders an identifier with ANSI double quotes.
+func quoteIdent(name string) string {
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// valueString normalizes a driver value to its label string. SQL NULL is
+// rejected rather than folded into the empty string: the engine's
+// categorical model has no NULL, and a silent "" alias would both inflate
+// dictionaries (NULL next to a real empty string) and break predicate
+// round-trips (col = ” never re-selects NULL rows).
+func valueString(v any) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "", fmt.Errorf("NULL value (coalesce NULLs in the table or view before opening it)")
+	case string:
+		return x, nil
+	case []byte:
+		return string(x), nil
+	default:
+		return fmt.Sprint(x), nil
+	}
+}
+
+// valueInt normalizes a driver count value.
+func valueInt(v any) (int, error) {
+	switch x := v.(type) {
+	case int64:
+		return int(x), nil
+	case int:
+		return x, nil
+	case []byte:
+		var n int
+		_, err := fmt.Sscanf(string(x), "%d", &n)
+		return n, err
+	case string:
+		var n int
+		_, err := fmt.Sscanf(x, "%d", &n)
+		return n, err
+	default:
+		return 0, fmt.Errorf("unsupported count type %T", v)
+	}
+}
+
+var (
+	_ source.Relation     = (*Relation)(nil)
+	_ source.Materializer = (*Relation)(nil)
+	_ source.Closer       = (*Relation)(nil)
+)
