@@ -442,6 +442,7 @@ func BenchmarkCountsMemVsSQL(b *testing.B) {
 	// handle per iteration defeats the per-handle count cache, so the cost
 	// measured is the backend round trip, not the memo.
 	b.Run("counts/mem", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rel := mem.New(tab)
 			if _, err := rel.Counts(context.Background(), countAttrs, nil); err != nil {
@@ -449,7 +450,24 @@ func BenchmarkCountsMemVsSQL(b *testing.B) {
 			}
 		}
 	})
+	// Dense form: the contingency-table consumers (MIT group tables, the
+	// entropy providers) read this flat tabulation directly, skipping the
+	// sparse map entirely.
+	b.Run("counts/mem-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rel := mem.New(tab)
+			dc, err := rel.DenseCounts(context.Background(), countAttrs, nil, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dc == nil {
+				b.Fatal("dense tabulation over budget")
+			}
+		}
+	})
 	b.Run("counts/sqldb", func(b *testing.B) {
+		b.ReportAllocs()
 		conn, err := memsql.Open("")
 		if err != nil {
 			b.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"hypdb/internal/core"
+	"hypdb/internal/countcache"
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
 	"hypdb/source"
@@ -83,8 +84,14 @@ func OpenCSV(path string) (*DB, error) {
 // OpenSource creates a session handle over any storage backend implementing
 // source.Relation. If the relation implements source.Closer, the handle
 // takes ownership: Close releases it.
+//
+// The handle interposes the dense count cache (internal/countcache): every
+// unpredicated group-by count is memoized as a flat OLAP-cube view, and
+// requests over attribute subsets are answered by marginalizing the
+// smallest cached superset view instead of re-scanning (mem) or re-querying
+// (SQL) the backend.
 func OpenSource(rel source.Relation) *DB {
-	return &DB{rel: rel, cd: make(map[string]*cdEntry)}
+	return &DB{rel: countcache.Wrap(rel, 0), cd: make(map[string]*cdEntry)}
 }
 
 // OpenSQL creates a session handle over one table of a database/sql
@@ -123,7 +130,11 @@ func (db *DB) Relation() source.Relation { return db.rel }
 // Deprecated: prefer Relation; Table exists for callers that predate
 // pluggable backends.
 func (db *DB) Table() *Table {
-	if m, ok := db.rel.(*mem.Relation); ok {
+	rel := db.rel
+	if c, ok := rel.(*countcache.Relation); ok {
+		rel = c.Inner()
+	}
+	if m, ok := rel.(*mem.Relation); ok {
 		return m.Table()
 	}
 	return nil

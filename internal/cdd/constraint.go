@@ -61,6 +61,16 @@ func LearnStructure(ctx context.Context, rel source.Relation, attrs []string, cf
 		}
 	}
 
+	// One shared cached entropy provider for the whole pipeline: boundary
+	// learning, separating-set search and collider detection all test over
+	// the same relation, so their entropy caches must accumulate rather
+	// than reset per call.
+	tester, err := independence.SharedProvider(ctx, cfg.Tester, rel)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Tester = tester
+
 	// Phase 1: Markov boundaries.
 	mbs := make(map[string][]string, len(attrs))
 	mcfg := markov.Config{Tester: cfg.Tester, Alpha: cfg.Alpha}

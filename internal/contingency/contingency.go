@@ -63,20 +63,54 @@ func FromCodes(x, y []int32, cardX, cardY int) (*Table2, error) {
 
 // FromCodesRows tabulates only the given row indices of x and y.
 func FromCodesRows(x, y []int32, rows []int, cardX, cardY int) (*Table2, error) {
-	if len(x) != len(y) {
-		return nil, fmt.Errorf("contingency: code vectors of different length %d vs %d", len(x), len(y))
-	}
 	t, err := NewTable2(cardX, cardY)
 	if err != nil {
 		return nil, err
 	}
-	for _, i := range rows {
-		if i < 0 || i >= len(x) {
-			return nil, fmt.Errorf("contingency: row index %d out of range", i)
-		}
-		t.Add(int(x[i]), int(y[i]), 1)
+	if err := t.TabulateRows(x, y, rows); err != nil {
+		return nil, err
 	}
 	return t, nil
+}
+
+// Reset zeroes all cells and marginals, keeping the shape — so scratch
+// tables can be re-tabulated without reallocation.
+func (t *Table2) Reset() {
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+	for i := range t.rowTotals {
+		t.rowTotals[i] = 0
+	}
+	for j := range t.colTotals {
+		t.colTotals[j] = 0
+	}
+	t.total = 0
+}
+
+// TabulateRows resets t and re-tallies the given row indices of two
+// parallel code vectors — FromCodesRows without the per-call allocation,
+// for hot loops (the naive shuffle test re-tabulates every group on every
+// permutation replicate).
+func (t *Table2) TabulateRows(x, y []int32, rows []int) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("contingency: code vectors of different length %d vs %d", len(x), len(y))
+	}
+	t.Reset()
+	for _, i := range rows {
+		if i < 0 || i >= len(x) {
+			return fmt.Errorf("contingency: row index %d out of range", i)
+		}
+		xi, yi := x[i], y[i]
+		if xi < 0 || int(xi) >= t.R || yi < 0 || int(yi) >= t.C {
+			return fmt.Errorf("contingency: code out of range at row %d: (%d,%d)", i, xi, yi)
+		}
+		t.counts[int(xi)*t.C+int(yi)]++
+		t.rowTotals[xi]++
+		t.colTotals[yi]++
+		t.total++
+	}
+	return nil
 }
 
 // Add adds n (possibly negative, e.g. when re-binning) to cell (i,j).

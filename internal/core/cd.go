@@ -50,6 +50,22 @@ func DiscoverCovariates(ctx context.Context, rel source.Relation, target string,
 	}
 	res := &CDResult{Target: target, Boundaries: make(map[string][]string)}
 
+	// One-query-per-closure pushdown (Sec 6 / multi-query optimization):
+	// when the backend carries a marginalization-serving count cache, fetch
+	// the finest group-by over the CD attribute closure once; every count
+	// the boundary search and the phase I/II subset enumerations request is
+	// then answered by marginalizing it client-side. Closures whose cell
+	// space exceeds the budget are skipped inside Prime (per-subset counts
+	// then reach the backend as before).
+	if p, ok := rel.(interface {
+		Prime(ctx context.Context, attrs []string, budget int) error
+	}); ok {
+		closure := unionAttrs([]string{target}, candidates, nil)
+		if err := p.Prime(ctx, closure, cfg.CellBudget); err != nil {
+			return nil, err
+		}
+	}
+
 	// Markov boundaries are learned over all candidates; materialization
 	// does not apply (the attribute set is unbounded), so the hint is nil.
 	mbTester, err := cfg.tester(ctx, rel, nil)

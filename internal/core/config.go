@@ -76,6 +76,12 @@ type Config struct {
 	// Cube optionally supplies a pre-computed OLAP data cube; when it
 	// covers a test's attributes it answers entropies directly (Sec 6).
 	Cube *cube.Cube
+	// CellBudget bounds the cell space of the large dense tabulations the
+	// analysis materializes (the CD phases' contingency-table
+	// materialization, the session cache's closure priming); zero means
+	// dataset.DefaultCellBudget. Above the budget those paths fall back to
+	// sparse counting or skip priming.
+	CellBudget int
 	// Parallel fans permutation replicates out over cores.
 	Parallel bool
 	// DisableFallback turns off the Sec 4 fallback (Z = MB(T) − outcomes)
@@ -126,7 +132,7 @@ func (c Config) provider(ctx context.Context, view source.Relation, attrsHint []
 		}
 	}
 	if p == nil && !c.DisableMaterialization && len(attrsHint) > 0 && len(attrsHint) <= 62 {
-		mp, err := independence.NewMaterializedProvider(ctx, view, attrsHint, c.estimator())
+		mp, err := independence.NewMaterializedProvider(ctx, view, attrsHint, c.estimator(), c.CellBudget)
 		if err != nil {
 			return nil, err
 		}

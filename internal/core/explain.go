@@ -49,21 +49,38 @@ func ExplainCoarse(ctx context.Context, view source.Relation, treatment string, 
 		if err != nil {
 			return nil, err
 		}
-		joint, err := view.Counts(ctx, []string{treatment, v}, nil)
-		if err != nil {
-			return nil, err
-		}
 		// I(T;V) = H(T) + H(V) − H(TV), with the marginals folded densely in
-		// code order to match the code-vector estimator exactly.
+		// code order to match the code-vector estimator exactly. Both paths
+		// (flat tabulation, sparse map) produce bit-identical entropies.
 		denseT := make([]int, cardT)
 		denseV := make([]int, cardV)
-		for k, c := range joint {
-			denseT[k.Field(0)] += c
-			denseV[k.Field(1)] += c
-		}
 		est := cfg.estimator()
-		mi := stats.EntropyCounts(denseT, n, est) + stats.EntropyCounts(denseV, n, est) -
-			stats.EntropyCountsMap(joint, n, est)
+		var hTV float64
+		if dc, err := source.Dense(ctx, view, []string{treatment, v}, nil, 0); err != nil {
+			return nil, err
+		} else if dc != nil {
+			cell := 0
+			for vc := 0; vc < cardV; vc++ {
+				for tc := 0; tc < cardT; tc++ {
+					c := dc.Cells[cell]
+					denseT[tc] += c
+					denseV[vc] += c
+					cell++
+				}
+			}
+			hTV = stats.EntropyCountsStable(dc.Cells, n, est)
+		} else {
+			joint, err := view.Counts(ctx, []string{treatment, v}, nil)
+			if err != nil {
+				return nil, err
+			}
+			for k, c := range joint {
+				denseT[k.Field(0)] += c
+				denseV[k.Field(1)] += c
+			}
+			hTV = stats.EntropyCountsMap(joint, n, est)
+		}
+		mi := stats.EntropyCounts(denseT, n, est) + stats.EntropyCounts(denseV, n, est) - hTV
 		if mi < 0 {
 			mi = 0
 		}

@@ -122,21 +122,24 @@ func PrepareCandidates(ctx context.Context, rel source.Relation, treatment strin
 		if v, ok := entCache[k]; ok {
 			return v, nil
 		}
-		counts, err := rel.Counts(ctx, []string{a, b}, nil)
-		if err != nil {
+		var v float64
+		if dc, err := source.Dense(ctx, rel, []string{a, b}, nil, 0); err != nil {
 			return 0, err
+		} else if dc != nil {
+			v = stats.EntropyCountsStable(dc.Cells, n, stats.PlugIn)
+		} else {
+			counts, err := rel.Counts(ctx, []string{a, b}, nil)
+			if err != nil {
+				return 0, err
+			}
+			v = stats.EntropyCountsMap(counts, n, stats.PlugIn)
 		}
-		v := stats.EntropyCountsMap(counts, n, stats.PlugIn)
 		entCache[k] = v
 		return v, nil
 	}
 	single := func(a string) (float64, error) {
 		if v, ok := entCache[a]; ok {
 			return v, nil
-		}
-		counts, err := rel.Counts(ctx, []string{a}, nil)
-		if err != nil {
-			return 0, err
 		}
 		card, err := source.Card(ctx, rel, a)
 		if err != nil {
@@ -145,8 +148,18 @@ func PrepareCandidates(ctx context.Context, rel source.Relation, treatment strin
 		// Dense, code-ordered histogram: matches the code-vector estimator
 		// of the in-memory pipeline bit for bit.
 		dense := make([]int, card)
-		for k, c := range counts {
-			dense[k.Field(0)] += c
+		if dc, err := source.Dense(ctx, rel, []string{a}, nil, 0); err != nil {
+			return 0, err
+		} else if dc != nil {
+			copy(dense, dc.Cells)
+		} else {
+			counts, err := rel.Counts(ctx, []string{a}, nil)
+			if err != nil {
+				return 0, err
+			}
+			for k, c := range counts {
+				dense[k.Field(0)] += c
+			}
 		}
 		v := stats.EntropyCounts(dense, n, stats.PlugIn)
 		entCache[a] = v

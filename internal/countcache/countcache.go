@@ -1,0 +1,483 @@
+// Package countcache implements HypDB's marginalization-serving count
+// cache: a source.Relation wrapper that memoizes dense (mixed-radix)
+// group-by views and answers any Counts request whose attribute set is
+// covered by a cached view by marginalizing it in O(cells) — never going
+// back to the backend. Sec 6 of the paper observes that "contingency tables
+// with their marginals are essentially OLAP data-cubes"; this package is
+// that observation promoted into the storage layer, shared by every
+// consumer of counts (entropy providers, covariate-discovery scoring, the
+// MIT group tables, query rewriting) instead of being rebuilt privately by
+// each of them.
+//
+// Prime fetches the finest view over an attribute closure in one backend
+// round trip (one GROUP BY query on SQL backends, one columnar scan in
+// memory); after priming, the subset enumeration of a covariate-discovery
+// hill climb runs entirely against the cache. Views are bounded by a cell
+// budget per view and a total-cell bound per handle; requests above the
+// budget pass through to the backend unchanged.
+package countcache
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+
+	"hypdb/internal/dataset"
+	"hypdb/source"
+)
+
+// Stats reports one handle's cache traffic.
+type Stats struct {
+	// Fetches counts backend round trips for dense views; Hits counts
+	// requests answered from a cached view of exactly the requested
+	// attribute set; Derived counts requests answered by marginalizing a
+	// cached superset view.
+	Fetches int
+	Hits    int
+	Derived int
+}
+
+// Relation wraps a source.Relation with the dense count cache. It preserves
+// the wrapped backend's identity (Backend), forwards the Materializer,
+// Closer and Cardinality capabilities, and keeps restriction views on
+// separate caches, so cache keys and session semantics are unchanged.
+type Relation struct {
+	inner  source.Relation
+	budget int
+
+	mu         sync.Mutex
+	n          int
+	hasN       bool
+	views      map[string]*dataset.DenseCounts // canonical (sorted, joined) attrs -> dense view
+	wide       []string                        // keys of the widest views: the derivation candidates
+	maps       map[string]map[source.Key]int   // request-order attrs -> sparse map form memo
+	totalCells int
+	restricts  map[string]*Relation
+	stats      Stats
+}
+
+// maxMapMemos bounds the sparse-form memo (maps are derived from views in
+// one pass, so eviction only costs a rebuild).
+const maxMapMemos = 128
+
+// maxTotalCellsFactor bounds the handle's total cached cells as a multiple
+// of the per-view budget; past it, arbitrary views are evicted (the cache
+// is a pure memo).
+const maxTotalCellsFactor = 4
+
+// maxWide bounds the derivation-candidate list. Coverage search must stay
+// O(1) per request — scanning every memoized view made the search itself
+// quadratic in the number of distinct attribute sets an analysis touches —
+// so only the widest views (the primed closures and the broadest joints,
+// which cover almost everything worth deriving) are candidates; narrower
+// requests that miss them fall through to the backend, which is never worse
+// than the uncached path.
+const maxWide = 32
+
+// maxRestricts bounds the memoized restriction wrappers.
+const maxRestricts = 256
+
+// Wrap returns rel behind a count cache with the given per-view cell budget
+// (≤ 0 meaning dataset.DefaultCellBudget). Wrapping an already-wrapped
+// relation returns it unchanged.
+func Wrap(rel source.Relation, budget int) *Relation {
+	if c, ok := rel.(*Relation); ok {
+		return c
+	}
+	if budget <= 0 {
+		budget = dataset.DefaultCellBudget
+	}
+	return &Relation{
+		inner:  rel,
+		budget: budget,
+		views:  make(map[string]*dataset.DenseCounts),
+	}
+}
+
+// Inner returns the wrapped relation.
+func (c *Relation) Inner() source.Relation { return c.inner }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Relation) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Name implements source.Relation.
+func (c *Relation) Name() string { return c.inner.Name() }
+
+// Backend implements source.Relation, forwarding the wrapped identity so
+// session caches keyed by it are unaffected by the wrapper.
+func (c *Relation) Backend() string { return c.inner.Backend() }
+
+// Attributes implements source.Relation.
+func (c *Relation) Attributes() []string { return c.inner.Attributes() }
+
+// HasAttribute implements source.Relation.
+func (c *Relation) HasAttribute(name string) bool { return c.inner.HasAttribute(name) }
+
+// NumRows implements source.Relation (memoized).
+func (c *Relation) NumRows(ctx context.Context) (int, error) {
+	c.mu.Lock()
+	if c.hasN {
+		n := c.n
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+	n, err := c.inner.NumRows(ctx)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.n, c.hasN = n, true
+	c.mu.Unlock()
+	return n, nil
+}
+
+// Labels implements source.Relation.
+func (c *Relation) Labels(ctx context.Context, attr string) ([]string, error) {
+	return c.inner.Labels(ctx, attr)
+}
+
+// Cardinality forwards the optional capability, falling back to the
+// dictionary length.
+func (c *Relation) Cardinality(ctx context.Context, attr string) (int, error) {
+	return source.Card(ctx, c.inner, attr)
+}
+
+// Counts implements source.Relation. Unpredicated requests are served from
+// the dense cache (marginalizing the smallest covering view), with the
+// sparse map form memoized per request order so repeated identical calls
+// return the cached map instead of re-walking the cells. Predicated
+// requests pass through — they belong to query execution, whose predicates
+// rarely repeat across an analysis. Callers must treat the returned map as
+// read-only (the same contract the SQL backend's memo imposes).
+func (c *Relation) Counts(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
+	if where != nil {
+		return c.inner.Counts(ctx, attrs, where)
+	}
+	okey := strings.Join(attrs, "\x00")
+	c.mu.Lock()
+	if m, ok := c.maps[okey]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+
+	dc, err := c.dense(ctx, attrs, 0)
+	if err != nil {
+		return nil, err
+	}
+	if dc == nil {
+		return c.inner.Counts(ctx, attrs, nil)
+	}
+	m := dc.Map()
+	c.mu.Lock()
+	if c.maps == nil {
+		c.maps = make(map[string]map[source.Key]int)
+	}
+	for k := range c.maps {
+		if len(c.maps) < maxMapMemos {
+			break
+		}
+		delete(c.maps, k)
+	}
+	c.maps[okey] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// DenseCounts implements source.DenseCounter. An explicit budget overrides
+// the handle's own (in either direction — a caller may permit a larger
+// tabulation than the cache default).
+func (c *Relation) DenseCounts(ctx context.Context, attrs []string, where source.Predicate, budget int) (*dataset.DenseCounts, error) {
+	if where != nil {
+		return source.Dense(ctx, c.inner, attrs, where, budget)
+	}
+	return c.dense(ctx, attrs, budget)
+}
+
+// Prime fetches the finest dense view over attrs — one backend round trip —
+// so every subsequent Counts over a subset is answered by marginalization.
+// budget overrides the handle's cell budget for this closure (≤ 0 meaning
+// the handle budget); closures above the effective budget are skipped
+// silently (requests then fall through to the backend, which may still
+// derive shared marginals itself).
+func (c *Relation) Prime(ctx context.Context, attrs []string, budget int) error {
+	_, err := c.dense(ctx, attrs, budget)
+	return err
+}
+
+// Restrict implements source.Relation: the restriction is delegated to the
+// backend and the resulting view wrapped in its own cache. Wrappers are
+// memoized per rendered predicate, so the several phases of one analysis
+// that restrict by the same WHERE clause (context splitting, balance
+// testing, per-context significance) share one restricted cache — and, for
+// the mem backend, one row selection.
+func (c *Relation) Restrict(ctx context.Context, where source.Predicate) (source.Relation, error) {
+	if where == nil {
+		return c, nil
+	}
+	key := where.SQL()
+	c.mu.Lock()
+	if child, ok := c.restricts[key]; ok {
+		c.mu.Unlock()
+		return child, nil
+	}
+	c.mu.Unlock()
+
+	inner, err := c.inner.Restrict(ctx, where)
+	if err != nil {
+		return nil, err
+	}
+	if inner == c.inner {
+		return c, nil
+	}
+	child := Wrap(inner, c.budget)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.restricts == nil {
+		c.restricts = make(map[string]*Relation)
+	}
+	if prev, ok := c.restricts[key]; ok {
+		return prev, nil // racing restriction: keep one wrapper
+	}
+	for k := range c.restricts {
+		if len(c.restricts) < maxRestricts {
+			break
+		}
+		delete(c.restricts, k)
+	}
+	c.restricts[key] = child
+	return child, nil
+}
+
+// Materialize forwards the row-level capability of the wrapped backend;
+// counts-only backends keep failing with ErrNeedsMaterialization.
+func (c *Relation) Materialize(ctx context.Context) (*dataset.Table, error) {
+	return source.Materialize(ctx, c.inner)
+}
+
+// Table forwards the zero-cost in-memory table capability of backends that
+// have one (source/mem), and returns nil otherwise — so capability probes
+// like key detection's row sampler see through the cache wrapper.
+func (c *Relation) Table() *dataset.Table {
+	if t, ok := c.inner.(interface{ Table() *dataset.Table }); ok {
+		return t.Table()
+	}
+	return nil
+}
+
+// Close implements source.Closer by forwarding (a no-op for resource-free
+// backends).
+func (c *Relation) Close() error {
+	if cl, ok := c.inner.(source.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// canonical returns the sorted attribute list and, for each requested
+// position, its index in the sorted order.
+func canonical(attrs []string) (sorted []string, pos []int) {
+	sorted = append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	pos = make([]int, len(attrs))
+	for i, a := range attrs {
+		for j, s := range sorted {
+			if s == a {
+				pos[i] = j
+				// Duplicate attribute names cannot occur: source.Relation
+				// schemas are duplicate-free and callers pass subsets.
+				break
+			}
+		}
+	}
+	return sorted, pos
+}
+
+// dense returns the dense view over attrs in request order, or nil when
+// the cell space exceeds the effective budget (budget ≤ 0 meaning the
+// handle budget). The canonical (sorted) view is cached; request order is
+// restored with one O(cells) projection. The O(cells) work — marginalizing
+// a covering view, fetching from the backend — runs outside the handle
+// lock (views are immutable once stored, and a racing duplicate
+// computation is benign: last writer wins with identical data), so
+// concurrent analyses sharing one handle only contend on map lookups.
+func (c *Relation) dense(ctx context.Context, attrs []string, budget int) (*dataset.DenseCounts, error) {
+	effective := c.budget
+	if budget > 0 {
+		effective = budget
+	}
+	sorted, pos := canonical(attrs)
+	key := strings.Join(sorted, "\x00")
+
+	c.mu.Lock()
+	view, ok := c.views[key]
+	var src *dataset.DenseCounts
+	var srcKeep []int
+	if ok {
+		c.stats.Hits++
+	} else {
+		src, srcKeep = c.findCoverLocked(sorted)
+	}
+	c.mu.Unlock()
+
+	if view == nil && src != nil {
+		out, err := src.Project(srcKeep)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.stats.Derived++
+		c.storeLocked(key, out)
+		c.mu.Unlock()
+		view = out
+	}
+	if view == nil {
+		dc, err := source.Dense(ctx, c.inner, sorted, nil, effective)
+		if err != nil || dc == nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.stats.Fetches++
+		c.storeLocked(key, dc)
+		c.mu.Unlock()
+		view = dc
+	}
+	if budget > 0 && len(view.Cells) > budget {
+		// An explicitly tighter budget than the view the cache holds: honor
+		// the DenseCounter contract rather than returning an oversized view.
+		return nil, nil
+	}
+	return reorder(view, attrs, pos)
+}
+
+// findCoverLocked returns the smallest covering view among the derivation
+// candidates (the widest memoized views) together with the projection
+// positions of the requested attributes, pruning stale candidates along
+// the way. Callers hold c.mu.
+func (c *Relation) findCoverLocked(sorted []string) (*dataset.DenseCounts, []int) {
+	var (
+		best     *dataset.DenseCounts
+		bestKeep []int
+	)
+	kept := c.wide[:0]
+	for _, wk := range c.wide {
+		v, ok := c.views[wk]
+		if !ok {
+			continue // evicted; drop from the candidate list
+		}
+		kept = append(kept, wk)
+		keep := coverPositions(v.Attrs, sorted)
+		if keep == nil {
+			continue
+		}
+		if best == nil || len(v.Cells) < len(best.Cells) {
+			best, bestKeep = v, keep
+		}
+	}
+	c.wide = kept
+	return best, bestKeep
+}
+
+// coverPositions returns, for each attribute of want, its position in have —
+// or nil when have does not cover want.
+func coverPositions(have, want []string) []int {
+	if len(want) > len(have) {
+		return nil
+	}
+	keep := make([]int, len(want))
+	for i, w := range want {
+		found := -1
+		for j, h := range have {
+			if h == w {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		keep[i] = found
+	}
+	return keep
+}
+
+// storeLocked inserts a view, evicting arbitrary views past the total-cell
+// bound and maintaining the derivation-candidate list. Callers hold c.mu.
+func (c *Relation) storeLocked(key string, dc *dataset.DenseCounts) {
+	maxTotal := c.budget * maxTotalCellsFactor
+	for k, v := range c.views {
+		if c.totalCells+len(dc.Cells) <= maxTotal {
+			break
+		}
+		c.totalCells -= len(v.Cells)
+		delete(c.views, k)
+	}
+	if old, exists := c.views[key]; exists {
+		// Racing fetches of one key: replace, don't double-count.
+		c.totalCells -= len(old.Cells)
+	} else {
+		c.noteWideLocked(key, dc)
+	}
+	c.views[key] = dc
+	c.totalCells += len(dc.Cells)
+}
+
+// noteWideLocked admits key into the derivation-candidate list, displacing
+// a narrower candidate when full. Callers hold c.mu.
+func (c *Relation) noteWideLocked(key string, dc *dataset.DenseCounts) {
+	for _, wk := range c.wide {
+		if wk == key {
+			return // evicted and re-fetched: already a candidate
+		}
+	}
+	if len(c.wide) < maxWide {
+		c.wide = append(c.wide, key)
+		return
+	}
+	// Replace the candidate with the fewest attributes if the new view is
+	// wider — wider views cover more subsets.
+	narrowest, nAttrs := -1, len(dc.Attrs)
+	for i, wk := range c.wide {
+		v, ok := c.views[wk]
+		if !ok {
+			narrowest, nAttrs = i, -1
+			break
+		}
+		if len(v.Attrs) < nAttrs {
+			narrowest, nAttrs = i, len(v.Attrs)
+		}
+	}
+	if narrowest >= 0 {
+		c.wide[narrowest] = key
+	}
+}
+
+// reorder projects a canonical view back into the requested attribute
+// order; a request already in canonical order returns the cached view
+// itself (callers must treat it as read-only).
+func reorder(view *dataset.DenseCounts, attrs []string, pos []int) (*dataset.DenseCounts, error) {
+	inOrder := true
+	for i, p := range pos {
+		if p != i {
+			inOrder = false
+		}
+	}
+	if inOrder && len(attrs) == len(view.Attrs) {
+		return view, nil
+	}
+	return view.Project(pos)
+}
+
+var (
+	_ source.Relation     = (*Relation)(nil)
+	_ source.DenseCounter = (*Relation)(nil)
+	_ source.Closer       = (*Relation)(nil)
+	_ source.Materializer = (*Relation)(nil)
+)

@@ -1,0 +1,209 @@
+package countcache
+
+import (
+	"context"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"hypdb/internal/dataset"
+	"hypdb/source"
+	"hypdb/source/mem"
+)
+
+// countingRel wraps a relation and counts backend Counts calls.
+type countingRel struct {
+	source.Relation
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingRel) Counts(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.Relation.Counts(ctx, attrs, where)
+}
+
+func (c *countingRel) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func testTable(t testing.TB) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder("A", "B", "C")
+	for i := 0; i < 240; i++ {
+		b.MustAdd(strconv.Itoa(i%3), strconv.Itoa((i/3)%4), strconv.Itoa(i%2))
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestPrimeServesAllSubsets(t *testing.T) {
+	tab := testTable(t)
+	inner := &countingRel{Relation: mem.New(tab)}
+	c := Wrap(inner, 0)
+	ctx := context.Background()
+
+	if err := c.Prime(ctx, []string{"A", "B", "C"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	primed := inner.Calls() // counting wrapper has no DenseCounter, so the fetch shows as one Counts
+
+	subsets := [][]string{{"A"}, {"B"}, {"C"}, {"A", "B"}, {"B", "C"}, {"C", "A"}, {"C", "B", "A"}, nil}
+	for _, attrs := range subsets {
+		got, err := c.Counts(ctx, attrs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mem.New(tab).Counts(ctx, attrs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("attrs %v: cached counts differ from backend", attrs)
+		}
+	}
+	if calls := inner.Calls(); calls != primed {
+		t.Errorf("backend queried %d times after priming, want %d (all subsets derived)", calls, primed)
+	}
+	st := c.Stats()
+	if st.Derived == 0 {
+		t.Errorf("no derived views recorded: %+v", st)
+	}
+}
+
+func TestDenseReorder(t *testing.T) {
+	tab := testTable(t)
+	c := Wrap(mem.New(tab), 0)
+	ctx := context.Background()
+	// Request in non-canonical order: codes must follow the request order.
+	dc, err := c.DenseCounts(ctx, []string{"C", "A"}, nil, 0)
+	if err != nil || dc == nil {
+		t.Fatalf("dense = (%v, %v)", dc, err)
+	}
+	want, err := mem.New(tab).DenseCounts(ctx, []string{"C", "A"}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dc.Cells, want.Cells) || !reflect.DeepEqual(dc.Cards, want.Cards) {
+		t.Errorf("reordered dense view differs: %+v vs %+v", dc, want)
+	}
+}
+
+func TestBudgetPassThrough(t *testing.T) {
+	tab := testTable(t)
+	inner := &countingRel{Relation: mem.New(tab)}
+	c := Wrap(inner, 4) // budget below |A|·|B| = 12
+	ctx := context.Background()
+	if dc, err := c.DenseCounts(ctx, []string{"A", "B"}, nil, 0); err != nil || dc != nil {
+		t.Fatalf("over-budget dense = (%v, %v), want (nil, nil)", dc, err)
+	}
+	got, err := c.Counts(ctx, []string{"A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := mem.New(tab).Counts(ctx, []string{"A", "B"}, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("over-budget counts differ from backend")
+	}
+	if inner.Calls() == 0 {
+		t.Error("over-budget request did not reach the backend")
+	}
+}
+
+func TestRestrictSeparatesCaches(t *testing.T) {
+	tab := testTable(t)
+	c := Wrap(mem.New(tab), 0)
+	ctx := context.Background()
+	view, err := c.Restrict(ctx, dataset.Eq{Attr: "A", Value: "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, ok := view.(*Relation)
+	if !ok {
+		t.Fatalf("restricted view is %T, want *countcache.Relation", view)
+	}
+	if cv.Backend() == c.Backend() {
+		t.Error("restriction kept the parent backend identity")
+	}
+	got, err := view.Counts(ctx, []string{"B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := mem.New(tab).Restrict(ctx, dataset.Eq{Attr: "A", Value: "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Counts(ctx, []string{"B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("restricted counts differ")
+	}
+	// Same predicate again: the wrapper is memoized.
+	view2, err := c.Restrict(ctx, dataset.Eq{Attr: "A", Value: "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view2 != view {
+		t.Error("repeated restriction produced a new wrapper")
+	}
+	if n, _ := view.NumRows(ctx); n != 80 {
+		t.Errorf("restricted NumRows = %d, want 80", n)
+	}
+}
+
+func TestWrapIdempotent(t *testing.T) {
+	c := Wrap(mem.New(testTable(t)), 0)
+	if Wrap(c, 0) != c {
+		t.Error("double wrap created a new cache")
+	}
+}
+
+func TestMaterializeForwards(t *testing.T) {
+	tab := testTable(t)
+	c := Wrap(mem.New(tab), 0)
+	got, err := c.Materialize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tab {
+		t.Error("materialize did not forward to the mem backend")
+	}
+	co := Wrap(source.CountsOnly(mem.New(tab)), 0)
+	if _, err := co.Materialize(context.Background()); err == nil {
+		t.Error("counts-only backend materialized through the cache")
+	}
+}
+
+func TestConcurrentDense(t *testing.T) {
+	tab := testTable(t)
+	c := Wrap(mem.New(tab), 0)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	subsets := [][]string{{"A"}, {"B", "C"}, {"A", "B", "C"}, {"C"}}
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			attrs := subsets[i%len(subsets)]
+			dc, err := c.DenseCounts(ctx, attrs, nil, 0)
+			if err != nil || dc == nil {
+				t.Errorf("dense %v: (%v, %v)", attrs, dc, err)
+				return
+			}
+			if dc.Total != tab.NumRows() {
+				t.Errorf("dense %v: total %d", attrs, dc.Total)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

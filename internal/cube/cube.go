@@ -5,6 +5,11 @@
 // pre-computed cube dramatically accelerates HypDB's entropy computations.
 // This package is the stand-in for the PostgreSQL CUBE operator the paper
 // used.
+//
+// Views are stored in the flat mixed-radix dataset.DenseCounts form and
+// derived down the subset lattice with its O(cells) marginalization kernel;
+// attribute lists whose cell space exceeds the dense budget fall back to
+// sparse (key-coded map) views marginalized with dataset.ProjectKeys.
 package cube
 
 import (
@@ -22,10 +27,13 @@ import (
 const MaxDimensions = 20
 
 // Cube holds count views for every subset of its dimension attributes.
+// Exactly one of the two view families is populated: dense (the common
+// case) or sparse (cell space over budget).
 type Cube struct {
 	attrs   []string
 	attrPos map[string]int
-	views   map[uint64]map[string]int // mask -> composite key -> count
+	dense   map[uint64]*dataset.DenseCounts
+	sparse  map[uint64]map[string]int // mask -> composite key -> count
 	n       int
 }
 
@@ -41,33 +49,42 @@ func Build(t *dataset.Table, attrs []string) (*Cube, error) {
 	c := &Cube{
 		attrs:   append([]string(nil), attrs...),
 		attrPos: make(map[string]int, len(attrs)),
-		views:   make(map[uint64]map[string]int),
 		n:       t.NumRows(),
 	}
+	cards := make([]int, len(attrs))
 	for i, a := range attrs {
-		if !t.HasColumn(a) {
+		col, err := t.Column(a)
+		if err != nil {
 			return nil, fmt.Errorf("cube: no column %q", a)
 		}
 		if _, dup := c.attrPos[a]; dup {
 			return nil, fmt.Errorf("cube: duplicate dimension %q", a)
 		}
 		c.attrPos[a] = i
-	}
-
-	// Finest view: one scan.
-	counts, _, err := t.Counts(attrs...)
-	if err != nil {
-		return nil, err
+		cards[i] = col.Card()
 	}
 	full := uint64(1)<<len(attrs) - 1
-	fullView := make(map[string]int, len(counts))
-	for k, v := range counts {
-		fullView[string(k)] = v
+	if _, ok := dataset.DenseSize(cards, dataset.EffectiveBudget(0, t.NumRows())); ok {
+		finest, err := t.DenseCounts(attrs...)
+		if err != nil {
+			return nil, err
+		}
+		c.dense = map[uint64]*dataset.DenseCounts{full: finest}
+	} else {
+		counts, _, err := t.Counts(attrs...)
+		if err != nil {
+			return nil, err
+		}
+		view := make(map[string]int, len(counts))
+		for k, v := range counts {
+			view[string(k)] = v
+		}
+		c.sparse = map[uint64]map[string]int{full: view}
 	}
-	c.views[full] = fullView
 
 	// Derive coarser views in decreasing popcount order: each mask is
-	// computed from a parent with exactly one more attribute.
+	// computed from a parent with exactly one more attribute, using the
+	// shared marginalization kernels.
 	for pc := len(attrs) - 1; pc >= 0; pc-- {
 		for mask := uint64(0); mask <= full; mask++ {
 			if bits.OnesCount64(mask) != pc {
@@ -82,31 +99,47 @@ func Build(t *dataset.Table, attrs []string) (*Cube, error) {
 				}
 			}
 			parentMask := mask | 1<<extra
-			parent := c.views[parentMask]
-			c.views[mask] = marginalize(parent, parentMask, extra)
+			keep := keptPositions(parentMask, mask)
+			if c.dense != nil {
+				child, err := c.dense[parentMask].Project(keep)
+				if err != nil {
+					return nil, err
+				}
+				c.dense[mask] = child
+			} else {
+				parent := c.sparse[parentMask]
+				coded := make(map[dataset.GroupKey]int, len(parent))
+				for k, v := range parent {
+					coded[dataset.GroupKey(k)] = v
+				}
+				child := dataset.ProjectKeys(coded, keep)
+				view := make(map[string]int, len(child))
+				for k, v := range child {
+					view[string(k)] = v
+				}
+				c.sparse[mask] = view
+			}
 		}
 	}
 	return c, nil
 }
 
-// marginalize sums out the attribute at bit position drop from a view whose
-// keys are composed of 4-byte fields for each set bit of parentMask, in
-// ascending bit order.
-func marginalize(parent map[string]int, parentMask uint64, drop int) map[string]int {
-	// Field offset of drop within the parent's key layout.
+// keptPositions returns, for each set bit of childMask in ascending order,
+// its field position within the parent's key layout (the set bits of
+// parentMask in ascending order).
+func keptPositions(parentMask, childMask uint64) []int {
+	var keep []int
 	field := 0
-	for i := 0; i < drop; i++ {
-		if parentMask&(1<<i) != 0 {
-			field++
+	for i := 0; i < 64 && parentMask>>i != 0; i++ {
+		if parentMask&(1<<i) == 0 {
+			continue
 		}
+		if childMask&(1<<i) != 0 {
+			keep = append(keep, field)
+		}
+		field++
 	}
-	off := field * 4
-	out := make(map[string]int, len(parent)/2+1)
-	for k, v := range parent {
-		child := k[:off] + k[off+4:]
-		out[child] += v
-	}
-	return out
+	return keep
 }
 
 // mask computes the bitmask of an attribute subset; ok is false when some
@@ -129,30 +162,70 @@ func (c *Cube) Covers(attrs []string) bool {
 	return ok
 }
 
+// Dense returns the dense view of the attribute subset (dimensions in cube
+// order, regardless of the order of attrs); ok is false when the subset is
+// not covered or the cube was built sparse. Callers must treat the view as
+// read-only.
+func (c *Cube) Dense(attrs []string) (*dataset.DenseCounts, bool) {
+	if c.dense == nil {
+		return nil, false
+	}
+	m, ok := c.mask(attrs)
+	if !ok {
+		return nil, false
+	}
+	view, ok := c.dense[m]
+	return view, ok
+}
+
 // Counts returns the count histogram of the attribute subset. The map keys
 // are the cube's internal composite keys; only the count values are
 // meaningful to callers (which is all entropy and distinct-count need).
-// ok is false when the subset is not covered.
+// ok is false when the subset is not covered. Dense-built cubes synthesize
+// the map form on demand; prefer Dense on hot paths.
 func (c *Cube) Counts(attrs []string) (map[string]int, bool) {
 	m, ok := c.mask(attrs)
 	if !ok {
 		return nil, false
 	}
-	view, ok := c.views[m]
-	return view, ok
+	if c.sparse != nil {
+		view, ok := c.sparse[m]
+		return view, ok
+	}
+	view, ok := c.dense[m]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]int, view.NonZero())
+	for k, v := range view.Map() {
+		out[string(k)] = v
+	}
+	return out, true
 }
 
 // NumRows returns the row count of the cubed table.
 func (c *Cube) NumRows() int { return c.n }
 
 // NumViews returns the number of materialized views (2^dims).
-func (c *Cube) NumViews() int { return len(c.views) }
+func (c *Cube) NumViews() int {
+	if c.dense != nil {
+		return len(c.dense)
+	}
+	return len(c.sparse)
+}
 
 // Cells returns the total number of stored cells across all views, a
-// memory-footprint proxy.
+// memory-footprint proxy. Dense views count occupied cells, matching the
+// historical sparse measure.
 func (c *Cube) Cells() int {
 	total := 0
-	for _, v := range c.views {
+	if c.dense != nil {
+		for _, v := range c.dense {
+			total += v.NonZero()
+		}
+		return total
+	}
+	for _, v := range c.sparse {
 		total += len(v)
 	}
 	return total
@@ -178,6 +251,9 @@ func (p *Provider) JointEntropy(ctx context.Context, attrs []string) (float64, e
 	if len(attrs) == 0 {
 		return 0, nil
 	}
+	if view, ok := p.Cube.Dense(attrs); ok {
+		return stats.EntropyCountsStable(view.Cells, p.Cube.NumRows(), p.Est), nil
+	}
 	if counts, ok := p.Cube.Counts(attrs); ok {
 		return stats.EntropyCountsMap(counts, p.Cube.NumRows(), p.Est), nil
 	}
@@ -188,6 +264,9 @@ func (p *Provider) JointEntropy(ctx context.Context, attrs []string) (float64, e
 func (p *Provider) DistinctCount(ctx context.Context, attrs []string) (int, error) {
 	if len(attrs) == 0 {
 		return 1, nil
+	}
+	if view, ok := p.Cube.Dense(attrs); ok {
+		return view.NonZero(), nil
 	}
 	if counts, ok := p.Cube.Counts(attrs); ok {
 		return len(counts), nil

@@ -5,6 +5,7 @@ import (
 
 	"math"
 	"math/rand"
+	"reflect"
 	"strconv"
 	"testing"
 	"testing/quick"
@@ -182,6 +183,62 @@ func TestChiSquareWithCubeProvider(t *testing.T) {
 	}
 	if r1.MI != r2.MI || r1.PValue != r2.PValue || r1.DF != r2.DF {
 		t.Errorf("cube-backed test differs: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestCubeDenseMatchesStringViews: the dense lattice walk must reproduce,
+// key for key, the composite-key views the string-slicing marginalizer used
+// to build — Cube.Counts keys are EncodeKey-coded tuples of the kept
+// dimensions in cube order, and Cube.Dense agrees with tabulating the
+// subset directly from the table.
+func TestCubeDenseMatchesStringViews(t *testing.T) {
+	tab := randomTable(t, 600, 8)
+	dims := []string{"A", "B", "C", "D"}
+	c, err := Build(tab, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsets := [][]string{
+		{"A"}, {"B"}, {"C"}, {"D"},
+		{"A", "B"}, {"A", "C"}, {"B", "D"}, {"C", "D"},
+		{"A", "B", "C"}, {"B", "C", "D"}, {"A", "B", "C", "D"},
+	}
+	for _, sub := range subsets {
+		counts, ok := c.Counts(sub)
+		if !ok {
+			t.Fatalf("subset %v not covered", sub)
+		}
+		want, _, err := tab.Counts(sub...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[dataset.GroupKey]int, len(counts))
+		for k, v := range counts {
+			got[dataset.GroupKey(k)] = v
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("subset %v: cube keys/counts differ from direct scan", sub)
+		}
+		view, ok := c.Dense(sub)
+		if !ok {
+			t.Fatalf("subset %v: no dense view", sub)
+		}
+		direct, err := tab.DenseCounts(sub...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(view.Cells, direct.Cells) {
+			t.Errorf("subset %v: dense cells differ from direct tabulation", sub)
+		}
+		if view.Total != tab.NumRows() {
+			t.Errorf("subset %v: total %d", sub, view.Total)
+		}
+	}
+	// Reordered requests resolve to the same (cube-ordered) view.
+	v1, _ := c.Dense([]string{"A", "C"})
+	v2, _ := c.Dense([]string{"C", "A"})
+	if v1 != v2 {
+		t.Error("reordered subset resolved to a different view")
 	}
 }
 

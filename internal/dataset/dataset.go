@@ -17,7 +17,6 @@ import (
 	"hypdb/internal/hyperr"
 
 	"fmt"
-	"sort"
 	"strconv"
 )
 
@@ -373,25 +372,14 @@ func (e *KeyEncoder) Key(i int) GroupKey {
 // Decode renders a key back into human-readable attribute=value pairs.
 func (e *KeyEncoder) Decode(k GroupKey) []string {
 	out := make([]string, 0, len(e.cols))
-	b := []byte(k)
 	for i, c := range e.cols {
-		off := i * 4
-		code := int32(b[off]) | int32(b[off+1])<<8 | int32(b[off+2])<<16 | int32(b[off+3])<<24
-		out = append(out, c.Name+"="+c.Label(code))
+		out = append(out, c.Name+"="+c.Label(k.Field(i)))
 	}
 	return out
 }
 
 // Codes decodes a key into the per-attribute dictionary codes.
-func (e *KeyEncoder) Codes(k GroupKey) []int32 {
-	b := []byte(k)
-	out := make([]int32, len(e.cols))
-	for i := range e.cols {
-		off := i * 4
-		out[i] = int32(b[off]) | int32(b[off+1])<<8 | int32(b[off+2])<<16 | int32(b[off+3])<<24
-	}
-	return out
-}
+func (e *KeyEncoder) Codes(k GroupKey) []int32 { return k.Codes() }
 
 // Group is one group of a group-by: its key and member row indices.
 type Group struct {
@@ -406,6 +394,11 @@ func (t *Table) GroupBy(attrs ...string) ([]Group, *KeyEncoder, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if groups, ok, err := t.denseGroupBy(enc); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return groups, enc, nil
+	}
 	m := make(map[GroupKey][]int)
 	for i := 0; i < t.numRows; i++ {
 		k := enc.Key(i)
@@ -415,8 +408,67 @@ func (t *Table) GroupBy(attrs ...string) ([]Group, *KeyEncoder, error) {
 	for k, rows := range m {
 		groups = append(groups, Group{Key: k, Rows: rows})
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	sortGroups(groups)
 	return groups, enc, nil
+}
+
+// denseGroupBy partitions rows via the mixed-radix kernel when the cell
+// space fits the budget: two passes over a per-row cell-index vector replace
+// the per-row key hashing and slice growth of the map path.
+func (t *Table) denseGroupBy(enc *KeyEncoder) ([]Group, bool, error) {
+	cards := make([]int, len(enc.cols))
+	for i, c := range enc.cols {
+		cards[i] = c.Card()
+		if cards[i] == 0 && t.numRows > 0 {
+			return nil, false, fmt.Errorf("dataset: column %q has empty dictionary but %d rows", c.Name, t.numRows)
+		}
+	}
+	if t.numRows == 0 {
+		return nil, true, nil
+	}
+	size, ok := DenseSize(cards, EffectiveBudget(0, t.numRows))
+	if !ok {
+		return nil, false, nil
+	}
+	// Pass 1: the cell index of every row, and the cell occupancy.
+	strides := make([]int32, len(enc.cols))
+	s := int32(1)
+	for i, card := range cards {
+		strides[i] = s
+		s *= int32(card)
+	}
+	rowCell := make([]int32, t.numRows)
+	if len(enc.cols) > 0 {
+		copy(rowCell, enc.cols[0].codes)
+		for j := 1; j < len(enc.cols); j++ {
+			stride := strides[j]
+			for i, code := range enc.cols[j].codes {
+				rowCell[i] += stride * code
+			}
+		}
+	}
+	counts := make([]int, size)
+	for _, c := range rowCell {
+		counts[c]++
+	}
+	// Pass 2: exact-size row slices, filled in row order.
+	groupOf := make([]int32, size)
+	dc := DenseCounts{Cards: cards}
+	var groups []Group
+	for cell, c := range counts {
+		if c == 0 {
+			groupOf[cell] = -1
+			continue
+		}
+		groupOf[cell] = int32(len(groups))
+		groups = append(groups, Group{Key: dc.Key(cell), Rows: make([]int, 0, c)})
+	}
+	for i, c := range rowCell {
+		g := groupOf[c]
+		groups[g].Rows = append(groups[g].Rows, i)
+	}
+	sortGroups(groups)
+	return groups, true, nil
 }
 
 // Counts returns the frequency of each composite value of attrs.
@@ -424,6 +476,11 @@ func (t *Table) Counts(attrs ...string) (map[GroupKey]int, *KeyEncoder, error) {
 	enc, err := NewKeyEncoder(t, attrs)
 	if err != nil {
 		return nil, nil, err
+	}
+	if dc, ok, err := t.denseWithin(enc.cols, attrs, nil, DefaultCellBudget); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return dc.Map(), enc, nil
 	}
 	m := make(map[GroupKey]int)
 	for i := 0; i < t.numRows; i++ {
@@ -449,6 +506,11 @@ func (t *Table) CountsMatching(pred Predicate, attrs ...string) (map[GroupKey]in
 	enc, err := NewKeyEncoder(t, attrs)
 	if err != nil {
 		return nil, err
+	}
+	if dc, ok, err := t.denseWithin(enc.cols, attrs, match, DefaultCellBudget); err != nil {
+		return nil, err
+	} else if ok {
+		return dc.Map(), nil
 	}
 	m := make(map[GroupKey]int)
 	for i := 0; i < t.numRows; i++ {

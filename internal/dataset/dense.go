@@ -1,0 +1,475 @@
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// DefaultCellBudget bounds the size of a dense count tabulation: when the
+// product of the grouped attributes' cardinalities exceeds this many cells,
+// the engine falls back to sparse (map-keyed) counting. 2^22 cells is 32 MiB
+// of int64 counters — large enough for every contingency table the paper's
+// workloads produce, small enough to tabulate without memory pressure.
+const DefaultCellBudget = 1 << 22
+
+// minDenseCells is the cell space below which dense tabulation always wins
+// regardless of row count.
+const minDenseCells = 1 << 12
+
+// denseRowFactor caps the cell space relative to the data size: a dense
+// view with far more cells than rows is mostly zeros, and the O(cells)
+// passes (tabulation tail, Map, marginalization) would dominate the
+// O(rows) work the sparse path does. 64 keeps the dense win on every
+// contingency-table-shaped workload while bounding the empty-cell overhead
+// of one pass to 64 words per row.
+const denseRowFactor = 64
+
+// EffectiveBudget tightens a cell budget (≤ 0 meaning DefaultCellBudget)
+// by the row count of the data about to be tabulated, so sparse
+// high-cardinality data never trades an O(rows) hash count for a larger
+// O(cells) scan.
+func EffectiveBudget(budget, rows int) int {
+	if budget <= 0 {
+		budget = DefaultCellBudget
+	}
+	rowCap := minDenseCells
+	if rows > 0 && rows > rowCap/denseRowFactor {
+		rowCap = rows * denseRowFactor
+		if rowCap/denseRowFactor != rows || rowCap < 0 {
+			return budget // overflow: row cap is unbounded
+		}
+	}
+	if rowCap < budget {
+		return rowCap
+	}
+	return budget
+}
+
+// parallelMinRows is the row count below which a parallel tabulation is not
+// worth the goroutine fan-out.
+const parallelMinRows = 1 << 15
+
+// parallelMaxCells bounds the per-worker scratch slab of the parallel scan:
+// above this, workers' private copies of the cell array would dominate the
+// cost and the scan stays serial.
+const parallelMaxCells = 1 << 18
+
+// tabulateBlock is the row-block size of the column-wise tabulation loop; it
+// bounds the per-block index buffer so it stays cache-resident.
+const tabulateBlock = 1 << 12
+
+// DenseCounts is the flat, dictionary-coded tabulation of group-by counts
+// over a fixed attribute list: the sufficient statistic everything in HypDB
+// (entropies, χ²/MIT tests, covariate scoring, query rewriting) reduces to,
+// stored as an OLAP-cube view rather than a hash map.
+//
+// Cell layout is mixed-radix with the first attribute fastest:
+//
+//	cell(c0, c1, …, ck) = c0 + Cards[0]·(c1 + Cards[1]·(c2 + …))
+//
+// so the stride of attribute j is the product of the cardinalities before
+// it. Cells holds one counter per cell of the cross product, including
+// combinations that never occur (count zero) — which is what makes
+// marginalization a single O(cells) pass with no key decoding.
+type DenseCounts struct {
+	// Attrs names the grouped attributes, in tabulation order.
+	Attrs []string
+	// Cards holds the dictionary cardinality (radix) of each attribute.
+	Cards []int
+	// Cells is the flat counter array of length ∏ Cards (length 1 when
+	// Attrs is empty: the single global count).
+	Cells []int
+	// Total is the number of tabulated rows (the sum of Cells).
+	Total int
+}
+
+// DenseSize returns the number of cells of a dense tabulation over the given
+// cardinalities, and whether it fits the budget (overflow-safe). A budget
+// ≤ 0 means DefaultCellBudget.
+func DenseSize(cards []int, budget int) (int, bool) {
+	if budget <= 0 {
+		budget = DefaultCellBudget
+	}
+	size := 1
+	for _, c := range cards {
+		if c <= 0 {
+			return 0, false
+		}
+		if size > budget/c {
+			return 0, false
+		}
+		size *= c
+	}
+	return size, size <= budget
+}
+
+// NewDenseCounts allocates an all-zero dense view over the given attributes
+// and cardinalities.
+func NewDenseCounts(attrs []string, cards []int) (*DenseCounts, error) {
+	if len(attrs) != len(cards) {
+		return nil, fmt.Errorf("dataset: %d attributes but %d cardinalities", len(attrs), len(cards))
+	}
+	size := 1
+	for _, c := range cards {
+		if c <= 0 {
+			return nil, fmt.Errorf("dataset: non-positive cardinality %d", c)
+		}
+		if size > (1<<40)/c {
+			return nil, fmt.Errorf("dataset: dense view over %v overflows", cards)
+		}
+		size *= c
+	}
+	return &DenseCounts{
+		Attrs: append([]string(nil), attrs...),
+		Cards: append([]int(nil), cards...),
+		Cells: make([]int, size),
+	}, nil
+}
+
+// AddKey accumulates a sparse (GroupKey-coded) count into the dense view.
+// The key must carry one code per attribute, each within its dictionary.
+func (d *DenseCounts) AddKey(k GroupKey, count int) error {
+	if k.Fields() != len(d.Cards) {
+		return fmt.Errorf("dataset: key with %d fields into dense view over %d attributes", k.Fields(), len(d.Cards))
+	}
+	idx := 0
+	stride := 1
+	for i, card := range d.Cards {
+		code := int(k.Field(i))
+		if code < 0 || code >= card {
+			return fmt.Errorf("dataset: code %d of %q outside dictionary of size %d", code, d.Attrs[i], card)
+		}
+		idx += stride * code
+		stride *= card
+	}
+	d.Cells[idx] += count
+	d.Total += count
+	return nil
+}
+
+// NonZero returns the number of occupied cells — the distinct count
+// |Π_attrs(D)| of the paper.
+func (d *DenseCounts) NonZero() int {
+	n := 0
+	for _, c := range d.Cells {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Key materializes the composite GroupKey of one cell index, in the
+// canonical 4-byte little-endian layout of EncodeKey.
+func (d *DenseCounts) Key(cell int) GroupKey {
+	buf := make([]byte, 0, 4*len(d.Cards))
+	for _, card := range d.Cards {
+		code := int32(cell % card)
+		cell /= card
+		buf = append(buf, byte(code), byte(code>>8), byte(code>>16), byte(code>>24))
+	}
+	return GroupKey(buf)
+}
+
+// Map renders the occupied cells as the sparse map form used by the
+// source.Relation contract. Keys are encoded exactly as EncodeKey over the
+// per-attribute codes, so dense- and map-produced keys are interchangeable.
+func (d *DenseCounts) Map() map[GroupKey]int {
+	out := make(map[GroupKey]int, d.NonZero())
+	odo := make([]int32, len(d.Cards))
+	buf := make([]byte, 4*len(d.Cards))
+	for _, c := range d.Cells {
+		if c > 0 {
+			for i, code := range odo {
+				off := 4 * i
+				buf[off] = byte(code)
+				buf[off+1] = byte(code >> 8)
+				buf[off+2] = byte(code >> 16)
+				buf[off+3] = byte(code >> 24)
+			}
+			out[GroupKey(buf)] += c
+		}
+		increment(odo, d.Cards)
+	}
+	return out
+}
+
+// increment advances a mixed-radix odometer (first digit fastest).
+func increment(odo []int32, cards []int) {
+	for i := range odo {
+		odo[i]++
+		if int(odo[i]) < cards[i] {
+			return
+		}
+		odo[i] = 0
+	}
+}
+
+// Project marginalizes the view onto the attributes at positions keep, in
+// the given order: cells of the result sum every input cell agreeing on the
+// kept codes. This is the O(cells) marginalization kernel that replaces
+// per-cell key re-encoding: one pass, no allocations beyond the output.
+func (d *DenseCounts) Project(keep []int) (*DenseCounts, error) {
+	attrs := make([]string, len(keep))
+	cards := make([]int, len(keep))
+	seen := make(map[int]bool, len(keep))
+	for i, p := range keep {
+		if p < 0 || p >= len(d.Cards) {
+			return nil, fmt.Errorf("dataset: projection position %d outside view over %d attributes", p, len(d.Cards))
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("dataset: duplicate projection position %d", p)
+		}
+		seen[p] = true
+		attrs[i] = d.Attrs[p]
+		cards[i] = d.Cards[p]
+	}
+	out, err := NewDenseCounts(attrs, cards)
+	if err != nil {
+		return nil, err
+	}
+	out.Total = d.Total
+
+	// outStride[p] is the contribution of source attribute p to the output
+	// cell index (zero for summed-out attributes).
+	outStride := make([]int, len(d.Cards))
+	stride := 1
+	for i, p := range keep {
+		outStride[p] = stride
+		stride *= cards[i]
+	}
+	odo := make([]int32, len(d.Cards))
+	outIdx := 0
+	for _, c := range d.Cells {
+		if c != 0 {
+			out.Cells[outIdx] += c
+		}
+		// Advance the odometer and incrementally maintain the output index.
+		for i := range odo {
+			odo[i]++
+			outIdx += outStride[i]
+			if int(odo[i]) < d.Cards[i] {
+				break
+			}
+			outIdx -= outStride[i] * d.Cards[i]
+			odo[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// ProjectKeys marginalizes a sparse coded count map onto the given key
+// fields, in order — the sparse counterpart of DenseCounts.Project, shared
+// by the OLAP cube and the materialized entropy provider for views too wide
+// to tabulate densely.
+func ProjectKeys(counts map[GroupKey]int, fields []int) map[GroupKey]int {
+	out := make(map[GroupKey]int, len(counts)/2+1)
+	buf := make([]byte, 0, 4*len(fields))
+	for k, c := range counts {
+		buf = buf[:0]
+		for _, f := range fields {
+			off := 4 * f
+			buf = append(buf, k[off], k[off+1], k[off+2], k[off+3])
+		}
+		out[GroupKey(buf)] += c
+	}
+	return out
+}
+
+// DenseCounts tabulates the frequency of each composite value of attrs into
+// a dense mixed-radix view with zero per-row allocations. It fails when the
+// cell space ∏ Card(attr) cannot be allocated; budget-aware callers should
+// check DenseSize first (Table.Counts does, via DefaultCellBudget).
+func (t *Table) DenseCounts(attrs ...string) (*DenseCounts, error) {
+	return t.DenseCountsMatching(nil, attrs...)
+}
+
+// DenseCountsMatching is DenseCounts restricted to the rows matching pred
+// (all rows when pred is nil). Codes refer to this table's dictionaries —
+// no compaction — mirroring CountsMatching.
+func (t *Table) DenseCountsMatching(pred Predicate, attrs ...string) (*DenseCounts, error) {
+	cols := make([]*Column, len(attrs))
+	for i, a := range attrs {
+		c, err := t.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	var match []bool
+	if pred != nil {
+		var err error
+		match, err = pred.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t.denseTabulate(cols, attrs, match)
+}
+
+// denseTabulate is the mixed-radix count kernel: a chunked scan over the
+// code vectors accumulating directly into the flat cell array, fanned out
+// over GOMAXPROCS workers (each with a private slab, merged at the end) when
+// the table is large and the cell space small enough.
+func (t *Table) denseTabulate(cols []*Column, attrs []string, match []bool) (*DenseCounts, error) {
+	cards := make([]int, len(cols))
+	size := 1
+	for i, c := range cols {
+		cards[i] = c.Card()
+		if cards[i] <= 0 {
+			// A column with an empty dictionary has no rows; the view is a
+			// single empty cell space.
+			if t.numRows == 0 {
+				return &DenseCounts{Attrs: append([]string(nil), attrs...), Cards: cards, Cells: nil}, nil
+			}
+			return nil, fmt.Errorf("dataset: column %q has empty dictionary but %d rows", c.Name, t.numRows)
+		}
+		if size > (1<<31-1)/cards[i] {
+			return nil, fmt.Errorf("dataset: dense tabulation over %v cells overflows; use the sparse path", cards)
+		}
+		size *= cards[i]
+	}
+	dc := &DenseCounts{
+		Attrs: append([]string(nil), attrs...),
+		Cards: cards,
+		Cells: make([]int, size),
+	}
+	strides := make([]int32, len(cols))
+	s := int32(1)
+	for i, card := range cards {
+		strides[i] = s
+		s *= int32(card)
+	}
+
+	rows := t.numRows
+	workers := runtime.GOMAXPROCS(0)
+	if rows >= parallelMinRows && size <= parallelMaxCells && workers > 1 {
+		if workers > 8 {
+			workers = 8
+		}
+		chunk := (rows + workers - 1) / workers
+		slabs := make([][]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > rows {
+				hi = rows
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				slab := make([]int, size)
+				tabulateRange(cols, strides, match, lo, hi, slab)
+				slabs[w] = slab
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, slab := range slabs {
+			if slab == nil {
+				continue
+			}
+			for i, v := range slab {
+				dc.Cells[i] += v
+			}
+		}
+	} else {
+		tabulateRange(cols, strides, match, 0, rows, dc.Cells)
+	}
+	for _, v := range dc.Cells {
+		dc.Total += v
+	}
+	return dc, nil
+}
+
+// tabulateRange accumulates rows [lo, hi) into cells, block by block: the
+// mixed-radix index of each row is built column-wise into a small reusable
+// buffer (sequential reads of each code vector), then scattered into the
+// cell array.
+func tabulateRange(cols []*Column, strides []int32, match []bool, lo, hi int, cells []int) {
+	if len(cols) == 0 {
+		n := 0
+		if match == nil {
+			n = hi - lo
+		} else {
+			for i := lo; i < hi; i++ {
+				if match[i] {
+					n++
+				}
+			}
+		}
+		if len(cells) > 0 {
+			cells[0] += n
+		}
+		return
+	}
+	var idx [tabulateBlock]int32
+	for blockLo := lo; blockLo < hi; blockLo += tabulateBlock {
+		blockHi := blockLo + tabulateBlock
+		if blockHi > hi {
+			blockHi = hi
+		}
+		n := blockHi - blockLo
+		first := cols[0].codes[blockLo:blockHi]
+		for i := 0; i < n; i++ {
+			idx[i] = first[i]
+		}
+		for j := 1; j < len(cols); j++ {
+			stride := strides[j]
+			codes := cols[j].codes[blockLo:blockHi]
+			for i := 0; i < n; i++ {
+				idx[i] += stride * codes[i]
+			}
+		}
+		if match == nil {
+			for i := 0; i < n; i++ {
+				cells[idx[i]]++
+			}
+		} else {
+			m := match[blockLo:blockHi]
+			for i := 0; i < n; i++ {
+				if m[i] {
+					cells[idx[i]]++
+				}
+			}
+		}
+	}
+}
+
+// denseWithin tabulates over cols when the cell space fits the budget; ok is
+// false when the sparse path must be used instead.
+func (t *Table) denseWithin(cols []*Column, attrs []string, match []bool, budget int) (*DenseCounts, bool, error) {
+	cards := make([]int, len(cols))
+	for i, c := range cols {
+		cards[i] = c.Card()
+		if cards[i] == 0 && t.numRows > 0 {
+			return nil, false, fmt.Errorf("dataset: column %q has empty dictionary but %d rows", c.Name, t.numRows)
+		}
+	}
+	if t.numRows == 0 {
+		dc := &DenseCounts{Attrs: append([]string(nil), attrs...), Cards: cards}
+		if size, ok := DenseSize(cards, budget); ok {
+			dc.Cells = make([]int, size)
+		}
+		return dc, true, nil
+	}
+	if _, ok := DenseSize(cards, EffectiveBudget(budget, t.numRows)); !ok {
+		return nil, false, nil
+	}
+	dc, err := t.denseTabulate(cols, attrs, match)
+	if err != nil {
+		return nil, false, err
+	}
+	return dc, true, nil
+}
+
+// sortGroups orders groups deterministically by composite key, matching the
+// historical map-path ordering.
+func sortGroups(groups []Group) {
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+}

@@ -1,0 +1,314 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// randomDenseTable builds a table of k categorical columns with the given
+// cardinalities and n rows.
+func randomDenseTable(t testing.TB, n int, cards []int, seed int64) *Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, len(cards))
+	for i := range cards {
+		names[i] = "A" + strconv.Itoa(i)
+	}
+	b := NewBuilder(names...)
+	vals := make([]string, len(cards))
+	for i := 0; i < n; i++ {
+		for j, c := range cards {
+			vals[j] = "v" + strconv.Itoa(rng.Intn(c))
+		}
+		b.MustAdd(vals...)
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// mapCounts is the historical sparse tabulation, kept here as the oracle the
+// dense kernel must agree with.
+func mapCounts(t *Table, pred Predicate, attrs ...string) (map[GroupKey]int, error) {
+	enc, err := NewKeyEncoder(t, attrs)
+	if err != nil {
+		return nil, err
+	}
+	var match []bool
+	if pred != nil {
+		match, err = pred.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := make(map[GroupKey]int)
+	for i := 0; i < t.NumRows(); i++ {
+		if match == nil || match[i] {
+			m[enc.Key(i)]++
+		}
+	}
+	return m, nil
+}
+
+// TestDenseCountsEquivalence is the core property: for random tables,
+// attribute subsets and predicates, the dense kernel and the sparse map path
+// produce identical count maps — including empty attribute lists (the global
+// row count) and predicates that match nothing.
+func TestDenseCountsEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCols := 1 + rng.Intn(4)
+		cards := make([]int, nCols)
+		for i := range cards {
+			cards[i] = 1 + rng.Intn(5)
+		}
+		tab := randomDenseTable(t, 10+rng.Intn(400), cards, seed^0x51)
+
+		names := tab.Columns()
+		subsets := [][]string{nil, {names[0]}, names}
+		if nCols > 1 {
+			subsets = append(subsets, []string{names[nCols-1], names[0]})
+		}
+		preds := []Predicate{
+			nil,
+			Eq{Attr: names[0], Value: "v0"},
+			Eq{Attr: names[0], Value: "no-such-label"},
+			And{Eq{Attr: names[0], Value: "v0"}, Not{Pred: Eq{Attr: names[nCols-1], Value: "v1"}}},
+		}
+		for _, attrs := range subsets {
+			for _, pred := range preds {
+				want, err := mapCounts(tab, pred, attrs...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tab.CountsMatching(pred, attrs...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d attrs %v pred %v: dense %v != map %v", seed, attrs, pred, got, want)
+				}
+				dc, err := tab.DenseCountsMatching(pred, attrs...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(dc.Map(), want) {
+					t.Fatalf("seed %d attrs %v: DenseCounts.Map mismatch", seed, attrs)
+				}
+				wantTotal := 0
+				for _, c := range want {
+					wantTotal += c
+				}
+				if dc.Total != wantTotal {
+					t.Fatalf("seed %d attrs %v: Total %d, want %d", seed, attrs, dc.Total, wantTotal)
+				}
+				if dc.NonZero() != len(want) {
+					t.Fatalf("seed %d attrs %v: NonZero %d, want %d", seed, attrs, dc.NonZero(), len(want))
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDenseProjectEquivalence: marginalizing a dense view onto any ordered
+// attribute subset matches counting that subset directly, including
+// reordered projections.
+func TestDenseProjectEquivalence(t *testing.T) {
+	tab := randomDenseTable(t, 700, []int{3, 4, 2, 5}, 7)
+	names := tab.Columns()
+	full, err := tab.DenseCounts(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]int{{0}, {1, 2}, {3, 0}, {2, 1, 0}, {0, 1, 2, 3}, {3, 2, 1, 0}, {}}
+	for _, keep := range cases {
+		attrs := make([]string, len(keep))
+		for i, p := range keep {
+			attrs[i] = names[p]
+		}
+		got, err := full.Project(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := tab.DenseCounts(attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Cells, want.Cells) {
+			t.Errorf("projection %v: cells %v != direct %v", keep, got.Cells, want.Cells)
+		}
+		if got.Total != want.Total {
+			t.Errorf("projection %v: total %d != %d", keep, got.Total, want.Total)
+		}
+		if !reflect.DeepEqual(got.Map(), want.Map()) {
+			t.Errorf("projection %v: map form differs", keep)
+		}
+	}
+	if _, err := full.Project([]int{0, 0}); err == nil {
+		t.Error("duplicate projection position accepted")
+	}
+	if _, err := full.Project([]int{9}); err == nil {
+		t.Error("out-of-range projection position accepted")
+	}
+}
+
+// TestProjectKeysEquivalence: the sparse marginalization helper agrees with
+// dense projection on the map form.
+func TestProjectKeysEquivalence(t *testing.T) {
+	tab := randomDenseTable(t, 300, []int{4, 3, 2}, 11)
+	names := tab.Columns()
+	counts, _, err := tab.Counts(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fields := range [][]int{{0}, {2, 0}, {1, 2}, {0, 1, 2}} {
+		attrs := make([]string, len(fields))
+		for i, f := range fields {
+			attrs[i] = names[f]
+		}
+		want, _, err := tab.Counts(attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ProjectKeys(counts, fields)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("fields %v: ProjectKeys %v != direct %v", fields, got, want)
+		}
+	}
+}
+
+// TestDenseGroupByEquivalence: the dense GroupBy path preserves the
+// historical output exactly — group order, key bytes and row order.
+func TestDenseGroupByEquivalence(t *testing.T) {
+	tab := randomDenseTable(t, 500, []int{3, 4}, 13)
+	names := tab.Columns()
+	groups, enc, err := tab.GroupBy(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc == nil {
+		t.Fatal("nil encoder")
+	}
+	// Oracle: sparse partition.
+	m := map[GroupKey][]int{}
+	for i := 0; i < tab.NumRows(); i++ {
+		k := enc.Key(i)
+		m[k] = append(m[k], i)
+	}
+	if len(groups) != len(m) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(m))
+	}
+	for i, g := range groups {
+		if i > 0 && !(groups[i-1].Key < g.Key) {
+			t.Fatalf("groups not sorted at %d", i)
+		}
+		if !reflect.DeepEqual(g.Rows, m[g.Key]) {
+			t.Fatalf("group %v rows differ", g.Key.Codes())
+		}
+	}
+}
+
+// TestDenseParallelScan exercises the chunked parallel tabulation (row count
+// above the fan-out threshold) and checks it against the serial oracle; run
+// under -race this doubles as the data-race check of the worker merge.
+func TestDenseParallelScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large table")
+	}
+	tab := randomDenseTable(t, parallelMinRows+1234, []int{5, 3, 2}, 17)
+	names := tab.Columns()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dc, err := tab.DenseCounts(names...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			want, err := mapCounts(tab, nil, names...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(dc.Map(), want) {
+				t.Error("parallel dense disagrees with serial map oracle")
+			}
+			if dc.Total != tab.NumRows() {
+				t.Errorf("Total %d, want %d", dc.Total, tab.NumRows())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDenseBudgetFallback: Counts falls back to the sparse path above the
+// cell budget and still returns identical results.
+func TestDenseBudgetFallback(t *testing.T) {
+	// Two columns whose cardinality product exceeds any budget ≤ 2^22 would
+	// need a huge table; instead check DenseSize arithmetic directly and the
+	// overflow guard.
+	if _, ok := DenseSize([]int{1 << 12, 1 << 12}, 1<<22); ok {
+		t.Error("2^24 cells fit a 2^22 budget")
+	}
+	if size, ok := DenseSize([]int{64, 64}, 1<<22); !ok || size != 4096 {
+		t.Errorf("DenseSize = (%d,%v)", size, ok)
+	}
+	if _, ok := DenseSize([]int{1 << 31, 1 << 31, 1 << 31}, 1<<62); ok {
+		t.Error("overflowing product accepted")
+	}
+	if _, ok := DenseSize([]int{0}, 0); ok {
+		t.Error("zero cardinality accepted")
+	}
+}
+
+func TestAddKeyValidation(t *testing.T) {
+	dc, err := NewDenseCounts([]string{"a", "b"}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.AddKey(EncodeKey(1, 2), 5); err != nil {
+		t.Fatal(err)
+	}
+	if dc.Cells[1+2*2] != 5 || dc.Total != 5 {
+		t.Errorf("cells %v total %d", dc.Cells, dc.Total)
+	}
+	if err := dc.AddKey(EncodeKey(1), 1); err == nil {
+		t.Error("short key accepted")
+	}
+	if err := dc.AddKey(EncodeKey(2, 0), 1); err == nil {
+		t.Error("out-of-dictionary code accepted")
+	}
+}
+
+func BenchmarkDenseVsMapCounts(b *testing.B) {
+	tab := randomDenseTable(b, 100000, []int{8, 6, 4, 2}, 3)
+	names := tab.Columns()
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tab.DenseCounts(names...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mapCounts(tab, nil, names...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hypdb/internal/dataset"
 	"hypdb/internal/stats"
 	"hypdb/source"
 )
@@ -15,19 +16,31 @@ import (
 // every entropy or distinct-count request over a subset is answered by
 // marginalizing the materialized table, which is much smaller than the data
 // because the attributes involved in one CD phase are few and correlated.
+//
+// When the superset's cell space fits the dense budget the table is held in
+// the flat mixed-radix dataset.DenseCounts form and subsets are derived with
+// its O(cells) projection kernel; wider supersets fall back to sparse
+// (key-coded map) storage marginalized with dataset.ProjectKeys.
 type MaterializedProvider struct {
 	attrs   []string
 	attrPos map[string]int
-	counts  map[string]int // composite key over attrs -> count
 	n       int
 	est     stats.Estimator
 
-	// marginals caches derived subset histograms keyed by the subset mask.
-	marginals map[uint64]map[string]int
+	// dense is the materialized joint in flat form (nil on the sparse
+	// path); denseMarginals caches derived subset views by mask.
+	dense          *dataset.DenseCounts
+	denseMarginals map[uint64]*dataset.DenseCounts
+
+	// counts/marginals are the sparse fallback.
+	counts    map[dataset.GroupKey]int
+	marginals map[uint64]map[dataset.GroupKey]int
 }
 
 // NewMaterializedProvider issues one count query over the superset attrs.
-func NewMaterializedProvider(ctx context.Context, rel source.Relation, attrs []string, est stats.Estimator) (*MaterializedProvider, error) {
+// budget bounds the dense cell space (≤ 0 meaning dataset.DefaultCellBudget);
+// above it the provider stores the joint sparsely.
+func NewMaterializedProvider(ctx context.Context, rel source.Relation, attrs []string, est stats.Estimator, budget int) (*MaterializedProvider, error) {
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("independence: materialization needs at least one attribute")
 	}
@@ -39,11 +52,10 @@ func NewMaterializedProvider(ctx context.Context, rel source.Relation, attrs []s
 		return nil, err
 	}
 	p := &MaterializedProvider{
-		attrs:     append([]string(nil), attrs...),
-		attrPos:   make(map[string]int, len(attrs)),
-		n:         n,
-		est:       est,
-		marginals: make(map[uint64]map[string]int),
+		attrs:   append([]string(nil), attrs...),
+		attrPos: make(map[string]int, len(attrs)),
+		n:       n,
+		est:     est,
 	}
 	for i, a := range attrs {
 		if _, dup := p.attrPos[a]; dup {
@@ -51,16 +63,26 @@ func NewMaterializedProvider(ctx context.Context, rel source.Relation, attrs []s
 		}
 		p.attrPos[a] = i
 	}
+	dense, err := source.Dense(ctx, rel, attrs, nil, budget)
+	if err != nil {
+		return nil, err
+	}
+	if dense != nil {
+		p.dense = dense
+		p.denseMarginals = make(map[uint64]*dataset.DenseCounts)
+		return p, nil
+	}
 	counts, err := rel.Counts(ctx, attrs, nil)
 	if err != nil {
 		return nil, err
 	}
-	p.counts = make(map[string]int, len(counts))
+	p.counts = make(map[dataset.GroupKey]int, len(counts))
 	for k, v := range counts {
-		p.counts[string(k)] = v
+		p.counts[k] = v
 	}
-	full := uint64(1)<<len(attrs) - 1
-	p.marginals[full] = p.counts
+	p.marginals = map[uint64]map[dataset.GroupKey]int{
+		uint64(1)<<len(attrs) - 1: p.counts,
+	}
 	return p, nil
 }
 
@@ -82,28 +104,38 @@ func (p *MaterializedProvider) mask(attrs []string) (uint64, bool) {
 	return m, true
 }
 
-// subsetCounts derives (and caches) the histogram of the attr subset given
-// by mask, by projecting the materialized keys.
-func (p *MaterializedProvider) subsetCounts(mask uint64) map[string]int {
-	if v, ok := p.marginals[mask]; ok {
-		return v
-	}
-	// Project the full keys onto the masked fields.
+// keptFields lists the attribute positions of mask in ascending order.
+func (p *MaterializedProvider) keptFields(mask uint64) []int {
 	keep := make([]int, 0, len(p.attrs))
 	for i := range p.attrs {
 		if mask&(1<<i) != 0 {
 			keep = append(keep, i)
 		}
 	}
-	out := make(map[string]int)
-	buf := make([]byte, 0, 4*len(keep))
-	for k, c := range p.counts {
-		buf = buf[:0]
-		for _, i := range keep {
-			buf = append(buf, k[4*i:4*i+4]...)
-		}
-		out[string(buf)] += c
+	return keep
+}
+
+// denseSubset derives (and caches) the dense marginal of the subset given
+// by mask with one O(cells) projection.
+func (p *MaterializedProvider) denseSubset(mask uint64) (*dataset.DenseCounts, error) {
+	if v, ok := p.denseMarginals[mask]; ok {
+		return v, nil
 	}
+	out, err := p.dense.Project(p.keptFields(mask))
+	if err != nil {
+		return nil, err
+	}
+	p.denseMarginals[mask] = out
+	return out, nil
+}
+
+// subsetCounts derives (and caches) the sparse histogram of the subset
+// given by mask by marginalizing the materialized keys.
+func (p *MaterializedProvider) subsetCounts(mask uint64) map[dataset.GroupKey]int {
+	if v, ok := p.marginals[mask]; ok {
+		return v
+	}
+	out := dataset.ProjectKeys(p.counts, p.keptFields(mask))
 	p.marginals[mask] = out
 	return out
 }
@@ -119,6 +151,13 @@ func (p *MaterializedProvider) JointEntropy(ctx context.Context, attrs []string)
 		return 0, fmt.Errorf("independence: attributes %v not covered by materialization over %v",
 			missing(attrs, p.attrPos), p.attrs)
 	}
+	if p.dense != nil {
+		view, err := p.denseSubset(m)
+		if err != nil {
+			return 0, err
+		}
+		return stats.EntropyCountsStable(view.Cells, p.n, p.est), nil
+	}
 	return stats.EntropyCountsMap(p.subsetCounts(m), p.n, p.est), nil
 }
 
@@ -131,6 +170,13 @@ func (p *MaterializedProvider) DistinctCount(ctx context.Context, attrs []string
 	if !ok {
 		return 0, fmt.Errorf("independence: attributes %v not covered by materialization over %v",
 			missing(attrs, p.attrPos), p.attrs)
+	}
+	if p.dense != nil {
+		view, err := p.denseSubset(m)
+		if err != nil {
+			return 0, err
+		}
+		return view.NonZero(), nil
 	}
 	return len(p.subsetCounts(m)), nil
 }

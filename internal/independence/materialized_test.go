@@ -12,7 +12,7 @@ import (
 
 func TestMaterializedProviderMatchesScan(t *testing.T) {
 	tab := chainData(t, 600, 20)
-	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y", "Z"}, stats.MillerMadow)
+	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y", "Z"}, stats.MillerMadow, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestMaterializedProviderMatchesScan(t *testing.T) {
 
 func TestMaterializedProviderCoverage(t *testing.T) {
 	tab := chainData(t, 100, 21)
-	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y"}, stats.PlugIn)
+	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y"}, stats.PlugIn, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,20 +75,20 @@ func TestMaterializedProviderCoverage(t *testing.T) {
 
 func TestMaterializedProviderValidation(t *testing.T) {
 	tab := chainData(t, 50, 22)
-	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), nil, stats.PlugIn); err == nil {
+	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), nil, stats.PlugIn, 0); err == nil {
 		t.Error("empty superset accepted")
 	}
-	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "X"}, stats.PlugIn); err == nil {
+	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "X"}, stats.PlugIn, 0); err == nil {
 		t.Error("duplicate attribute accepted")
 	}
-	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"missing"}, stats.PlugIn); err == nil {
+	if _, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"missing"}, stats.PlugIn, 0); err == nil {
 		t.Error("missing attribute accepted")
 	}
 }
 
 func TestChiSquareWithMaterializedProvider(t *testing.T) {
 	tab := chainData(t, 900, 23)
-	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y", "Z"}, stats.MillerMadow)
+	mp, err := NewMaterializedProvider(context.Background(), mem.New(tab), []string{"X", "Y", "Z"}, stats.MillerMadow, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,10 +59,19 @@ func NewRelationProvider(ctx context.Context, rel source.Relation, est stats.Est
 	return &RelationProvider{Rel: rel, Est: est, n: n}, nil
 }
 
-// JointEntropy implements EntropyProvider.
+// JointEntropy implements EntropyProvider. Backends within the dense cell
+// budget answer through the flat mixed-radix tabulation (no per-group key
+// material); wider attribute sets fall back to the sparse count map. Both
+// paths sort the non-zero counts before summation, so they are bit-for-bit
+// interchangeable.
 func (p *RelationProvider) JointEntropy(ctx context.Context, attrs []string) (float64, error) {
 	if len(attrs) == 0 {
 		return 0, nil
+	}
+	if dc, err := source.Dense(ctx, p.Rel, attrs, nil, 0); err != nil {
+		return 0, err
+	} else if dc != nil {
+		return stats.EntropyCountsStable(dc.Cells, p.n, p.Est), nil
 	}
 	counts, err := p.Rel.Counts(ctx, attrs, nil)
 	if err != nil {
@@ -76,6 +85,11 @@ func (p *RelationProvider) DistinctCount(ctx context.Context, attrs []string) (i
 	if len(attrs) == 0 {
 		return 1, nil
 	}
+	if dc, err := source.Dense(ctx, p.Rel, attrs, nil, 0); err != nil {
+		return 0, err
+	} else if dc != nil {
+		return dc.NonZero(), nil
+	}
 	counts, err := p.Rel.Counts(ctx, attrs, nil)
 	if err != nil {
 		return 0, err
@@ -85,6 +99,38 @@ func (p *RelationProvider) DistinctCount(ctx context.Context, attrs []string) (i
 
 // NumRows implements EntropyProvider.
 func (p *RelationProvider) NumRows() int { return p.n }
+
+// SharedProvider binds the χ² branch of a tester to one cached
+// relation-backed entropy provider over rel, so the entropy cache
+// accumulates across the many Test calls of a search loop (Grow-Shrink,
+// IAMB, the FGS edge-removal sweeps) instead of being rebuilt per call.
+// Testers that already carry a provider — or have no provider slot (MIT,
+// Shuffle, wrappers) — are returned unchanged.
+func SharedProvider(ctx context.Context, t Tester, rel source.Relation) (Tester, error) {
+	switch v := t.(type) {
+	case ChiSquare:
+		if v.Provider != nil {
+			return t, nil
+		}
+		rp, err := NewRelationProvider(ctx, rel, v.Est)
+		if err != nil {
+			return nil, err
+		}
+		v.Provider = NewCachedProvider(rp)
+		return v, nil
+	case HyMIT:
+		if v.Provider != nil {
+			return t, nil
+		}
+		rp, err := NewRelationProvider(ctx, rel, v.Est)
+		if err != nil {
+			return nil, err
+		}
+		v.Provider = NewCachedProvider(rp)
+		return v, nil
+	}
+	return t, nil
+}
 
 // CachedProvider memoizes another provider. This is the paper's "caching
 // entropy" optimization (Sec 6): H(T), H(TZ), ... are shared among many

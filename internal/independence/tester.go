@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"hypdb/internal/contingency"
+	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
 	"hypdb/internal/stats"
 	"hypdb/source"
@@ -354,8 +355,16 @@ func (m MIT) runReplicates(ctx context.Context, groups []groupTable, perms int, 
 // single dictionary-coded count query over (z..., x, y), computing Pr(z)
 // and the group weight w = Pr(z)·max(H(X|z),H(Y|z)). Groups come back in
 // sorted z-key order, matching the deterministic group-by ordering of the
-// in-memory pipeline.
+// in-memory pipeline. When the (Z,X,Y) cell space fits the dense budget the
+// tables are sliced straight out of the flat mixed-radix tabulation; wider
+// spaces fall back to the sparse count map.
 func buildGroupTables(ctx context.Context, rel source.Relation, x, y string, z []string) ([]groupTable, error) {
+	attrs := append(append([]string(nil), z...), x, y)
+	if dc, err := source.Dense(ctx, rel, attrs, nil, 0); err != nil {
+		return nil, err
+	} else if dc != nil {
+		return denseGroupTables(dc, len(z))
+	}
 	cardX, err := source.Card(ctx, rel, x)
 	if err != nil {
 		return nil, err
@@ -364,7 +373,6 @@ func buildGroupTables(ctx context.Context, rel source.Relation, x, y string, z [
 	if err != nil {
 		return nil, err
 	}
-	attrs := append(append([]string(nil), z...), x, y)
 	counts, err := rel.Counts(ctx, attrs, nil)
 	if err != nil {
 		return nil, err
@@ -398,10 +406,72 @@ func buildGroupTables(ctx context.Context, rel source.Relation, x, y string, z [
 	}
 	sort.Strings(zkeys)
 
-	n := float64(total)
-	out := make([]groupTable, 0, len(zkeys))
+	tables := make([]*contingency.Table2, 0, len(zkeys))
 	for _, zk := range zkeys {
-		ct := byZ[zk]
+		tables = append(tables, byZ[zk])
+	}
+	return finishGroupTables(tables, total), nil
+}
+
+// denseGroupTables slices the per-z-group (x,y) tables out of a dense
+// (z..., x, y) tabulation: the cells of conditioning group z occupy the
+// arithmetic progression zIdx + prodZ·(x + cardX·y). Group order is by
+// encoded z-key — identical to the sparse path's sort.
+func denseGroupTables(dc *dataset.DenseCounts, nz int) ([]groupTable, error) {
+	if dc.Total == 0 {
+		return nil, nil
+	}
+	cardX, cardY := dc.Cards[nz], dc.Cards[nz+1]
+	prodZ := 1
+	for _, c := range dc.Cards[:nz] {
+		prodZ *= c
+	}
+	type zgroup struct {
+		key   dataset.GroupKey
+		table *contingency.Table2
+	}
+	zdims := dataset.DenseCounts{Cards: dc.Cards[:nz]}
+	var groups []zgroup
+	for zIdx := 0; zIdx < prodZ; zIdx++ {
+		occupied := false
+		for cell := zIdx; cell < len(dc.Cells); cell += prodZ {
+			if dc.Cells[cell] != 0 {
+				occupied = true
+				break
+			}
+		}
+		if !occupied {
+			continue
+		}
+		ct, err := contingency.NewTable2(cardX, cardY)
+		if err != nil {
+			return nil, err
+		}
+		cell := zIdx
+		for yc := 0; yc < cardY; yc++ {
+			for xc := 0; xc < cardX; xc++ {
+				if c := dc.Cells[cell]; c != 0 {
+					ct.Add(xc, yc, c)
+				}
+				cell += prodZ
+			}
+		}
+		groups = append(groups, zgroup{key: zdims.Key(zIdx), table: ct})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	tables := make([]*contingency.Table2, len(groups))
+	for i, g := range groups {
+		tables[i] = g.table
+	}
+	return finishGroupTables(tables, dc.Total), nil
+}
+
+// finishGroupTables computes Pr(z) and the sampling weight of each group
+// table, shared by the dense and sparse builders.
+func finishGroupTables(tables []*contingency.Table2, total int) []groupTable {
+	n := float64(total)
+	out := make([]groupTable, 0, len(tables))
+	for _, ct := range tables {
 		prob := float64(ct.Total()) / n
 		hx := ct.EntropyRows(stats.PlugIn)
 		hy := ct.EntropyCols(stats.PlugIn)
@@ -413,7 +483,7 @@ func buildGroupTables(ctx context.Context, rel source.Relation, x, y string, z [
 		}
 		out = append(out, groupTable{table: ct, prob: prob, weight: w})
 	}
-	return out, nil
+	return out
 }
 
 // sampleGroups draws k groups without replacement with probability
@@ -561,11 +631,22 @@ func (s Shuffle) Test(ctx context.Context, rel source.Relation, x, y string, z [
 	}
 	n := float64(t.NumRows())
 
+	// Per-group scratch tables are hoisted out of the replicate loop: each
+	// cmiOf call re-tabulates into them instead of allocating m·|groups|
+	// fresh tables across the permutation run.
+	scratch := make([]*contingency.Table2, len(groups))
+	for i := range groups {
+		ct, err := contingency.NewTable2(xc.Card(), yc.Card())
+		if err != nil {
+			return Result{}, err
+		}
+		scratch[i] = ct
+	}
 	cmiOf := func(xcodes []int32) (float64, error) {
 		total := 0.0
-		for _, g := range groups {
-			ct, err := contingency.FromCodesRows(xcodes, yc.Codes(), g.Rows, xc.Card(), yc.Card())
-			if err != nil {
+		for gi, g := range groups {
+			ct := scratch[gi]
+			if err := ct.TabulateRows(xcodes, yc.Codes(), g.Rows); err != nil {
 				return 0, err
 			}
 			total += float64(len(g.Rows)) / n * ct.MI(s.Est)

@@ -53,6 +53,13 @@ func GrowShrink(ctx context.Context, rel source.Relation, target string, candida
 	if err != nil {
 		return nil, err
 	}
+	// Bind provider-less χ²-style testers to one shared cached provider for
+	// the whole grow/shrink search, so the entropies of overlapping
+	// conditioning sets are computed once (Sec 6 entropy caching).
+	cfg.Tester, err = independence.SharedProvider(ctx, cfg.Tester, rel)
+	if err != nil {
+		return nil, err
+	}
 	ordered, err := orderByAssociation(ctx, rel, target, cands)
 	if err != nil {
 		return nil, err
@@ -101,6 +108,10 @@ func IAMB(ctx context.Context, rel source.Relation, target string, candidates []
 		return nil, fmt.Errorf("markov: no column %q: %w", target, hyperr.ErrUnknownAttribute)
 	}
 	cands, err := validCandidates(rel, target, candidates)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Tester, err = independence.SharedProvider(ctx, cfg.Tester, rel)
 	if err != nil {
 		return nil, err
 	}
@@ -200,22 +211,39 @@ func orderByAssociation(ctx context.Context, rel source.Relation, target string,
 		if err != nil {
 			return nil, err
 		}
-		joint, err := rel.Counts(ctx, []string{target, c}, nil)
-		if err != nil {
-			return nil, err
-		}
-		// H(T) and H(C) from dense marginals folded out of the joint (in
-		// code order, matching the code-vector estimator exactly); H(TC)
-		// from the joint multiset.
 		denseT := make([]int, cardT)
 		denseC := make([]int, cardC)
-		for k, cnt := range joint {
-			denseT[k.Field(0)] += cnt
-			denseC[k.Field(1)] += cnt
+		var htc float64
+		if dc, err := source.Dense(ctx, rel, []string{target, c}, nil, 0); err != nil {
+			return nil, err
+		} else if dc != nil {
+			// The pairwise joint in flat form: fold both marginals out of
+			// the cells, H(TC) from the sorted non-zero multiset.
+			cell := 0
+			for cc := 0; cc < cardC; cc++ {
+				for tc := 0; tc < cardT; tc++ {
+					cnt := dc.Cells[cell]
+					denseT[tc] += cnt
+					denseC[cc] += cnt
+					cell++
+				}
+			}
+			htc = stats.EntropyCountsStable(dc.Cells, n, stats.PlugIn)
+		} else {
+			joint, err := rel.Counts(ctx, []string{target, c}, nil)
+			if err != nil {
+				return nil, err
+			}
+			for k, cnt := range joint {
+				denseT[k.Field(0)] += cnt
+				denseC[k.Field(1)] += cnt
+			}
+			htc = stats.EntropyCountsMap(joint, n, stats.PlugIn)
 		}
+		// H(T) and H(C) from marginals folded out of the joint (in code
+		// order, matching the code-vector estimator exactly).
 		ht := stats.EntropyCounts(denseT, n, stats.PlugIn)
 		hc := stats.EntropyCounts(denseC, n, stats.PlugIn)
-		htc := stats.EntropyCountsMap(joint, n, stats.PlugIn)
 		mis[i] = ht + hc - htc
 	}
 	order := stats.RankDescending(mis)

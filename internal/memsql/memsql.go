@@ -41,6 +41,53 @@ var (
 	tables = make(map[string]*dataset.Table)
 )
 
+// Stats counts the statements the driver has executed, by class — the
+// instrumentation behind the regression tests that pin how many GROUP BY
+// round trips one analysis is allowed to issue (the one-query-per-closure
+// pushdown must not silently decay back into N queries per hill climb).
+type Stats struct {
+	// Probes counts schema probes (SELECT * … WHERE 1=0).
+	Probes int64
+	// RowCounts counts SELECT COUNT(*) aggregates.
+	RowCounts int64
+	// Cardinalities counts SELECT COUNT(DISTINCT …) aggregates.
+	Cardinalities int64
+	// Dicts counts SELECT DISTINCT dictionary loads.
+	Dicts int64
+	// GroupBys counts GROUP BY count queries — the engine's sufficient-
+	// statistic workhorse.
+	GroupBys int64
+	// RowSelects counts plain projections (materialization).
+	RowSelects int64
+}
+
+var (
+	statsMu sync.Mutex
+	stats   Stats
+)
+
+func bump(f func(*Stats)) {
+	statsMu.Lock()
+	f(&stats)
+	statsMu.Unlock()
+}
+
+// SnapshotStats returns the counters accumulated since the last ResetStats.
+// The registry is process-global, so concurrent tests touching memsql
+// should not assert exact totals unless they own the process.
+func SnapshotStats() Stats {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	return stats
+}
+
+// ResetStats zeroes the statement counters.
+func ResetStats() {
+	statsMu.Lock()
+	stats = Stats{}
+	statsMu.Unlock()
+}
+
 func init() { sql.Register(DriverName, drv{}) }
 
 // Register makes t queryable as table name through any memsql connection.
@@ -175,6 +222,7 @@ func run(query string) (driver.Rows, error) {
 		if whereText != "1=0" {
 			return nil, fmt.Errorf("memsql: SELECT * is only supported with WHERE 1=0 (schema probe), got %q", query)
 		}
+		bump(func(s *Stats) { s.Probes++ })
 		return &rows{cols: t.Columns()}, nil
 	}
 
@@ -189,6 +237,7 @@ func run(query string) (driver.Rows, error) {
 
 	// SELECT COUNT(*) FROM ...
 	if strings.EqualFold(selectList, "COUNT(*)") {
+		bump(func(s *Stats) { s.RowCounts++ })
 		n := 0
 		if !noRows {
 			counts, err := t.CountsMatching(pred)
@@ -206,6 +255,7 @@ func run(query string) (driver.Rows, error) {
 		if err != nil {
 			return nil, fmt.Errorf("memsql: bad COUNT(DISTINCT) column in %q: %v", query, err)
 		}
+		bump(func(s *Stats) { s.Cardinalities++ })
 		n := 0
 		if !noRows {
 			counts, err := t.CountsMatching(pred, col)
@@ -223,6 +273,7 @@ func run(query string) (driver.Rows, error) {
 		if err != nil {
 			return nil, fmt.Errorf("memsql: bad DISTINCT column in %q: %v", query, err)
 		}
+		bump(func(s *Stats) { s.Dicts++ })
 		out := &rows{cols: []string{col}}
 		if !noRows {
 			counts, err := t.CountsMatching(pred, col)
@@ -270,6 +321,7 @@ func run(query string) (driver.Rows, error) {
 				return nil, fmt.Errorf("memsql: GROUP BY list must match the select list in %q", query)
 			}
 		}
+		bump(func(s *Stats) { s.GroupBys++ })
 		out := &rows{cols: append(append([]string(nil), cols...), "count")}
 		if !noRows {
 			counts, err := t.CountsMatching(pred, cols...)
@@ -300,6 +352,7 @@ func run(query string) (driver.Rows, error) {
 	}
 
 	// Plain projection, preserving row order.
+	bump(func(s *Stats) { s.RowSelects++ })
 	out := &rows{cols: cols}
 	if noRows {
 		return out, nil

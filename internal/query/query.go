@@ -182,37 +182,18 @@ func Run(ctx context.Context, rel source.Relation, q Query) (*Answer, error) {
 	}
 	groupAttrs := append([]string{q.Treatment}, q.Groupings...)
 	attrs := append(append([]string(nil), groupAttrs...), q.Outcomes...)
-	counts, err := view.Counts(ctx, attrs, nil)
-	if err != nil {
-		return nil, err
-	}
 	nG := len(groupAttrs)
-
-	type agg struct {
-		count int
-		sums  []float64
-	}
-	groups := make(map[string]*agg)
-	for k, c := range counts {
-		gk := string(k.Slice(0, nG))
-		a, ok := groups[gk]
-		if !ok {
-			a = &agg{sums: make([]float64, len(q.Outcomes))}
-			groups[gk] = a
-		}
-		a.count += c
-		for oi := range q.Outcomes {
-			a.sums[oi] += yvals[oi][k.Field(nG+oi)] * float64(c)
-		}
-	}
 
 	decoders, err := labelDecoders(ctx, view, groupAttrs)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Row
-	for gk, a := range groups {
-		codes := source.Key(gk).Codes()
+
+	type agg struct {
+		count int
+		sums  []float64
+	}
+	rowOf := func(codes []int32, a *agg) Row {
 		row := Row{
 			Treatment: decoders[0][codes[0]],
 			Context:   make([]string, len(q.Groupings)),
@@ -225,7 +206,64 @@ func Run(ctx context.Context, rel source.Relation, q Query) (*Answer, error) {
 		for oi := range q.Outcomes {
 			row.Avgs[oi] = a.sums[oi] / float64(a.count)
 		}
-		rows = append(rows, row)
+		return row
+	}
+
+	var rows []Row
+	if dc, err := source.Dense(ctx, view, attrs, nil, 0); err != nil {
+		return nil, err
+	} else if dc != nil {
+		// Dense path: group cells occupy residue classes modulo the group
+		// dims' radix product; outcome codes come off the high strides.
+		prodG := 1
+		for _, c := range dc.Cards[:nG] {
+			prodG *= c
+		}
+		aggs := make([]agg, prodG)
+		for cell, c := range dc.Cells {
+			if c == 0 {
+				continue
+			}
+			a := &aggs[cell%prodG]
+			if a.sums == nil {
+				a.sums = make([]float64, len(q.Outcomes))
+			}
+			a.count += c
+			rest := cell / prodG
+			for oi := range q.Outcomes {
+				card := dc.Cards[nG+oi]
+				a.sums[oi] += yvals[oi][rest%card] * float64(c)
+				rest /= card
+			}
+		}
+		gdims := dataset.DenseCounts{Cards: dc.Cards[:nG]}
+		for gIdx := range aggs {
+			if aggs[gIdx].count == 0 {
+				continue
+			}
+			rows = append(rows, rowOf(gdims.Key(gIdx).Codes(), &aggs[gIdx]))
+		}
+	} else {
+		counts, err := view.Counts(ctx, attrs, nil)
+		if err != nil {
+			return nil, err
+		}
+		groups := make(map[string]*agg)
+		for k, c := range counts {
+			gk := string(k.Slice(0, nG))
+			a, ok := groups[gk]
+			if !ok {
+				a = &agg{sums: make([]float64, len(q.Outcomes))}
+				groups[gk] = a
+			}
+			a.count += c
+			for oi := range q.Outcomes {
+				a.sums[oi] += yvals[oi][k.Field(nG+oi)] * float64(c)
+			}
+		}
+		for gk, a := range groups {
+			rows = append(rows, rowOf(source.Key(gk).Codes(), a))
+		}
 	}
 	sortRows(rows)
 	return &Answer{Query: q, Rows: rows}, nil

@@ -82,6 +82,32 @@ func EntropyCountsMap[K comparable](counts map[K]int, total int, est Estimator) 
 	return EntropyCounts(vals, total, est)
 }
 
+// EntropyCountsStable is EntropyCounts for histograms whose storage order
+// is representation-dependent — dense OLAP-cube cells, marginalized views.
+// Like EntropyCountsMap, the non-zero counts are copied and sorted before
+// summation, so a dense view and the sparse map of the same distribution
+// produce bit-for-bit identical entropies (which golden-reproducibility and
+// cross-backend caching rely on).
+func EntropyCountsStable(counts []int, total int, est Estimator) float64 {
+	if total <= 0 {
+		return 0
+	}
+	nz := 0
+	for _, c := range counts {
+		if c > 0 {
+			nz++
+		}
+	}
+	vals := make([]int, 0, nz)
+	for _, c := range counts {
+		if c > 0 {
+			vals = append(vals, c)
+		}
+	}
+	sort.Ints(vals)
+	return EntropyCounts(vals, total, est)
+}
+
 // EntropyProbs computes exact entropy −Σ p·ln p of a probability vector.
 // Probabilities that are zero (or negative, defensively) are skipped.
 func EntropyProbs(probs []float64) float64 {

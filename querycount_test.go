@@ -1,0 +1,96 @@
+package hypdb_test
+
+// Round-trip accounting for the SQL backend: the one-query-per-closure
+// pushdown (countcache.Prime + sqldb's client-side superset marginals) must
+// keep the number of GROUP BY queries per analysis O(1) in the number of
+// independence tests, or the CD hill-climb degrades back to a query per
+// scored subset. These tests pin the budget with the in-process memsql
+// driver's statement counters.
+
+import (
+	"context"
+	"testing"
+
+	"hypdb"
+	"hypdb/internal/core"
+	"hypdb/internal/countcache"
+	"hypdb/internal/datagen"
+	"hypdb/internal/dataset"
+	"hypdb/internal/memsql"
+	"hypdb/source/sqldb"
+)
+
+// openSQLBacked registers tab and opens a sqldb relation over it.
+func openSQLBacked(t *testing.T, name string, tab *dataset.Table) *sqldb.Relation {
+	t.Helper()
+	memsql.Register(name, tab)
+	t.Cleanup(func() { memsql.Unregister(name) })
+	conn, err := memsql.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := sqldb.Open(context.Background(), conn, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rel.Close() })
+	return rel
+}
+
+// TestCDQueryCollapse: covariate discovery over a count-cached SQL relation
+// issues a constant number of GROUP BY queries — one finest group-by over
+// the attribute closure — regardless of how many subsets the boundary
+// search and the phase I/II enumerations score.
+func TestCDQueryCollapse(t *testing.T) {
+	tab, _, err := datagen.Random(datagen.RandomSpec{
+		Nodes: 6, AvgDegree: 2, MinCard: 2, MaxCard: 2, Alpha: 0.35, Rows: 4000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := openSQLBacked(t, "qc_random", tab)
+	cached := countcache.Wrap(rel, 0)
+	attrs := tab.Columns()
+	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
+
+	memsql.ResetStats()
+	res, err := core.DiscoverCovariates(context.Background(), cached, attrs[0], attrs[1:], nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tests == 0 {
+		t.Fatal("no independence tests ran — the assertion would be vacuous")
+	}
+	st := memsql.SnapshotStats()
+	if st.GroupBys > 2 {
+		t.Errorf("covariate discovery issued %d GROUP BY queries (%d tests), want ≤ 2 (one closure prime)",
+			st.GroupBys, res.Tests)
+	}
+	if bs := rel.Stats(); bs.CountQueries > 2 {
+		t.Errorf("sqldb handle reports %d count queries, want ≤ 2", bs.CountQueries)
+	}
+}
+
+// TestAnalyzeQueryBudget: one cold end-to-end Analyze against the SQL
+// backend stays within a small constant GROUP BY budget. Without the
+// closure collapse the same analysis issues hundreds (one per entropy
+// subset scored by the two CD runs).
+func TestAnalyzeQueryBudget(t *testing.T) {
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := openSQLBacked(t, "qc_berkeley", tab)
+	db := hypdb.OpenSource(rel)
+
+	memsql.ResetStats()
+	if _, err := db.Analyze(context.Background(), datagen.BerkeleyQuery(),
+		hypdb.WithSeed(7), hypdb.WithPermutations(100)); err != nil {
+		t.Fatal(err)
+	}
+	st := memsql.SnapshotStats()
+	const budget = 32
+	if st.GroupBys > budget {
+		t.Errorf("cold Analyze issued %d GROUP BY queries, budget %d (stats %+v)", st.GroupBys, budget, st)
+	}
+}

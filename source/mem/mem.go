@@ -78,6 +78,27 @@ func (r *Relation) Counts(ctx context.Context, attrs []string, where source.Pred
 	return r.t.CountsMatching(where, attrs...)
 }
 
+// DenseCounts implements source.DenseCounter: the counts are tabulated
+// straight into the flat mixed-radix form by the dataset kernel — zero
+// per-row allocations, parallel chunked scan on large tables.
+func (r *Relation) DenseCounts(ctx context.Context, attrs []string, where source.Predicate, budget int) (*dataset.DenseCounts, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cards := make([]int, len(attrs))
+	for i, a := range attrs {
+		c, err := r.t.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		cards[i] = c.Card()
+	}
+	if _, ok := dataset.DenseSize(cards, dataset.EffectiveBudget(budget, r.t.NumRows())); !ok {
+		return nil, nil
+	}
+	return r.t.DenseCountsMatching(where, attrs...)
+}
+
 // Restrict implements source.Relation: it eagerly selects the matching rows
 // into a fresh table with compacted dictionaries.
 func (r *Relation) Restrict(ctx context.Context, where source.Predicate) (source.Relation, error) {
@@ -105,4 +126,5 @@ func (r *Relation) Materialize(ctx context.Context) (*dataset.Table, error) {
 var (
 	_ source.Relation     = (*Relation)(nil)
 	_ source.Materializer = (*Relation)(nil)
+	_ source.DenseCounter = (*Relation)(nil)
 )

@@ -88,13 +88,65 @@ type Relation interface {
 	// Counts returns the frequency of each composite value of attrs among
 	// the rows matching where (all rows when where is nil), keyed by the
 	// dictionary codes of the attributes in call order. An empty attrs
-	// yields a single empty key holding the matching-row count.
+	// yields a single empty key holding the matching-row count. Callers
+	// must not mutate the returned map: backends and caching layers are
+	// free to hand out one shared memoized result.
 	Counts(ctx context.Context, attrs []string, where Predicate) (map[Key]int, error)
 
 	// Restrict returns σ_where(R): a new relation over the matching rows
 	// with compacted dictionaries. A nil predicate returns the relation
 	// itself.
 	Restrict(ctx context.Context, where Predicate) (Relation, error)
+}
+
+// DenseCounter is the optional dense-counts capability: backends that can
+// tabulate (or convert) group-by counts into the flat mixed-radix
+// dataset.DenseCounts form implement it, letting the engine skip the sparse
+// map representation entirely. Implementations return (nil, nil) when the
+// cell space ∏ Card(attr) exceeds budget (≤ 0 meaning
+// dataset.DefaultCellBudget); callers then fall back to Counts.
+type DenseCounter interface {
+	DenseCounts(ctx context.Context, attrs []string, where Predicate, budget int) (*dataset.DenseCounts, error)
+}
+
+// Dense returns the dense tabulation of rel's group-by counts over attrs
+// under where, or (nil, nil) when the cell space exceeds budget (≤ 0 meaning
+// dataset.DefaultCellBudget). Backends implementing DenseCounter answer
+// directly; for the rest the sparse Counts result is folded into a dense
+// view using the per-attribute dictionaries — still one backend round trip.
+func Dense(ctx context.Context, rel Relation, attrs []string, where Predicate, budget int) (*dataset.DenseCounts, error) {
+	if dc, ok := rel.(DenseCounter); ok {
+		return dc.DenseCounts(ctx, attrs, where, budget)
+	}
+	cards := make([]int, len(attrs))
+	for i, a := range attrs {
+		card, err := Card(ctx, rel, a)
+		if err != nil {
+			return nil, err
+		}
+		cards[i] = card
+	}
+	rows, err := rel.NumRows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := dataset.DenseSize(cards, dataset.EffectiveBudget(budget, rows)); !ok {
+		return nil, nil
+	}
+	counts, err := rel.Counts(ctx, attrs, where)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := dataset.NewDenseCounts(attrs, cards)
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range counts {
+		if err := dc.AddKey(k, c); err != nil {
+			return nil, fmt.Errorf("source: relation %q: %v", rel.Name(), err)
+		}
+	}
+	return dc, nil
 }
 
 // Materializer is the optional row-level capability: backends that can

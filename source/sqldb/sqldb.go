@@ -47,6 +47,11 @@ type Stats struct {
 	// the database; CacheHits the number answered from the per-handle cache.
 	CountQueries int
 	CacheHits    int
+	// Derived is the number of count requests answered client-side by
+	// marginalizing a cached superset result instead of querying — the
+	// multi-query-optimization path that collapses the CD hill-climb's
+	// N-queries pattern to roughly one round trip per attribute closure.
+	Derived int
 	// DictQueries counts SELECT DISTINCT dictionary loads.
 	DictQueries int
 }
@@ -70,11 +75,33 @@ type Relation struct {
 	nrows     int
 	hasN      bool
 	dicts     map[string]*dict
-	counts    map[string]map[source.Key]int
+	counts    map[string]*countEntry
+	wide      []*countEntry // widest memoized results: the derivation candidates
+	dense     map[string]*dataset.DenseCounts
 	cards     map[string]int
 	restricts map[string]*Relation
 	mat       *dataset.Table
 	stats     Stats
+}
+
+// maxDenseMemos bounds the dense-form memo (entries rebuild from the
+// sparse memo in one pass, so eviction only costs a re-fold).
+const maxDenseMemos = 64
+
+// maxWideEntries bounds the derivation-candidate list: coverage search must
+// stay O(1) per request, so only the widest memoized results (the closure
+// queries, which cover nearly every subset worth deriving) are scanned;
+// requests they do not cover are simply queried.
+const maxWideEntries = 16
+
+// countEntry is one memoized count result, remembering the grouped
+// attributes and rendered WHERE clause so later requests over an attribute
+// subset under the same clause can be answered by client-side
+// marginalization instead of another round trip.
+type countEntry struct {
+	attrs  []string
+	clause string
+	m      map[source.Key]int
 }
 
 type dict struct {
@@ -119,7 +146,7 @@ func Open(ctx context.Context, db *sql.DB, table string) (*Relation, error) {
 		backend: fmt.Sprintf("sqldb:%p:%s", db, table),
 		owned:   true,
 		dicts:   make(map[string]*dict),
-		counts:  make(map[string]map[source.Key]int),
+		counts:  make(map[string]*countEntry),
 	}
 	for _, c := range cols {
 		if r.attrSet[c] {
@@ -244,7 +271,12 @@ func (r *Relation) dictOf(ctx context.Context, attr string) (*dict, error) {
 }
 
 // Counts implements source.Relation: one pushed-down GROUP BY count query,
-// memoized per (attrs, where) on the handle.
+// memoized per (attrs, where) on the handle. Before querying, the handle
+// looks for a memoized result over a superset of attrs under the same WHERE
+// clause and derives the requested marginal client-side — "contingency
+// tables with their marginals are essentially OLAP data-cubes" (Sec 6) —
+// so one finest group-by over an attribute closure serves every subset the
+// covariate-discovery search enumerates, collapsing N queries to ~1.
 func (r *Relation) Counts(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
 	if err := source.CheckAttrs(r, attrs...); err != nil {
 		return nil, err
@@ -253,10 +285,26 @@ func (r *Relation) Counts(ctx context.Context, attrs []string, where source.Pred
 	cacheKey := strings.Join(attrs, "\x00") + "\x01" + clause
 
 	r.mu.Lock()
-	if m, ok := r.counts[cacheKey]; ok {
+	if e, ok := r.counts[cacheKey]; ok {
 		r.stats.CacheHits++
 		r.mu.Unlock()
-		return m, nil
+		return e.m, nil
+	}
+	if parent := r.findSupersetLocked(attrs, clause); parent != nil {
+		fields := make([]int, len(attrs))
+		for i, a := range attrs {
+			for j, pa := range parent.attrs {
+				if pa == a {
+					fields[i] = j
+					break
+				}
+			}
+		}
+		derived := dataset.ProjectKeys(parent.m, fields)
+		r.storeCountsLocked(cacheKey, &countEntry{attrs: append([]string(nil), attrs...), clause: clause, m: derived})
+		r.stats.Derived++
+		r.mu.Unlock()
+		return derived, nil
 	}
 	r.mu.Unlock()
 
@@ -329,16 +377,151 @@ func (r *Relation) Counts(ctx context.Context, attrs []string, where source.Pred
 	}
 
 	r.mu.Lock()
+	r.storeCountsLocked(cacheKey, &countEntry{attrs: append([]string(nil), attrs...), clause: clause, m: out})
+	r.stats.CountQueries++
+	r.mu.Unlock()
+	return out, nil
+}
+
+// storeCountsLocked inserts a memo entry, evicting arbitrary entries past
+// the bound and maintaining the derivation-candidate list. Callers hold
+// r.mu.
+//
+// This sparse-map derivation layer is the backend-side sibling of
+// internal/countcache (which serves dense views above the facade): facade
+// sessions are covered by countcache, while this keeps direct sqldb users
+// — and the post-prime subset traffic countcache forwards — collapsing to
+// the closure query. Behavioral changes to one candidate-list policy
+// should be mirrored in the other.
+func (r *Relation) storeCountsLocked(cacheKey string, e *countEntry) {
 	for key := range r.counts {
 		if len(r.counts) < maxCountCacheEntries {
 			break
 		}
+		evicted := r.counts[key]
 		delete(r.counts, key)
+		for i, w := range r.wide {
+			if w == evicted {
+				r.wide[i] = r.wide[len(r.wide)-1]
+				r.wide = r.wide[:len(r.wide)-1]
+				break
+			}
+		}
 	}
-	r.counts[cacheKey] = out
-	r.stats.CountQueries++
+	if old, exists := r.counts[cacheKey]; exists {
+		// Racing identical queries: drop the replaced entry's candidacy.
+		for i, w := range r.wide {
+			if w == old {
+				r.wide[i] = r.wide[len(r.wide)-1]
+				r.wide = r.wide[:len(r.wide)-1]
+				break
+			}
+		}
+	}
+	r.counts[cacheKey] = e
+	if len(r.wide) < maxWideEntries {
+		r.wide = append(r.wide, e)
+		return
+	}
+	// Displace the narrowest candidate if the new entry is wider.
+	narrowest, nAttrs := -1, len(e.attrs)
+	for i, w := range r.wide {
+		if len(w.attrs) < nAttrs {
+			narrowest, nAttrs = i, len(w.attrs)
+		}
+	}
+	if narrowest >= 0 {
+		r.wide[narrowest] = e
+	}
+}
+
+// findSupersetLocked returns the smallest derivation candidate under the
+// same WHERE clause whose grouped attributes cover attrs, or nil. Only the
+// bounded candidate list is scanned — a full-memo scan would make the
+// search quadratic in the number of distinct attribute sets an analysis
+// touches. Callers hold r.mu.
+func (r *Relation) findSupersetLocked(attrs []string, clause string) *countEntry {
+	var best *countEntry
+	for _, e := range r.wide {
+		if e.clause != clause || len(e.attrs) < len(attrs) {
+			continue
+		}
+		covers := true
+		for _, a := range attrs {
+			found := false
+			for _, pa := range e.attrs {
+				if pa == a {
+					found = true
+					break
+				}
+			}
+			if !found {
+				covers = false
+				break
+			}
+		}
+		if covers && (best == nil || len(e.m) < len(best.m)) {
+			best = e
+		}
+	}
+	return best
+}
+
+// DenseCounts implements source.DenseCounter: the (possibly derived) sparse
+// count result is folded into the flat mixed-radix form using the handle's
+// dictionaries, memoized per (attrs, where) so repeated entropy requests
+// on one handle do not re-fold. Returns (nil, nil) above the cell budget.
+// Callers must treat the returned view as read-only.
+func (r *Relation) DenseCounts(ctx context.Context, attrs []string, where source.Predicate, budget int) (*dataset.DenseCounts, error) {
+	cards := make([]int, len(attrs))
+	for i, a := range attrs {
+		d, err := r.dictOf(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		cards[i] = len(d.labels)
+	}
+	rows, err := r.NumRows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := dataset.DenseSize(cards, dataset.EffectiveBudget(budget, rows)); !ok {
+		return nil, nil
+	}
+	memoKey := strings.Join(attrs, "\x00") + "\x01" + r.whereClause(where)
+	r.mu.Lock()
+	if dc, ok := r.dense[memoKey]; ok {
+		r.mu.Unlock()
+		return dc, nil
+	}
 	r.mu.Unlock()
-	return out, nil
+
+	counts, err := r.Counts(ctx, attrs, where)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := dataset.NewDenseCounts(attrs, cards)
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range counts {
+		if err := dc.AddKey(k, c); err != nil {
+			return nil, fmt.Errorf("sqldb: counts of %q: %v", r.table, err)
+		}
+	}
+	r.mu.Lock()
+	if r.dense == nil {
+		r.dense = make(map[string]*dataset.DenseCounts)
+	}
+	for k := range r.dense {
+		if len(r.dense) < maxDenseMemos {
+			break
+		}
+		delete(r.dense, k)
+	}
+	r.dense[memoKey] = dc
+	r.mu.Unlock()
+	return dc, nil
 }
 
 // Restrict implements source.Relation: it derives a handle whose every
@@ -377,7 +560,7 @@ func (r *Relation) Restrict(ctx context.Context, where source.Predicate) (source
 		attrSet: r.attrSet,
 		backend: fmt.Sprintf("sqldb:%p:%s|σ:%s", r.db, r.table, key),
 		dicts:   make(map[string]*dict),
-		counts:  make(map[string]map[source.Key]int),
+		counts:  make(map[string]*countEntry),
 	}
 	for k := range r.restricts {
 		if len(r.restricts) < maxCountCacheEntries {
@@ -625,4 +808,5 @@ var (
 	_ source.Relation     = (*Relation)(nil)
 	_ source.Materializer = (*Relation)(nil)
 	_ source.Closer       = (*Relation)(nil)
+	_ source.DenseCounter = (*Relation)(nil)
 )
