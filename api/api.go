@@ -9,6 +9,7 @@
 //	DELETE /v1/datasets/{name}       drop a dataset
 //	POST   /v1/analyze               analyze one query
 //	POST   /v1/analyze/batch         analyze a batch over a shared worker pool
+//	POST   /v1/audit                 sweep the dataset's query lattice for bias
 //	GET    /v1/metrics               service-wide counters
 //	GET    /healthz                  liveness
 //
@@ -48,6 +49,7 @@ const (
 	CodeEmptySelection     = "empty_selection"       // WHERE clause selects no rows
 	CodeEmptyTable         = "empty_table"           // independence test over zero rows
 	CodeNonBinaryTreatment = "non_binary_treatment"  // comparison needs exactly two treatment values
+	CodeNonNumericOutcome  = "non_numeric_outcome"   // outcome attribute has values avg() cannot parse
 	CodeNoOverlap          = "no_overlap"            // rewriting impossible: no block has every treatment value
 	CodeNeedsMaterialize   = "needs_materialization" // row-level analysis on a counts-only storage backend
 	CodeDatasetNotFound    = "dataset_not_found"
@@ -260,6 +262,197 @@ type AnalyzeRequest struct {
 	Dataset string  `json:"dataset"`
 	Query   Query   `json:"query"`
 	Options Options `json:"options,omitempty"`
+}
+
+// AuditSpec is the wire form of a lattice-sweep configuration: which
+// attributes may play the treatment and outcome roles, the population
+// restriction, and the support/cardinality filters. The zero value sweeps
+// every eligible attribute pair with the server defaults.
+type AuditSpec struct {
+	// Treatments / Outcomes restrict the sweep roles; empty sweeps every
+	// eligible attribute (treatments of cardinality 2..max_treatment_card;
+	// numeric outcomes of cardinality 2..max_outcome_card).
+	Treatments []string `json:"treatments,omitempty"`
+	Outcomes   []string `json:"outcomes,omitempty"`
+	// Where is a SQL-style predicate restricting the audited population.
+	Where string `json:"where,omitempty"`
+	// MinSupport prunes candidates whose smaller compared treatment group
+	// has fewer rows (default 50); pruned candidates are listed in the
+	// report.
+	MinSupport int `json:"min_support,omitempty"`
+	// MaxTreatmentCard / MaxOutcomeCard bound candidate cardinalities
+	// (defaults 10 and 24).
+	MaxTreatmentCard int `json:"max_treatment_card,omitempty"`
+	MaxOutcomeCard   int `json:"max_outcome_card,omitempty"`
+	// TopK caps the ranked findings list; zero keeps all.
+	TopK int `json:"top_k,omitempty"`
+	// Workers bounds the sweep's worker pool, clamped to the dataset's
+	// concurrency limit.
+	Workers int `json:"workers,omitempty"`
+}
+
+// AuditRequest is the POST /v1/audit body.
+type AuditRequest struct {
+	Dataset string    `json:"dataset"`
+	Spec    AuditSpec `json:"spec,omitempty"`
+	Options Options   `json:"options,omitempty"`
+}
+
+// AuditFinding is one biased candidate query of an audit sweep.
+type AuditFinding struct {
+	Treatment string `json:"treatment"`
+	Outcome   string `json:"outcome"`
+	// T0 and T1 are the compared treatment values (diffs are
+	// avg(T1) − avg(T0)).
+	T0 string `json:"t0"`
+	T1 string `json:"t1"`
+	// SQL is the audited query's Listing 1 rendering, self-contained
+	// (including the sweep's WHERE and any treatment-value restriction).
+	SQL string `json:"sql"`
+	// Support is the smaller compared group's row count.
+	Support int `json:"support"`
+	// Covariates (Z) and Mediators (M) are the discovered adjustment sets.
+	Covariates []string `json:"covariates,omitempty"`
+	Mediators  []string `json:"mediators,omitempty"`
+	// MI / PValue report the strongest rejecting balance test.
+	MI       float64 `json:"mi"`
+	PValue   float64 `json:"p_value"`
+	PValueCI float64 `json:"p_value_ci,omitempty"`
+	// OriginalDiff is the naive effect; AdjustedDiff the bias-removing
+	// estimate (absent when no rewriting was possible) and AdjustedKind
+	// names the rewriting used ("total" or "direct").
+	OriginalDiff float64  `json:"original_diff"`
+	AdjustedDiff *float64 `json:"adjusted_diff,omitempty"`
+	AdjustedKind string   `json:"adjusted_kind,omitempty"`
+	// Reversed marks an effect reversal (the Simpson's-paradox signature);
+	// Score is the ranking key.
+	Reversed bool    `json:"reversed"`
+	Score    float64 `json:"score"`
+	// Responsible ranks the adjustment-set members by their share of the
+	// bias.
+	Responsible []Responsibility `json:"responsible,omitempty"`
+	Note        string           `json:"note,omitempty"`
+}
+
+// AuditUnbiased records an evaluated candidate that passed the balance
+// test.
+type AuditUnbiased struct {
+	Treatment string  `json:"treatment"`
+	Outcome   string  `json:"outcome"`
+	PValue    float64 `json:"p_value"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// AuditPruned records a candidate excluded by the support filter.
+type AuditPruned struct {
+	Treatment string `json:"treatment"`
+	Outcome   string `json:"outcome"`
+	Reason    string `json:"reason"`
+	Support   int    `json:"support"`
+}
+
+// AuditExcluded records an attribute kept out of a sweep role.
+type AuditExcluded struct {
+	Attr   string `json:"attr"`
+	Role   string `json:"role"`
+	Reason string `json:"reason"`
+}
+
+// AuditReport is the POST /v1/audit response. Every enumerated candidate
+// is accounted for: candidates == evaluated + len(pruned), and evaluated
+// == total_findings + len(unbiased).
+type AuditReport struct {
+	Treatments []string        `json:"treatments"`
+	Outcomes   []string        `json:"outcomes"`
+	Excluded   []AuditExcluded `json:"excluded,omitempty"`
+	Candidates int             `json:"candidates"`
+	Evaluated  int             `json:"evaluated"`
+	// Findings are the biased queries ranked by effect-reversal strength
+	// and significance (capped at the spec's top_k; TotalFindings is the
+	// uncapped count).
+	Findings      []AuditFinding  `json:"findings"`
+	TotalFindings int             `json:"total_findings"`
+	Unbiased      []AuditUnbiased `json:"unbiased,omitempty"`
+	Pruned        []AuditPruned   `json:"pruned,omitempty"`
+	ElapsedMS     float64         `json:"elapsed_ms"`
+	// Text is the human-readable ranked table, as the CLI prints it.
+	Text string `json:"text,omitempty"`
+}
+
+// AuditReportFromCore converts a library audit report into its wire form.
+func AuditReportFromCore(r *hypdb.AuditReport) *AuditReport {
+	if r == nil {
+		return nil
+	}
+	out := &AuditReport{
+		Treatments:    r.Treatments,
+		Outcomes:      r.Outcomes,
+		Candidates:    r.Candidates,
+		Evaluated:     r.Evaluated,
+		TotalFindings: r.TotalFindings,
+		ElapsedMS:     float64(r.Elapsed.Microseconds()) / 1000,
+		Text:          r.String(),
+	}
+	for _, e := range r.Excluded {
+		out.Excluded = append(out.Excluded, AuditExcluded{Attr: e.Attr, Role: e.Role, Reason: e.Reason})
+	}
+	out.Findings = make([]AuditFinding, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		wf := AuditFinding{
+			Treatment: f.Treatment, Outcome: f.Outcome,
+			T0: f.T0, T1: f.T1,
+			SQL:        f.SQL,
+			Support:    f.Support,
+			Covariates: f.Covariates, Mediators: f.Mediators,
+			MI: f.MI, PValue: f.PValue, PValueCI: f.PValueCI,
+			OriginalDiff: f.OriginalDiff,
+			AdjustedKind: f.AdjustedKind,
+			Reversed:     f.Reversed,
+			Score:        f.Score,
+			Note:         f.Note,
+		}
+		if f.HasAdjusted {
+			adj := f.AdjustedDiff
+			wf.AdjustedDiff = &adj
+		}
+		for _, resp := range f.Responsible {
+			wf.Responsible = append(wf.Responsible, Responsibility{Attr: resp.Attr, Rho: resp.Rho, MI: resp.MI})
+		}
+		out.Findings = append(out.Findings, wf)
+	}
+	for _, u := range r.Unbiased {
+		out.Unbiased = append(out.Unbiased, AuditUnbiased{
+			Treatment: u.Treatment, Outcome: u.Outcome, PValue: u.PValue, Note: u.Note,
+		})
+	}
+	for _, p := range r.Pruned {
+		out.Pruned = append(out.Pruned, AuditPruned{
+			Treatment: p.Treatment, Outcome: p.Outcome, Reason: p.Reason, Support: p.Support,
+		})
+	}
+	return out
+}
+
+// ToSpec converts the wire spec into the library's form, parsing the WHERE
+// clause. Workers is read by the server (clamped to the dataset's limit),
+// not converted here.
+func (s AuditSpec) ToSpec() (hypdb.AuditSpec, error) {
+	out := hypdb.AuditSpec{
+		Treatments:       s.Treatments,
+		Outcomes:         s.Outcomes,
+		MinSupport:       s.MinSupport,
+		MaxTreatmentCard: s.MaxTreatmentCard,
+		MaxOutcomeCard:   s.MaxOutcomeCard,
+		TopK:             s.TopK,
+	}
+	if s.Where != "" {
+		pred, err := hypdb.ParsePredicate(s.Where)
+		if err != nil {
+			return hypdb.AuditSpec{}, err
+		}
+		out.Where = pred
+	}
+	return out, nil
 }
 
 // BatchRequest is the POST /v1/analyze/batch body: the queries run over the
@@ -531,12 +724,26 @@ type Health struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
+// AuditProgress reports a dataset's audit-sweep activity: completed sweeps
+// plus cumulative candidate progress, so a poller watching /v1/metrics sees
+// long sweeps advance candidate by candidate.
+type AuditProgress struct {
+	// Audits counts completed sweeps; Running counts sweeps in flight.
+	Audits  int64 `json:"audits"`
+	Running int64 `json:"running"`
+	// CandidatesDone / CandidatesTotal accumulate across the dataset's
+	// sweeps: total equals done once no sweep is running.
+	CandidatesDone  int64 `json:"candidates_done"`
+	CandidatesTotal int64 `json:"candidates_total"`
+}
+
 // DatasetMetrics is one dataset's slice of the service metrics.
 type DatasetMetrics struct {
-	Name     string     `json:"name"`
-	Rows     int        `json:"rows"`
-	Analyses int64      `json:"analyses"`
-	Cache    CacheStats `json:"cache"`
+	Name     string        `json:"name"`
+	Rows     int           `json:"rows"`
+	Analyses int64         `json:"analyses"`
+	Audit    AuditProgress `json:"audit"`
+	Cache    CacheStats    `json:"cache"`
 }
 
 // Metrics is the GET /v1/metrics response: service-wide counters backed by
@@ -547,6 +754,8 @@ type Metrics struct {
 	RequestsTotal    int64            `json:"requests_total"`
 	RequestsInFlight int64            `json:"requests_in_flight"`
 	AnalysesTotal    int64            `json:"analyses_total"`
+	AuditsTotal      int64            `json:"audits_total"`
+	AuditsInFlight   int64            `json:"audits_in_flight"`
 	Cache            CacheStats       `json:"cache"`
 	PerDataset       []DatasetMetrics `json:"per_dataset,omitempty"`
 }

@@ -47,3 +47,52 @@ func TestErrorFormat(t *testing.T) {
 		t.Errorf("Error() = %q, want %q", e.Error(), want)
 	}
 }
+
+func TestAuditSpecToSpec(t *testing.T) {
+	spec, err := AuditSpec{
+		Treatments: []string{"Gender"},
+		Outcomes:   []string{"Accepted"},
+		Where:      "Department IN ('A','C')",
+		MinSupport: 10,
+		TopK:       3,
+	}.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Where == nil || spec.MinSupport != 10 || spec.TopK != 3 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if _, err := (AuditSpec{Where: "Gender IN ("}).ToSpec(); err == nil {
+		t.Error("bad predicate accepted")
+	}
+}
+
+func TestAuditReportFromCore(t *testing.T) {
+	r := &hypdb.AuditReport{
+		Treatments: []string{"T"}, Outcomes: []string{"Y"},
+		Candidates: 2, Evaluated: 1, TotalFindings: 1,
+		Findings: []hypdb.AuditFinding{{
+			Treatment: "T", Outcome: "Y", T0: "a", T1: "b",
+			OriginalDiff: 0.2, AdjustedDiff: -0.1, HasAdjusted: true,
+			AdjustedKind: "total", Reversed: true, Score: 0.3,
+		}},
+		Pruned: []hypdb.AuditPruned{{Treatment: "R", Outcome: "Y", Reason: "low support", Support: 3}},
+	}
+	w := AuditReportFromCore(r)
+	if w.Candidates != 2 || len(w.Findings) != 1 || len(w.Pruned) != 1 {
+		t.Fatalf("wire report = %+v", w)
+	}
+	f := w.Findings[0]
+	if f.AdjustedDiff == nil || *f.AdjustedDiff != -0.1 || !f.Reversed {
+		t.Errorf("finding = %+v", f)
+	}
+	// A finding without an adjusted estimate must omit the field, not
+	// encode a zero.
+	r.Findings[0].HasAdjusted = false
+	if w2 := AuditReportFromCore(r); w2.Findings[0].AdjustedDiff != nil {
+		t.Error("absent adjusted estimate encoded as a value")
+	}
+	if AuditReportFromCore(nil) != nil {
+		t.Error("nil report should convert to nil")
+	}
+}

@@ -101,6 +101,17 @@ func (c *Client) AnalyzeBatch(ctx context.Context, req BatchRequest) ([]*Report,
 	return out.Reports, nil
 }
 
+// Audit sweeps a dataset's (treatment, outcome) query lattice for bias and
+// returns the biased queries ranked by effect-reversal strength and
+// significance, with the full pruning accountability.
+func (c *Client) Audit(ctx context.Context, req AuditRequest) (*AuditReport, error) {
+	var out AuditReport
+	if err := c.do(ctx, http.MethodPost, "/v1/audit", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health probes liveness.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var out Health

@@ -1,0 +1,82 @@
+package hypdb
+
+import (
+	"context"
+
+	"hypdb/internal/core"
+)
+
+// AuditSpec configures a lattice-wide bias sweep: which attributes may play
+// the treatment and outcome roles, the population restriction, and the
+// support/cardinality filters applied before any statistical testing.
+// The zero value sweeps every eligible attribute pair of the whole
+// relation with the package-default thresholds.
+type AuditSpec = core.AuditSpec
+
+// AuditReport is the result of a lattice-wide bias sweep: the biased
+// candidate queries ranked by effect-reversal strength and significance,
+// plus the full accounting of unbiased, pruned and excluded candidates.
+type AuditReport = core.AuditReport
+
+// AuditFinding is one biased candidate query of an audit sweep.
+type AuditFinding = core.AuditFinding
+
+// AuditPruned records a candidate excluded by the support filter.
+type AuditPruned = core.AuditPruned
+
+// AuditExcluded records an attribute kept out of a sweep role.
+type AuditExcluded = core.AuditExcluded
+
+// AuditUnbiased records an evaluated candidate that passed the balance
+// test.
+type AuditUnbiased = core.AuditUnbiased
+
+// Audit default thresholds; zero AuditSpec fields fall back to these.
+const (
+	// DefaultMinSupport is the minimum per-group row count a candidate
+	// query needs to be evaluated.
+	DefaultMinSupport = core.DefaultMinSupport
+	// DefaultMaxTreatmentCard bounds treatment-candidate cardinality.
+	DefaultMaxTreatmentCard = core.DefaultMaxTreatmentCard
+	// DefaultMaxOutcomeCard bounds outcome-candidate cardinality.
+	DefaultMaxOutcomeCard = core.DefaultMaxOutcomeCard
+)
+
+// Audit proactively sweeps the relation's (treatment, outcome) query
+// lattice for bias: it enumerates every ordered attribute pair passing the
+// spec's role, cardinality and support filters, runs bias detection on
+// each surviving candidate over a bounded worker pool (WithAuditWorkers),
+// and returns the biased queries ranked by effect-reversal strength and
+// significance, with responsible covariates and coarse explanations
+// attached.
+//
+// The sweep shares work with the rest of the session: covariate-discovery
+// results are memoized in the handle's single-flight cache (one discovery
+// per treatment serves every candidate sharing it, and later Audit or
+// Analyze calls reuse them), and the session count cache is primed with one
+// finest group-by per discovery closure, so on SQL backends an entire sweep
+// costs O(1) GROUP BY round trips rather than one per candidate.
+// Candidates below the support threshold (WithMinSupport, or
+// spec.MinSupport) are pruned before any permutation test runs and are
+// listed in the report — nothing is dropped silently. Cancelling ctx
+// aborts the sweep promptly.
+func (db *DB) Audit(ctx context.Context, spec AuditSpec, opts ...Option) (*AuditReport, error) {
+	st := newSettings(opts)
+	o := st.opts
+	if spec.MinSupport == 0 {
+		spec.MinSupport = st.minSupport
+	}
+	if spec.Workers == 0 {
+		spec.Workers = st.auditWorkers
+	}
+	// The session memoizer serves the sweep's covariate discoveries, keyed
+	// by the sweep's WHERE restriction — the same bypass rules as Analyze:
+	// a caller-supplied hook wins, and predicates without a canonical
+	// encoding run uncached.
+	if o.Discover == nil {
+		if whereKey, cacheable := whereKeyOf(Query{Where: spec.Where}); cacheable {
+			o.Discover = db.discoverFunc(whereKey)
+		}
+	}
+	return core.Audit(ctx, db.rel, spec, o)
+}

@@ -4,10 +4,16 @@
 // Usage:
 //
 //	hypdb analyze  -data file.csv -treatment T -outcomes Y1,Y2 [-groupby X1,X2] [-where "A=v1|v2;B=w"] [flags]
+//	hypdb audit    -data file.csv [-treatments T1,T2] [-outcomes Y1] [-where ...] [-min-support N] [-top K] [flags]
 //	hypdb detect   -data file.csv -treatment T -outcomes Y -covariates Z1,Z2 [...]
 //	hypdb rewrite  -data file.csv -treatment T -outcomes Y -covariates Z1,Z2 [-mediators M1] [...]
 //	hypdb generate -dataset flight|adult|berkeley|staples|cancer [-rows N] [-seed S] -out file.csv
 //	hypdb datasets
+//
+// analyze asks "is THIS query biased?"; audit asks "which queries over this
+// data are biased?" — it sweeps every eligible (treatment, outcome)
+// attribute pair and prints the biased ones as a ranked table, sharing one
+// covariate discovery per treatment across the whole sweep.
 //
 // The -where syntax is a conjunction of attribute filters separated by ';',
 // each "Attr=v1|v2|v3" (any listed value matches). Interrupting a run
@@ -41,6 +47,8 @@ func main() {
 	switch os.Args[1] {
 	case "analyze":
 		err = cmdAnalyze(ctx, os.Args[2:], false, false)
+	case "audit":
+		err = cmdAudit(ctx, os.Args[2:])
 	case "detect":
 		err = cmdAnalyze(ctx, os.Args[2:], true, false)
 	case "rewrite":
@@ -71,6 +79,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   hypdb analyze  -data file.csv -treatment T -outcomes Y[,Y2] [-groupby X] [-where "A=v1|v2;B=w"] [-alpha 0.01] [-method hymit|chi2|mit|mit-sampling] [-seed N]
+  hypdb audit    -data file.csv [-treatments T1,T2] [-outcomes Y1,Y2] [-where ...] [-min-support N] [-max-treatment-card N] [-top K] [-workers N] [-alpha] [-method] [-seed]
   hypdb detect   like analyze, but requires -covariates and only reports the bias verdict
   hypdb rewrite  like analyze, but uses the given -covariates/-mediators instead of discovery
   hypdb generate -dataset name [-rows N] [-seed N] -out file.csv
@@ -167,6 +176,71 @@ func cmdAnalyze(ctx context.Context, args []string, detectOnly, rewriteOnly bool
 		return nil
 	}
 	rep, err := db.Analyze(ctx, q, opts...)
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(os.Stdout)
+}
+
+// cmdAudit sweeps the whole (treatment, outcome) query lattice of a CSV
+// file and prints the biased queries as a ranked table.
+func cmdAudit(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	data := fs.String("data", "", "CSV file to audit (required)")
+	treatments := fs.String("treatments", "", "comma-separated treatment candidates (default: every eligible attribute)")
+	outcomes := fs.String("outcomes", "", "comma-separated outcome candidates (default: every numeric attribute)")
+	where := fs.String("where", "", `audit population filter: "Attr=v1|v2;Other=w"`)
+	minSupport := fs.Int("min-support", 0, "minimum rows per compared treatment group (default 50)")
+	maxTreatCard := fs.Int("max-treatment-card", 0, "widest treatment attribute swept (default 10)")
+	maxOutCard := fs.Int("max-outcome-card", 0, "widest outcome attribute swept (default 24)")
+	topK := fs.Int("top", 0, "cap the ranked findings list (0 = all)")
+	workers := fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
+	alpha := fs.Float64("alpha", 0, "significance level (default 0.01)")
+	method := fs.String("method", "hymit", "independence test: hymit, chi2, mit, mit-sampling")
+	seed := fs.Int64("seed", 1, "random seed")
+	perms := fs.Int("permutations", 0, "Monte-Carlo permutations (default 1000)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	db, err := hypdb.OpenCSV(*data)
+	if err != nil {
+		return err
+	}
+	pred, err := parseWhere(*where)
+	if err != nil {
+		return err
+	}
+	opts := []hypdb.Option{
+		hypdb.WithAlpha(*alpha),
+		hypdb.WithSeed(*seed),
+		hypdb.WithPermutations(*perms),
+		hypdb.WithParallel(true),
+		hypdb.WithAuditWorkers(*workers),
+		hypdb.WithMinSupport(*minSupport),
+	}
+	switch *method {
+	case "hymit":
+		opts = append(opts, hypdb.WithMethod(hypdb.HyMIT))
+	case "chi2":
+		opts = append(opts, hypdb.WithMethod(hypdb.ChiSquared))
+	case "mit":
+		opts = append(opts, hypdb.WithMethod(hypdb.MIT))
+	case "mit-sampling":
+		opts = append(opts, hypdb.WithMethod(hypdb.MITSampling))
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	rep, err := db.Audit(ctx, hypdb.AuditSpec{
+		Treatments:       splitList(*treatments),
+		Outcomes:         splitList(*outcomes),
+		Where:            pred,
+		MaxTreatmentCard: *maxTreatCard,
+		MaxOutcomeCard:   *maxOutCard,
+		TopK:             *topK,
+	}, opts...)
 	if err != nil {
 		return err
 	}

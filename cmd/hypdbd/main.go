@@ -19,6 +19,9 @@
 //	DELETE /v1/datasets/{name}       drop a dataset
 //	POST   /v1/analyze               analyze one query
 //	POST   /v1/analyze/batch         analyze a batch (shared CD cache)
+//	POST   /v1/audit                 sweep the dataset's query lattice for
+//	                                 bias (ranked findings; progress in
+//	                                 /v1/metrics)
 //	GET    /v1/metrics               service-wide counters
 //	GET    /healthz                  liveness
 //

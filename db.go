@@ -4,7 +4,6 @@ import (
 	"context"
 	"database/sql"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 
@@ -212,56 +211,15 @@ func (db *DB) AnalyzeAll(ctx context.Context, queries []Query, opts ...Option) (
 	if len(queries) == 0 {
 		return reports, nil
 	}
-	workers := st.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				rep, err := db.Analyze(ctx, queries[i], opts...)
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("hypdb: query %d: %w", i, err)
-					}
-					errMu.Unlock()
-					cancel()
-					continue
-				}
-				reports[i] = rep
-			}
-		}()
-	}
-feed:
-	for i := range queries {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break feed
+	err := core.RunPool(ctx, len(queries), st.workers, func(ctx context.Context, i int) error {
+		rep, err := db.Analyze(ctx, queries[i], opts...)
+		if err != nil {
+			return fmt.Errorf("hypdb: query %d: %w", i, err)
 		}
-	}
-	close(next)
-	wg.Wait()
-	if firstErr == nil && ctx.Err() != nil {
-		firstErr = ctx.Err()
-	}
-	return reports, firstErr
+		reports[i] = rep
+		return nil
+	})
+	return reports, err
 }
 
 // Run executes the (possibly biased) query as written.

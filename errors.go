@@ -30,6 +30,11 @@ var (
 	// treatment values in the selected data.
 	ErrNonBinaryTreatment = hyperr.ErrNonBinaryTreatment
 
+	// ErrNonNumericOutcome reports an attribute used in the outcome role
+	// (of a query or an audit spec) whose values do not all parse as
+	// numbers, so avg() over it is undefined.
+	ErrNonNumericOutcome = hyperr.ErrNonNumericOutcome
+
 	// ErrMalformedCSV reports CSV input the loader cannot turn into a
 	// table: unreadable records, ragged rows, or an unusable header.
 	ErrMalformedCSV = hyperr.ErrMalformedCSV

@@ -26,6 +26,11 @@ var (
 	// treatment values.
 	ErrNonBinaryTreatment = errors.New("treatment is not two-valued")
 
+	// ErrNonNumericOutcome marks an attribute used in the outcome role
+	// whose values do not all parse as numbers — avg() over it is
+	// undefined.
+	ErrNonNumericOutcome = errors.New("outcome is not numeric")
+
 	// ErrMalformedCSV marks CSV input the loader cannot turn into a table:
 	// unreadable records, ragged rows, or an unusable header (duplicate or
 	// empty schema).

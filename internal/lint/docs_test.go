@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the repository's markdown documentation set: README.md
+// plus everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	root := repoRoot(t)
+	files := []string{filepath.Join(root, "README.md")}
+	extra, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, extra...)
+	if len(extra) == 0 {
+		t.Error("docs/ has no markdown files — the documentation set is missing")
+	}
+	return files
+}
+
+// mdLink matches inline markdown links and captures the destination.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinksResolve checks every relative link in the
+// documentation set points at a file (or directory) that exists, so the
+// docs cannot silently rot as the tree moves.
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	root := repoRoot(t)
+	for _, f := range docFiles(t) {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Dir(f)
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			dest := m[1]
+			if strings.Contains(dest, "://") || strings.HasPrefix(dest, "mailto:") || strings.HasPrefix(dest, "#") {
+				continue // external or intra-document
+			}
+			dest, _, _ = strings.Cut(dest, "#") // strip anchors
+			if dest == "" {
+				continue
+			}
+			target := filepath.Join(base, dest)
+			if _, err := os.Stat(target); err != nil {
+				rel, _ := filepath.Rel(root, f)
+				t.Errorf("%s: dead relative link %q (%v)", rel, m[1], err)
+			}
+		}
+	}
+}
+
+// fencedGo matches ```go fenced code blocks.
+var fencedGo = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+// TestDocsGoExamplesFormatted gofmt-checks the documentation's Go examples.
+// Blocks that are full files (starting with a package clause) must parse
+// and be gofmt-clean; fragment blocks are checked wrapped in a scratch
+// file, so statement examples keep honest indentation too.
+func TestDocsGoExamplesFormatted(t *testing.T) {
+	root := repoRoot(t)
+	for _, f := range docFiles(t) {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := filepath.Rel(root, f)
+		for i, m := range fencedGo.FindAllStringSubmatch(string(raw), -1) {
+			block := m[1]
+			src := block
+			wrapped := false
+			if !strings.HasPrefix(strings.TrimSpace(block), "package ") {
+				// Wrap fragments in a function so they parse; indent one tab
+				// to match the wrapping.
+				var b strings.Builder
+				b.WriteString("package p\n\nfunc _() {\n")
+				for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
+					if line != "" {
+						b.WriteString("\t")
+					}
+					b.WriteString(line)
+					b.WriteString("\n")
+				}
+				b.WriteString("}\n")
+				src = b.String()
+				wrapped = true
+			}
+			got, err := format.Source([]byte(src))
+			if err != nil {
+				t.Errorf("%s: go block %d does not parse: %v\n%s", rel, i+1, err, block)
+				continue
+			}
+			if wrapped {
+				// Fragments only need to parse and re-format to themselves.
+				if string(got) != src {
+					t.Errorf("%s: go block %d is not gofmt-clean:\n%s", rel, i+1, block)
+				}
+				continue
+			}
+			if string(got) != src {
+				t.Errorf("%s: go block %d is not gofmt-clean:\n%s", rel, i+1, block)
+			}
+		}
+	}
+}

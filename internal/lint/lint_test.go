@@ -1,0 +1,161 @@
+// Package lint holds the repository's self-enforced documentation checks,
+// run as ordinary tests (and by the CI docs job): the exported-comment rule
+// over every public package (the revive `exported` rule, implemented with
+// go/ast so it needs no external tooling), a dead-link check over the
+// markdown documentation set, and a gofmt check over the documentation's
+// Go examples.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// publicPackages are the package directories (repo-relative) whose exported
+// API must be fully documented.
+var publicPackages = []string{".", "api", "source", "source/mem", "source/sqldb"}
+
+// repoRoot locates the repository root from this file's path.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller information")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestExportedDocComments enforces the `exported` documentation rule over
+// the public packages: every package has a package comment, and every
+// exported top-level identifier has a doc comment that starts with (or
+// early mentions) the identifier. Grouped const/var specs may share the
+// group's doc comment.
+func TestExportedDocComments(t *testing.T) {
+	root := repoRoot(t)
+	var violations []string
+	for _, dir := range publicPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			hasPkgDoc := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					hasPkgDoc = true
+				}
+			}
+			if !hasPkgDoc {
+				violations = append(violations, dir+": package "+pkg.Name+" has no package comment")
+			}
+			for path, f := range pkg.Files {
+				rel, _ := filepath.Rel(root, path)
+				for _, d := range f.Decls {
+					violations = append(violations, checkDecl(fset, rel, d)...)
+				}
+			}
+		}
+	}
+	if len(violations) > 0 {
+		t.Errorf("exported identifiers missing doc comments (%d):\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+}
+
+// checkDecl returns the exported-comment violations of one top-level
+// declaration.
+func checkDecl(fset *token.FileSet, file string, decl ast.Decl) []string {
+	var out []string
+	bad := func(pos token.Pos, name, why string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d %s: %s", file, p.Line, name, why))
+	}
+	named := func(doc *ast.CommentGroup, name string) bool {
+		text := strings.TrimSpace(doc.Text())
+		// The standard rule: the comment starts with the identifier (an
+		// article prefix and the deprecation marker are conventional).
+		for _, prefix := range []string{name, "A " + name, "An " + name, "The " + name, "Deprecated:"} {
+			if strings.HasPrefix(text, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return nil
+		}
+		if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+			bad(d.Pos(), d.Name.Name, "exported function/method has no doc comment")
+		} else if !named(d.Doc, d.Name.Name) {
+			bad(d.Pos(), d.Name.Name, "doc comment should start with the identifier")
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != ""
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				doc := s.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+					bad(s.Pos(), s.Name.Name, "exported type has no doc comment")
+				} else if !named(doc, s.Name.Name) {
+					bad(s.Pos(), s.Name.Name, "doc comment should start with the identifier")
+				}
+			case *ast.ValueSpec:
+				specDoc := (s.Doc != nil && strings.TrimSpace(s.Doc.Text()) != "") ||
+					(s.Comment != nil && strings.TrimSpace(s.Comment.Text()) != "")
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					// A const/var is documented by its own comment or by
+					// its group's doc comment.
+					if !specDoc && !groupDoc {
+						bad(n.Pos(), n.Name, "exported value has neither its own nor a group doc comment")
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a method receiver's base type is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -91,7 +91,7 @@ func FloatDict(ctx context.Context, rel source.Relation, attr string) ([]float64
 	for code, l := range labels {
 		v, err := strconv.ParseFloat(l, 64)
 		if err != nil {
-			return nil, fmt.Errorf("column %q: value %q is not numeric", attr, l)
+			return nil, fmt.Errorf("column %q: value %q is not numeric: %w", attr, l, hyperr.ErrNonNumericOutcome)
 		}
 		out[code] = v
 	}

@@ -100,11 +100,13 @@ type Server struct {
 
 	// closing is cancelled by Close; every request context joins it, so
 	// shutdown propagates into in-flight permutation loops.
-	closing   context.Context
-	cancelAll context.CancelFunc
-	inFlight  atomic.Int64
-	requests  atomic.Int64
-	analyses  atomic.Int64
+	closing        context.Context
+	cancelAll      context.CancelFunc
+	inFlight       atomic.Int64
+	requests       atomic.Int64
+	analyses       atomic.Int64
+	audits         atomic.Int64
+	auditsInFlight atomic.Int64
 
 	mu       sync.RWMutex
 	datasets map[string]*entry
@@ -125,6 +127,13 @@ type entry struct {
 	// acqMu serializes multi-slot semaphore acquisitions (see acquire).
 	acqMu    sync.Mutex
 	analyses atomic.Int64
+	// Audit-sweep progress: completed sweeps, sweeps in flight, and
+	// cumulative candidate counts — surfaced in /v1/metrics so pollers see
+	// long sweeps advance.
+	audits          atomic.Int64
+	auditsRunning   atomic.Int64
+	auditCandsDone  atomic.Int64
+	auditCandsTotal atomic.Int64
 }
 
 // New creates a Server.
@@ -289,6 +298,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s.instrument(mux)
@@ -635,6 +645,85 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
+// handleAudit runs a lattice-wide bias sweep over one dataset. Sweeps are
+// long-running, so the handler is built to be polled from outside: it
+// reserves worker slots on the dataset's concurrency limiter like a batch
+// (bounding how much of the dataset's capacity one sweep may take), and it
+// streams candidate progress into the dataset's audit counters, which
+// GET /v1/metrics exposes while the sweep is still running.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req api.AuditRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	e, apiErr := s.lookup(req.Dataset)
+	if apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	opts, err := req.Options.ToOptions()
+	if err != nil {
+		s.writeError(w, r, badRequest(err.Error()))
+		return
+	}
+	spec, err := req.Spec.ToSpec()
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	// Like batches, a sweep reserves one limiter slot per worker it may
+	// run, keeping the per-dataset concurrency bound honest when sweeps
+	// race single analyses.
+	workers := req.Spec.Workers
+	if limit := cap(e.sem); workers <= 0 || workers > limit {
+		workers = limit
+	}
+	spec.Workers = workers
+
+	// Progress callbacks arrive serialized, with cumulative done counts;
+	// publish the deltas into the dataset's cumulative counters.
+	var prevDone, prevTotal int
+	spec.Progress = func(done, total int) {
+		e.auditCandsDone.Add(int64(done - prevDone))
+		e.auditCandsTotal.Add(int64(total - prevTotal))
+		prevDone, prevTotal = done, total
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := e.acquire(ctx, workers)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	defer release()
+
+	s.auditsInFlight.Add(1)
+	e.auditsRunning.Add(1)
+	start := s.now()
+	rep, err := e.db.Audit(ctx, spec, opts...)
+	e.auditsRunning.Add(-1)
+	s.auditsInFlight.Add(-1)
+	if err != nil {
+		// Reconcile the progress counters: a failed or cancelled sweep
+		// never finishes its candidates, so deduct the unfinished
+		// remainder from the cumulative total — keeping the documented
+		// invariant that total equals done once nothing is running.
+		if remainder := prevTotal - prevDone; remainder > 0 {
+			e.auditCandsTotal.Add(int64(-remainder))
+		}
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	e.audits.Add(1)
+	s.audits.Add(1)
+	s.log.Info("audit", "dataset", req.Dataset,
+		"candidates", rep.Candidates, "findings", rep.TotalFindings,
+		"duration", s.now().Sub(start).String())
+	s.writeJSON(w, http.StatusOK, api.AuditReportFromCore(rep))
+}
+
 // requestContext derives the analysis context: the request's own context,
 // joined to the server's closing context (shutdown cancels in-flight work)
 // and bounded by the configured timeout.
@@ -700,6 +789,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RequestsTotal:    s.requests.Load(),
 		RequestsInFlight: s.inFlight.Load(),
 		AnalysesTotal:    s.analyses.Load(),
+		AuditsTotal:      s.audits.Load(),
+		AuditsInFlight:   s.auditsInFlight.Load(),
 	}
 	for _, e := range entries {
 		st := e.db.Stats()
@@ -709,7 +800,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Name:     e.name,
 			Rows:     e.rows,
 			Analyses: e.analyses.Load(),
-			Cache:    api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
+			Audit: api.AuditProgress{
+				Audits:          e.audits.Load(),
+				Running:         e.auditsRunning.Load(),
+				CandidatesDone:  e.auditCandsDone.Load(),
+				CandidatesTotal: e.auditCandsTotal.Load(),
+			},
+			Cache: api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
 		})
 	}
 	sort.Slice(out.PerDataset, func(i, j int) bool { return out.PerDataset[i].Name < out.PerDataset[j].Name })
@@ -793,6 +890,8 @@ func mapError(err error) *api.Error {
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeEmptyTable, Message: msg}
 	case errors.Is(err, hypdb.ErrNonBinaryTreatment):
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNonBinaryTreatment, Message: msg}
+	case errors.Is(err, hypdb.ErrNonNumericOutcome):
+		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNonNumericOutcome, Message: msg}
 	case errors.Is(err, hypdb.ErrNoOverlap):
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNoOverlap, Message: msg}
 	case errors.Is(err, hypdb.ErrNeedsMaterialization):

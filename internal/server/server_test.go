@@ -434,3 +434,133 @@ func hasCode(err error, code string, status int) bool {
 	}
 	return apiErr.Code == code && apiErr.Status == status
 }
+
+// TestAuditEndpoint: a lattice sweep over the uploaded Berkeley dataset
+// flags Gender→Accepted, accounts for every candidate, and publishes its
+// progress in the metrics.
+func TestAuditEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := c.Audit(ctx, api.AuditRequest{
+		Dataset: "berkeley",
+		Options: api.Options{Seed: 1, Permutations: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates != rep.Evaluated+len(rep.Pruned) {
+		t.Errorf("accountability broken: %d candidates, %d evaluated, %d pruned",
+			rep.Candidates, rep.Evaluated, len(rep.Pruned))
+	}
+	var ga *api.AuditFinding
+	for i := range rep.Findings {
+		if rep.Findings[i].Treatment == "Gender" && rep.Findings[i].Outcome == "Accepted" {
+			ga = &rep.Findings[i]
+		}
+	}
+	if ga == nil {
+		t.Fatalf("Gender→Accepted not flagged; findings %+v", rep.Findings)
+	}
+	if !ga.Reversed || ga.AdjustedDiff == nil {
+		t.Errorf("Gender→Accepted should carry a reversed adjusted effect: %+v", ga)
+	}
+	deptResp := false
+	for _, r := range ga.Responsible {
+		if r.Attr == "Department" {
+			deptResp = true
+		}
+	}
+	if !deptResp {
+		t.Errorf("Department not in responsible set: %+v", ga.Responsible)
+	}
+	if rep.Text == "" || !strings.Contains(rep.Text, "RANK") {
+		t.Error("audit text panel missing")
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AuditsTotal != 1 || m.AuditsInFlight != 0 {
+		t.Errorf("audit counters = total %d inflight %d, want 1/0", m.AuditsTotal, m.AuditsInFlight)
+	}
+	if len(m.PerDataset) != 1 {
+		t.Fatalf("per-dataset metrics = %+v", m.PerDataset)
+	}
+	ap := m.PerDataset[0].Audit
+	if ap.Audits != 1 || ap.Running != 0 {
+		t.Errorf("dataset audit progress = %+v, want 1 completed", ap)
+	}
+	if ap.CandidatesTotal == 0 || ap.CandidatesDone != ap.CandidatesTotal {
+		t.Errorf("candidate progress %d/%d, want completed and non-zero", ap.CandidatesDone, ap.CandidatesTotal)
+	}
+	if int(ap.CandidatesTotal) != rep.Evaluated {
+		t.Errorf("metrics candidate total %d != report evaluated %d", ap.CandidatesTotal, rep.Evaluated)
+	}
+}
+
+// TestAuditErrors: the audit endpoint classifies failures like the rest of
+// the API.
+func TestAuditErrors(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Audit(ctx, api.AuditRequest{Dataset: "nope"}); !hasCode(err, api.CodeDatasetNotFound, http.StatusNotFound) {
+		t.Errorf("unknown dataset: %v", err)
+	}
+	if _, err := c.Audit(ctx, api.AuditRequest{
+		Dataset: "berkeley", Spec: api.AuditSpec{Where: "Gender IN ("},
+	}); !hasCode(err, api.CodeBadPredicate, http.StatusBadRequest) {
+		t.Errorf("bad predicate: %v", err)
+	}
+	if _, err := c.Audit(ctx, api.AuditRequest{
+		Dataset: "berkeley", Spec: api.AuditSpec{Outcomes: []string{"Missing"}},
+	}); !hasCode(err, api.CodeUnknownAttribute, http.StatusUnprocessableEntity) {
+		t.Errorf("unknown outcome: %v", err)
+	}
+	if _, err := c.Audit(ctx, api.AuditRequest{
+		Dataset: "berkeley", Spec: api.AuditSpec{Where: "Gender = 'Martian'"},
+	}); !hasCode(err, api.CodeEmptySelection, http.StatusUnprocessableEntity) {
+		t.Errorf("empty selection: %v", err)
+	}
+	if _, err := c.Audit(ctx, api.AuditRequest{
+		Dataset: "berkeley", Spec: api.AuditSpec{Outcomes: []string{"Gender"}},
+	}); !hasCode(err, api.CodeNonNumericOutcome, http.StatusUnprocessableEntity) {
+		t.Errorf("non-numeric outcome: %v", err)
+	}
+}
+
+// TestAuditTimeoutReconcilesProgress: a sweep killed by the request
+// timeout must not leave the metrics invariant broken — once nothing is
+// running, candidates_done equals candidates_total.
+func TestAuditTimeoutReconcilesProgress(t *testing.T) {
+	_, c := newTestServer(t, Config{RequestTimeout: 50 * time.Millisecond})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Audit(ctx, api.AuditRequest{
+		Dataset: "berkeley",
+		Options: api.Options{Method: "mit", Permutations: 50_000_000, Seed: 1},
+	})
+	if !hasCode(err, api.CodeTimeout, http.StatusGatewayTimeout) {
+		t.Fatalf("got %v, want %s", err, api.CodeTimeout)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := m.PerDataset[0].Audit
+	if ap.Running != 0 || ap.CandidatesDone != ap.CandidatesTotal {
+		t.Errorf("failed sweep left progress unreconciled: %+v", ap)
+	}
+	if ap.Audits != 0 {
+		t.Errorf("failed sweep counted as completed: %+v", ap)
+	}
+}

@@ -29,6 +29,11 @@ type settings struct {
 	workers int
 	// maxAdjust caps EffectBounds adjustment-set sizes; zero means all.
 	maxAdjust int
+	// auditWorkers bounds the Audit sweep pool; zero means GOMAXPROCS.
+	auditWorkers int
+	// minSupport is the Audit support threshold; zero means the spec's
+	// value (or DefaultMinSupport).
+	minSupport int
 }
 
 func newSettings(opts []Option) settings {
@@ -137,6 +142,16 @@ func WithCellBudget(cells int) Option { return func(s *settings) { s.opts.CellBu
 
 // WithWorkers bounds AnalyzeAll's worker pool (default GOMAXPROCS).
 func WithWorkers(n int) Option { return func(s *settings) { s.workers = n } }
+
+// WithAuditWorkers bounds the Audit sweep's worker pool (default
+// GOMAXPROCS). A non-zero AuditSpec.Workers wins over this option.
+func WithAuditWorkers(n int) Option { return func(s *settings) { s.auditWorkers = n } }
+
+// WithMinSupport sets the Audit support threshold: candidate queries whose
+// smaller compared treatment group has fewer rows are pruned (and reported
+// as pruned) before any statistical test runs. The default is
+// DefaultMinSupport; a non-zero AuditSpec.MinSupport wins over this option.
+func WithMinSupport(n int) Option { return func(s *settings) { s.minSupport = n } }
 
 // WithMaxAdjustmentSize caps the adjustment-set sizes EffectBounds
 // enumerates (default: every subset of the candidates).

@@ -71,6 +71,38 @@ func TestCDQueryCollapse(t *testing.T) {
 	}
 }
 
+// TestAuditSweepQueryCollapse: a whole audit sweep — N candidate queries
+// sharing one covariate-discovery closure (the full schema) — issues O(1)
+// backend GROUP BY round trips, not O(N). One finest group-by primes the
+// count cache; every candidate's discovery, balance test, explanation and
+// rewriting marginalizes it client-side.
+func TestAuditSweepQueryCollapse(t *testing.T) {
+	tab, _, err := datagen.Random(datagen.RandomSpec{
+		Nodes: 6, AvgDegree: 2, MinCard: 2, MaxCard: 2, Alpha: 0.35, Rows: 4000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := openSQLBacked(t, "qc_audit", tab)
+	db := hypdb.OpenSource(rel)
+
+	memsql.ResetStats()
+	rep, err := db.Audit(context.Background(), hypdb.AuditSpec{MinSupport: 10},
+		hypdb.WithMethod(hypdb.ChiSquared), hypdb.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated < 10 {
+		t.Fatalf("only %d candidates evaluated — the sweep assertion would be vacuous", rep.Evaluated)
+	}
+	st := memsql.SnapshotStats()
+	const budget = 4
+	if st.GroupBys > budget {
+		t.Errorf("audit sweep over %d candidates issued %d GROUP BY queries, budget %d (stats %+v)",
+			rep.Evaluated, st.GroupBys, budget, st)
+	}
+}
+
 // TestAnalyzeQueryBudget: one cold end-to-end Analyze against the SQL
 // backend stays within a small constant GROUP BY budget. Without the
 // closure collapse the same analysis issues hundreds (one per entropy
