@@ -6,6 +6,7 @@
 //	POST   /v1/datasets              upload a CSV, creating a named dataset
 //	GET    /v1/datasets              list datasets
 //	GET    /v1/datasets/{name}/stats schema, size and cache counters
+//	POST   /v1/datasets/{name}/append  stream rows into a sharded dataset
 //	DELETE /v1/datasets/{name}       drop a dataset
 //	POST   /v1/analyze               analyze one query
 //	POST   /v1/analyze/batch         analyze a batch over a shared worker pool
@@ -52,6 +53,7 @@ const (
 	CodeNonNumericOutcome  = "non_numeric_outcome"   // outcome attribute has values avg() cannot parse
 	CodeNoOverlap          = "no_overlap"            // rewriting impossible: no block has every treatment value
 	CodeNeedsMaterialize   = "needs_materialization" // row-level analysis on a counts-only storage backend
+	CodeNotAppendable      = "not_appendable"        // append to a dataset whose backend cannot grow
 	CodeDatasetNotFound    = "dataset_not_found"
 	CodeDatasetExists      = "dataset_exists"
 	CodeTooManyDatasets    = "too_many_datasets"
@@ -69,8 +71,8 @@ type errorEnvelope struct {
 // ---------------------------------------------------------------------------
 // Datasets
 
-// CreateDatasetRequest registers a named, immutable dataset. Exactly one
-// storage form is used:
+// CreateDatasetRequest registers a named dataset. Exactly one storage form
+// is used:
 //
 //   - CSV: an inline CSV body (header row required); the dataset is loaded
 //     into the in-memory backend. Alternatively the endpoint accepts a raw
@@ -89,6 +91,13 @@ type CreateDatasetRequest struct {
 	DSN string `json:"dsn,omitempty"`
 	// SQLTable is the table within the database to analyze.
 	SQLTable string `json:"sql_table,omitempty"`
+
+	// Shards, when > 1, serves an uploaded CSV through the sharded
+	// partition-parallel backend with that many horizontal partitions —
+	// group-by counts fan out to the shards concurrently, and the dataset
+	// accepts streaming appends (POST /v1/datasets/{name}/append). Ignored
+	// for SQL-backed datasets. Zero uses the server's default (-shards).
+	Shards int `json:"shards,omitempty"`
 }
 
 // DatasetInfo summarizes one dataset.
@@ -97,9 +106,33 @@ type DatasetInfo struct {
 	Rows int    `json:"rows"`
 	Cols int    `json:"cols"`
 	// Backend names the storage backend serving the dataset: "mem" for
-	// uploaded CSV, "sqldb" for DSN-registered SQL tables.
+	// uploaded CSV, "sharded" for partition-parallel uploads, "sqldb" for
+	// DSN-registered SQL tables.
 	Backend   string    `json:"backend,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
+	// Shards is the number of horizontal partitions of a sharded dataset
+	// (it grows as appends admit delta partitions); zero for unsharded
+	// backends.
+	Shards int `json:"shards,omitempty"`
+	// Version is a sharded dataset's snapshot version: 1 at registration,
+	// incremented by every non-empty append. Zero for unsharded backends.
+	Version uint64 `json:"version,omitempty"`
+}
+
+// AppendRequest is the POST /v1/datasets/{name}/append body: rows to
+// ingest, each with one string value per attribute in schema order.
+type AppendRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
+// AppendResponse reports one streaming ingestion: rows admitted, the
+// dataset's new total, and the new snapshot version. In-flight analyses
+// keep the snapshot they started on; the appended rows are visible to
+// requests arriving after the response.
+type AppendResponse struct {
+	Appended int    `json:"appended"`
+	Rows     int    `json:"rows"`
+	Version  uint64 `json:"version"`
 }
 
 // DatasetList is the GET /v1/datasets response.
@@ -744,6 +777,10 @@ type DatasetMetrics struct {
 	Analyses int64         `json:"analyses"`
 	Audit    AuditProgress `json:"audit"`
 	Cache    CacheStats    `json:"cache"`
+	// Appends counts completed append requests; RowsAppended their
+	// cumulative admitted rows. Both stay zero for unsharded datasets.
+	Appends      int64 `json:"appends,omitempty"`
+	RowsAppended int64 `json:"rows_appended,omitempty"`
 }
 
 // Metrics is the GET /v1/metrics response: service-wide counters backed by
@@ -756,6 +793,8 @@ type Metrics struct {
 	AnalysesTotal    int64            `json:"analyses_total"`
 	AuditsTotal      int64            `json:"audits_total"`
 	AuditsInFlight   int64            `json:"audits_in_flight"`
+	AppendsTotal     int64            `json:"appends_total"`
+	RowsAppended     int64            `json:"rows_appended"`
 	Cache            CacheStats       `json:"cache"`
 	PerDataset       []DatasetMetrics `json:"per_dataset,omitempty"`
 }

@@ -44,6 +44,20 @@ func (c *Client) CreateDataset(ctx context.Context, name, csv string) (*DatasetI
 	return &out, nil
 }
 
+// CreateShardedDataset uploads CSV text as a new dataset served by the
+// partition-parallel sharded backend with the given number of horizontal
+// partitions; the dataset accepts Append. shards <= 1 falls back to the
+// server's default (-shards) or the plain in-memory backend.
+func (c *Client) CreateShardedDataset(ctx context.Context, name, csv string, shards int) (*DatasetInfo, error) {
+	var out DatasetInfo
+	err := c.do(ctx, http.MethodPost, "/v1/datasets",
+		CreateDatasetRequest{Name: name, CSV: csv, Shards: shards}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // CreateSQLDataset registers a dataset served directly by a SQL database:
 // the server opens the database/sql driver with the DSN and pushes the
 // engine's group-by count queries down to table. The driver must be
@@ -76,6 +90,18 @@ func (c *Client) DeleteDataset(ctx context.Context, name string) error {
 func (c *Client) Stats(ctx context.Context, name string) (*DatasetStats, error) {
 	var out DatasetStats
 	err := c.do(ctx, http.MethodGet, "/v1/datasets/"+url.PathEscape(name)+"/stats", nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Append streams rows into a sharded dataset (one string per attribute,
+// schema order). Unsharded datasets answer with CodeNotAppendable.
+func (c *Client) Append(ctx context.Context, name string, rows [][]string) (*AppendResponse, error) {
+	var out AppendResponse
+	err := c.do(ctx, http.MethodPost, "/v1/datasets/"+url.PathEscape(name)+"/append",
+		AppendRequest{Rows: rows}, &out)
 	if err != nil {
 		return nil, err
 	}

@@ -69,14 +69,17 @@ func (db *DB) Audit(ctx context.Context, spec AuditSpec, opts ...Option) (*Audit
 	if spec.Workers == 0 {
 		spec.Workers = st.auditWorkers
 	}
+	// The whole sweep runs over one pinned snapshot: rows appended while an
+	// audit is in flight are invisible to it and cannot perturb the report.
+	rel := db.view()
 	// The session memoizer serves the sweep's covariate discoveries, keyed
 	// by the sweep's WHERE restriction — the same bypass rules as Analyze:
 	// a caller-supplied hook wins, and predicates without a canonical
 	// encoding run uncached.
 	if o.Discover == nil {
 		if whereKey, cacheable := whereKeyOf(Query{Where: spec.Where}); cacheable {
-			o.Discover = db.discoverFunc(whereKey)
+			o.Discover = db.discoverFunc(rel.Backend(), whereKey)
 		}
 	}
-	return core.Audit(ctx, db.rel, spec, o)
+	return core.Audit(ctx, rel, spec, o)
 }

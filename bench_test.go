@@ -13,6 +13,7 @@ import (
 	"hypdb"
 	"hypdb/internal/cdd"
 	"hypdb/internal/core"
+	"hypdb/internal/countcache"
 	"hypdb/internal/cube"
 	"hypdb/internal/datagen"
 	"hypdb/internal/dataset"
@@ -21,6 +22,7 @@ import (
 	"hypdb/internal/query"
 	"hypdb/internal/stats"
 	"hypdb/source/mem"
+	"hypdb/source/sharded"
 	"hypdb/source/sqldb"
 )
 
@@ -512,4 +514,103 @@ func excludeOf(items []string, drop string) []string {
 		}
 	}
 	return out
+}
+
+// BenchmarkShardedCounts measures the partition-parallel count fan-out on
+// the Fig 6 CD workload's dominant query — one dense group-by over the
+// full attribute closure of the 50k-row random table — as the shard count
+// grows. shards=1 is the degenerate baseline (fan-out machinery, no
+// parallelism); the mem backend's single-pass tabulation is the reference.
+func BenchmarkShardedCounts(b *testing.B) {
+	tab := randomTable(b, 50000)
+	attrs := tab.Columns()
+	b.Run("mem", func(b *testing.B) {
+		rel := mem.New(tab)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rel.DenseCounts(context.Background(), attrs, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			rel, err := sharded.Partition(tab, "bench_sharded", n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rel.DenseCounts(context.Background(), attrs, nil, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedAppendVsReload contrasts streaming ingestion with the
+// naive alternative. "append" streams a 1000-row batch into a primed
+// 4-shard session and re-runs the closure count: the count cache patches
+// its views with the batch's delta counts. "reload" rebuilds the sharded
+// relation and re-primes from scratch — what every new batch would cost
+// without versioned snapshots and delta application.
+func BenchmarkShardedAppendVsReload(b *testing.B) {
+	tab := randomTable(b, 50000)
+	attrs := tab.Columns()
+	const batch = 1000
+	rows := make([][]string, batch)
+	for i := range rows {
+		row := make([]string, len(attrs))
+		for j, a := range attrs {
+			c, err := tab.Column(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row[j] = c.Value(i)
+		}
+		rows[i] = row
+	}
+
+	b.Run("append", func(b *testing.B) {
+		rel, err := sharded.Partition(tab, "bench_append", 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cc := countcache.Wrap(rel, 0)
+		if err := cc.Prime(context.Background(), attrs, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cc.Append(context.Background(), rows); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cc.Counts(context.Background(), attrs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := cc.Stats(); st.Fetches != 1 {
+			b.Fatalf("append path fetched the backend %d times, want 1 (the prime)", st.Fetches)
+		}
+	})
+	b.Run("reload", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rel, err := sharded.Partition(tab, "bench_reload", 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cc := countcache.Wrap(rel, 0)
+			if err := cc.Prime(context.Background(), attrs, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cc.Counts(context.Background(), attrs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -5,9 +5,9 @@
 // Usage:
 //
 //	hypdbd [-addr :8080] [-request-timeout 2m] [-max-concurrent N]
-//	       [-max-upload-mb 64] [-max-datasets 64] [-preload name[:rows],...]
-//	       [-sql name=driver,dsn,table]... [-seed 1] [-log text|json]
-//	       [-grace 15s]
+//	       [-max-upload-mb 64] [-max-datasets 64] [-shards N]
+//	       [-preload name[:rows],...] [-sql name=driver,dsn,table]...
+//	       [-seed 1] [-log text|json] [-grace 15s]
 //
 // Endpoints (see the api package for the wire types):
 //
@@ -16,6 +16,10 @@
 //	                                 named dataset
 //	GET    /v1/datasets              list datasets
 //	GET    /v1/datasets/{name}/stats schema, size, cache counters
+//	POST   /v1/datasets/{name}/append
+//	                                 stream rows into a sharded dataset
+//	                                 (new snapshot version; in-flight
+//	                                 analyses keep theirs)
 //	DELETE /v1/datasets/{name}       drop a dataset
 //	POST   /v1/analyze               analyze one query
 //	POST   /v1/analyze/batch         analyze a batch (shared CD cache)
@@ -25,8 +29,11 @@
 //	GET    /v1/metrics               service-wide counters
 //	GET    /healthz                  liveness
 //
-// -preload registers generated datasets at startup (names from `hypdb
-// datasets`, e.g. "berkeley,flight:12000"). -sql registers a dataset served
+// -shards N serves uploaded and preloaded in-memory datasets through the
+// partition-parallel sharded backend with N horizontal partitions: group-by
+// counts fan out across the shards, and the datasets accept streaming
+// appends. -preload registers generated datasets at startup (names from
+// `hypdb datasets`, e.g. "berkeley,flight:12000"). -sql registers a dataset served
 // directly by a SQL database with count pushdown; the driver must be
 // compiled into the binary (the in-process "memsql" test driver is; add
 // blank imports for others). On SIGINT/SIGTERM the server
@@ -75,6 +82,7 @@ func run() error {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent analyses per dataset (0 = 2×GOMAXPROCS)")
 	maxUploadMB := flag.Int64("max-upload-mb", 64, "max CSV upload size in MiB")
 	maxDatasets := flag.Int("max-datasets", 64, "max registered datasets")
+	shards := flag.Int("shards", 0, "serve in-memory datasets with this many horizontal partitions (enables streaming appends; 0 or 1 = unsharded)")
 	preload := flag.String("preload", "", `generated datasets to register at startup, "name[:rows],..." (see hypdb datasets)`)
 	preloadSQL := flag.String("preload-sql", "", `generated datasets to serve through the SQL backend (in-process memsql driver), "name[:rows],..."`)
 	var sqlDatasets sqlSpecs
@@ -108,6 +116,7 @@ func run() error {
 		MaxConcurrentPerDataset: *maxConcurrent,
 		MaxUploadBytes:          *maxUploadMB << 20,
 		MaxDatasets:             *maxDatasets,
+		Shards:                  *shards,
 		AllowSQLDrivers:         allowed,
 	})
 	if err := preloadDatasets(srv, *preload, *seed, log); err != nil {

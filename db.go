@@ -13,6 +13,7 @@ import (
 	"hypdb/internal/query"
 	"hypdb/source"
 	"hypdb/source/mem"
+	"hypdb/source/sharded"
 	"hypdb/source/sqldb"
 )
 
@@ -63,21 +64,52 @@ type Stats struct {
 	CDHits     int
 }
 
-// Open creates a session handle over an in-memory table (the mem backend).
-// The table must not be mutated afterwards. Close is a no-op for in-memory
+// OpenOption configures Open and OpenCSV. The zero set of options keeps
+// the historical behavior: one in-memory relation, no sharding.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	shards int
+}
+
+// WithShards opens the table behind the partition-parallel sharded backend
+// with n horizontal partitions: group-by counts fan out to the shards
+// concurrently and merge under one shared dictionary, and the handle
+// supports streaming Append with versioned snapshots. n < 2 keeps the
+// plain in-memory backend. Shard coding is seeded from the table's own
+// dictionaries, so every count, code and conclusion is byte-identical to
+// the unsharded backend.
+func WithShards(n int) OpenOption {
+	return func(c *openConfig) { c.shards = n }
+}
+
+// Open creates a session handle over an in-memory table (the mem backend,
+// or the sharded backend under WithShards). The table must not be mutated
+// afterwards — use Append for growth. Close is a no-op for in-memory
 // handles but is always safe to call.
-func Open(t *Table) *DB {
+func Open(t *Table, opts ...OpenOption) *DB {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards > 1 {
+		if sh, err := sharded.Partition(t, "D", cfg.shards); err == nil {
+			return OpenSource(sh)
+		}
+		// Partitioning can only fail on a malformed table; serve it
+		// unsharded rather than failing an error-free constructor.
+	}
 	return OpenSource(mem.New(t))
 }
 
 // OpenCSV creates a session handle over a CSV file (header row required;
 // all values treated as categorical).
-func OpenCSV(path string) (*DB, error) {
+func OpenCSV(path string, opts ...OpenOption) (*DB, error) {
 	t, err := dataset.ReadCSVFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return Open(t), nil
+	return Open(t, opts...), nil
 }
 
 // OpenSource creates a session handle over any storage backend implementing
@@ -121,6 +153,63 @@ func (db *DB) Close() error {
 
 // Relation returns the session's underlying storage relation.
 func (db *DB) Relation() source.Relation { return db.rel }
+
+// view returns the relation one API call's backend reads go through. Over
+// a versioned (appendable) backend it is pinned to the current snapshot,
+// so a concurrent Append can never mix epochs inside one analysis: the
+// whole call — covariate discovery, permutation tests, rewritings — sees
+// the rows and dictionaries of the moment it started. Over immutable
+// backends it is the session relation itself (pinning is free there).
+func (db *DB) view() source.Relation {
+	if c, ok := db.rel.(*countcache.Relation); ok {
+		return c.Pin()
+	}
+	return db.rel
+}
+
+// Append ingests rows (one string per attribute, schema order) into the
+// session's relation. Only appendable backends — e.g. sharded ones opened
+// with WithShards — accept it; others return ErrNotAppendable. The rows
+// become a new delta partition under a new snapshot version: in-flight
+// analyses keep their pinned snapshot, and primed count-cache views are
+// upgraded in place by tabulating only the delta, so the next query does
+// not re-scan the backend.
+func (db *DB) Append(ctx context.Context, rows [][]string) (*AppendResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if a, ok := db.rel.(source.Appender); ok {
+		return a.Append(ctx, rows)
+	}
+	return nil, fmt.Errorf("hypdb: %s: %w", db.rel.Name(), ErrNotAppendable)
+}
+
+// ShardInfo describes a sharded session's partition and snapshot state.
+type ShardInfo struct {
+	// Shards is the current number of horizontal partitions (including
+	// delta partitions admitted by Append).
+	Shards int
+	// Version is the current snapshot version; it starts at 1 and
+	// increments with every non-empty Append.
+	Version uint64
+}
+
+// ShardInfo reports the sharding state of the session's backend, and
+// whether the backend is sharded at all.
+func (db *DB) ShardInfo() (ShardInfo, bool) {
+	rel := db.rel
+	if c, ok := rel.(*countcache.Relation); ok {
+		rel = c.Inner()
+	}
+	s, ok := rel.(interface {
+		NumPartitions() int
+		SnapshotVersion() uint64
+	})
+	if !ok {
+		return ShardInfo{}, false
+	}
+	return ShardInfo{Shards: s.NumPartitions(), Version: s.SnapshotVersion()}, true
+}
 
 // Table returns the session's in-memory table when the handle was opened
 // over one (Open/OpenCSV), and nil for other backends. Treat it as
@@ -188,16 +277,19 @@ func (db *DB) ResetCache() {
 func (db *DB) Analyze(ctx context.Context, q Query, opts ...Option) (*Report, error) {
 	st := newSettings(opts)
 	o := st.opts
+	rel := db.view()
 	// A caller-supplied Discover hook (via WithOptions) wins over the
 	// session memoizer, and queries whose WHERE clause has no canonical
 	// encoding bypass the cache: both run uncached rather than risking a
-	// wrong shared entry.
+	// wrong shared entry. The memo key leads with the pinned backend
+	// identity, which embeds the snapshot version — results computed on one
+	// epoch are never served to another.
 	if o.Discover == nil {
 		if whereKey, cacheable := whereKeyOf(q); cacheable {
-			o.Discover = db.discoverFunc(whereKey)
+			o.Discover = db.discoverFunc(rel.Backend(), whereKey)
 		}
 	}
-	return core.Analyze(ctx, db.rel, q, o)
+	return core.Analyze(ctx, rel, q, o)
 }
 
 // AnalyzeAll analyzes a batch of queries over a worker pool (WithWorkers
@@ -227,7 +319,7 @@ func (db *DB) Run(ctx context.Context, q Query) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return query.Run(ctx, db.rel, q)
+	return query.Run(ctx, db.view(), q)
 }
 
 // RewriteTotal executes the bias-removing rewriting for the total effect
@@ -236,7 +328,7 @@ func (db *DB) RewriteTotal(ctx context.Context, q Query, covariates []string) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return query.RewriteTotal(ctx, db.rel, q, covariates)
+	return query.RewriteTotal(ctx, db.view(), q, covariates)
 }
 
 // RewriteDirect executes the natural-direct-effect rewriting (mediator
@@ -248,7 +340,7 @@ func (db *DB) RewriteDirect(ctx context.Context, q Query, covariates, mediators 
 		return nil, err
 	}
 	st := newSettings(opts)
-	return query.RewriteDirect(ctx, db.rel, q, covariates, mediators, st.opts.Baseline)
+	return query.RewriteDirect(ctx, db.view(), q, covariates, mediators, st.opts.Baseline)
 }
 
 // DiscoverCovariates runs the CD algorithm for a treatment over candidate
@@ -256,14 +348,15 @@ func (db *DB) RewriteDirect(ctx context.Context, q Query, covariates, mediators 
 // fallback covariate set.
 func (db *DB) DiscoverCovariates(ctx context.Context, treatment string, candidates, outcomes []string, opts ...Option) (*CDResult, error) {
 	st := newSettings(opts)
-	return db.discoverCached(ctx, "", db.rel, treatment, candidates, outcomes, st.opts.Config)
+	rel := db.view()
+	return db.discoverCached(ctx, rel.Backend(), "", rel, treatment, candidates, outcomes, st.opts.Config)
 }
 
 // DetectBias tests, per query context, whether the treatment groups are
 // balanced with respect to the given variable set.
 func (db *DB) DetectBias(ctx context.Context, treatment string, groupings, variables []string, opts ...Option) ([]BiasResult, error) {
 	st := newSettings(opts)
-	return core.DetectBias(ctx, db.rel, treatment, groupings, variables, st.opts.Config)
+	return core.DetectBias(ctx, db.view(), treatment, groupings, variables, st.opts.Config)
 }
 
 // EffectBounds adjusts for every subset of the candidate covariates (up to
@@ -271,18 +364,20 @@ func (db *DB) DetectBias(ctx context.Context, treatment string, groupings, varia
 // Sec 4 extension for treatments whose parents cannot be identified.
 func (db *DB) EffectBounds(ctx context.Context, q Query, candidates []string, opts ...Option) (*BoundsResult, error) {
 	st := newSettings(opts)
-	return core.EffectBounds(ctx, db.rel, q, candidates, st.maxAdjust)
+	return core.EffectBounds(ctx, db.view(), q, candidates, st.maxAdjust)
 }
 
 // ---------------------------------------------------------------------------
 // Cross-query covariate-discovery cache
 
 // discoverFunc builds the core.Options.Discover hook for one query: the
-// pipeline's CD calls route through the session cache, keyed additionally
-// by the query's WHERE clause (the view CD runs on is determined by it).
-func (db *DB) discoverFunc(whereKey string) func(context.Context, source.Relation, string, []string, []string, core.Config) (*core.CDResult, error) {
+// pipeline's CD calls route through the session cache, keyed by the
+// calling view's backend identity (which embeds the snapshot version for
+// versioned backends) and the query's WHERE clause (the view CD runs on
+// is determined by it).
+func (db *DB) discoverFunc(backendKey, whereKey string) func(context.Context, source.Relation, string, []string, []string, core.Config) (*core.CDResult, error) {
 	return func(ctx context.Context, view source.Relation, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
-		return db.discoverCached(ctx, whereKey, view, target, candidates, outcomes, cfg)
+		return db.discoverCached(ctx, backendKey, whereKey, view, target, candidates, outcomes, cfg)
 	}
 }
 
@@ -292,8 +387,8 @@ func (db *DB) discoverFunc(whereKey string) func(context.Context, source.Relatio
 // waiter whose leader failed retries with its own context rather than
 // inheriting an error (e.g. the leader's cancellation) that says nothing
 // about its own request.
-func (db *DB) discoverCached(ctx context.Context, whereKey string, view source.Relation, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
-	key := cdKey(db.rel.Backend(), whereKey, target, candidates, outcomes, cfg)
+func (db *DB) discoverCached(ctx context.Context, backendKey, whereKey string, view source.Relation, target string, candidates, outcomes []string, cfg core.Config) (*core.CDResult, error) {
+	key := cdKey(backendKey, whereKey, target, candidates, outcomes, cfg)
 
 	for {
 		db.mu.Lock()

@@ -47,4 +47,10 @@ var (
 	// a counts-only storage backend. Use a backend implementing
 	// source.Materializer, or a counts-based method.
 	ErrNeedsMaterialization = hyperr.ErrNeedsMaterialization
+
+	// ErrNotAppendable reports an Append against a backend that cannot
+	// grow. Only relations implementing source.Appender — the sharded
+	// backend behind WithShards, and custom backends opting in — accept
+	// streamed rows; plain mem and SQL handles remain immutable.
+	ErrNotAppendable = hyperr.ErrNotAppendable
 )

@@ -62,6 +62,7 @@ import (
 	"hypdb/internal/core"
 	"hypdb/internal/dataset"
 	"hypdb/internal/query"
+	"hypdb/source"
 	"hypdb/source/mem"
 )
 
@@ -92,6 +93,11 @@ type (
 	// All matches every row.
 	All = dataset.All
 )
+
+// AppendResult summarizes one streaming ingestion into an appendable
+// relation: rows admitted, new total, new snapshot version, and a
+// relation view over just the appended delta.
+type AppendResult = source.AppendResult
 
 // Query is the group-by-average OLAP query of the paper's Listing 1.
 type Query = query.Query

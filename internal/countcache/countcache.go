@@ -19,11 +19,13 @@ package countcache
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 	"hypdb/source"
 )
 
@@ -31,11 +33,16 @@ import (
 type Stats struct {
 	// Fetches counts backend round trips for dense views; Hits counts
 	// requests answered from a cached view of exactly the requested
-	// attribute set; Derived counts requests answered by marginalizing a
-	// cached superset view.
+	// attribute set (at the requested version); Derived counts requests
+	// answered by marginalizing a cached superset view.
 	Fetches int
 	Hits    int
 	Derived int
+	// DeltaApplied counts cached views upgraded in place by an append's
+	// delta counts (no backend re-fetch); DeltaDropped counts views an
+	// append had to evict because the delta could not be tabulated.
+	DeltaApplied int
+	DeltaDropped int
 }
 
 // Relation wraps a source.Relation with the dense count cache. It preserves
@@ -43,18 +50,36 @@ type Stats struct {
 // Closer and Cardinality capabilities, and keeps restriction views on
 // separate caches, so cache keys and session semantics are unchanged.
 type Relation struct {
-	inner  source.Relation
-	budget int
+	inner source.Relation
+	// versioned is inner's snapshot capability, nil for immutable backends.
+	// When set, every cache entry is tagged with the version it was
+	// computed at and only serves requests pinned to that version.
+	versioned source.Versioned
+	budget    int
 
 	mu         sync.Mutex
 	n          int
 	hasN       bool
-	views      map[string]*dataset.DenseCounts // canonical (sorted, joined) attrs -> dense view
-	wide       []string                        // keys of the widest views: the derivation candidates
-	maps       map[string]map[source.Key]int   // request-order attrs -> sparse map form memo
+	views      map[string]*entry             // canonical (sorted, joined) attrs -> dense view
+	wide       []string                      // keys of the widest views: the derivation candidates
+	maps       map[string]map[source.Key]int // request-order attrs -> sparse map form memo
+	mapsVer    uint64                        // version the sparse memo belongs to
 	totalCells int
 	restricts  map[string]*Relation
-	stats      Stats
+	// deltas remembers recent appends: version v maps to the delta relation
+	// whose rows turned v-1 into v. Stale cached views — e.g. ones a
+	// long-running pinned analysis tabulated at an old version while appends
+	// landed — are upgraded lazily by replaying the chain of deltas instead
+	// of re-fetching. Bounded to the last maxDeltas appends.
+	deltas map[uint64]source.Relation
+	stats  Stats
+}
+
+// entry is one cached dense view tagged with the snapshot version of the
+// data it tabulates. Immutable backends use version 0 throughout.
+type entry struct {
+	dc  *dataset.DenseCounts
+	ver uint64
 }
 
 // maxMapMemos bounds the sparse-form memo (maps are derived from views in
@@ -78,6 +103,10 @@ const maxWide = 32
 // maxRestricts bounds the memoized restriction wrappers.
 const maxRestricts = 256
 
+// maxDeltas bounds the remembered append deltas; views more than maxDeltas
+// versions behind fall back to a re-fetch.
+const maxDeltas = 8
+
 // Wrap returns rel behind a count cache with the given per-view cell budget
 // (≤ 0 meaning dataset.DefaultCellBudget). Wrapping an already-wrapped
 // relation returns it unchanged.
@@ -88,10 +117,12 @@ func Wrap(rel source.Relation, budget int) *Relation {
 	if budget <= 0 {
 		budget = dataset.DefaultCellBudget
 	}
+	v, _ := rel.(source.Versioned)
 	return &Relation{
-		inner:  rel,
-		budget: budget,
-		views:  make(map[string]*dataset.DenseCounts),
+		inner:     rel,
+		versioned: v,
+		budget:    budget,
+		views:     make(map[string]*entry),
 	}
 }
 
@@ -118,8 +149,13 @@ func (c *Relation) Attributes() []string { return c.inner.Attributes() }
 // HasAttribute implements source.Relation.
 func (c *Relation) HasAttribute(name string) bool { return c.inner.HasAttribute(name) }
 
-// NumRows implements source.Relation (memoized).
+// NumRows implements source.Relation (memoized; versioned backends answer
+// from the current snapshot, which is O(1), and the memo tracks appends).
 func (c *Relation) NumRows(ctx context.Context) (int, error) {
+	if c.versioned != nil {
+		snap, _ := c.versioned.Snapshot()
+		return snap.NumRows(ctx)
+	}
 	c.mu.Lock()
 	if c.hasN {
 		n := c.n
@@ -159,36 +195,54 @@ func (c *Relation) Counts(ctx context.Context, attrs []string, where source.Pred
 	if where != nil {
 		return c.inner.Counts(ctx, attrs, where)
 	}
+	src, ver := c.source()
 	okey := strings.Join(attrs, "\x00")
 	c.mu.Lock()
-	if m, ok := c.maps[okey]; ok {
-		c.stats.Hits++
-		c.mu.Unlock()
-		return m, nil
+	if c.mapsVer == ver {
+		if m, ok := c.maps[okey]; ok {
+			c.stats.Hits++
+			c.mu.Unlock()
+			return m, nil
+		}
 	}
 	c.mu.Unlock()
 
-	dc, err := c.dense(ctx, attrs, 0)
+	dc, err := c.denseAt(ctx, src, ver, attrs, 0)
 	if err != nil {
 		return nil, err
 	}
 	if dc == nil {
-		return c.inner.Counts(ctx, attrs, nil)
+		return src.Counts(ctx, attrs, nil)
 	}
 	m := dc.Map()
 	c.mu.Lock()
-	if c.maps == nil {
-		c.maps = make(map[string]map[source.Key]int)
-	}
-	for k := range c.maps {
-		if len(c.maps) < maxMapMemos {
-			break
+	if c.mapsVer == ver {
+		if c.maps == nil {
+			c.maps = make(map[string]map[source.Key]int)
 		}
-		delete(c.maps, k)
+		for k := range c.maps {
+			if len(c.maps) < maxMapMemos {
+				break
+			}
+			delete(c.maps, k)
+		}
+		c.maps[okey] = m
 	}
-	c.maps[okey] = m
 	c.mu.Unlock()
 	return m, nil
+}
+
+// source resolves the relation one read should tabulate from: the current
+// snapshot (with its version) for versioned backends, the backend itself
+// (version 0) otherwise. Fetching from a snapshot instead of the live
+// relation is what makes version tags exact — the data a fetch sees is
+// always precisely the version the entry is tagged with, even if an append
+// lands mid-read.
+func (c *Relation) source() (source.Relation, uint64) {
+	if c.versioned != nil {
+		return c.versioned.Snapshot()
+	}
+	return c.inner, 0
 }
 
 // DenseCounts implements source.DenseCounter. An explicit budget overrides
@@ -198,7 +252,8 @@ func (c *Relation) DenseCounts(ctx context.Context, attrs []string, where source
 	if where != nil {
 		return source.Dense(ctx, c.inner, attrs, where, budget)
 	}
-	return c.dense(ctx, attrs, budget)
+	src, ver := c.source()
+	return c.denseAt(ctx, src, ver, attrs, budget)
 }
 
 // Prime fetches the finest dense view over attrs — one backend round trip —
@@ -208,7 +263,8 @@ func (c *Relation) DenseCounts(ctx context.Context, attrs []string, where source
 // silently (requests then fall through to the backend, which may still
 // derive shared marginals itself).
 func (c *Relation) Prime(ctx context.Context, attrs []string, budget int) error {
-	_, err := c.dense(ctx, attrs, budget)
+	src, ver := c.source()
+	_, err := c.denseAt(ctx, src, ver, attrs, budget)
 	return err
 }
 
@@ -281,6 +337,276 @@ func (c *Relation) Close() error {
 	return nil
 }
 
+// ---------------------------------------------------------------------------
+// Streaming ingestion: delta application and snapshot pinning
+
+// Append implements source.Appender when the wrapped backend does: the rows
+// are appended to the backend (creating a new snapshot version), and every
+// cached dense view of the previous version is upgraded in place by adding
+// the delta partition's counts — re-strided first when the append grew a
+// dictionary — instead of being invalidated. One O(delta-rows) tabulation
+// per cached view replaces a full backend re-fetch; the cache stays primed
+// across ingestion.
+func (c *Relation) Append(ctx context.Context, rows [][]string) (*source.AppendResult, error) {
+	ap, ok := c.inner.(source.Appender)
+	if !ok {
+		return nil, fmt.Errorf("countcache: backend %s cannot grow: %w", c.inner.Backend(), hyperr.ErrNotAppendable)
+	}
+	res, err := ap.Append(ctx, rows)
+	if err != nil {
+		return nil, err
+	}
+	if res.Appended > 0 && res.Delta != nil {
+		c.applyDelta(ctx, res)
+	}
+	return res, nil
+}
+
+// applyDelta patches the cache after one append. Views tagged with the
+// immediately preceding version are upgraded (grown to the new
+// cardinalities, delta cells added, re-tagged); views that cannot be
+// patched are evicted and will re-fetch lazily. Sparse memos and
+// restriction wrappers are dropped — their data moved — and the row-count
+// memo is advanced.
+func (c *Relation) applyDelta(ctx context.Context, res *source.AppendResult) {
+	type pending struct {
+		key string
+		e   *entry
+	}
+	c.mu.Lock()
+	todo := make([]pending, 0, len(c.views))
+	for k, e := range c.views {
+		if e.ver == res.Version-1 {
+			todo = append(todo, pending{key: k, e: e})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, p := range todo {
+		upgraded, err := upgradeView(ctx, p.e.dc, res.Delta)
+		c.mu.Lock()
+		cur, ok := c.views[p.key]
+		if !ok || cur != p.e {
+			c.mu.Unlock()
+			continue // evicted or replaced meanwhile: nothing to upgrade
+		}
+		if err != nil || upgraded == nil {
+			c.totalCells -= len(cur.dc.Cells)
+			delete(c.views, p.key)
+			c.stats.DeltaDropped++
+			c.mu.Unlock()
+			continue
+		}
+		c.totalCells += len(upgraded.Cells) - len(cur.dc.Cells)
+		c.views[p.key] = &entry{dc: upgraded, ver: res.Version}
+		c.stats.DeltaApplied++
+		c.mu.Unlock()
+	}
+
+	c.mu.Lock()
+	c.maps = nil
+	c.mapsVer = res.Version
+	c.n, c.hasN = res.NumRows, true
+	c.restricts = nil
+	if c.deltas == nil {
+		c.deltas = make(map[uint64]source.Relation)
+	}
+	c.deltas[res.Version] = res.Delta
+	for v := range c.deltas {
+		if v+maxDeltas <= res.Version {
+			delete(c.deltas, v)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// deltaChainLocked returns the deltas that turn version from into version
+// to, oldest first, or nil when any link is missing. Callers hold c.mu.
+func (c *Relation) deltaChainLocked(from, to uint64) []source.Relation {
+	if from >= to {
+		return nil
+	}
+	chain := make([]source.Relation, 0, to-from)
+	for v := from + 1; v <= to; v++ {
+		d, ok := c.deltas[v]
+		if !ok {
+			return nil
+		}
+		chain = append(chain, d)
+	}
+	return chain
+}
+
+// upgradeView produces the next-version copy of one cached view: the old
+// cells re-strided to the delta's (possibly grown) cardinalities plus the
+// delta tabulation. The cached view itself is never mutated — readers may
+// hold references to it.
+func upgradeView(ctx context.Context, old *dataset.DenseCounts, delta source.Relation) (*dataset.DenseCounts, error) {
+	dd, err := source.Dense(ctx, delta, old.Attrs, nil, 0)
+	if err != nil || dd == nil {
+		return nil, err
+	}
+	grown, err := old.Grown(dd.Cards)
+	if err != nil {
+		return nil, err
+	}
+	if err := grown.AddCells(dd); err != nil {
+		return nil, err
+	}
+	return grown, nil
+}
+
+// Pin returns the relation one analysis should read through: for versioned
+// backends, a view pinned to the current snapshot version — every count it
+// serves comes from that version (from version-matching cache entries, or
+// from the pinned snapshot on a miss), so an in-flight analysis never mixes
+// epochs no matter how many appends land meanwhile. Immutable backends pin
+// to the cache itself.
+func (c *Relation) Pin() source.Relation {
+	if c.versioned == nil {
+		return c
+	}
+	snap, ver := c.versioned.Snapshot()
+	return &Pinned{c: c, snap: snap, ver: ver}
+}
+
+// Pinned is a snapshot-pinned read view over a shared count cache: the
+// Backend identity, dictionaries, row count and every count are those of
+// one version. Cache entries of the pinned version are shared with other
+// readers; misses are fetched from the pinned snapshot and stored under the
+// pin's version tag (never clobbering newer epochs).
+type Pinned struct {
+	c    *Relation
+	snap source.Relation
+	ver  uint64
+
+	mu        sync.Mutex
+	maps      map[string]map[source.Key]int
+	restricts map[string]source.Relation
+}
+
+// Version returns the pinned snapshot version.
+func (p *Pinned) Version() uint64 { return p.ver }
+
+// Name implements source.Relation.
+func (p *Pinned) Name() string { return p.snap.Name() }
+
+// Backend implements source.Relation: the snapshot's identity, which
+// incorporates the version — statistics cached against it can never leak
+// across epochs.
+func (p *Pinned) Backend() string { return p.snap.Backend() }
+
+// Attributes implements source.Relation.
+func (p *Pinned) Attributes() []string { return p.snap.Attributes() }
+
+// HasAttribute implements source.Relation.
+func (p *Pinned) HasAttribute(name string) bool { return p.snap.HasAttribute(name) }
+
+// NumRows implements source.Relation.
+func (p *Pinned) NumRows(ctx context.Context) (int, error) { return p.snap.NumRows(ctx) }
+
+// Labels implements source.Relation.
+func (p *Pinned) Labels(ctx context.Context, attr string) ([]string, error) {
+	return p.snap.Labels(ctx, attr)
+}
+
+// Cardinality forwards the optional capability of the snapshot.
+func (p *Pinned) Cardinality(ctx context.Context, attr string) (int, error) {
+	return source.Card(ctx, p.snap, attr)
+}
+
+// Counts implements source.Relation against the pinned version, sharing the
+// cache's dense views where the versions match.
+func (p *Pinned) Counts(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
+	if where != nil {
+		return p.snap.Counts(ctx, attrs, where)
+	}
+	okey := strings.Join(attrs, "\x00")
+	p.mu.Lock()
+	if m, ok := p.maps[okey]; ok {
+		p.mu.Unlock()
+		return m, nil
+	}
+	p.mu.Unlock()
+
+	dc, err := p.c.denseAt(ctx, p.snap, p.ver, attrs, 0)
+	if err != nil {
+		return nil, err
+	}
+	if dc == nil {
+		return p.snap.Counts(ctx, attrs, nil)
+	}
+	m := dc.Map()
+	p.mu.Lock()
+	if p.maps == nil {
+		p.maps = make(map[string]map[source.Key]int)
+	}
+	for k := range p.maps {
+		if len(p.maps) < maxMapMemos {
+			break
+		}
+		delete(p.maps, k)
+	}
+	p.maps[okey] = m
+	p.mu.Unlock()
+	return m, nil
+}
+
+// DenseCounts implements source.DenseCounter against the pinned version.
+func (p *Pinned) DenseCounts(ctx context.Context, attrs []string, where source.Predicate, budget int) (*dataset.DenseCounts, error) {
+	if where != nil {
+		return source.Dense(ctx, p.snap, attrs, where, budget)
+	}
+	return p.c.denseAt(ctx, p.snap, p.ver, attrs, budget)
+}
+
+// Restrict implements source.Relation: restrictions are taken against the
+// pinned snapshot (so they cannot race an append) and wrapped in their own
+// count caches, memoized per rendered predicate for the analysis phases
+// that revisit one WHERE clause.
+func (p *Pinned) Restrict(ctx context.Context, where source.Predicate) (source.Relation, error) {
+	if where == nil {
+		return p, nil
+	}
+	key := where.SQL()
+	p.mu.Lock()
+	if child, ok := p.restricts[key]; ok {
+		p.mu.Unlock()
+		return child, nil
+	}
+	p.mu.Unlock()
+
+	inner, err := p.snap.Restrict(ctx, where)
+	if err != nil {
+		return nil, err
+	}
+	if inner == p.snap {
+		return p, nil
+	}
+	child := source.Relation(Wrap(inner, p.c.budget))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.restricts == nil {
+		p.restricts = make(map[string]source.Relation)
+	}
+	if prev, ok := p.restricts[key]; ok {
+		return prev, nil
+	}
+	for k := range p.restricts {
+		if len(p.restricts) < maxRestricts {
+			break
+		}
+		delete(p.restricts, k)
+	}
+	p.restricts[key] = child
+	return child, nil
+}
+
+// Materialize forwards the snapshot's row-level capability.
+func (p *Pinned) Materialize(ctx context.Context) (*dataset.Table, error) {
+	return source.Materialize(ctx, p.snap)
+}
+
 // canonical returns the sorted attribute list and, for each requested
 // position, its index in the sorted order.
 func canonical(attrs []string) (sorted []string, pos []int) {
@@ -300,15 +626,17 @@ func canonical(attrs []string) (sorted []string, pos []int) {
 	return sorted, pos
 }
 
-// dense returns the dense view over attrs in request order, or nil when
-// the cell space exceeds the effective budget (budget ≤ 0 meaning the
-// handle budget). The canonical (sorted) view is cached; request order is
-// restored with one O(cells) projection. The O(cells) work — marginalizing
-// a covering view, fetching from the backend — runs outside the handle
-// lock (views are immutable once stored, and a racing duplicate
-// computation is benign: last writer wins with identical data), so
-// concurrent analyses sharing one handle only contend on map lookups.
-func (c *Relation) dense(ctx context.Context, attrs []string, budget int) (*dataset.DenseCounts, error) {
+// denseAt returns the dense view over attrs in request order at the given
+// snapshot version, or nil when the cell space exceeds the effective
+// budget (budget ≤ 0 meaning the handle budget). src is the relation to
+// tabulate from on a miss — the pinned snapshot whose data IS version ver,
+// so entries are tagged exactly. The canonical (sorted) view is cached;
+// request order is restored with one O(cells) projection. The O(cells)
+// work — marginalizing a covering view, fetching from the backend — runs
+// outside the handle lock (views are immutable once stored, and a racing
+// duplicate computation is benign: last writer wins with identical data),
+// so concurrent analyses sharing one handle only contend on map lookups.
+func (c *Relation) denseAt(ctx context.Context, src source.Relation, ver uint64, attrs []string, budget int) (*dataset.DenseCounts, error) {
 	effective := c.budget
 	if budget > 0 {
 		effective = budget
@@ -317,35 +645,70 @@ func (c *Relation) dense(ctx context.Context, attrs []string, budget int) (*data
 	key := strings.Join(sorted, "\x00")
 
 	c.mu.Lock()
-	view, ok := c.views[key]
-	var src *dataset.DenseCounts
-	var srcKeep []int
-	if ok {
-		c.stats.Hits++
-	} else {
-		src, srcKeep = c.findCoverLocked(sorted)
+	var view *dataset.DenseCounts
+	var stale *dataset.DenseCounts
+	var chain []source.Relation
+	if e, ok := c.views[key]; ok {
+		if e.ver == ver {
+			c.stats.Hits++
+			view = e.dc
+		} else if e.ver < ver {
+			// An exact view a few appends behind: replay the delta chain
+			// instead of re-fetching.
+			if chain = c.deltaChainLocked(e.ver, ver); chain != nil {
+				stale = e.dc
+			}
+		}
+	}
+	var cover *dataset.DenseCounts
+	var coverKeep []int
+	if view == nil && stale == nil {
+		cover, coverKeep = c.findCoverLocked(sorted, ver)
 	}
 	c.mu.Unlock()
 
-	if view == nil && src != nil {
-		out, err := src.Project(srcKeep)
+	if view == nil && stale != nil {
+		up := stale
+		for _, d := range chain {
+			next, err := upgradeView(ctx, up, d)
+			if err != nil || next == nil {
+				up = nil
+				break
+			}
+			up = next
+		}
+		if up != nil {
+			c.mu.Lock()
+			c.stats.DeltaApplied++
+			c.storeLocked(key, up, ver)
+			c.mu.Unlock()
+			view = up
+		} else {
+			c.mu.Lock()
+			c.stats.DeltaDropped++
+			cover, coverKeep = c.findCoverLocked(sorted, ver)
+			c.mu.Unlock()
+		}
+	}
+	if view == nil && cover != nil {
+		out, err := cover.Project(coverKeep)
 		if err != nil {
 			return nil, err
 		}
 		c.mu.Lock()
 		c.stats.Derived++
-		c.storeLocked(key, out)
+		c.storeLocked(key, out, ver)
 		c.mu.Unlock()
 		view = out
 	}
 	if view == nil {
-		dc, err := source.Dense(ctx, c.inner, sorted, nil, effective)
+		dc, err := source.Dense(ctx, src, sorted, nil, effective)
 		if err != nil || dc == nil {
 			return nil, err
 		}
 		c.mu.Lock()
 		c.stats.Fetches++
-		c.storeLocked(key, dc)
+		c.storeLocked(key, dc, ver)
 		c.mu.Unlock()
 		view = dc
 	}
@@ -360,25 +723,29 @@ func (c *Relation) dense(ctx context.Context, attrs []string, budget int) (*data
 // findCoverLocked returns the smallest covering view among the derivation
 // candidates (the widest memoized views) together with the projection
 // positions of the requested attributes, pruning stale candidates along
-// the way. Callers hold c.mu.
-func (c *Relation) findCoverLocked(sorted []string) (*dataset.DenseCounts, []int) {
+// the way. Only views of the requested version qualify — marginalizing
+// across epochs would mix them. Callers hold c.mu.
+func (c *Relation) findCoverLocked(sorted []string, ver uint64) (*dataset.DenseCounts, []int) {
 	var (
 		best     *dataset.DenseCounts
 		bestKeep []int
 	)
 	kept := c.wide[:0]
 	for _, wk := range c.wide {
-		v, ok := c.views[wk]
+		e, ok := c.views[wk]
 		if !ok {
 			continue // evicted; drop from the candidate list
 		}
 		kept = append(kept, wk)
-		keep := coverPositions(v.Attrs, sorted)
+		if e.ver != ver {
+			continue
+		}
+		keep := coverPositions(e.dc.Attrs, sorted)
 		if keep == nil {
 			continue
 		}
-		if best == nil || len(v.Cells) < len(best.Cells) {
-			best, bestKeep = v, keep
+		if best == nil || len(e.dc.Cells) < len(best.Cells) {
+			best, bestKeep = e.dc, keep
 		}
 	}
 	c.wide = kept
@@ -408,24 +775,30 @@ func coverPositions(have, want []string) []int {
 	return keep
 }
 
-// storeLocked inserts a view, evicting arbitrary views past the total-cell
-// bound and maintaining the derivation-candidate list. Callers hold c.mu.
-func (c *Relation) storeLocked(key string, dc *dataset.DenseCounts) {
+// storeLocked inserts a view tagged with its snapshot version, evicting
+// arbitrary views past the total-cell bound and maintaining the
+// derivation-candidate list. A pinned reader re-fetching an old version
+// never clobbers a newer entry for the same key: the newer epoch wins and
+// the old result is simply served unstored. Callers hold c.mu.
+func (c *Relation) storeLocked(key string, dc *dataset.DenseCounts, ver uint64) {
+	if old, exists := c.views[key]; exists && old.ver > ver {
+		return
+	}
 	maxTotal := c.budget * maxTotalCellsFactor
-	for k, v := range c.views {
+	for k, e := range c.views {
 		if c.totalCells+len(dc.Cells) <= maxTotal {
 			break
 		}
-		c.totalCells -= len(v.Cells)
+		c.totalCells -= len(e.dc.Cells)
 		delete(c.views, k)
 	}
 	if old, exists := c.views[key]; exists {
 		// Racing fetches of one key: replace, don't double-count.
-		c.totalCells -= len(old.Cells)
+		c.totalCells -= len(old.dc.Cells)
 	} else {
 		c.noteWideLocked(key, dc)
 	}
-	c.views[key] = dc
+	c.views[key] = &entry{dc: dc, ver: ver}
 	c.totalCells += len(dc.Cells)
 }
 
@@ -445,13 +818,13 @@ func (c *Relation) noteWideLocked(key string, dc *dataset.DenseCounts) {
 	// wider — wider views cover more subsets.
 	narrowest, nAttrs := -1, len(dc.Attrs)
 	for i, wk := range c.wide {
-		v, ok := c.views[wk]
+		e, ok := c.views[wk]
 		if !ok {
 			narrowest, nAttrs = i, -1
 			break
 		}
-		if len(v.Attrs) < nAttrs {
-			narrowest, nAttrs = i, len(v.Attrs)
+		if len(e.dc.Attrs) < nAttrs {
+			narrowest, nAttrs = i, len(e.dc.Attrs)
 		}
 	}
 	if narrowest >= 0 {
@@ -480,4 +853,8 @@ var (
 	_ source.DenseCounter = (*Relation)(nil)
 	_ source.Closer       = (*Relation)(nil)
 	_ source.Materializer = (*Relation)(nil)
+	_ source.Appender     = (*Relation)(nil)
+	_ source.Relation     = (*Pinned)(nil)
+	_ source.DenseCounter = (*Pinned)(nil)
+	_ source.Materializer = (*Pinned)(nil)
 )

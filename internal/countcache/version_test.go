@@ -1,0 +1,207 @@
+package countcache
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
+	"hypdb/source"
+	"hypdb/source/mem"
+	"hypdb/source/sharded"
+)
+
+func shardedFixture(t *testing.T) *sharded.Relation {
+	t.Helper()
+	b := dataset.NewBuilder("G", "O")
+	for _, r := range [][2]string{
+		{"a", "0"}, {"a", "1"}, {"b", "0"}, {"b", "1"}, {"a", "0"}, {"b", "1"},
+	} {
+		b.MustAdd(r[0], r[1])
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := sharded.Partition(tab, "D", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func sum(m map[source.Key]int) int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// TestDeltaApplicationKeepsCachePrimed is the delta-application contract:
+// after an append, the next query must be served from the upgraded views —
+// zero new backend fetches — and must include the appended rows.
+func TestDeltaApplicationKeepsCachePrimed(t *testing.T) {
+	ctx := context.Background()
+	c := Wrap(shardedFixture(t), 0)
+
+	if err := c.Prime(ctx, []string{"G", "O"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Fetches != 1 {
+		t.Fatalf("after prime: %+v, want 1 fetch", st)
+	}
+
+	res, err := c.Append(ctx, [][]string{{"a", "1"}, {"b", "0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || res.Appended != 2 {
+		t.Fatalf("append result %+v, want version 2, 2 rows", res)
+	}
+	st := c.Stats()
+	if st.DeltaApplied == 0 || st.DeltaDropped != 0 {
+		t.Fatalf("after append: %+v, want the primed view delta-applied", st)
+	}
+
+	// The next query is answered by the upgraded view: no new fetch.
+	before := c.Stats().Fetches
+	counts, err := c.Counts(ctx, []string{"G", "O"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(counts); got != 8 {
+		t.Fatalf("post-append counts sum to %d, want 8", got)
+	}
+	if after := c.Stats().Fetches; after != before {
+		t.Fatalf("post-append query re-fetched (%d -> %d); want delta-served", before, after)
+	}
+	// Subset marginals derive from the upgraded view, still fetch-free.
+	gOnly, err := c.Counts(ctx, []string{"G"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(gOnly); got != 8 {
+		t.Fatalf("marginal sums to %d, want 8", got)
+	}
+	if after := c.Stats().Fetches; after != before {
+		t.Fatalf("marginal re-fetched (%d -> %d)", before, after)
+	}
+	if n, err := c.NumRows(ctx); err != nil || n != 8 {
+		t.Fatalf("NumRows = %d, %v, want 8", n, err)
+	}
+}
+
+// TestDeltaApplicationGrowsDictionaries: an append introducing unseen
+// labels re-strides the cached views to the grown cardinalities.
+func TestDeltaApplicationGrowsDictionaries(t *testing.T) {
+	ctx := context.Background()
+	c := Wrap(shardedFixture(t), 0)
+	if err := c.Prime(ctx, []string{"G", "O"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, [][]string{{"zzz", "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DeltaApplied == 0 {
+		t.Fatalf("grown append not delta-applied: %+v", st)
+	}
+	before := c.Stats().Fetches
+	dc, err := c.DenseCounts(ctx, []string{"G", "O"}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Total != 7 || dc.Cards[0] != 3 {
+		t.Fatalf("grown view total %d cards %v, want 7 and G-card 3", dc.Total, dc.Cards)
+	}
+	if after := c.Stats().Fetches; after != before {
+		t.Fatal("grown view was re-fetched instead of delta-applied")
+	}
+}
+
+// TestPinIsolatesInFlightReaders: a reader pinned before an append keeps
+// observing its version for counts, dictionaries and row counts, while the
+// live handle moves on.
+func TestPinIsolatesInFlightReaders(t *testing.T) {
+	ctx := context.Background()
+	c := Wrap(shardedFixture(t), 0)
+	if err := c.Prime(ctx, []string{"G", "O"}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	pin := c.Pin()
+	pinned, ok := pin.(*Pinned)
+	if !ok {
+		t.Fatalf("Pin over a versioned backend returned %T, want *Pinned", pin)
+	}
+	if pinned.Version() != 1 {
+		t.Fatalf("pin version = %d, want 1", pinned.Version())
+	}
+
+	if _, err := c.Append(ctx, [][]string{{"c", "0"}, {"c", "1"}, {"c", "0"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pin still answers from version 1: 6 rows, two G labels.
+	m, err := pin.Counts(ctx, []string{"G"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(m); got != 6 {
+		t.Fatalf("pinned counts sum to %d, want 6", got)
+	}
+	if l, _ := pin.Labels(ctx, "G"); len(l) != 2 {
+		t.Fatalf("pinned dict = %v, want 2 labels", l)
+	}
+	if n, _ := pin.NumRows(ctx); n != 6 {
+		t.Fatalf("pinned rows = %d, want 6", n)
+	}
+	// Restriction through the pin stays in the pinned epoch.
+	view, err := pin.Restrict(ctx, dataset.Eq{Attr: "O", Value: "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := view.Counts(ctx, []string{"G"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(rm); got != 3 {
+		t.Fatalf("pinned restricted counts sum to %d, want 3", got)
+	}
+
+	// Meanwhile a fresh pin sees the new epoch.
+	m2, err := c.Pin().Counts(ctx, []string{"G"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(m2); got != 9 {
+		t.Fatalf("live counts sum to %d, want 9", got)
+	}
+
+	// An immutable backend pins to the shared cache itself.
+	mc := Wrap(mem.New(mustTable(t)), 0)
+	if mc.Pin() != source.Relation(mc) {
+		t.Error("Pin over an immutable backend should return the cache")
+	}
+}
+
+func mustTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder("A")
+	b.MustAdd("x")
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestAppendThroughImmutableBackend: appends against non-growing backends
+// fail loudly with the sentinel.
+func TestAppendThroughImmutableBackend(t *testing.T) {
+	c := Wrap(mem.New(mustTable(t)), 0)
+	if _, err := c.Append(context.Background(), [][]string{{"y"}}); !errors.Is(err, hyperr.ErrNotAppendable) {
+		t.Fatalf("append on mem backend: err = %v, want ErrNotAppendable", err)
+	}
+}

@@ -260,6 +260,71 @@ func (d *DenseCounts) Project(keep []int) (*DenseCounts, error) {
 	return out, nil
 }
 
+// Grown returns a copy of the view re-strided to the given (element-wise ≥)
+// cardinalities, preserving every count at its original codes. It is the
+// cell-layout half of delta application under a growing dictionary: labels
+// are only ever appended to a dictionary, so an old view's cell (c0,…,ck)
+// keeps exactly those codes in the enlarged space — only the strides move.
+func (d *DenseCounts) Grown(cards []int) (*DenseCounts, error) {
+	if len(cards) != len(d.Cards) {
+		return nil, fmt.Errorf("dataset: grow to %d cardinalities, view has %d", len(cards), len(d.Cards))
+	}
+	for i, c := range cards {
+		if c < d.Cards[i] {
+			return nil, fmt.Errorf("dataset: attribute %s cannot shrink from %d to %d", d.Attrs[i], d.Cards[i], c)
+		}
+	}
+	out, err := NewDenseCounts(d.Attrs, cards)
+	if err != nil {
+		return nil, err
+	}
+	out.Total = d.Total
+
+	outStride := make([]int, len(d.Cards))
+	stride := 1
+	for i, c := range cards {
+		outStride[i] = stride
+		stride *= c
+	}
+	odo := make([]int32, len(d.Cards))
+	outIdx := 0
+	for _, c := range d.Cells {
+		if c != 0 {
+			out.Cells[outIdx] = c
+		}
+		for i := range odo {
+			odo[i]++
+			outIdx += outStride[i]
+			if int(odo[i]) < d.Cards[i] {
+				break
+			}
+			outIdx -= outStride[i] * d.Cards[i]
+			odo[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// AddCells accumulates another view with the same attributes and
+// cardinalities into d — the additive merge of sufficient statistics over
+// disjoint row sets.
+func (d *DenseCounts) AddCells(other *DenseCounts) error {
+	if len(other.Cards) != len(d.Cards) {
+		return fmt.Errorf("dataset: add %d-attribute view into %d-attribute view", len(other.Cards), len(d.Cards))
+	}
+	for i := range d.Cards {
+		if d.Attrs[i] != other.Attrs[i] || d.Cards[i] != other.Cards[i] {
+			return fmt.Errorf("dataset: layouts differ at %d: (%s,%d) vs (%s,%d)",
+				i, d.Attrs[i], d.Cards[i], other.Attrs[i], other.Cards[i])
+		}
+	}
+	for i, c := range other.Cells {
+		d.Cells[i] += c
+	}
+	d.Total += other.Total
+	return nil
+}
+
 // ProjectKeys marginalizes a sparse coded count map onto the given key
 // fields, in order — the sparse counterpart of DenseCounts.Project, shared
 // by the OLAP cube and the materialized entropy provider for views too wide

@@ -45,4 +45,9 @@ var (
 	// group-by counts but cannot produce raw rows. Callers either switch to
 	// a counts-based method or supply a source.Materializer-capable backend.
 	ErrNeedsMaterialization = errors.New("operation needs row-level materialization")
+
+	// ErrNotAppendable marks a streaming-ingestion request against a
+	// relation that cannot grow: only backends implementing source.Appender
+	// (the sharded backend, and anything wrapping one) accept appended rows.
+	ErrNotAppendable = errors.New("relation does not support appends")
 )

@@ -1,8 +1,12 @@
 // Package server implements hypdbd: the HTTP analysis service exposing the
-// HypDB pipeline (upload → analyze → batch → stats) over JSON.
+// HypDB pipeline (upload → append → analyze → batch → stats) over JSON.
 //
-// One Server owns a registry of named, immutable datasets, each wrapped in
-// a long-lived *hypdb.DB session handle. All analyze traffic for a dataset
+// One Server owns a registry of named datasets, each wrapped in a
+// long-lived *hypdb.DB session handle. Datasets opened on the sharded
+// backend (Config.Shards or the request's shards field) additionally
+// accept streaming appends: rows land in a new snapshot version, in-flight
+// analyses keep the version they started on, and the session's count cache
+// absorbs the delta without re-scanning. All analyze traffic for a dataset
 // flows through that one handle, so concurrent and repeated requests share
 // its single-flight covariate-discovery cache — the multi-query sharing of
 // the paper's Sec 6, lifted to the service boundary. Batch requests fan
@@ -51,6 +55,12 @@ type Config struct {
 	MaxUploadBytes int64
 	// MaxDatasets bounds the registry size; zero means 64.
 	MaxDatasets int
+	// Shards, when > 1, serves uploaded and preloaded in-memory datasets
+	// through the sharded partition-parallel backend with that many
+	// horizontal partitions, making them appendable. A request's shards
+	// field overrides it per dataset. Zero or one keeps the plain mem
+	// backend.
+	Shards int
 	// AllowSQLDrivers lists the database/sql driver names clients may use
 	// to register SQL-backed datasets over HTTP (POST /v1/datasets with
 	// driver/dsn/sql_table). Empty disables HTTP SQL registration — an
@@ -107,6 +117,8 @@ type Server struct {
 	analyses       atomic.Int64
 	audits         atomic.Int64
 	auditsInFlight atomic.Int64
+	appends        atomic.Int64
+	rowsAppended   atomic.Int64
 
 	mu       sync.RWMutex
 	datasets map[string]*entry
@@ -115,15 +127,19 @@ type Server struct {
 // entry is one registered dataset: the shared session handle plus the
 // per-dataset concurrency limiter and counters. rows/cols/backend are
 // captured at registration so list/metrics endpoints never block on the
-// storage backend.
+// storage backend; appends keep rows current.
 type entry struct {
 	name    string
 	db      *hypdb.DB
-	rows    int
+	rows    atomic.Int64
 	cols    int
 	backend string
 	sem     chan struct{}
 	created time.Time
+	// Streaming-ingestion counters: completed append requests and their
+	// cumulative admitted rows.
+	appends      atomic.Int64
+	rowsAppended atomic.Int64
 	// acqMu serializes multi-slot semaphore acquisitions (see acquire).
 	acqMu    sync.Mutex
 	analyses atomic.Int64
@@ -176,12 +192,28 @@ func (s *Server) Close() {
 
 // AddDataset registers an in-memory table under name — used by the binary
 // to preload generated datasets and by tests. The table must not be
-// mutated afterwards.
+// mutated afterwards. Config.Shards > 1 serves it through the sharded
+// backend, making it appendable.
 func (s *Server) AddDataset(name string, t *hypdb.Table) error {
-	if _, apiErr := s.register(name, hypdb.Open(t), t.NumRows(), t.NumCols(), "mem"); apiErr != nil {
+	db, backend := s.openMem(t, 0)
+	if _, apiErr := s.register(name, db, t.NumRows(), t.NumCols(), backend); apiErr != nil {
+		db.Close()
 		return errors.New(apiErr.Message)
 	}
 	return nil
+}
+
+// openMem opens an in-memory table on the mem or sharded backend. shards
+// overrides the server default when positive; any value below 2 keeps the
+// plain mem backend.
+func (s *Server) openMem(t *hypdb.Table, shards int) (*hypdb.DB, string) {
+	if shards <= 0 {
+		shards = s.cfg.Shards
+	}
+	if shards > 1 {
+		return hypdb.Open(t, hypdb.WithShards(shards)), "sharded"
+	}
+	return hypdb.Open(t), "mem"
 }
 
 // AddSQLDataset registers a dataset served by the SQL backend: driver and
@@ -255,7 +287,7 @@ func (s *Server) register(name string, db *hypdb.DB, rows, cols int, backend str
 	if _, ok := s.datasets[name]; ok {
 		return nil, &api.Error{
 			Status: http.StatusConflict, Code: api.CodeDatasetExists,
-			Message: fmt.Sprintf("dataset %q already exists (datasets are immutable; delete it first)", name),
+			Message: fmt.Sprintf("dataset %q already exists (delete it first)", name),
 		}
 	}
 	if len(s.datasets) >= s.cfg.maxDatasets() {
@@ -267,12 +299,12 @@ func (s *Server) register(name string, db *hypdb.DB, rows, cols int, backend str
 	e := &entry{
 		name:    name,
 		db:      db,
-		rows:    rows,
 		cols:    cols,
 		backend: backend,
 		sem:     make(chan struct{}, s.cfg.maxConcurrent()),
 		created: s.now(),
 	}
+	e.rows.Store(int64(rows))
 	s.datasets[name] = e
 	return e, nil
 }
@@ -295,6 +327,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
@@ -438,14 +471,72 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, mapError(err))
 		return
 	}
-	e, apiErr := s.register(req.Name, hypdb.Open(tab), tab.NumRows(), tab.NumCols(), "mem")
+	db, backend := s.openMem(tab, req.Shards)
+	e, apiErr := s.register(req.Name, db, tab.NumRows(), tab.NumCols(), backend)
 	if apiErr != nil {
+		db.Close()
 		s.writeError(w, r, apiErr)
 		return
 	}
 
-	s.log.Info("dataset created", "name", req.Name, "rows", tab.NumRows(), "cols", tab.NumCols())
+	s.log.Info("dataset created", "name", req.Name, "backend", backend,
+		"rows", tab.NumRows(), "cols", tab.NumCols())
 	s.writeJSON(w, http.StatusCreated, s.infoOf(e))
+}
+
+// handleAppend streams rows into a sharded dataset. The append reserves
+// one concurrency slot (it contends with analyses for the backend), admits
+// the rows as a new delta partition under a new snapshot version, and
+// returns the dataset's new size. Analyses in flight during the append
+// keep the snapshot they pinned at entry.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	e, apiErr := s.lookup(r.PathValue("name"))
+	if apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	var req api.AppendRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.writeError(w, r, badRequest("append has no rows"))
+		return
+	}
+	for i, row := range req.Rows {
+		if len(row) != e.cols {
+			s.writeError(w, r, badRequest(fmt.Sprintf(
+				"row %d has %d values; dataset %q has %d attributes", i, len(row), e.name, e.cols)))
+			return
+		}
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := e.acquire(ctx, 1)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	defer release()
+
+	start := s.now()
+	res, err := e.db.Append(ctx, req.Rows)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	e.rows.Store(int64(res.NumRows))
+	e.appends.Add(1)
+	e.rowsAppended.Add(int64(res.Appended))
+	s.appends.Add(1)
+	s.rowsAppended.Add(int64(res.Appended))
+	s.log.Info("append", "dataset", e.name, "rows", res.Appended,
+		"version", res.Version, "duration", s.now().Sub(start).String())
+	s.writeJSON(w, http.StatusOK, api.AppendResponse{
+		Appended: res.Appended, Rows: res.NumRows, Version: res.Version,
+	})
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -515,7 +606,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) infoOf(e *entry) api.DatasetInfo {
-	return api.DatasetInfo{Name: e.name, Rows: e.rows, Cols: e.cols, Backend: e.backend, CreatedAt: e.created}
+	info := api.DatasetInfo{
+		Name: e.name, Rows: int(e.rows.Load()), Cols: e.cols,
+		Backend: e.backend, CreatedAt: e.created,
+	}
+	if si, ok := e.db.ShardInfo(); ok {
+		info.Shards, info.Version = si.Shards, si.Version
+	}
+	return info
 }
 
 func (s *Server) lookup(name string) (*entry, *api.Error) {
@@ -791,15 +889,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		AnalysesTotal:    s.analyses.Load(),
 		AuditsTotal:      s.audits.Load(),
 		AuditsInFlight:   s.auditsInFlight.Load(),
+		AppendsTotal:     s.appends.Load(),
+		RowsAppended:     s.rowsAppended.Load(),
 	}
 	for _, e := range entries {
 		st := e.db.Stats()
 		out.Cache.CDComputes += st.CDComputes
 		out.Cache.CDHits += st.CDHits
 		out.PerDataset = append(out.PerDataset, api.DatasetMetrics{
-			Name:     e.name,
-			Rows:     e.rows,
-			Analyses: e.analyses.Load(),
+			Name:         e.name,
+			Rows:         int(e.rows.Load()),
+			Analyses:     e.analyses.Load(),
+			Appends:      e.appends.Load(),
+			RowsAppended: e.rowsAppended.Load(),
 			Audit: api.AuditProgress{
 				Audits:          e.audits.Load(),
 				Running:         e.auditsRunning.Load(),
@@ -896,6 +998,8 @@ func mapError(err error) *api.Error {
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNoOverlap, Message: msg}
 	case errors.Is(err, hypdb.ErrNeedsMaterialization):
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNeedsMaterialize, Message: msg}
+	case errors.Is(err, hypdb.ErrNotAppendable):
+		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNotAppendable, Message: msg}
 	default:
 		return &api.Error{Status: http.StatusInternalServerError, Code: api.CodeInternal, Message: msg}
 	}

@@ -564,3 +564,80 @@ func TestAuditTimeoutReconcilesProgress(t *testing.T) {
 		t.Errorf("failed sweep counted as completed: %+v", ap)
 	}
 }
+
+// TestAppendEndpoint drives the streaming-ingestion surface end to end:
+// sharded registration, appends with version bumps, metrics counters, and
+// the failure modes (unsharded target, ragged rows, missing dataset).
+func TestAppendEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	csv := berkeleyCSV(t)
+
+	info, err := c.CreateShardedDataset(ctx, "berkeley", csv, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Backend != "sharded" || info.Shards != 4 || info.Version != 1 {
+		t.Fatalf("sharded create = %+v", info)
+	}
+	baseRows := info.Rows
+
+	res, err := c.Append(ctx, "berkeley", [][]string{
+		{"Female", "A", "1"}, {"Male", "F", "0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 2 || res.Rows != baseRows+2 || res.Version != 2 {
+		t.Fatalf("append = %+v, want 2 rows onto %d at version 2", res, baseRows)
+	}
+
+	// The registry reflects the growth: row count, partitions, version.
+	list, err := c.Datasets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Rows != baseRows+2 || list[0].Version != 2 || list[0].Shards != 5 {
+		t.Fatalf("post-append list = %+v", list)
+	}
+
+	// Analyses run against the grown dataset.
+	rep, err := c.Analyze(ctx, api.AnalyzeRequest{
+		Dataset: "berkeley",
+		Query:   api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}},
+		Options: api.Options{Seed: 1, SkipDirect: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("nil report after append")
+	}
+
+	// Metrics expose the append counters, service-wide and per dataset.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AppendsTotal != 1 || m.RowsAppended != 2 {
+		t.Fatalf("metrics appends = %d/%d rows, want 1/2", m.AppendsTotal, m.RowsAppended)
+	}
+	if len(m.PerDataset) != 1 || m.PerDataset[0].Appends != 1 || m.PerDataset[0].RowsAppended != 2 {
+		t.Fatalf("per-dataset metrics = %+v", m.PerDataset)
+	}
+
+	// Ragged rows are a client error, reported before touching the backend.
+	if _, err := c.Append(ctx, "berkeley", [][]string{{"F"}}); !hasCode(err, api.CodeBadRequest, http.StatusBadRequest) {
+		t.Fatalf("ragged append: %v", err)
+	}
+	// Appends to unsharded datasets are rejected with the sentinel code.
+	if _, err := c.CreateDataset(ctx, "plain", csv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, "plain", [][]string{{"Female", "A", "1"}}); !hasCode(err, api.CodeNotAppendable, http.StatusUnprocessableEntity) {
+		t.Fatalf("append to mem backend: %v", err)
+	}
+	if _, err := c.Append(ctx, "nope", [][]string{{"Female", "A", "1"}}); !hasCode(err, api.CodeDatasetNotFound, http.StatusNotFound) {
+		t.Fatalf("append to missing dataset: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ package hypdb_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"hypdb"
@@ -17,6 +18,8 @@ import (
 	"hypdb/internal/datagen"
 	"hypdb/internal/dataset"
 	"hypdb/internal/memsql"
+	"hypdb/source"
+	"hypdb/source/sharded"
 	"hypdb/source/sqldb"
 )
 
@@ -68,6 +71,65 @@ func TestCDQueryCollapse(t *testing.T) {
 	}
 	if bs := rel.Stats(); bs.CountQueries > 2 {
 		t.Errorf("sqldb handle reports %d count queries, want ≤ 2", bs.CountQueries)
+	}
+}
+
+// TestShardedQueryCollapse: the partition-parallel fan-out preserves the
+// one-query-per-closure pushdown per shard. Priming a count-cached sharded
+// relation whose K shards are SQL backends issues exactly K finest
+// group-bys (one per shard), and covariate discovery over the primed cache
+// then marginalizes client-side without any further backend round trips.
+func TestShardedQueryCollapse(t *testing.T) {
+	const k = 3
+	tab, _, err := datagen.Random(datagen.RandomSpec{
+		Nodes: 6, AvgDegree: 2, MinCard: 2, MaxCard: 2, Alpha: 0.35, Rows: 4000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rows := tab.NumRows()
+	shards := make([]source.Relation, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*rows/k, (i+1)*rows/k
+		idx := make([]int, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			idx = append(idx, r)
+		}
+		sub, err := tab.SelectRows(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, openSQLBacked(t, fmt.Sprintf("qc_shard_%d", i), sub))
+	}
+	rel, err := sharded.New(ctx, "qc_sharded", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := countcache.Wrap(rel, 0)
+	attrs := tab.Columns()
+
+	memsql.ResetStats()
+	if err := cached.Prime(ctx, attrs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := memsql.SnapshotStats(); st.GroupBys != k {
+		t.Errorf("priming the %d-shard closure issued %d GROUP BY queries, want exactly %d (one per shard)",
+			k, st.GroupBys, k)
+	}
+
+	cfg := core.Config{Method: core.ChiSquaredMethod, Seed: 7, DisableFallback: true}
+	memsql.ResetStats()
+	res, err := core.DiscoverCovariates(ctx, cached, attrs[0], attrs[1:], nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tests == 0 {
+		t.Fatal("no independence tests ran — the assertion would be vacuous")
+	}
+	if st := memsql.SnapshotStats(); st.GroupBys != 0 {
+		t.Errorf("covariate discovery over the primed sharded cache issued %d GROUP BY queries (%d tests), want 0",
+			st.GroupBys, res.Tests)
 	}
 }
 

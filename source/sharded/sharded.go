@@ -1,0 +1,734 @@
+// Package sharded implements HypDB's partition-parallel storage backend: a
+// source.Relation that owns N child relations (horizontal partitions) and
+// serves group-by counts by fanning the same dictionary-coded request to
+// every shard concurrently, then merging the additive dense cell vectors.
+//
+// The merge is sound because the dense sufficient statistic is additive
+// across row partitions (internal/dataset): counts over a union of disjoint
+// row sets are the element-wise sum of the per-partition tabulations —
+// provided every partition is coded in one global dictionary. Each child
+// keeps its own compact per-shard dictionaries; the shard coordinator
+// reconciles them into a single global coding at admission time (a
+// local-code → global-code remap table per shard), so merged cells index
+// consistently no matter how labels are distributed across shards.
+//
+// On top of the fan-out the package adds streaming ingestion with versioned
+// snapshots. Partitions are immutable: Append never mutates an existing
+// child, it admits the appended rows as one new delta partition and bumps
+// the relation's version. A snapshot is therefore nothing more than a
+// pinned partition list plus pinned dictionary lengths — readers holding
+// one are completely isolated from concurrent appends, and caching layers
+// (internal/countcache) tag entries with the version so no analysis mixes
+// epochs. The AppendResult hands back a counts view over just the delta
+// partition, which is exactly the additive patch a primed cache needs to
+// upgrade its views without a full re-tabulation.
+//
+// Children are plain source.Relations: the local goroutine shards used here
+// wrap source/mem tables, but any conforming relation — including a future
+// client-side relation speaking the hypdbd api DTOs to a remote shard —
+// slots into New without changes to the fan-out or the coordinator.
+package sharded
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
+	"hypdb/source"
+	"hypdb/source/mem"
+)
+
+// Relation is the live, appendable root of a sharded dataset. All reads go
+// through an immutable snapshot (View) of the current version, so they are
+// safe to run concurrently with Append.
+type Relation struct {
+	name   string
+	base   string // backend identity prefix, version-independent
+	attrs  []string
+	byName map[string]int
+
+	mu   sync.RWMutex
+	dict *dict
+	cur  *View // snapshot of the current version, rebuilt on Append
+}
+
+// View is one immutable version of a sharded relation: a pinned partition
+// list with pinned global dictionary lengths. Snapshots and restrictions
+// are Views; the root Relation delegates every read to its current one.
+type View struct {
+	name    string
+	backend string
+	attrs   []string
+	byName  map[string]int
+	labels  [][]string // global dictionary per attribute, frozen length
+	parts   []*partition
+	rows    int
+	ver     uint64
+}
+
+// partition is one immutable horizontal slice: a child relation plus the
+// remap tables translating its local dictionary codes into global codes.
+type partition struct {
+	rel   source.Relation
+	remap [][]int32 // schema-order attribute -> local code -> global code
+	rows  int
+}
+
+// dict is the shard coordinator's mutable state: the global dictionaries
+// (append-only — admitting a shard or a delta may extend them, never
+// reorder them, so codes captured by older snapshots stay valid).
+type dict struct {
+	labels [][]string
+	index  []map[string]int32
+}
+
+func newDict(attrs []string) *dict {
+	d := &dict{
+		labels: make([][]string, len(attrs)),
+		index:  make([]map[string]int32, len(attrs)),
+	}
+	for i := range attrs {
+		d.index[i] = make(map[string]int32)
+	}
+	return d
+}
+
+// seed pre-populates attribute i's global dictionary, fixing the code of
+// every listed label before any shard is admitted.
+func (d *dict) seed(i int, labels []string) {
+	for _, l := range labels {
+		if _, ok := d.index[i][l]; !ok {
+			d.index[i][l] = int32(len(d.labels[i]))
+			d.labels[i] = append(d.labels[i], l)
+		}
+	}
+}
+
+// admit registers one child relation: unseen labels extend the global
+// dictionaries (first-seen in shard order), and the child's remap tables
+// are built so its counts can be recoded into the global space.
+func (d *dict) admit(ctx context.Context, rel source.Relation, attrs []string) (*partition, error) {
+	p := &partition{rel: rel, remap: make([][]int32, len(attrs))}
+	n, err := rel.NumRows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p.rows = n
+	for i, a := range attrs {
+		local, err := rel.Labels(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		rm := make([]int32, len(local))
+		for c, l := range local {
+			g, ok := d.index[i][l]
+			if !ok {
+				g = int32(len(d.labels[i]))
+				d.index[i][l] = g
+				d.labels[i] = append(d.labels[i], l)
+			}
+			rm[c] = g
+		}
+		p.remap[i] = rm
+	}
+	return p, nil
+}
+
+// New builds a sharded relation over the given children, which must all
+// expose the same attributes in the same order. The global dictionaries are
+// built by admitting the shards in order (first-seen label wins the lower
+// code), so the coding is deterministic for a fixed shard list.
+func New(ctx context.Context, name string, shards []source.Relation) (*Relation, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("sharded: relation %q needs at least one shard", name)
+	}
+	attrs := append([]string(nil), shards[0].Attributes()...)
+	for _, s := range shards[1:] {
+		got := s.Attributes()
+		if len(got) != len(attrs) {
+			return nil, fmt.Errorf("sharded: shard %q has %d attributes, shard %q has %d",
+				s.Name(), len(got), shards[0].Name(), len(attrs))
+		}
+		for i := range attrs {
+			if got[i] != attrs[i] {
+				return nil, fmt.Errorf("sharded: shard schemas disagree at position %d: %q vs %q",
+					i, got[i], attrs[i])
+			}
+		}
+	}
+	r := &Relation{name: name, attrs: attrs, byName: indexAttrs(attrs), dict: newDict(attrs)}
+	r.base = fmt.Sprintf("sharded:%p", r)
+	parts := make([]*partition, 0, len(shards))
+	for _, s := range shards {
+		p, err := r.dict.admit(ctx, s, attrs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	r.cur = r.buildViewLocked(parts, 1)
+	return r, nil
+}
+
+// Partition splits an in-memory table into n contiguous row-range shards
+// and returns the sharded relation over them. The global dictionaries are
+// seeded from the table's own, so the relation's coding — and therefore
+// every Counts result — is identical to the mem backend's over the same
+// table. n is clamped to [1, rows].
+func Partition(t *dataset.Table, name string, n int) (*Relation, error) {
+	rows := t.NumRows()
+	if n < 1 {
+		n = 1
+	}
+	if rows > 0 && n > rows {
+		n = rows
+	}
+	attrs := t.Columns()
+	r := &Relation{name: name, attrs: attrs, byName: indexAttrs(attrs), dict: newDict(attrs)}
+	r.base = fmt.Sprintf("sharded:%p", r)
+	for i, a := range attrs {
+		c, err := t.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		r.dict.seed(i, c.Labels())
+	}
+	parts := make([]*partition, 0, n)
+	ctx := context.Background()
+	for s := 0; s < n; s++ {
+		lo, hi := rows*s/n, rows*(s+1)/n
+		idx := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		sub, err := t.SelectRows(idx)
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.dict.admit(ctx, mem.NewNamed(sub, name), attrs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	r.cur = r.buildViewLocked(parts, 1)
+	return r, nil
+}
+
+func indexAttrs(attrs []string) map[string]int {
+	m := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		m[a] = i
+	}
+	return m
+}
+
+// buildViewLocked captures the current dictionary lengths and the given
+// partition list as one immutable View. Callers hold r.mu (or have
+// exclusive access during construction).
+func (r *Relation) buildViewLocked(parts []*partition, ver uint64) *View {
+	labels := make([][]string, len(r.attrs))
+	rows := 0
+	for i := range r.attrs {
+		labels[i] = r.dict.labels[i] // header copy: length frozen here
+	}
+	for _, p := range parts {
+		rows += p.rows
+	}
+	return &View{
+		name:    r.name,
+		backend: fmt.Sprintf("%s@v%d", r.base, ver),
+		attrs:   r.attrs,
+		byName:  r.byName,
+		labels:  labels,
+		parts:   parts,
+		rows:    rows,
+		ver:     ver,
+	}
+}
+
+// Snapshot implements source.Versioned: the returned View is immune to
+// concurrent appends.
+func (r *Relation) Snapshot() (source.Relation, uint64) {
+	v := r.snap()
+	return v, v.ver
+}
+
+// snap returns the current version's View.
+func (r *Relation) snap() *View {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cur
+}
+
+// SnapshotVersion implements source.Versioned.
+func (r *Relation) SnapshotVersion() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cur.ver
+}
+
+// NumPartitions returns the current partition count: the initial shards
+// plus one delta partition per Append so far.
+func (r *Relation) NumPartitions() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.cur.parts)
+}
+
+// Append implements source.Appender: the rows (label values in schema
+// order) become one new immutable delta partition, unseen labels extend the
+// global dictionaries, and the version is bumped. Readers holding an older
+// snapshot are unaffected. The result's Delta relation serves counts over
+// exactly the appended rows in the global coding, for cache patching. An
+// empty batch is a no-op that keeps the current version.
+func (r *Relation) Append(ctx context.Context, rows [][]string) (*source.AppendResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		if len(row) != len(r.attrs) {
+			return nil, fmt.Errorf("sharded: append row %d has %d values, schema has %d attributes",
+				i, len(row), len(r.attrs))
+		}
+	}
+	if len(rows) == 0 {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return &source.AppendResult{NumRows: r.cur.rows, Version: r.cur.ver}, nil
+	}
+	b := dataset.NewBuilder(r.attrs...)
+	for _, row := range rows {
+		if err := b.Add(row...); err != nil {
+			return nil, err
+		}
+	}
+	tab, err := b.Table()
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, err := r.dict.admit(ctx, mem.NewNamed(tab, r.name), r.attrs)
+	if err != nil {
+		return nil, err
+	}
+	// Copy-on-append: snapshots hold the old slice, which must never be
+	// extended in place underneath them.
+	parts := make([]*partition, 0, len(r.cur.parts)+1)
+	parts = append(parts, r.cur.parts...)
+	parts = append(parts, p)
+	ver := r.cur.ver + 1
+	r.cur = r.buildViewLocked(parts, ver)
+
+	delta := r.buildViewLocked([]*partition{p}, ver)
+	delta.backend += "|delta"
+	return &source.AppendResult{
+		Appended: len(rows),
+		NumRows:  r.cur.rows,
+		Version:  ver,
+		Delta:    delta,
+	}, nil
+}
+
+// Close releases every child shard that holds external resources.
+func (r *Relation) Close() error {
+	parts := r.snap().parts
+	var first error
+	for _, p := range parts {
+		if cl, ok := p.rel.(source.Closer); ok {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// The root delegates every read to the current snapshot.
+
+// Name implements source.Relation.
+func (r *Relation) Name() string { return r.name }
+
+// Backend implements source.Relation. The identity incorporates the current
+// version, so statistics cached against it are never shared across epochs.
+func (r *Relation) Backend() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cur.backend
+}
+
+// Attributes implements source.Relation.
+func (r *Relation) Attributes() []string { return r.attrs }
+
+// HasAttribute implements source.Relation.
+func (r *Relation) HasAttribute(name string) bool { _, ok := r.byName[name]; return ok }
+
+// NumRows implements source.Relation.
+func (r *Relation) NumRows(ctx context.Context) (int, error) {
+	return r.snap().NumRows(ctx)
+}
+
+// Labels implements source.Relation.
+func (r *Relation) Labels(ctx context.Context, attr string) ([]string, error) {
+	return r.snap().Labels(ctx, attr)
+}
+
+// Cardinality implements the optional distinct-count capability.
+func (r *Relation) Cardinality(ctx context.Context, attr string) (int, error) {
+	return r.snap().Cardinality(ctx, attr)
+}
+
+// Counts implements source.Relation by fanning out over the current
+// snapshot's partitions.
+func (r *Relation) Counts(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
+	return r.snap().Counts(ctx, attrs, where)
+}
+
+// DenseCounts implements source.DenseCounter.
+func (r *Relation) DenseCounts(ctx context.Context, attrs []string, where source.Predicate, budget int) (*dataset.DenseCounts, error) {
+	return r.snap().DenseCounts(ctx, attrs, where, budget)
+}
+
+// Restrict implements source.Relation.
+func (r *Relation) Restrict(ctx context.Context, where source.Predicate) (source.Relation, error) {
+	if where == nil {
+		return r, nil
+	}
+	return r.snap().Restrict(ctx, where)
+}
+
+// Materialize implements source.Materializer when every child does.
+func (r *Relation) Materialize(ctx context.Context) (*dataset.Table, error) {
+	return r.snap().Materialize(ctx)
+}
+
+// ---------------------------------------------------------------------------
+// View: the immutable read path
+
+// Name implements source.Relation.
+func (v *View) Name() string { return v.name }
+
+// Backend implements source.Relation.
+func (v *View) Backend() string { return v.backend }
+
+// Attributes implements source.Relation.
+func (v *View) Attributes() []string { return v.attrs }
+
+// HasAttribute implements source.Relation.
+func (v *View) HasAttribute(name string) bool { _, ok := v.byName[name]; return ok }
+
+// Version returns the snapshot version this view was pinned at.
+func (v *View) Version() uint64 { return v.ver }
+
+// NumRows implements source.Relation.
+func (v *View) NumRows(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return v.rows, nil
+}
+
+// Labels implements source.Relation: the global dictionary of attr, frozen
+// at this view's version.
+func (v *View) Labels(ctx context.Context, attr string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	i, ok := v.byName[attr]
+	if !ok {
+		return nil, fmt.Errorf("sharded: relation %q has no attribute %q: %w", v.name, attr, hyperr.ErrUnknownAttribute)
+	}
+	return v.labels[i], nil
+}
+
+// Cardinality implements the optional distinct-count capability.
+func (v *View) Cardinality(ctx context.Context, attr string) (int, error) {
+	l, err := v.Labels(ctx, attr)
+	if err != nil {
+		return 0, err
+	}
+	return len(l), nil
+}
+
+// Counts implements source.Relation: dense fan-out and merge when the
+// global cell space fits the default budget, sparse per-shard maps merged
+// key-by-key otherwise.
+func (v *View) Counts(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
+	dc, err := v.DenseCounts(ctx, attrs, where, 0)
+	if err != nil {
+		return nil, err
+	}
+	if dc != nil {
+		return dc.Map(), nil
+	}
+	return v.fanSparse(ctx, attrs, where)
+}
+
+// DenseCounts implements source.DenseCounter: every shard tabulates its
+// partition concurrently (dense when the child supports it, recoded sparse
+// otherwise) and the additive cell vectors are merged into one global view.
+func (v *View) DenseCounts(ctx context.Context, attrs []string, where source.Predicate, budget int) (*dataset.DenseCounts, error) {
+	if err := source.CheckAttrs(v, attrs...); err != nil {
+		return nil, err
+	}
+	cards := make([]int, len(attrs))
+	for i, a := range attrs {
+		cards[i] = len(v.labels[v.byName[a]])
+	}
+	if _, ok := dataset.DenseSize(cards, dataset.EffectiveBudget(budget, v.rows)); !ok {
+		return nil, nil
+	}
+	out, err := dataset.NewDenseCounts(attrs, cards)
+	if err != nil {
+		return nil, err
+	}
+	strides := make([]int, len(attrs))
+	s := 1
+	for i, c := range cards {
+		strides[i] = s
+		s *= c
+	}
+	var merge sync.Mutex
+	err = v.fanParts(ctx, func(ctx context.Context, p *partition) error {
+		rm := v.remapFor(p, attrs)
+		local, err := source.Dense(ctx, p.rel, attrs, where, budget)
+		if err != nil {
+			return err
+		}
+		if local != nil {
+			merge.Lock()
+			defer merge.Unlock()
+			return scatterDense(out, strides, rm, local)
+		}
+		counts, err := p.rel.Counts(ctx, attrs, where)
+		if err != nil {
+			return err
+		}
+		merge.Lock()
+		defer merge.Unlock()
+		return scatterSparse(out, strides, rm, counts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fanSparse merges per-shard sparse maps under the global coding — the path
+// for cell spaces above the dense budget.
+func (v *View) fanSparse(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
+	if err := source.CheckAttrs(v, attrs...); err != nil {
+		return nil, err
+	}
+	out := make(map[source.Key]int)
+	var merge sync.Mutex
+	err := v.fanParts(ctx, func(ctx context.Context, p *partition) error {
+		rm := v.remapFor(p, attrs)
+		counts, err := p.rel.Counts(ctx, attrs, where)
+		if err != nil {
+			return err
+		}
+		merge.Lock()
+		defer merge.Unlock()
+		codes := make([]int32, len(attrs))
+		for k, c := range counts {
+			for i := range codes {
+				codes[i] = rm[i][k.Field(i)]
+			}
+			out[dataset.EncodeKey(codes...)] += c
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// remapFor selects the partition's remap tables for the requested
+// attributes, in request order.
+func (v *View) remapFor(p *partition, attrs []string) [][]int32 {
+	rm := make([][]int32, len(attrs))
+	for i, a := range attrs {
+		rm[i] = p.remap[v.byName[a]]
+	}
+	return rm
+}
+
+// scatterDense adds a shard's local dense tabulation into the global view:
+// each non-zero local cell is decoded to local codes, remapped, and added
+// at its global index.
+func scatterDense(out *dataset.DenseCounts, strides []int, rm [][]int32, local *dataset.DenseCounts) error {
+	odo := make([]int32, len(local.Cards))
+	for _, cnt := range local.Cells {
+		if cnt != 0 {
+			idx := 0
+			for i, c := range odo {
+				g := rm[i][c]
+				idx += strides[i] * int(g)
+			}
+			out.Cells[idx] += cnt
+			out.Total += cnt
+		}
+		for i := range odo {
+			odo[i]++
+			if int(odo[i]) < local.Cards[i] {
+				break
+			}
+			odo[i] = 0
+		}
+	}
+	return nil
+}
+
+// scatterSparse adds a shard's sparse counts into the global dense view.
+func scatterSparse(out *dataset.DenseCounts, strides []int, rm [][]int32, counts map[source.Key]int) error {
+	for k, cnt := range counts {
+		idx := 0
+		for i := range rm {
+			idx += strides[i] * int(rm[i][k.Field(i)])
+		}
+		out.Cells[idx] += cnt
+		out.Total += cnt
+	}
+	return nil
+}
+
+// fanParts runs f over every partition on a bounded worker pool, cancelling
+// the remaining work on the first error.
+func (v *View) fanParts(ctx context.Context, f func(ctx context.Context, p *partition) error) error {
+	if len(v.parts) == 0 {
+		return ctx.Err()
+	}
+	if len(v.parts) == 1 {
+		return f(ctx, v.parts[0])
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(v.parts) {
+		workers = len(v.parts)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	work := make(chan *partition)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				if ctx.Err() != nil {
+					continue // drain
+				}
+				if err := f(ctx, p); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+				}
+			}
+		}()
+	}
+	for _, p := range v.parts {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}
+
+// Restrict implements source.Relation: every child is restricted (with its
+// own compacted dictionaries) and the surviving labels are reconciled into
+// a fresh global coding, admitted in shard order. For contiguous row-range
+// partitions that makes the restricted coding identical to the mem
+// backend's first-seen compaction over the same selection.
+func (v *View) Restrict(ctx context.Context, where source.Predicate) (source.Relation, error) {
+	if where == nil {
+		return v, nil
+	}
+	d := newDict(v.attrs)
+	parts := make([]*partition, 0, len(v.parts))
+	rows := 0
+	for _, p := range v.parts {
+		child, err := p.rel.Restrict(ctx, where)
+		if err != nil {
+			return nil, err
+		}
+		np, err := d.admit(ctx, child, v.attrs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, np)
+		rows += np.rows
+	}
+	labels := make([][]string, len(v.attrs))
+	copy(labels, d.labels)
+	return &View{
+		name:    v.name,
+		backend: fmt.Sprintf("%s|σ:%s", v.backend, where.SQL()),
+		attrs:   v.attrs,
+		byName:  v.byName,
+		labels:  labels,
+		parts:   parts,
+		rows:    rows,
+		ver:     v.ver,
+	}, nil
+}
+
+// Materialize implements source.Materializer when every child does: the
+// partitions' rows are concatenated in shard order under the global
+// dictionaries. For a relation built by Partition, that reproduces the
+// original table's row order and coding exactly.
+func (v *View) Materialize(ctx context.Context) (*dataset.Table, error) {
+	cols := make([]*dataset.Column, len(v.attrs))
+	codes := make([][]int32, len(v.attrs))
+	for i := range v.attrs {
+		codes[i] = make([]int32, 0, v.rows)
+	}
+	for _, p := range v.parts {
+		tab, err := source.Materialize(ctx, p.rel)
+		if err != nil {
+			return nil, err
+		}
+		for i, a := range v.attrs {
+			c, err := tab.Column(a)
+			if err != nil {
+				return nil, err
+			}
+			rm := p.remap[i]
+			for _, lc := range c.Codes() {
+				codes[i] = append(codes[i], rm[lc])
+			}
+		}
+	}
+	for i, a := range v.attrs {
+		c, err := dataset.NewColumnFromCodes(a, codes[i], v.labels[i])
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	return dataset.New(cols...)
+}
+
+var (
+	_ source.Relation     = (*Relation)(nil)
+	_ source.DenseCounter = (*Relation)(nil)
+	_ source.Materializer = (*Relation)(nil)
+	_ source.Appender     = (*Relation)(nil)
+	_ source.Versioned    = (*Relation)(nil)
+	_ source.Closer       = (*Relation)(nil)
+	_ source.Relation     = (*View)(nil)
+	_ source.DenseCounter = (*View)(nil)
+	_ source.Materializer = (*View)(nil)
+)

@@ -1,0 +1,330 @@
+package sharded_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hypdb/internal/datagen"
+	"hypdb/internal/dataset"
+	"hypdb/source"
+	"hypdb/source/mem"
+	"hypdb/source/sharded"
+)
+
+// equalCounts asserts two counts maps are byte-identical: same keys (same
+// dictionary codes), same counts.
+func equalCounts(t *testing.T, label string, got, want map[source.Key]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d keys, want %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok || g != w {
+			t.Fatalf("%s: key %v = %d, want %d", label, k.Codes(), got[k], w)
+		}
+	}
+}
+
+func equalDense(t *testing.T, label string, got, want *dataset.DenseCounts) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("%s: dense nil mismatch: got %v, want %v", label, got == nil, want == nil)
+	}
+	if got == nil {
+		return
+	}
+	if !reflect.DeepEqual(got.Attrs, want.Attrs) || !reflect.DeepEqual(got.Cards, want.Cards) {
+		t.Fatalf("%s: layout (%v,%v), want (%v,%v)", label, got.Attrs, got.Cards, want.Attrs, want.Cards)
+	}
+	if got.Total != want.Total || !reflect.DeepEqual(got.Cells, want.Cells) {
+		t.Fatalf("%s: cells differ (totals %d vs %d)", label, got.Total, want.Total)
+	}
+}
+
+// TestShardedMergeMatchesMem is the merge-correctness property test: for
+// random tables and shard counts, every sharded Counts/DenseCounts result —
+// unpredicated, predicated, and over Restrict views — must be byte-identical
+// to the mem backend over the unpartitioned table.
+func TestShardedMergeMatchesMem(t *testing.T) {
+	ctx := context.Background()
+	for trial := 0; trial < 4; trial++ {
+		tab, _, err := datagen.Random(datagen.RandomSpec{
+			Nodes: 5, MinCard: 2, MaxCard: 5, Rows: 400, Seed: int64(100 + trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := mem.New(tab)
+		attrs := tab.Columns()
+		rng := rand.New(rand.NewSource(int64(trial)))
+		for _, shards := range []int{1, 2, 3, 4, 7} {
+			sh, err := sharded.Partition(tab, "D", shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("trial%d/shards%d", trial, shards)
+
+			// Dictionaries must agree with the source table exactly.
+			for _, a := range attrs {
+				want, _ := ref.Labels(ctx, a)
+				got, err := sh.Labels(ctx, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: dict(%s) = %v, want %v", name, a, got, want)
+				}
+			}
+
+			// A handful of random attribute subsets, sparse and dense.
+			for rep := 0; rep < 5; rep++ {
+				k := 1 + rng.Intn(3)
+				sel := append([]string(nil), attrs...)
+				rng.Shuffle(len(sel), func(i, j int) { sel[i], sel[j] = sel[j], sel[i] })
+				sel = sel[:k]
+
+				want, err := ref.Counts(ctx, sel, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sh.Counts(ctx, sel, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalCounts(t, name+"/counts", got, want)
+
+				wantD, err := ref.DenseCounts(ctx, sel, nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotD, err := sh.DenseCounts(ctx, sel, nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalDense(t, name+"/dense", gotD, wantD)
+
+				// Predicated counts pass through to the shards and must
+				// still merge to the reference.
+				labels, _ := ref.Labels(ctx, attrs[0])
+				pred := dataset.Eq{Attr: attrs[0], Value: labels[rng.Intn(len(labels))]}
+				wantP, err := ref.Counts(ctx, sel, pred)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotP, err := sh.Counts(ctx, sel, pred)
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalCounts(t, name+"/where", gotP, wantP)
+			}
+
+			// Restrict: compacted dictionaries and counts must match the mem
+			// backend's restriction of the same predicate.
+			labels, _ := ref.Labels(ctx, attrs[1])
+			pred := dataset.Not{Pred: dataset.Eq{Attr: attrs[1], Value: labels[0]}}
+			wantView, err := ref.Restrict(ctx, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotView, err := sh.Restrict(ctx, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range attrs {
+				wl, _ := wantView.Labels(ctx, a)
+				gl, err := gotView.Labels(ctx, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gl, wl) {
+					t.Fatalf("%s: restricted dict(%s) = %v, want %v", name, a, gl, wl)
+				}
+			}
+			sel := attrs[:2]
+			wantR, err := wantView.Counts(ctx, sel, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotR, err := gotView.Counts(ctx, sel, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalCounts(t, name+"/restrict", gotR, wantR)
+
+			// Materialization must reproduce the original table row-for-row.
+			mt, err := sh.Materialize(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mt.NumRows() != tab.NumRows() {
+				t.Fatalf("%s: materialized %d rows, want %d", name, mt.NumRows(), tab.NumRows())
+			}
+			for _, a := range attrs {
+				wc := tab.MustColumn(a)
+				gc := mt.MustColumn(a)
+				if !reflect.DeepEqual(gc.Codes(), wc.Codes()) || !reflect.DeepEqual(gc.Labels(), wc.Labels()) {
+					t.Fatalf("%s: materialized column %s differs from source", name, a)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedAppendSnapshots exercises streaming ingestion: appends create
+// new versions, snapshots pin old ones, deltas carry exactly the appended
+// rows, and unseen labels extend the global dictionaries without disturbing
+// existing codes.
+func TestShardedAppendSnapshots(t *testing.T) {
+	ctx := context.Background()
+	b := dataset.NewBuilder("G", "O")
+	for _, r := range [][2]string{{"a", "0"}, {"a", "1"}, {"b", "0"}, {"b", "1"}} {
+		b.MustAdd(r[0], r[1])
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := sharded.Partition(tab, "D", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.SnapshotVersion(); got != 1 {
+		t.Fatalf("initial version = %d, want 1", got)
+	}
+	snap, ver := sh.Snapshot()
+	if ver != 1 {
+		t.Fatalf("snapshot version = %d, want 1", ver)
+	}
+
+	res, err := sh.Append(ctx, [][]string{{"c", "1"}, {"a", "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 2 || res.NumRows != 6 || res.Version != 2 {
+		t.Fatalf("append result = %+v, want 2 rows, 6 total, version 2", res)
+	}
+	if sh.SnapshotVersion() != 2 || sh.NumPartitions() != 3 {
+		t.Fatalf("post-append version %d / partitions %d, want 2 / 3", sh.SnapshotVersion(), sh.NumPartitions())
+	}
+
+	// The pinned snapshot still sees the old epoch: 4 rows, 2 G labels.
+	if n, _ := snap.NumRows(ctx); n != 4 {
+		t.Errorf("pinned snapshot rows = %d, want 4", n)
+	}
+	if l, _ := snap.Labels(ctx, "G"); len(l) != 2 {
+		t.Errorf("pinned snapshot dict = %v, want 2 labels", l)
+	}
+	// The live relation sees the new epoch, with "c" appended at code 2.
+	if l, _ := sh.Labels(ctx, "G"); !reflect.DeepEqual(l, []string{"a", "b", "c"}) {
+		t.Errorf("live dict = %v, want [a b c]", l)
+	}
+	live, err := sh.Counts(ctx, []string{"G"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLive := map[source.Key]int{
+		dataset.EncodeKey(0): 3, // a
+		dataset.EncodeKey(1): 2, // b
+		dataset.EncodeKey(2): 1, // c
+	}
+	equalCounts(t, "live counts", live, wantLive)
+
+	// The delta serves exactly the appended rows, in the global coding.
+	dcounts, err := res.Delta.Counts(ctx, []string{"G", "O"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta := map[source.Key]int{
+		dataset.EncodeKey(2, 1): 1, // (c, 1)
+		dataset.EncodeKey(0, 1): 1, // (a, 1)
+	}
+	equalCounts(t, "delta counts", dcounts, wantDelta)
+
+	// Backend identities must separate epochs and the delta view.
+	if snap.Backend() == sh.Backend() {
+		t.Error("snapshot and live backend identities must differ across versions")
+	}
+
+	// Empty appends are version-preserving no-ops.
+	res2, err := sh.Append(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Version != 2 || res2.Appended != 0 {
+		t.Fatalf("empty append result = %+v, want version 2, 0 rows", res2)
+	}
+
+	// Ragged rows are rejected.
+	if _, err := sh.Append(ctx, [][]string{{"only-one"}}); err == nil {
+		t.Error("ragged append accepted")
+	}
+}
+
+// TestShardedConcurrentAppendsAndReads drives appends and fan-out reads in
+// parallel; run under -race this checks the snapshot isolation of the
+// partition list and the append-only dictionaries. Every read must observe
+// a consistent epoch: a total row count that is 4 plus a multiple of 2.
+func TestShardedConcurrentAppendsAndReads(t *testing.T) {
+	ctx := context.Background()
+	b := dataset.NewBuilder("G", "O")
+	for _, r := range [][2]string{{"a", "0"}, {"a", "1"}, {"b", "0"}, {"b", "1"}} {
+		b.MustAdd(r[0], r[1])
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := sharded.Partition(tab, "D", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := sh.Append(ctx, [][]string{
+					{fmt.Sprintf("g%d", w), "0"}, {fmt.Sprintf("g%d", i%3), "1"},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				counts, err := sh.Counts(ctx, []string{"G", "O"}, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				total := 0
+				for _, c := range counts {
+					total += c
+				}
+				if total < 4 || (total-4)%2 != 0 {
+					errs <- fmt.Errorf("torn read: total %d", total)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n, _ := sh.NumRows(ctx); n != 4+4*8*2 {
+		t.Fatalf("final rows = %d, want %d", n, 4+4*8*2)
+	}
+}

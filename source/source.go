@@ -207,7 +207,9 @@ func CheckAttrs(rel Relation, attrs ...string) error {
 
 // countsOnly strips the Materializer capability off a relation, leaving
 // the pure counts contract. Close is forwarded so resource-holding
-// backends are still released through the wrapper.
+// backends are still released through the wrapper, and DenseCounts is
+// forwarded so wrapping a dense-capable backend does not silently demote
+// source.Dense to the generic sparse-fold path.
 type countsOnly struct {
 	Relation
 }
@@ -215,8 +217,8 @@ type countsOnly struct {
 // CountsOnly returns a view of rel that hides row-level access: paths that
 // need raw rows fail with ErrNeedsMaterialization. It is how tests — and
 // deployments that must never pull raw rows out of a store — enforce the
-// aggregate-only contract. The Closer capability is preserved, so closing
-// a session over the wrapper still releases the backend.
+// aggregate-only contract. The Closer, DenseCounter and Cardinality
+// capabilities are preserved: counts-only means no rows, not slow counts.
 func CountsOnly(rel Relation) Relation {
 	return countsOnly{Relation: rel}
 }
@@ -230,6 +232,18 @@ func (c countsOnly) Close() error {
 	return nil
 }
 
+// DenseCounts implements DenseCounter by probing the wrapped relation,
+// falling back to folding the sparse Counts result when the backend has no
+// dense path of its own.
+func (c countsOnly) DenseCounts(ctx context.Context, attrs []string, where Predicate, budget int) (*dataset.DenseCounts, error) {
+	return Dense(ctx, c.Relation, attrs, where, budget)
+}
+
+// Cardinality forwards the optional distinct-count capability.
+func (c countsOnly) Cardinality(ctx context.Context, attr string) (int, error) {
+	return Card(ctx, c.Relation, attr)
+}
+
 // Restrict keeps the counts-only guarantee across restriction.
 func (c countsOnly) Restrict(ctx context.Context, where Predicate) (Relation, error) {
 	r, err := c.Relation.Restrict(ctx, where)
@@ -240,4 +254,47 @@ func (c countsOnly) Restrict(ctx context.Context, where Predicate) (Relation, er
 		return c, nil
 	}
 	return countsOnly{Relation: r}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming ingestion and versioned snapshots
+
+// AppendResult describes one successful Append: how many rows landed, the
+// relation's new totals, and a counts view over just the appended rows so
+// caching layers can patch primed statistics instead of discarding them.
+type AppendResult struct {
+	// Appended is the number of rows this call added.
+	Appended int
+	// NumRows is the relation's total row count after the append.
+	NumRows int
+	// Version is the relation's snapshot version after the append.
+	Version uint64
+	// Delta is a read-only relation over exactly the appended rows, coded
+	// in the parent relation's (post-append) global dictionaries — its
+	// Counts/DenseCounts are additive deltas for any cached view of the
+	// previous version.
+	Delta Relation
+}
+
+// Appender is the optional streaming-ingestion capability: relations that
+// can grow by whole rows implement it. Append must be safe for concurrent
+// use with readers; each call produces a new snapshot version.
+type Appender interface {
+	Append(ctx context.Context, rows [][]string) (*AppendResult, error)
+}
+
+// Versioned is the optional snapshot capability of mutable relations.
+// Readers that must not observe concurrent appends take a Snapshot — an
+// immutable view of one version — and work against it; caching layers tag
+// entries with the version they were computed at so no analysis ever mixes
+// epochs.
+type Versioned interface {
+	// SnapshotVersion returns the current version. It starts at 1 and
+	// increases with every successful Append.
+	SnapshotVersion() uint64
+	// Snapshot returns an immutable view of the current version together
+	// with that version number. The view's Backend identity incorporates
+	// the version, so statistics cached against it can never be shared
+	// across epochs.
+	Snapshot() (Relation, uint64)
 }

@@ -131,6 +131,57 @@ func TestMaterializeHelper(t *testing.T) {
 	}
 }
 
+// countingCounter wraps a relation and records how often the dense path is
+// actually taken, so tests can tell a forwarded capability from the
+// generic sparse fallback (both produce identical counts).
+type countingCounter struct {
+	source.Relation
+	denseCalls int
+}
+
+func (c *countingCounter) DenseCounts(ctx context.Context, attrs []string, where source.Predicate, budget int) (*dataset.DenseCounts, error) {
+	c.denseCalls++
+	return source.Dense(ctx, c.Relation, attrs, where, budget)
+}
+
+func TestCountsOnlyForwardsDenseCounter(t *testing.T) {
+	ctx := context.Background()
+	inner := &countingCounter{Relation: source.CountsOnly(mem.New(fixture(t)))}
+	wrapped := source.CountsOnly(inner)
+
+	// The wrapper must still advertise the capability...
+	if _, ok := wrapped.(source.DenseCounter); !ok {
+		t.Fatal("CountsOnly dropped the DenseCounter capability")
+	}
+	// ...and route Dense through the backend's own dense path.
+	dc, err := source.Dense(ctx, wrapped, []string{"A", "B"}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc == nil || dc.Total != 6 {
+		t.Fatalf("dense counts through CountsOnly = %+v, want total 6", dc)
+	}
+	if inner.denseCalls == 0 {
+		t.Error("CountsOnly fell back to the sparse path instead of forwarding DenseCounts")
+	}
+
+	// The capability must survive restriction, and the row-hiding guarantee
+	// must hold on both the wrapper and its restrictions.
+	view, err := wrapped.Restrict(ctx, dataset.Eq{Attr: "T", Value: "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := view.(source.DenseCounter); !ok {
+		t.Error("CountsOnly restriction dropped the DenseCounter capability")
+	}
+	if _, err := source.Materialize(ctx, view); !errors.Is(err, hyperr.ErrNeedsMaterialization) {
+		t.Errorf("restricted counts-only Materialize err = %v, want ErrNeedsMaterialization", err)
+	}
+	if card, err := source.Card(ctx, wrapped, "A"); err != nil || card != 2 {
+		t.Errorf("Card through CountsOnly = %d, %v, want 2, nil", card, err)
+	}
+}
+
 func TestMemRestrictCompacts(t *testing.T) {
 	ctx := context.Background()
 	rel := mem.New(fixture(t))
