@@ -7,6 +7,9 @@
 //	GET    /v1/datasets              list datasets
 //	GET    /v1/datasets/{name}/stats schema, size and cache counters
 //	POST   /v1/datasets/{name}/append  stream rows into a sharded dataset
+//	POST   /v1/datasets/{name}/counts  dictionary-coded group-by counts
+//	                                   (the remote-shard transport; wire
+//	                                   types live in hypdb/source/remote)
 //	DELETE /v1/datasets/{name}       drop a dataset
 //	POST   /v1/analyze               analyze one query
 //	POST   /v1/analyze/batch         analyze a batch over a shared worker pool
@@ -54,6 +57,8 @@ const (
 	CodeNoOverlap          = "no_overlap"            // rewriting impossible: no block has every treatment value
 	CodeNeedsMaterialize   = "needs_materialization" // row-level analysis on a counts-only storage backend
 	CodeNotAppendable      = "not_appendable"        // append to a dataset whose backend cannot grow
+	CodePeerUnavailable    = "peer_unavailable"      // a remote shard peer is down past its retry budget
+	CodeVersionSkew        = "version_skew"          // peer snapshot version differs from the one pinned
 	CodeDatasetNotFound    = "dataset_not_found"
 	CodeDatasetExists      = "dataset_exists"
 	CodeTooManyDatasets    = "too_many_datasets"
@@ -117,6 +122,9 @@ type DatasetInfo struct {
 	// Version is a sharded dataset's snapshot version: 1 at registration,
 	// incremented by every non-empty append. Zero for unsharded backends.
 	Version uint64 `json:"version,omitempty"`
+	// Peers lists the base URLs of the hypdbd peers serving a
+	// remote-sharded dataset (backend "remote"); empty otherwise.
+	Peers []string `json:"peers,omitempty"`
 }
 
 // AppendRequest is the POST /v1/datasets/{name}/append body: rows to
@@ -408,6 +416,10 @@ type AuditReport struct {
 	Unbiased      []AuditUnbiased `json:"unbiased,omitempty"`
 	Pruned        []AuditPruned   `json:"pruned,omitempty"`
 	ElapsedMS     float64         `json:"elapsed_ms"`
+	// Degraded is true when the sweep was answered with at least one remote
+	// shard missing (degraded reads): every statistic may rest on partial
+	// counts and the report must be treated as stale.
+	Degraded bool `json:"degraded,omitempty"`
 	// Text is the human-readable ranked table, as the CLI prints it.
 	Text string `json:"text,omitempty"`
 }
@@ -424,6 +436,7 @@ func AuditReportFromCore(r *hypdb.AuditReport) *AuditReport {
 		Evaluated:     r.Evaluated,
 		TotalFindings: r.TotalFindings,
 		ElapsedMS:     float64(r.Elapsed.Microseconds()) / 1000,
+		Degraded:      r.Degraded,
 		Text:          r.String(),
 	}
 	for _, e := range r.Excluded {
@@ -619,6 +632,10 @@ type Report struct {
 	DirectComparisons []Comparison     `json:"direct_comparisons,omitempty"`
 
 	Timing Timing `json:"timing"`
+	// Degraded is true when the analysis was answered with at least one
+	// remote shard missing (degraded reads): the statistics may rest on
+	// partial counts and the report must be treated as stale.
+	Degraded bool `json:"degraded,omitempty"`
 	// Text is the human-readable report panel, as the CLI prints it.
 	Text string `json:"text,omitempty"`
 }
@@ -638,7 +655,8 @@ func ReportFromCore(r *hypdb.Report) *Report {
 			ExplainMS: float64(r.Timing.Explain.Microseconds()) / 1000,
 			ResolveMS: float64(r.Timing.Resolve.Microseconds()) / 1000,
 		},
-		Text: r.String(),
+		Degraded: r.Degraded,
+		Text:     r.String(),
 	}
 	if r.Answer != nil {
 		out.Answer = rowsFromCore(r.Answer.Rows)
@@ -781,20 +799,51 @@ type DatasetMetrics struct {
 	// cumulative admitted rows. Both stay zero for unsharded datasets.
 	Appends      int64 `json:"appends,omitempty"`
 	RowsAppended int64 `json:"rows_appended,omitempty"`
+	// CountsServed counts group-by counts requests this dataset answered on
+	// the remote-shard transport (POST /v1/datasets/{name}/counts) — the
+	// server side of a cluster. Zero when no coordinator queries this node.
+	CountsServed int64 `json:"counts_served,omitempty"`
+	// Remote holds per-peer transport counters when this dataset is the
+	// coordinator of remote shards (backend "remote") — the client side.
+	Remote []PeerMetrics `json:"remote,omitempty"`
+}
+
+// PeerMetrics is one remote shard peer's transport counters, as seen by
+// the coordinating dataset.
+type PeerMetrics struct {
+	// URL is the peer's base URL; Version the snapshot version pinned when
+	// the peer was opened.
+	URL     string `json:"url"`
+	Version uint64 `json:"version,omitempty"`
+	// Healthy is the health-check loop's latest verdict.
+	Healthy bool `json:"healthy"`
+	// Requests counts counts calls issued to the peer, Retries the extra
+	// attempts after failures, Errors the calls that failed for good, and
+	// CountsServed the calls that returned counts.
+	Requests     int64 `json:"requests"`
+	Retries      int64 `json:"retries,omitempty"`
+	Errors       int64 `json:"errors,omitempty"`
+	CountsServed int64 `json:"counts_served,omitempty"`
+	// LastRTTMillis and AvgRTTMillis measure successful round trips.
+	LastRTTMillis float64 `json:"last_rtt_ms,omitempty"`
+	AvgRTTMillis  float64 `json:"avg_rtt_ms,omitempty"`
 }
 
 // Metrics is the GET /v1/metrics response: service-wide counters backed by
 // each dataset session's Stats.
 type Metrics struct {
-	UptimeSeconds    float64          `json:"uptime_seconds"`
-	Datasets         int              `json:"datasets"`
-	RequestsTotal    int64            `json:"requests_total"`
-	RequestsInFlight int64            `json:"requests_in_flight"`
-	AnalysesTotal    int64            `json:"analyses_total"`
-	AuditsTotal      int64            `json:"audits_total"`
-	AuditsInFlight   int64            `json:"audits_in_flight"`
-	AppendsTotal     int64            `json:"appends_total"`
-	RowsAppended     int64            `json:"rows_appended"`
-	Cache            CacheStats       `json:"cache"`
-	PerDataset       []DatasetMetrics `json:"per_dataset,omitempty"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Datasets         int     `json:"datasets"`
+	RequestsTotal    int64   `json:"requests_total"`
+	RequestsInFlight int64   `json:"requests_in_flight"`
+	AnalysesTotal    int64   `json:"analyses_total"`
+	AuditsTotal      int64   `json:"audits_total"`
+	AuditsInFlight   int64   `json:"audits_in_flight"`
+	AppendsTotal     int64   `json:"appends_total"`
+	RowsAppended     int64   `json:"rows_appended"`
+	// CountsServed counts group-by counts requests answered on the
+	// remote-shard transport across all datasets.
+	CountsServed int64            `json:"counts_served,omitempty"`
+	Cache        CacheStats       `json:"cache"`
+	PerDataset   []DatasetMetrics `json:"per_dataset,omitempty"`
 }

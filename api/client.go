@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
 // Client is a typed HTTP client for a hypdbd server.
@@ -25,13 +27,39 @@ type Client struct {
 }
 
 // NewClient creates a client for the server at baseURL (scheme and host,
-// e.g. "http://localhost:8080"). A nil httpClient uses http.DefaultClient;
-// per-call deadlines come from the context.
+// e.g. "http://localhost:8080"). A nil httpClient uses DefaultHTTPClient —
+// an http.Client with connection and overall request timeouts, unlike
+// http.DefaultClient, so a hung peer cannot block a caller forever even
+// when the context carries no deadline. Context deadlines still apply and
+// win whenever they are stricter than the client's own timeout.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = DefaultHTTPClient()
 	}
 	return &Client{baseURL: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// DefaultHTTPClient returns the http.Client NewClient falls back to when
+// given nil: 10s dial and TLS handshake timeouts, a 30s
+// response-header timeout, and a 15-minute overall request timeout — long
+// enough for a heavyweight audit over a large dataset, short enough that a
+// wedged server eventually surfaces as an error. Note http.Client.Timeout
+// is an upper bound: a context with a LONGER deadline does not extend it,
+// so callers running longer-than-15-minute requests should pass their own
+// client.
+func DefaultHTTPClient() *http.Client {
+	return &http.Client{
+		Timeout: 15 * time.Minute,
+		Transport: &http.Transport{
+			Proxy:                 http.ProxyFromEnvironment,
+			DialContext:           (&net.Dialer{Timeout: 10 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+			MaxIdleConns:          100,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
 }
 
 // CreateDataset uploads CSV text as a new named dataset.
@@ -179,7 +207,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if err != nil {
 		return fmt.Errorf("api: %s %s: %w", method, path, err)
 	}
-	defer resp.Body.Close()
+	// Always drain the body before closing: a connection with unread bytes
+	// is torn down instead of returned to the keep-alive pool, which would
+	// turn every hot-path counts call into a fresh TCP (and TLS) handshake.
+	defer func() {
+		drain(resp.Body)
+		resp.Body.Close()
+	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return decodeError(resp)
 	}
@@ -190,6 +224,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("api: decoding %s %s response: %w", method, path, err)
 	}
 	return nil
+}
+
+// drain discards what remains of a response body, capped so a hostile or
+// broken server cannot make us read unbounded garbage just to save a
+// connection. Past the cap the connection is sacrificed (Close discards it).
+func drain(body io.Reader) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20)) //nolint:errcheck
 }
 
 // decodeError turns a failure response into an *Error, synthesizing one

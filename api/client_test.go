@@ -1,0 +1,141 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientReusesConnections is the regression test for the keep-alive
+// bug: do() used to return without draining resp.Body when the caller
+// passed no output value (DeleteDataset, and any response with trailing
+// bytes past the decoder), which tears the connection down instead of
+// returning it to the pool — every subsequent call then pays a fresh TCP
+// handshake. A client that drains properly performs many calls over one
+// connection.
+func TestClientReusesConnections(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodDelete:
+			w.WriteHeader(http.StatusNoContent)
+		case r.URL.Path == "/healthz":
+			json.NewEncoder(w).Encode(Health{Status: "ok"}) //nolint:errcheck
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	var newConns atomic.Int64
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if !info.Reused {
+				newConns.Add(1)
+			}
+		},
+	}
+	ctx := httptrace.WithClientTrace(context.Background(), trace)
+	c := NewClient(srv.URL, nil)
+
+	for i := 0; i < 5; i++ {
+		// DeleteDataset decodes nothing (out == nil) — the path that used
+		// to leak the unread body.
+		if err := c.DeleteDataset(ctx, "d"); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if _, err := c.Health(ctx); err != nil {
+			t.Fatalf("health %d: %v", i, err)
+		}
+	}
+	if got := newConns.Load(); got != 1 {
+		t.Errorf("10 requests dialed %d connections, want 1 (bodies not drained?)", got)
+	}
+}
+
+// TestClientDrainsPastDecodedValue covers the second leak: a success body
+// with bytes after the decoded JSON value (e.g. a trailing newline plus
+// padding) must still be drained for the connection to be reused.
+func TestClientDrainsPastDecodedValue(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(Health{Status: "ok"}) //nolint:errcheck
+		w.Write([]byte(strings.Repeat(" ", 4096)))      //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	var newConns atomic.Int64
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if !info.Reused {
+				newConns.Add(1)
+			}
+		},
+	}
+	ctx := httptrace.WithClientTrace(context.Background(), trace)
+	c := NewClient(srv.URL, nil)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Health(ctx); err != nil {
+			t.Fatalf("health %d: %v", i, err)
+		}
+	}
+	if got := newConns.Load(); got != 1 {
+		t.Errorf("4 requests dialed %d connections, want 1", got)
+	}
+}
+
+// TestDefaultHTTPClientHasTimeouts guards the NewClient(nil) fallback: it
+// must never be http.DefaultClient, whose zero timeout lets a hung server
+// block a caller forever.
+func TestDefaultHTTPClientHasTimeouts(t *testing.T) {
+	hc := DefaultHTTPClient()
+	if hc == http.DefaultClient {
+		t.Fatal("DefaultHTTPClient returned http.DefaultClient")
+	}
+	if hc.Timeout <= 0 {
+		t.Errorf("DefaultHTTPClient Timeout = %v, want > 0", hc.Timeout)
+	}
+	tr, ok := hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("DefaultHTTPClient transport is %T, want *http.Transport", hc.Transport)
+	}
+	if tr.ResponseHeaderTimeout <= 0 {
+		t.Errorf("ResponseHeaderTimeout = %v, want > 0", tr.ResponseHeaderTimeout)
+	}
+	if tr.MaxIdleConnsPerHost <= 0 {
+		t.Errorf("MaxIdleConnsPerHost = %d, want > 0 (keep-alive pooling)", tr.MaxIdleConnsPerHost)
+	}
+	// Each call builds a fresh client, so callers mutating one cannot
+	// affect another.
+	if DefaultHTTPClient() == hc {
+		t.Error("DefaultHTTPClient returns a shared instance")
+	}
+}
+
+// TestDefaultClientTimeoutBounds documents that http.Client.Timeout is an
+// upper bound a longer context does not extend: requests against a wedged
+// server fail by the client's own deadline.
+func TestDefaultClientTimeoutBounds(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // wedge until the test ends
+	}))
+	defer func() { close(release); srv.Close() }()
+
+	hc := DefaultHTTPClient()
+	hc.Timeout = 50 * time.Millisecond
+	c := NewClient(srv.URL, hc)
+	start := time.Now()
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("request against a wedged server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("request took %s, want the client timeout to cut it off", elapsed)
+	}
+}

@@ -81,5 +81,15 @@ func (db *DB) Audit(ctx context.Context, spec AuditSpec, opts ...Option) (*Audit
 			o.Discover = db.discoverFunc(rel.Backend(), whereKey)
 		}
 	}
-	return core.Audit(ctx, rel, spec, o)
+	// Staleness marking: if the storage layer's degraded-serve counter grew
+	// during the sweep, at least one read was answered with a shard missing
+	// and the whole report may rest on partial counts. The check is
+	// conservative under concurrency (another call's degraded read marks
+	// this report too), which errs on the side of flagging.
+	before := db.degradedServes()
+	rep, err := core.Audit(ctx, rel, spec, o)
+	if err == nil && db.degradedServes() > before {
+		rep.Degraded = true
+	}
+	return rep, err
 }

@@ -7,6 +7,7 @@
 //	hypdbd [-addr :8080] [-request-timeout 2m] [-max-concurrent N]
 //	       [-max-upload-mb 64] [-max-datasets 64] [-shards N]
 //	       [-preload name[:rows],...] [-sql name=driver,dsn,table]...
+//	       [-peer name=url1,url2,...]... [-peer-degraded]
 //	       [-seed 1] [-log text|json] [-grace 15s]
 //
 // Endpoints (see the api package for the wire types):
@@ -20,6 +21,10 @@
 //	                                 stream rows into a sharded dataset
 //	                                 (new snapshot version; in-flight
 //	                                 analyses keep theirs)
+//	POST   /v1/datasets/{name}/counts
+//	                                 dictionary-coded group-by counts — the
+//	                                 remote-shard transport another hypdbd
+//	                                 node's -peer datasets speak
 //	DELETE /v1/datasets/{name}       drop a dataset
 //	POST   /v1/analyze               analyze one query
 //	POST   /v1/analyze/batch         analyze a batch (shared CD cache)
@@ -36,7 +41,13 @@
 // `hypdb datasets`, e.g. "berkeley,flight:12000"). -sql registers a dataset served
 // directly by a SQL database with count pushdown; the driver must be
 // compiled into the binary (the in-process "memsql" test driver is; add
-// blank imports for others). On SIGINT/SIGTERM the server
+// blank imports for others). -peer registers a dataset whose shards are
+// other hypdbd nodes: "name=url1,url2" opens one remote-shard child per
+// base URL — each must already serve a dataset called name — and this node
+// coordinates them under one global dictionary, so a cluster serves one
+// logical catalog. -peer-degraded lets those datasets keep answering (with
+// reports marked stale) when a peer dies instead of failing reads.
+// On SIGINT/SIGTERM the server
 // stops accepting requests and waits up to -grace for in-flight analyses;
 // when the grace period expires their contexts are cancelled, which aborts
 // permutation loops and discovery searches promptly. A second signal
@@ -69,6 +80,13 @@ type sqlSpecs []string
 func (s *sqlSpecs) String() string     { return strings.Join(*s, " ") }
 func (s *sqlSpecs) Set(v string) error { *s = append(*s, v); return nil }
 
+// peerSpecs collects repeatable -peer flags of the form
+// "name=url1,url2,...".
+type peerSpecs []string
+
+func (s *peerSpecs) String() string     { return strings.Join(*s, " ") }
+func (s *peerSpecs) Set(v string) error { *s = append(*s, v); return nil }
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "hypdbd: %v\n", err)
@@ -88,6 +106,9 @@ func run() error {
 	var sqlDatasets sqlSpecs
 	flag.Var(&sqlDatasets, "sql", `SQL-backed dataset to register at startup, "name=driver,dsn,table" (repeatable; dsn may contain commas)`)
 	allowSQL := flag.String("allow-sql-drivers", "", `comma-separated driver names clients may use to register SQL datasets over HTTP (empty disables the endpoint's SQL form)`)
+	var peerDatasets peerSpecs
+	flag.Var(&peerDatasets, "peer", `remote-sharded dataset to register at startup, "name=url1,url2,..." (repeatable; each URL is a hypdbd peer already serving the dataset)`)
+	peerDegraded := flag.Bool("peer-degraded", false, "serve -peer datasets from surviving shards (reports marked stale) when a peer is down, instead of failing reads")
 	seed := flag.Int64("seed", 1, "seed for preloaded generators")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain window before in-flight analyses are cancelled")
@@ -127,6 +148,11 @@ func run() error {
 	}
 	for _, spec := range sqlDatasets {
 		if err := registerSQLDataset(srv, spec, log); err != nil {
+			return err
+		}
+	}
+	for _, spec := range peerDatasets {
+		if err := registerPeerDataset(srv, spec, *peerDegraded, log); err != nil {
 			return err
 		}
 	}
@@ -228,6 +254,29 @@ func registerSQLDataset(srv *server.Server, spec string, log *slog.Logger) error
 		return fmt.Errorf("-sql %q: %w", spec, err)
 	}
 	log.Info("registered SQL dataset", "name", name, "driver", driver, "table", table)
+	return nil
+}
+
+// registerPeerDataset parses one -peer spec and registers the dataset over
+// its remote shards.
+func registerPeerDataset(srv *server.Server, spec string, degraded bool, log *slog.Logger) error {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf(`-peer %q: want "name=url1,url2,..."`, spec)
+	}
+	var peers []string
+	for _, u := range strings.Split(rest, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			peers = append(peers, u)
+		}
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf(`-peer %q: want "name=url1,url2,..."`, spec)
+	}
+	if err := srv.AddRemoteDataset(context.Background(), name, peers, degraded); err != nil {
+		return fmt.Errorf("-peer %q: %w", spec, err)
+	}
+	log.Info("registered remote-sharded dataset", "name", name, "peers", len(peers), "degraded", degraded)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"hypdb/internal/query"
 	"hypdb/source"
 	"hypdb/source/mem"
+	"hypdb/source/remote"
 	"hypdb/source/sharded"
 	"hypdb/source/sqldb"
 )
@@ -69,7 +70,10 @@ type Stats struct {
 type OpenOption func(*openConfig)
 
 type openConfig struct {
-	shards int
+	shards     int
+	remotes    []string
+	remoteOpts remote.Options
+	degraded   bool
 }
 
 // WithShards opens the table behind the partition-parallel sharded backend
@@ -81,6 +85,33 @@ type openConfig struct {
 // the unsharded backend.
 func WithShards(n int) OpenOption {
 	return func(c *openConfig) { c.shards = n }
+}
+
+// WithRemoteShards names the hypdbd peers whose copies of the dataset form
+// the shards of an OpenRemote session — one source/remote child per base
+// URL, fanned out by the sharded coordinator under one global dictionary.
+// Repeated options accumulate. Ignored by Open/OpenCSV.
+func WithRemoteShards(urls ...string) OpenOption {
+	return func(c *openConfig) { c.remotes = append(c.remotes, urls...) }
+}
+
+// WithRemoteOptions tunes the remote-shard transport (per-attempt request
+// timeouts, retry budget and backoff, health-probe interval) for every
+// peer of an OpenRemote session. The default is remote.Options' zero
+// value, i.e. the package defaults. Ignored by Open/OpenCSV.
+func WithRemoteOptions(o remote.Options) OpenOption {
+	return func(c *openConfig) { c.remoteOpts = o }
+}
+
+// WithDegradedReads lets an OpenRemote session keep answering when a peer
+// is down: a shard failing as unreachable (ErrPeerUnavailable) is skipped
+// and the surviving shards answer alone, with every affected Report or
+// AuditReport marked Degraded — partial counts, treat as stale. Without
+// this option (the default) a lost peer fails the read with a typed error.
+// Version skew (ErrVersionSkew) always fails closed, degraded or not.
+// Ignored by Open/OpenCSV.
+func WithDegradedReads() OpenOption {
+	return func(c *openConfig) { c.degraded = true }
 }
 
 // Open creates a session handle over an in-memory table (the mem backend,
@@ -123,6 +154,90 @@ func OpenCSV(path string, opts ...OpenOption) (*DB, error) {
 // (SQL) the backend.
 func OpenSource(rel source.Relation) *DB {
 	return &DB{rel: countcache.Wrap(rel, 0), cd: make(map[string]*cdEntry)}
+}
+
+// OpenRemote creates a session handle over a dataset served by remote
+// hypdbd peers: one source/remote child is opened per WithRemoteShards URL
+// (each pinned to the peer's current snapshot version by the registration
+// handshake), and the sharded coordinator reconciles their dictionaries
+// into one global coding — a cluster of hypdbd nodes serving one logical
+// catalog. The handle owns the children; Close releases them (stopping
+// their health-check loops).
+//
+// Reads fail with ErrPeerUnavailable when a peer is down (or, under
+// WithDegradedReads, degrade to the surviving shards and mark reports
+// stale) and with ErrVersionSkew when a peer's dataset moved to another
+// snapshot version — never a hang, never a mixed-epoch result. The context
+// bounds the registration handshakes.
+func OpenRemote(ctx context.Context, name string, opts ...OpenOption) (*DB, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.remotes) == 0 {
+		return nil, fmt.Errorf("hypdb: OpenRemote needs at least one peer URL (WithRemoteShards)")
+	}
+	children := make([]source.Relation, 0, len(cfg.remotes))
+	closeAll := func() {
+		for _, c := range children {
+			if cl, ok := c.(source.Closer); ok {
+				cl.Close() //nolint:errcheck // best-effort teardown on a failed open
+			}
+		}
+	}
+	for _, u := range cfg.remotes {
+		child, err := remote.Open(ctx, u, name, cfg.remoteOpts)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("hypdb: opening remote shard %s: %w", u, err)
+		}
+		children = append(children, child)
+	}
+	sh, err := sharded.New(ctx, name, children)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	sh.SetDegradedReads(cfg.degraded)
+	return OpenSource(sh), nil
+}
+
+// RemotePeers reports the transport counters of every remote shard behind
+// an OpenRemote session — per-peer health, pinned version, request/retry/
+// error counts and round-trip times — and nil for sessions with no remote
+// children.
+func (db *DB) RemotePeers() []remote.PeerStats {
+	rel := db.rel
+	if c, ok := rel.(*countcache.Relation); ok {
+		rel = c.Inner()
+	}
+	ch, ok := rel.(interface{ Children() []source.Relation })
+	if !ok {
+		return nil
+	}
+	var out []remote.PeerStats
+	for _, c := range ch.Children() {
+		if r, ok := c.(*remote.Relation); ok {
+			out = append(out, r.Stats())
+		}
+	}
+	return out
+}
+
+// degradedServes reads the storage layer's degraded-serve counter (zero
+// for backends without degraded reads). Comparing it before and after a
+// pipeline run tells whether that run may have read partial counts; the
+// check is conservative — a concurrent call's degraded read can mark this
+// one's report stale — which errs on the side of flagging.
+func (db *DB) degradedServes() uint64 {
+	rel := db.rel
+	if c, ok := rel.(*countcache.Relation); ok {
+		rel = c.Inner()
+	}
+	if d, ok := rel.(interface{ DegradedServes() uint64 }); ok {
+		return d.DegradedServes()
+	}
+	return 0
 }
 
 // OpenSQL creates a session handle over one table of a database/sql
@@ -289,7 +404,12 @@ func (db *DB) Analyze(ctx context.Context, q Query, opts ...Option) (*Report, er
 			o.Discover = db.discoverFunc(rel.Backend(), whereKey)
 		}
 	}
-	return core.Analyze(ctx, rel, q, o)
+	before := db.degradedServes()
+	rep, err := core.Analyze(ctx, rel, q, o)
+	if err == nil && db.degradedServes() > before {
+		rep.Degraded = true
+	}
+	return rep, err
 }
 
 // AnalyzeAll analyzes a batch of queries over a worker pool (WithWorkers

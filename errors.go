@@ -53,4 +53,18 @@ var (
 	// backend behind WithShards, and custom backends opting in — accept
 	// streamed rows; plain mem and SQL handles remain immutable.
 	ErrNotAppendable = hyperr.ErrNotAppendable
+
+	// ErrPeerUnavailable reports a remote shard (a hypdbd peer opened by
+	// OpenRemote) that could not be reached: connection refused, timed out
+	// past the retry budget, or 5xx until retries ran out. Without
+	// WithDegradedReads the failure aborts the read; with it, the
+	// surviving shards answer alone and the report is marked Degraded.
+	ErrPeerUnavailable = hyperr.ErrPeerUnavailable
+
+	// ErrVersionSkew reports a remote peer whose dataset moved to a
+	// different snapshot version than the one pinned when the remote
+	// relation was opened. Mixing epochs would silently corrupt
+	// statistics, so the read fails — closed, never degraded — until the
+	// remote dataset is re-opened at the new version.
+	ErrVersionSkew = hyperr.ErrVersionSkew
 )

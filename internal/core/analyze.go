@@ -123,6 +123,13 @@ type Report struct {
 	DirectComparisons []ComparisonReport
 
 	Timing Timing
+
+	// Degraded is true when the analysis read counts with at least one
+	// remote shard missing (degraded reads over a remote-sharded
+	// relation): the statistics may rest on partial data and the report
+	// must be treated as stale. Set by the facade, which watches the
+	// storage layer's degraded-serve counter across the run.
+	Degraded bool
 }
 
 // Analyze runs the full HypDB pipeline on a query: detect bias, explain it,

@@ -209,6 +209,12 @@ type AuditReport struct {
 	Pruned   []AuditPruned
 	// Elapsed is the sweep's wall-clock time.
 	Elapsed time.Duration
+	// Degraded is true when the sweep read counts with at least one remote
+	// shard missing (degraded reads over a remote-sharded relation): every
+	// count, test and ranking may rest on partial data and the report must
+	// be treated as stale. Set by the facade, which watches the storage
+	// layer's degraded-serve counter across the sweep.
+	Degraded bool
 }
 
 // auditGroup is the unit of sweep work: one treatment attribute, the two
@@ -847,6 +853,9 @@ func (r *AuditReport) WriteText(w io.Writer) error {
 	}
 	p("Audited %d candidate queries over %d treatments × %d outcomes (%d evaluated, %d pruned) in %s.\n",
 		r.Candidates, len(r.Treatments), len(r.Outcomes), r.Evaluated, len(r.Pruned), r.Elapsed.Round(time.Millisecond))
+	if r.Degraded {
+		p("STALE: at least one remote shard was unreachable during the sweep; all statistics rest on partial counts.\n")
+	}
 	if len(r.Findings) == 0 {
 		p("No biased queries found.\n")
 	} else {

@@ -14,6 +14,10 @@ func (r *Report) WriteText(w io.Writer) error {
 	}
 	p("SQL Query:\n%s\n\n", indent(r.OriginalSQL, "  "))
 
+	if r.Degraded {
+		p("STALE: at least one remote shard was unreachable during this analysis; all statistics rest on partial counts.\n\n")
+	}
+
 	p("Query Answers:\n")
 	for _, row := range r.Answer.Rows {
 		p("  %s%s: %s  (n=%d)\n", row.Treatment, ctxSuffix(row.Context), fmtFloats(row.Avgs), row.Count)

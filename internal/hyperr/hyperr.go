@@ -50,4 +50,17 @@ var (
 	// relation that cannot grow: only backends implementing source.Appender
 	// (the sharded backend, and anything wrapping one) accept appended rows.
 	ErrNotAppendable = errors.New("relation does not support appends")
+
+	// ErrPeerUnavailable marks a remote shard that could not be reached:
+	// the peer refused connections, timed out past the retry budget, or
+	// answered 5xx until retries ran out. Coordinators either fail the
+	// sweep or degrade to the surviving shards (marking the result stale).
+	ErrPeerUnavailable = errors.New("remote peer unavailable")
+
+	// ErrVersionSkew marks a remote counts answer computed at a different
+	// snapshot version than the coordinator pinned at registration — the
+	// peer's dataset was appended to or replaced underneath the handle.
+	// Mixing epochs would silently corrupt statistics, so the call fails
+	// instead; re-open the remote dataset to adopt the new version.
+	ErrVersionSkew = errors.New("remote peer snapshot version skew")
 )

@@ -20,7 +20,7 @@ import (
 
 // publicPackages are the package directories (repo-relative) whose exported
 // API must be fully documented.
-var publicPackages = []string{".", "api", "source", "source/mem", "source/sqldb"}
+var publicPackages = []string{".", "api", "source", "source/mem", "source/remote", "source/sqldb"}
 
 // repoRoot locates the repository root from this file's path.
 func repoRoot(t *testing.T) string {

@@ -38,6 +38,9 @@ import (
 
 	"hypdb"
 	"hypdb/api"
+	"hypdb/internal/countcache"
+	"hypdb/source"
+	"hypdb/source/remote"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -119,6 +122,7 @@ type Server struct {
 	auditsInFlight atomic.Int64
 	appends        atomic.Int64
 	rowsAppended   atomic.Int64
+	countsServed   atomic.Int64
 
 	mu       sync.RWMutex
 	datasets map[string]*entry
@@ -140,6 +144,9 @@ type entry struct {
 	// cumulative admitted rows.
 	appends      atomic.Int64
 	rowsAppended atomic.Int64
+	// countsServed counts group-by counts requests answered on the
+	// remote-shard transport (this node acting as someone's shard).
+	countsServed atomic.Int64
 	// acqMu serializes multi-slot semaphore acquisitions (see acquire).
 	acqMu    sync.Mutex
 	analyses atomic.Int64
@@ -237,6 +244,38 @@ func (s *Server) AddSQLDataset(ctx context.Context, name, driver, dsn, table str
 	return nil
 }
 
+// AddRemoteDataset registers a dataset served by remote hypdbd peers: one
+// remote-shard child is opened per peer base URL (pinned to that peer's
+// current snapshot version by the counts-endpoint handshake) and the
+// sharded coordinator merges them under one global dictionary, so this
+// node serves the cluster's logical catalog. With degraded true, a peer
+// that dies later is skipped and reports are marked stale; otherwise a
+// lost peer fails reads with peer_unavailable. Registration is an operator
+// action (the -peer flag) and is deliberately not exposed over HTTP — a
+// request-crafted peer URL would let clients make this server dial
+// arbitrary hosts, the same reasoning that keeps SQL DSN registration
+// behind Config.AllowSQLDrivers.
+func (s *Server) AddRemoteDataset(ctx context.Context, name string, peers []string, degraded bool) error {
+	opts := []hypdb.OpenOption{hypdb.WithRemoteShards(peers...)}
+	if degraded {
+		opts = append(opts, hypdb.WithDegradedReads())
+	}
+	db, err := hypdb.OpenRemote(ctx, name, opts...)
+	if err != nil {
+		return err
+	}
+	rows, cols, err := sizeOf(ctx, db)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	if _, apiErr := s.register(name, db, rows, cols, "remote"); apiErr != nil {
+		db.Close()
+		return errors.New(apiErr.Message)
+	}
+	return nil
+}
+
 // sqlDriverAllowed reports whether HTTP clients may register datasets
 // through the named driver.
 func (s *Server) sqlDriverAllowed(driver string) bool {
@@ -328,6 +367,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
+	mux.HandleFunc("POST /v1/datasets/{name}/counts", s.handleCounts)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
@@ -527,7 +567,16 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, mapError(err))
 		return
 	}
-	e.rows.Store(int64(res.NumRows))
+	// Monotonic update: concurrent appends can reach this line out of order
+	// (the one that appended last may store first), and a plain Store would
+	// leave the gauge stale-low until the next append. NumRows only grows,
+	// so the larger value is always the newer one.
+	for {
+		cur := e.rows.Load()
+		if int64(res.NumRows) <= cur || e.rows.CompareAndSwap(cur, int64(res.NumRows)) {
+			break
+		}
+	}
 	e.appends.Add(1)
 	e.rowsAppended.Add(int64(res.Appended))
 	s.appends.Add(1)
@@ -537,6 +586,119 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, api.AppendResponse{
 		Appended: res.Appended, Rows: res.NumRows, Version: res.Version,
 	})
+}
+
+// handleCounts serves dictionary-coded group-by counts to remote-shard
+// coordinators — the server side of the cluster transport (wire types in
+// hypdb/source/remote). The request is evaluated against a pinned snapshot
+// of the dataset: when the coordinator sends the version it pinned at
+// registration and this node's dataset has since moved on, the answer is
+// 409 version_skew rather than counts from a different epoch. A request
+// with include_schema true additionally returns the (optionally
+// restricted) view's schema and dictionaries — the registration handshake.
+func (s *Server) handleCounts(w http.ResponseWriter, r *http.Request) {
+	e, apiErr := s.lookup(r.PathValue("name"))
+	if apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+	var req remote.CountsRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := e.acquire(ctx, 1)
+	if err != nil {
+		s.writeError(w, r, mapError(err))
+		return
+	}
+	defer release()
+
+	// Pin one snapshot for the whole request: the version check, the counts
+	// and the schema all describe the same epoch even if an append lands
+	// mid-request.
+	serving := e.db.Relation()
+	var ver uint64
+	if cc, ok := serving.(*countcache.Relation); ok {
+		pinned := cc.Pin()
+		serving = pinned
+		if p, ok := pinned.(*countcache.Pinned); ok {
+			ver = p.Version()
+		}
+	}
+	if req.ExpectVersion != 0 && req.ExpectVersion != ver {
+		s.writeError(w, r, &api.Error{
+			Status: http.StatusConflict, Code: api.CodeVersionSkew,
+			Message: fmt.Sprintf("dataset %q is at snapshot version %d, caller pinned %d (re-open the remote dataset)",
+				e.name, ver, req.ExpectVersion),
+		})
+		return
+	}
+	if req.Restrict != "" {
+		pred, err := hypdb.ParsePredicate(req.Restrict)
+		if err != nil {
+			s.writeError(w, r, mapError(err))
+			return
+		}
+		serving, err = serving.Restrict(ctx, pred)
+		if err != nil {
+			s.writeError(w, r, mapError(err))
+			return
+		}
+	}
+
+	resp := remote.CountsResponse{Version: ver}
+	if req.IncludeSchema {
+		attrs := serving.Attributes()
+		labels := make([][]string, len(attrs))
+		for i, a := range attrs {
+			l, err := serving.Labels(ctx, a)
+			if err != nil {
+				s.writeError(w, r, mapError(err))
+				return
+			}
+			labels[i] = l
+		}
+		rows, err := serving.NumRows(ctx)
+		if err != nil {
+			s.writeError(w, r, mapError(err))
+			return
+		}
+		resp.Schema = &remote.Schema{
+			Attrs: attrs, Labels: labels, Rows: rows,
+			Version: ver, Backend: serving.Backend(),
+		}
+	} else {
+		var where source.Predicate
+		if req.Where != "" {
+			where, err = hypdb.ParsePredicate(req.Where)
+			if err != nil {
+				s.writeError(w, r, mapError(err))
+				return
+			}
+		}
+		counts, err := serving.Counts(ctx, req.Attrs, where)
+		if err != nil {
+			s.writeError(w, r, mapError(err))
+			return
+		}
+		resp.Groups = make([][]int32, 0, len(counts))
+		resp.Counts = make([]int, 0, len(counts))
+		for k, c := range counts {
+			g := make([]int32, len(req.Attrs))
+			for i := range req.Attrs {
+				g[i] = k.Field(i)
+			}
+			resp.Groups = append(resp.Groups, g)
+			resp.Counts = append(resp.Counts, c)
+		}
+		e.countsServed.Add(1)
+		s.countsServed.Add(1)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -612,6 +774,9 @@ func (s *Server) infoOf(e *entry) api.DatasetInfo {
 	}
 	if si, ok := e.db.ShardInfo(); ok {
 		info.Shards, info.Version = si.Shards, si.Version
+	}
+	for _, p := range e.db.RemotePeers() {
+		info.Peers = append(info.Peers, p.URL)
 	}
 	return info
 }
@@ -891,17 +1056,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		AuditsInFlight:   s.auditsInFlight.Load(),
 		AppendsTotal:     s.appends.Load(),
 		RowsAppended:     s.rowsAppended.Load(),
+		CountsServed:     s.countsServed.Load(),
 	}
 	for _, e := range entries {
 		st := e.db.Stats()
 		out.Cache.CDComputes += st.CDComputes
 		out.Cache.CDHits += st.CDHits
-		out.PerDataset = append(out.PerDataset, api.DatasetMetrics{
+		dm := api.DatasetMetrics{
 			Name:         e.name,
 			Rows:         int(e.rows.Load()),
 			Analyses:     e.analyses.Load(),
 			Appends:      e.appends.Load(),
 			RowsAppended: e.rowsAppended.Load(),
+			CountsServed: e.countsServed.Load(),
 			Audit: api.AuditProgress{
 				Audits:          e.audits.Load(),
 				Running:         e.auditsRunning.Load(),
@@ -909,7 +1076,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				CandidatesTotal: e.auditCandsTotal.Load(),
 			},
 			Cache: api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
-		})
+		}
+		for _, p := range e.db.RemotePeers() {
+			dm.Remote = append(dm.Remote, api.PeerMetrics{
+				URL: p.URL, Version: p.Version, Healthy: p.Healthy,
+				Requests: p.Requests, Retries: p.Retries, Errors: p.Errors,
+				CountsServed:  p.CountsServed,
+				LastRTTMillis: float64(p.LastRTT.Microseconds()) / 1000,
+				AvgRTTMillis:  float64(p.AvgRTT.Microseconds()) / 1000,
+			})
+		}
+		out.PerDataset = append(out.PerDataset, dm)
 	}
 	sort.Slice(out.PerDataset, func(i, j int) bool { return out.PerDataset[i].Name < out.PerDataset[j].Name })
 	s.writeJSON(w, http.StatusOK, out)
@@ -1000,6 +1177,10 @@ func mapError(err error) *api.Error {
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNeedsMaterialize, Message: msg}
 	case errors.Is(err, hypdb.ErrNotAppendable):
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNotAppendable, Message: msg}
+	case errors.Is(err, hypdb.ErrVersionSkew):
+		return &api.Error{Status: http.StatusConflict, Code: api.CodeVersionSkew, Message: msg}
+	case errors.Is(err, hypdb.ErrPeerUnavailable):
+		return &api.Error{Status: http.StatusBadGateway, Code: api.CodePeerUnavailable, Message: msg}
 	default:
 		return &api.Error{Status: http.StatusInternalServerError, Code: api.CodeInternal, Message: msg}
 	}

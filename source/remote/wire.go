@@ -1,0 +1,81 @@
+package remote
+
+// Wire types of the counts-serving endpoint
+// (POST /v1/datasets/{name}/counts). They live here — not in the api
+// package — because the api package imports the hypdb facade, which in turn
+// links this package for OpenRemote; keeping the DTOs with the client
+// avoids the cycle, and internal/server imports them for the handler so
+// both sides share one definition.
+
+// CountsRequest is the POST /v1/datasets/{name}/counts body: a
+// dictionary-coded group-by counts request for one attribute set under an
+// optional predicate, evaluated against an optional server-side restricted
+// view of the dataset.
+type CountsRequest struct {
+	// Attrs is the group-by attribute set, in call order; empty requests
+	// no counts (a schema-only handshake).
+	Attrs []string `json:"attrs,omitempty"`
+	// Where is a SQL-style predicate filtering the counted rows; empty
+	// counts every row of the (possibly restricted) view.
+	Where string `json:"where,omitempty"`
+	// Restrict, when non-empty, evaluates the request against
+	// σ_restrict(dataset): the peer restricts the relation server-side —
+	// with the backend's own dictionary compaction — before counting, so a
+	// coordinator's restricted child sees exactly the coding a local
+	// backend would produce.
+	Restrict string `json:"restrict,omitempty"`
+	// ExpectVersion, when non-zero, makes the peer answer 409 version_skew
+	// unless its current snapshot version matches — the guard that keeps a
+	// pinned analysis from silently mixing epochs across nodes.
+	ExpectVersion uint64 `json:"expect_version,omitempty"`
+	// IncludeSchema asks for the (restricted) view's full schema and
+	// dictionaries in the response — the registration handshake that lets
+	// the coordinator's global dictionary admit the peer's labels.
+	IncludeSchema bool `json:"include_schema,omitempty"`
+}
+
+// Schema is the dictionary/schema handshake payload: everything a
+// coordinator needs to admit the peer as a shard.
+type Schema struct {
+	// Attrs is the schema, in order.
+	Attrs []string `json:"attrs"`
+	// Labels holds, per attribute, the code→label dictionary of the served
+	// view.
+	Labels [][]string `json:"labels"`
+	// Rows is the served view's row count.
+	Rows int `json:"rows"`
+	// Version is the peer's snapshot version (zero for immutable
+	// backends).
+	Version uint64 `json:"version"`
+	// Backend is the peer-side backend identity, for diagnostics.
+	Backend string `json:"backend,omitempty"`
+}
+
+// CountsResponse is the counts endpoint's reply.
+type CountsResponse struct {
+	// Version is the snapshot version the answer was computed at.
+	Version uint64 `json:"version"`
+	// Groups holds one row of dictionary codes per distinct group, in the
+	// request's attribute order; Counts aligns with it.
+	Groups [][]int32 `json:"groups,omitempty"`
+	Counts []int     `json:"counts,omitempty"`
+	// Schema is present when the request set IncludeSchema.
+	Schema *Schema `json:"schema,omitempty"`
+}
+
+// wireError mirrors the service's error envelope closely enough to
+// classify failures without importing the api package.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error *wireError `json:"error"`
+}
+
+// codeVersionSkew is the service error code for a snapshot-version
+// mismatch. The literal is duplicated from api.CodeVersionSkew — the two
+// packages cannot share a constant without an import cycle, and the wire
+// contract is the string itself.
+const codeVersionSkew = "version_skew"

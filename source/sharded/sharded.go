@@ -24,16 +24,22 @@
 // upgrade its views without a full re-tabulation.
 //
 // Children are plain source.Relations: the local goroutine shards used here
-// wrap source/mem tables, but any conforming relation — including a future
-// client-side relation speaking the hypdbd api DTOs to a remote shard —
-// slots into New without changes to the fan-out or the coordinator.
+// wrap source/mem tables, but any conforming relation — including
+// source/remote's client relation, which speaks the counts endpoint of a
+// hypdbd peer — slots into New without changes to the fan-out or the
+// coordinator. For remote children the coordinator can additionally enable
+// degraded reads (SetDegradedReads): a child failing as an unreachable peer
+// is then skipped instead of failing the read, and DegradedServes exposes
+// how often that happened so results can be marked stale.
 package sharded
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hypdb/internal/dataset"
 	"hypdb/internal/hyperr"
@@ -53,6 +59,18 @@ type Relation struct {
 	mu   sync.RWMutex
 	dict *dict
 	cur  *View // snapshot of the current version, rebuilt on Append
+
+	deg *degradeState // shared with every View derived from this relation
+}
+
+// degradeState is the degraded-reads switch shared by a relation and all
+// its views: when allow is set, a child failing with
+// hyperr.ErrPeerUnavailable is skipped instead of failing the fan-out, and
+// serves counts how many reads were answered with at least one child
+// missing — the coordinator's staleness signal.
+type degradeState struct {
+	allow  atomic.Bool
+	serves atomic.Int64
 }
 
 // View is one immutable version of a sharded relation: a pinned partition
@@ -67,6 +85,7 @@ type View struct {
 	parts   []*partition
 	rows    int
 	ver     uint64
+	deg     *degradeState // shared with the root Relation; may be nil
 }
 
 // partition is one immutable horizontal slice: a child relation plus the
@@ -159,7 +178,7 @@ func New(ctx context.Context, name string, shards []source.Relation) (*Relation,
 			}
 		}
 	}
-	r := &Relation{name: name, attrs: attrs, byName: indexAttrs(attrs), dict: newDict(attrs)}
+	r := &Relation{name: name, attrs: attrs, byName: indexAttrs(attrs), dict: newDict(attrs), deg: &degradeState{}}
 	r.base = fmt.Sprintf("sharded:%p", r)
 	parts := make([]*partition, 0, len(shards))
 	for _, s := range shards {
@@ -187,7 +206,7 @@ func Partition(t *dataset.Table, name string, n int) (*Relation, error) {
 		n = rows
 	}
 	attrs := t.Columns()
-	r := &Relation{name: name, attrs: attrs, byName: indexAttrs(attrs), dict: newDict(attrs)}
+	r := &Relation{name: name, attrs: attrs, byName: indexAttrs(attrs), dict: newDict(attrs), deg: &degradeState{}}
 	r.base = fmt.Sprintf("sharded:%p", r)
 	for i, a := range attrs {
 		c, err := t.Column(a)
@@ -247,6 +266,7 @@ func (r *Relation) buildViewLocked(parts []*partition, ver uint64) *View {
 		parts:   parts,
 		rows:    rows,
 		ver:     ver,
+		deg:     r.deg,
 	}
 }
 
@@ -269,6 +289,37 @@ func (r *Relation) SnapshotVersion() uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.cur.ver
+}
+
+// SetDegradedReads switches degraded reads on or off for this relation and
+// every view derived from it (including already-pinned snapshots). With
+// degraded reads on, a child that fails with hyperr.ErrPeerUnavailable —
+// a remote shard that is down — is skipped and the surviving shards answer
+// alone; DegradedServes counts such reads so callers can mark the results
+// stale. Off (the default) the first unreachable child fails the whole
+// read. Version-skew failures (hyperr.ErrVersionSkew) are never degraded
+// away: a peer serving a different epoch must fail the read regardless.
+func (r *Relation) SetDegradedReads(on bool) { r.deg.allow.Store(on) }
+
+// DegradedReads reports whether degraded reads are enabled.
+func (r *Relation) DegradedReads() bool { return r.deg.allow.Load() }
+
+// DegradedServes returns how many times a child has been skipped by a
+// degraded read (counts calls, restrictions) since the relation was built.
+// A caller comparing the counter before and after an analysis knows
+// whether that analysis may rest on partial counts.
+func (r *Relation) DegradedServes() uint64 { return uint64(r.deg.serves.Load()) }
+
+// Children returns the current snapshot's child relations in shard order
+// (initial shards first, then one delta per Append). Callers must not
+// mutate the children; the slice itself is fresh.
+func (r *Relation) Children() []source.Relation {
+	parts := r.snap().parts
+	out := make([]source.Relation, len(parts))
+	for i, p := range parts {
+		out[i] = p.rel
+	}
+	return out
 }
 
 // NumPartitions returns the current partition count: the initial shards
@@ -599,14 +650,35 @@ func scatterSparse(out *dataset.DenseCounts, strides []int, rm [][]int32, counts
 	return nil
 }
 
+// skipChild reports whether a child's failure should be absorbed by
+// degraded reads: the switch is on, the error is a lost peer (never a
+// version skew — that wraps a different sentinel — and never a
+// cancellation), and the read's context is still live. A true return has
+// already recorded the degraded serve.
+func (v *View) skipChild(ctx context.Context, err error) bool {
+	if v.deg == nil || !v.deg.allow.Load() {
+		return false
+	}
+	if ctx.Err() != nil || !errors.Is(err, hyperr.ErrPeerUnavailable) {
+		return false
+	}
+	v.deg.serves.Add(1)
+	return true
+}
+
 // fanParts runs f over every partition on a bounded worker pool, cancelling
-// the remaining work on the first error.
+// the remaining work on the first error. With degraded reads enabled, a
+// partition failing as an unreachable peer is skipped — its contribution is
+// simply missing from the merge — instead of cancelling the fan-out.
 func (v *View) fanParts(ctx context.Context, f func(ctx context.Context, p *partition) error) error {
 	if len(v.parts) == 0 {
 		return ctx.Err()
 	}
 	if len(v.parts) == 1 {
-		return f(ctx, v.parts[0])
+		if err := f(ctx, v.parts[0]); err != nil && !v.skipChild(ctx, err) {
+			return err
+		}
+		return ctx.Err()
 	}
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
@@ -629,7 +701,7 @@ func (v *View) fanParts(ctx context.Context, f func(ctx context.Context, p *part
 				if ctx.Err() != nil {
 					continue // drain
 				}
-				if err := f(ctx, p); err != nil {
+				if err := f(ctx, p); err != nil && !v.skipChild(ctx, err) {
 					errOnce.Do(func() { firstErr = err })
 					cancel()
 				}
@@ -662,10 +734,16 @@ func (v *View) Restrict(ctx context.Context, where source.Predicate) (source.Rel
 	for _, p := range v.parts {
 		child, err := p.rel.Restrict(ctx, where)
 		if err != nil {
+			if v.skipChild(ctx, err) {
+				continue // degraded: the lost peer's rows drop out of the view
+			}
 			return nil, err
 		}
 		np, err := d.admit(ctx, child, v.attrs)
 		if err != nil {
+			if v.skipChild(ctx, err) {
+				continue
+			}
 			return nil, err
 		}
 		parts = append(parts, np)
@@ -682,6 +760,7 @@ func (v *View) Restrict(ctx context.Context, where source.Predicate) (source.Rel
 		parts:   parts,
 		rows:    rows,
 		ver:     v.ver,
+		deg:     v.deg,
 	}, nil
 }
 
