@@ -69,6 +69,15 @@ func (db *DB) Audit(ctx context.Context, spec AuditSpec, opts ...Option) (*Audit
 	if spec.Workers == 0 {
 		spec.Workers = st.auditWorkers
 	}
+	// Staleness marking: if the storage layer's degraded-serve counter grew
+	// during the sweep, at least one read was answered with a shard missing
+	// and the whole report may rest on partial counts. The counter is
+	// sampled before pinning — a concurrent degraded read landing between
+	// the pin and the sample can poison the pinned version's cache, so it
+	// must mark this report too. The check is conservative under concurrency
+	// (another call's degraded read marks this report as well), which errs
+	// on the side of flagging.
+	before := db.degradedServes()
 	// The whole sweep runs over one pinned snapshot: rows appended while an
 	// audit is in flight are invisible to it and cannot perturb the report.
 	rel := db.view()
@@ -81,12 +90,6 @@ func (db *DB) Audit(ctx context.Context, spec AuditSpec, opts ...Option) (*Audit
 			o.Discover = db.discoverFunc(rel.Backend(), whereKey)
 		}
 	}
-	// Staleness marking: if the storage layer's degraded-serve counter grew
-	// during the sweep, at least one read was answered with a shard missing
-	// and the whole report may rest on partial counts. The check is
-	// conservative under concurrency (another call's degraded read marks
-	// this report too), which errs on the side of flagging.
-	before := db.degradedServes()
 	rep, err := core.Audit(ctx, rel, spec, o)
 	if err == nil && db.degradedServes() > before {
 		rep.Degraded = true

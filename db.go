@@ -305,7 +305,9 @@ type ShardInfo struct {
 	// delta partitions admitted by Append).
 	Shards int
 	// Version is the current snapshot version; it starts at 1 and
-	// increments with every non-empty Append.
+	// increments with every non-empty Append — and with every degraded
+	// (partial) serve, so counts read with a shard missing are never
+	// version-matched by later analyses.
 	Version uint64
 }
 
@@ -392,6 +394,11 @@ func (db *DB) ResetCache() {
 func (db *DB) Analyze(ctx context.Context, q Query, opts ...Option) (*Report, error) {
 	st := newSettings(opts)
 	o := st.opts
+	// Sample the degraded-serve counter before pinning: a concurrent
+	// degraded read that lands between the pin and the sample may leave
+	// partial counts in the cache under the version this call pins, so the
+	// window in which a skip marks this report must open first.
+	before := db.degradedServes()
 	rel := db.view()
 	// A caller-supplied Discover hook (via WithOptions) wins over the
 	// session memoizer, and queries whose WHERE clause has no canonical
@@ -404,7 +411,6 @@ func (db *DB) Analyze(ctx context.Context, q Query, opts ...Option) (*Report, er
 			o.Discover = db.discoverFunc(rel.Backend(), whereKey)
 		}
 	}
-	before := db.degradedServes()
 	rep, err := core.Analyze(ctx, rel, q, o)
 	if err == nil && db.degradedServes() > before {
 		rep.Degraded = true

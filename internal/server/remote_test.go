@@ -222,6 +222,68 @@ func TestRemoteDatasetOverLoopbackPeer(t *testing.T) {
 	}
 }
 
+// TestUnversionedDatasetPinnedByRegistrationEpoch is the regression test
+// for the skew hole on unversioned backends: a plain mem dataset used to
+// hand out Version 0 in the handshake, so the client omitted expect_version
+// (omitempty) and the server never ran the skew check — deleting and
+// re-registering the dataset between calls was served silently from the new
+// data. Every registration now issues a nonzero epoch as the pinned
+// version.
+func TestUnversionedDatasetPinnedByRegistrationEpoch(t *testing.T) {
+	srv, url := newPeerServer(t, Config{}) // no shards: mem backend, no snapshot versions
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddDataset("berkeley", tab); err != nil {
+		t.Fatal(err)
+	}
+
+	hs, apiErr := postCounts(t, url, "berkeley", remote.CountsRequest{IncludeSchema: true})
+	if apiErr != nil {
+		t.Fatalf("handshake: %v", apiErr)
+	}
+	if hs.Version == 0 || hs.Schema.Version != hs.Version {
+		t.Fatalf("handshake version = %d/%d, want a matching nonzero registration epoch",
+			hs.Version, hs.Schema.Version)
+	}
+
+	// The pinned epoch round-trips; a wrong pin trips the skew check even
+	// though the backend has no versions of its own.
+	if _, apiErr := postCounts(t, url, "berkeley", remote.CountsRequest{
+		Attrs: []string{"Gender"}, ExpectVersion: hs.Version,
+	}); apiErr != nil {
+		t.Fatalf("counts at pinned epoch: %v", apiErr)
+	}
+	if _, apiErr := postCounts(t, url, "berkeley", remote.CountsRequest{
+		Attrs: []string{"Gender"}, ExpectVersion: hs.Version + 1,
+	}); apiErr == nil || apiErr.Code != api.CodeVersionSkew {
+		t.Fatalf("wrong pin error = %v, want %s", apiErr, api.CodeVersionSkew)
+	}
+
+	// Delete and re-register the name: the replacement gets a fresh epoch,
+	// so a coordinator still pinned to the old registration fails closed
+	// instead of silently mixing epochs.
+	if err := api.NewClient(url, nil).DeleteDataset(context.Background(), "berkeley"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddDataset("berkeley", tab); err != nil {
+		t.Fatal(err)
+	}
+	hs2, apiErr := postCounts(t, url, "berkeley", remote.CountsRequest{IncludeSchema: true})
+	if apiErr != nil {
+		t.Fatalf("re-registration handshake: %v", apiErr)
+	}
+	if hs2.Version == hs.Version {
+		t.Fatalf("re-registered dataset reuses epoch %d", hs.Version)
+	}
+	if _, apiErr := postCounts(t, url, "berkeley", remote.CountsRequest{
+		Attrs: []string{"Gender"}, ExpectVersion: hs.Version,
+	}); apiErr == nil || apiErr.Code != api.CodeVersionSkew || apiErr.Status != http.StatusConflict {
+		t.Fatalf("stale pin after re-registration = %v, want 409 %s", apiErr, api.CodeVersionSkew)
+	}
+}
+
 // TestConcurrentAppendsKeepRowsGaugeFresh is the regression test for the
 // rows-gauge race: handleAppend used to Store(res.NumRows), so two appends
 // completing out of order could leave the gauge stale-low until the next

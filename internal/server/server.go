@@ -124,6 +124,12 @@ type Server struct {
 	rowsAppended   atomic.Int64
 	countsServed   atomic.Int64
 
+	// regSeq issues per-registration epochs (seeded from the start time, one
+	// increment per register call): every dataset gets a nonzero epoch that
+	// changes when a name is deleted and re-registered, so the counts
+	// endpoint can pin unversioned backends too.
+	regSeq atomic.Uint64
+
 	mu       sync.RWMutex
 	datasets map[string]*entry
 }
@@ -140,6 +146,12 @@ type entry struct {
 	backend string
 	sem     chan struct{}
 	created time.Time
+	// epoch is the nonzero registration epoch: the pinned version the counts
+	// endpoint hands to remote-shard coordinators when the backend has no
+	// snapshot versions of its own. Re-registering a name issues a new
+	// epoch, so a coordinator pinned to the deleted dataset trips the 409
+	// version_skew path instead of silently reading the new data.
+	epoch uint64
 	// Streaming-ingestion counters: completed append requests and their
 	// cumulative admitted rows.
 	appends      atomic.Int64
@@ -166,7 +178,7 @@ func New(cfg Config) *Server {
 	if now == nil {
 		now = time.Now
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		log:       cfg.logger(),
 		now:       now,
@@ -175,6 +187,11 @@ func New(cfg Config) *Server {
 		cancelAll: cancel,
 		datasets:  make(map[string]*entry),
 	}
+	// Seed the registration-epoch sequence from the start time so epochs
+	// (very likely) differ across server restarts as well, not only across
+	// re-registrations within one process.
+	s.regSeq.Store(uint64(s.started.UnixNano()))
+	return s
 }
 
 // Close begins shutdown: every subsequent request is rejected with 503
@@ -342,10 +359,22 @@ func (s *Server) register(name string, db *hypdb.DB, rows, cols int, backend str
 		backend: backend,
 		sem:     make(chan struct{}, s.cfg.maxConcurrent()),
 		created: s.now(),
+		epoch:   s.nextEpoch(),
 	}
 	e.rows.Store(int64(rows))
 	s.datasets[name] = e
 	return e, nil
+}
+
+// nextEpoch issues the next registration epoch. Never zero: a zero version
+// on the wire means "nothing pinned" (expect_version is omitted) and would
+// disable the skew check for the dataset.
+func (s *Server) nextEpoch() uint64 {
+	for {
+		if ep := s.regSeq.Add(1); ep != 0 {
+			return ep
+		}
+	}
 }
 
 // DB returns the session handle of a registered dataset (tests use this to
@@ -619,9 +648,13 @@ func (s *Server) handleCounts(w http.ResponseWriter, r *http.Request) {
 
 	// Pin one snapshot for the whole request: the version check, the counts
 	// and the schema all describe the same epoch even if an append lands
-	// mid-request.
+	// mid-request. Backends without snapshot versions are pinned by the
+	// dataset's registration epoch instead — a nonzero version, so the
+	// caller always sends expect_version back and a delete/re-register
+	// between calls trips the skew check rather than silently serving
+	// counts from the replacement data.
 	serving := e.db.Relation()
-	var ver uint64
+	ver := e.epoch
 	if cc, ok := serving.(*countcache.Relation); ok {
 		pinned := cc.Pin()
 		serving = pinned

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -204,6 +206,82 @@ func TestRemotePeerDeathDegrades(t *testing.T) {
 	if len(rep.Mediators) != 1 || rep.Mediators[0] != "Department" {
 		t.Errorf("degraded mediators = %v, want [Department]", rep.Mediators)
 	}
+}
+
+// TestDegradedPartialCountsDieWithTheOutage is the regression test for the
+// poisoned-cache bug: a degraded fan-out used to park partial counts in the
+// session count cache under the coordinator's pinned snapshot version —
+// which never changed for a remote session — so every later analysis was
+// answered from the partial view without growing the degraded-serve
+// counter: unmarked stale reports during the outage, and partial counts
+// served forever after the peer recovered. A degraded serve now advances
+// the snapshot version, so the partial entries die with their epoch.
+func TestDegradedPartialCountsDieWithTheOutage(t *testing.T) {
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One peer is wrapped in a toggle answering 502 while down — an outage
+	// with a later recovery, which a killed listener cannot model.
+	var down atomic.Bool
+	parts := splitContiguous(t, tab, 4)
+	urls := make([]string, 0, len(parts))
+	for i, part := range parts {
+		srv := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+		if err := srv.AddDataset("BerkeleyData", part); err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+		if i == 1 {
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if down.Load() {
+					w.WriteHeader(http.StatusBadGateway)
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		t.Cleanup(srv.Close)
+		urls = append(urls, ts.URL)
+	}
+	ctx := context.Background()
+	db, err := hypdb.OpenRemote(ctx, "BerkeleyData",
+		hypdb.WithRemoteShards(urls...), hypdb.WithRemoteOptions(fastRemote()), hypdb.WithDegradedReads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	// During the outage every analysis rests on partial counts and must be
+	// stamped — including repeats of the query that primed the cache.
+	down.Store(true)
+	for i := 0; i < 2; i++ {
+		rep, err := db.Analyze(ctx, datagen.BerkeleyQuery(), hypdb.WithSeed(1))
+		if err != nil {
+			t.Fatalf("degraded analyze %d: %v", i, err)
+		}
+		if !rep.Degraded {
+			t.Fatalf("analysis %d during the outage not marked degraded", i)
+		}
+	}
+
+	// After recovery the partial counts must not be served again: the next
+	// analysis re-fetches complete counts from all four peers, comes back
+	// unmarked, and reproduces the healthy single-process golden
+	// byte-for-byte.
+	down.Store(false)
+	rep, err := db.Analyze(ctx, datagen.BerkeleyQuery(), hypdb.WithSeed(1))
+	if err != nil {
+		t.Fatalf("post-recovery analyze: %v", err)
+	}
+	if rep.Degraded {
+		t.Fatal("post-recovery analysis still marked degraded")
+	}
+	s := analyzeSummaryOn(t, "BerkeleyData", db, tab.NumRows(), datagen.BerkeleyQuery(), hypdb.WithSeed(1))
+	checkGolden(t, "berkeley.golden.json", s)
 }
 
 // TestRemoteAuditDegrades runs the lattice audit over a cluster with a

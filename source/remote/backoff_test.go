@@ -1,0 +1,28 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSleepBackoffHugeRetryCountClamps is the regression test for the
+// backoff-shift overflow: base << n with a caller-configured MaxRetries
+// above ~36 went negative, skipped the 5s cap, and made the jitter's
+// rand.Int64N panic on a late retry. The cancelled context makes the call
+// return immediately once the delay is computed, so the test only exercises
+// the arithmetic.
+func TestSleepBackoffHugeRetryCountClamps(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, n := range []int{0, 35, 36, 62, 63, 100} {
+		if err := sleepBackoff(ctx, DefaultRetryBackoff, n); !errors.Is(err, context.Canceled) {
+			t.Fatalf("sleepBackoff(n=%d) = %v, want context.Canceled", n, err)
+		}
+	}
+	// A base already past the cap must clamp rather than double further.
+	if err := sleepBackoff(ctx, time.Minute, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepBackoff(base=1m) = %v, want context.Canceled", err)
+	}
+}

@@ -521,12 +521,19 @@ func decodeWireError(p *peer, resp *http.Response) error {
 	return fmt.Errorf("remote: peer %s: HTTP %d", p.base, resp.StatusCode)
 }
 
-// sleepBackoff waits out the exponential backoff for retry n (0-based)
-// with ±50% jitter, honoring cancellation.
+// sleepBackoff waits out the exponential backoff for retry n (0-based),
+// capped at 5s, with ±50% jitter, honoring cancellation.
 func sleepBackoff(ctx context.Context, base time.Duration, n int) error {
-	d := base << n
-	if d > 5*time.Second {
-		d = 5 * time.Second
+	const maxDelay = 5 * time.Second
+	// Double per retry instead of shifting blindly: base << n overflows to
+	// a negative duration for caller-configured retry budgets past ~36,
+	// which would dodge the cap and feed rand.Int64N a non-positive span.
+	d := base
+	for i := 0; i < n && d < maxDelay; i++ {
+		d <<= 1
+	}
+	if d <= 0 || d > maxDelay {
+		d = maxDelay
 	}
 	d = d/2 + time.Duration(rand.Int64N(int64(d)))
 	t := time.NewTimer(d)

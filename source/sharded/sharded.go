@@ -71,6 +71,13 @@ type Relation struct {
 type degradeState struct {
 	allow  atomic.Bool
 	serves atomic.Int64
+	// bump advances the owning relation's snapshot version (set at
+	// construction). Every skip calls it, so counts tabulated while a child
+	// was missing are tagged with an epoch no later read resolves to:
+	// caching layers keyed by version (internal/countcache) can never serve
+	// a partial view to an analysis that starts after the skip — or keep
+	// serving it once the peer has recovered.
+	bump func()
 }
 
 // View is one immutable version of a sharded relation: a pinned partition
@@ -180,6 +187,7 @@ func New(ctx context.Context, name string, shards []source.Relation) (*Relation,
 	}
 	r := &Relation{name: name, attrs: attrs, byName: indexAttrs(attrs), dict: newDict(attrs), deg: &degradeState{}}
 	r.base = fmt.Sprintf("sharded:%p", r)
+	r.deg.bump = r.bumpVersion
 	parts := make([]*partition, 0, len(shards))
 	for _, s := range shards {
 		p, err := r.dict.admit(ctx, s, attrs)
@@ -208,6 +216,7 @@ func Partition(t *dataset.Table, name string, n int) (*Relation, error) {
 	attrs := t.Columns()
 	r := &Relation{name: name, attrs: attrs, byName: indexAttrs(attrs), dict: newDict(attrs), deg: &degradeState{}}
 	r.base = fmt.Sprintf("sharded:%p", r)
+	r.deg.bump = r.bumpVersion
 	for i, a := range attrs {
 		c, err := t.Column(a)
 		if err != nil {
@@ -309,6 +318,20 @@ func (r *Relation) DegradedReads() bool { return r.deg.allow.Load() }
 // A caller comparing the counter before and after an analysis knows
 // whether that analysis may rest on partial counts.
 func (r *Relation) DegradedServes() uint64 { return uint64(r.deg.serves.Load()) }
+
+// bumpVersion advances the relation's snapshot version without changing its
+// data: the current partition list is re-captured as a new View one version
+// up (with the backend identity string moving along). Degraded serves call
+// it on every skip, so any count tabulated with a child missing carries a
+// version tag strictly older than every snapshot pinned afterwards —
+// version-keyed caches treat the partial results as a dead epoch instead of
+// answering later analyses from them (which would dodge the staleness
+// marking, and would outlive the peer's recovery).
+func (r *Relation) bumpVersion() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cur = r.buildViewLocked(r.cur.parts, r.cur.ver+1)
+}
 
 // Children returns the current snapshot's child relations in shard order
 // (initial shards first, then one delta per Append). Callers must not
@@ -654,7 +677,11 @@ func scatterSparse(out *dataset.DenseCounts, strides []int, rm [][]int32, counts
 // degraded reads: the switch is on, the error is a lost peer (never a
 // version skew — that wraps a different sentinel — and never a
 // cancellation), and the read's context is still live. A true return has
-// already recorded the degraded serve.
+// already recorded the degraded serve and advanced the relation's snapshot
+// version, so the partial result being assembled is tagged with a version
+// (captured before the fan-out) that no read starting after the skip
+// resolves to — partial counts die with their epoch rather than being
+// cached as complete.
 func (v *View) skipChild(ctx context.Context, err error) bool {
 	if v.deg == nil || !v.deg.allow.Load() {
 		return false
@@ -663,6 +690,9 @@ func (v *View) skipChild(ctx context.Context, err error) bool {
 		return false
 	}
 	v.deg.serves.Add(1)
+	if v.deg.bump != nil {
+		v.deg.bump()
+	}
 	return true
 }
 

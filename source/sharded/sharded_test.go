@@ -6,10 +6,12 @@ import (
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hypdb/internal/datagen"
 	"hypdb/internal/dataset"
+	"hypdb/internal/hyperr"
 	"hypdb/source"
 	"hypdb/source/mem"
 	"hypdb/source/sharded"
@@ -326,5 +328,90 @@ func TestShardedConcurrentAppendsAndReads(t *testing.T) {
 	}
 	if n, _ := sh.NumRows(ctx); n != 4+4*8*2 {
 		t.Fatalf("final rows = %d, want %d", n, 4+4*8*2)
+	}
+}
+
+// flakyChild wraps a child relation and fails counts reads with
+// ErrPeerUnavailable while down is set — the failure shape of a lost remote
+// peer. It deliberately exposes no DenseCounter capability, so the fan-out
+// reaches the overridden Counts on both the dense and sparse paths.
+type flakyChild struct {
+	source.Relation
+	down atomic.Bool
+}
+
+func (f *flakyChild) Counts(ctx context.Context, attrs []string, where source.Predicate) (map[source.Key]int, error) {
+	if f.down.Load() {
+		return nil, fmt.Errorf("flaky child: %w", hyperr.ErrPeerUnavailable)
+	}
+	return f.Relation.Counts(ctx, attrs, where)
+}
+
+// TestDegradedSkipAdvancesSnapshotVersion pins the cache-poisoning defense:
+// every degraded (partial) serve must advance the relation's snapshot
+// version and backend identity, so version-keyed caches (and backend-keyed
+// memos) can never answer a read that starts after the skip from the
+// partial counts — including after the peer recovers.
+func TestDegradedSkipAdvancesSnapshotVersion(t *testing.T) {
+	ctx := context.Background()
+	b := dataset.NewBuilder("G", "O")
+	for _, r := range [][2]string{{"a", "0"}, {"a", "1"}, {"b", "0"}, {"b", "1"}} {
+		b.MustAdd(r[0], r[1])
+	}
+	tab, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyChild{Relation: mem.NewNamed(tab, "D")}
+	sh, err := sharded.New(ctx, "D", []source.Relation{mem.NewNamed(tab, "D"), flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.SetDegradedReads(true)
+
+	full, err := sh.Counts(ctx, []string{"G"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, b0 := sh.SnapshotVersion(), sh.Backend()
+
+	flaky.down.Store(true)
+	part, err := sh.Counts(ctx, []string{"G"}, nil)
+	if err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if sh.DegradedServes() == 0 {
+		t.Fatal("degraded serve not counted")
+	}
+	partial, complete := 0, 0
+	for _, c := range part {
+		partial += c
+	}
+	for _, c := range full {
+		complete += c
+	}
+	if partial*2 != complete {
+		t.Fatalf("partial total = %d, want half of %d", partial, complete)
+	}
+	if v1 := sh.SnapshotVersion(); v1 <= v0 {
+		t.Fatalf("snapshot version = %d after a degraded serve, want > %d", v1, v0)
+	}
+	if sh.Backend() == b0 {
+		t.Fatal("backend identity unchanged after a degraded serve")
+	}
+
+	// Recovery: reads are complete again and no longer move the version.
+	flaky.down.Store(false)
+	again, err := sh.Counts(ctx, []string{"G"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalCounts(t, "recovered counts", again, full)
+	vStable := sh.SnapshotVersion()
+	if _, err := sh.Counts(ctx, []string{"G", "O"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sh.SnapshotVersion() != vStable {
+		t.Error("healthy read moved the snapshot version")
 	}
 }
