@@ -509,9 +509,15 @@ type BatchRequest struct {
 	Options Options `json:"options,omitempty"`
 }
 
-// BatchResponse aligns with the request's query order.
+// BatchResponse aligns with the request's query order: exactly one of
+// Reports[i] / Errors[i] is set per query. A malformed or failing query
+// yields its own error entry instead of failing the whole batch, so mixed
+// batches return every answer they can. Errors is omitted entirely when
+// every query succeeded (older servers never set it — clients must treat a
+// missing array as all-success).
 type BatchResponse struct {
 	Reports []*Report `json:"reports"`
+	Errors  []*Error  `json:"errors,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -788,6 +794,20 @@ type AuditProgress struct {
 	CandidatesTotal int64 `json:"candidates_total"`
 }
 
+// PlannerStats reports a dataset session's batch-planner activity: how
+// many lattice plans ran, the cuboids they primed and their estimated cell
+// footprint, how many count demands the plans covered (and the subset
+// served by marginalizing a strictly wider cuboid), and the backend round
+// trips saved versus per-request priming.
+type PlannerStats struct {
+	Plans             int `json:"plans"`
+	Cuboids           int `json:"cuboids"`
+	CellsMaterialized int `json:"cells_materialized"`
+	DemandsPlanned    int `json:"demands_planned"`
+	DemandsProjected  int `json:"demands_projected"`
+	RoundTripsSaved   int `json:"round_trips_saved"`
+}
+
 // DatasetMetrics is one dataset's slice of the service metrics.
 type DatasetMetrics struct {
 	Name     string        `json:"name"`
@@ -795,6 +815,7 @@ type DatasetMetrics struct {
 	Analyses int64         `json:"analyses"`
 	Audit    AuditProgress `json:"audit"`
 	Cache    CacheStats    `json:"cache"`
+	Planner  PlannerStats  `json:"planner"`
 	// Appends counts completed append requests; RowsAppended their
 	// cumulative admitted rows. Both stay zero for unsharded datasets.
 	Appends      int64 `json:"appends,omitempty"`
@@ -845,5 +866,6 @@ type Metrics struct {
 	// remote-shard transport across all datasets.
 	CountsServed int64            `json:"counts_served,omitempty"`
 	Cache        CacheStats       `json:"cache"`
+	Planner      PlannerStats     `json:"planner"`
 	PerDataset   []DatasetMetrics `json:"per_dataset,omitempty"`
 }

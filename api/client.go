@@ -146,13 +146,36 @@ func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*Report, erro
 }
 
 // AnalyzeBatch runs a batch of queries over the dataset session's worker
-// pool; reports align with the request's query order.
+// pool; reports align with the request's query order. The server isolates
+// per-query failures; this method keeps the all-or-nothing contract by
+// returning the first query's error when any item failed — use
+// AnalyzeBatchSettled to get the partial results alongside the errors.
 func (c *Client) AnalyzeBatch(ctx context.Context, req BatchRequest) ([]*Report, error) {
-	var out BatchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/analyze/batch", req, &out); err != nil {
+	reports, errs, err := c.AnalyzeBatchSettled(ctx, req)
+	if err != nil {
 		return nil, err
 	}
-	return out.Reports, nil
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return reports, nil
+}
+
+// AnalyzeBatchSettled runs a batch of queries with per-item error
+// isolation: reports and errs both align with the request's query order,
+// and exactly one of reports[i] / errs[i] is set per query. The returned
+// error covers transport and whole-request failures only.
+func (c *Client) AnalyzeBatchSettled(ctx context.Context, req BatchRequest) (reports []*Report, errs []*Error, err error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze/batch", req, &out); err != nil {
+		return nil, nil, err
+	}
+	if out.Errors == nil {
+		out.Errors = make([]*Error, len(out.Reports))
+	}
+	return out.Reports, out.Errors, nil
 }
 
 // Audit sweeps a dataset's (treatment, outcome) query lattice for bias and

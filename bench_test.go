@@ -614,3 +614,66 @@ func BenchmarkShardedAppendVsReload(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkBatchPlanVsNaive measures the lattice-aware batch planner
+// against naive per-request priming on a heterogeneous 8-request batch:
+// mixed grouped and ungrouped queries over distinct treatments, whose
+// covariate-discovery closures differ (schema minus the groupings), so the
+// planner genuinely merges lattice nodes instead of deduplicating one
+// closure. A fresh session handle per iteration keeps every run cold — the
+// cost compared is the priming traffic, not the memo.
+func BenchmarkBatchPlanVsNaive(b *testing.B) {
+	tab := randomTable(b, 20000)
+	attrs := tab.Columns()
+	queries := make([]hypdb.Query, 0, 8)
+	for i := 0; i < 8; i++ {
+		q := hypdb.Query{
+			Treatment: attrs[i%len(attrs)],
+			Outcomes:  []string{attrs[(i+1)%len(attrs)]},
+		}
+		if i%2 == 0 {
+			q.Groupings = []string{attrs[(i+3)%len(attrs)]}
+		}
+		queries = append(queries, q)
+	}
+	memsql.Register("bench_batchplan", tab)
+	b.Cleanup(func() { memsql.Unregister("bench_batchplan") })
+
+	run := func(b *testing.B, open func(b *testing.B) *hypdb.DB, planned bool) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db := open(b)
+			opts := []hypdb.Option{hypdb.WithMethod(hypdb.ChiSquared), hypdb.WithSeed(7)}
+			if !planned {
+				opts = append(opts, hypdb.WithPlanner(false))
+			}
+			if _, err := db.AnalyzeAll(context.Background(), queries, opts...); err != nil {
+				b.Fatal(err)
+			}
+			if planned && db.Stats().Planner.Plans == 0 {
+				b.Fatal("planner did not run")
+			}
+			if err := db.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	openMem := func(b *testing.B) *hypdb.DB { return hypdb.Open(tab) }
+	openSQL := func(b *testing.B) *hypdb.DB {
+		b.Helper()
+		conn, err := memsql.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := hypdb.OpenSQL(context.Background(), conn, "bench_batchplan")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	b.Run("mem/naive", func(b *testing.B) { run(b, openMem, false) })
+	b.Run("mem/planned", func(b *testing.B) { run(b, openMem, true) })
+	b.Run("sqldb/naive", func(b *testing.B) { run(b, openSQL, false) })
+	b.Run("sqldb/planned", func(b *testing.B) { run(b, openSQL, true) })
+}

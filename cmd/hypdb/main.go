@@ -199,6 +199,7 @@ func cmdAudit(ctx context.Context, args []string) error {
 	method := fs.String("method", "hymit", "independence test: hymit, chi2, mit, mit-sampling")
 	seed := fs.Int64("seed", 1, "random seed")
 	perms := fs.Int("permutations", 0, "Monte-Carlo permutations (default 1000)")
+	explainPlan := fs.Bool("explain-plan", false, "after the sweep, dump the batch planner's cuboid plan")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -244,7 +245,17 @@ func cmdAudit(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	return rep.WriteText(os.Stdout)
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if *explainPlan {
+		if p := db.LastPlan(); p != nil {
+			fmt.Println()
+			return p.WriteText(os.Stdout)
+		}
+		fmt.Println("\nno batch plan was executed (planner skipped or demand unplannable)")
+	}
+	return nil
 }
 
 func cmdGenerate(args []string) error {

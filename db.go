@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"hypdb/internal/core"
 	"hypdb/internal/countcache"
@@ -46,6 +47,17 @@ type DB struct {
 	// stats counters, guarded by mu.
 	cdComputes int
 	cdHits     int
+	// batch-planner state, guarded by mu.
+	planStats PlannerStats
+	lastPlan  *Plan
+
+	// planMu guards the demand-coalescing gates of the batch planner
+	// (separate from mu: a leader holds a gate open across a sleep).
+	// planWindow is zero by default — requests plan immediately; the
+	// server raises it (SetPlanWindow) for cross-request coalescing.
+	planMu     sync.Mutex
+	planGates  map[string]*planGate
+	planWindow time.Duration
 }
 
 // cdEntry is a single-flight memoization slot: the first caller computes,
@@ -59,10 +71,12 @@ type cdEntry struct {
 
 // Stats reports the session's cache activity. CDComputes counts covariate
 // discoveries actually executed; CDHits counts calls answered from the
-// memoized result (including waits on an in-flight computation).
+// memoized result (including waits on an in-flight computation). Planner
+// aggregates the batch planner's cuboid selection and round-trip savings.
 type Stats struct {
 	CDComputes int
 	CDHits     int
+	Planner    PlannerStats
 }
 
 // OpenOption configures Open and OpenCSV. The zero set of options keeps
@@ -153,7 +167,10 @@ func OpenCSV(path string, opts ...OpenOption) (*DB, error) {
 // smallest cached superset view instead of re-scanning (mem) or re-querying
 // (SQL) the backend.
 func OpenSource(rel source.Relation) *DB {
-	return &DB{rel: countcache.Wrap(rel, 0), cd: make(map[string]*cdEntry)}
+	return &DB{
+		rel: countcache.Wrap(rel, 0),
+		cd:  make(map[string]*cdEntry),
+	}
 }
 
 // OpenRemote creates a session handle over a dataset served by remote
@@ -377,7 +394,7 @@ func (db *DB) NumRows(ctx context.Context) (int, error) { return db.rel.NumRows(
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return Stats{CDComputes: db.cdComputes, CDHits: db.cdHits}
+	return Stats{CDComputes: db.cdComputes, CDHits: db.cdHits, Planner: db.planStats}
 }
 
 // ResetCache drops all memoized analysis state and zeroes the counters.
@@ -386,13 +403,21 @@ func (db *DB) ResetCache() {
 	defer db.mu.Unlock()
 	db.cd = make(map[string]*cdEntry)
 	db.cdComputes, db.cdHits = 0, 0
+	db.planStats = PlannerStats{}
+	db.lastPlan = nil
 }
 
 // Analyze runs the full HypDB pipeline — detect, explain, resolve — on a
 // query, sharing covariate-discovery results with every other call on this
 // handle.
 func (db *DB) Analyze(ctx context.Context, q Query, opts ...Option) (*Report, error) {
-	st := newSettings(opts)
+	return db.analyze(ctx, q, newSettings(opts))
+}
+
+// analyze is Analyze over resolved settings — AnalyzeAll calls it per
+// query so the batch planner can vary the priming mode (settings.opts.
+// SkipPrime) per query without re-resolving options.
+func (db *DB) analyze(ctx context.Context, q Query, st settings) (*Report, error) {
 	o := st.opts
 	// Sample the degraded-serve counter before pinning: a concurrent
 	// degraded read that lands between the pin and the sample may leave
@@ -423,14 +448,30 @@ func (db *DB) Analyze(ctx context.Context, q Query, opts ...Option) (*Report, er
 // The first failure cancels the remaining work and is returned alongside
 // whatever completed; the cache makes overlapping queries in one batch pay
 // for covariate discovery once.
+//
+// Unless WithPlanner(false), the batch's count demands are first routed
+// through the lattice-aware multi-query planner: one cuboid frontier is
+// primed into the session count cache (coalescing with concurrent Audit
+// and batch calls on this handle) and queries the plan covers skip their
+// per-closure priming — fewer backend round trips, byte-identical counts.
 func (db *DB) AnalyzeAll(ctx context.Context, queries []Query, opts ...Option) ([]*Report, error) {
 	st := newSettings(opts)
 	reports := make([]*Report, len(queries))
 	if len(queries) == 0 {
 		return reports, nil
 	}
+	planned := make([]bool, len(queries))
+	if !st.noPlanner {
+		rel := db.view()
+		demands, demandQuery := analyzeDemands(ctx, rel, queries)
+		if p, off := db.planBatch(ctx, rel, demands, st); p != nil {
+			planned = plannedQueries(p, off, demandQuery, len(queries))
+		}
+	}
 	err := core.RunPool(ctx, len(queries), st.workers, func(ctx context.Context, i int) error {
-		rep, err := db.Analyze(ctx, queries[i], opts...)
+		stq := st
+		stq.opts.SkipPrime = planned[i]
+		rep, err := db.analyze(ctx, queries[i], stq)
 		if err != nil {
 			return fmt.Errorf("hypdb: query %d: %w", i, err)
 		}
@@ -438,6 +479,44 @@ func (db *DB) AnalyzeAll(ctx context.Context, queries []Query, opts ...Option) (
 		return nil
 	})
 	return reports, err
+}
+
+// AnalyzeAllSettled analyzes a batch like AnalyzeAll but isolates
+// failures: one query's error never cancels its siblings. Reports and
+// errors both align with the input order, exactly one of reports[i] /
+// errs[i] is non-nil per query, and the call itself only fails on ctx
+// cancellation. The server's batch endpoint uses it to return per-item
+// error entries instead of failing a whole mixed batch.
+func (db *DB) AnalyzeAllSettled(ctx context.Context, queries []Query, opts ...Option) (reports []*Report, errs []error) {
+	st := newSettings(opts)
+	reports = make([]*Report, len(queries))
+	errs = make([]error, len(queries))
+	if len(queries) == 0 {
+		return reports, errs
+	}
+	planned := make([]bool, len(queries))
+	if !st.noPlanner {
+		rel := db.view()
+		demands, demandQuery := analyzeDemands(ctx, rel, queries)
+		if p, off := db.planBatch(ctx, rel, demands, st); p != nil {
+			planned = plannedQueries(p, off, demandQuery, len(queries))
+		}
+	}
+	// Workers swallow per-query failures into errs, so RunPool's
+	// first-error cancellation never fires for them — only a cancelled
+	// context stops the batch, and then every unfinished query reports it.
+	_ = core.RunPool(ctx, len(queries), st.workers, func(ctx context.Context, i int) error {
+		stq := st
+		stq.opts.SkipPrime = planned[i]
+		reports[i], errs[i] = db.analyze(ctx, queries[i], stq)
+		return nil
+	})
+	for i := range errs {
+		if reports[i] == nil && errs[i] == nil {
+			errs[i] = ctx.Err()
+		}
+	}
+	return reports, errs
 }
 
 // Run executes the (possibly biased) query as written.

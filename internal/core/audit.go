@@ -287,7 +287,7 @@ func Audit(ctx context.Context, rel source.Relation, spec AuditSpec, opts Option
 	// budget are skipped inside Prime and requests fall through per-subset.
 	if p, ok := view.(interface {
 		Prime(ctx context.Context, attrs []string, budget int) error
-	}); ok && len(rep.Treatments) > 0 && len(rep.Outcomes) > 0 {
+	}); ok && !opts.SkipPrime && len(rep.Treatments) > 0 && len(rep.Outcomes) > 0 {
 		if err := p.Prime(ctx, view.Attributes(), opts.CellBudget); err != nil {
 			return nil, err
 		}

@@ -59,7 +59,7 @@ func DiscoverCovariates(ctx context.Context, rel source.Relation, target string,
 	// then reach the backend as before).
 	if p, ok := rel.(interface {
 		Prime(ctx context.Context, attrs []string, budget int) error
-	}); ok {
+	}); ok && !cfg.SkipPrime {
 		closure := unionAttrs([]string{target}, candidates, nil)
 		if err := p.Prime(ctx, closure, cfg.CellBudget); err != nil {
 			return nil, err

@@ -57,6 +57,12 @@ type Relation struct {
 	versioned source.Versioned
 	budget    int
 
+	// account is the cell ledger shared with every restricted-view cache
+	// hanging off this handle (and their descendants): one bound covers the
+	// whole tree, so a predicate-heavy sweep spawning many per-predicate
+	// child caches cannot multiply the memory footprint past the budget.
+	account *cellAccount
+
 	mu         sync.Mutex
 	n          int
 	hasN       bool
@@ -64,7 +70,7 @@ type Relation struct {
 	wide       []string                      // keys of the widest views: the derivation candidates
 	maps       map[string]map[source.Key]int // request-order attrs -> sparse map form memo
 	mapsVer    uint64                        // version the sparse memo belongs to
-	totalCells int
+	totalCells int                           // this cache's own contribution to account
 	restricts  map[string]*Relation
 	// deltas remembers recent appends: version v maps to the delta relation
 	// whose rows turned v-1 into v. Stale cached views — e.g. ones a
@@ -103,6 +109,36 @@ const maxWide = 32
 // maxRestricts bounds the memoized restriction wrappers.
 const maxRestricts = 256
 
+// cellAccount is the shared dense-cell ledger of one cache tree: the root
+// handle and every restricted-view cache below it charge their stored views
+// here, and eviction decisions compare against one limit for the whole
+// tree. It is a leaf lock — always acquired after any Relation.mu, never
+// while holding it across another Relation call.
+type cellAccount struct {
+	mu    sync.Mutex
+	cells int
+	limit int
+}
+
+func (a *cellAccount) add(n int) {
+	a.mu.Lock()
+	a.cells += n
+	a.mu.Unlock()
+}
+
+func (a *cellAccount) total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cells
+}
+
+// fits reports whether n more cells would stay within the tree limit.
+func (a *cellAccount) fits(n int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cells+n <= a.limit
+}
+
 // maxDeltas bounds the remembered append deltas; views more than maxDeltas
 // versions behind fall back to a re-fetch.
 const maxDeltas = 8
@@ -111,17 +147,28 @@ const maxDeltas = 8
 // (≤ 0 meaning dataset.DefaultCellBudget). Wrapping an already-wrapped
 // relation returns it unchanged.
 func Wrap(rel source.Relation, budget int) *Relation {
+	return wrap(rel, budget, nil)
+}
+
+// wrap builds the cache, charging stored views to acct — the parent's
+// ledger for restriction children, a fresh one (sized off this handle's
+// budget) for roots.
+func wrap(rel source.Relation, budget int, acct *cellAccount) *Relation {
 	if c, ok := rel.(*Relation); ok {
 		return c
 	}
 	if budget <= 0 {
 		budget = dataset.DefaultCellBudget
 	}
+	if acct == nil {
+		acct = &cellAccount{limit: budget * maxTotalCellsFactor}
+	}
 	v, _ := rel.(source.Versioned)
 	return &Relation{
 		inner:     rel,
 		versioned: v,
 		budget:    budget,
+		account:   acct,
 		views:     make(map[string]*entry),
 	}
 }
@@ -135,6 +182,12 @@ func (c *Relation) Stats() Stats {
 	defer c.mu.Unlock()
 	return c.stats
 }
+
+// TotalCachedCells returns the dense cells currently held across this
+// cache tree — the handle itself plus every restricted-view cache charged
+// to the shared ledger. It is bounded by budget × maxTotalCellsFactor no
+// matter how many distinct predicates an analysis restricts by.
+func (c *Relation) TotalCachedCells() int { return c.account.total() }
 
 // Name implements source.Relation.
 func (c *Relation) Name() string { return c.inner.Name() }
@@ -293,7 +346,7 @@ func (c *Relation) Restrict(ctx context.Context, where source.Predicate) (source
 	if inner == c.inner {
 		return c, nil
 	}
-	child := Wrap(inner, c.budget)
+	child := wrap(inner, c.budget, c.account)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.restricts == nil {
@@ -306,10 +359,31 @@ func (c *Relation) Restrict(ctx context.Context, where source.Predicate) (source
 		if len(c.restricts) < maxRestricts {
 			break
 		}
+		c.restricts[k].dropAllViews()
 		delete(c.restricts, k)
 	}
 	c.restricts[key] = child
 	return child, nil
+}
+
+// dropAllViews empties this cache and every restricted-view cache below
+// it, returning their cells to the shared ledger. Called when a wrapper
+// leaves its parent's restriction memo (eviction, append invalidation) —
+// dropped wrappers may still be referenced by in-flight readers, which
+// keep working but re-fetch on their next miss.
+func (c *Relation) dropAllViews() {
+	c.mu.Lock()
+	c.views = make(map[string]*entry)
+	c.wide = nil
+	c.maps = nil
+	c.account.add(-c.totalCells)
+	c.totalCells = 0
+	kids := c.restricts
+	c.restricts = nil
+	c.mu.Unlock()
+	for _, k := range kids {
+		k.dropAllViews()
+	}
 }
 
 // Materialize forwards the row-level capability of the wrapped backend;
@@ -392,12 +466,14 @@ func (c *Relation) applyDelta(ctx context.Context, res *source.AppendResult) {
 		}
 		if err != nil || upgraded == nil {
 			c.totalCells -= len(cur.dc.Cells)
+			c.account.add(-len(cur.dc.Cells))
 			delete(c.views, p.key)
 			c.stats.DeltaDropped++
 			c.mu.Unlock()
 			continue
 		}
 		c.totalCells += len(upgraded.Cells) - len(cur.dc.Cells)
+		c.account.add(len(upgraded.Cells) - len(cur.dc.Cells))
 		c.views[p.key] = &entry{dc: upgraded, ver: res.Version}
 		c.stats.DeltaApplied++
 		c.mu.Unlock()
@@ -407,7 +483,11 @@ func (c *Relation) applyDelta(ctx context.Context, res *source.AppendResult) {
 	c.maps = nil
 	c.mapsVer = res.Version
 	c.n, c.hasN = res.NumRows, true
+	kids := c.restricts
 	c.restricts = nil
+	for _, k := range kids {
+		k.dropAllViews() // their data moved: return their cells to the ledger
+	}
 	if c.deltas == nil {
 		c.deltas = make(map[uint64]source.Relation)
 	}
@@ -482,7 +562,7 @@ type Pinned struct {
 
 	mu        sync.Mutex
 	maps      map[string]map[source.Key]int
-	restricts map[string]source.Relation
+	restricts map[string]*Relation
 }
 
 // Version returns the pinned snapshot version.
@@ -560,6 +640,17 @@ func (p *Pinned) DenseCounts(ctx context.Context, attrs []string, where source.P
 	return p.c.denseAt(ctx, p.snap, p.ver, attrs, budget)
 }
 
+// Prime fetches the finest dense view over attrs at the pinned version —
+// one backend round trip against the snapshot — so subsequent unpredicated
+// counts through this handle (and any other reader of the shared root
+// cache at this version) are answered by marginalization. Budget semantics
+// match Relation.Prime: ≤ 0 means the handle budget, and closures above
+// the effective budget are skipped silently.
+func (p *Pinned) Prime(ctx context.Context, attrs []string, budget int) error {
+	_, err := p.c.denseAt(ctx, p.snap, p.ver, attrs, budget)
+	return err
+}
+
 // Restrict implements source.Relation: restrictions are taken against the
 // pinned snapshot (so they cannot race an append) and wrapped in their own
 // count caches, memoized per rendered predicate for the analysis phases
@@ -583,11 +674,14 @@ func (p *Pinned) Restrict(ctx context.Context, where source.Predicate) (source.R
 	if inner == p.snap {
 		return p, nil
 	}
-	child := source.Relation(Wrap(inner, p.c.budget))
+	// Pinned restriction children charge the root's ledger too: a
+	// predicate-heavy audit over a pinned snapshot stays within the same
+	// tree-wide cell bound as the live handle.
+	child := wrap(inner, p.c.budget, p.c.account)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.restricts == nil {
-		p.restricts = make(map[string]source.Relation)
+		p.restricts = make(map[string]*Relation)
 	}
 	if prev, ok := p.restricts[key]; ok {
 		return prev, nil
@@ -596,6 +690,7 @@ func (p *Pinned) Restrict(ctx context.Context, where source.Predicate) (source.R
 		if len(p.restricts) < maxRestricts {
 			break
 		}
+		p.restricts[k].dropAllViews()
 		delete(p.restricts, k)
 	}
 	p.restricts[key] = child
@@ -776,30 +871,46 @@ func coverPositions(have, want []string) []int {
 }
 
 // storeLocked inserts a view tagged with its snapshot version, evicting
-// arbitrary views past the total-cell bound and maintaining the
+// arbitrary views past the tree-wide cell bound and maintaining the
 // derivation-candidate list. A pinned reader re-fetching an old version
 // never clobbers a newer entry for the same key: the newer epoch wins and
-// the old result is simply served unstored. Callers hold c.mu.
+// the old result is simply served unstored. When even evicting this
+// cache's own views and restriction children cannot make room — sibling
+// caches of the tree hold the remaining ledger — the view is served
+// unstored rather than blowing the bound. Callers hold c.mu.
 func (c *Relation) storeLocked(key string, dc *dataset.DenseCounts, ver uint64) {
 	if old, exists := c.views[key]; exists && old.ver > ver {
 		return
 	}
-	maxTotal := c.budget * maxTotalCellsFactor
-	for k, e := range c.views {
-		if c.totalCells+len(dc.Cells) <= maxTotal {
-			break
-		}
-		c.totalCells -= len(e.dc.Cells)
-		delete(c.views, k)
-	}
+	need := len(dc.Cells)
 	if old, exists := c.views[key]; exists {
 		// Racing fetches of one key: replace, don't double-count.
 		c.totalCells -= len(old.dc.Cells)
-	} else {
-		c.noteWideLocked(key, dc)
+		c.account.add(-len(old.dc.Cells))
+		delete(c.views, key)
 	}
+	for k, e := range c.views {
+		if c.account.fits(need) {
+			break
+		}
+		c.totalCells -= len(e.dc.Cells)
+		c.account.add(-len(e.dc.Cells))
+		delete(c.views, k)
+	}
+	for k := range c.restricts {
+		if c.account.fits(need) {
+			break
+		}
+		c.restricts[k].dropAllViews()
+		delete(c.restricts, k)
+	}
+	if !c.account.fits(need) {
+		return
+	}
+	c.noteWideLocked(key, dc)
 	c.views[key] = &entry{dc: dc, ver: ver}
-	c.totalCells += len(dc.Cells)
+	c.totalCells += need
+	c.account.add(need)
 }
 
 // noteWideLocked admits key into the derivation-candidate list, displacing

@@ -207,3 +207,88 @@ func TestConcurrentDense(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestRestrictedViewsShareCellBudget is the regression test for the shared
+// cell ledger: a predicate-heavy sweep — many distinct WHERE clauses, each
+// spawning its own restricted-view cache and priming a closure — must stay
+// within one tree-wide cell bound instead of multiplying it per predicate.
+func TestRestrictedViewsShareCellBudget(t *testing.T) {
+	tab := testTable(t)
+	const budget = 24 // |A|·|B| = 12 fits per view; the bound is 4× that
+	c := Wrap(mem.New(tab), budget)
+	ctx := context.Background()
+
+	maxTotal := budget * maxTotalCellsFactor
+	for i := 0; i < 3; i++ { // values of A: one restriction (and child cache) each
+		child, err := c.Restrict(ctx, dataset.In{Attr: "A", Values: []string{strconv.Itoa(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, ok := child.(*Relation)
+		if !ok {
+			t.Fatalf("restricted view is %T, want *Relation", child)
+		}
+		if cc.account != c.account {
+			t.Fatal("restricted child does not share the root's cell ledger")
+		}
+		if err := cc.Prime(ctx, []string{"A", "B"}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cc.Counts(ctx, []string{"B", "C"}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.TotalCachedCells(); got > maxTotal {
+			t.Fatalf("after %d restricted primes: %d cached cells, bound is %d", i+1, got, maxTotal)
+		}
+	}
+	if err := c.Prime(ctx, []string{"A", "B", "C"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalCachedCells(); got > maxTotal || got <= 0 {
+		t.Fatalf("final ledger %d, want within (0, %d]", got, maxTotal)
+	}
+
+	// Counts served through the bounded tree still match the backend.
+	child, err := c.Restrict(ctx, dataset.In{Attr: "A", Values: []string{"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := child.Counts(ctx, []string{"B", "C"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := mem.New(tab).Restrict(ctx, dataset.In{Attr: "A", Values: []string{"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Counts(ctx, []string{"B", "C"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("restricted counts under the shared ledger differ from backend")
+	}
+}
+
+// TestDroppedRestrictionsReleaseCells pins the ledger bookkeeping: evicting
+// or invalidating restriction children returns their cells, so the ledger
+// never leaks toward the bound on long predicate churn.
+func TestDroppedRestrictionsReleaseCells(t *testing.T) {
+	tab := testTable(t)
+	c := Wrap(mem.New(tab), 0)
+	ctx := context.Background()
+	child, err := c.Restrict(ctx, dataset.In{Attr: "A", Values: []string{"0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.(*Relation).Prime(ctx, []string{"B", "C"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCachedCells() == 0 {
+		t.Fatal("restricted prime charged nothing to the ledger")
+	}
+	child.(*Relation).dropAllViews()
+	if got := c.TotalCachedCells(); got != 0 {
+		t.Fatalf("ledger holds %d cells after dropping every view, want 0", got)
+	}
+}

@@ -1,0 +1,257 @@
+package planner
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"hypdb/source"
+)
+
+// fakeView records the primes a plan executes. Only the Primer capability
+// is exercised by the planner; the embedded nil Relation satisfies the
+// interface for methods the planner never calls.
+type fakeView struct {
+	source.Relation
+	mu     sync.Mutex
+	primes [][]string
+}
+
+func (f *fakeView) Prime(_ context.Context, attrs []string, _ int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.primes = append(f.primes, append([]string(nil), attrs...))
+	return nil
+}
+
+// unplannable has no Primer: its demands must stay unassigned.
+type unplannable struct{ source.Relation }
+
+func cardsOracle(cards map[string]int) func(context.Context, string) (int, error) {
+	return func(_ context.Context, attr string) (int, error) { return cards[attr], nil }
+}
+
+func TestMergeOverlappingDemands(t *testing.T) {
+	v := &fakeView{}
+	cards := map[string]int{"A": 2, "B": 2, "C": 2}
+	demands := []Demand{
+		{Source: "d0", Attrs: []string{"A", "B"}, View: v, Key: "k"},
+		{Source: "d1", Attrs: []string{"B", "C"}, View: v, Key: "k"},
+		{Source: "d2", Attrs: []string{"C", "A"}, View: v, Key: "k"},
+	}
+	p, err := New(context.Background(), Config{Rows: 1000, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cuboids) != 1 {
+		t.Fatalf("want 1 merged cuboid, got %d: %+v", len(p.Cuboids), p.Cuboids)
+	}
+	if got := strings.Join(p.Cuboids[0].Attrs, ","); got != "A,B,C" {
+		t.Errorf("merged cuboid = {%s}, want {A,B,C}", got)
+	}
+	if p.Cuboids[0].Cells != 8 {
+		t.Errorf("cells = %d, want 8", p.Cuboids[0].Cells)
+	}
+	if p.NaiveTrips != 3 || p.RoundTrips != 1 || p.Saved() != 2 {
+		t.Errorf("trips naive=%d round=%d saved=%d, want 3/1/2", p.NaiveTrips, p.RoundTrips, p.Saved())
+	}
+	if p.Projected != 3 {
+		t.Errorf("projected = %d, want 3 (every demand is a strict subset)", p.Projected)
+	}
+	for i, a := range p.Assign {
+		if a != 0 {
+			t.Errorf("demand %d assigned to %d, want 0", i, a)
+		}
+	}
+	if err := p.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.primes) != 1 || strings.Join(v.primes[0], ",") != "A,B,C" {
+		t.Errorf("execute primed %v, want one prime of {A,B,C}", v.primes)
+	}
+}
+
+func TestSubsumptionServedByProjection(t *testing.T) {
+	v := &fakeView{}
+	cards := map[string]int{"A": 2, "B": 3, "C": 4}
+	demands := []Demand{
+		{Source: "wide", Attrs: []string{"A", "B", "C"}, View: v, Key: "k"},
+		{Source: "narrow", Attrs: []string{"B", "A"}, View: v, Key: "k"},
+		{Source: "dup", Attrs: []string{"A", "B", "C"}, View: v, Key: "k"},
+	}
+	p, err := New(context.Background(), Config{Rows: 1000, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cuboids) != 1 {
+		t.Fatalf("want 1 cuboid, got %d", len(p.Cuboids))
+	}
+	// Two distinct closures, one fetch.
+	if p.NaiveTrips != 2 || p.Saved() != 1 {
+		t.Errorf("naive=%d saved=%d, want 2/1", p.NaiveTrips, p.Saved())
+	}
+	if p.Projected != 1 {
+		t.Errorf("projected = %d, want 1 (only the narrow demand)", p.Projected)
+	}
+}
+
+func TestBudgetKeepsDemandsSeparate(t *testing.T) {
+	v := &fakeView{}
+	// Two disjoint closures of 2500 cells each; their union (6.25M cells)
+	// blows the 4096 budget, so no merge may happen.
+	cards := map[string]int{"A": 50, "B": 50, "C": 50, "D": 50}
+	demands := []Demand{
+		{Source: "d0", Attrs: []string{"A", "B"}, View: v, Key: "k"},
+		{Source: "d1", Attrs: []string{"C", "D"}, View: v, Key: "k"},
+	}
+	p, err := New(context.Background(), Config{CellBudget: 4096, Rows: 1 << 20, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cuboids) != 2 {
+		t.Fatalf("want 2 cuboids (union over budget), got %d", len(p.Cuboids))
+	}
+	if p.Saved() != 0 {
+		t.Errorf("saved = %d, want 0", p.Saved())
+	}
+	if p.Assign[0] < 0 || p.Assign[1] < 0 || p.Assign[0] == p.Assign[1] {
+		t.Errorf("assignment = %v, want two distinct cuboids", p.Assign)
+	}
+}
+
+func TestFetchCostGatesMerging(t *testing.T) {
+	v := &fakeView{}
+	// Union fits the budget (10k cells) but materializes ~9.9k extra
+	// cells; with a fetch costing only 10 cell units the merge must not
+	// happen, with an expensive (SQL-like) fetch it must.
+	cards := map[string]int{"A": 10, "B": 10, "C": 100}
+	demands := []Demand{
+		{Source: "d0", Attrs: []string{"A", "B"}, View: v, Key: "k"},
+		{Source: "d1", Attrs: []string{"C"}, View: v, Key: "k"},
+	}
+	cheap, err := New(context.Background(),
+		Config{CellBudget: 1 << 20, Rows: 1 << 20, FetchCost: 10, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cheap.Cuboids) != 2 {
+		t.Errorf("cheap fetches: want 2 cuboids (merge unprofitable), got %d", len(cheap.Cuboids))
+	}
+	costly, err := New(context.Background(),
+		Config{CellBudget: 1 << 20, Rows: 1 << 20, FetchCost: 100_000, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costly.Cuboids) != 1 {
+		t.Errorf("costly fetches: want 1 merged cuboid, got %d", len(costly.Cuboids))
+	}
+}
+
+func TestOverBudgetClosureGetsTrimmedCuboid(t *testing.T) {
+	v := &fakeView{}
+	cards := map[string]int{"A": 2, "B": 4, "C": 10_000}
+	demands := []Demand{
+		{Source: "big", Attrs: []string{"A", "B", "C"}, View: v, Key: "k"},
+	}
+	p, err := New(context.Background(), Config{CellBudget: 64, Rows: 1 << 20, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cuboids) != 1 || !p.Cuboids[0].Partial {
+		t.Fatalf("want one trimmed cuboid, got %+v", p.Cuboids)
+	}
+	if got := strings.Join(p.Cuboids[0].Attrs, ","); got != "A,B" {
+		t.Errorf("trimmed cuboid = {%s}, want {A,B} (ascending cardinality within budget)", got)
+	}
+	if p.Assign[0] != -1 {
+		t.Errorf("over-budget demand assigned to %d, want -1 (partial coverage only)", p.Assign[0])
+	}
+}
+
+func TestDistinctKeysNeverShareCuboids(t *testing.T) {
+	v1, v2 := &fakeView{}, &fakeView{}
+	cards := map[string]int{"A": 2, "B": 2}
+	demands := []Demand{
+		{Source: "plain", Attrs: []string{"A", "B"}, View: v1, Key: "k1"},
+		{Source: "restricted", Attrs: []string{"A", "B"}, View: v2, Key: "k2"},
+	}
+	p, err := New(context.Background(), Config{Rows: 1000, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cuboids) != 2 {
+		t.Fatalf("want 2 cuboids (distinct keys), got %d", len(p.Cuboids))
+	}
+	if err := p.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(v1.primes) != 1 || len(v2.primes) != 1 {
+		t.Errorf("each view must be primed once, got %d and %d", len(v1.primes), len(v2.primes))
+	}
+}
+
+func TestUnplannableDemandStaysUnassigned(t *testing.T) {
+	v := &fakeView{}
+	cards := map[string]int{"A": 2, "B": 2}
+	demands := []Demand{
+		{Source: "ok", Attrs: []string{"A"}, View: v, Key: "k"},
+		{Source: "noprimer", Attrs: []string{"B"}, View: &unplannable{}, Key: "k2"},
+	}
+	p, err := New(context.Background(), Config{Rows: 1000, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Assign[1] != -1 {
+		t.Errorf("unplannable demand assigned to %d, want -1", p.Assign[1])
+	}
+	if len(p.Cuboids) != 1 {
+		t.Errorf("want 1 cuboid for the plannable demand, got %d", len(p.Cuboids))
+	}
+}
+
+func TestTotalBudgetDropsLargestCuboid(t *testing.T) {
+	v := &fakeView{}
+	cards := map[string]int{"A": 60, "B": 60, "C": 2}
+	demands := []Demand{
+		{Source: "big", Attrs: []string{"A", "B"}, View: v, Key: "k"}, // 3600 cells
+		{Source: "small", Attrs: []string{"C"}, View: v, Key: "k"},    // 2 cells
+	}
+	p, err := New(context.Background(),
+		Config{CellBudget: 4000, TotalBudget: 100, FetchCost: 1, Rows: 1 << 20, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cuboids) != 1 || p.Cuboids[0].Cells != 2 {
+		t.Fatalf("want only the 2-cell cuboid kept, got %+v", p.Cuboids)
+	}
+	if p.Assign[0] != -1 || p.Assign[1] != 0 {
+		t.Errorf("assignment = %v, want [-1 0]", p.Assign)
+	}
+	if p.Cells != 2 {
+		t.Errorf("plan cells = %d, want 2", p.Cells)
+	}
+}
+
+func TestWriteTextMentionsEveryDemand(t *testing.T) {
+	v := &fakeView{}
+	cards := map[string]int{"A": 2, "B": 2}
+	demands := []Demand{
+		{Source: "analyze[0]", Attrs: []string{"A"}, View: v, Key: "k"},
+		{Source: "audit", Attrs: []string{"A", "B"}, View: v, Key: "k"},
+	}
+	p, err := New(context.Background(), Config{Rows: 1000, Card: cardsOracle(cards)}, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := p.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"analyze[0]", "audit", "cuboid 0", "round trips"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -352,6 +352,11 @@ func (s *Server) register(name string, db *hypdb.DB, rows, cols int, backend str
 			Message: fmt.Sprintf("dataset limit (%d) reached", s.cfg.maxDatasets()),
 		}
 	}
+	// Server handles are multi-tenant: concurrent analyze/audit requests
+	// on one dataset should coalesce their count demands into one batch
+	// plan, so the coalescing window is raised from the library default of
+	// zero (plan immediately).
+	db.SetPlanWindow(hypdb.DefaultPlanWindow)
 	e := &entry{
 		name:    name,
 		db:      db,
@@ -891,16 +896,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, badRequest(err.Error()))
 		return
 	}
-	queries := make([]hypdb.Query, len(req.Queries))
+	// Per-item error isolation: a malformed query gets its error entry and
+	// the rest of the batch still runs. Valid queries are compacted for the
+	// session call and their results scattered back to request positions.
+	itemErrs := make([]*api.Error, len(req.Queries))
+	queries := make([]hypdb.Query, 0, len(req.Queries))
+	queryPos := make([]int, 0, len(req.Queries))
 	for i, wq := range req.Queries {
 		q, err := wq.ToQuery(req.Dataset)
 		if err != nil {
 			apiErr := mapError(err)
 			apiErr.Message = fmt.Sprintf("query %d: %s", i, apiErr.Message)
-			s.writeError(w, r, apiErr)
-			return
+			itemErrs[i] = apiErr
+			continue
 		}
-		queries[i] = q
+		queries = append(queries, q)
+		queryPos = append(queryPos, i)
+	}
+	if len(queries) == 0 {
+		out := api.BatchResponse{Reports: make([]*api.Report, len(req.Queries)), Errors: itemErrs}
+		s.writeJSON(w, http.StatusOK, out)
+		return
 	}
 	// The batch reserves one concurrency slot per worker it will run, so
 	// the per-dataset limit genuinely bounds concurrent analyses even when
@@ -925,18 +941,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := s.now()
-	reps, err := e.db.AnalyzeAll(ctx, queries, opts...)
-	if err != nil {
-		s.writeError(w, r, mapError(err))
-		return
-	}
+	reps, errs := e.db.AnalyzeAllSettled(ctx, queries, opts...)
 	e.analyses.Add(int64(len(queries)))
 	s.analyses.Add(int64(len(queries)))
 	s.log.Info("analyze batch", "dataset", req.Dataset, "queries", len(queries),
 		"duration", s.now().Sub(start).String())
-	out := api.BatchResponse{Reports: make([]*api.Report, len(reps))}
-	for i, rep := range reps {
+	out := api.BatchResponse{Reports: make([]*api.Report, len(req.Queries))}
+	failed := 0
+	for j, rep := range reps {
+		i := queryPos[j]
+		if errs[j] != nil {
+			apiErr := mapError(errs[j])
+			apiErr.Message = fmt.Sprintf("query %d: %s", i, apiErr.Message)
+			itemErrs[i] = apiErr
+			continue
+		}
 		out.Reports[i] = api.ReportFromCore(rep)
+	}
+	for _, apiErr := range itemErrs {
+		if apiErr != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		out.Errors = itemErrs
+		s.log.Info("analyze batch errors", "dataset", req.Dataset, "failed", failed)
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
@@ -1095,6 +1124,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := e.db.Stats()
 		out.Cache.CDComputes += st.CDComputes
 		out.Cache.CDHits += st.CDHits
+		planner := api.PlannerStats{
+			Plans:             st.Planner.Plans,
+			Cuboids:           st.Planner.Cuboids,
+			CellsMaterialized: st.Planner.CellsMaterialized,
+			DemandsPlanned:    st.Planner.DemandsPlanned,
+			DemandsProjected:  st.Planner.DemandsProjected,
+			RoundTripsSaved:   st.Planner.RoundTripsSaved,
+		}
+		out.Planner.Plans += planner.Plans
+		out.Planner.Cuboids += planner.Cuboids
+		out.Planner.CellsMaterialized += planner.CellsMaterialized
+		out.Planner.DemandsPlanned += planner.DemandsPlanned
+		out.Planner.DemandsProjected += planner.DemandsProjected
+		out.Planner.RoundTripsSaved += planner.RoundTripsSaved
 		dm := api.DatasetMetrics{
 			Name:         e.name,
 			Rows:         int(e.rows.Load()),
@@ -1108,7 +1151,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				CandidatesDone:  e.auditCandsDone.Load(),
 				CandidatesTotal: e.auditCandsTotal.Load(),
 			},
-			Cache: api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
+			Cache:   api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
+			Planner: planner,
 		}
 		for _, p := range e.db.RemotePeers() {
 			dm.Remote = append(dm.Remote, api.PeerMetrics{

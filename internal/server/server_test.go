@@ -371,6 +371,66 @@ func TestBatchSharesCache(t *testing.T) {
 	}
 }
 
+// TestBatchIsolatesErrors: a batch mixing valid and invalid queries returns
+// per-item error entries aligned with the request order instead of failing
+// wholesale — every valid query still gets its report.
+func TestBatchIsolatesErrors(t *testing.T) {
+	srv, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "berkeley", berkeleyCSV(t)); err != nil {
+		t.Fatal(err)
+	}
+	good := api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}}
+	bad := api.Query{Treatment: "NoSuchColumn", Outcomes: []string{"Accepted"}}
+	reps, errs, err := c.AnalyzeBatchSettled(ctx, api.BatchRequest{
+		Dataset: "berkeley",
+		Queries: []api.Query{good, bad, good},
+		Options: api.Options{Seed: 1, SkipDirect: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 || len(errs) != 3 {
+		t.Fatalf("got %d reports / %d errors, want 3 / 3", len(reps), len(errs))
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Errorf("valid query %d failed: %v", i, errs[i])
+		}
+		if reps[i] == nil || len(reps[i].Answer) != 2 {
+			t.Errorf("valid query %d report = %+v", i, reps[i])
+		}
+	}
+	if reps[1] != nil {
+		t.Error("invalid query produced a report")
+	}
+	if errs[1] == nil || errs[1].Code != api.CodeUnknownAttribute {
+		t.Errorf("invalid query error = %+v, want %s", errs[1], api.CodeUnknownAttribute)
+	}
+	if !strings.Contains(errs[1].Message, "query 1") {
+		t.Errorf("error message %q does not name its query", errs[1].Message)
+	}
+
+	// The strict wrapper keeps the old all-or-nothing contract.
+	if _, err := c.AnalyzeBatch(ctx, api.BatchRequest{
+		Dataset: "berkeley",
+		Queries: []api.Query{good, bad},
+		Options: api.Options{Seed: 1, SkipDirect: true},
+	}); err == nil {
+		t.Error("AnalyzeBatch accepted a batch with a failing query")
+	}
+
+	// Planner activity from the batches lands in /v1/metrics.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := srv.DB("berkeley")
+	if got, want := m.Planner, db.Stats().Planner; got.Plans != want.Plans || got.Plans == 0 {
+		t.Errorf("metrics planner = %+v, session stats = %+v", got, want)
+	}
+}
+
 // TestRequestTimeout: a Monte-Carlo analysis that cannot finish inside the
 // server's request timeout is cancelled and reported as a 504.
 func TestRequestTimeout(t *testing.T) {

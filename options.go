@@ -34,6 +34,11 @@ type settings struct {
 	// minSupport is the Audit support threshold; zero means the spec's
 	// value (or DefaultMinSupport).
 	minSupport int
+	// noPlanner disables the lattice-aware batch planner (WithPlanner).
+	noPlanner bool
+	// planCellBudget overrides the planner's per-cuboid cell budget; zero
+	// means opts.CellBudget (then dataset.DefaultCellBudget).
+	planCellBudget int
 }
 
 func newSettings(opts []Option) settings {
@@ -156,3 +161,20 @@ func WithMinSupport(n int) Option { return func(s *settings) { s.minSupport = n 
 // WithMaxAdjustmentSize caps the adjustment-set sizes EffectBounds
 // enumerates (default: every subset of the candidates).
 func WithMaxAdjustmentSize(n int) Option { return func(s *settings) { s.maxAdjust = n } }
+
+// WithPlanner enables or disables the lattice-aware multi-query planner
+// (default on). When on, AnalyzeAll and Audit first solve a materialized-
+// view selection over the batch's count demands and prime the session
+// count cache with one shared cuboid frontier; concurrent calls on the
+// handle coalesce their demands into the same plan. The planner is a cost
+// optimization only — counts and reports are byte-identical either way —
+// so WithPlanner(false) is purely a debugging/measurement switch.
+func WithPlanner(on bool) Option { return func(s *settings) { s.noPlanner = !on } }
+
+// WithPlanCellBudget bounds the estimated cell count of each cuboid the
+// batch planner materializes, independently of WithCellBudget (which keeps
+// governing the per-request tabulations). Demands whose closure exceeds it
+// get a trimmed best-effort cuboid; the plan's total footprint is capped at
+// a small multiple of this budget. Zero means the WithCellBudget value,
+// then dataset.DefaultCellBudget.
+func WithPlanCellBudget(cells int) Option { return func(s *settings) { s.planCellBudget = cells } }

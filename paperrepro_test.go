@@ -98,6 +98,13 @@ func analyzeSummaryOn(t *testing.T, name string, db *hypdb.DB, rows int, q hypdb
 	if err != nil {
 		t.Fatalf("%s: Analyze: %v", name, err)
 	}
+	return summarize(name, rows, rep)
+}
+
+// summarize digests an already-computed report into the golden summary
+// form, for tests that obtain reports through other entry points (batches,
+// the planner equivalence matrix).
+func summarize(name string, rows int, rep *hypdb.Report) *reproSummary {
 	s := &reproSummary{
 		Dataset:      name,
 		Rows:         rows,

@@ -10,6 +10,7 @@ package hypdb_test
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"hypdb"
@@ -186,5 +187,91 @@ func TestAnalyzeQueryBudget(t *testing.T) {
 	const budget = 32
 	if st.GroupBys > budget {
 		t.Errorf("cold Analyze issued %d GROUP BY queries, budget %d (stats %+v)", st.GroupBys, budget, st)
+	}
+}
+
+// TestBatchPlanQueryBudget: a heterogeneous batch — a whole 30-candidate
+// audit sweep plus an 8-query analyze batch racing on one session handle —
+// stays within a single-digit GROUP BY budget, strictly below the sum of
+// the per-request budgets above. The lattice planner coalesces the batch's
+// count demands into one shared cuboid frontier (the audit's whole-schema
+// closure subsumes every analyze demand), so the backend sees one finest
+// group-by (plus fixed per-handle overhead) for the entire mixed workload.
+func TestBatchPlanQueryBudget(t *testing.T) {
+	tab, _, err := datagen.Random(datagen.RandomSpec{
+		Nodes: 6, AvgDegree: 2, MinCard: 2, MaxCard: 2, Alpha: 0.35, Rows: 4000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := openSQLBacked(t, "qc_batchplan", tab)
+	db := hypdb.OpenSource(rel)
+	attrs := tab.Columns()
+
+	// Eight distinct treatment/outcome pairs: eight covariate discoveries
+	// over eight different targets, all of whose closures the audit's
+	// whole-schema cuboid subsumes. (Grouped queries are excluded here:
+	// their per-context balance tests count over restricted views, which
+	// are predicated reads outside any unpredicated cuboid's reach.)
+	queries := make([]hypdb.Query, 0, 8)
+	for i := 0; i < 8; i++ {
+		queries = append(queries, hypdb.Query{
+			Treatment: attrs[i%len(attrs)],
+			Outcomes:  []string{attrs[(i+1)%len(attrs)]},
+		})
+	}
+
+	ctx := context.Background()
+	opts := []hypdb.Option{hypdb.WithMethod(hypdb.ChiSquared), hypdb.WithSeed(7)}
+	memsql.ResetStats()
+	var (
+		wg       sync.WaitGroup
+		auditRep *hypdb.AuditReport
+		auditErr error
+		reps     []*hypdb.Report
+		batchErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		auditRep, auditErr = db.Audit(ctx, hypdb.AuditSpec{MinSupport: 10}, opts...)
+	}()
+	go func() {
+		defer wg.Done()
+		reps, batchErr = db.AnalyzeAll(ctx, queries, opts...)
+	}()
+	wg.Wait()
+	if auditErr != nil {
+		t.Fatal(auditErr)
+	}
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	if auditRep.Evaluated < 25 {
+		t.Fatalf("only %d audit candidates evaluated — the sweep side would be vacuous", auditRep.Evaluated)
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("analyze query %d returned no report", i)
+		}
+	}
+
+	st := memsql.SnapshotStats()
+	const budget = 6
+	if st.GroupBys > budget {
+		t.Errorf("mixed batch (30-candidate audit + %d analyses) issued %d GROUP BY queries, budget %d (stats %+v)",
+			len(queries), st.GroupBys, budget, st)
+	}
+	// Every demand — the audit's plus one per analyze query — must have
+	// been planned, and the whole mixed workload must share one cuboid
+	// frontier per plan (identical closures here, so each plan's frontier
+	// is a single whole-schema cuboid).
+	ps := db.Stats().Planner
+	if ps.Plans == 0 || ps.DemandsPlanned < len(queries)+1 {
+		t.Errorf("planner did not serve the batch: %+v", ps)
+	}
+	if ps.Cuboids > ps.Plans {
+		t.Errorf("mixed workload split into %d cuboids over %d plans, want one frontier cuboid per plan: %+v",
+			ps.Cuboids, ps.Plans, ps)
 	}
 }
