@@ -37,11 +37,26 @@ type Error struct {
 	Status  int    `json:"-"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterSeconds, when positive, is the server's backoff hint for
+	// 429 rate_limited / 503 overloaded responses: how long to wait before
+	// a retry has a chance of being admitted. The server sends it both in
+	// this envelope and as the standard Retry-After header; the typed
+	// client fills the field from either.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string {
 	return fmt.Sprintf("hypdbd: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// RetryAfter returns the server's backoff hint as a duration, zero when
+// the response carried none.
+func (e *Error) RetryAfter() time.Duration {
+	if e.RetryAfterSeconds <= 0 {
+		return 0
+	}
+	return time.Duration(e.RetryAfterSeconds * float64(time.Second))
 }
 
 // Error codes returned by the service.
@@ -65,6 +80,10 @@ const (
 	CodeBodyTooLarge       = "body_too_large" // request body exceeds the server's limit
 	CodeTimeout            = "timeout"        // request exceeded the server's analysis timeout
 	CodeShuttingDown       = "shutting_down"  // server is draining; request was cancelled
+	CodeUnauthorized       = "unauthorized"   // missing or unknown bearer token (HTTP 401)
+	CodeForbidden          = "forbidden"      // token scope does not allow the operation (HTTP 403)
+	CodeRateLimited        = "rate_limited"   // client token bucket empty (HTTP 429 + Retry-After)
+	CodeOverloaded         = "overloaded"     // admission queue full or deadline unmeetable (HTTP 503 + Retry-After)
 	CodeInternal           = "internal"
 )
 
@@ -827,6 +846,8 @@ type DatasetMetrics struct {
 	// Remote holds per-peer transport counters when this dataset is the
 	// coordinator of remote shards (backend "remote") — the client side.
 	Remote []PeerMetrics `json:"remote,omitempty"`
+	// Admission reports the dataset's fair-queue activity.
+	Admission AdmissionMetrics `json:"admission"`
 }
 
 // PeerMetrics is one remote shard peer's transport counters, as seen by
@@ -864,8 +885,32 @@ type Metrics struct {
 	RowsAppended     int64   `json:"rows_appended"`
 	// CountsServed counts group-by counts requests answered on the
 	// remote-shard transport across all datasets.
-	CountsServed int64            `json:"counts_served,omitempty"`
-	Cache        CacheStats       `json:"cache"`
-	Planner      PlannerStats     `json:"planner"`
-	PerDataset   []DatasetMetrics `json:"per_dataset,omitempty"`
+	CountsServed int64 `json:"counts_served,omitempty"`
+	// RateLimited counts requests shed with 429 rate_limited by the
+	// per-client admission rate limiter.
+	RateLimited int64 `json:"rate_limited,omitempty"`
+	// Admission aggregates the per-dataset fair-queue counters.
+	Admission  AdmissionMetrics `json:"admission"`
+	Cache      CacheStats       `json:"cache"`
+	Planner    PlannerStats     `json:"planner"`
+	PerDataset []DatasetMetrics `json:"per_dataset,omitempty"`
+}
+
+// AdmissionMetrics reports a fair queue's admission activity: requests
+// granted execution slots, requests currently waiting, and load sheds by
+// reason. Once the server is idle, Queued returns to zero and the shed
+// counters reconcile with the 429/503 responses clients observed.
+type AdmissionMetrics struct {
+	// Admitted counts requests granted their slots; Queued is the number
+	// waiting right now.
+	Admitted int64 `json:"admitted"`
+	Queued   int   `json:"queued"`
+	// ShedQueueFull / ShedDeadline / ShedDraining count typed rejections:
+	// bounded queue depth exceeded, a request deadline that expired (or
+	// could not be met) while queued, and shutdown draining.
+	ShedQueueFull int64 `json:"shed_queue_full,omitempty"`
+	ShedDeadline  int64 `json:"shed_deadline,omitempty"`
+	ShedDraining  int64 `json:"shed_draining,omitempty"`
+	// Cancelled counts waiters whose client went away while queued.
+	Cancelled int64 `json:"cancelled,omitempty"`
 }

@@ -4,26 +4,58 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // Client is a typed HTTP client for a hypdbd server.
 //
-//	c := api.NewClient("http://localhost:8080", nil)
+//	c := api.NewClient("http://localhost:8080", nil,
+//		api.WithToken(token), api.WithRetry(3))
 //	info, err := c.CreateDataset(ctx, "flights", csvText)
 //	report, err := c.Analyze(ctx, api.AnalyzeRequest{Dataset: "flights", ...})
 //
 // Failures coming from the service are returned as *Error values carrying
-// the HTTP status and the service's error code.
+// the HTTP status and the service's error code; 429/503 errors also carry
+// the server's Retry-After hint (Error.RetryAfter).
 type Client struct {
 	baseURL string
 	hc      *http.Client
+	token   string
+	// retries > 0 enables the opt-in shed-retry loop (WithRetry).
+	retries   int
+	retryBase time.Duration
+	// sleep is swapped out by tests to observe backoff without waiting.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithToken makes every request carry the bearer token in its
+// Authorization header — required against servers running with -token.
+func WithToken(token string) ClientOption {
+	return func(c *Client) { c.token = token }
+}
+
+// WithRetry makes the client retry requests the server shed with 429
+// rate_limited or 503 overloaded/shutting-down responses, up to max extra
+// attempts. The wait before each retry honors the server's Retry-After
+// hint when one is present, and otherwise doubles from 100ms up to a 5s
+// cap, always with ±50% jitter — the same capped-doubling shape as the
+// remote-shard transport's backoff. Waits respect the request context.
+// Only shed responses are retried: the request never executed, so the
+// retry is safe for every endpoint including appends.
+func WithRetry(max int) ClientOption {
+	return func(c *Client) { c.retries = max }
 }
 
 // NewClient creates a client for the server at baseURL (scheme and host,
@@ -32,11 +64,20 @@ type Client struct {
 // http.DefaultClient, so a hung peer cannot block a caller forever even
 // when the context carries no deadline. Context deadlines still apply and
 // win whenever they are stricter than the client's own timeout.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = DefaultHTTPClient()
 	}
-	return &Client{baseURL: strings.TrimRight(baseURL, "/"), hc: httpClient}
+	c := &Client{
+		baseURL:   strings.TrimRight(baseURL, "/"),
+		hc:        httpClient,
+		retryBase: 100 * time.Millisecond,
+		sleep:     sleepCtx,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // DefaultHTTPClient returns the http.Client NewClient falls back to when
@@ -189,6 +230,13 @@ func (c *Client) Audit(ctx context.Context, req AuditRequest) (*AuditReport, err
 	return &out, nil
 }
 
+// Shutdown asks the server to begin a graceful shutdown (drain, then
+// exit). Requires operator scope on servers running with auth tokens, and
+// the endpoint must be enabled server-side.
+func (c *Client) Shutdown(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/shutdown", nil, nil)
+}
+
 // Health probes liveness.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var out Health
@@ -207,25 +255,48 @@ func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 	return &out, nil
 }
 
-// do performs one JSON round trip. Non-2xx responses decode the error
-// envelope into *Error.
+// do performs one JSON round trip, retrying shed (429/503) responses when
+// WithRetry enabled it. Non-2xx responses decode the error envelope into
+// *Error.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("api: encoding request: %w", err)
 		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.doOnce(ctx, method, path, buf, in != nil, out)
+		if lastErr == nil || attempt >= c.retries || !shedErr(lastErr) {
+			return lastErr
+		}
+		var apiErr *Error
+		errors.As(lastErr, &apiErr)
+		if err := c.sleep(ctx, retryDelay(c.retryBase, attempt, apiErr.RetryAfter())); err != nil {
+			return lastErr
+		}
+	}
+}
+
+// doOnce performs a single attempt of one JSON round trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, buf []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("api: building request: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("Accept", "application/json")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("api: %s %s: %w", method, path, err)
@@ -249,6 +320,50 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return nil
 }
 
+// shedErr reports whether an error is a shed response worth retrying: the
+// server refused admission (429 rate limit, 503 overload or drain), so
+// the request never executed and a retry is safe.
+func shedErr(err error) bool {
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.Status == http.StatusTooManyRequests ||
+		apiErr.Status == http.StatusServiceUnavailable
+}
+
+// retryDelay computes the wait before retry attempt (0-based): the
+// server's Retry-After hint when present, otherwise doubling from base
+// with a 5s cap — never a blind shift, which overflows for large attempt
+// counts — and ±50% jitter either way so synchronized clients do not
+// re-stampede the server on the same tick.
+func retryDelay(base time.Duration, attempt int, hint time.Duration) time.Duration {
+	const maxDelay = 5 * time.Second
+	d := hint
+	if d <= 0 {
+		d = base
+		for i := 0; i < attempt && d < maxDelay; i++ {
+			d *= 2
+		}
+	}
+	if d <= 0 || d > maxDelay {
+		d = maxDelay
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// sleepCtx waits out d, honoring cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // drain discards what remains of a response body, capped so a hostile or
 // broken server cannot make us read unbounded garbage just to save a
 // connection. Past the cap the connection is sacrificed (Close discards it).
@@ -257,17 +372,29 @@ func drain(body io.Reader) {
 }
 
 // decodeError turns a failure response into an *Error, synthesizing one
-// when the body is not the service's envelope (e.g. a proxy page).
+// when the body is not the service's envelope (e.g. a proxy page). The
+// Retry-After header (whole seconds) fills RetryAfterSeconds when the
+// envelope itself did not carry the hint, so shed responses surface their
+// backoff hint no matter which channel delivered it.
 func decodeError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	apiErr := &Error{Status: resp.StatusCode, Code: CodeInternal}
 	var env errorEnvelope
 	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
-		env.Error.Status = resp.StatusCode
-		return env.Error
+		apiErr = env.Error
+		apiErr.Status = resp.StatusCode
+	} else {
+		apiErr.Message = strings.TrimSpace(string(raw))
+		if apiErr.Message == "" {
+			apiErr.Message = resp.Status
+		}
 	}
-	msg := strings.TrimSpace(string(raw))
-	if msg == "" {
-		msg = resp.Status
+	if apiErr.RetryAfterSeconds <= 0 {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				apiErr.RetryAfterSeconds = float64(secs)
+			}
+		}
 	}
-	return &Error{Status: resp.StatusCode, Code: CodeInternal, Message: msg}
+	return apiErr
 }

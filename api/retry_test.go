@@ -1,0 +1,196 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedServer answers the first fail requests with the given shed status
+// (emitting Retry-After the way hypdbd does), then succeeds.
+func shedServer(t *testing.T, status int, code string, retryAfter int, fail int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= fail {
+			if retryAfter > 0 {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]*Error{"error": { //nolint:errcheck
+				Code: code, Message: "shed", RetryAfterSeconds: float64(retryAfter),
+			}})
+			return
+		}
+		json.NewEncoder(w).Encode(Health{Status: "ok"}) //nolint:errcheck
+	}))
+	return srv, &calls
+}
+
+// TestErrorSurfacesRetryAfter pins the typed-error contract: a 429/503
+// response's Retry-After reaches the caller through *Error whether it
+// came in the envelope or only in the header.
+func TestErrorSurfacesRetryAfter(t *testing.T) {
+	t.Run("envelope", func(t *testing.T) {
+		srv, _ := shedServer(t, http.StatusTooManyRequests, CodeRateLimited, 7, 1)
+		defer srv.Close()
+		_, err := NewClient(srv.URL, nil).Health(context.Background())
+		var apiErr *Error
+		if !errors.As(err, &apiErr) || apiErr.Code != CodeRateLimited {
+			t.Fatalf("err = %v, want rate_limited *Error", err)
+		}
+		if apiErr.RetryAfter() != 7*time.Second {
+			t.Fatalf("RetryAfter = %v, want 7s", apiErr.RetryAfter())
+		}
+	})
+	t.Run("header-only", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+		}))
+		defer srv.Close()
+		_, err := NewClient(srv.URL, nil).Health(context.Background())
+		var apiErr *Error
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("err = %v, want 503 *Error", err)
+		}
+		if apiErr.RetryAfter() != 3*time.Second {
+			t.Fatalf("RetryAfter = %v, want 3s from the header", apiErr.RetryAfter())
+		}
+	})
+}
+
+// TestWithRetryHonorsRetryAfter: the opt-in retry loop waits out the
+// server's hint (observed via a stubbed sleeper) and succeeds once the
+// shed clears.
+func TestWithRetryHonorsRetryAfter(t *testing.T) {
+	srv, calls := shedServer(t, http.StatusTooManyRequests, CodeRateLimited, 1, 2)
+	defer srv.Close()
+
+	var waits []time.Duration
+	c := NewClient(srv.URL, nil, WithRetry(3))
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("retried request failed: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 sheds + success)", calls.Load())
+	}
+	for i, d := range waits {
+		// Hint 1s, ±50% jitter: every wait lands in [500ms, 2s].
+		if d < 500*time.Millisecond || d > 2*time.Second {
+			t.Fatalf("wait %d = %v, want within jittered 1s hint", i, d)
+		}
+	}
+}
+
+// TestWithRetryBoundedAndCappedDoubling: with no server hint the waits
+// double from the base with a cap, and the attempt budget is enforced.
+func TestWithRetryBoundedAndCappedDoubling(t *testing.T) {
+	srv, calls := shedServer(t, http.StatusServiceUnavailable, CodeOverloaded, 0, 1<<40)
+	defer srv.Close()
+
+	var waits []time.Duration
+	c := NewClient(srv.URL, nil, WithRetry(4))
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	_, err := c.Health(context.Background())
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeOverloaded {
+		t.Fatalf("err = %v, want overloaded after retry budget", err)
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("server saw %d calls, want 5 (1 + 4 retries)", calls.Load())
+	}
+	base := 100 * time.Millisecond
+	for i, d := range waits {
+		exp := base << i
+		if d < exp/2 || d > 2*exp {
+			t.Fatalf("wait %d = %v, want jittered around %v (capped doubling)", i, d, exp)
+		}
+	}
+}
+
+// TestRetryDelayNeverOverflows guards the capped-doubling shape against
+// the shift-overflow bug the remote transport once had.
+func TestRetryDelayNeverOverflows(t *testing.T) {
+	for _, attempt := range []int{0, 1, 10, 63, 1000} {
+		d := retryDelay(100*time.Millisecond, attempt, 0)
+		if d <= 0 || d > 8*time.Second {
+			t.Fatalf("retryDelay(attempt=%d) = %v, want within (0, ~7.5s]", attempt, d)
+		}
+	}
+	// An absurd server hint is capped too.
+	if d := retryDelay(100*time.Millisecond, 0, time.Hour); d > 8*time.Second {
+		t.Fatalf("hinted retryDelay = %v, want capped", d)
+	}
+}
+
+// TestRetryDisabledByDefault: without WithRetry a shed response surfaces
+// immediately.
+func TestRetryDisabledByDefault(t *testing.T) {
+	srv, calls := shedServer(t, http.StatusTooManyRequests, CodeRateLimited, 1, 1)
+	defer srv.Close()
+	_, err := NewClient(srv.URL, nil).Health(context.Background())
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeRateLimited {
+		t.Fatalf("err = %v, want immediate rate_limited", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1", calls.Load())
+	}
+}
+
+// TestRetryDoesNotTouchNonShedErrors: 4xx verdicts other than 429 are
+// final — no retry, even with the option on.
+func TestRetryDoesNotTouchNonShedErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]*Error{"error": { //nolint:errcheck
+			Code: CodeDatasetNotFound, Message: "no dataset",
+		}})
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, nil, WithRetry(5))
+	c.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	_, err := c.Stats(context.Background(), "nope")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeDatasetNotFound {
+		t.Fatalf("err = %v, want dataset_not_found", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (404 must not be retried)", calls.Load())
+	}
+}
+
+// TestWithTokenSendsBearer: the token option attaches the Authorization
+// header to every request.
+func TestWithTokenSendsBearer(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("Authorization"))
+		json.NewEncoder(w).Encode(Health{Status: "ok"}) //nolint:errcheck
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, nil, WithToken("s3cret"))
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "Bearer s3cret" {
+		t.Fatalf("Authorization = %q, want Bearer s3cret", got.Load())
+	}
+}

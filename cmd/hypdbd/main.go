@@ -8,6 +8,8 @@
 //	       [-max-upload-mb 64] [-max-datasets 64] [-shards N]
 //	       [-preload name[:rows],...] [-sql name=driver,dsn,table]...
 //	       [-peer name=url1,url2,...]... [-peer-degraded]
+//	       [-data-dir DIR] [-token name:scope:secret[:weight]]...
+//	       [-rate N] [-burst N] [-max-queued N] [-enable-shutdown]
 //	       [-seed 1] [-log text|json] [-grace 15s]
 //
 // Endpoints (see the api package for the wire types):
@@ -47,8 +49,23 @@
 // coordinates them under one global dictionary, so a cluster serves one
 // logical catalog. -peer-degraded lets those datasets keep answering (with
 // reports marked stale) when a peer dies instead of failing reads.
+//
+// -data-dir DIR persists the dataset catalog: HTTP registrations (CSV
+// bodies spilled to DIR/csv/), streaming appends, deletions, and
+// flag-driven SQL/remote registrations journal to DIR/journal.jsonl and
+// replay at the next startup — no client re-registration after a restart.
+// -token name:scope:secret (repeatable; scope operator or reader, with an
+// optional :weight suffix scaling the client's fair share) enables bearer
+// auth: operator tokens may mutate datasets and trigger shutdown, reader
+// tokens may analyze and read. -rate/-burst shed each client's requests
+// beyond the per-second rate (with burst headroom) as 429 + Retry-After;
+// -max-queued bounds each dataset's fair-queue depth, shedding the excess
+// with 503 + Retry-After. -enable-shutdown exposes POST /v1/shutdown
+// (operator scope), which triggers the same graceful drain as a signal.
+//
 // On SIGINT/SIGTERM the server
-// stops accepting requests and waits up to -grace for in-flight analyses;
+// sheds queued work with 503 + Retry-After, stops accepting new requests,
+// and waits up to -grace for in-flight analyses;
 // when the grace period expires their contexts are cancelled, which aborts
 // permutation loops and discovery searches promptly. A second signal
 // forces immediate exit.
@@ -65,6 +82,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -86,6 +104,40 @@ type peerSpecs []string
 
 func (s *peerSpecs) String() string     { return strings.Join(*s, " ") }
 func (s *peerSpecs) Set(v string) error { *s = append(*s, v); return nil }
+
+// tokenSpecs collects repeatable -token flags of the form
+// "name:scope:secret" with an optional ":weight" suffix.
+type tokenSpecs []string
+
+func (s *tokenSpecs) String() string     { return strings.Join(*s, " ") }
+func (s *tokenSpecs) Set(v string) error { *s = append(*s, v); return nil }
+
+// parseTokens turns -token specs into server tokens.
+func parseTokens(specs tokenSpecs) ([]server.Token, error) {
+	var out []server.Token
+	for _, spec := range specs {
+		parts := strings.Split(spec, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf(`-token %q: want "name:scope:secret[:weight]"`, spec)
+		}
+		t := server.Token{Name: parts[0], Scope: parts[1], Secret: parts[2], Weight: 1}
+		if t.Name == "" || t.Secret == "" {
+			return nil, fmt.Errorf("-token %q: name and secret must be non-empty", spec)
+		}
+		if t.Scope != server.ScopeOperator && t.Scope != server.ScopeReader {
+			return nil, fmt.Errorf("-token %q: scope must be %q or %q", spec, server.ScopeOperator, server.ScopeReader)
+		}
+		if len(parts) == 4 {
+			w, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("-token %q: bad weight %q", spec, parts[3])
+			}
+			t.Weight = w
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -109,6 +161,13 @@ func run() error {
 	var peerDatasets peerSpecs
 	flag.Var(&peerDatasets, "peer", `remote-sharded dataset to register at startup, "name=url1,url2,..." (repeatable; each URL is a hypdbd peer already serving the dataset)`)
 	peerDegraded := flag.Bool("peer-degraded", false, "serve -peer datasets from surviving shards (reports marked stale) when a peer is down, instead of failing reads")
+	dataDir := flag.String("data-dir", "", "directory for the persistent dataset catalog (empty = in-memory only; registrations do not survive restarts)")
+	var tokens tokenSpecs
+	flag.Var(&tokens, "token", `bearer credential "name:scope:secret[:weight]" (repeatable; scope operator or reader; enables auth on every endpoint but /healthz)`)
+	rate := flag.Float64("rate", 0, "per-client request rate limit in requests/second (0 disables; over-rate requests get 429 + Retry-After)")
+	burst := flag.Int("burst", 0, "per-client rate-limit burst headroom (minimum 1)")
+	maxQueued := flag.Int("max-queued", 0, "max requests queued per dataset for execution slots (0 = 4×max-concurrent, negative = unbounded; excess gets 503 + Retry-After)")
+	enableShutdown := flag.Bool("enable-shutdown", false, "expose POST /v1/shutdown (operator scope) triggering the graceful drain")
 	seed := flag.Int64("seed", 1, "seed for preloaded generators")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain window before in-flight analyses are cancelled")
@@ -131,6 +190,20 @@ func run() error {
 			allowed = append(allowed, d)
 		}
 	}
+	parsedTokens, err := parseTokens(tokens)
+	if err != nil {
+		return err
+	}
+
+	// -enable-shutdown routes POST /v1/shutdown into the same graceful
+	// path as a signal; the channel is closed at most once.
+	shutdownCh := make(chan struct{})
+	var shutdownOnce sync.Once
+	var onShutdown func()
+	if *enableShutdown {
+		onShutdown = func() { shutdownOnce.Do(func() { close(shutdownCh) }) }
+	}
+
 	srv := server.New(server.Config{
 		Logger:                  log,
 		RequestTimeout:          *reqTimeout,
@@ -139,7 +212,21 @@ func run() error {
 		MaxDatasets:             *maxDatasets,
 		Shards:                  *shards,
 		AllowSQLDrivers:         allowed,
+		Tokens:                  parsedTokens,
+		RatePerClient:           *rate,
+		RateBurst:               *burst,
+		MaxQueuedPerDataset:     *maxQueued,
+		OnShutdown:              onShutdown,
 	})
+	if *dataDir != "" {
+		if err := srv.OpenCatalog(*dataDir); err != nil {
+			return fmt.Errorf("-data-dir %q: %w", *dataDir, err)
+		}
+		log.Info("catalog journal open", "dir", *dataDir)
+	}
+	// Flag-driven registrations run before Recover: replayed journal
+	// records for names the flags re-established are skipped, and journaled
+	// appends then apply to the flag-registered datasets.
 	if err := preloadDatasets(srv, *preload, *seed, log); err != nil {
 		return err
 	}
@@ -154,6 +241,11 @@ func run() error {
 	for _, spec := range peerDatasets {
 		if err := registerPeerDataset(srv, spec, *peerDegraded, log); err != nil {
 			return err
+		}
+	}
+	if *dataDir != "" {
+		if err := srv.Recover(context.Background()); err != nil {
+			return fmt.Errorf("recovering catalog from %q: %w", *dataDir, err)
 		}
 	}
 
@@ -175,9 +267,15 @@ func run() error {
 		// Startup failure (e.g. the port is taken): exit nonzero at once.
 		return err
 	case <-ctx.Done():
+	case <-shutdownCh:
+		log.Info("shutdown requested via /v1/shutdown")
 	}
 	stop() // a second signal now kills the process outright
 	log.Info("shutting down", "grace", grace.String())
+	// Phase one: shed queued admission waiters (503 + Retry-After) and
+	// reject new work, while requests already holding execution slots run
+	// to completion inside the grace window.
+	srv.Drain()
 	// When the drain window expires, cancel in-flight analysis contexts;
 	// the permutation loops abort and the handlers still get a few seconds
 	// to flush their 503 responses before the hard close.
@@ -190,9 +288,11 @@ func run() error {
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		log.Warn("forced shutdown", "error", err)
-		srv.Close()
 		_ = httpSrv.Close()
 	}
+	// Idempotent: releases dataset handles and closes the catalog journal
+	// whether or not the drain timer already fired.
+	srv.Close()
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -1,0 +1,242 @@
+// Command hypdbload drives a load and chaos mix against a running hypdbd
+// and checks the server's overload contract: requests either succeed or
+// are shed with a typed 429/503 + Retry-After — they never hang — and
+// analyses never observe a mix of snapshot epochs while appends race
+// them.
+//
+// Usage:
+//
+//	hypdbload [-addr http://localhost:8080] [-token SECRET]
+//	          [-dataset loadgen] [-create] [-shards 2] [-rows 1]
+//	          [-duration 10s] [-workers 8]
+//	          [-mix analyze=6,append=2,audit=0,metrics=1]
+//	          [-timeout 60s] [-p99 0] [-slowloris 0] [-seed 1]
+//	          [-out result.json]
+//
+// The mix weights draw analyze, append, audit and metrics operations per
+// worker loop. -create registers the target dataset (a generated Berkeley
+// admissions table, sharded so appends work) if it is missing; that and
+// the append mix require an operator-scope -token when the server runs
+// with authentication. -slowloris N holds N connections open dribbling
+// unfinished requests for the whole run — the server must keep serving
+// real traffic alongside them.
+//
+// The run exits 0 when the contract held; it exits 1 and prints each
+// violation when a request hung past -timeout, a shed carried no
+// Retry-After, a report mixed epochs, or an operation's p99 exceeded
+// -p99 (0 disables the latency bound). -out writes the full result —
+// outcome counts and per-operation latency histograms — as JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hypdb/api"
+	"hypdb/internal/datagen"
+	"hypdb/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the hypdbd under test")
+		token    = flag.String("token", "", "bearer token (operator scope needed for -create and append mixes)")
+		dataset  = flag.String("dataset", "loadgen", "target dataset name")
+		create   = flag.Bool("create", false, "create the dataset (generated Berkeley table) if missing")
+		shards   = flag.Int("shards", 2, "partitions for a -create'd dataset (sharded backend, appendable)")
+		rows     = flag.Int("rows", 1, "Berkeley table size multiplier for -create")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		workers  = flag.Int("workers", 8, "concurrent load workers")
+		mixSpec  = flag.String("mix", "analyze=6,append=2,audit=0,metrics=1", "operation weights")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request hang bound")
+		p99Max   = flag.Duration("p99", 0, "per-operation p99 bound (0 disables)")
+		loris    = flag.Int("slowloris", 0, "slow-loris connections to hold open during the run")
+		seed     = flag.Int64("seed", 1, "worker schedule seed")
+		out      = flag.String("out", "", "write the JSON result (counts + latency histograms) here")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fatal("parsing -mix: %v", err)
+	}
+	var opts []api.ClientOption
+	if *token != "" {
+		opts = append(opts, api.WithToken(*token))
+	}
+	client := api.NewClient(*addr, nil, opts...)
+	ctx := context.Background()
+
+	baseRows, err := ensureDataset(ctx, client, *dataset, *create, *shards, *rows)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *loris > 0 {
+		host, err := hostOf(*addr)
+		if err != nil {
+			fatal("deriving slow-loris target from -addr: %v", err)
+		}
+		lorisCtx, stop := context.WithCancel(ctx)
+		defer stop()
+		if err := loadgen.SlowLoris(lorisCtx, host, *loris, 100*time.Millisecond); err != nil {
+			fatal("opening slow-loris connections: %v", err)
+		}
+		fmt.Printf("slow-loris: %d connections dribbling\n", *loris)
+	}
+
+	runner := loadgen.New(loadgen.Config{
+		Client:  client,
+		Dataset: *dataset,
+		Query:   api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}},
+		AuditSpec: api.AuditSpec{
+			Treatments: []string{"Gender"}, Outcomes: []string{"Accepted"}, TopK: 3,
+		},
+		AppendRows: [][]string{{"Female", "A", "1"}, {"Male", "F", "0"}},
+		BaseRows:   baseRows,
+		Workers:    *workers,
+		Duration:   *duration,
+
+		PerRequestTimeout: *timeout,
+		Mix:               mix,
+		Seed:              *seed,
+	})
+	fmt.Printf("load: %s for %s with %d workers (mix %s)\n", *dataset, *duration, *workers, *mixSpec)
+	res := runner.Run(ctx)
+
+	printResult(res)
+	if *out != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal("encoding result: %v", err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fatal("writing -out: %v", err)
+		}
+		fmt.Printf("result written to %s\n", *out)
+	}
+
+	if v := res.Violations(*p99Max); len(v) != 0 {
+		for _, msg := range v {
+			fmt.Fprintf(os.Stderr, "VIOLATION: %s\n", msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("contract held: no hangs, no mixed epochs, sheds carried Retry-After")
+}
+
+// ensureDataset resolves the target dataset's current row count, creating
+// it first when asked and missing.
+func ensureDataset(ctx context.Context, c *api.Client, name string, create bool, shards, rows int) (int, error) {
+	stats, err := c.Stats(ctx, name)
+	if err == nil {
+		return stats.Rows, nil
+	}
+	var apiErr *api.Error
+	if !asAPIError(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		return 0, fmt.Errorf("checking dataset %q: %w", name, err)
+	}
+	if !create {
+		return 0, fmt.Errorf("dataset %q not found (use -create to register it)", name)
+	}
+	tab, err := datagen.Berkeley(int64(rows))
+	if err != nil {
+		return 0, err
+	}
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		return 0, err
+	}
+	info, err := c.CreateShardedDataset(ctx, name, b.String(), shards)
+	if err != nil {
+		return 0, fmt.Errorf("creating dataset %q: %w", name, err)
+	}
+	fmt.Printf("created dataset %q: %d rows, %d shards\n", name, info.Rows, shards)
+	return info.Rows, nil
+}
+
+// parseMix parses "analyze=6,append=2,audit=0,metrics=1".
+func parseMix(spec string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad weight in %q", part)
+		}
+		switch key {
+		case loadgen.OpAnalyze:
+			m.Analyze = w
+		case loadgen.OpAudit:
+			m.Audit = w
+		case loadgen.OpAppend:
+			m.Append = w
+		case loadgen.OpMetrics:
+			m.Metrics = w
+		default:
+			return m, fmt.Errorf("unknown operation %q", key)
+		}
+	}
+	if m.Analyze+m.Audit+m.Append+m.Metrics == 0 {
+		return m, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return m, nil
+}
+
+func hostOf(addr string) (string, error) {
+	u, err := url.Parse(addr)
+	if err != nil {
+		return "", err
+	}
+	host := u.Host
+	if u.Port() == "" {
+		switch u.Scheme {
+		case "https":
+			host += ":443"
+		default:
+			host += ":80"
+		}
+	}
+	return host, nil
+}
+
+func printResult(res *loadgen.Result) {
+	c := res.Counts
+	fmt.Printf("outcomes: ok=%d shed=%d typed_errors=%d transport=%d hung=%d mixed_epoch=%d\n",
+		c.OK, c.Shed, c.TypedErrors, c.Transport, c.Hung, c.MixedEpoch)
+	ops := make([]string, 0, len(res.Latency))
+	for op := range res.Latency {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		s := res.Latency[op]
+		fmt.Printf("%-8s n=%-6d p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+			op, s.Count, s.P50MS, s.P95MS, s.P99MS, s.MaxMS)
+	}
+	for _, sample := range res.ErrorSamples {
+		fmt.Printf("sample: %s\n", sample)
+	}
+}
+
+func asAPIError(err error, target **api.Error) bool {
+	return errors.As(err, target)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hypdbload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Package admission implements hypdbd's overload protection: per-client
+// token-bucket rate limiting and a weighted fair queue in front of each
+// dataset's bounded execution capacity.
+//
+// The two primitives compose into an admission pipeline:
+//
+//   - Limiter answers "may this client submit another request at all?" —
+//     a token bucket per client identity, refilled at a configured rate.
+//     A refusal is instantaneous and cheap (429 rate_limited upstream).
+//   - Queue answers "when may this admitted request start executing?" —
+//     a weighted fair scheduler over a fixed slot capacity with a bounded
+//     wait queue. One tenant's 30-slot audit cannot starve another
+//     tenant's single analyze: grants are ordered by per-client virtual
+//     finish time, so a heavy client's backlog queues behind light
+//     clients' sparse requests no matter the arrival order.
+//
+// Every refusal is typed (*Rejection) and carries a RetryAfter estimate,
+// so the HTTP layer can answer 429/503 with a Retry-After header instead
+// of letting callers time out silently. Request deadlines propagate into
+// queue waits twice over: a request whose context deadline cannot be met
+// given the current backlog is rejected at enqueue time (it never
+// occupies a queue slot), and a request whose deadline expires while
+// queued is shed with a Rejection, not a bare DeadlineExceeded.
+//
+// Multi-slot reservations (batches, audits) are starvation-free: once a
+// reservation is the scheduler's minimum virtual finish time, freed slots
+// accumulate for it and no later request overtakes it — the FIFO fix for
+// the bare-channel semaphore this package replaces, where racing singles
+// could barge past a batch indefinitely.
+package admission
+
+import (
+	"fmt"
+	"time"
+)
+
+// Reason classifies a Rejection.
+type Reason string
+
+// Rejection reasons, in rough order of the admission pipeline.
+const (
+	// RateLimited: the client's token bucket is empty (HTTP 429).
+	RateLimited Reason = "rate_limited"
+	// QueueFull: the dataset's wait queue is at its depth bound (HTTP 503).
+	QueueFull Reason = "queue_full"
+	// DeadlineUnmeetable: the request's context deadline cannot be met
+	// given the current backlog, or expired while it was queued (HTTP 503).
+	DeadlineUnmeetable Reason = "deadline_unmeetable"
+	// Draining: the queue is shutting down and shed its waiters (HTTP 503).
+	Draining Reason = "draining"
+)
+
+// Rejection is a typed admission refusal: why, and when a retry has a
+// chance. It implements error; callers unwrap it with errors.As.
+type Rejection struct {
+	// Reason classifies the refusal.
+	Reason Reason
+	// RetryAfter estimates how long the caller should back off before a
+	// retry can plausibly be admitted. Always positive.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("admission: %s (retry after %s)", r.Reason, r.RetryAfter)
+}

@@ -1,0 +1,404 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// QueueConfig tunes a Queue.
+type QueueConfig struct {
+	// Capacity is the number of concurrently held execution slots.
+	// Values < 1 are raised to 1.
+	Capacity int
+	// MaxQueued bounds how many requests may wait for slots; a request
+	// arriving with the queue full is shed with QueueFull. Zero means
+	// 4×Capacity; negative means unbounded.
+	MaxQueued int
+	// Clock overrides time.Now for tests; nil uses time.Now.
+	Clock func() time.Time
+}
+
+// QueueStats is a point-in-time snapshot of a queue's counters.
+type QueueStats struct {
+	// Admitted counts requests granted their slots (they may still be
+	// running); Queued is the number currently waiting.
+	Admitted int64
+	Queued   int
+	// ShedFull / ShedDeadline / ShedDraining count rejections by reason;
+	// Cancelled counts waiters whose own context ended while queued
+	// (client went away — not a shed).
+	ShedFull     int64
+	ShedDeadline int64
+	ShedDraining int64
+	Cancelled    int64
+}
+
+// Queue is a weighted fair scheduler over a bounded slot capacity with a
+// bounded wait queue. See the package comment for the model; the key
+// properties are
+//
+//   - per-client weighted fairness: grants are ordered by virtual finish
+//     time (slots/weight accumulated per client), so a client submitting
+//     a burst queues behind other clients' later arrivals;
+//   - FIFO multi-slot reservations: once a reservation is first in
+//     virtual order, freed slots accumulate for it exclusively — singles
+//     cannot barge past it;
+//   - deadline-aware admission: a context deadline that cannot be met
+//     given the backlog estimate is rejected at once, and one that
+//     expires while queued is shed with a typed Rejection.
+type Queue struct {
+	capacity  int
+	maxQueued int
+	clock     func() time.Time
+
+	mu      sync.Mutex
+	free    int
+	vtime   float64
+	seq     uint64
+	clients map[string]*clientState
+	heads   int // requests currently queued (all clients)
+	closed  bool
+
+	// ewma tracks slot-hold time (per released acquisition) in
+	// nanoseconds, feeding wait estimates and Retry-After hints.
+	ewma float64
+
+	stats QueueStats
+}
+
+type clientState struct {
+	id    string
+	vlast float64
+	fifo  []*waiter
+}
+
+type waiter struct {
+	c       *clientState
+	n       int // slots requested
+	granted int // slots reserved so far
+	seq     uint64
+	vstart  float64
+	vfinish float64
+	ready   chan struct{} // closed on full grant or shed; err says which
+	err     error
+}
+
+// NewQueue creates a Queue.
+func NewQueue(cfg QueueConfig) *Queue {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = 4 * cfg.Capacity
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Queue{
+		capacity:  cfg.Capacity,
+		maxQueued: cfg.MaxQueued,
+		clock:     cfg.Clock,
+		free:      cfg.Capacity,
+		clients:   make(map[string]*clientState),
+	}
+}
+
+// Capacity returns the queue's slot capacity.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Stats snapshots the queue's counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stats
+	st.Queued = q.heads
+	return st
+}
+
+// Acquire blocks until n slots are granted to client (weight > 0 scales
+// its fair share; 1 is the default tenant weight) or admission fails. On
+// success the returned release function must be called exactly once to
+// return the slots. Failures are either a *Rejection (shed: queue full,
+// unmeetable or expired deadline, draining) or the context's own
+// cancellation error when the caller went away.
+func (q *Queue) Acquire(ctx context.Context, client string, weight float64, n int) (release func(), err error) {
+	return q.acquire(ctx, client, weight, n, false)
+}
+
+// Drain acquires the queue's full capacity for a teardown path — deleting
+// a dataset waits for its in-flight work this way. It bypasses the queue
+// depth bound and the deadline estimate (a teardown must not be shed for
+// being slow), but still loses to Close and to its context.
+func (q *Queue) Drain(ctx context.Context) (release func(), err error) {
+	return q.acquire(ctx, "\x00drain", 1, q.capacity, true)
+}
+
+func (q *Queue) acquire(ctx context.Context, client string, weight float64, n int, bypass bool) (release func(), err error) {
+	if n < 1 {
+		n = 1
+	}
+	if n > q.capacity {
+		n = q.capacity
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	q.mu.Lock()
+	if q.closed {
+		q.stats.ShedDraining++
+		ra := q.retryAfterLocked(n)
+		q.mu.Unlock()
+		return nil, &Rejection{Reason: Draining, RetryAfter: ra}
+	}
+	// Deadline propagation: estimate how long this request would wait
+	// behind the backlog; if its deadline lands before that, shedding now
+	// beats occupying a queue slot it can never use.
+	if dl, ok := ctx.Deadline(); ok && !bypass {
+		if wait := q.estimateWaitLocked(n); wait > 0 && q.clock().Add(wait).After(dl) {
+			q.stats.ShedDeadline++
+			q.mu.Unlock()
+			return nil, &Rejection{Reason: DeadlineUnmeetable, RetryAfter: clampRetry(wait)}
+		}
+	}
+	canStartNow := q.heads == 0 && q.free >= n
+	if !canStartNow && !bypass && q.maxQueued > 0 && q.heads >= q.maxQueued {
+		q.stats.ShedFull++
+		ra := q.retryAfterLocked(n)
+		q.mu.Unlock()
+		return nil, &Rejection{Reason: QueueFull, RetryAfter: ra}
+	}
+
+	c := q.clients[client]
+	if c == nil {
+		c = &clientState{id: client}
+		q.clients[client] = c
+	}
+	q.seq++
+	w := &waiter{c: c, n: n, seq: q.seq, ready: make(chan struct{})}
+	w.vstart = max(q.vtime, c.vlast)
+	w.vfinish = w.vstart + float64(n)/weight
+	c.vlast = w.vfinish
+	c.fifo = append(c.fifo, w)
+	q.heads++
+	q.dispatchLocked()
+	granted := w.granted == w.n
+	q.mu.Unlock()
+
+	if granted {
+		return q.releaseFn(w), nil
+	}
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return nil, w.err
+		}
+		return q.releaseFn(w), nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		select {
+		case <-w.ready:
+			// Lost the race: the grant (or a shed) landed first. Honor it.
+			q.mu.Unlock()
+			if w.err != nil {
+				return nil, w.err
+			}
+			return q.releaseFn(w), nil
+		default:
+		}
+		q.removeLocked(w)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The deadline expired while queued: a shed, not a hang — the
+			// caller gets a typed rejection with a retry hint instead of a
+			// bare timeout.
+			q.stats.ShedDeadline++
+			ra := q.retryAfterLocked(n)
+			q.mu.Unlock()
+			return nil, &Rejection{Reason: DeadlineUnmeetable, RetryAfter: ra}
+		}
+		q.stats.Cancelled++
+		q.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close sheds every queued waiter with a Draining rejection and makes all
+// future Acquires fail the same way. Slots already granted stay granted —
+// admitted work finishes; its releases are still accepted. Safe to call
+// more than once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, c := range q.clients {
+		for _, w := range c.fifo {
+			q.free += w.granted // refund partial reservations
+			w.granted = 0
+			w.err = &Rejection{Reason: Draining, RetryAfter: clampRetry(q.holdEstimateLocked())}
+			q.stats.ShedDraining++
+			close(w.ready)
+		}
+		c.fifo = nil
+	}
+	q.heads = 0
+}
+
+// dispatchLocked grants free slots strictly in (virtual start time,
+// arrival) order: the eligible head with the smallest vstart — ties
+// broken by arrival sequence, so earlier requests win — receives every
+// freed slot until its reservation completes; only then may the next
+// waiter be served. Start-time ordering with FIFO ties is what makes
+// multi-slot reservations FIFO against later singles: a later arrival's
+// vstart is at least the virtual time the reservation enqueued at, so it
+// can tie but never undercut. Virtual time advances by served work
+// (the granted waiter's vfinish), which bounds how far a backlogged
+// client's requests can be overtaken by a stream of fresh clients.
+func (q *Queue) dispatchLocked() {
+	for q.free > 0 {
+		w := q.minHeadLocked()
+		if w == nil {
+			return
+		}
+		take := w.n - w.granted
+		if take > q.free {
+			take = q.free
+		}
+		w.granted += take
+		q.free -= take
+		if w.granted < w.n {
+			return // reservation holds what it has; nobody overtakes it
+		}
+		q.popLocked(w)
+		q.stats.Admitted++
+		if w.vfinish > q.vtime {
+			q.vtime = w.vfinish
+		}
+		close(w.ready)
+	}
+}
+
+// minHeadLocked returns the queued head waiter with the smallest virtual
+// start time (arrival order breaks ties), nil when nothing is queued.
+func (q *Queue) minHeadLocked() *waiter {
+	var best *waiter
+	for _, c := range q.clients {
+		if len(c.fifo) == 0 {
+			continue
+		}
+		if h := c.fifo[0]; best == nil || h.vstart < best.vstart ||
+			(h.vstart == best.vstart && h.seq < best.seq) {
+			best = h
+		}
+	}
+	return best
+}
+
+// popLocked removes a granted or shed head from its client's FIFO.
+func (q *Queue) popLocked(w *waiter) {
+	c := w.c
+	for i, cand := range c.fifo {
+		if cand == w {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			break
+		}
+	}
+	q.heads--
+	if len(c.fifo) == 0 {
+		// Forget idle clients so the map stays bounded; a returning client
+		// restarts at the current virtual time, which is the standard
+		// fair-queueing treatment of an idle period.
+		delete(q.clients, c.id)
+	}
+}
+
+// removeLocked withdraws a still-queued waiter (caller cancelled),
+// refunding any partially reserved slots and redispatching.
+func (q *Queue) removeLocked(w *waiter) {
+	q.free += w.granted
+	w.granted = 0
+	q.popLocked(w)
+	q.dispatchLocked()
+}
+
+// releaseFn returns the idempotent slot-release closure for a granted
+// waiter, folding the observed hold time into the service-time EWMA.
+func (q *Queue) releaseFn(w *waiter) func() {
+	start := q.clock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			held := q.clock().Sub(start)
+			q.mu.Lock()
+			q.free += w.n
+			const alpha = 0.2
+			if q.ewma == 0 {
+				q.ewma = float64(held)
+			} else {
+				q.ewma = alpha*float64(held) + (1-alpha)*q.ewma
+			}
+			q.dispatchLocked()
+			q.mu.Unlock()
+		})
+	}
+}
+
+// estimateWaitLocked estimates how long a new n-slot request would wait:
+// the slots busy plus queued ahead of it, drained in capacity-sized waves
+// of the average hold time. Zero when the queue has no service-time
+// history yet — admission stays permissive until evidence accumulates.
+func (q *Queue) estimateWaitLocked(n int) time.Duration {
+	if q.ewma == 0 {
+		return 0
+	}
+	ahead := q.capacity - q.free
+	for _, c := range q.clients {
+		for _, w := range c.fifo {
+			ahead += w.n - w.granted
+		}
+	}
+	if ahead == 0 {
+		return 0
+	}
+	waves := float64(ahead+n-1) / float64(q.capacity)
+	return time.Duration(waves * q.ewma)
+}
+
+// holdEstimateLocked is the average slot-hold time, defaulting to one
+// second before any history exists.
+func (q *Queue) holdEstimateLocked() time.Duration {
+	if q.ewma == 0 {
+		return time.Second
+	}
+	return time.Duration(q.ewma)
+}
+
+// retryAfterLocked is the Retry-After hint for a rejection of an n-slot
+// request: the backlog drain estimate, clamped to [1s, 60s].
+func (q *Queue) retryAfterLocked(n int) time.Duration {
+	wait := q.estimateWaitLocked(n)
+	if wait == 0 {
+		wait = q.holdEstimateLocked()
+	}
+	return clampRetry(wait)
+}
+
+// clampRetry bounds a Retry-After hint to [1s, 60s]: sub-second hints
+// round to a useless "0" header, and anything past a minute just tells
+// clients to give up.
+func clampRetry(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	if d > time.Minute {
+		return time.Minute
+	}
+	return d
+}

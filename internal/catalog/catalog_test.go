@@ -1,0 +1,190 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) *Journal {
+	t.Helper()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestReplayDeleteCancelsHistory(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	recs := []Record{
+		{Op: OpCreate, Name: "a", Kind: KindCSV, CSVFile: "csv/a-1.csv"},
+		{Op: OpAppend, Name: "a", Rows: [][]string{{"x", "y"}}},
+		{Op: OpCreate, Name: "b", Kind: KindSQL, Driver: "memsql", DSN: "dsn", SQLTable: "t"},
+		{Op: OpDelete, Name: "a"},
+		{Op: OpCreate, Name: "a", Kind: KindRemote, Peers: []string{"http://p1"}},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	live, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 2 {
+		t.Fatalf("live = %d records, want 2 (delete cancels a's first life)", len(live))
+	}
+	if live[0].Name != "b" || live[0].Kind != KindSQL {
+		t.Fatalf("live[0] = %+v, want b/sql", live[0])
+	}
+	if live[1].Name != "a" || live[1].Kind != KindRemote || live[1].Peers[0] != "http://p1" {
+		t.Fatalf("live[1] = %+v, want a's second life as remote", live[1])
+	}
+}
+
+func TestReplaySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	if err := j.Append(Record{Op: OpCreate, Name: "d", Kind: KindCSV, Shards: 4, CSVFile: "csv/d-1.csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, dir)
+	live, err := j2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 1 || live[0].Name != "d" || live[0].Shards != 4 {
+		t.Fatalf("live = %+v, want the create back after reopen", live)
+	}
+}
+
+func TestSpillCSVRoundTrip(t *testing.T) {
+	j := openT(t, t.TempDir())
+	body := "city,crime\nSF,high\nNY,low\n"
+	file, err := j.SpillCSV("crime", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(file, "csv/") {
+		t.Fatalf("spill path %q not under csv/", file)
+	}
+	got, err := j.ReadCSV(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != body {
+		t.Fatalf("round trip lost bytes: %q != %q", got, body)
+	}
+
+	// Two spills for the same name must not collide.
+	file2, err := j.SpillCSV("crime", "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file2 == file {
+		t.Fatalf("second spill reused %q", file)
+	}
+}
+
+func TestTornTailIgnoredMidCorruptionFatal(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	if err := j.Append(Record{Op: OpCreate, Name: "ok", Kind: KindCSV, CSVFile: "csv/ok.csv"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+
+	// A torn final line (crash mid-write, never acknowledged) is dropped.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"create","na`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	live, err := j.Replay()
+	if err != nil {
+		t.Fatalf("torn tail should be ignored, got %v", err)
+	}
+	if len(live) != 1 || live[0].Name != "ok" {
+		t.Fatalf("live = %+v, want just the acknowledged create", live)
+	}
+
+	// Corruption followed by more records is not a torn tail — fail loudly
+	// rather than silently forgetting an acknowledged registration.
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n{\"op\":\"create\",\"name\":\"later\",\"kind\":\"csv\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := j.Replay(); err == nil {
+		t.Fatal("mid-journal corruption should be an error")
+	}
+}
+
+func TestCompactDropsDeadRecordsAndOrphanSpills(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+
+	deadFile, err := j.SpillCSV("dead", "a,b\n1,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveFile, err := j.SpillCSV("live", "c,d\n3,4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Record{
+		{Op: OpCreate, Name: "dead", Kind: KindCSV, CSVFile: deadFile},
+		{Op: OpCreate, Name: "live", Kind: KindCSV, CSVFile: liveFile},
+		{Op: OpAppend, Name: "live", Rows: [][]string{{"5", "6"}}},
+		{Op: OpDelete, Name: "dead"},
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 2 || live[0].Name != "live" || live[1].Op != OpAppend {
+		t.Fatalf("after compact live = %+v, want live's create+append only", live)
+	}
+	if _, err := os.Stat(filepath.Join(dir, deadFile)); !os.IsNotExist(err) {
+		t.Fatalf("orphan spill %s survived compaction (err=%v)", deadFile, err)
+	}
+	if _, err := j.ReadCSV(liveFile); err != nil {
+		t.Fatalf("live spill lost in compaction: %v", err)
+	}
+
+	// The journal must still accept appends through the re-pointed handle.
+	if err := j.Append(Record{Op: OpDelete, Name: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	live, err = j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 0 {
+		t.Fatalf("post-compact delete not visible: %+v", live)
+	}
+}

@@ -12,12 +12,21 @@
 // the paper's Sec 6, lifted to the service boundary. Batch requests fan
 // into DB.AnalyzeAll's worker pool.
 //
-// Operational behavior: per-dataset concurrency limits (excess requests
-// queue on the limiter, still sharing the cache), optional per-request
-// analysis timeouts, structured request logging, and graceful shutdown —
-// Close cancels a server-wide context that every in-flight request context
-// is joined to, which aborts running permutation loops and discovery
-// searches promptly.
+// Operational behavior: admission control in front of each dataset —
+// requests pass an optional per-client token-bucket rate limiter (429
+// rate_limited) and then a weighted fair queue over the dataset's
+// execution slots, so one tenant's burst queues behind other tenants
+// instead of starving them; overload sheds with typed 503 overloaded
+// responses carrying Retry-After, and a request whose deadline cannot be
+// met never occupies a queue slot. Optional bearer-token auth gates
+// mutating endpoints behind operator scope. With OpenCatalog, dataset
+// registrations and appends journal to a data directory and Recover
+// replays them after a restart (CSV bodies reload from spill files, SQL
+// DSNs re-open, remote peers re-handshake, snapshot versions re-pin).
+// Graceful shutdown is two-phase: Drain sheds queued work with 503 +
+// Retry-After while admitted requests finish; Close cancels a
+// server-wide context that every in-flight request context is joined to,
+// which aborts running permutation loops and discovery searches promptly.
 package server
 
 import (
@@ -28,9 +37,12 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
+	"net"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,6 +50,8 @@ import (
 
 	"hypdb"
 	"hypdb/api"
+	"hypdb/internal/admission"
+	"hypdb/internal/catalog"
 	"hypdb/internal/countcache"
 	"hypdb/source"
 	"hypdb/source/remote"
@@ -71,8 +85,59 @@ type Config struct {
 	// connections must be opted into. Operator-initiated registration
 	// (AddSQLDataset, the -sql flag) is not gated.
 	AllowSQLDrivers []string
+	// Tokens grants bearer credentials. Empty serves unauthenticated
+	// ("open mode"): every client is treated as an operator identified by
+	// its remote host. Non-empty requires Authorization: Bearer on every
+	// endpoint except /healthz, with each token's scope gating what it may
+	// do (see Token).
+	Tokens []Token
+	// RatePerClient admits at most this many requests per second per
+	// client identity (token name, or remote host in open mode), with
+	// RateBurst extra requests of burst headroom (minimum 1). Requests
+	// over the rate are shed with 429 rate_limited and a Retry-After
+	// hint. Zero disables rate limiting. /healthz and /v1/metrics are
+	// exempt so probes and dashboards keep working during overload.
+	RatePerClient float64
+	// RateBurst is the per-client token-bucket burst size; see
+	// RatePerClient.
+	RateBurst int
+	// MaxQueuedPerDataset bounds how many requests may wait in a
+	// dataset's fair queue for an execution slot; requests beyond it are
+	// shed with 503 overloaded. Zero means 4× the concurrency limit;
+	// negative means unbounded.
+	MaxQueuedPerDataset int
+	// OnShutdown, when non-nil, enables POST /v1/shutdown (operator
+	// scope): the handler acknowledges with 202 and then calls OnShutdown
+	// on its own goroutine — typically wired to the binary's graceful
+	// drain path. Nil keeps the endpoint disabled (403).
+	OnShutdown func()
 	// Clock overrides time.Now for tests; nil uses time.Now.
 	Clock func() time.Time
+}
+
+// Scopes a Token may grant.
+const (
+	// ScopeOperator may mutate the catalog (dataset create/append/delete)
+	// and trigger shutdown, plus everything a reader may do.
+	ScopeOperator = "operator"
+	// ScopeReader may analyze, audit, and read stats/metrics, but not
+	// mutate. Any unrecognized scope is treated as reader.
+	ScopeReader = "reader"
+)
+
+// Token is one bearer credential in Config.Tokens.
+type Token struct {
+	// Secret is the credential presented as "Authorization: Bearer <Secret>".
+	Secret string
+	// Name identifies the client in logs, rate limiting and fair
+	// queueing; empty defaults to the scope name.
+	Name string
+	// Scope is ScopeOperator or ScopeReader.
+	Scope string
+	// Weight scales the client's share of a dataset's fair queue
+	// (default 1; a weight-2 client is served twice as often under
+	// contention).
+	Weight float64
 }
 
 func (c Config) logger() *slog.Logger {
@@ -130,8 +195,49 @@ type Server struct {
 	// endpoint can pin unversioned backends too.
 	regSeq atomic.Uint64
 
+	// limiter is the per-client admission rate limiter (nil when
+	// disabled); rateLimited counts the 429s it caused. tokens maps
+	// bearer secrets to identities; empty means open mode. draining is
+	// set by Drain: new work is rejected with 503 + Retry-After while
+	// admitted requests finish.
+	limiter     *admission.Limiter
+	rateLimited atomic.Int64
+	tokens      map[string]identity
+	draining    atomic.Bool
+
+	// journal persists catalog mutations when OpenCatalog was called;
+	// catMu guards catalogNames, the set of dataset names with a live
+	// create record (so flag-driven registrations journal only once
+	// across restarts).
+	journal      *catalog.Journal
+	catMu        sync.Mutex
+	catalogNames map[string]bool
+
 	mu       sync.RWMutex
 	datasets map[string]*entry
+}
+
+// identity is an authenticated client: its admission-control name, its
+// scope, and its fair-queue weight.
+type identity struct {
+	name   string
+	scope  string
+	weight float64
+}
+
+// ctxKey keys context values owned by this package.
+type ctxKey int
+
+const identityKey ctxKey = iota
+
+// identityFrom returns the request identity stashed by instrument. The
+// fallback (an anonymous operator) only triggers for handlers invoked
+// outside the middleware stack, i.e. in tests.
+func identityFrom(ctx context.Context) identity {
+	if id, ok := ctx.Value(identityKey).(identity); ok {
+		return id
+	}
+	return identity{name: "anon", scope: ScopeOperator, weight: 1}
 }
 
 // entry is one registered dataset: the shared session handle plus the
@@ -144,7 +250,11 @@ type entry struct {
 	rows    atomic.Int64
 	cols    int
 	backend string
-	sem     chan struct{}
+	// queue is the dataset's weighted fair admission queue: every
+	// analyze/batch/audit/append/counts request acquires execution slots
+	// through it, so one tenant's burst queues behind other tenants'
+	// requests instead of starving them.
+	queue   *admission.Queue
 	created time.Time
 	// epoch is the nonzero registration epoch: the pinned version the counts
 	// endpoint hands to remote-shard coordinators when the backend has no
@@ -159,8 +269,10 @@ type entry struct {
 	// countsServed counts group-by counts requests answered on the
 	// remote-shard transport (this node acting as someone's shard).
 	countsServed atomic.Int64
-	// acqMu serializes multi-slot semaphore acquisitions (see acquire).
-	acqMu    sync.Mutex
+	// appendMu serializes the apply+journal pair of an append so the
+	// journal's record order matches the backend's version order — replay
+	// then reproduces the same snapshot versions.
+	appendMu sync.Mutex
 	analyses atomic.Int64
 	// Audit-sweep progress: completed sweeps, sweeps in flight, and
 	// cumulative candidate counts — surfaced in /v1/metrics so pollers see
@@ -179,13 +291,35 @@ func New(cfg Config) *Server {
 		now = time.Now
 	}
 	s := &Server{
-		cfg:       cfg,
-		log:       cfg.logger(),
-		now:       now,
-		started:   now(),
-		closing:   closing,
-		cancelAll: cancel,
-		datasets:  make(map[string]*entry),
+		cfg:          cfg,
+		log:          cfg.logger(),
+		now:          now,
+		started:      now(),
+		closing:      closing,
+		cancelAll:    cancel,
+		datasets:     make(map[string]*entry),
+		catalogNames: make(map[string]bool),
+	}
+	if cfg.RatePerClient > 0 {
+		s.limiter = admission.NewLimiter(cfg.RatePerClient, cfg.RateBurst, now)
+	}
+	if len(cfg.Tokens) > 0 {
+		s.tokens = make(map[string]identity, len(cfg.Tokens))
+		for _, t := range cfg.Tokens {
+			scope := ScopeReader
+			if t.Scope == ScopeOperator {
+				scope = ScopeOperator
+			}
+			name := t.Name
+			if name == "" {
+				name = scope
+			}
+			weight := t.Weight
+			if weight <= 0 {
+				weight = 1
+			}
+			s.tokens[t.Secret] = identity{name: name, scope: scope, weight: weight}
+		}
 	}
 	// Seed the registration-epoch sequence from the start time so epochs
 	// (very likely) differ across server restarts as well, not only across
@@ -208,16 +342,193 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	for _, e := range entries {
+		e.queue.Close()
 		if err := e.db.Close(); err != nil {
 			s.log.Error("closing dataset handle", "name", e.name, "error", err)
 		}
 	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.log.Error("closing catalog journal", "error", err)
+		}
+	}
+}
+
+// Drain begins load shedding for shutdown: every request queued in a
+// dataset's fair queue is rejected with 503 + Retry-After, new analysis
+// work is rejected the same way, and requests already holding execution
+// slots run to completion. /healthz and /v1/metrics keep answering so
+// probes and dashboards can watch the drain. Call Close once the HTTP
+// server has finished draining connections. Safe to call more than once.
+func (s *Server) Drain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.RLock()
+	entries := make([]*entry, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	for _, e := range entries {
+		e.queue.Close()
+	}
+	s.log.Info("draining: queued requests shed, admitted requests finishing")
+}
+
+// OpenCatalog attaches a persistent dataset catalog rooted at dir: from
+// now on, HTTP dataset creations (CSV bodies spilled to dir/csv/),
+// streaming appends, deletions, and flag-driven SQL/remote registrations
+// are journaled, and Recover replays them after a restart. Call before
+// serving and before Recover.
+func (s *Server) OpenCatalog(dir string) error {
+	j, err := catalog.Open(dir)
+	if err != nil {
+		return err
+	}
+	live, err := j.Replay()
+	if err != nil {
+		j.Close()
+		return err
+	}
+	s.journal = j
+	s.catMu.Lock()
+	for _, rec := range live {
+		if rec.Op == catalog.OpCreate {
+			s.catalogNames[rec.Name] = true
+		}
+	}
+	s.catMu.Unlock()
+	return nil
+}
+
+// Recover replays the catalog journal: live creates re-register (CSV
+// datasets reload their spilled bodies, SQL datasets re-open their DSNs,
+// remote datasets re-handshake their peers) and appends re-apply in
+// order, so sharded snapshot versions re-pin exactly where they were. A
+// create whose name is already registered (an operator flag re-established
+// it this boot) is skipped, as is one whose backing source cannot be
+// re-opened — both are logged, and the journal record survives for the
+// next restart. Call after flag-driven registrations, before serving.
+// Ends with a journal compaction.
+func (s *Server) Recover(ctx context.Context) error {
+	if s.journal == nil {
+		return nil
+	}
+	recs, err := s.journal.Replay()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		switch rec.Op {
+		case catalog.OpCreate:
+			if _, ok := s.DB(rec.Name); ok {
+				s.log.Info("recover: dataset already registered this boot; journal create skipped",
+					"name", rec.Name, "kind", rec.Kind)
+				continue
+			}
+			if err := s.recoverCreate(ctx, rec); err != nil {
+				s.log.Warn("recover: dataset not recovered (record kept for next restart)",
+					"name", rec.Name, "kind", rec.Kind, "error", err)
+			}
+		case catalog.OpAppend:
+			e, apiErr := s.lookup(rec.Name)
+			if apiErr != nil {
+				s.log.Warn("recover: append skipped, dataset missing", "name", rec.Name)
+				continue
+			}
+			res, err := e.db.Append(ctx, rec.Rows)
+			if err != nil {
+				return fmt.Errorf("recover: replaying append to %q: %w", rec.Name, err)
+			}
+			e.rows.Store(int64(res.NumRows))
+		}
+	}
+	if err := s.journal.Compact(); err != nil {
+		// Compaction is an optimization; a failure costs disk, not data.
+		s.log.Warn("recover: journal compaction failed", "error", err)
+	}
+	return nil
+}
+
+// recoverCreate re-registers one journaled dataset.
+func (s *Server) recoverCreate(ctx context.Context, rec catalog.Record) error {
+	switch rec.Kind {
+	case catalog.KindCSV:
+		body, err := s.journal.ReadCSV(rec.CSVFile)
+		if err != nil {
+			return err
+		}
+		tab, err := hypdb.ReadCSV(strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		db, backend := s.openMem(tab, rec.Shards)
+		if _, apiErr := s.register(rec.Name, db, tab.NumRows(), tab.NumCols(), backend); apiErr != nil {
+			db.Close()
+			return errors.New(apiErr.Message)
+		}
+	case catalog.KindSQL:
+		db, apiErr := s.openSQL(ctx, rec.Driver, rec.DSN, rec.SQLTable)
+		if apiErr != nil {
+			return errors.New(apiErr.Message)
+		}
+		rows, cols, err := sizeOf(ctx, db)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		if _, apiErr := s.register(rec.Name, db, rows, cols, "sqldb"); apiErr != nil {
+			db.Close()
+			return errors.New(apiErr.Message)
+		}
+	case catalog.KindRemote:
+		return s.addRemote(ctx, rec.Name, rec.Peers, rec.Degraded)
+	default:
+		return fmt.Errorf("unknown catalog kind %q", rec.Kind)
+	}
+	s.log.Info("recovered dataset", "name", rec.Name, "kind", rec.Kind)
+	return nil
+}
+
+// journalCreate persists a dataset registration; no-op without a catalog.
+// The bool in catalogNames keeps flag-driven registrations from appending
+// a duplicate create every boot.
+func (s *Server) journalCreate(rec catalog.Record) error {
+	if s.journal == nil {
+		return nil
+	}
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	if s.catalogNames[rec.Name] {
+		return nil
+	}
+	if err := s.journal.Append(rec); err != nil {
+		return err
+	}
+	s.catalogNames[rec.Name] = true
+	return nil
+}
+
+// journalDelete persists a dataset deletion; no-op without a catalog.
+func (s *Server) journalDelete(name string) error {
+	if s.journal == nil {
+		return nil
+	}
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	if err := s.journal.Append(catalog.Record{Op: catalog.OpDelete, Name: name}); err != nil {
+		return err
+	}
+	delete(s.catalogNames, name)
+	return nil
 }
 
 // AddDataset registers an in-memory table under name — used by the binary
 // to preload generated datasets and by tests. The table must not be
 // mutated afterwards. Config.Shards > 1 serves it through the sharded
-// backend, making it appendable.
+// backend, making it appendable. Preloaded datasets are not journaled:
+// they are regenerated from the seed at every boot.
 func (s *Server) AddDataset(name string, t *hypdb.Table) error {
 	db, backend := s.openMem(t, 0)
 	if _, apiErr := s.register(name, db, t.NumRows(), t.NumCols(), backend); apiErr != nil {
@@ -258,7 +569,10 @@ func (s *Server) AddSQLDataset(ctx context.Context, name, driver, dsn, table str
 		db.Close()
 		return errors.New(apiErr.Message)
 	}
-	return nil
+	return s.journalCreate(catalog.Record{
+		Op: catalog.OpCreate, Name: name, Kind: catalog.KindSQL,
+		Driver: driver, DSN: dsn, SQLTable: table,
+	})
 }
 
 // AddRemoteDataset registers a dataset served by remote hypdbd peers: one
@@ -273,6 +587,18 @@ func (s *Server) AddSQLDataset(ctx context.Context, name, driver, dsn, table str
 // arbitrary hosts, the same reasoning that keeps SQL DSN registration
 // behind Config.AllowSQLDrivers.
 func (s *Server) AddRemoteDataset(ctx context.Context, name string, peers []string, degraded bool) error {
+	if err := s.addRemote(ctx, name, peers, degraded); err != nil {
+		return err
+	}
+	return s.journalCreate(catalog.Record{
+		Op: catalog.OpCreate, Name: name, Kind: catalog.KindRemote,
+		Peers: peers, Degraded: degraded,
+	})
+}
+
+// addRemote opens and registers a remote-sharded dataset without touching
+// the journal — shared by AddRemoteDataset and catalog replay.
+func (s *Server) addRemote(ctx context.Context, name string, peers []string, degraded bool) error {
 	opts := []hypdb.OpenOption{hypdb.WithRemoteShards(peers...)}
 	if degraded {
 		opts = append(opts, hypdb.WithDegradedReads())
@@ -362,7 +688,11 @@ func (s *Server) register(name string, db *hypdb.DB, rows, cols int, backend str
 		db:      db,
 		cols:    cols,
 		backend: backend,
-		sem:     make(chan struct{}, s.cfg.maxConcurrent()),
+		queue: admission.NewQueue(admission.QueueConfig{
+			Capacity:  s.cfg.maxConcurrent(),
+			MaxQueued: s.cfg.MaxQueuedPerDataset,
+			Clock:     s.now,
+		}),
 		created: s.now(),
 		epoch:   s.nextEpoch(),
 	}
@@ -397,18 +727,72 @@ func (s *Server) DB(name string) (*hypdb.DB, bool) {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	mux.HandleFunc("POST /v1/datasets", s.operator(s.handleCreateDataset))
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
+	mux.HandleFunc("POST /v1/datasets/{name}/append", s.operator(s.handleAppend))
 	mux.HandleFunc("POST /v1/datasets/{name}/counts", s.handleCounts)
-	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.operator(s.handleDeleteDataset))
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/shutdown", s.operator(s.handleShutdown))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s.instrument(mux)
+}
+
+// operator gates a handler on operator scope.
+func (s *Server) operator(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if id := identityFrom(r.Context()); id.scope != ScopeOperator {
+			s.writeError(w, r, &api.Error{
+				Status: http.StatusForbidden, Code: api.CodeForbidden,
+				Message: fmt.Sprintf("%s %s requires an operator-scoped token", r.Method, r.URL.Path),
+			})
+			return
+		}
+		next(w, r)
+	}
+}
+
+// authenticate resolves the request's identity. With no tokens configured
+// the server runs open: every client is an operator named after its
+// remote host (which still scopes rate limiting and fair queueing).
+// /healthz is always open so liveness probes need no credentials.
+func (s *Server) authenticate(r *http.Request) (identity, *api.Error) {
+	if r.URL.Path == "/healthz" {
+		return identity{name: "health", scope: ScopeReader, weight: 1}, nil
+	}
+	if len(s.tokens) == 0 {
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			host = r.RemoteAddr
+		}
+		return identity{name: host, scope: ScopeOperator, weight: 1}, nil
+	}
+	secret, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok {
+		return identity{}, &api.Error{
+			Status: http.StatusUnauthorized, Code: api.CodeUnauthorized,
+			Message: "missing bearer token (Authorization: Bearer <token>)",
+		}
+	}
+	id, ok := s.tokens[secret]
+	if !ok {
+		return identity{}, &api.Error{
+			Status: http.StatusUnauthorized, Code: api.CodeUnauthorized,
+			Message: "unknown bearer token",
+		}
+	}
+	return id, nil
+}
+
+// observability reports whether a request may bypass rate limiting and
+// drain shedding: health probes and metrics dashboards are most valuable
+// exactly when the server is overloaded or draining.
+func observability(r *http.Request) bool {
+	return r.URL.Path == "/healthz" || (r.Method == http.MethodGet && r.URL.Path == "/v1/metrics")
 }
 
 // instrument wraps the mux with request counting, logging and panic
@@ -443,9 +827,33 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if s.closing.Err() != nil {
 			s.writeError(sw, r, &api.Error{
 				Status: http.StatusServiceUnavailable, Code: api.CodeShuttingDown,
-				Message: "server is shutting down",
+				Message: "server is shutting down", RetryAfterSeconds: 10,
 			})
 			return
+		}
+		if s.draining.Load() && !observability(r) {
+			s.writeError(sw, r, &api.Error{
+				Status: http.StatusServiceUnavailable, Code: api.CodeShuttingDown,
+				Message: "server is draining; retry against a healthy replica", RetryAfterSeconds: 10,
+			})
+			return
+		}
+		id, apiErr := s.authenticate(r)
+		if apiErr != nil {
+			s.writeError(sw, r, apiErr)
+			return
+		}
+		r = r.WithContext(context.WithValue(r.Context(), identityKey, id))
+		if !observability(r) {
+			if ok, retryAfter := s.limiter.Allow(id.name); !ok {
+				s.rateLimited.Add(1)
+				s.writeError(sw, r, &api.Error{
+					Status: http.StatusTooManyRequests, Code: api.CodeRateLimited,
+					Message:           fmt.Sprintf("client %q is over its request rate", id.name),
+					RetryAfterSeconds: retryAfter.Seconds(),
+				})
+				return
+			}
 		}
 		next.ServeHTTP(sw, r)
 	})
@@ -499,6 +907,17 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Name, req.CSV = r.URL.Query().Get("name"), string(raw)
+		// Raw CSV uploads carry their options in the query string; a
+		// silently ignored ?shards= would strand the dataset on the
+		// non-appendable mem backend.
+		if v := r.URL.Query().Get("shards"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				s.writeError(w, r, badRequest(fmt.Sprintf("bad shards value %q (want a non-negative integer)", v)))
+				return
+			}
+			req.Shards = n
+		}
 	default:
 		s.writeError(w, r, badRequest(fmt.Sprintf("unsupported Content-Type %q (want application/json or text/csv)", ct)))
 		return
@@ -534,6 +953,13 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, apiErr)
 			return
 		}
+		if apiErr := s.persistCreate(e, catalog.Record{
+			Op: catalog.OpCreate, Name: req.Name, Kind: catalog.KindSQL,
+			Driver: req.Driver, DSN: req.DSN, SQLTable: req.SQLTable,
+		}); apiErr != nil {
+			s.writeError(w, r, apiErr)
+			return
+		}
 		s.log.Info("dataset created", "name", req.Name, "backend", "sqldb",
 			"driver", req.Driver, "table", req.SQLTable, "rows", rows, "cols", cols)
 		s.writeJSON(w, http.StatusCreated, s.infoOf(e))
@@ -552,10 +978,76 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, apiErr)
 		return
 	}
+	// Journal the registration: the raw CSV spills to its own file, and
+	// the record carries the backend decision actually taken (explicit 1
+	// for the mem backend) so replay is immune to a changed -shards
+	// default.
+	rec := catalog.Record{Op: catalog.OpCreate, Name: req.Name, Kind: catalog.KindCSV, Shards: 1}
+	if si, ok := e.db.ShardInfo(); ok {
+		rec.Shards = si.Shards
+	}
+	if s.journal != nil {
+		file, err := s.journal.SpillCSV(req.Name, req.CSV)
+		if err != nil {
+			s.rollbackCreate(e)
+			s.log.Error("spilling dataset CSV", "name", req.Name, "error", err)
+			s.writeError(w, r, persistenceFailed())
+			return
+		}
+		rec.CSVFile = file
+	}
+	if apiErr := s.persistCreate(e, rec); apiErr != nil {
+		s.writeError(w, r, apiErr)
+		return
+	}
 
 	s.log.Info("dataset created", "name", req.Name, "backend", backend,
 		"rows", tab.NumRows(), "cols", tab.NumCols())
 	s.writeJSON(w, http.StatusCreated, s.infoOf(e))
+}
+
+// persistCreate journals a registration record, rolling the in-memory
+// registration back on failure so a client retry starts clean.
+func (s *Server) persistCreate(e *entry, rec catalog.Record) *api.Error {
+	if err := s.journalCreate(rec); err != nil {
+		s.rollbackCreate(e)
+		s.log.Error("journaling dataset create", "name", e.name, "error", err)
+		return persistenceFailed()
+	}
+	return nil
+}
+
+// rollbackCreate undoes a registration whose journaling failed.
+func (s *Server) rollbackCreate(e *entry) {
+	s.mu.Lock()
+	delete(s.datasets, e.name)
+	s.mu.Unlock()
+	e.queue.Close()
+	e.db.Close()
+}
+
+func persistenceFailed() *api.Error {
+	return &api.Error{
+		Status: http.StatusInternalServerError, Code: api.CodeInternal,
+		Message: "persisting the registration failed; dataset not created",
+	}
+}
+
+// handleShutdown triggers the binary's graceful drain (Config.OnShutdown)
+// from the API — an operator action. The 202 goes out before the hook
+// runs so the caller gets its acknowledgement even though the server is
+// about to start shedding.
+func (s *Server) handleShutdown(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.OnShutdown == nil {
+		s.writeError(w, r, &api.Error{
+			Status: http.StatusForbidden, Code: api.CodeForbidden,
+			Message: "shutdown over HTTP is not enabled on this server",
+		})
+		return
+	}
+	s.log.Info("shutdown requested via API", "client", identityFrom(r.Context()).name)
+	s.writeJSON(w, http.StatusAccepted, api.Health{Status: "shutting down"})
+	go s.cfg.OnShutdown()
 }
 
 // handleAppend streams rows into a sharded dataset. The append reserves
@@ -588,7 +1080,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, err := e.acquire(ctx, 1)
+	release, err := s.acquire(ctx, r, e, 1)
 	if err != nil {
 		s.writeError(w, r, mapError(err))
 		return
@@ -596,7 +1088,25 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := s.now()
+	// Apply and journal under one lock so the journal's record order
+	// matches the backend's version assignment; replay then reproduces the
+	// same snapshot version sequence.
+	e.appendMu.Lock()
 	res, err := e.db.Append(ctx, req.Rows)
+	if err == nil && s.journal != nil {
+		if jerr := s.journal.Append(catalog.Record{Op: catalog.OpAppend, Name: e.name, Rows: req.Rows}); jerr != nil {
+			// The rows are in memory but not durable: surface the failure so
+			// the operator repairs the data dir; a retry would double-append.
+			e.appendMu.Unlock()
+			s.log.Error("journaling append", "name", e.name, "error", jerr)
+			s.writeError(w, r, &api.Error{
+				Status: http.StatusInternalServerError, Code: api.CodeInternal,
+				Message: "append applied but not persisted; check the server's data dir before retrying",
+			})
+			return
+		}
+	}
+	e.appendMu.Unlock()
 	if err != nil {
 		s.writeError(w, r, mapError(err))
 		return
@@ -644,7 +1154,7 @@ func (s *Server) handleCounts(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, err := e.acquire(ctx, 1)
+	release, err := s.acquire(ctx, r, e, 1)
 	if err != nil {
 		s.writeError(w, r, mapError(err))
 		return
@@ -756,22 +1266,42 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	s.mu.RLock()
+	_, ok := s.datasets[name]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeError(w, r, notFound(name))
+		return
+	}
+	// Journal before unregistering: if persistence fails, nothing changed
+	// and the client may retry; once the record is durable the in-memory
+	// removal cannot be lost to a crash.
+	if err := s.journalDelete(name); err != nil {
+		s.log.Error("journaling dataset delete", "name", name, "error", err)
+		s.writeError(w, r, &api.Error{
+			Status: http.StatusInternalServerError, Code: api.CodeInternal,
+			Message: "persisting the deletion failed; dataset not deleted",
+		})
+		return
+	}
 	s.mu.Lock()
 	e, ok := s.datasets[name]
 	delete(s.datasets, name)
 	s.mu.Unlock()
 	if !ok {
+		// A racing delete won between our check and now; its journal record
+		// and ours are both harmless no-ops on replay.
 		s.writeError(w, r, notFound(name))
 		return
 	}
 	// Teardown: the dataset is already out of the registry, so no new work
-	// can reach it; drain the concurrency limiter (waiting for in-flight
-	// analyses, which hold slots for their whole run) before releasing the
-	// backend — sql.DB.Close only waits for queries that have started, not
-	// for an analysis between queries. The drain happens off-request so
-	// DELETE returns immediately.
+	// can reach it; drain the fair queue's full capacity (waiting for
+	// in-flight analyses, which hold slots for their whole run) before
+	// releasing the backend — sql.DB.Close only waits for queries that have
+	// started, not for an analysis between queries. The drain happens
+	// off-request so DELETE returns immediately.
 	go func() {
-		if release, err := e.acquire(s.closing, cap(e.sem)); err == nil {
+		if release, err := e.queue.Drain(s.closing); err == nil {
 			defer release()
 		}
 		if err := e.db.Close(); err != nil {
@@ -856,7 +1386,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, err := e.acquire(ctx, 1)
+	release, err := s.acquire(ctx, r, e, 1)
 	if err != nil {
 		s.writeError(w, r, mapError(err))
 		return
@@ -920,10 +1450,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// The batch reserves one concurrency slot per worker it will run, so
 	// the per-dataset limit genuinely bounds concurrent analyses even when
-	// several batches race single requests. cap(e.sem) is the limit the
+	// several batches race single requests. The queue capacity is the limit the
 	// dataset was registered with — the single source of truth.
 	workers := req.Options.Workers
-	if limit := cap(e.sem); workers <= 0 || workers > limit {
+	if limit := e.queue.Capacity(); workers <= 0 || workers > limit {
 		workers = limit
 	}
 	if workers > len(queries) {
@@ -933,7 +1463,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, err := e.acquire(ctx, workers)
+	release, err := s.acquire(ctx, r, e, workers)
 	if err != nil {
 		s.writeError(w, r, mapError(err))
 		return
@@ -1001,7 +1531,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	// run, keeping the per-dataset concurrency bound honest when sweeps
 	// race single analyses.
 	workers := req.Spec.Workers
-	if limit := cap(e.sem); workers <= 0 || workers > limit {
+	if limit := e.queue.Capacity(); workers <= 0 || workers > limit {
 		workers = limit
 	}
 	spec.Workers = workers
@@ -1017,7 +1547,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, err := e.acquire(ctx, workers)
+	release, err := s.acquire(ctx, r, e, workers)
 	if err != nil {
 		s.writeError(w, r, mapError(err))
 		return
@@ -1062,32 +1592,15 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return ctx, func() { cancel(); stop() }
 }
 
-// acquire takes n slots of the dataset's concurrency limiter, honoring
-// cancellation while queued. Multi-slot acquisitions (batches) are
-// serialized through acqMu so two batches can never deadlock each holding
-// a partial slot set: the one inside the critical section only waits on
-// slots held by running requests, which always release.
-func (e *entry) acquire(ctx context.Context, n int) (release func(), err error) {
-	if n > 1 {
-		e.acqMu.Lock()
-		defer e.acqMu.Unlock()
-	}
-	taken := 0
-	free := func() {
-		for i := 0; i < taken; i++ {
-			<-e.sem
-		}
-	}
-	for taken < n {
-		select {
-		case e.sem <- struct{}{}:
-			taken++
-		case <-ctx.Done():
-			free()
-			return nil, ctx.Err()
-		}
-	}
-	return free, nil
+// acquire takes n execution slots from the dataset's fair queue on behalf
+// of the request's authenticated identity: requests queue in weighted
+// fair order (one tenant's burst cannot starve another), multi-slot
+// reservations (batches, audits) are FIFO against racing singles, and
+// overload or an unmeetable deadline sheds with a typed *admission.Rejection
+// that mapError turns into 429/503 + Retry-After.
+func (s *Server) acquire(ctx context.Context, r *http.Request, e *entry, n int) (release func(), err error) {
+	id := identityFrom(r.Context())
+	return e.queue.Acquire(ctx, id.name, id.weight, n)
 }
 
 // ---------------------------------------------------------------------------
@@ -1119,6 +1632,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		AppendsTotal:     s.appends.Load(),
 		RowsAppended:     s.rowsAppended.Load(),
 		CountsServed:     s.countsServed.Load(),
+		RateLimited:      s.rateLimited.Load(),
 	}
 	for _, e := range entries {
 		st := e.db.Stats()
@@ -1138,6 +1652,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out.Planner.DemandsPlanned += planner.DemandsPlanned
 		out.Planner.DemandsProjected += planner.DemandsProjected
 		out.Planner.RoundTripsSaved += planner.RoundTripsSaved
+		qs := e.queue.Stats()
+		adm := api.AdmissionMetrics{
+			Admitted:      qs.Admitted,
+			Queued:        qs.Queued,
+			ShedQueueFull: qs.ShedFull,
+			ShedDeadline:  qs.ShedDeadline,
+			ShedDraining:  qs.ShedDraining,
+			Cancelled:     qs.Cancelled,
+		}
+		out.Admission.Admitted += adm.Admitted
+		out.Admission.Queued += adm.Queued
+		out.Admission.ShedQueueFull += adm.ShedQueueFull
+		out.Admission.ShedDeadline += adm.ShedDeadline
+		out.Admission.ShedDraining += adm.ShedDraining
+		out.Admission.Cancelled += adm.Cancelled
 		dm := api.DatasetMetrics{
 			Name:         e.name,
 			Rows:         int(e.rows.Load()),
@@ -1145,6 +1674,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Appends:      e.appends.Load(),
 			RowsAppended: e.rowsAppended.Load(),
 			CountsServed: e.countsServed.Load(),
+			Admission:    adm,
 			Audit: api.AuditProgress{
 				Audits:          e.audits.Load(),
 				Running:         e.auditsRunning.Load(),
@@ -1181,11 +1711,16 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, e *api.Error) {
-	if e.Status >= 500 {
+	if e.Status >= 500 && e.Code != api.CodeShuttingDown && e.Code != api.CodeOverloaded {
 		s.log.Error("request failed", "method", r.Method, "path", r.URL.Path,
 			"code", e.Code, "error", e.Message)
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfterSeconds > 0 {
+		// The standard header carries whole seconds; round up so a client
+		// honoring only the header never retries early.
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(e.RetryAfterSeconds))))
+	}
 	w.WriteHeader(e.Status)
 	_ = json.NewEncoder(w).Encode(map[string]*api.Error{"error": e})
 }
@@ -1226,6 +1761,19 @@ func notFound(name string) *api.Error {
 // mapError classifies a pipeline error into the service's error envelope
 // via the library's sentinel errors.
 func mapError(err error) *api.Error {
+	var rej *admission.Rejection
+	if errors.As(err, &rej) {
+		e := &api.Error{Message: rej.Error(), RetryAfterSeconds: rej.RetryAfter.Seconds()}
+		switch rej.Reason {
+		case admission.RateLimited:
+			e.Status, e.Code = http.StatusTooManyRequests, api.CodeRateLimited
+		case admission.Draining:
+			e.Status, e.Code = http.StatusServiceUnavailable, api.CodeShuttingDown
+		default: // QueueFull, DeadlineUnmeetable: the dataset is saturated.
+			e.Status, e.Code = http.StatusServiceUnavailable, api.CodeOverloaded
+		}
+		return e
+	}
 	msg := err.Error()
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):

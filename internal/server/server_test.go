@@ -125,6 +125,36 @@ func TestRawCSVUpload(t *testing.T) {
 	if info.Rows != 2 || info.Cols != 2 {
 		t.Fatalf("info = %+v", info)
 	}
+
+	// ?shards= on the raw CSV path opens the sharded (appendable)
+	// backend instead of being silently ignored.
+	resp2, err := http.Post(ts.URL+"/v1/datasets?name=tiny_sharded&shards=2", "text/csv",
+		strings.NewReader("a,b\n1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("sharded upload status %d: %s", resp2.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 2 {
+		t.Fatalf("shards = %d, want 2 (query param ignored?)", info.Shards)
+	}
+
+	// A malformed value is rejected loudly, not dropped.
+	resp3, err := http.Post(ts.URL+"/v1/datasets?name=bad&shards=two", "text/csv",
+		strings.NewReader("a,b\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shards value: status %d, want 400", resp3.StatusCode)
+	}
 }
 
 func TestAnalyzeBerkeley(t *testing.T) {
