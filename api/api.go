@@ -73,6 +73,7 @@ const (
 	CodeNeedsMaterialize   = "needs_materialization" // row-level analysis on a counts-only storage backend
 	CodeNotAppendable      = "not_appendable"        // append to a dataset whose backend cannot grow
 	CodePeerUnavailable    = "peer_unavailable"      // a remote shard peer is down past its retry budget
+	CodePeerAuth           = "peer_auth"             // a remote shard peer rejected this node's credentials
 	CodeVersionSkew        = "version_skew"          // peer snapshot version differs from the one pinned
 	CodeDatasetNotFound    = "dataset_not_found"
 	CodeDatasetExists      = "dataset_exists"
@@ -843,6 +844,10 @@ type DatasetMetrics struct {
 	// the remote-shard transport (POST /v1/datasets/{name}/counts) — the
 	// server side of a cluster. Zero when no coordinator queries this node.
 	CountsServed int64 `json:"counts_served,omitempty"`
+	// DegradedServes counts reads this dataset served degraded — answered
+	// by the surviving shards after skipping an unavailable peer under
+	// degraded reads. Zero for backends without degraded reads.
+	DegradedServes uint64 `json:"degraded_serves,omitempty"`
 	// Remote holds per-peer transport counters when this dataset is the
 	// coordinator of remote shards (backend "remote") — the client side.
 	Remote []PeerMetrics `json:"remote,omitempty"`
@@ -889,11 +894,31 @@ type Metrics struct {
 	// RateLimited counts requests shed with 429 rate_limited by the
 	// per-client admission rate limiter.
 	RateLimited int64 `json:"rate_limited,omitempty"`
+	// RateLimitedByClient breaks RateLimited down by client identity
+	// (token name, or remote host in open mode). Identities beyond the
+	// limiter's bucket cap aggregate under "other".
+	RateLimitedByClient map[string]int64 `json:"rate_limited_by_client,omitempty"`
 	// Admission aggregates the per-dataset fair-queue counters.
-	Admission  AdmissionMetrics `json:"admission"`
-	Cache      CacheStats       `json:"cache"`
-	Planner    PlannerStats     `json:"planner"`
+	Admission AdmissionMetrics `json:"admission"`
+	Cache     CacheStats       `json:"cache"`
+	Planner   PlannerStats     `json:"planner"`
+	// Catalog reports the persistent catalog's restart/journal activity;
+	// all zero when the server runs without -data-dir.
+	Catalog    CatalogMetrics   `json:"catalog"`
 	PerDataset []DatasetMetrics `json:"per_dataset,omitempty"`
+}
+
+// CatalogMetrics reports the persistent dataset catalog's activity: journal
+// records fsync'd by this process, and what the boot-time replay recovered.
+type CatalogMetrics struct {
+	// JournalRecords counts catalog records (creates, appends, deletes)
+	// this process appended to the journal.
+	JournalRecords int64 `json:"journal_records"`
+	// RecoveredDatasets counts datasets re-registered by Recover's journal
+	// replay at boot; ReplayedAppends counts the append records re-applied.
+	// Both are fixed after boot.
+	RecoveredDatasets int64 `json:"recovered_datasets"`
+	ReplayedAppends   int64 `json:"replayed_appends"`
 }
 
 // AdmissionMetrics reports a fair queue's admission activity: requests

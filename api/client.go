@@ -255,6 +255,35 @@ func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 	return &out, nil
 }
 
+// MetricsText fetches GET /metrics: the same counters as Metrics rendered
+// in the Prometheus text exposition format, returned verbatim. Failures
+// decode into *Error like every other endpoint.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("api: building request: %w", err)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("api: GET /metrics: %w", err)
+	}
+	defer func() {
+		drain(resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return "", decodeError(resp)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", fmt.Errorf("api: reading /metrics response: %w", err)
+	}
+	return string(raw), nil
+}
+
 // do performs one JSON round trip, retrying shed (429/503) responses when
 // WithRetry enabled it. Non-2xx responses decode the error envelope into
 // *Error.

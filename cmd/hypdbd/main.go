@@ -7,10 +7,10 @@
 //	hypdbd [-addr :8080] [-request-timeout 2m] [-max-concurrent N]
 //	       [-max-upload-mb 64] [-max-datasets 64] [-shards N]
 //	       [-preload name[:rows],...] [-sql name=driver,dsn,table]...
-//	       [-peer name=url1,url2,...]... [-peer-degraded]
+//	       [-peer name=url1[@token],url2[@token],...]... [-peer-degraded]
 //	       [-data-dir DIR] [-token name:scope:secret[:weight]]...
-//	       [-rate N] [-burst N] [-max-queued N] [-enable-shutdown]
-//	       [-seed 1] [-log text|json] [-grace 15s]
+//	       [-open-metrics] [-rate N] [-burst N] [-max-queued N]
+//	       [-enable-shutdown] [-seed 1] [-log text|json] [-grace 15s]
 //
 // Endpoints (see the api package for the wire types):
 //
@@ -33,7 +33,9 @@
 //	POST   /v1/audit                 sweep the dataset's query lattice for
 //	                                 bias (ranked findings; progress in
 //	                                 /v1/metrics)
-//	GET    /v1/metrics               service-wide counters
+//	GET    /v1/metrics               service-wide counters (JSON)
+//	GET    /metrics                  the same counters in the Prometheus
+//	                                 text exposition format
 //	GET    /healthz                  liveness
 //
 // -shards N serves uploaded and preloaded in-memory datasets through the
@@ -47,7 +49,11 @@
 // other hypdbd nodes: "name=url1,url2" opens one remote-shard child per
 // base URL — each must already serve a dataset called name — and this node
 // coordinates them under one global dictionary, so a cluster serves one
-// logical catalog. -peer-degraded lets those datasets keep answering (with
+// logical catalog. When a peer runs with -token, append that peer's secret
+// to its URL as "url@token": the credential rides every handshake, counts
+// call, and health probe to that peer (a rejected credential fails fast as
+// a peer_auth error — never retried, never degraded away).
+// -peer-degraded lets those datasets keep answering (with
 // reports marked stale) when a peer dies instead of failing reads.
 //
 // -data-dir DIR persists the dataset catalog: HTTP registrations (CSV
@@ -57,7 +63,9 @@
 // -token name:scope:secret (repeatable; scope operator or reader, with an
 // optional :weight suffix scaling the client's fair share) enables bearer
 // auth: operator tokens may mutate datasets and trigger shutdown, reader
-// tokens may analyze and read. -rate/-burst shed each client's requests
+// tokens may analyze and read. Both metrics views are token-gated like any
+// read (reader scope suffices); -open-metrics re-exposes GET /metrics and
+// GET /v1/metrics tokenless for scrapers that cannot carry credentials. -rate/-burst shed each client's requests
 // beyond the per-second rate (with burst headroom) as 429 + Retry-After;
 // -max-queued bounds each dataset's fair-queue depth, shedding the excess
 // with 503 + Retry-After. -enable-shutdown exposes POST /v1/shutdown
@@ -99,7 +107,7 @@ func (s *sqlSpecs) String() string     { return strings.Join(*s, " ") }
 func (s *sqlSpecs) Set(v string) error { *s = append(*s, v); return nil }
 
 // peerSpecs collects repeatable -peer flags of the form
-// "name=url1,url2,...".
+// "name=url1[@token],url2[@token],...".
 type peerSpecs []string
 
 func (s *peerSpecs) String() string     { return strings.Join(*s, " ") }
@@ -159,11 +167,12 @@ func run() error {
 	flag.Var(&sqlDatasets, "sql", `SQL-backed dataset to register at startup, "name=driver,dsn,table" (repeatable; dsn may contain commas)`)
 	allowSQL := flag.String("allow-sql-drivers", "", `comma-separated driver names clients may use to register SQL datasets over HTTP (empty disables the endpoint's SQL form)`)
 	var peerDatasets peerSpecs
-	flag.Var(&peerDatasets, "peer", `remote-sharded dataset to register at startup, "name=url1,url2,..." (repeatable; each URL is a hypdbd peer already serving the dataset)`)
+	flag.Var(&peerDatasets, "peer", `remote-sharded dataset to register at startup, "name=url1[@token],url2[@token],..." (repeatable; each URL is a hypdbd peer already serving the dataset, with an optional bearer token after '@')`)
 	peerDegraded := flag.Bool("peer-degraded", false, "serve -peer datasets from surviving shards (reports marked stale) when a peer is down, instead of failing reads")
 	dataDir := flag.String("data-dir", "", "directory for the persistent dataset catalog (empty = in-memory only; registrations do not survive restarts)")
 	var tokens tokenSpecs
 	flag.Var(&tokens, "token", `bearer credential "name:scope:secret[:weight]" (repeatable; scope operator or reader; enables auth on every endpoint but /healthz)`)
+	openMetrics := flag.Bool("open-metrics", false, "serve GET /metrics and GET /v1/metrics without a token even when -token auth is enabled")
 	rate := flag.Float64("rate", 0, "per-client request rate limit in requests/second (0 disables; over-rate requests get 429 + Retry-After)")
 	burst := flag.Int("burst", 0, "per-client rate-limit burst headroom (minimum 1)")
 	maxQueued := flag.Int("max-queued", 0, "max requests queued per dataset for execution slots (0 = 4×max-concurrent, negative = unbounded; excess gets 503 + Retry-After)")
@@ -213,6 +222,7 @@ func run() error {
 		Shards:                  *shards,
 		AllowSQLDrivers:         allowed,
 		Tokens:                  parsedTokens,
+		OpenMetrics:             *openMetrics,
 		RatePerClient:           *rate,
 		RateBurst:               *burst,
 		MaxQueuedPerDataset:     *maxQueued,

@@ -11,7 +11,7 @@
 //	          [-duration 10s] [-workers 8]
 //	          [-mix analyze=6,append=2,audit=0,metrics=1]
 //	          [-timeout 60s] [-p99 0] [-slowloris 0] [-seed 1]
-//	          [-out result.json]
+//	          [-out result.json] [-scrape metrics.prom]
 //
 // The mix weights draw analyze, append, audit and metrics operations per
 // worker loop. -create registers the target dataset (a generated Berkeley
@@ -26,6 +26,9 @@
 // Retry-After, a report mixed epochs, or an operation's p99 exceeded
 // -p99 (0 disables the latency bound). -out writes the full result —
 // outcome counts and per-operation latency histograms — as JSON.
+// -scrape fetches the server's GET /metrics Prometheus exposition after
+// the run and writes it to the named file, an artifact pairing the load
+// result with the server-side counters it drove.
 package main
 
 import (
@@ -63,6 +66,7 @@ func main() {
 		loris    = flag.Int("slowloris", 0, "slow-loris connections to hold open during the run")
 		seed     = flag.Int64("seed", 1, "worker schedule seed")
 		out      = flag.String("out", "", "write the JSON result (counts + latency histograms) here")
+		scrape   = flag.String("scrape", "", "write the server's post-run GET /metrics Prometheus exposition here")
 	)
 	flag.Parse()
 
@@ -124,6 +128,17 @@ func main() {
 			fatal("writing -out: %v", err)
 		}
 		fmt.Printf("result written to %s\n", *out)
+	}
+
+	if *scrape != "" {
+		text, err := client.MetricsText(ctx)
+		if err != nil {
+			fatal("scraping /metrics: %v", err)
+		}
+		if err := os.WriteFile(*scrape, []byte(text), 0o644); err != nil {
+			fatal("writing -scrape: %v", err)
+		}
+		fmt.Printf("exposition written to %s\n", *scrape)
 	}
 
 	if v := res.Violations(*p99Max); len(v) != 0 {

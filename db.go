@@ -104,9 +104,24 @@ func WithShards(n int) OpenOption {
 // WithRemoteShards names the hypdbd peers whose copies of the dataset form
 // the shards of an OpenRemote session — one source/remote child per base
 // URL, fanned out by the sharded coordinator under one global dictionary.
-// Repeated options accumulate. Ignored by Open/OpenCSV.
+// Each spec is "url" or "url@token": the suffix after the last '@' is a
+// per-peer bearer token attached to every request that peer sees (the
+// handshake, counts calls, and health probes), so token-protected peers
+// can be mounted; it overrides WithRemoteOptions' Token for that peer.
+// Peer URLs therefore must not themselves contain '@'. Repeated options
+// accumulate. Ignored by Open/OpenCSV.
 func WithRemoteShards(urls ...string) OpenOption {
 	return func(c *openConfig) { c.remotes = append(c.remotes, urls...) }
+}
+
+// splitPeerSpec splits a WithRemoteShards "url[@token]" peer spec. The
+// token is everything after the last '@' so it may itself contain '@';
+// specs without one return an empty token.
+func splitPeerSpec(spec string) (url, token string) {
+	if i := strings.LastIndexByte(spec, '@'); i >= 0 {
+		return spec[:i], spec[i+1:]
+	}
+	return spec, ""
 }
 
 // WithRemoteOptions tunes the remote-shard transport (per-attempt request
@@ -202,8 +217,13 @@ func OpenRemote(ctx context.Context, name string, opts ...OpenOption) (*DB, erro
 			}
 		}
 	}
-	for _, u := range cfg.remotes {
-		child, err := remote.Open(ctx, u, name, cfg.remoteOpts)
+	for _, spec := range cfg.remotes {
+		u, tok := splitPeerSpec(spec)
+		o := cfg.remoteOpts
+		if tok != "" {
+			o.Token = tok
+		}
+		child, err := remote.Open(ctx, u, name, o)
 		if err != nil {
 			closeAll()
 			return nil, fmt.Errorf("hypdb: opening remote shard %s: %w", u, err)
@@ -240,6 +260,12 @@ func (db *DB) RemotePeers() []remote.PeerStats {
 	}
 	return out
 }
+
+// DegradedServes reports how many reads the session's storage layer has
+// served degraded — answered by the surviving shards after skipping an
+// unavailable peer under WithDegradedReads. Zero for backends without
+// degraded reads. Surfaced per dataset in /v1/metrics and /metrics.
+func (db *DB) DegradedServes() uint64 { return db.degradedServes() }
 
 // degradedServes reads the storage layer's degraded-serve counter (zero
 // for backends without degraded reads). Comparing it before and after a

@@ -67,4 +67,12 @@ var (
 	// statistics, so the read fails — closed, never degraded — until the
 	// remote dataset is re-opened at the new version.
 	ErrVersionSkew = hyperr.ErrVersionSkew
+
+	// ErrPeerAuth reports a remote peer that rejected this node's bearer
+	// credentials with 401/403. A misconfigured token is not an outage:
+	// the failure is never retried and never degraded away (even under
+	// WithDegradedReads), so meshes fail loud instead of silently serving
+	// partial counts. Attach the peer's token with the "url@token" peer
+	// spec (WithRemoteShards, the -peer flag) and re-open.
+	ErrPeerAuth = hyperr.ErrPeerAuth
 )

@@ -24,7 +24,16 @@ type Limiter struct {
 	mu     sync.Mutex
 	bkts   map[string]*bucket
 	denied int64
+	// deniedBy breaks denied down per client identity for metrics label
+	// sets. Bounded like bkts: identities beyond maxN aggregate under
+	// deniedOther so a flood of one-shot identities cannot grow the map
+	// without bound.
+	deniedBy map[string]int64
 }
+
+// deniedOther is the DeniedByClient key aggregating denials of identities
+// beyond the limiter's client cap.
+const deniedOther = "other"
 
 type bucket struct {
 	tokens float64
@@ -44,11 +53,12 @@ func NewLimiter(rate float64, burst int, clock func() time.Time) *Limiter {
 		b = 1
 	}
 	return &Limiter{
-		rate:  rate,
-		burst: b,
-		maxN:  DefaultMaxClients,
-		clock: clock,
-		bkts:  make(map[string]*bucket),
+		rate:     rate,
+		burst:    b,
+		maxN:     DefaultMaxClients,
+		clock:    clock,
+		bkts:     make(map[string]*bucket),
+		deniedBy: make(map[string]int64),
 	}
 }
 
@@ -80,6 +90,11 @@ func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
 		return true, 0
 	}
 	l.denied++
+	if _, ok := l.deniedBy[client]; ok || len(l.deniedBy) < l.maxN {
+		l.deniedBy[client]++
+	} else {
+		l.deniedBy[deniedOther]++
+	}
 	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
 	if wait < time.Millisecond {
 		wait = time.Millisecond
@@ -95,6 +110,25 @@ func (l *Limiter) Denied() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.denied
+}
+
+// DeniedByClient snapshots the per-client refusal counts (a copy). Nil for
+// a nil limiter or when nothing was denied yet. Identities beyond the
+// client cap aggregate under "other".
+func (l *Limiter) DeniedByClient() map[string]int64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.deniedBy) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(l.deniedBy))
+	for id, n := range l.deniedBy {
+		out[id] = n
+	}
+	return out
 }
 
 // evictLocked keeps the bucket map bounded: when adding a client would

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Ops recorded in the journal.
@@ -91,6 +92,9 @@ type Journal struct {
 
 	mu sync.Mutex
 	f  *os.File
+	// appended counts records durably written by this process, for the
+	// service's catalog metrics.
+	appended atomic.Int64
 }
 
 const journalFile = "journal.jsonl"
@@ -146,8 +150,14 @@ func (j *Journal) Append(rec Record) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
+	j.appended.Add(1)
 	return nil
 }
+
+// Appended reports how many records this process has durably written —
+// a monotonic counter for the service's catalog metrics (replayed history
+// from earlier processes is not counted).
+func (j *Journal) Appended() int64 { return j.appended.Load() }
 
 // SpillCSV writes a CSV body to a fresh file under csv/ and returns its
 // journal-relative path for the create record. The file is fsynced; call

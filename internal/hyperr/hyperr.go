@@ -63,4 +63,11 @@ var (
 	// Mixing epochs would silently corrupt statistics, so the call fails
 	// instead; re-open the remote dataset to adopt the new version.
 	ErrVersionSkew = errors.New("remote peer snapshot version skew")
+
+	// ErrPeerAuth marks a remote peer that rejected this node's credentials
+	// (401/403): the peer requires a bearer token the transport did not
+	// send, sent wrong, or sent with insufficient scope. Unlike a transient
+	// outage this is a configuration fault — it is never retried and never
+	// degraded away; fix the peer token and re-open the remote dataset.
+	ErrPeerAuth = errors.New("remote peer rejected credentials")
 )

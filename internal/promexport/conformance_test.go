@@ -1,0 +1,493 @@
+package promexport_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"hypdb/api"
+	"hypdb/internal/datagen"
+	"hypdb/internal/promexport"
+	"hypdb/internal/server"
+)
+
+// The exposition-format grammars, straight from the Prometheus data-model
+// spec: metric names may carry colons (recording rules), label names may
+// not.
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// expoFamily is one parsed metric family: its TYPE and every series keyed
+// by the canonical label-set string.
+type expoFamily struct {
+	typ    string
+	series map[string]float64
+}
+
+// parseExposition is the strict conformance parser: it accepts exactly the
+// subset of the text exposition format the service promises to emit and
+// fails the test on any deviation — bad name or label grammar, a family
+// without HELP/TYPE, more than one TYPE per family, interleaved family
+// blocks, duplicate series, or an unparsable sample value.
+func parseExposition(t *testing.T, text string) map[string]*expoFamily {
+	t.Helper()
+	if text == "" {
+		t.Fatal("empty exposition")
+	}
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("exposition does not end with a newline")
+	}
+	fams := make(map[string]*expoFamily)
+	var cur string    // family opened by the current block's HELP line
+	var curTyped bool // TYPE seen for the current block
+	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		lineNo := i + 1
+		switch {
+		case line == "":
+			t.Fatalf("line %d: blank line", lineNo)
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if !metricNameRE.MatchString(name) {
+				t.Fatalf("line %d: bad metric name %q", lineNo, name)
+			}
+			if _, dup := fams[name]; dup {
+				t.Fatalf("line %d: family %s declared twice (interleaved or duplicated block)", lineNo, name)
+			}
+			if cur != "" && !curTyped {
+				t.Fatalf("line %d: family %s had no TYPE line", lineNo, cur)
+			}
+			if cur != "" && len(fams[cur].series) == 0 {
+				t.Fatalf("line %d: family %s declared but has no samples", lineNo, cur)
+			}
+			fams[name] = &expoFamily{series: make(map[string]float64)}
+			cur, curTyped = name, false
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			if name != cur {
+				t.Fatalf("line %d: TYPE for %s inside block of %q", lineNo, name, cur)
+			}
+			if curTyped {
+				t.Fatalf("line %d: second TYPE for family %s", lineNo, name)
+			}
+			if typ != "counter" && typ != "gauge" {
+				t.Fatalf("line %d: unsupported type %q", lineNo, typ)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				t.Errorf("line %d: counter %s does not end in _total", lineNo, name)
+			}
+			if typ == "gauge" && strings.HasSuffix(name, "_total") {
+				t.Errorf("line %d: gauge %s ends in _total", lineNo, name)
+			}
+			fams[name].typ = typ
+			curTyped = true
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment: %q", lineNo, line)
+		default:
+			name, labels, value := parseSample(t, lineNo, line)
+			if name != cur {
+				t.Fatalf("line %d: sample of %s inside block of %q", lineNo, name, cur)
+			}
+			if !curTyped {
+				t.Fatalf("line %d: sample of %s before its TYPE line", lineNo, name)
+			}
+			f := fams[name]
+			if _, dup := f.series[labels]; dup {
+				t.Fatalf("line %d: duplicate series %s{%s}", lineNo, name, labels)
+			}
+			f.series[labels] = value
+		}
+	}
+	if cur == "" {
+		t.Fatal("exposition carries no families")
+	}
+	if !curTyped {
+		t.Fatalf("family %s had no TYPE line", cur)
+	}
+	if len(fams[cur].series) == 0 {
+		t.Fatalf("family %s declared but has no samples", cur)
+	}
+	return fams
+}
+
+// parseSample splits one sample line into metric name, canonical label-set
+// string, and value, enforcing the name/label grammars, label-value
+// escaping, and label uniqueness.
+func parseSample(t *testing.T, lineNo int, line string) (name, labels string, value float64) {
+	t.Helper()
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: sample without value: %q", lineNo, line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !metricNameRE.MatchString(name) {
+		t.Fatalf("line %d: bad metric name %q", lineNo, name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		body, after, ok := cutLabelBlock(rest[1:])
+		if !ok {
+			t.Fatalf("line %d: unterminated label block: %q", lineNo, line)
+		}
+		labels = canonLabels(t, lineNo, body)
+		rest = after
+	}
+	if !strings.HasPrefix(rest, " ") {
+		t.Fatalf("line %d: no space before value: %q", lineNo, line)
+	}
+	v, err := strconv.ParseFloat(rest[1:], 64)
+	if err != nil {
+		t.Fatalf("line %d: bad sample value %q: %v", lineNo, rest[1:], err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("line %d: non-finite sample value %q", lineNo, rest[1:])
+	}
+	return name, labels, v
+}
+
+// cutLabelBlock scans to the closing brace of a label block, honoring
+// backslash escapes inside quoted values.
+func cutLabelBlock(s string) (body, after string, ok bool) {
+	inQuote, escaped := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuote:
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return s[:i], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// canonLabels validates a label block body and returns a canonical
+// rendering with values unescaped.
+func canonLabels(t *testing.T, lineNo int, body string) string {
+	t.Helper()
+	s := body
+	seen := make(map[string]bool)
+	var parts []string
+	for s != "" {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			t.Fatalf("line %d: label without '=': %q", lineNo, s)
+		}
+		name := s[:eq]
+		if !labelNameRE.MatchString(name) {
+			t.Fatalf("line %d: bad label name %q", lineNo, name)
+		}
+		if seen[name] {
+			t.Fatalf("line %d: duplicate label %q", lineNo, name)
+		}
+		seen[name] = true
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			t.Fatalf("line %d: unquoted label value after %q", lineNo, name)
+		}
+		val, rest, ok := cutLabelValue(s[1:])
+		if !ok {
+			t.Fatalf("line %d: unterminated label value for %q", lineNo, name)
+		}
+		parts = append(parts, name+"="+val)
+		s = rest
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			if s == "" {
+				t.Fatalf("line %d: trailing comma in label block", lineNo)
+			}
+		} else if s != "" {
+			t.Fatalf("line %d: junk after label value: %q", lineNo, s)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// cutLabelValue consumes a quoted label value (after the opening quote),
+// unescaping \\, \" and \n; anything else escaped is a conformance error.
+func cutLabelValue(s string) (val, rest string, ok bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", false
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", false
+			}
+		case '"':
+			return b.String(), s[i+1:], true
+		case '\n':
+			return "", "", false
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", false
+}
+
+// startMeshedServer boots a coordinator with a sharded local dataset plus a
+// remote-mounted dataset backed by a loopback peer, so a scrape exercises
+// every family class: service-wide, per-dataset, per-peer, and admission.
+func startMeshedServer(t *testing.T) (coordURL string, client *api.Client) {
+	t.Helper()
+	quiet := func() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peer := server.New(server.Config{Logger: quiet(), Shards: 2})
+	if err := peer.AddDataset("remoteberk", tab); err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(peer.Handler())
+	t.Cleanup(pts.Close)
+	t.Cleanup(peer.Close)
+
+	coord := server.New(server.Config{Logger: quiet(), Shards: 2})
+	if err := coord.AddDataset("local", tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.AddRemoteDataset(context.Background(), "remoteberk", []string{pts.URL}, false); err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+	t.Cleanup(coord.Close)
+	return cts.URL, api.NewClient(cts.URL, cts.Client())
+}
+
+// scrapeMetrics fetches GET /metrics and checks the content type.
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != promexport.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, promexport.ContentType)
+	}
+	return string(body)
+}
+
+// TestExpositionConformance drives real traffic through a meshed server and
+// holds the scrape to the strict grammar: every family well-formed, every
+// expected family class present with its labels.
+func TestExpositionConformance(t *testing.T) {
+	url, c := startMeshedServer(t)
+	ctx := context.Background()
+
+	for _, ds := range []string{"local", "remoteberk"} {
+		if _, err := c.Analyze(ctx, api.AnalyzeRequest{
+			Dataset: ds,
+			Query:   api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}},
+			Options: api.Options{Seed: 1, SkipDirect: true},
+		}); err != nil {
+			t.Fatalf("analyze %s: %v", ds, err)
+		}
+	}
+	if _, err := c.Append(ctx, "local", [][]string{{"Female", "A", "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Audit(ctx, api.AuditRequest{
+		Dataset: "local",
+		Spec:    api.AuditSpec{Treatments: []string{"Gender"}, Outcomes: []string{"Accepted"}, TopK: 3},
+		Options: api.Options{Seed: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fams := parseExposition(t, scrapeMetrics(t, url))
+
+	// Every family the renderer can emit is known to the parity map; a
+	// scrape must never surface an undeclared name.
+	declared := make(map[string]bool)
+	for _, fam := range promexport.FieldFamilies() {
+		declared[fam] = true
+	}
+	for name := range fams {
+		if !declared[name] {
+			t.Errorf("scrape carries family %s not declared in FieldFamilies", name)
+		}
+	}
+
+	wantSeries := []struct{ fam, labels string }{
+		{"hypdb_requests_total", ""},
+		{"hypdb_datasets", ""},
+		{"hypdb_analyses_total", ""},
+		{"hypdb_admission_sheds_total", "reason=queue_full"},
+		{"hypdb_admission_sheds_total", "reason=deadline"},
+		{"hypdb_admission_sheds_total", "reason=draining"},
+		{"hypdb_dataset_analyses_total", "dataset=local"},
+		{"hypdb_dataset_analyses_total", "dataset=remoteberk"},
+		{"hypdb_dataset_rows_appended_total", "dataset=local"},
+		{"hypdb_dataset_audits_total", "dataset=local"},
+		{"hypdb_dataset_admission_sheds_total", "dataset=local,reason=queue_full"},
+	}
+	for _, w := range wantSeries {
+		f := fams[w.fam]
+		if f == nil {
+			t.Errorf("family %s missing from scrape", w.fam)
+			continue
+		}
+		if _, ok := f.series[w.labels]; !ok {
+			t.Errorf("series %s{%s} missing; have %v", w.fam, w.labels, keysOf(f.series))
+		}
+	}
+
+	// The peer families carry both dataset and peer labels.
+	ph := fams["hypdb_peer_healthy"]
+	if ph == nil {
+		t.Fatal("hypdb_peer_healthy missing from scrape")
+	}
+	for labels, v := range ph.series {
+		if !strings.Contains(labels, "dataset=remoteberk") || !strings.Contains(labels, "peer=http://") {
+			t.Errorf("peer series labels = %q, want dataset and peer", labels)
+		}
+		if v != 1 {
+			t.Errorf("hypdb_peer_healthy{%s} = %v, want 1", labels, v)
+		}
+	}
+	if f := fams["hypdb_dataset_analyses_total"]; f != nil {
+		if v := f.series["dataset=local"]; v != 1 {
+			t.Errorf("hypdb_dataset_analyses_total{dataset=local} = %v, want 1", v)
+		}
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestCountersNeverDecreaseAcrossScrapes brackets a concurrent
+// analyze/audit/append burst with scrapes — plus scrapes racing the burst
+// itself — and requires every counter series to be monotonic and every
+// mid-burst scrape to stay grammar-clean. Run under -race this also pins
+// the snapshot path's thread safety.
+func TestCountersNeverDecreaseAcrossScrapes(t *testing.T) {
+	url, c := startMeshedServer(t)
+	ctx := context.Background()
+
+	before := parseExposition(t, scrapeMetrics(t, url))
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				ds := "local"
+				if (w+i)%2 == 1 {
+					ds = "remoteberk"
+				}
+				if _, err := c.Analyze(ctx, api.AnalyzeRequest{
+					Dataset: ds,
+					Query:   api.Query{Treatment: "Gender", Outcomes: []string{"Accepted"}},
+					Options: api.Options{Seed: 1, SkipDirect: true},
+				}); err != nil {
+					errs <- fmt.Errorf("worker %d analyze %s: %w", w, ds, err)
+					return
+				}
+				if _, err := c.Append(ctx, "local", [][]string{{"Male", "B", "0"}}); err != nil {
+					errs <- fmt.Errorf("worker %d append: %w", w, err)
+					return
+				}
+				if w == 0 && i == 0 {
+					if _, err := c.Audit(ctx, api.AuditRequest{
+						Dataset: "local",
+						Spec:    api.AuditSpec{Treatments: []string{"Gender"}, Outcomes: []string{"Accepted"}, TopK: 3},
+						Options: api.Options{Seed: 1},
+					}); err != nil {
+						errs <- fmt.Errorf("audit: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Scrapes race the burst: each one must parse cleanly even mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			parseExposition(t, scrapeMetrics(t, url))
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	after := parseExposition(t, scrapeMetrics(t, url))
+	for name, f := range before {
+		if f.typ != "counter" {
+			continue
+		}
+		g := after[name]
+		if g == nil {
+			t.Errorf("counter family %s vanished between scrapes", name)
+			continue
+		}
+		for labels, v := range f.series {
+			nv, ok := g.series[labels]
+			if !ok {
+				t.Errorf("counter series %s{%s} vanished between scrapes", name, labels)
+				continue
+			}
+			if nv < v {
+				t.Errorf("counter %s{%s} decreased: %v -> %v", name, labels, v, nv)
+			}
+		}
+	}
+	// The burst demonstrably moved the counters.
+	if a, b := before["hypdb_requests_total"].series[""], after["hypdb_requests_total"].series[""]; b <= a {
+		t.Errorf("hypdb_requests_total did not advance across the burst: %v -> %v", a, b)
+	}
+}

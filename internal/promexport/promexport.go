@@ -1,0 +1,430 @@
+// Package promexport renders the service's metrics snapshot (api.Metrics,
+// the GET /v1/metrics payload) in the Prometheus text exposition format for
+// GET /metrics. Both endpoints derive from the same snapshot struct — the
+// JSON encoder serializes it, Render flattens it into families — so the two
+// views cannot drift: a counter exists in both or in neither, which the
+// parity test in this package pins by reflecting over api.Metrics.
+//
+// Family naming: service-wide counters are unlabeled (hypdb_requests_total),
+// per-dataset counters carry a dataset label (hypdb_dataset_analyses_total),
+// per-peer transport counters carry dataset and peer labels
+// (hypdb_peer_requests_total), admission sheds fold into one family with a
+// reason label, and per-client rate-limit sheds carry a token label. Counter
+// families end in _total and are monotonic within one server process;
+// catalog replay at boot re-applies journaled appends directly against the
+// storage backend without touching the request counters, so a restarted
+// server starts its counters at zero instead of replaying history into them.
+package promexport
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hypdb/api"
+)
+
+// ContentType is the /metrics response content type (the Prometheus text
+// exposition format, version 0.0.4).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Counter and gauge are the two metric types this registry renders.
+const (
+	TypeCounter = "counter"
+	TypeGauge   = "gauge"
+)
+
+// Label is one name="value" pair of a series.
+type Label struct {
+	Name, Value string
+}
+
+// Series is one sample line of a family: its ordered label set and value.
+type Series struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: every series sharing a name, HELP and TYPE.
+type Family struct {
+	Name, Type, Help string
+	Series           []Series
+}
+
+// famDef statically declares one family; the declaration order is the
+// rendering order.
+type famDef struct {
+	name, typ, help string
+}
+
+// famDefs is the full registry, in rendering order. Every family derives
+// from an api.Metrics field — FieldFamilies maps the JSON field paths here.
+var famDefs = []famDef{
+	{"hypdb_uptime_seconds", TypeGauge, "Seconds since the server process started."},
+	{"hypdb_datasets", TypeGauge, "Registered datasets."},
+	{"hypdb_requests_total", TypeCounter, "HTTP requests received."},
+	{"hypdb_requests_in_flight", TypeGauge, "HTTP requests currently being served."},
+	{"hypdb_analyses_total", TypeCounter, "Analyze requests served, batch items included."},
+	{"hypdb_audits_total", TypeCounter, "Completed audit sweeps."},
+	{"hypdb_audits_in_flight", TypeGauge, "Audit sweeps currently running."},
+	{"hypdb_appends_total", TypeCounter, "Completed append requests."},
+	{"hypdb_rows_appended_total", TypeCounter, "Rows admitted by append requests."},
+	{"hypdb_counts_served_total", TypeCounter, "Group-by counts requests answered on the remote-shard transport."},
+	{"hypdb_rate_limited_total", TypeCounter, "Requests shed with 429 by the per-client rate limiter."},
+	{"hypdb_client_rate_limited_total", TypeCounter, "Requests shed with 429 by the per-client rate limiter, by client identity."},
+	{"hypdb_admission_admitted_total", TypeCounter, "Requests granted execution slots by the fair queues."},
+	{"hypdb_admission_queued", TypeGauge, "Requests waiting in the fair queues right now."},
+	{"hypdb_admission_sheds_total", TypeCounter, "Typed admission rejections, by reason."},
+	{"hypdb_admission_cancelled_total", TypeCounter, "Queued requests whose client went away while waiting."},
+	{"hypdb_cd_computes_total", TypeCounter, "Covariate discoveries actually executed."},
+	{"hypdb_cd_hits_total", TypeCounter, "Covariate discoveries answered from the memoized cache."},
+	{"hypdb_planner_plans_total", TypeCounter, "Lattice batch plans executed."},
+	{"hypdb_planner_cuboids_total", TypeCounter, "Cuboids materialized by batch plans."},
+	{"hypdb_planner_cells_materialized_total", TypeCounter, "Estimated cells materialized by batch plans."},
+	{"hypdb_planner_demands_planned_total", TypeCounter, "Count demands covered by batch plans."},
+	{"hypdb_planner_demands_projected_total", TypeCounter, "Count demands served by marginalizing a wider cuboid."},
+	{"hypdb_planner_round_trips_saved_total", TypeCounter, "Backend round trips saved versus per-request priming."},
+	{"hypdb_catalog_journal_records_total", TypeCounter, "Catalog journal records fsync'd by this process."},
+	{"hypdb_catalog_recovered_datasets", TypeGauge, "Datasets re-registered by the boot-time journal replay."},
+	{"hypdb_catalog_replayed_appends", TypeGauge, "Append records re-applied by the boot-time journal replay."},
+	{"hypdb_dataset_rows", TypeGauge, "Current rows of the dataset."},
+	{"hypdb_dataset_analyses_total", TypeCounter, "Analyze requests served over the dataset."},
+	{"hypdb_dataset_audits_total", TypeCounter, "Completed audit sweeps over the dataset."},
+	{"hypdb_dataset_audits_running", TypeGauge, "Audit sweeps over the dataset running right now."},
+	{"hypdb_dataset_audit_candidates_done_total", TypeCounter, "Audit candidates tested across the dataset's sweeps."},
+	{"hypdb_dataset_audit_candidates_planned", TypeGauge, "Audit candidates planned across the dataset's sweeps; a failed sweep's unfinished remainder is deducted."},
+	{"hypdb_dataset_cd_computes_total", TypeCounter, "Covariate discoveries executed for the dataset."},
+	{"hypdb_dataset_cd_hits_total", TypeCounter, "Covariate discoveries served from the dataset's cache."},
+	{"hypdb_dataset_planner_plans_total", TypeCounter, "Lattice batch plans executed for the dataset."},
+	{"hypdb_dataset_planner_cuboids_total", TypeCounter, "Cuboids materialized for the dataset."},
+	{"hypdb_dataset_planner_cells_materialized_total", TypeCounter, "Estimated cells materialized for the dataset."},
+	{"hypdb_dataset_planner_demands_planned_total", TypeCounter, "Count demands covered by the dataset's batch plans."},
+	{"hypdb_dataset_planner_demands_projected_total", TypeCounter, "Count demands served by marginalization for the dataset."},
+	{"hypdb_dataset_planner_round_trips_saved_total", TypeCounter, "Backend round trips saved for the dataset."},
+	{"hypdb_dataset_appends_total", TypeCounter, "Completed append requests for the dataset."},
+	{"hypdb_dataset_rows_appended_total", TypeCounter, "Rows admitted by the dataset's appends."},
+	{"hypdb_dataset_counts_served_total", TypeCounter, "Counts requests the dataset answered on the remote-shard transport."},
+	{"hypdb_dataset_degraded_serves_total", TypeCounter, "Reads served degraded: surviving shards answered after a peer was skipped."},
+	{"hypdb_dataset_admission_admitted_total", TypeCounter, "Requests granted execution slots on the dataset's fair queue."},
+	{"hypdb_dataset_admission_queued", TypeGauge, "Requests waiting in the dataset's fair queue right now."},
+	{"hypdb_dataset_admission_sheds_total", TypeCounter, "Typed admission rejections on the dataset's fair queue, by reason."},
+	{"hypdb_dataset_admission_cancelled_total", TypeCounter, "Queued requests on the dataset whose client went away."},
+	{"hypdb_peer_healthy", TypeGauge, "Health-check verdict for the remote peer: 1 healthy, 0 down."},
+	{"hypdb_peer_pinned_version", TypeGauge, "Snapshot version pinned at the peer's registration handshake."},
+	{"hypdb_peer_requests_total", TypeCounter, "Counts calls issued to the remote peer."},
+	{"hypdb_peer_retries_total", TypeCounter, "Extra attempts after failed calls to the remote peer."},
+	{"hypdb_peer_errors_total", TypeCounter, "Calls to the remote peer that failed past the retry budget."},
+	{"hypdb_peer_counts_served_total", TypeCounter, "Calls to the remote peer that returned counts."},
+	{"hypdb_peer_last_rtt_seconds", TypeGauge, "Round-trip time of the last successful call to the peer."},
+	{"hypdb_peer_avg_rtt_seconds", TypeGauge, "Mean round-trip time of successful calls to the peer."},
+}
+
+// fieldFamilies maps every numeric api.Metrics field — by its JSON path,
+// struct nesting joined with dots — to the family rendering it. The parity
+// test walks api.Metrics by reflection and fails naming any field missing
+// here (or any family here that Collect never emits), so a counter added to
+// one view cannot silently skip the other.
+var fieldFamilies = map[string]string{
+	"uptime_seconds":                         "hypdb_uptime_seconds",
+	"datasets":                               "hypdb_datasets",
+	"requests_total":                         "hypdb_requests_total",
+	"requests_in_flight":                     "hypdb_requests_in_flight",
+	"analyses_total":                         "hypdb_analyses_total",
+	"audits_total":                           "hypdb_audits_total",
+	"audits_in_flight":                       "hypdb_audits_in_flight",
+	"appends_total":                          "hypdb_appends_total",
+	"rows_appended":                          "hypdb_rows_appended_total",
+	"counts_served":                          "hypdb_counts_served_total",
+	"rate_limited":                           "hypdb_rate_limited_total",
+	"rate_limited_by_client":                 "hypdb_client_rate_limited_total",
+	"admission.admitted":                     "hypdb_admission_admitted_total",
+	"admission.queued":                       "hypdb_admission_queued",
+	"admission.shed_queue_full":              "hypdb_admission_sheds_total",
+	"admission.shed_deadline":                "hypdb_admission_sheds_total",
+	"admission.shed_draining":                "hypdb_admission_sheds_total",
+	"admission.cancelled":                    "hypdb_admission_cancelled_total",
+	"cache.cd_computes":                      "hypdb_cd_computes_total",
+	"cache.cd_hits":                          "hypdb_cd_hits_total",
+	"planner.plans":                          "hypdb_planner_plans_total",
+	"planner.cuboids":                        "hypdb_planner_cuboids_total",
+	"planner.cells_materialized":             "hypdb_planner_cells_materialized_total",
+	"planner.demands_planned":                "hypdb_planner_demands_planned_total",
+	"planner.demands_projected":              "hypdb_planner_demands_projected_total",
+	"planner.round_trips_saved":              "hypdb_planner_round_trips_saved_total",
+	"catalog.journal_records":                "hypdb_catalog_journal_records_total",
+	"catalog.recovered_datasets":             "hypdb_catalog_recovered_datasets",
+	"catalog.replayed_appends":               "hypdb_catalog_replayed_appends",
+	"per_dataset.rows":                       "hypdb_dataset_rows",
+	"per_dataset.analyses":                   "hypdb_dataset_analyses_total",
+	"per_dataset.audit.audits":               "hypdb_dataset_audits_total",
+	"per_dataset.audit.running":              "hypdb_dataset_audits_running",
+	"per_dataset.audit.candidates_done":      "hypdb_dataset_audit_candidates_done_total",
+	"per_dataset.audit.candidates_total":     "hypdb_dataset_audit_candidates_planned",
+	"per_dataset.cache.cd_computes":          "hypdb_dataset_cd_computes_total",
+	"per_dataset.cache.cd_hits":              "hypdb_dataset_cd_hits_total",
+	"per_dataset.planner.plans":              "hypdb_dataset_planner_plans_total",
+	"per_dataset.planner.cuboids":            "hypdb_dataset_planner_cuboids_total",
+	"per_dataset.planner.cells_materialized": "hypdb_dataset_planner_cells_materialized_total",
+	"per_dataset.planner.demands_planned":    "hypdb_dataset_planner_demands_planned_total",
+	"per_dataset.planner.demands_projected":  "hypdb_dataset_planner_demands_projected_total",
+	"per_dataset.planner.round_trips_saved":  "hypdb_dataset_planner_round_trips_saved_total",
+	"per_dataset.appends":                    "hypdb_dataset_appends_total",
+	"per_dataset.rows_appended":              "hypdb_dataset_rows_appended_total",
+	"per_dataset.counts_served":              "hypdb_dataset_counts_served_total",
+	"per_dataset.degraded_serves":            "hypdb_dataset_degraded_serves_total",
+	"per_dataset.admission.admitted":         "hypdb_dataset_admission_admitted_total",
+	"per_dataset.admission.queued":           "hypdb_dataset_admission_queued",
+	"per_dataset.admission.shed_queue_full":  "hypdb_dataset_admission_sheds_total",
+	"per_dataset.admission.shed_deadline":    "hypdb_dataset_admission_sheds_total",
+	"per_dataset.admission.shed_draining":    "hypdb_dataset_admission_sheds_total",
+	"per_dataset.admission.cancelled":        "hypdb_dataset_admission_cancelled_total",
+	"per_dataset.remote.version":             "hypdb_peer_pinned_version",
+	"per_dataset.remote.healthy":             "hypdb_peer_healthy",
+	"per_dataset.remote.requests":            "hypdb_peer_requests_total",
+	"per_dataset.remote.retries":             "hypdb_peer_retries_total",
+	"per_dataset.remote.errors":              "hypdb_peer_errors_total",
+	"per_dataset.remote.counts_served":       "hypdb_peer_counts_served_total",
+	"per_dataset.remote.last_rtt_ms":         "hypdb_peer_last_rtt_seconds",
+	"per_dataset.remote.avg_rtt_ms":          "hypdb_peer_avg_rtt_seconds",
+}
+
+// FieldFamilies returns a copy of the api.Metrics JSON-field-path →
+// family-name mapping, for the parity test's coverage check.
+func FieldFamilies() map[string]string {
+	out := make(map[string]string, len(fieldFamilies))
+	for k, v := range fieldFamilies {
+		out[k] = v
+	}
+	return out
+}
+
+// builder accumulates series under the static family registry.
+type builder struct {
+	byName map[string]*Family
+	// seen indexes series by family + label set so a pathological
+	// duplicate (the same peer URL mounted twice, say) merges instead of
+	// emitting duplicate series: counters add, gauges keep the last value.
+	seen map[string]int
+}
+
+func newBuilder() *builder {
+	return &builder{byName: make(map[string]*Family, len(famDefs)), seen: make(map[string]int)}
+}
+
+// add appends one series; labels alternate name, value.
+func (b *builder) add(fam string, value float64, labels ...string) {
+	f := b.byName[fam]
+	if f == nil {
+		def, ok := lookupDef(fam)
+		if !ok {
+			panic("promexport: series for undeclared family " + fam)
+		}
+		f = &Family{Name: def.name, Type: def.typ, Help: def.help}
+		b.byName[fam] = f
+	}
+	ls := make([]Label, 0, len(labels)/2)
+	key := fam
+	for i := 0; i+1 < len(labels); i += 2 {
+		ls = append(ls, Label{Name: labels[i], Value: labels[i+1]})
+		key += "\x00" + labels[i] + "\x00" + labels[i+1]
+	}
+	if i, ok := b.seen[key]; ok {
+		if f.Type == TypeCounter {
+			f.Series[i].Value += value
+		} else {
+			f.Series[i].Value = value
+		}
+		return
+	}
+	b.seen[key] = len(f.Series)
+	f.Series = append(f.Series, Series{Labels: ls, Value: value})
+}
+
+func lookupDef(name string) (famDef, bool) {
+	for _, d := range famDefs {
+		if d.name == name {
+			return d, true
+		}
+	}
+	return famDef{}, false
+}
+
+// families returns the populated families in registry order, each family's
+// series sorted by label values.
+func (b *builder) families() []Family {
+	out := make([]Family, 0, len(b.byName))
+	for _, def := range famDefs {
+		f, ok := b.byName[def.name]
+		if !ok {
+			continue
+		}
+		sort.SliceStable(f.Series, func(i, j int) bool {
+			return labelKey(f.Series[i].Labels) < labelKey(f.Series[j].Labels)
+		})
+		out = append(out, *f)
+	}
+	return out
+}
+
+func labelKey(ls []Label) string {
+	var sb strings.Builder
+	for _, l := range ls {
+		sb.WriteString(l.Value)
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Collect flattens a metrics snapshot into its Prometheus families, in
+// rendering order. Families with no series (per-dataset families on an
+// empty registry, say) are omitted.
+func Collect(m api.Metrics) []Family {
+	b := newBuilder()
+	b.add("hypdb_uptime_seconds", m.UptimeSeconds)
+	b.add("hypdb_datasets", float64(m.Datasets))
+	b.add("hypdb_requests_total", float64(m.RequestsTotal))
+	b.add("hypdb_requests_in_flight", float64(m.RequestsInFlight))
+	b.add("hypdb_analyses_total", float64(m.AnalysesTotal))
+	b.add("hypdb_audits_total", float64(m.AuditsTotal))
+	b.add("hypdb_audits_in_flight", float64(m.AuditsInFlight))
+	b.add("hypdb_appends_total", float64(m.AppendsTotal))
+	b.add("hypdb_rows_appended_total", float64(m.RowsAppended))
+	b.add("hypdb_counts_served_total", float64(m.CountsServed))
+	b.add("hypdb_rate_limited_total", float64(m.RateLimited))
+	for _, token := range sortedKeys(m.RateLimitedByClient) {
+		b.add("hypdb_client_rate_limited_total", float64(m.RateLimitedByClient[token]), "token", token)
+	}
+	b.add("hypdb_admission_admitted_total", float64(m.Admission.Admitted))
+	b.add("hypdb_admission_queued", float64(m.Admission.Queued))
+	b.add("hypdb_admission_sheds_total", float64(m.Admission.ShedQueueFull), "reason", "queue_full")
+	b.add("hypdb_admission_sheds_total", float64(m.Admission.ShedDeadline), "reason", "deadline")
+	b.add("hypdb_admission_sheds_total", float64(m.Admission.ShedDraining), "reason", "draining")
+	b.add("hypdb_admission_cancelled_total", float64(m.Admission.Cancelled))
+	b.add("hypdb_cd_computes_total", float64(m.Cache.CDComputes))
+	b.add("hypdb_cd_hits_total", float64(m.Cache.CDHits))
+	b.add("hypdb_planner_plans_total", float64(m.Planner.Plans))
+	b.add("hypdb_planner_cuboids_total", float64(m.Planner.Cuboids))
+	b.add("hypdb_planner_cells_materialized_total", float64(m.Planner.CellsMaterialized))
+	b.add("hypdb_planner_demands_planned_total", float64(m.Planner.DemandsPlanned))
+	b.add("hypdb_planner_demands_projected_total", float64(m.Planner.DemandsProjected))
+	b.add("hypdb_planner_round_trips_saved_total", float64(m.Planner.RoundTripsSaved))
+	b.add("hypdb_catalog_journal_records_total", float64(m.Catalog.JournalRecords))
+	b.add("hypdb_catalog_recovered_datasets", float64(m.Catalog.RecoveredDatasets))
+	b.add("hypdb_catalog_replayed_appends", float64(m.Catalog.ReplayedAppends))
+	for _, d := range m.PerDataset {
+		ds := []string{"dataset", d.Name}
+		b.add("hypdb_dataset_rows", float64(d.Rows), ds...)
+		b.add("hypdb_dataset_analyses_total", float64(d.Analyses), ds...)
+		b.add("hypdb_dataset_audits_total", float64(d.Audit.Audits), ds...)
+		b.add("hypdb_dataset_audits_running", float64(d.Audit.Running), ds...)
+		b.add("hypdb_dataset_audit_candidates_done_total", float64(d.Audit.CandidatesDone), ds...)
+		b.add("hypdb_dataset_audit_candidates_planned", float64(d.Audit.CandidatesTotal), ds...)
+		b.add("hypdb_dataset_cd_computes_total", float64(d.Cache.CDComputes), ds...)
+		b.add("hypdb_dataset_cd_hits_total", float64(d.Cache.CDHits), ds...)
+		b.add("hypdb_dataset_planner_plans_total", float64(d.Planner.Plans), ds...)
+		b.add("hypdb_dataset_planner_cuboids_total", float64(d.Planner.Cuboids), ds...)
+		b.add("hypdb_dataset_planner_cells_materialized_total", float64(d.Planner.CellsMaterialized), ds...)
+		b.add("hypdb_dataset_planner_demands_planned_total", float64(d.Planner.DemandsPlanned), ds...)
+		b.add("hypdb_dataset_planner_demands_projected_total", float64(d.Planner.DemandsProjected), ds...)
+		b.add("hypdb_dataset_planner_round_trips_saved_total", float64(d.Planner.RoundTripsSaved), ds...)
+		b.add("hypdb_dataset_appends_total", float64(d.Appends), ds...)
+		b.add("hypdb_dataset_rows_appended_total", float64(d.RowsAppended), ds...)
+		b.add("hypdb_dataset_counts_served_total", float64(d.CountsServed), ds...)
+		b.add("hypdb_dataset_degraded_serves_total", float64(d.DegradedServes), ds...)
+		b.add("hypdb_dataset_admission_admitted_total", float64(d.Admission.Admitted), ds...)
+		b.add("hypdb_dataset_admission_queued", float64(d.Admission.Queued), ds...)
+		b.add("hypdb_dataset_admission_sheds_total", float64(d.Admission.ShedQueueFull), "dataset", d.Name, "reason", "queue_full")
+		b.add("hypdb_dataset_admission_sheds_total", float64(d.Admission.ShedDeadline), "dataset", d.Name, "reason", "deadline")
+		b.add("hypdb_dataset_admission_sheds_total", float64(d.Admission.ShedDraining), "dataset", d.Name, "reason", "draining")
+		b.add("hypdb_dataset_admission_cancelled_total", float64(d.Admission.Cancelled), ds...)
+		for _, p := range d.Remote {
+			ps := []string{"dataset", d.Name, "peer", p.URL}
+			b.add("hypdb_peer_healthy", b2f(p.Healthy), ps...)
+			b.add("hypdb_peer_pinned_version", float64(p.Version), ps...)
+			b.add("hypdb_peer_requests_total", float64(p.Requests), ps...)
+			b.add("hypdb_peer_retries_total", float64(p.Retries), ps...)
+			b.add("hypdb_peer_errors_total", float64(p.Errors), ps...)
+			b.add("hypdb_peer_counts_served_total", float64(p.CountsServed), ps...)
+			b.add("hypdb_peer_last_rtt_seconds", p.LastRTTMillis/1000, ps...)
+			b.add("hypdb_peer_avg_rtt_seconds", p.AvgRTTMillis/1000, ps...)
+		}
+	}
+	return b.families()
+}
+
+// Render writes the snapshot's families in the Prometheus text exposition
+// format. The output is deterministic for a given snapshot: families render
+// in registry order, series sorted by label values.
+func Render(w io.Writer, m api.Metrics) error {
+	for _, f := range Collect(m) {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, f.Help, f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if err := renderSeries(w, f.Name, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func renderSeries(w io.Writer, name string, s Series) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(s.Labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range s.Labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(s.Value))
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a sample value: integral values without a decimal
+// point or exponent, everything else in Go's shortest 'f' form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hypdb/api"
+)
+
+// rawGet fetches a path with optional bearer token and returns status and
+// body — for asserting on endpoints the typed client wraps.
+func rawGet(t *testing.T, baseURL, path, token string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, baseURL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsTokenGatedByDefault is the regression test for the metrics
+// auth gap: with bearer auth enabled, both GET /v1/metrics and GET /metrics
+// must demand a token — counters leak dataset names and traffic shapes —
+// with reader scope sufficient.
+func TestMetricsTokenGatedByDefault(t *testing.T) {
+	srv, _ := newTestServer(t, Config{
+		Tokens: []Token{
+			{Secret: "op-secret", Name: "op", Scope: ScopeOperator},
+			{Secret: "read-secret", Name: "analyst", Scope: ScopeReader},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	for _, path := range []string{"/v1/metrics", "/metrics"} {
+		if code, body := rawGet(t, ts.URL, path, ""); code != http.StatusUnauthorized {
+			t.Errorf("tokenless GET %s = %d (%s), want 401", path, code, body)
+		}
+		if code, body := rawGet(t, ts.URL, path, "wrong"); code != http.StatusUnauthorized {
+			t.Errorf("bad-token GET %s = %d (%s), want 401", path, code, body)
+		}
+		for _, token := range []string{"read-secret", "op-secret"} {
+			if code, body := rawGet(t, ts.URL, path, token); code != http.StatusOK {
+				t.Errorf("GET %s with %s = %d (%s), want 200", path, token, code, body)
+			}
+		}
+	}
+
+	// The typed client paths agree with the raw ones.
+	ctx := context.Background()
+	reader := api.NewClient(ts.URL, ts.Client(), api.WithToken("read-secret"))
+	if _, err := reader.Metrics(ctx); err != nil {
+		t.Errorf("reader JSON metrics: %v", err)
+	}
+	if text, err := reader.MetricsText(ctx); err != nil || !strings.Contains(text, "hypdb_requests_total") {
+		t.Errorf("reader text metrics: %v (len %d)", err, len(text))
+	}
+}
+
+// TestOpenMetricsEscapeHatch: Config.OpenMetrics re-exposes exactly the two
+// metrics views tokenless — for scrapers that cannot carry credentials —
+// while every data-plane endpoint keeps demanding a token.
+func TestOpenMetricsEscapeHatch(t *testing.T) {
+	srv, _ := newTestServer(t, Config{
+		OpenMetrics: true,
+		Tokens:      []Token{{Secret: "op-secret", Name: "op", Scope: ScopeOperator}},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if code, body := rawGet(t, ts.URL, "/v1/metrics", ""); code != http.StatusOK {
+		t.Errorf("open-metrics GET /v1/metrics = %d (%s), want 200", code, body)
+	}
+	code, body := rawGet(t, ts.URL, "/metrics", "")
+	if code != http.StatusOK {
+		t.Errorf("open-metrics GET /metrics = %d (%s), want 200", code, body)
+	}
+	if !strings.Contains(body, "# TYPE hypdb_requests_total counter") {
+		t.Errorf("open scrape missing requests family:\n%.200s", body)
+	}
+
+	// The hatch opens only GET: the method-routed mux must not let the
+	// anonymous identity reach anything else under those paths.
+	anon := api.NewClient(ts.URL, ts.Client())
+	if _, err := anon.Datasets(context.Background()); !hasCode(err, api.CodeUnauthorized, http.StatusUnauthorized) {
+		t.Errorf("open-metrics anonymous dataset list: %v, want 401", err)
+	}
+}
+
+// TestMetricsExemptFromRateLimitAndDrain pins the admission exemption: a
+// rate-limited client and a draining server must both keep answering the
+// two metrics views — observability matters most exactly when the server
+// is shedding — while data-plane requests shed with their typed errors.
+func TestMetricsExemptFromRateLimitAndDrain(t *testing.T) {
+	srv, c := newTestServer(t, Config{RatePerClient: 0.01, RateBurst: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	// Exhaust the single burst token, then confirm the limiter is biting.
+	if _, err := c.Datasets(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Datasets(ctx); !hasCode(err, api.CodeRateLimited, http.StatusTooManyRequests) {
+		t.Fatalf("limited request: %v, want 429", err)
+	}
+
+	// Both views answer while the client is limited. All httptest clients
+	// share the 127.0.0.1 identity, so these scrapes ride the same
+	// exhausted bucket — only the exemption lets them through.
+	for _, path := range []string{"/v1/metrics", "/metrics"} {
+		if code, body := rawGet(t, ts.URL, path, ""); code != http.StatusOK {
+			t.Errorf("GET %s while rate-limited = %d (%s), want 200", path, code, body)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RateLimited < 1 {
+		t.Errorf("RateLimited = %d, want >= 1", m.RateLimited)
+	}
+
+	srv.Drain()
+	for _, path := range []string{"/v1/metrics", "/metrics"} {
+		if code, body := rawGet(t, ts.URL, path, ""); code != http.StatusOK {
+			t.Errorf("GET %s while draining = %d (%s), want 200", path, code, body)
+		}
+	}
+	if _, err := c.Datasets(ctx); !hasCode(err, api.CodeShuttingDown, http.StatusServiceUnavailable) {
+		t.Errorf("data-plane request while draining: %v, want 503 shutting_down", err)
+	}
+	// The draining scrape carries the shed it observed, down to the
+	// per-client identity label.
+	_, body := rawGet(t, ts.URL, "/metrics", "")
+	if !strings.Contains(body, "hypdb_rate_limited_total 1") {
+		t.Errorf("draining scrape missing rate-limit counter:\n%.200s", body)
+	}
+	if !strings.Contains(body, `hypdb_client_rate_limited_total{token="127.0.0.1"} 1`) {
+		t.Errorf("draining scrape missing per-client rate-limit series")
+	}
+}

@@ -106,6 +106,13 @@ type Config struct {
 	// shed with 503 overloaded. Zero means 4× the concurrency limit;
 	// negative means unbounded.
 	MaxQueuedPerDataset int
+	// OpenMetrics exempts GET /metrics and GET /v1/metrics from bearer
+	// auth. By default (false) the metrics endpoints require a token like
+	// every other endpoint when Tokens is non-empty — reader scope
+	// suffices — because the counters leak dataset names and traffic
+	// shapes. Set it when an unauthenticated scraper must reach the
+	// server directly. No effect in open mode.
+	OpenMetrics bool
 	// OnShutdown, when non-nil, enables POST /v1/shutdown (operator
 	// scope): the handler acknowledges with 202 and then calls OnShutdown
 	// on its own goroutine — typically wired to the binary's graceful
@@ -208,10 +215,13 @@ type Server struct {
 	// journal persists catalog mutations when OpenCatalog was called;
 	// catMu guards catalogNames, the set of dataset names with a live
 	// create record (so flag-driven registrations journal only once
-	// across restarts).
-	journal      *catalog.Journal
-	catMu        sync.Mutex
-	catalogNames map[string]bool
+	// across restarts). recoveredDatasets / replayedAppends count what
+	// Recover's boot-time replay rebuilt, for the catalog metrics.
+	journal           *catalog.Journal
+	catMu             sync.Mutex
+	catalogNames      map[string]bool
+	recoveredDatasets atomic.Int64
+	replayedAppends   atomic.Int64
 
 	mu       sync.RWMutex
 	datasets map[string]*entry
@@ -442,6 +452,7 @@ func (s *Server) Recover(ctx context.Context) error {
 				return fmt.Errorf("recover: replaying append to %q: %w", rec.Name, err)
 			}
 			e.rows.Store(int64(res.NumRows))
+			s.replayedAppends.Add(1)
 		}
 	}
 	if err := s.journal.Compact(); err != nil {
@@ -483,10 +494,13 @@ func (s *Server) recoverCreate(ctx context.Context, rec catalog.Record) error {
 			return errors.New(apiErr.Message)
 		}
 	case catalog.KindRemote:
-		return s.addRemote(ctx, rec.Name, rec.Peers, rec.Degraded)
+		if err := s.addRemote(ctx, rec.Name, rec.Peers, rec.Degraded); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown catalog kind %q", rec.Kind)
 	}
+	s.recoveredDatasets.Add(1)
 	s.log.Info("recovered dataset", "name", rec.Name, "kind", rec.Kind)
 	return nil
 }
@@ -576,8 +590,11 @@ func (s *Server) AddSQLDataset(ctx context.Context, name, driver, dsn, table str
 }
 
 // AddRemoteDataset registers a dataset served by remote hypdbd peers: one
-// remote-shard child is opened per peer base URL (pinned to that peer's
-// current snapshot version by the counts-endpoint handshake) and the
+// remote-shard child is opened per peer spec — "url" or "url@token", the
+// token a per-peer bearer credential attached to the handshake, counts
+// calls and health probes, journaled with the spec like SQL DSNs are —
+// each pinned to that peer's current snapshot version by the
+// counts-endpoint handshake, and the
 // sharded coordinator merges them under one global dictionary, so this
 // node serves the cluster's logical catalog. With degraded true, a peer
 // that dies later is skipped and reports are marked stale; otherwise a
@@ -737,6 +754,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	mux.HandleFunc("POST /v1/shutdown", s.operator(s.handleShutdown))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s.instrument(mux)
@@ -759,10 +777,16 @@ func (s *Server) operator(next http.HandlerFunc) http.HandlerFunc {
 // authenticate resolves the request's identity. With no tokens configured
 // the server runs open: every client is an operator named after its
 // remote host (which still scopes rate limiting and fair queueing).
-// /healthz is always open so liveness probes need no credentials.
+// /healthz is always open so liveness probes need no credentials; the
+// metrics endpoints are open only under Config.OpenMetrics — by default
+// they require a token (reader scope suffices) because counters leak
+// dataset names and traffic shapes.
 func (s *Server) authenticate(r *http.Request) (identity, *api.Error) {
 	if r.URL.Path == "/healthz" {
 		return identity{name: "health", scope: ScopeReader, weight: 1}, nil
+	}
+	if s.cfg.OpenMetrics && metricsPath(r) {
+		return identity{name: "metrics", scope: ScopeReader, weight: 1}, nil
 	}
 	if len(s.tokens) == 0 {
 		host, _, err := net.SplitHostPort(r.RemoteAddr)
@@ -788,11 +812,17 @@ func (s *Server) authenticate(r *http.Request) (identity, *api.Error) {
 	return id, nil
 }
 
+// metricsPath reports whether a request reads one of the metrics views:
+// the JSON counters or the Prometheus exposition.
+func metricsPath(r *http.Request) bool {
+	return r.Method == http.MethodGet && (r.URL.Path == "/v1/metrics" || r.URL.Path == "/metrics")
+}
+
 // observability reports whether a request may bypass rate limiting and
-// drain shedding: health probes and metrics dashboards are most valuable
+// drain shedding: health probes and metrics scrapes are most valuable
 // exactly when the server is overloaded or draining.
 func observability(r *http.Request) bool {
-	return r.URL.Path == "/healthz" || (r.Method == http.MethodGet && r.URL.Path == "/v1/metrics")
+	return r.URL.Path == "/healthz" || metricsPath(r)
 }
 
 // instrument wraps the mux with request counting, logging and panic
@@ -1613,91 +1643,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	entries := make([]*entry, 0, len(s.datasets))
-	for _, e := range s.datasets {
-		entries = append(entries, e)
-	}
-	s.mu.RUnlock()
-
-	out := api.Metrics{
-		UptimeSeconds:    s.now().Sub(s.started).Seconds(),
-		Datasets:         len(entries),
-		RequestsTotal:    s.requests.Load(),
-		RequestsInFlight: s.inFlight.Load(),
-		AnalysesTotal:    s.analyses.Load(),
-		AuditsTotal:      s.audits.Load(),
-		AuditsInFlight:   s.auditsInFlight.Load(),
-		AppendsTotal:     s.appends.Load(),
-		RowsAppended:     s.rowsAppended.Load(),
-		CountsServed:     s.countsServed.Load(),
-		RateLimited:      s.rateLimited.Load(),
-	}
-	for _, e := range entries {
-		st := e.db.Stats()
-		out.Cache.CDComputes += st.CDComputes
-		out.Cache.CDHits += st.CDHits
-		planner := api.PlannerStats{
-			Plans:             st.Planner.Plans,
-			Cuboids:           st.Planner.Cuboids,
-			CellsMaterialized: st.Planner.CellsMaterialized,
-			DemandsPlanned:    st.Planner.DemandsPlanned,
-			DemandsProjected:  st.Planner.DemandsProjected,
-			RoundTripsSaved:   st.Planner.RoundTripsSaved,
-		}
-		out.Planner.Plans += planner.Plans
-		out.Planner.Cuboids += planner.Cuboids
-		out.Planner.CellsMaterialized += planner.CellsMaterialized
-		out.Planner.DemandsPlanned += planner.DemandsPlanned
-		out.Planner.DemandsProjected += planner.DemandsProjected
-		out.Planner.RoundTripsSaved += planner.RoundTripsSaved
-		qs := e.queue.Stats()
-		adm := api.AdmissionMetrics{
-			Admitted:      qs.Admitted,
-			Queued:        qs.Queued,
-			ShedQueueFull: qs.ShedFull,
-			ShedDeadline:  qs.ShedDeadline,
-			ShedDraining:  qs.ShedDraining,
-			Cancelled:     qs.Cancelled,
-		}
-		out.Admission.Admitted += adm.Admitted
-		out.Admission.Queued += adm.Queued
-		out.Admission.ShedQueueFull += adm.ShedQueueFull
-		out.Admission.ShedDeadline += adm.ShedDeadline
-		out.Admission.ShedDraining += adm.ShedDraining
-		out.Admission.Cancelled += adm.Cancelled
-		dm := api.DatasetMetrics{
-			Name:         e.name,
-			Rows:         int(e.rows.Load()),
-			Analyses:     e.analyses.Load(),
-			Appends:      e.appends.Load(),
-			RowsAppended: e.rowsAppended.Load(),
-			CountsServed: e.countsServed.Load(),
-			Admission:    adm,
-			Audit: api.AuditProgress{
-				Audits:          e.audits.Load(),
-				Running:         e.auditsRunning.Load(),
-				CandidatesDone:  e.auditCandsDone.Load(),
-				CandidatesTotal: e.auditCandsTotal.Load(),
-			},
-			Cache:   api.CacheStats{CDComputes: st.CDComputes, CDHits: st.CDHits},
-			Planner: planner,
-		}
-		for _, p := range e.db.RemotePeers() {
-			dm.Remote = append(dm.Remote, api.PeerMetrics{
-				URL: p.URL, Version: p.Version, Healthy: p.Healthy,
-				Requests: p.Requests, Retries: p.Retries, Errors: p.Errors,
-				CountsServed:  p.CountsServed,
-				LastRTTMillis: float64(p.LastRTT.Microseconds()) / 1000,
-				AvgRTTMillis:  float64(p.AvgRTT.Microseconds()) / 1000,
-			})
-		}
-		out.PerDataset = append(out.PerDataset, dm)
-	}
-	sort.Slice(out.PerDataset, func(i, j int) bool { return out.PerDataset[i].Name < out.PerDataset[j].Name })
-	s.writeJSON(w, http.StatusOK, out)
-}
+// handleMetrics and the shared metricsSnapshot live in metrics.go.
 
 // ---------------------------------------------------------------------------
 // Encoding and error classification
@@ -1804,6 +1750,8 @@ func mapError(err error) *api.Error {
 		return &api.Error{Status: http.StatusUnprocessableEntity, Code: api.CodeNotAppendable, Message: msg}
 	case errors.Is(err, hypdb.ErrVersionSkew):
 		return &api.Error{Status: http.StatusConflict, Code: api.CodeVersionSkew, Message: msg}
+	case errors.Is(err, hypdb.ErrPeerAuth):
+		return &api.Error{Status: http.StatusBadGateway, Code: api.CodePeerAuth, Message: msg}
 	case errors.Is(err, hypdb.ErrPeerUnavailable):
 		return &api.Error{Status: http.StatusBadGateway, Code: api.CodePeerUnavailable, Message: msg}
 	default:

@@ -1,0 +1,184 @@
+package hypdb_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hypdb"
+	"hypdb/internal/datagen"
+	"hypdb/internal/server"
+)
+
+// startAuthedPeerCluster boots one token-protected hypdbd node per
+// sub-table and returns "url@token" peer specs alongside the raw URLs.
+// Each peer gets its own secret, so a coordinator must carry per-peer
+// credentials — one shared token would not exercise the spec plumbing.
+func startAuthedPeerCluster(tb testing.TB, name string, parts []*hypdb.Table, secrets []string) (specs, urls []string) {
+	tb.Helper()
+	for i, part := range parts {
+		srv := server.New(server.Config{
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			Tokens: []server.Token{{Name: "coord", Scope: server.ScopeReader, Secret: secrets[i], Weight: 1}},
+		})
+		if err := srv.AddDataset(name, part); err != nil {
+			tb.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		tb.Cleanup(ts.Close)
+		tb.Cleanup(srv.Close)
+		specs = append(specs, ts.URL+"@"+secrets[i])
+		urls = append(urls, ts.URL)
+	}
+	return specs, urls
+}
+
+// TestAuthedMeshReproBerkeley mounts a 2-peer token-protected loopback
+// cluster through "url@token" specs and requires the Fig 4 (top)
+// reproduction to stay byte-identical to the single-process golden:
+// authentication must be invisible to the analysis pipeline.
+func TestAuthedMeshReproBerkeley(t *testing.T) {
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, _ := startAuthedPeerCluster(t, "BerkeleyData", splitContiguous(t, tab, 2), []string{"secret-a", "secret-b"})
+	db, err := hypdb.OpenRemote(context.Background(), "BerkeleyData",
+		hypdb.WithRemoteShards(specs...), hypdb.WithRemoteOptions(fastRemote()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := analyzeSummaryOn(t, "BerkeleyData", db, tab.NumRows(), datagen.BerkeleyQuery(), hypdb.WithSeed(1))
+	checkGolden(t, "berkeley.golden.json", s)
+}
+
+// TestAuthedMeshWrongTokenFailsFast presents a bad (and then a missing)
+// credential to a token-protected peer: the handshake must surface the
+// typed ErrPeerAuth immediately — a credential problem is deterministic,
+// so the transport must not burn its retry/backoff schedule on it.
+func TestAuthedMeshWrongTokenFailsFast(t *testing.T) {
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, urls := startAuthedPeerCluster(t, "BerkeleyData", splitContiguous(t, tab, 1), []string{"right-token"})
+	_ = specs
+
+	// A generous backoff turns any accidental retry into a visible stall:
+	// with 3 retries the schedule would cost >= 3s, so the elapsed bound
+	// below proves the auth fault short-circuited the retry loop.
+	opts := fastRemote()
+	opts.MaxRetries = 3
+	opts.RetryBackoff = time.Second
+
+	for _, tc := range []struct{ name, spec string }{
+		{"wrong token", urls[0] + "@wrong-token"},
+		{"missing token", urls[0]},
+	} {
+		start := time.Now()
+		_, err := hypdb.OpenRemote(context.Background(), "BerkeleyData",
+			hypdb.WithRemoteShards(tc.spec), hypdb.WithRemoteOptions(opts))
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatalf("%s: handshake succeeded", tc.name)
+		}
+		if !errors.Is(err, hypdb.ErrPeerAuth) {
+			t.Fatalf("%s: err = %v, want ErrPeerAuth", tc.name, err)
+		}
+		if errors.Is(err, hypdb.ErrPeerUnavailable) {
+			t.Errorf("%s: auth fault also marked ErrPeerUnavailable — degradable", tc.name)
+		}
+		if elapsed > 900*time.Millisecond {
+			t.Errorf("%s: handshake took %v — the transport retried a deterministic auth fault", tc.name, elapsed)
+		}
+	}
+}
+
+// TestAuthedMeshRevocationMidAudit revokes one peer's credential while the
+// coordinator is mid-workload: the next reads must fail with the typed
+// ErrPeerAuth — cleanly and promptly, with no hang — and degraded reads
+// must NOT absorb the fault into a stale answer, because serving data
+// after a credential revocation is exactly what revocation forbids.
+func TestAuthedMeshRevocationMidAudit(t *testing.T) {
+	tab, err := datagen.Berkeley(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer 1 sits behind a revocation toggle answering every request with
+	// the 401 wire envelope once flipped — the response a live hypdbd
+	// gives after its operator rotates tokens.
+	var revoked atomic.Bool
+	parts := splitContiguous(t, tab, 2)
+	secrets := []string{"tok-0", "tok-1"}
+	var specs []string
+	for i, part := range parts {
+		srv := server.New(server.Config{
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			Tokens: []server.Token{{Name: "coord", Scope: server.ScopeReader, Secret: secrets[i], Weight: 1}},
+		})
+		if err := srv.AddDataset("BerkeleyData", part); err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+		if i == 1 {
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if revoked.Load() {
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(http.StatusUnauthorized)
+					_, _ = w.Write([]byte(`{"error":{"code":"unauthorized","message":"token revoked"}}`))
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		t.Cleanup(srv.Close)
+		specs = append(specs, ts.URL+"@"+secrets[i])
+	}
+
+	ctx := context.Background()
+	db, err := hypdb.OpenRemote(ctx, "BerkeleyData",
+		hypdb.WithRemoteShards(specs...), hypdb.WithRemoteOptions(fastRemote()), hypdb.WithDegradedReads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	// The successful OpenRemote handshake above already proves both
+	// credentials work: registration pins each peer's version through an
+	// authenticated counts call. No warm-up analyze here — it would prime
+	// the coordinator's count cache and let the audit run without ever
+	// revisiting the revoked peer, masking the fault this test is about.
+	revoked.Store(true)
+	// The hang-guard deadline only trips if the audit neither finishes nor
+	// fails — the exact failure mode this test exists to rule out.
+	auditCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	_, err = db.Audit(auditCtx, hypdb.AuditSpec{
+		Treatments: []string{"Gender"}, Outcomes: []string{"Accepted"}, TopK: 3,
+	}, hypdb.WithSeed(1))
+	if err == nil {
+		t.Fatal("audit after revocation succeeded — degraded reads masked an auth fault")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("audit after revocation hung until the guard deadline: %v", err)
+	}
+	if !errors.Is(err, hypdb.ErrPeerAuth) {
+		t.Fatalf("audit after revocation: err = %v, want ErrPeerAuth", err)
+	}
+
+	// Restoring the credential restores service — the fault did not latch
+	// the peer unhealthy the way an exhausted retry budget does.
+	revoked.Store(false)
+	s := analyzeSummaryOn(t, "BerkeleyData", db, tab.NumRows(), datagen.BerkeleyQuery(), hypdb.WithSeed(1))
+	checkGolden(t, "berkeley.golden.json", s)
+}

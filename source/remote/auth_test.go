@@ -1,0 +1,139 @@
+package remote_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hypdb/internal/hyperr"
+	"hypdb/source/remote"
+)
+
+// TestTokenRidesEveryPath opens a peer with a credential and checks the
+// bearer header lands on all three call classes: the registration
+// handshake, counts calls, and background health probes.
+func TestTokenRidesEveryPath(t *testing.T) {
+	var mu sync.Mutex
+	auth := make(map[string][]string) // path -> Authorization headers seen
+	record := func(r *http.Request) {
+		mu.Lock()
+		auth[r.URL.Path] = append(auth[r.URL.Path], r.Header.Get("Authorization"))
+		mu.Unlock()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets/{name}/counts", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		var req remote.CountsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decoding request: %v", err)
+		}
+		resp := remote.CountsResponse{Version: 7, Groups: [][]int32{{0}, {1}}, Counts: []int{3, 1}}
+		if req.IncludeSchema {
+			resp = schemaResponse()
+		}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			t.Errorf("encoding response: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	opts := fastOpts()
+	opts.Token = "sekrit"
+	opts.HealthInterval = 5 * time.Millisecond // probes on, so ping() runs
+	rel, err := remote.Open(context.Background(), srv.URL, "D", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { rel.Close() })
+	if _, err := rel.Counts(context.Background(), []string{"a"}, nil); err != nil {
+		t.Fatalf("Counts: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		probes := len(auth["/healthz"])
+		mu.Unlock()
+		if probes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no health probe arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if n := len(auth["/v1/datasets/D/counts"]); n < 2 {
+		t.Fatalf("counts endpoint saw %d requests, want handshake + counts", n)
+	}
+	for path, headers := range auth {
+		for i, h := range headers {
+			if h != "Bearer sekrit" {
+				t.Errorf("%s request %d: Authorization = %q, want Bearer sekrit", path, i, h)
+			}
+		}
+	}
+}
+
+// TestPeerAuthRejectionNotRetried answers counts calls with the service's
+// 401 envelope: the transport must classify the typed ErrPeerAuth on the
+// first attempt — a deterministic fault, so no retry, no backoff, no
+// ErrPeerUnavailable wrapping that would let degraded reads absorb it —
+// and keep returning it on later calls instead of latching unhealthy.
+func TestPeerAuthRejectionNotRetried(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fail func(w http.ResponseWriter)
+	}{
+		{"401 envelope", func(w http.ResponseWriter) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnauthorized)
+			_, _ = w.Write([]byte(`{"error":{"code":"unauthorized","message":"missing or unknown bearer token"}}`))
+		}},
+		{"403 envelope", func(w http.ResponseWriter) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusForbidden)
+			_, _ = w.Write([]byte(`{"error":{"code":"forbidden","message":"scope too narrow"}}`))
+		}},
+		{"bare 401", func(w http.ResponseWriter) {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, hits := fakePeer(t, 1<<30, tc.fail)
+			rel := openFake(t, srv, fastOpts()) // handshake succeeds: IncludeSchema path answers before the fault gate
+
+			_, err := rel.Counts(context.Background(), []string{"a"}, nil)
+			if !errors.Is(err, hyperr.ErrPeerAuth) {
+				t.Fatalf("Counts err = %v, want ErrPeerAuth", err)
+			}
+			if errors.Is(err, hyperr.ErrPeerUnavailable) {
+				t.Error("auth rejection also wrapped as ErrPeerUnavailable — degradable")
+			}
+			if n := hits.Load(); n != 1 {
+				t.Errorf("peer saw %d attempts, want 1 (no retries on auth faults)", n)
+			}
+
+			// The rejection must not latch the peer unhealthy: the next
+			// call goes back to the network and reports the same typed
+			// fault, so a rotated credential recovers without a restart.
+			if _, err := rel.Counts(context.Background(), []string{"a"}, nil); !errors.Is(err, hyperr.ErrPeerAuth) {
+				t.Fatalf("second Counts err = %v, want ErrPeerAuth", err)
+			}
+			if n := hits.Load(); n != 2 {
+				t.Errorf("peer saw %d attempts after two calls, want 2", n)
+			}
+		})
+	}
+}

@@ -84,6 +84,12 @@ type Options struct {
 	// DefaultHealthInterval; negative disables the loop (calls then always
 	// go to the network).
 	HealthInterval time.Duration
+	// Token, when non-empty, is sent as "Authorization: Bearer <Token>" on
+	// every request to the peer — the registration handshake, counts calls,
+	// and health probes — so token-protected peers can be mounted. A peer
+	// answering 401/403 anyway surfaces hyperr.ErrPeerAuth: a credential
+	// fault is final, never retried and never degraded away.
+	Token string
 }
 
 func (o Options) requestTimeout() time.Duration {
@@ -479,6 +485,9 @@ func (p *peer) attempt(ctx context.Context, endpoint string, body []byte) (_ *Co
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Accept", "application/json")
+	if p.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+p.opts.Token)
+	}
 	start := time.Now()
 	resp, err := p.hc.Do(req)
 	if err != nil {
@@ -507,16 +516,26 @@ func (p *peer) attempt(ctx context.Context, endpoint string, body []byte) (_ *Co
 }
 
 // decodeWireError classifies a non-2xx peer response: version_skew maps to
-// hyperr.ErrVersionSkew (never retried, never degraded away), everything
-// else is a plain error carrying the peer's message.
+// hyperr.ErrVersionSkew and 401/403 (by status or error code) to
+// hyperr.ErrPeerAuth — both final verdicts, never retried and never
+// degraded away — everything else is a plain error carrying the peer's
+// message.
 func decodeWireError(p *peer, resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var env errorEnvelope
 	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil {
-		if env.Error.Code == codeVersionSkew {
+		switch {
+		case env.Error.Code == codeVersionSkew:
 			return fmt.Errorf("remote: peer %s: %s: %w", p.base, env.Error.Message, hyperr.ErrVersionSkew)
+		case env.Error.Code == codeUnauthorized, env.Error.Code == codeForbidden,
+			resp.StatusCode == http.StatusUnauthorized, resp.StatusCode == http.StatusForbidden:
+			return fmt.Errorf("remote: peer %s: HTTP %d %s: %s: %w",
+				p.base, resp.StatusCode, env.Error.Code, env.Error.Message, hyperr.ErrPeerAuth)
 		}
 		return fmt.Errorf("remote: peer %s: HTTP %d %s: %s", p.base, resp.StatusCode, env.Error.Code, env.Error.Message)
+	}
+	if resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden {
+		return fmt.Errorf("remote: peer %s: HTTP %d: %w", p.base, resp.StatusCode, hyperr.ErrPeerAuth)
 	}
 	return fmt.Errorf("remote: peer %s: HTTP %d", p.base, resp.StatusCode)
 }
@@ -573,6 +592,9 @@ func (p *peer) ping() bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/healthz", nil)
 	if err != nil {
 		return false
+	}
+	if p.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+p.opts.Token)
 	}
 	resp, err := p.hc.Do(req)
 	if err != nil {

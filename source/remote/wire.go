@@ -74,8 +74,15 @@ type errorEnvelope struct {
 	Error *wireError `json:"error"`
 }
 
-// codeVersionSkew is the service error code for a snapshot-version
-// mismatch. The literal is duplicated from api.CodeVersionSkew — the two
-// packages cannot share a constant without an import cycle, and the wire
-// contract is the string itself.
-const codeVersionSkew = "version_skew"
+// Service error codes this package classifies. The literals are duplicated
+// from the api package (CodeVersionSkew, CodeUnauthorized, CodeForbidden) —
+// the two packages cannot share a constant without an import cycle, and the
+// wire contract is the string itself.
+const (
+	// codeVersionSkew is the code for a snapshot-version mismatch.
+	codeVersionSkew = "version_skew"
+	// codeUnauthorized / codeForbidden are the peer's auth rejections:
+	// missing/unknown bearer token and insufficient token scope.
+	codeUnauthorized = "unauthorized"
+	codeForbidden    = "forbidden"
+)
